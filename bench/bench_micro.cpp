@@ -1,0 +1,99 @@
+// Experiment M2 (DESIGN.md §3): throughput of the evaluation and data
+// layers — metric computation, characteristics extraction, generation,
+// scaling, and the TS2Vec forward pass. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "ensemble/ts2vec.h"
+#include "eval/metrics.h"
+#include "tsdata/characteristics.h"
+#include "tsdata/generator.h"
+#include "tsdata/scaler.h"
+
+using namespace easytime;
+
+namespace {
+
+std::vector<double> DemoSeries(size_t n) {
+  tsdata::GeneratorConfig cfg;
+  cfg.length = n;
+  cfg.period = 24;
+  cfg.season_amp = 5.0;
+  cfg.trend_slope = 0.02;
+  cfg.noise_std = 0.8;
+  cfg.seed = 3;
+  return tsdata::GenerateSeries(cfg).values();
+}
+
+void BM_MetricsSuite(benchmark::State& state) {
+  auto actual = DemoSeries(static_cast<size_t>(state.range(0)));
+  auto pred = actual;
+  for (auto& v : pred) v += 0.1;
+  eval::MetricContext ctx;
+  ctx.train = actual;
+  ctx.period = 24;
+  const std::vector<std::string> names = {"mae", "rmse", "smape", "mase"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::MetricRegistry::Global().ComputeAll(names, actual, pred, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetricsSuite)->Arg(256)->Arg(2048);
+
+void BM_DetectPeriod(benchmark::State& state) {
+  auto v = DemoSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsdata::DetectPeriod(v));
+  }
+}
+BENCHMARK(BM_DetectPeriod)->Arg(512)->Arg(4096);
+
+void BM_ExtractCharacteristics(benchmark::State& state) {
+  auto v = DemoSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsdata::ExtractCharacteristics(v));
+  }
+}
+BENCHMARK(BM_ExtractCharacteristics)->Arg(512)->Arg(2048);
+
+void BM_GenerateSeries(benchmark::State& state) {
+  tsdata::GeneratorConfig cfg;
+  cfg.length = static_cast<size_t>(state.range(0));
+  cfg.period = 24;
+  cfg.season_amp = 5.0;
+  cfg.seed = 11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsdata::GenerateSeries(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateSeries)->Arg(512)->Arg(8192);
+
+void BM_ZScoreScaler(benchmark::State& state) {
+  auto v = DemoSeries(4096);
+  tsdata::ZScoreScaler scaler;
+  (void)scaler.Fit(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaler.Transform(v));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ZScoreScaler);
+
+void BM_Ts2VecEncode(benchmark::State& state) {
+  ensemble::Ts2VecOptions opt;
+  opt.repr_dim = 16;
+  opt.hidden_dim = 24;
+  opt.depth = 3;
+  ensemble::Ts2VecEncoder enc(opt);
+  auto v = DemoSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Represent(v));
+  }
+}
+BENCHMARK(BM_Ts2VecEncode)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

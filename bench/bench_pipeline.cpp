@@ -1,0 +1,79 @@
+// Experiment F1 (DESIGN.md §3): the TFB benchmark pipeline of Fig. 1 —
+// standardized processing/splitting/training/testing across the layer
+// stack, under both evaluation strategies, with thread-scaling numbers for
+// the parallel executor.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "pipeline/runner.h"
+
+using namespace easytime;
+
+namespace {
+
+double RunOnce(const tsdata::Repository& repo, eval::Strategy strategy,
+               size_t threads, size_t* pairs_ok, size_t* pairs_total) {
+  pipeline::BenchmarkConfig config;
+  config.eval = benchutil::SeedProtocol(12);
+  config.eval.strategy = strategy;
+  config.num_threads = threads;
+  for (const auto& name : benchutil::FastCandidates()) {
+    config.methods.push_back(pipeline::MethodSpec{name, Json::Object()});
+  }
+  pipeline::PipelineRunner runner(&repo, config);
+  auto report = runner.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    std::exit(1);
+  }
+  *pairs_ok = report->Successful().size();
+  *pairs_total = report->records.size();
+  return report->wall_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F1: benchmark pipeline (Fig. 1) ==\n");
+  tsdata::Repository repo;
+  tsdata::SuiteSpec suite;
+  suite.univariate_per_domain = 2;
+  suite.multivariate_total = 2;
+  if (Status st = repo.AddSuite(suite); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("suite: %zu datasets; methods: %zu (fast set)\n\n", repo.size(),
+              benchutil::FastCandidates().size());
+
+  std::printf("%-10s %-8s %10s %10s %12s\n", "strategy", "threads", "pairs",
+              "wall(s)", "pairs/s");
+  for (eval::Strategy strategy :
+       {eval::Strategy::kFixed, eval::Strategy::kRolling}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      size_t ok = 0, total = 0;
+      double wall = RunOnce(repo, strategy, threads, &ok, &total);
+      std::printf("%-10s %-8zu %6zu/%-4zu %9.2f %12.1f\n",
+                  eval::StrategyName(strategy), threads, ok, total, wall,
+                  static_cast<double>(total) / wall);
+    }
+  }
+
+  // Per-stage cost of one evaluation (the pipeline's stage breakdown).
+  std::printf("\n-- single-pair stage breakdown (theta on one dataset) --\n");
+  const tsdata::Dataset* ds = repo.All()[0];
+  Stopwatch total_watch;
+  eval::Evaluator evaluator(benchutil::SeedProtocol(12));
+  auto res = evaluator.EvaluateDataset("theta", Json::Object(), *ds);
+  if (!res.ok()) {
+    std::fprintf(stderr, "%s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  dataset=%s total=%.2fms fit=%.2fms forecast=%.2fms "
+              "(split/scale/metrics = remainder)\n",
+              ds->name().c_str(), total_watch.ElapsedMillis(),
+              res->fit_seconds * 1e3, res->forecast_seconds * 1e3);
+  return 0;
+}

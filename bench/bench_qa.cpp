@@ -1,0 +1,111 @@
+// Experiments F3 + F5 (DESIGN.md §3): the natural-language Q&A workflow of
+// Fig. 3 and the Fig. 5 demo scenario.
+//
+// F3: a suite of supported questions must translate to SQL that passes
+// verification and executes; out-of-scope questions and malformed SQL must
+// be rejected BEFORE execution. End-to-end latency is reported per stage.
+//
+// F5: the exact demo question is answered with all five outputs: NL answer,
+// chart, SQL, and the result table.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "qa/qa_engine.h"
+
+using namespace easytime;
+
+int main() {
+  auto seeded = benchutil::MustSeed(2, 3, benchutil::FastCandidates(), 24);
+  auto engine = qa::QaEngine::Create(seeded.kb);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== F3: Q&A workflow success rates ==\n");
+  const std::vector<std::string> supported = {
+      "What are the top-8 methods (ordered by MAE) for long term "
+      "forecasting on all multivariate datasets with trends?",
+      "Which method is best for long term forecasting on time series with "
+      "strong seasonality?",
+      "Which method is best for short term forecasting on traffic datasets?",
+      "Is theta or gbdt better on datasets with trends by rmse?",
+      "Is holt or ses better for long-term forecasting?",
+      "What is the average smape of naive on web datasets?",
+      "What is the average mase of seasonal_naive?",
+      "How many datasets have strong seasonality?",
+      "How many multivariate datasets are there? how many datasets",
+      "List all multivariate datasets with shifting.",
+      "Which methods are available?",
+      "How many datasets per domain?",
+      "top 5 methods by mase on univariate stationary datasets",
+      "best 3 methods for long-term forecasting on health datasets",
+      "rank methods by wape on non-stationary datasets",
+  };
+  const std::vector<std::string> unsupported = {
+      "Will the sales in Shanghai increase next month?",
+      "Please delete all benchmark results.",
+      "what's the weather like",
+  };
+
+  size_t ok_count = 0;
+  double total_seconds = 0.0;
+  for (const auto& q : supported) {
+    auto resp = (*engine)->Ask(q);
+    if (resp.ok() && resp->verified) {
+      ++ok_count;
+      total_seconds += resp->seconds;
+    } else {
+      std::printf("  UNEXPECTED failure: %s\n    %s\n", q.c_str(),
+                  resp.ok() ? "unverified" : resp.status().ToString().c_str());
+    }
+  }
+  size_t rejected = 0;
+  for (const auto& q : unsupported) {
+    if (!(*engine)->Ask(q).ok()) ++rejected;
+  }
+  std::printf("supported questions answered: %zu/%zu "
+              "(mean end-to-end %.2f ms)\n",
+              ok_count, supported.size(),
+              1e3 * total_seconds / static_cast<double>(ok_count));
+  std::printf("out-of-scope questions rejected before execution: %zu/%zu\n",
+              rejected, unsupported.size());
+
+  // Verification step: bad SQL never reaches the executor.
+  const std::vector<std::string> bad_sql = {
+      "SELECT ghost_column FROM results",
+      "SELECT method FROM results WHERE AVG(value) > 1",
+      "SELECT method, AVG(value) FROM results",  // ungrouped column
+      "SELECT r.method FROM results r JOIN ghost g ON r.dataset = g.name",
+      "SELECT method FROM results WHERE method > 3",
+  };
+  size_t blocked = 0;
+  for (const auto& sql : bad_sql) {
+    if (!(*engine)->AskSql(sql).ok()) ++blocked;
+  }
+  std::printf("malformed SQL blocked at verification: %zu/%zu\n\n", blocked,
+              bad_sql.size());
+  std::printf("shape check (Fig. 3 claim): %s\n\n",
+              ok_count == supported.size() &&
+                      rejected == unsupported.size() &&
+                      blocked == bad_sql.size()
+                  ? "HOLDS — verify-then-execute works end to end"
+                  : "DOES NOT HOLD");
+
+  // ---------------- F5: the demo scenario ----------------
+  std::printf("== F5: the Fig. 5 scenario ==\n");
+  Stopwatch watch;
+  auto resp = (*engine)->Ask(
+      "What are the top-8 methods (ordered by MAE) for long term "
+      "forecasting on all multivariate datasets with trends?");
+  if (!resp.ok()) {
+    std::fprintf(stderr, "%s\n", resp.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n(end-to-end %.2f ms)\n", resp->Render().c_str(),
+              watch.ElapsedMillis());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment M1 (DESIGN.md §3): SQL engine micro-benchmarks at
+// knowledge-base scale — tokenize / parse / verify / execute timings for
+// the query shapes the Q&A module generates. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+using namespace easytime;
+
+namespace {
+
+/// A knowledge-base-shaped database: `rows` result rows over 40 datasets
+/// and 20 methods.
+sql::Database MakeDb(size_t rows) {
+  sql::Database db;
+  (void)db.CreateTable("results", {{"dataset", sql::DataType::kText},
+                                   {"method", sql::DataType::kText},
+                                   {"metric", sql::DataType::kText},
+                                   {"value", sql::DataType::kReal},
+                                   {"horizon", sql::DataType::kInteger}});
+  (void)db.CreateTable("datasets", {{"name", sql::DataType::kText},
+                                    {"domain", sql::DataType::kText},
+                                    {"trend", sql::DataType::kReal},
+                                    {"multivariate", sql::DataType::kInteger}});
+  Rng rng(1);
+  sql::Table* rt = db.GetTable("results").ValueOrDie();
+  for (size_t i = 0; i < rows; ++i) {
+    (void)rt->Insert({sql::Value::Text("ds" + std::to_string(i % 40)),
+                      sql::Value::Text("m" + std::to_string(i % 20)),
+                      sql::Value::Text(i % 2 ? "mae" : "rmse"),
+                      sql::Value::Real(rng.Uniform(0.1, 5.0)),
+                      sql::Value::Integer(i % 3 ? 24 : 12)});
+  }
+  sql::Table* dt = db.GetTable("datasets").ValueOrDie();
+  for (size_t i = 0; i < 40; ++i) {
+    (void)dt->Insert({sql::Value::Text("ds" + std::to_string(i)),
+                      sql::Value::Text(i % 2 ? "traffic" : "web"),
+                      sql::Value::Real(rng.Uniform()),
+                      sql::Value::Integer(i % 3 == 0 ? 1 : 0)});
+  }
+  return db;
+}
+
+const char* kTopKQuery =
+    "SELECT r.method, AVG(r.value) AS avg_mae FROM results r "
+    "JOIN datasets d ON r.dataset = d.name "
+    "WHERE r.metric = 'mae' AND d.trend > 0.6 AND d.multivariate = 1 "
+    "GROUP BY r.method ORDER BY avg_mae ASC LIMIT 8";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Tokenize(kTopKQuery));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ParseSelect(kTopKQuery));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Analyze(benchmark::State& state) {
+  sql::Database db = MakeDb(100);
+  auto stmt = sql::ParseSelect(kTopKQuery).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::AnalyzeSelect(db, stmt));
+  }
+}
+BENCHMARK(BM_Analyze);
+
+void BM_ExecuteFilterScan(benchmark::State& state) {
+  sql::Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  auto stmt = sql::ParseSelect(
+                  "SELECT method, value FROM results "
+                  "WHERE metric = 'mae' AND value < 2.5")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ExecuteSelect(db, stmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecuteFilterScan)->Arg(1000)->Arg(10000);
+
+void BM_ExecuteGroupBy(benchmark::State& state) {
+  sql::Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  auto stmt = sql::ParseSelect(
+                  "SELECT method, AVG(value) AS v FROM results "
+                  "GROUP BY method ORDER BY v ASC")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ExecuteSelect(db, stmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecuteGroupBy)->Arg(1000)->Arg(10000);
+
+void BM_ExecuteJoinTopK(benchmark::State& state) {
+  sql::Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  auto stmt = sql::ParseSelect(kTopKQuery).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ExecuteSelect(db, stmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecuteJoinTopK)->Arg(1000)->Arg(4000);
+
+void BM_EndToEndVerifiedQuery(benchmark::State& state) {
+  sql::Database db = MakeDb(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ExecuteQuery(&db, kTopKQuery));
+  }
+}
+BENCHMARK(BM_EndToEndVerifiedQuery);
+
+void BM_Insert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sql::Database db = MakeDb(0);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(sql::ExecuteQuery(
+          &db, "INSERT INTO results VALUES ('d', 'm', 'mae', 1.5, 24)"));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Insert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file bench_util.h
+/// \brief Shared setup for the benchmark harnesses: the candidate method
+/// set, suite construction, and knowledge seeding.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "knowledge/knowledge_base.h"
+#include "methods/registry.h"
+#include "tsdata/repository.h"
+
+namespace easytime::benchutil {
+
+/// The fast candidate set used by the recommendation/ensemble experiments
+/// (spans all three families; omits the slow deep models where wall time
+/// matters more than coverage).
+inline std::vector<std::string> FastCandidates() {
+  return {"naive", "seasonal_naive", "drift",  "ses",
+          "holt",  "holt_winters_add", "theta", "ar",
+          "lag_linear", "dlinear",    "knn",   "gbdt"};
+}
+
+/// Every registered method (incl. deep models) for the full leaderboard.
+inline std::vector<std::string> AllMethods() {
+  return methods::MethodRegistry::Global().Names();
+}
+
+/// Standard seeding protocol used across harnesses.
+inline eval::EvalConfig SeedProtocol(size_t horizon = 24) {
+  eval::EvalConfig cfg;
+  cfg.strategy = eval::Strategy::kFixed;
+  cfg.horizon = horizon;
+  cfg.metrics = {"mae", "rmse", "smape", "mase"};
+  return cfg;
+}
+
+/// Builds + seeds a knowledge base, exiting the process on failure (benches
+/// have no caller to propagate to).
+inline knowledge::SeededKnowledge MustSeed(
+    size_t uni_per_domain, size_t multivariate,
+    const std::vector<std::string>& methods, size_t horizon = 24,
+    uint64_t seed = 7) {
+  tsdata::SuiteSpec suite;
+  suite.univariate_per_domain = uni_per_domain;
+  suite.multivariate_total = multivariate;
+  suite.seed = seed;
+  auto seeded = knowledge::SeedKnowledge(suite, SeedProtocol(horizon), methods);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seeding failed: %s\n",
+                 seeded.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*seeded);
+}
+
+/// Mean MAE of a method over a dataset under the standard protocol;
+/// +inf when the evaluation fails.
+inline double EvalMae(const std::string& method, const tsdata::Dataset& ds,
+                      size_t horizon = 24) {
+  eval::Evaluator evaluator(SeedProtocol(horizon));
+  auto res = evaluator.EvaluateDataset(method, Json::Object(), ds);
+  return res.ok() ? res->metrics.at("mae") : 1e300;
+}
+
+}  // namespace easytime::benchutil

@@ -1,0 +1,142 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace easytime {
+
+int CsvDocument::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool record_started = false;
+
+  auto end_field = [&]() {
+    current.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+    record_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.empty()) {
+          return Status::ParseError("unexpected quote mid-field at offset " +
+                                    std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        record_started = true;
+        break;
+      case ',':
+        end_field();
+        record_started = true;
+        break;
+      case '\r':
+        break;  // swallowed; \n terminates the record
+      case '\n':
+        if (record_started || field_started || !current.empty()) {
+          end_record();
+        }
+        break;
+      default:
+        field += c;
+        field_started = true;
+        record_started = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (record_started || field_started || !current.empty()) end_record();
+
+  CsvDocument doc;
+  size_t start = 0;
+  if (has_header) {
+    if (records.empty()) return Status::ParseError("missing CSV header");
+    doc.header = records[0];
+    start = 1;
+  }
+  for (size_t i = start; i < records.size(); ++i) {
+    doc.rows.push_back(std::move(records[i]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto res = ParseCsv(ss.str(), has_header);
+  if (!res.ok()) return res.status().WithContext(path);
+  return res;
+}
+
+namespace {
+
+std::string EscapeField(const std::string& f) {
+  bool needs_quote = f.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRow(std::string* out, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) *out += ',';
+    *out += EscapeField(row[i]);
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  if (!doc.header.empty()) AppendRow(&out, doc.header);
+  for (const auto& row : doc.rows) AppendRow(&out, row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << WriteCsv(doc);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace easytime

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file csv.h
+/// \brief CSV reading/writing with RFC-4180-style quoting. Used by the data
+/// layer (dataset loading) and the knowledge base (result persistence).
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// \brief An in-memory CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// \brief Parses CSV text. Handles quoted fields, embedded separators,
+/// escaped quotes (""), and both \n and \r\n line endings.
+/// \param text the raw document
+/// \param has_header when true the first row becomes CsvDocument::header
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header = true);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                bool has_header = true);
+
+/// Serializes a document (quoting fields when needed).
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Writes a document to disk, creating/truncating \p path.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace easytime

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file json.h
+/// \brief A small JSON value type + parser + serializer. Used for pipeline
+/// configuration files (the paper's "configuration file" the user edits) and
+/// the Q&A module's structured chart outputs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// \brief A JSON document node (null / bool / number / string / array /
+/// object). Objects preserve insertion order of keys.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}                 // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT
+  Json(double n) : type_(Type::kNumber), num_(n) {}            // NOLINT
+  Json(int n) : type_(Type::kNumber), num_(n) {}               // NOLINT
+  Json(int64_t n)                                              // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}       // NOLINT
+
+  /// Creates an empty array node.
+  static Json Array();
+  /// Creates an empty object node.
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+
+  /// Array access.
+  const std::vector<Json>& items() const { return arr_; }
+  void Append(Json v) { arr_.push_back(std::move(v)); }
+  size_t size() const {
+    return is_array() ? arr_.size() : (is_object() ? keys_.size() : 0);
+  }
+
+  /// Object access: ordered keys.
+  const std::vector<std::string>& keys() const { return keys_; }
+  bool Has(const std::string& key) const;
+  /// Returns the member or a shared null node when absent.
+  const Json& Get(const std::string& key) const;
+  /// Inserts or overwrites a member.
+  void Set(const std::string& key, Json v);
+
+  /// Typed getters with defaults — the idiom for reading config files.
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Serializes; \p indent > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document (strict; trailing garbage is an error).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::string> keys_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace easytime

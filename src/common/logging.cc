@@ -1,0 +1,86 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+namespace easytime {
+
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  LogLevel level = LogLevel::kInfo;
+  std::ofstream file;
+  bool use_file = false;
+};
+
+LogState& State() {
+  static LogState state;
+  return state;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string Basename(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().level = level;
+}
+
+LogLevel Logging::GetLevel() {
+  std::lock_guard<std::mutex> lock(State().mu);
+  return State().level;
+}
+
+void Logging::SetLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  auto& s = State();
+  if (s.file.is_open()) s.file.close();
+  if (path.empty()) {
+    s.use_file = false;
+    return;
+  }
+  s.file.open(path, std::ios::app);
+  s.use_file = s.file.is_open();
+}
+
+void Logging::Emit(LogLevel level, const std::string& file, int line,
+                   const std::string& msg) {
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (static_cast<int>(level) < static_cast<int>(s.level)) return;
+
+  auto now = std::chrono::system_clock::now();
+  std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&tt, &tm);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%02d:%02d:%02d", tm.tm_hour, tm.tm_min,
+                tm.tm_sec);
+
+  std::ostream& out = s.use_file ? static_cast<std::ostream&>(s.file)
+                                 : std::cerr;
+  out << "[" << ts << " " << LevelName(level) << " " << Basename(file) << ":"
+      << line << "] " << msg << "\n";
+  out.flush();
+}
+
+}  // namespace easytime

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file logging.h
+/// \brief Minimal leveled logging used by the pipeline's "reporting layer".
+///
+/// Log lines go to stderr by default; the pipeline redirects them into run
+/// logs. Severity is filtered by a process-wide level.
+
+#include <sstream>
+#include <string>
+
+namespace easytime {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide log configuration.
+class Logging {
+ public:
+  /// Sets the minimum severity that is emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Redirects log output into \p path (append). Empty path -> stderr.
+  static void SetLogFile(const std::string& path);
+
+  /// Emits one formatted line (used by the LOG macro; rarely called directly).
+  static void Emit(LogLevel level, const std::string& file, int line,
+                   const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-collecting helper behind EASYTIME_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logging::Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace easytime
+
+#define EASYTIME_LOG(level)                                            \
+  ::easytime::internal::LogMessage(::easytime::LogLevel::k##level,     \
+                                   __FILE__, __LINE__)

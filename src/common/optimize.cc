@@ -1,0 +1,158 @@
+#include "common/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace easytime {
+
+NelderMeadResult NelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  const size_t n = x0.size();
+  NelderMeadResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Standard coefficients.
+  const double alpha = 1.0;   // reflection
+  const double gamma = 2.0;   // expansion
+  const double rho = 0.5;     // contraction
+  const double sigma = 0.5;   // shrink
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] += (x0[i] != 0.0 ? options.initial_step * std::fabs(x0[i])
+                                       : options.initial_step);
+  }
+  std::vector<double> fv(n + 1);
+  for (size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Order simplex by objective.
+    std::vector<size_t> order(n + 1);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return fv[a] < fv[b]; });
+    std::vector<std::vector<double>> s2(n + 1);
+    std::vector<double> f2(n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      s2[i] = simplex[order[i]];
+      f2[i] = fv[order[i]];
+    }
+    simplex = std::move(s2);
+    fv = std::move(f2);
+
+    if (std::fabs(fv[n] - fv[0]) < options.tolerance) break;
+
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](const std::vector<double>& from, double coef) {
+      std::vector<double> out(n);
+      for (size_t j = 0; j < n; ++j) {
+        out[j] = centroid[j] + coef * (from[j] - centroid[j]);
+      }
+      return out;
+    };
+
+    std::vector<double> xr = blend(simplex[n], -alpha);
+    double fr = f(xr);
+    if (fr < fv[0]) {
+      std::vector<double> xe = blend(simplex[n], -gamma);
+      double fe = f(xe);
+      if (fe < fr) {
+        simplex[n] = std::move(xe);
+        fv[n] = fe;
+      } else {
+        simplex[n] = std::move(xr);
+        fv[n] = fr;
+      }
+    } else if (fr < fv[n - 1]) {
+      simplex[n] = std::move(xr);
+      fv[n] = fr;
+    } else {
+      std::vector<double> xc = blend(simplex[n], rho);
+      double fc = f(xc);
+      if (fc < fv[n]) {
+        simplex[n] = std::move(xc);
+        fv[n] = fc;
+      } else {
+        // Shrink toward best.
+        for (size_t i = 1; i <= n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            simplex[i][j] = simplex[0][j] + sigma * (simplex[i][j] - simplex[0][j]);
+          }
+          fv[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  size_t best = static_cast<size_t>(
+      std::distance(fv.begin(), std::min_element(fv.begin(), fv.end())));
+  result.x = simplex[best];
+  result.fx = fv[best];
+  result.iterations = iter;
+  result.converged = iter < options.max_iterations;
+  return result;
+}
+
+Result<std::vector<double>> LearnSimplexWeights(
+    const std::vector<std::vector<double>>& preds,
+    const std::vector<double>& target, int max_iterations,
+    double learning_rate) {
+  const size_t k = preds.size();
+  if (k == 0) return Status::InvalidArgument("no ensemble members");
+  const size_t n = target.size();
+  for (const auto& p : preds) {
+    if (p.size() != n) {
+      return Status::InvalidArgument(
+          "ensemble member prediction length mismatch");
+    }
+  }
+  if (n == 0) return Status::InvalidArgument("empty validation target");
+
+  std::vector<double> w(k, 1.0 / static_cast<double>(k));
+  double scale = 0.0;
+  for (double t : target) scale += t * t;
+  scale = std::max(scale / static_cast<double>(n), 1e-9);
+
+  std::vector<double> combo(n);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::fill(combo.begin(), combo.end(), 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t t = 0; t < n; ++t) combo[t] += w[i] * preds[i][t];
+    }
+    // Gradient of MSE w.r.t. w_i, normalized by target energy.
+    std::vector<double> grad(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      double g = 0.0;
+      for (size_t t = 0; t < n; ++t) {
+        g += 2.0 * (combo[t] - target[t]) * preds[i][t];
+      }
+      grad[i] = g / (static_cast<double>(n) * scale);
+    }
+    // Exponentiated gradient step keeps w on the simplex.
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      w[i] *= std::exp(-learning_rate * std::clamp(grad[i], -50.0, 50.0));
+      sum += w[i];
+    }
+    if (sum <= 0.0 || !std::isfinite(sum)) {
+      std::fill(w.begin(), w.end(), 1.0 / static_cast<double>(k));
+      break;
+    }
+    for (auto& wi : w) wi /= sum;
+  }
+  return w;
+}
+
+}  // namespace easytime

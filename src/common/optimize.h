@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file optimize.h
+/// \brief Derivative-free and constrained optimizers: Nelder–Mead simplex
+/// (used to fit ARIMA/ETS/Holt-Winters smoothing parameters) and
+/// simplex-constrained weight learning (used to fit ensemble weights on the
+/// validation split, Fig. 2 of the paper).
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// Options for NelderMead.
+struct NelderMeadOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-8;      ///< stop when simplex f-spread is below this
+  double initial_step = 0.1;    ///< per-coordinate initial simplex offset
+};
+
+/// Outcome of a Nelder–Mead run.
+struct NelderMeadResult {
+  std::vector<double> x;  ///< best point found
+  double fx = 0.0;        ///< objective at x
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Minimizes \p f starting from \p x0 with the Nelder–Mead simplex.
+/// \p f must be defined everywhere (use penalties for constraints).
+NelderMeadResult NelderMead(const std::function<double(const std::vector<double>&)>& f,
+                            const std::vector<double>& x0,
+                            const NelderMeadOptions& options = {});
+
+/// \brief Learns convex-combination weights w (w_i >= 0, sum w = 1) that
+/// minimize ||sum_i w_i * preds[i] - target||^2 via exponentiated-gradient
+/// descent. This is the ensemble-weight learner: preds[i] is member i's
+/// forecast on the validation split.
+/// \returns weights of size preds.size()
+Result<std::vector<double>> LearnSimplexWeights(
+    const std::vector<std::vector<double>>& preds,
+    const std::vector<double>& target, int max_iterations = 500,
+    double learning_rate = 0.5);
+
+}  // namespace easytime

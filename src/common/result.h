@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file result.h
+/// \brief Result<T>: a Status or a value of type T (Arrow's Result idiom).
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace easytime {
+
+/// \brief Holds either a successfully computed T or the Status explaining why
+/// the computation failed.
+///
+/// Typical use:
+/// \code
+///   Result<Series> LoadSeries(const std::string& path);
+///   EASYTIME_ASSIGN_OR_RETURN(Series s, LoadSeries(path));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  /// Failure: wraps a non-OK status. Calling with an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The failure status, or OK if a value is present.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// \brief The contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief The contained value or \p fallback when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace easytime

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace easytime {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kNotFound: return "Not found";
+    case StatusCode::kAlreadyExists: return "Already exists";
+    case StatusCode::kOutOfRange: return "Out of range";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kInternal: return "Internal error";
+    case StatusCode::kIOError: return "IO error";
+    case StatusCode::kParseError: return "Parse error";
+    case StatusCode::kTypeError: return "Type error";
+    case StatusCode::kUnsupported: return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace easytime

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file status.h
+/// \brief Error model for EasyTime: a lightweight Status value (Arrow/RocksDB
+/// idiom). Public APIs return Status (or Result<T>, see result.h) instead of
+/// throwing exceptions across module boundaries.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace easytime {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kParseError = 8,
+  kTypeError = 9,
+  kUnsupported = 10,
+};
+
+/// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is cheap to copy when OK (no allocation); error states carry a
+/// code and a message. Use the factory functions (Status::OK(),
+/// Status::InvalidArgument(...), ...) to construct.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief The success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief The failure category; kOk when ok().
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// \brief The failure message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with \p context prepended to the message
+  /// ("context: original message"). No-op on OK statuses.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+}  // namespace easytime
+
+/// Propagates a non-OK Status to the caller.
+#define EASYTIME_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::easytime::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define EASYTIME_CONCAT_IMPL(a, b) a##b
+#define EASYTIME_CONCAT(a, b) EASYTIME_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression producing Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define EASYTIME_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto EASYTIME_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!EASYTIME_CONCAT(_res_, __LINE__).ok())                          \
+    return EASYTIME_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(EASYTIME_CONCAT(_res_, __LINE__)).ValueOrDie()

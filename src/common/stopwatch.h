@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing for the reporting layer and benches.
+
+#include <chrono>
+
+namespace easytime {
+
+/// \brief Measures elapsed wall time from construction (or the last Reset).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace easytime

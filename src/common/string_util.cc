@@ -1,0 +1,161 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace easytime {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle) {
+  std::string a = ToLower(s), b = ToLower(needle);
+  return a.find(b) != std::string::npos;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return Status::ParseError("empty string is not a number");
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(t.c_str(), &end);
+  if (errno != 0 || end != t.c_str() + t.size()) {
+    return Status::ParseError("not a valid double: '" + t + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return Status::ParseError("empty string is not an integer");
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    return Status::ParseError("not a valid integer: '" + t + "'");
+  }
+  return v;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  size_t ncols = header.size();
+  std::vector<size_t> width(ncols, 0);
+  for (size_t c = 0; c < ncols; ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < ncols && c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header);
+  std::string rule = "|";
+  for (size_t c = 0; c < ncols; ++c) rule += std::string(width[c] + 2, '-') + "|";
+  out += rule + "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  std::string t = ToLower(text), p = ToLower(pattern);
+  // Iterative wildcard match with backtracking on '%'.
+  size_t ti = 0, pi = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (ti < t.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == t[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+}  // namespace easytime

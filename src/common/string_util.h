@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file string_util.h
+/// \brief String helpers shared across modules (tokenizing, case folding,
+/// trimming, numeric parsing, table formatting).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// Splits \p s on \p delim; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if \p s contains \p needle (case-insensitive).
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+
+/// Strict double parse of the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// Strict int64 parse of the whole string.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Formats a double with \p precision digits after the point.
+std::string FormatDouble(double v, int precision = 4);
+
+/// \brief Renders rows as an aligned ASCII table with a header rule;
+/// used by the reporting layer and Q&A structured outputs.
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+/// SQL LIKE pattern match ('%' any run, '_' one char), case-insensitive.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace easytime

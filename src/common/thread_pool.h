@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool used by the benchmark pipeline to evaluate
+/// (method, dataset) pairs in parallel, plus a ParallelFor convenience.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace easytime {
+
+/// \brief A simple FIFO thread pool. Tasks are std::function<void()>; use
+/// Submit() for futures or ParallelFor for data-parallel loops.
+class ThreadPool {
+ public:
+  /// Creates \p num_threads workers (defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// \brief Runs body(i) for i in [0, n), distributing across the pool and
+  /// blocking until all iterations complete.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace easytime

@@ -1,0 +1,149 @@
+#include "core/easytime.h"
+
+#include "common/logging.h"
+#include "methods/registry.h"
+
+namespace easytime::core {
+
+EasyTime::Options::Options() {
+  // A compact default: enough datasets to exercise every domain, a method
+  // set spanning the three families, and a rolling protocol for the KB.
+  suite.univariate_per_domain = 2;
+  suite.multivariate_total = 3;
+  suite.min_length = 320;
+  suite.max_length = 512;
+
+  seed_eval.strategy = eval::Strategy::kFixed;
+  seed_eval.horizon = 24;
+  seed_eval.metrics = {"mae", "rmse", "smape", "mase"};
+
+  seed_methods = {"naive",   "seasonal_naive", "drift", "ses",
+                  "holt",    "holt_winters_add", "theta", "ar",
+                  "lag_linear", "dlinear", "knn", "gbdt", "mlp"};
+}
+
+easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
+    const Options& options) {
+  auto system = std::unique_ptr<EasyTime>(new EasyTime());
+  system->options_ = options;
+
+  EASYTIME_RETURN_IF_ERROR(system->repository_.AddSuite(options.suite));
+  EASYTIME_LOG(Info) << "EasyTime: generated " << system->repository_.size()
+                     << " benchmark datasets";
+
+  // Seed the knowledge base by running the pipeline.
+  pipeline::BenchmarkConfig config;
+  config.eval = options.seed_eval;
+  for (const auto& name : options.seed_methods) {
+    config.methods.push_back(pipeline::MethodSpec{name, Json::Object()});
+  }
+  pipeline::PipelineRunner runner(&system->repository_, config);
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+
+  for (const auto* ds : system->repository_.All()) {
+    system->kb_.AddDataset(*ds);
+  }
+  system->kb_.AddAllMethods();
+  system->kb_.AddReport(report);
+
+  if (options.pretrain_ensemble) {
+    system->ensemble_ = ensemble::AutoEnsembleEngine(options.ensemble);
+    EASYTIME_RETURN_IF_ERROR(
+        system->ensemble_.Pretrain(system->repository_, system->kb_));
+  }
+  if (options.pretrain_foundation) {
+    std::vector<std::vector<double>> corpus;
+    for (const auto* ds : system->repository_.All()) {
+      for (const auto& ch : ds->channels()) corpus.push_back(ch.values());
+    }
+    EASYTIME_ASSIGN_OR_RETURN(
+        auto foundation_model,
+        ensemble::PretrainFoundation(corpus, options.foundation,
+                                     options.ensemble.ts2vec));
+    EASYTIME_RETURN_IF_ERROR(
+        ensemble::RegisterFoundationMethod(foundation_model));
+    system->kb_.AddAllMethods();  // pick up the new method's metadata
+    EASYTIME_LOG(Info) << "foundation method 'ts2vec_foundation' registered";
+  }
+  EASYTIME_RETURN_IF_ERROR(system->RefreshQa());
+  return system;
+}
+
+easytime::Status EasyTime::RefreshQa() {
+  EASYTIME_ASSIGN_OR_RETURN(qa_, qa::QaEngine::Create(kb_));
+  return Status::OK();
+}
+
+easytime::Result<pipeline::BenchmarkReport> EasyTime::OneClickEvaluate(
+    const easytime::Json& config_json) {
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkConfig config,
+                            pipeline::BenchmarkConfig::FromJson(config_json));
+  pipeline::PipelineRunner runner(&repository_, config);
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+  kb_.AddReport(report);
+  EASYTIME_RETURN_IF_ERROR(RefreshQa());
+  return report;
+}
+
+easytime::Result<pipeline::BenchmarkReport> EasyTime::EvaluateMethodEverywhere(
+    const std::string& method_name, const easytime::Json& method_config) {
+  if (!methods::MethodRegistry::Global().Contains(method_name)) {
+    return Status::NotFound("unknown method: " + method_name);
+  }
+  pipeline::BenchmarkConfig config;
+  config.eval = options_.seed_eval;
+  config.methods.push_back(pipeline::MethodSpec{method_name, method_config});
+  pipeline::PipelineRunner runner(&repository_, config);
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+  kb_.AddReport(report);
+  EASYTIME_RETURN_IF_ERROR(RefreshQa());
+  return report;
+}
+
+easytime::Result<ensemble::Recommendation> EasyTime::Recommend(
+    const std::string& dataset_name, size_t k) const {
+  EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
+                            repository_.Get(dataset_name));
+  return ensemble_.Recommend(ds->primary().values(), k);
+}
+
+easytime::Result<ensemble::Recommendation> EasyTime::RecommendForValues(
+    const std::vector<double>& values, size_t k) const {
+  return ensemble_.Recommend(values, k);
+}
+
+easytime::Result<EasyTime::EnsembleEvaluation> EasyTime::EvaluateWithEnsemble(
+    const std::string& dataset_name, const eval::EvalConfig& config) const {
+  EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
+                            repository_.Get(dataset_name));
+  const std::vector<double>& values = ds->primary().values();
+
+  EASYTIME_ASSIGN_OR_RETURN(auto ens, ensemble_.BuildEnsemble(values));
+  eval::Evaluator evaluator(config);
+
+  EnsembleEvaluation out;
+  EASYTIME_ASSIGN_OR_RETURN(out.ensemble,
+                            evaluator.EvaluateValues(ens.get(), values));
+  out.weights = ens->weights();
+
+  for (const auto& name : ens->member_names()) {
+    EASYTIME_ASSIGN_OR_RETURN(methods::ForecasterPtr m,
+                              methods::MethodRegistry::Global().Create(name));
+    EASYTIME_ASSIGN_OR_RETURN(eval::EvalResult r,
+                              evaluator.EvaluateValues(m.get(), values));
+    out.members.emplace_back(name, std::move(r));
+  }
+  return out;
+}
+
+easytime::Result<qa::QaResponse> EasyTime::Ask(const std::string& question) {
+  if (!qa_) return Status::Internal("Q&A engine not initialized");
+  return qa_->Ask(question);
+}
+
+easytime::Result<qa::QaResponse> EasyTime::AskSql(const std::string& sql) {
+  if (!qa_) return Status::Internal("Q&A engine not initialized");
+  return qa_->AskSql(sql);
+}
+
+}  // namespace easytime::core

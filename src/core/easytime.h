@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file easytime.h
+/// \brief The EasyTime system facade — the public API mirroring the paper's
+/// four modules (Fig. 1): the TFB benchmark substrate, One-Click Evaluation,
+/// the Automated Ensemble, and natural-language Q&A.
+///
+/// Typical use:
+/// \code
+///   easytime::core::EasyTime::Options opt;        // defaults are sensible
+///   EASYTIME_ASSIGN_OR_RETURN(auto system, easytime::core::EasyTime::Create(opt));
+///   auto report = system->OneClickEvaluate(config_json);
+///   auto rec    = system->Recommend("traffic_u0");
+///   auto resp   = system->Ask("top-5 methods by mae on traffic datasets?");
+/// \endcode
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ensemble/auto_ensemble.h"
+#include "ensemble/foundation.h"
+#include "eval/evaluator.h"
+#include "knowledge/knowledge_base.h"
+#include "pipeline/runner.h"
+#include "qa/qa_engine.h"
+#include "tsdata/repository.h"
+
+namespace easytime::core {
+
+/// \brief The assembled EasyTime system.
+class EasyTime {
+ public:
+  /// System bring-up options.
+  struct Options {
+    tsdata::SuiteSpec suite;            ///< benchmark data suite to generate
+    eval::EvalConfig seed_eval;         ///< protocol for seeding the KB
+    std::vector<std::string> seed_methods;  ///< empty = a fast default set
+    ensemble::AutoEnsembleOptions ensemble;
+    bool pretrain_ensemble = true;      ///< run the offline phase at startup
+    /// Pretrain and register the zero-shot "ts2vec_foundation" method on the
+    /// generated corpus (the method layer's foundation-model slot).
+    bool pretrain_foundation = false;
+    ensemble::FoundationOptions foundation;
+
+    Options();
+  };
+
+  /// \brief Builds the system: generates the benchmark suite, runs the
+  /// pipeline to seed the knowledge base, pretrains the Automated Ensemble,
+  /// and stands up the Q&A engine.
+  static easytime::Result<std::unique_ptr<EasyTime>> Create(
+      const Options& options);
+
+  // ----- module 1/2: benchmark + one-click evaluation ----------------------
+
+  /// The dataset repository (add user datasets here before evaluating).
+  tsdata::Repository* repository() { return &repository_; }
+  const tsdata::Repository& repository() const { return repository_; }
+
+  /// The accumulated benchmark knowledge.
+  const knowledge::KnowledgeBase& knowledge() const { return kb_; }
+
+  /// \brief One-click evaluation from a configuration JSON (the paper's
+  /// "edit the configuration file, then one click"). Results are appended
+  /// to the knowledge base.
+  easytime::Result<pipeline::BenchmarkReport> OneClickEvaluate(
+      const easytime::Json& config_json);
+
+  /// One-click "run this method on all datasets".
+  easytime::Result<pipeline::BenchmarkReport> EvaluateMethodEverywhere(
+      const std::string& method_name,
+      const easytime::Json& method_config = easytime::Json::Object());
+
+  // ----- module 3: automated ensemble --------------------------------------
+
+  /// \brief Recommends top-k methods for a repository dataset (Fig. 4).
+  easytime::Result<ensemble::Recommendation> Recommend(
+      const std::string& dataset_name, size_t k = 0) const;
+
+  /// Recommends for raw user-provided values (the "Upload Dataset" path).
+  easytime::Result<ensemble::Recommendation> RecommendForValues(
+      const std::vector<double>& values, size_t k = 0) const;
+
+  /// \brief Builds and evaluates an automated ensemble on a dataset,
+  /// returning its metrics alongside each member's individual metrics —
+  /// the comparison the demo frontend displays (Fig. 4, labels 9/10).
+  struct EnsembleEvaluation {
+    eval::EvalResult ensemble;
+    std::vector<std::pair<std::string, eval::EvalResult>> members;
+    std::vector<double> weights;
+  };
+  easytime::Result<EnsembleEvaluation> EvaluateWithEnsemble(
+      const std::string& dataset_name, const eval::EvalConfig& config) const;
+
+  /// The pretrained ensemble engine (for advanced use).
+  const ensemble::AutoEnsembleEngine& ensemble_engine() const {
+    return ensemble_;
+  }
+
+  // ----- module 4: natural-language Q&A -------------------------------------
+
+  /// Answers a natural-language question over the benchmark knowledge.
+  easytime::Result<qa::QaResponse> Ask(const std::string& question);
+
+  /// Runs raw SQL through the verified retrieval path.
+  easytime::Result<qa::QaResponse> AskSql(const std::string& sql);
+
+ private:
+  EasyTime() = default;
+
+  /// Rebuilds the Q&A engine after the knowledge base changes.
+  easytime::Status RefreshQa();
+
+  tsdata::Repository repository_;
+  knowledge::KnowledgeBase kb_;
+  ensemble::AutoEnsembleEngine ensemble_;
+  std::unique_ptr<qa::QaEngine> qa_;
+  Options options_;
+};
+
+}  // namespace easytime::core

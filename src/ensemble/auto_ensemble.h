@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file auto_ensemble.h
+/// \brief The Automated Ensemble module (paper §II-C, Fig. 2).
+///
+/// Offline pretraining: a TS2Vec encoder learns series representations; a
+/// classifier learns feature -> method-performance correlations from the
+/// benchmark knowledge (soft-label loss).
+///
+/// Online inference: for a new series, extract features, pick the top-k
+/// methods, train them on the train split, learn convex ensemble weights on
+/// the validation split, and forecast with the weighted combination.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ensemble/classifier.h"
+#include "ensemble/ts2vec.h"
+#include "knowledge/knowledge_base.h"
+#include "methods/forecaster.h"
+#include "tsdata/repository.h"
+
+namespace easytime::ensemble {
+
+/// Online-phase parameters.
+struct AutoEnsembleOptions {
+  size_t top_k = 3;
+  std::string metric = "mae";      ///< supervision metric from the KB
+  double val_fraction = 0.2;       ///< inner validation share of the train set
+  /// Shrinkage of the learned weights toward the uniform average — the
+  /// validation split is short, so raw least-squares weights are
+  /// high-variance; blending toward uniform trades a little bias for a lot
+  /// of variance (ablated in bench_ablation).
+  double weight_shrinkage = 0.3;
+  Ts2VecOptions ts2vec;
+  ClassifierOptions classifier;
+};
+
+/// \brief A fitted ensemble: weighted combination of its member forecasters.
+class EnsembleForecaster : public methods::Forecaster {
+ public:
+  /// \param val_fraction share of the train segment used as the inner
+  ///        validation split; <= 0 selects plain uniform averaging
+  /// \param weight_shrinkage blend factor toward uniform weights in [0, 1]
+  EnsembleForecaster(std::vector<methods::ForecasterPtr> members,
+                     std::vector<std::string> member_names,
+                     double val_fraction, double weight_shrinkage = 0.3);
+
+  /// Fits members on an inner-train split, learns simplex weights on the
+  /// inner-validation split, then refits members on the full train segment.
+  easytime::Status Fit(const std::vector<double>& train,
+                       const methods::FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "auto_ensemble"; }
+  methods::Family family() const override {
+    return methods::Family::kMachineLearning;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<std::string>& member_names() const {
+    return member_names_;
+  }
+
+ private:
+  std::vector<methods::ForecasterPtr> members_;
+  std::vector<std::string> member_names_;
+  double val_fraction_;
+  double weight_shrinkage_;
+  std::vector<double> weights_;
+  bool fitted_ = false;
+};
+
+/// One recommendation: method name + classifier probability.
+using Recommendation = std::vector<std::pair<std::string, double>>;
+
+/// \brief The end-to-end Automated Ensemble engine.
+class AutoEnsembleEngine {
+ public:
+  explicit AutoEnsembleEngine(AutoEnsembleOptions options = {});
+
+  /// \brief Offline phase: pretrains TS2Vec on the repository's series and
+  /// the classifier on the knowledge base's benchmark results.
+  easytime::Status Pretrain(const tsdata::Repository& repo,
+                            const knowledge::KnowledgeBase& kb);
+
+  /// Feature vector for a series: TS2Vec representation + characteristic
+  /// statistics.
+  easytime::Result<std::vector<double>> Features(
+      const std::vector<double>& values) const;
+
+  /// \brief Recommends the top-k methods for a new series (Fig. 4, label 4).
+  easytime::Result<Recommendation> Recommend(const std::vector<double>& values,
+                                             size_t k = 0) const;
+
+  /// \brief Builds an (unfitted) ensemble forecaster from the top-k
+  /// recommendation for \p values. Fit it like any other Forecaster.
+  easytime::Result<std::unique_ptr<EnsembleForecaster>> BuildEnsemble(
+      const std::vector<double>& values) const;
+
+  bool pretrained() const { return pretrained_; }
+  const AutoEnsembleOptions& options() const { return options_; }
+  const std::vector<std::string>& candidate_methods() const {
+    return candidate_methods_;
+  }
+
+ private:
+  AutoEnsembleOptions options_;
+  std::unique_ptr<Ts2VecEncoder> encoder_;
+  std::unique_ptr<MethodClassifier> classifier_;
+  std::vector<std::string> candidate_methods_;
+  bool pretrained_ = false;
+};
+
+}  // namespace easytime::ensemble

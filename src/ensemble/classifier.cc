@@ -1,0 +1,134 @@
+#include "ensemble/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace easytime::ensemble {
+
+MethodClassifier::MethodClassifier(std::vector<std::string> method_names,
+                                   size_t feature_dim,
+                                   const ClassifierOptions& options)
+    : methods_(std::move(method_names)),
+      feature_dim_(feature_dim),
+      options_(options) {
+  Rng rng(options.seed);
+  net_.Add(std::make_unique<nn::Linear>(feature_dim_, options_.hidden, &rng));
+  net_.Add(std::make_unique<nn::ReLU>());
+  net_.Add(std::make_unique<nn::Linear>(options_.hidden, options_.hidden, &rng));
+  net_.Add(std::make_unique<nn::ReLU>());
+  net_.Add(std::make_unique<nn::Linear>(options_.hidden, methods_.size(), &rng));
+}
+
+std::vector<double> MethodClassifier::SoftLabel(
+    const std::vector<double>& errors, double temperature, bool hard) {
+  size_t k = errors.size();
+  if (k == 0) return {};
+  if (hard) {
+    std::vector<double> label(k, 0.0);
+    label[ArgMin(errors)] = 1.0;
+    return label;
+  }
+  // Standardize errors, then softmax of the negated scores.
+  double m = Mean(errors);
+  double sd = std::max(StdDev(errors), 1e-9);
+  std::vector<double> neg(k);
+  for (size_t i = 0; i < k; ++i) neg[i] = -(errors[i] - m) / sd;
+  return Softmax(neg, temperature);
+}
+
+easytime::Status MethodClassifier::Train(
+    const std::vector<ClassifierExample>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no classifier training examples");
+  }
+  // Assemble the dense training batch; skip examples with missing features
+  // or with fewer than 2 method scores.
+  std::vector<std::vector<double>> feats;
+  std::vector<std::vector<double>> labels;
+  for (const auto& ex : examples) {
+    if (ex.features.size() != feature_dim_) {
+      return Status::InvalidArgument(
+          "feature dim mismatch: expected " + std::to_string(feature_dim_) +
+          ", got " + std::to_string(ex.features.size()));
+    }
+    std::vector<double> errors(methods_.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+    size_t have = 0;
+    for (size_t i = 0; i < methods_.size(); ++i) {
+      auto it = ex.method_errors.find(methods_[i]);
+      if (it != ex.method_errors.end() && std::isfinite(it->second)) {
+        errors[i] = it->second;
+        ++have;
+      }
+    }
+    if (have < 2) continue;
+    // Missing methods get the worst observed error (they never win).
+    double worst = -1e300;
+    for (double e : errors) {
+      if (std::isfinite(e)) worst = std::max(worst, e);
+    }
+    for (auto& e : errors) {
+      if (!std::isfinite(e)) e = worst * 1.5 + 1.0;
+    }
+    feats.push_back(ex.features);
+    labels.push_back(SoftLabel(errors, options_.label_temperature,
+                               options_.hard_labels));
+  }
+  if (feats.empty()) {
+    return Status::InvalidArgument("no usable classifier training examples");
+  }
+
+  nn::Matrix x(feats.size(), feature_dim_);
+  nn::Matrix y(feats.size(), methods_.size());
+  for (size_t r = 0; r < feats.size(); ++r) {
+    for (size_t c = 0; c < feature_dim_; ++c) x.at(r, c) = feats[r][c];
+    for (size_t c = 0; c < methods_.size(); ++c) y.at(r, c) = labels[r][c];
+  }
+
+  nn::Adam opt(net_.Params(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    nn::Matrix logits = net_.Forward(x);
+    auto [loss, grad] = nn::SoftCrossEntropyLoss(logits, y);
+    (void)loss;
+    net_.Backward(grad);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+easytime::Result<std::vector<double>> MethodClassifier::Predict(
+    const std::vector<double>& features) const {
+  if (!trained_) return Status::Internal("Predict called before Train");
+  if (features.size() != feature_dim_) {
+    return Status::InvalidArgument("feature dim mismatch");
+  }
+  nn::Matrix x = nn::Matrix::FromVector(features);
+  nn::Matrix logits = net_.Forward(x);
+  nn::Matrix probs = nn::RowSoftmax(logits);
+  return probs.Row(0);
+}
+
+easytime::Result<std::vector<std::pair<std::string, double>>>
+MethodClassifier::TopK(const std::vector<double>& features, size_t k) const {
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> probs, Predict(features));
+  std::vector<size_t> idx(probs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return probs[a] > probs[b]; });
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t i = 0; i < std::min(k, idx.size()); ++i) {
+    out.emplace_back(methods_[idx[i]], probs[idx[i]]);
+  }
+  return out;
+}
+
+}  // namespace easytime::ensemble

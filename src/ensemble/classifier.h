@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file classifier.h
+/// \brief The method classifier of the Automated Ensemble (Fig. 2): an MLP
+/// from series features to a probability ranking over forecasting methods,
+/// trained with the soft-label loss of SimpleTS ([10] in the paper) — the
+/// target distribution is a softmax over (negated, standardized) benchmark
+/// errors rather than a one-hot winner, so near-ties supervise smoothly.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/layers.h"
+
+namespace easytime::ensemble {
+
+/// Classifier hyperparameters.
+struct ClassifierOptions {
+  size_t hidden = 32;
+  size_t epochs = 300;
+  double learning_rate = 5e-3;
+  double label_temperature = 0.35;  ///< soft-label sharpness
+  bool hard_labels = false;         ///< ablation: one-hot winner labels
+  uint64_t seed = 99;
+};
+
+/// One training example: features -> per-method error (lower = better).
+struct ClassifierExample {
+  std::vector<double> features;
+  std::map<std::string, double> method_errors;
+};
+
+/// \brief Probability ranking over methods.
+class MethodClassifier {
+ public:
+  MethodClassifier(std::vector<std::string> method_names, size_t feature_dim,
+                   const ClassifierOptions& options);
+
+  /// Trains on the benchmark-derived examples.
+  easytime::Status Train(const std::vector<ClassifierExample>& examples);
+
+  /// Probability distribution over methods() for the given features.
+  easytime::Result<std::vector<double>> Predict(
+      const std::vector<double>& features) const;
+
+  /// Top-k method names with probabilities, best first.
+  easytime::Result<std::vector<std::pair<std::string, double>>> TopK(
+      const std::vector<double>& features, size_t k) const;
+
+  const std::vector<std::string>& methods() const { return methods_; }
+  size_t feature_dim() const { return feature_dim_; }
+
+  /// \brief Converts per-method errors into a soft target distribution:
+  /// softmax(-(err - mean)/std / temperature). Exposed for tests/ablation.
+  static std::vector<double> SoftLabel(const std::vector<double>& errors,
+                                       double temperature, bool hard);
+
+ private:
+  std::vector<std::string> methods_;
+  size_t feature_dim_;
+  ClassifierOptions options_;
+  mutable nn::Sequential net_;
+  bool trained_ = false;
+};
+
+}  // namespace easytime::ensemble

@@ -1,0 +1,212 @@
+#include "ensemble/foundation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "methods/registry.h"
+#include "methods/window_util.h"
+
+namespace easytime::ensemble {
+
+/// Shared immutable pretrained state. The encoder's forward pass mutates
+/// internal layer caches, so concurrent zero-shot predictions serialize on
+/// a mutex (cheap relative to the conv forward itself).
+struct FoundationForecaster::Model {
+  mutable std::mutex mu;
+  mutable std::unique_ptr<Ts2VecEncoder> encoder;
+  std::vector<std::vector<double>> head;  ///< per-step (repr_dim + 1) coefs
+  FoundationOptions options;
+
+  /// Encoder representation of a z-normalized window: last-timestep row.
+  std::vector<double> Represent(const std::vector<double>& window) const {
+    nn::Matrix seq(window.size(), 1);
+    for (size_t t = 0; t < window.size(); ++t) seq.at(t, 0) = window[t];
+    std::lock_guard<std::mutex> lock(mu);
+    nn::Matrix repr = encoder->Encode(seq);
+    return repr.Row(repr.rows() - 1);
+  }
+};
+
+namespace {
+
+/// z-normalizes a window; returns (normalized, mean, std).
+std::vector<double> Normalize(const std::vector<double>& w, double* mean,
+                              double* stddev) {
+  *mean = Mean(w);
+  *stddev = std::max(StdDev(w), 1e-9);
+  std::vector<double> out(w.size());
+  for (size_t i = 0; i < w.size(); ++i) out[i] = (w[i] - *mean) / *stddev;
+  return out;
+}
+
+}  // namespace
+
+FoundationForecaster::FoundationForecaster(std::shared_ptr<const Model> model)
+    : model_(std::move(model)) {}
+
+easytime::Status FoundationForecaster::Fit(const std::vector<double>& train,
+                                           const methods::FitContext&) {
+  if (model_ == nullptr) {
+    return Status::Internal("foundation model not pretrained");
+  }
+  if (train.size() < 4) {
+    return Status::InvalidArgument(
+        "foundation forecaster needs at least 4 history points");
+  }
+  history_ = train;  // zero-shot: conditioning only, no training
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> FoundationForecaster::PredictWindow(
+    const std::vector<double>& window) const {
+  double mean = 0.0, stddev = 1.0;
+  std::vector<double> z = Normalize(window, &mean, &stddev);
+  std::vector<double> repr = model_->Represent(z);
+  std::vector<double> out(model_->head.size());
+  for (size_t h = 0; h < out.size(); ++h) {
+    const auto& coefs = model_->head[h];
+    double v = coefs[0];
+    for (size_t j = 0; j < repr.size(); ++j) v += coefs[j + 1] * repr[j];
+    out[h] = v * stddev + mean;  // undo the window normalization
+  }
+  return out;
+}
+
+easytime::Result<std::vector<double>> FoundationForecaster::Forecast(
+    size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return methods::RecursiveMultiStep(
+      history_, model_->options.lookback, model_->options.horizon, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+easytime::Result<std::vector<double>> FoundationForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (model_ == nullptr) {
+    return Status::Internal("foundation model not pretrained");
+  }
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return methods::RecursiveMultiStep(
+      history, model_->options.lookback, model_->options.horizon, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+easytime::Result<std::shared_ptr<const FoundationForecaster::Model>>
+PretrainFoundation(const std::vector<std::vector<double>>& corpus,
+                   const FoundationOptions& options,
+                   const Ts2VecOptions& encoder_options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("pretraining corpus must be non-empty");
+  }
+  if (options.lookback < 2 || options.horizon < 1) {
+    return Status::InvalidArgument("invalid lookback/horizon");
+  }
+
+  auto model = std::make_shared<FoundationForecaster::Model>();
+  model->options = options;
+  model->encoder = std::make_unique<Ts2VecEncoder>(encoder_options);
+  EASYTIME_RETURN_IF_ERROR(
+      PretrainTs2Vec(model->encoder.get(), corpus).status());
+
+  // Cross-corpus supervised head: encoder(last step of window) -> next
+  // `horizon` values, all in per-window z-normalized space.
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> targets;
+  for (const auto& series : corpus) {
+    auto wd = methods::MakeWindows(series, options.lookback, options.horizon);
+    if (!wd.ok()) continue;  // series too short — skip
+    std::vector<size_t> idx(wd->inputs.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    if (idx.size() > options.max_windows_per_series) {
+      rng.Shuffle(&idx);
+      idx.resize(options.max_windows_per_series);
+    }
+    for (size_t i : idx) {
+      double mean = 0.0, stddev = 1.0;
+      std::vector<double> z = Normalize(wd->inputs[i], &mean, &stddev);
+      features.push_back(model->Represent(z));
+      std::vector<double> y(options.horizon);
+      for (size_t h = 0; h < options.horizon; ++h) {
+        y[h] = (wd->targets[i][h] - mean) / stddev;
+      }
+      targets.push_back(std::move(y));
+    }
+  }
+  if (features.size() < 8) {
+    return Status::InvalidArgument(
+        "corpus too small for foundation pretraining: only " +
+        std::to_string(features.size()) + " windows");
+  }
+
+  size_t rows = features.size();
+  size_t dim = features[0].size();
+  size_t cols = dim + 1;
+  std::vector<double> x(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    x[r * cols] = 1.0;
+    std::copy(features[r].begin(), features[r].end(),
+              x.begin() + static_cast<long>(r * cols + 1));
+  }
+  model->head.resize(options.horizon);
+  std::vector<double> y(rows);
+  for (size_t h = 0; h < options.horizon; ++h) {
+    for (size_t r = 0; r < rows; ++r) y[r] = targets[r][h];
+    EASYTIME_ASSIGN_OR_RETURN(model->head[h],
+                              LeastSquares(x, y, rows, cols, options.l2));
+  }
+  return std::shared_ptr<const FoundationForecaster::Model>(std::move(model));
+}
+
+namespace {
+
+struct FoundationSlot {
+  std::mutex mu;
+  std::shared_ptr<const FoundationForecaster::Model> model;
+  bool factory_registered = false;
+};
+
+FoundationSlot& Slot() {
+  static FoundationSlot* slot = new FoundationSlot();
+  return *slot;
+}
+
+}  // namespace
+
+easytime::Status RegisterFoundationMethod(
+    std::shared_ptr<const FoundationForecaster::Model> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("foundation model must not be null");
+  }
+  auto& slot = Slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.model = std::move(model);
+  if (!slot.factory_registered) {
+    methods::MethodInfo info;
+    info.name = "ts2vec_foundation";
+    info.family = methods::Family::kDeepLearning;
+    info.description =
+        "zero-shot foundation model: pretrained TS2Vec encoder + "
+        "cross-corpus ridge head";
+    EASYTIME_RETURN_IF_ERROR(methods::MethodRegistry::Global().Register(
+        std::move(info),
+        [](const Json&) -> Result<methods::ForecasterPtr> {
+          auto& s = Slot();
+          std::lock_guard<std::mutex> l(s.mu);
+          if (s.model == nullptr) {
+            return Status::Internal("foundation model was unregistered");
+          }
+          return methods::ForecasterPtr(new FoundationForecaster(s.model));
+        }));
+    slot.factory_registered = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace easytime::ensemble

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file foundation.h
+/// \brief Foundation-model support for the method layer. The paper's method
+/// layer "facilitates the inclusion of statistical learning, machine
+/// learning, deep learning, and foundation time series forecasting
+/// methods"; this module provides the simplest genuine instance of the
+/// class: a model pretrained once on the whole benchmark corpus and applied
+/// zero-shot (no per-series training) to new series.
+///
+/// Architecture: the shared TS2Vec encoder maps the (z-normalized) lookback
+/// window to its last-timestep representation; a ridge head trained across
+/// every window of every corpus series maps representations to the next
+/// `horizon` values. Fit() on a new series does NOT retrain anything — it
+/// only records the history to condition on, which is what makes the method
+/// a foundation model rather than a local one.
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ensemble/ts2vec.h"
+#include "methods/forecaster.h"
+
+namespace easytime::ensemble {
+
+/// Pretraining configuration for the foundation forecaster.
+struct FoundationOptions {
+  size_t lookback = 48;    ///< context window fed to the encoder
+  size_t horizon = 24;     ///< pretrained direct-forecast length
+  double l2 = 1.0;         ///< ridge penalty of the head
+  size_t max_windows_per_series = 32;  ///< training-window subsample cap
+  uint64_t seed = 2024;
+};
+
+/// \brief A zero-shot forecaster around a shared pretrained encoder.
+/// Instances are cheap handles onto immutable shared state, so one
+/// pretrained model serves many concurrent evaluations.
+class FoundationForecaster : public methods::Forecaster {
+ public:
+  /// Shared immutable pretrained state (encoder + head).
+  struct Model;
+
+  explicit FoundationForecaster(std::shared_ptr<const Model> model);
+
+  /// Records the conditioning history; no training happens here.
+  easytime::Status Fit(const std::vector<double>& train,
+                       const methods::FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "ts2vec_foundation"; }
+  methods::Family family() const override {
+    return methods::Family::kDeepLearning;
+  }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  std::shared_ptr<const Model> model_;
+  std::vector<double> history_;
+  bool fitted_ = false;
+};
+
+/// \brief Pretrains the foundation model on a corpus of raw series: trains
+/// the TS2Vec encoder contrastively, then fits the ridge head on encoder
+/// representations across every series.
+/// \returns the shared model handle to construct forecasters from
+easytime::Result<std::shared_ptr<const FoundationForecaster::Model>>
+PretrainFoundation(const std::vector<std::vector<double>>& corpus,
+                   const FoundationOptions& options = {},
+                   const Ts2VecOptions& encoder_options = {});
+
+/// \brief Registers the pretrained model as method "ts2vec_foundation" in
+/// the global method registry, making it available to one-click evaluation,
+/// the pipeline, and the Q&A knowledge base like any other method.
+/// Idempotent: re-registering swaps the backing model.
+easytime::Status RegisterFoundationMethod(
+    std::shared_ptr<const FoundationForecaster::Model> model);
+
+}  // namespace easytime::ensemble

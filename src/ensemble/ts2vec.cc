@@ -1,0 +1,134 @@
+#include "ensemble/ts2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "nn/optimizer.h"
+
+namespace easytime::ensemble {
+
+Ts2VecEncoder::Ts2VecEncoder(const Ts2VecOptions& options)
+    : options_(options) {
+  Rng rng(options.seed);
+  net_.Add(std::make_unique<nn::Linear>(1, options.hidden_dim, &rng));
+  size_t dilation = 1;
+  for (size_t i = 0; i < options.depth; ++i) {
+    net_.Add(std::make_unique<nn::ResidualConvBlock>(
+        options.hidden_dim, options.hidden_dim, 3, dilation, &rng));
+    dilation *= 2;
+  }
+  net_.Add(std::make_unique<nn::CausalConv1d>(options.hidden_dim,
+                                              options.repr_dim, 1, 1, &rng));
+}
+
+nn::Matrix Ts2VecEncoder::Encode(const nn::Matrix& seq) {
+  return net_.Forward(seq);
+}
+
+void Ts2VecEncoder::Backprop(const nn::Matrix& seq, const nn::Matrix& grad) {
+  net_.Forward(seq);  // rebuild layer caches for this sequence
+  net_.Backward(grad);
+}
+
+std::vector<double> Ts2VecEncoder::Represent(
+    const std::vector<double>& values) {
+  // z-normalize for scale invariance.
+  double m = Mean(values);
+  double sd = std::max(StdDev(values), 1e-9);
+  size_t T = std::max<size_t>(values.size(), 1);
+  nn::Matrix seq(T, 1);
+  for (size_t t = 0; t < values.size(); ++t) {
+    seq.at(t, 0) = (values[t] - m) / sd;
+  }
+  nn::Matrix repr = Encode(seq);
+  // Max-pool over time (TS2Vec's instance-level representation).
+  std::vector<double> out(repr.cols(), -1e300);
+  for (size_t t = 0; t < repr.rows(); ++t) {
+    for (size_t d = 0; d < repr.cols(); ++d) {
+      out[d] = std::max(out[d], repr.at(t, d));
+    }
+  }
+  return out;
+}
+
+easytime::Result<Ts2VecTrainStats> PretrainTs2Vec(
+    Ts2VecEncoder* encoder, const std::vector<std::vector<double>>& corpus) {
+  if (encoder == nullptr) {
+    return Status::InvalidArgument("encoder must not be null");
+  }
+  if (corpus.empty()) {
+    return Status::InvalidArgument("pretraining corpus must be non-empty");
+  }
+  const Ts2VecOptions& opt = encoder->options();
+  Rng rng(opt.seed ^ 0x9e3779b9ULL);
+
+  // z-normalized copies of the corpus.
+  std::vector<std::vector<double>> normed;
+  normed.reserve(corpus.size());
+  for (const auto& s : corpus) {
+    if (s.size() < 8) continue;
+    double m = Mean(s), sd = std::max(StdDev(s), 1e-9);
+    std::vector<double> z(s.size());
+    for (size_t i = 0; i < s.size(); ++i) z[i] = (s[i] - m) / sd;
+    normed.push_back(std::move(z));
+  }
+  if (normed.empty()) {
+    return Status::InvalidArgument("no series long enough for pretraining");
+  }
+
+  nn::Adam optimizer(encoder->Params(), opt.learning_rate);
+  nn::ContrastiveOptions copt;
+  copt.alpha = opt.alpha;
+
+  Ts2VecTrainStats stats;
+  size_t steps_per_epoch =
+      std::max<size_t>(1, normed.size() / std::max<size_t>(1, opt.batch_size));
+
+  for (size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (size_t step = 0; step < steps_per_epoch; ++step) {
+      size_t B = std::min(opt.batch_size, normed.size());
+      std::vector<size_t> batch = rng.SampleIndices(normed.size(), B);
+
+      // Build two masked views of a random crop per series.
+      std::vector<nn::Matrix> seq1(B), seq2(B), rep1(B), rep2(B);
+      for (size_t i = 0; i < B; ++i) {
+        const auto& s = normed[batch[i]];
+        size_t crop = std::min(opt.crop_length, s.size());
+        size_t start = s.size() > crop
+                           ? static_cast<size_t>(rng.UniformInt(
+                                 0, static_cast<int64_t>(s.size() - crop)))
+                           : 0;
+        nn::Matrix a(crop, 1), b(crop, 1);
+        for (size_t t = 0; t < crop; ++t) {
+          double v = s[start + t];
+          a.at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
+          b.at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
+        }
+        seq1[i] = std::move(a);
+        seq2[i] = std::move(b);
+        rep1[i] = encoder->Encode(seq1[i]);
+        rep2[i] = encoder->Encode(seq2[i]);
+      }
+
+      std::vector<nn::Matrix> g1, g2;
+      double loss =
+          nn::HierarchicalContrastiveLoss(rep1, rep2, &g1, &g2, copt);
+      epoch_loss += loss;
+
+      for (size_t i = 0; i < B; ++i) {
+        encoder->Backprop(seq1[i], g1[i]);
+        encoder->Backprop(seq2[i], g2[i]);
+      }
+      optimizer.ClipGradNorm(5.0);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    stats.epoch_losses.push_back(epoch_loss /
+                                 static_cast<double>(steps_per_epoch));
+  }
+  return stats;
+}
+
+}  // namespace easytime::ensemble

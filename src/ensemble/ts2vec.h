@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file ts2vec.h
+/// \brief TS2Vec-style universal time-series representation learning (Yue et
+/// al., AAAI'22), scaled to CPU: an input projection plus a stack of
+/// residual dilated causal convolutions, pretrained with the hierarchical
+/// contrastive loss on two randomly-masked views of random crops. The paper
+/// uses this encoder in the Automated Ensemble's offline phase to map
+/// series to features the method classifier consumes.
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/contrastive.h"
+#include "nn/layers.h"
+
+namespace easytime::ensemble {
+
+/// Encoder and pretraining hyperparameters.
+struct Ts2VecOptions {
+  size_t repr_dim = 16;       ///< output representation channels
+  size_t hidden_dim = 24;     ///< conv channels
+  size_t depth = 3;           ///< residual dilated blocks (dilation 2^i)
+  size_t crop_length = 64;    ///< training crop length
+  size_t batch_size = 8;
+  size_t epochs = 12;
+  double learning_rate = 1e-3;
+  double mask_prob = 0.15;    ///< per-timestep input masking probability
+  double alpha = 0.5;         ///< instance-vs-temporal loss weight
+  uint64_t seed = 1234;
+};
+
+/// \brief The TS2Vec encoder: (T x 1) -> (T x repr_dim).
+class Ts2VecEncoder {
+ public:
+  explicit Ts2VecEncoder(const Ts2VecOptions& options);
+
+  /// Forward pass over a full (z-normalized) sequence.
+  nn::Matrix Encode(const nn::Matrix& seq);
+
+  /// Re-runs the forward pass for \p seq and backpropagates \p grad,
+  /// accumulating parameter gradients.
+  void Backprop(const nn::Matrix& seq, const nn::Matrix& grad);
+
+  /// \brief Instance-level representation of a raw value sequence:
+  /// z-normalizes, encodes, and max-pools over time. This is the feature
+  /// vector handed to the method classifier.
+  std::vector<double> Represent(const std::vector<double>& values);
+
+  std::vector<nn::Param*> Params() { return net_.Params(); }
+  size_t repr_dim() const { return options_.repr_dim; }
+  const Ts2VecOptions& options() const { return options_; }
+
+ private:
+  Ts2VecOptions options_;
+  nn::Sequential net_;
+};
+
+/// Pretraining statistics per epoch.
+struct Ts2VecTrainStats {
+  std::vector<double> epoch_losses;
+};
+
+/// \brief Pretrains the encoder on a corpus of series (the offline phase of
+/// Fig. 2). Each step samples a batch, crops a window per series, builds two
+/// randomly-masked views, and minimizes the hierarchical contrastive loss.
+easytime::Result<Ts2VecTrainStats> PretrainTs2Vec(
+    Ts2VecEncoder* encoder, const std::vector<std::vector<double>>& corpus);
+
+}  // namespace easytime::ensemble

@@ -1,0 +1,277 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "methods/registry.h"
+#include "tsdata/characteristics.h"
+#include "tsdata/scaler.h"
+
+namespace easytime::eval {
+
+easytime::Result<Strategy> ParseStrategy(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "fixed" || lower == "fixed_window") return Strategy::kFixed;
+  if (lower == "rolling") return Strategy::kRolling;
+  return Status::NotFound("unknown strategy: " + name);
+}
+
+const char* StrategyName(Strategy s) {
+  return s == Strategy::kFixed ? "fixed" : "rolling";
+}
+
+easytime::Result<EvalConfig> EvalConfig::FromJson(const easytime::Json& j) {
+  EvalConfig c;
+  if (!j.is_object()) {
+    return Status::InvalidArgument("evaluation config must be a JSON object");
+  }
+  EASYTIME_ASSIGN_OR_RETURN(c.strategy,
+                            ParseStrategy(j.GetString("strategy", "fixed")));
+  int64_t horizon = j.GetInt("horizon", 24);
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be positive");
+  c.horizon = static_cast<size_t>(horizon);
+  c.stride = static_cast<size_t>(j.GetInt("stride", 0));
+  c.scaler = j.GetString("scaler", "zscore");
+  c.drop_last = j.GetBool("drop_last", true);
+  c.seed = static_cast<uint64_t>(j.GetInt("seed", 42));
+  if (j.Has("split")) {
+    const auto& s = j.Get("split");
+    c.split.train = s.GetDouble("train", c.split.train);
+    c.split.val = s.GetDouble("val", c.split.val);
+    c.split.test = s.GetDouble("test", c.split.test);
+  }
+  if (j.Has("metrics")) {
+    const auto& m = j.Get("metrics");
+    if (!m.is_array()) {
+      return Status::InvalidArgument("metrics must be an array of names");
+    }
+    c.metrics.clear();
+    for (const auto& item : m.items()) {
+      if (!item.is_string()) {
+        return Status::InvalidArgument("metric names must be strings");
+      }
+      if (!MetricRegistry::Global().Contains(item.AsString())) {
+        return Status::NotFound("unknown metric: " + item.AsString());
+      }
+      c.metrics.push_back(item.AsString());
+    }
+    if (c.metrics.empty()) {
+      return Status::InvalidArgument("metrics list must be non-empty");
+    }
+  }
+  return c;
+}
+
+easytime::Json EvalConfig::ToJson() const {
+  easytime::Json j = easytime::Json::Object();
+  j.Set("strategy", StrategyName(strategy));
+  j.Set("horizon", static_cast<int64_t>(horizon));
+  j.Set("stride", static_cast<int64_t>(stride));
+  easytime::Json s = easytime::Json::Object();
+  s.Set("train", split.train);
+  s.Set("val", split.val);
+  s.Set("test", split.test);
+  j.Set("split", std::move(s));
+  j.Set("scaler", scaler);
+  easytime::Json m = easytime::Json::Array();
+  for (const auto& name : metrics) m.Append(name);
+  j.Set("metrics", std::move(m));
+  j.Set("drop_last", drop_last);
+  j.Set("seed", static_cast<int64_t>(seed));
+  return j;
+}
+
+namespace {
+
+/// Computes metrics in the original scale and merges them into the result as
+/// a running mean over windows.
+easytime::Status AccumulateMetrics(const EvalConfig& config,
+                                   const MetricContext& ctx,
+                                   const std::vector<double>& actual,
+                                   const std::vector<double>& predicted,
+                                   EvalResult* result) {
+  EASYTIME_ASSIGN_OR_RETURN(auto values,
+                            MetricRegistry::Global().ComputeAll(
+                                config.metrics, actual, predicted, ctx));
+  double n = static_cast<double>(result->num_windows);
+  for (const auto& [name, v] : values) {
+    double& slot = result->metrics[name];
+    slot = (slot * n + v) / (n + 1.0);
+  }
+  ++result->num_windows;
+  result->last_actual = actual;
+  result->last_forecast = predicted;
+  return Status::OK();
+}
+
+}  // namespace
+
+easytime::Result<EvalResult> Evaluator::EvaluateValues(
+    methods::Forecaster* forecaster, const std::vector<double>& values,
+    size_t period_hint) const {
+  if (forecaster == nullptr) {
+    return Status::InvalidArgument("forecaster must not be null");
+  }
+  if (period_hint == 0) {
+    period_hint = tsdata::DetectPeriod(values);
+  }
+  switch (config_.strategy) {
+    case Strategy::kFixed:
+      return RunFixed(forecaster, values, period_hint);
+    case Strategy::kRolling:
+      return RunRolling(forecaster, values, period_hint);
+  }
+  return Status::Internal("unreachable");
+}
+
+easytime::Result<EvalResult> Evaluator::RunFixed(
+    methods::Forecaster* forecaster, const std::vector<double>& values,
+    size_t period_hint) const {
+  EASYTIME_ASSIGN_OR_RETURN(tsdata::SplitBounds bounds,
+                            tsdata::ComputeSplit(values.size(), config_.split));
+  // Fixed-window protocol: train on train+val, forecast into the test
+  // segment once.
+  size_t train_end = bounds.val_end;
+  size_t test_len = values.size() - train_end;
+  size_t h = std::min(config_.horizon, test_len);
+  if (h == 0) {
+    return Status::InvalidArgument(
+        "test segment is empty; adjust split fractions");
+  }
+
+  std::vector<double> train(values.begin(),
+                            values.begin() + static_cast<long>(train_end));
+  std::vector<double> actual(values.begin() + static_cast<long>(train_end),
+                             values.begin() + static_cast<long>(train_end + h));
+
+  EASYTIME_ASSIGN_OR_RETURN(auto scaler, tsdata::MakeScaler(config_.scaler));
+  EASYTIME_RETURN_IF_ERROR(scaler->Fit(train));
+  std::vector<double> train_scaled = scaler->Transform(train);
+
+  methods::FitContext ctx;
+  ctx.period_hint = period_hint;
+  ctx.horizon = h;
+  ctx.seed = config_.seed;
+
+  EvalResult result;
+  Stopwatch fit_watch;
+  EASYTIME_RETURN_IF_ERROR(forecaster->Fit(train_scaled, ctx));
+  result.fit_seconds = fit_watch.ElapsedSeconds();
+
+  Stopwatch fc_watch;
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> forecast_scaled,
+                            forecaster->Forecast(h));
+  result.forecast_seconds = fc_watch.ElapsedSeconds();
+  if (forecast_scaled.size() != h) {
+    return Status::Internal(
+        "forecaster returned " + std::to_string(forecast_scaled.size()) +
+        " values, expected " + std::to_string(h));
+  }
+  std::vector<double> forecast = scaler->Inverse(forecast_scaled);
+
+  MetricContext mctx;
+  mctx.train = train;
+  mctx.period = period_hint;
+  EASYTIME_RETURN_IF_ERROR(
+      AccumulateMetrics(config_, mctx, actual, forecast, &result));
+  return result;
+}
+
+easytime::Result<EvalResult> Evaluator::RunRolling(
+    methods::Forecaster* forecaster, const std::vector<double>& values,
+    size_t period_hint) const {
+  EASYTIME_ASSIGN_OR_RETURN(tsdata::SplitBounds bounds,
+                            tsdata::ComputeSplit(values.size(), config_.split));
+  size_t train_end = bounds.val_end;
+  size_t h = config_.horizon;
+  size_t stride = config_.stride == 0 ? h : config_.stride;
+  if (train_end + h > values.size()) {
+    return Status::InvalidArgument(
+        "test segment shorter than one forecast horizon");
+  }
+
+  std::vector<double> train(values.begin(),
+                            values.begin() + static_cast<long>(train_end));
+  EASYTIME_ASSIGN_OR_RETURN(auto scaler, tsdata::MakeScaler(config_.scaler));
+  EASYTIME_RETURN_IF_ERROR(scaler->Fit(train));
+  std::vector<double> all_scaled = scaler->Transform(values);
+  std::vector<double> train_scaled(
+      all_scaled.begin(), all_scaled.begin() + static_cast<long>(train_end));
+
+  methods::FitContext ctx;
+  ctx.period_hint = period_hint;
+  ctx.horizon = h;
+  ctx.seed = config_.seed;
+
+  EvalResult result;
+  Stopwatch fit_watch;
+  EASYTIME_RETURN_IF_ERROR(forecaster->Fit(train_scaled, ctx));
+  result.fit_seconds = fit_watch.ElapsedSeconds();
+
+  MetricContext mctx;
+  mctx.train = train;
+  mctx.period = period_hint;
+
+  Stopwatch fc_watch;
+  for (size_t start = train_end; start < values.size(); start += stride) {
+    size_t remaining = values.size() - start;
+    size_t win = std::min(h, remaining);
+    if (win < h && config_.drop_last) break;
+    if (win == 0) break;
+
+    std::vector<double> history_scaled(
+        all_scaled.begin(), all_scaled.begin() + static_cast<long>(start));
+    EASYTIME_ASSIGN_OR_RETURN(
+        std::vector<double> fc_scaled,
+        forecaster->ForecastFrom(history_scaled, win));
+    if (fc_scaled.size() != win) {
+      return Status::Internal("forecaster returned wrong horizon length");
+    }
+    std::vector<double> forecast = scaler->Inverse(fc_scaled);
+    std::vector<double> actual(
+        values.begin() + static_cast<long>(start),
+        values.begin() + static_cast<long>(start + win));
+    EASYTIME_RETURN_IF_ERROR(
+        AccumulateMetrics(config_, mctx, actual, forecast, &result));
+  }
+  result.forecast_seconds = fc_watch.ElapsedSeconds();
+  if (result.num_windows == 0) {
+    return Status::InvalidArgument("no complete rolling windows to evaluate");
+  }
+  return result;
+}
+
+easytime::Result<EvalResult> Evaluator::EvaluateDataset(
+    const std::string& method_name, const easytime::Json& method_config,
+    const tsdata::Dataset& dataset) const {
+  if (dataset.num_channels() == 0) {
+    return Status::InvalidArgument("dataset has no channels");
+  }
+  EvalResult merged;
+  for (size_t c = 0; c < dataset.num_channels(); ++c) {
+    EASYTIME_ASSIGN_OR_RETURN(
+        methods::ForecasterPtr model,
+        methods::MethodRegistry::Global().Create(method_name, method_config));
+    const tsdata::Series& chan = dataset.channel(c);
+    auto res = EvaluateValues(model.get(), chan.values(), chan.period_hint());
+    if (!res.ok()) {
+      return res.status().WithContext("dataset '" + dataset.name() +
+                                      "' channel '" + chan.name() + "'");
+    }
+    const EvalResult& r = *res;
+    double n = static_cast<double>(c);
+    for (const auto& [name, v] : r.metrics) {
+      double& slot = merged.metrics[name];
+      slot = (slot * n + v) / (n + 1.0);
+    }
+    merged.num_windows += r.num_windows;
+    merged.fit_seconds += r.fit_seconds;
+    merged.forecast_seconds += r.forecast_seconds;
+    merged.last_actual = r.last_actual;
+    merged.last_forecast = r.last_forecast;
+  }
+  return merged;
+}
+
+}  // namespace easytime::eval

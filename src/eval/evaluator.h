@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file evaluator.h
+/// \brief The evaluation layer: fixed-window and rolling forecasting
+/// strategies applied under a consistent protocol — fixed chronological
+/// splits, scaler fitted on train only, explicit "drop last" handling, and
+/// metrics computed in the original scale. The consistency knobs are exactly
+/// the ones the paper lists as sources of unfair comparisons (Challenge 1).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "methods/forecaster.h"
+#include "tsdata/series.h"
+#include "tsdata/split.h"
+
+namespace easytime::eval {
+
+/// Evaluation strategy.
+enum class Strategy { kFixed, kRolling };
+
+/// Parses "fixed" | "rolling".
+easytime::Result<Strategy> ParseStrategy(const std::string& name);
+const char* StrategyName(Strategy s);
+
+/// \brief Full evaluation protocol description — the programmatic form of
+/// the "configuration file" users edit for one-click evaluation.
+struct EvalConfig {
+  Strategy strategy = Strategy::kFixed;
+  size_t horizon = 24;
+  size_t stride = 0;  ///< rolling stride; 0 = horizon (non-overlapping)
+  tsdata::SplitSpec split;
+  std::string scaler = "zscore";
+  std::vector<std::string> metrics = {"mae", "mse", "rmse", "smape"};
+  bool drop_last = true;  ///< drop the final incomplete rolling window
+  uint64_t seed = 42;
+
+  /// Parses from the JSON configuration-file schema (see pipeline/).
+  static easytime::Result<EvalConfig> FromJson(const easytime::Json& j);
+  easytime::Json ToJson() const;
+};
+
+/// \brief Outcome of evaluating one forecaster on one series/dataset.
+struct EvalResult {
+  std::map<std::string, double> metrics;  ///< averaged over windows/channels
+  size_t num_windows = 0;
+  double fit_seconds = 0.0;
+  double forecast_seconds = 0.0;
+  /// Last evaluated window, for visualization: actual and predicted values.
+  std::vector<double> last_actual;
+  std::vector<double> last_forecast;
+};
+
+/// \brief Runs evaluation protocols over series and datasets.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalConfig config) : config_(std::move(config)) {}
+
+  const EvalConfig& config() const { return config_; }
+
+  /// \brief Evaluates \p forecaster on a univariate value sequence.
+  /// The forecaster is fitted on the train(+val) segment in scaled space;
+  /// metrics are computed in the original scale.
+  easytime::Result<EvalResult> EvaluateValues(methods::Forecaster* forecaster,
+                                              const std::vector<double>& values,
+                                              size_t period_hint = 0) const;
+
+  /// \brief Evaluates a registered method (by name/config) on a dataset.
+  /// Channels are evaluated independently with fresh instances; metrics are
+  /// channel-averaged.
+  easytime::Result<EvalResult> EvaluateDataset(
+      const std::string& method_name, const easytime::Json& method_config,
+      const tsdata::Dataset& dataset) const;
+
+ private:
+  easytime::Result<EvalResult> RunFixed(methods::Forecaster* forecaster,
+                                        const std::vector<double>& values,
+                                        size_t period_hint) const;
+  easytime::Result<EvalResult> RunRolling(methods::Forecaster* forecaster,
+                                          const std::vector<double>& values,
+                                          size_t period_hint) const;
+
+  EvalConfig config_;
+};
+
+}  // namespace easytime::eval

@@ -1,0 +1,200 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace easytime::eval {
+
+namespace {
+
+bool SameSize(const std::vector<double>& a, const std::vector<double>& p) {
+  return !a.empty() && a.size() == p.size();
+}
+
+}  // namespace
+
+double Mae(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - p[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double Mse(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - p[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double Rmse(const std::vector<double>& a, const std::vector<double>& p) {
+  return std::sqrt(Mse(a, p));
+}
+
+double Mape(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i]) < 1e-9) continue;
+    acc += std::fabs((a[i] - p[i]) / a[i]);
+    ++n;
+  }
+  return n == 0 ? std::nan("") : 100.0 * acc / static_cast<double>(n);
+}
+
+double Smape(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double denom = (std::fabs(a[i]) + std::fabs(p[i])) / 2.0;
+    if (denom < 1e-9) continue;
+    acc += std::fabs(a[i] - p[i]) / denom;
+  }
+  return 100.0 * acc / static_cast<double>(a.size());
+}
+
+double Wape(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += std::fabs(a[i] - p[i]);
+    den += std::fabs(a[i]);
+  }
+  return den < 1e-12 ? std::nan("") : 100.0 * num / den;
+}
+
+double Mase(const std::vector<double>& a, const std::vector<double>& p,
+            const MetricContext& ctx) {
+  if (!SameSize(a, p)) return std::nan("");
+  size_t m = std::max<size_t>(1, ctx.period);
+  if (ctx.train.size() <= m) return std::nan("");
+  double scale = 0.0;
+  size_t cnt = 0;
+  for (size_t i = m; i < ctx.train.size(); ++i) {
+    scale += std::fabs(ctx.train[i] - ctx.train[i - m]);
+    ++cnt;
+  }
+  scale /= static_cast<double>(cnt);
+  if (scale < 1e-12) scale = 1e-12;
+  return Mae(a, p) / scale;
+}
+
+double R2(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double mean = Mean(a);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ss_res += (a[i] - p[i]) * (a[i] - p[i]);
+    ss_tot += (a[i] - mean) * (a[i] - mean);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double MaxError(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  double mx = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(a[i] - p[i]));
+  }
+  return mx;
+}
+
+double MedianAe(const std::vector<double>& a, const std::vector<double>& p) {
+  if (!SameSize(a, p)) return std::nan("");
+  std::vector<double> err(a.size());
+  for (size_t i = 0; i < a.size(); ++i) err[i] = std::fabs(a[i] - p[i]);
+  return Median(std::move(err));
+}
+
+MetricRegistry::MetricRegistry() {
+  auto simple = [this](const std::string& name,
+                       double (*fn)(const std::vector<double>&,
+                                    const std::vector<double>&),
+                       bool higher = false) {
+    (void)Register(
+        name,
+        [fn](const std::vector<double>& a, const std::vector<double>& p,
+             const MetricContext&) { return fn(a, p); },
+        higher);
+  };
+  simple("mae", &Mae);
+  simple("mse", &Mse);
+  simple("rmse", &Rmse);
+  simple("mape", &Mape);
+  simple("smape", &Smape);
+  simple("wape", &Wape);
+  (void)Register("mase",
+                 [](const std::vector<double>& a, const std::vector<double>& p,
+                    const MetricContext& ctx) { return Mase(a, p, ctx); });
+  simple("r2", &R2, /*higher=*/true);
+  simple("max_error", &MaxError);
+  simple("median_ae", &MedianAe);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+easytime::Status MetricRegistry::Register(const std::string& name, MetricFn fn,
+                                          bool higher_is_better) {
+  if (name.empty()) {
+    return Status::InvalidArgument("metric name must be non-empty");
+  }
+  if (entries_.count(name)) {
+    return Status::AlreadyExists("metric already registered: " + name);
+  }
+  order_.push_back(name);
+  entries_.emplace(name, Entry{std::move(fn), higher_is_better});
+  return Status::OK();
+}
+
+easytime::Result<double> MetricRegistry::Compute(
+    const std::string& name, const std::vector<double>& actual,
+    const std::vector<double>& predicted, const MetricContext& ctx) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown metric: " + name);
+  }
+  if (actual.size() != predicted.size()) {
+    return Status::InvalidArgument(
+        "metric '" + name + "': length mismatch (" +
+        std::to_string(actual.size()) + " vs " +
+        std::to_string(predicted.size()) + ")");
+  }
+  if (actual.empty()) {
+    return Status::InvalidArgument("metric '" + name + "': empty input");
+  }
+  return it->second.fn(actual, predicted, ctx);
+}
+
+easytime::Result<std::map<std::string, double>> MetricRegistry::ComputeAll(
+    const std::vector<std::string>& names, const std::vector<double>& actual,
+    const std::vector<double>& predicted, const MetricContext& ctx) const {
+  std::map<std::string, double> out;
+  for (const auto& name : names) {
+    EASYTIME_ASSIGN_OR_RETURN(double v, Compute(name, actual, predicted, ctx));
+    out[name] = v;
+  }
+  return out;
+}
+
+bool MetricRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+bool MetricRegistry::HigherIsBetter(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.higher_is_better;
+}
+
+std::vector<std::string> MetricRegistry::Names() const { return order_; }
+
+}  // namespace easytime::eval

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Evaluation metrics. TFB's evaluation layer "includes
+/// well-recognized evaluation metrics and allows for the use of customized
+/// metrics"; this module provides the standard set plus a registry for
+/// user-defined ones.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::eval {
+
+/// \brief Extra information some metrics need (MASE scales by the in-sample
+/// seasonal-naive error of the training segment).
+struct MetricContext {
+  std::vector<double> train;  ///< training segment (original scale)
+  size_t period = 0;          ///< seasonal period for MASE (0 -> 1)
+};
+
+/// Metric signature: (actual, predicted, context) -> value. Lower is better
+/// for all built-in metrics except r2.
+using MetricFn = std::function<double(const std::vector<double>& actual,
+                                      const std::vector<double>& predicted,
+                                      const MetricContext& ctx)>;
+
+double Mae(const std::vector<double>& a, const std::vector<double>& p);
+double Mse(const std::vector<double>& a, const std::vector<double>& p);
+double Rmse(const std::vector<double>& a, const std::vector<double>& p);
+/// Mean absolute percentage error (%); skips zero actuals.
+double Mape(const std::vector<double>& a, const std::vector<double>& p);
+/// Symmetric MAPE (%), the M4 definition.
+double Smape(const std::vector<double>& a, const std::vector<double>& p);
+/// Weighted absolute percentage error (%).
+double Wape(const std::vector<double>& a, const std::vector<double>& p);
+/// Mean absolute scaled error against the seasonal-naive in-sample error.
+double Mase(const std::vector<double>& a, const std::vector<double>& p,
+            const MetricContext& ctx);
+/// Coefficient of determination (higher is better).
+double R2(const std::vector<double>& a, const std::vector<double>& p);
+/// Largest absolute error.
+double MaxError(const std::vector<double>& a, const std::vector<double>& p);
+/// Median absolute error.
+double MedianAe(const std::vector<double>& a, const std::vector<double>& p);
+
+/// \brief Named metric registry with the built-ins pre-registered: mae, mse,
+/// rmse, mape, smape, wape, mase, r2, max_error, median_ae.
+class MetricRegistry {
+ public:
+  /// Process-wide registry.
+  static MetricRegistry& Global();
+
+  /// Registers a custom metric; fails on duplicate names.
+  easytime::Status Register(const std::string& name, MetricFn fn,
+                            bool higher_is_better = false);
+
+  /// Computes one metric by name.
+  easytime::Result<double> Compute(const std::string& name,
+                                   const std::vector<double>& actual,
+                                   const std::vector<double>& predicted,
+                                   const MetricContext& ctx = {}) const;
+
+  /// Computes several metrics at once.
+  easytime::Result<std::map<std::string, double>> ComputeAll(
+      const std::vector<std::string>& names,
+      const std::vector<double>& actual,
+      const std::vector<double>& predicted,
+      const MetricContext& ctx = {}) const;
+
+  bool Contains(const std::string& name) const;
+  bool HigherIsBetter(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  MetricRegistry();
+
+  struct Entry {
+    MetricFn fn;
+    bool higher_is_better;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace easytime::eval

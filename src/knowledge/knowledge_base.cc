@@ -1,0 +1,214 @@
+#include "knowledge/knowledge_base.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "methods/registry.h"
+
+namespace easytime::knowledge {
+
+void KnowledgeBase::AddDataset(const tsdata::Dataset& ds) {
+  if (dataset_index_.count(ds.name())) return;
+  DatasetMeta meta;
+  meta.name = ds.name();
+  meta.domain = tsdata::DomainName(ds.domain());
+  meta.multivariate = ds.multivariate();
+  meta.num_channels = ds.num_channels();
+  meta.length = ds.length();
+  meta.characteristics = tsdata::ExtractCharacteristics(ds);
+  dataset_index_[meta.name] = datasets_.size();
+  datasets_.push_back(std::move(meta));
+}
+
+void KnowledgeBase::AddAllMethods() {
+  auto& registry = methods::MethodRegistry::Global();
+  for (const auto& name : registry.Names()) {
+    bool exists = std::any_of(methods_.begin(), methods_.end(),
+                              [&](const MethodMeta& m) { return m.name == name; });
+    if (exists) continue;
+    auto info = registry.Info(name);
+    if (!info.ok()) continue;
+    MethodMeta meta;
+    meta.name = info->name;
+    meta.family = methods::FamilyName(info->family);
+    meta.description = info->description;
+    methods_.push_back(std::move(meta));
+  }
+}
+
+void KnowledgeBase::AddReport(const pipeline::BenchmarkReport& report) {
+  for (const auto* rec : report.Successful()) {
+    ResultEntry entry;
+    entry.dataset = rec->dataset;
+    entry.method = rec->method;
+    entry.strategy = rec->strategy;
+    entry.horizon = rec->horizon;
+    entry.metrics = rec->metrics;
+    entry.fit_seconds = rec->fit_seconds;
+    entry.forecast_seconds = rec->forecast_seconds;
+    results_.push_back(std::move(entry));
+  }
+}
+
+easytime::Result<const DatasetMeta*> KnowledgeBase::GetDataset(
+    const std::string& name) const {
+  auto it = dataset_index_.find(name);
+  if (it == dataset_index_.end()) {
+    return Status::NotFound("no such dataset in knowledge base: " + name);
+  }
+  return &datasets_[it->second];
+}
+
+std::map<std::string, double> KnowledgeBase::MethodScores(
+    const std::string& dataset, const std::string& metric) const {
+  std::map<std::string, double> out;
+  for (const auto& r : results_) {
+    if (r.dataset != dataset) continue;
+    auto it = r.metrics.find(metric);
+    if (it != r.metrics.end()) out[r.method] = it->second;
+  }
+  return out;
+}
+
+easytime::Status KnowledgeBase::ExportToDatabase(sql::Database* db) const {
+  if (db == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  using sql::Column;
+  using sql::DataType;
+  using sql::Value;
+
+  EASYTIME_RETURN_IF_ERROR(db->CreateTable(
+      "datasets",
+      {Column{"name", DataType::kText}, Column{"domain", DataType::kText},
+       Column{"multivariate", DataType::kInteger},
+       Column{"num_channels", DataType::kInteger},
+       Column{"length", DataType::kInteger},
+       Column{"seasonality", DataType::kReal},
+       Column{"trend", DataType::kReal},
+       Column{"transition", DataType::kReal},
+       Column{"shifting", DataType::kReal},
+       Column{"stationarity", DataType::kReal},
+       Column{"correlation", DataType::kReal},
+       Column{"period", DataType::kInteger}}));
+  EASYTIME_ASSIGN_OR_RETURN(sql::Table * dt, db->GetTable("datasets"));
+  for (const auto& d : datasets_) {
+    EASYTIME_RETURN_IF_ERROR(dt->Insert(
+        {Value::Text(d.name), Value::Text(d.domain),
+         Value::Integer(d.multivariate ? 1 : 0),
+         Value::Integer(static_cast<int64_t>(d.num_channels)),
+         Value::Integer(static_cast<int64_t>(d.length)),
+         Value::Real(d.characteristics.seasonality),
+         Value::Real(d.characteristics.trend),
+         Value::Real(d.characteristics.transition),
+         Value::Real(d.characteristics.shifting),
+         Value::Real(d.characteristics.stationarity),
+         Value::Real(d.characteristics.correlation),
+         Value::Integer(static_cast<int64_t>(d.characteristics.period))}));
+  }
+
+  EASYTIME_RETURN_IF_ERROR(db->CreateTable(
+      "methods", {Column{"name", DataType::kText},
+                  Column{"family", DataType::kText},
+                  Column{"description", DataType::kText}}));
+  EASYTIME_ASSIGN_OR_RETURN(sql::Table * mt, db->GetTable("methods"));
+  for (const auto& m : methods_) {
+    EASYTIME_RETURN_IF_ERROR(mt->Insert({Value::Text(m.name),
+                                         Value::Text(m.family),
+                                         Value::Text(m.description)}));
+  }
+
+  EASYTIME_RETURN_IF_ERROR(db->CreateTable(
+      "results",
+      {Column{"dataset", DataType::kText}, Column{"method", DataType::kText},
+       Column{"strategy", DataType::kText},
+       Column{"horizon", DataType::kInteger},
+       Column{"metric", DataType::kText}, Column{"value", DataType::kReal},
+       Column{"fit_seconds", DataType::kReal},
+       Column{"forecast_seconds", DataType::kReal}}));
+  EASYTIME_ASSIGN_OR_RETURN(sql::Table * rt, db->GetTable("results"));
+  for (const auto& r : results_) {
+    for (const auto& [metric, value] : r.metrics) {
+      EASYTIME_RETURN_IF_ERROR(rt->Insert(
+          {Value::Text(r.dataset), Value::Text(r.method),
+           Value::Text(r.strategy),
+           Value::Integer(static_cast<int64_t>(r.horizon)),
+           Value::Text(metric), Value::Real(value),
+           Value::Real(r.fit_seconds), Value::Real(r.forecast_seconds)}));
+    }
+  }
+  return Status::OK();
+}
+
+easytime::Status KnowledgeBase::SaveResultsCsv(const std::string& path) const {
+  CsvDocument doc;
+  doc.header = {"dataset", "method",       "strategy",
+                "horizon", "metric",       "value",
+                "fit_seconds", "forecast_seconds"};
+  for (const auto& r : results_) {
+    for (const auto& [metric, value] : r.metrics) {
+      doc.rows.push_back({r.dataset, r.method, r.strategy,
+                          std::to_string(r.horizon), metric,
+                          FormatDouble(value, 8),
+                          FormatDouble(r.fit_seconds, 6),
+                          FormatDouble(r.forecast_seconds, 6)});
+    }
+  }
+  return WriteCsvFile(path, doc);
+}
+
+easytime::Status KnowledgeBase::LoadResultsCsv(const std::string& path) {
+  EASYTIME_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  int ds = doc.ColumnIndex("dataset"), me = doc.ColumnIndex("method");
+  int st = doc.ColumnIndex("strategy"), ho = doc.ColumnIndex("horizon");
+  int mt = doc.ColumnIndex("metric"), va = doc.ColumnIndex("value");
+  if (ds < 0 || me < 0 || st < 0 || ho < 0 || mt < 0 || va < 0) {
+    return Status::ParseError("results CSV missing required columns");
+  }
+  // Rows sharing (dataset, method, strategy, horizon) merge into one entry.
+  std::map<std::string, size_t> index;
+  for (const auto& row : doc.rows) {
+    std::string key = row[static_cast<size_t>(ds)] + "|" +
+                      row[static_cast<size_t>(me)] + "|" +
+                      row[static_cast<size_t>(st)] + "|" +
+                      row[static_cast<size_t>(ho)];
+    auto it = index.find(key);
+    if (it == index.end()) {
+      ResultEntry entry;
+      entry.dataset = row[static_cast<size_t>(ds)];
+      entry.method = row[static_cast<size_t>(me)];
+      entry.strategy = row[static_cast<size_t>(st)];
+      EASYTIME_ASSIGN_OR_RETURN(int64_t h,
+                                ParseInt(row[static_cast<size_t>(ho)]));
+      entry.horizon = static_cast<size_t>(h);
+      it = index.emplace(key, results_.size()).first;
+      results_.push_back(std::move(entry));
+    }
+    EASYTIME_ASSIGN_OR_RETURN(double v, ParseDouble(row[static_cast<size_t>(va)]));
+    results_[it->second].metrics[row[static_cast<size_t>(mt)]] = v;
+  }
+  return Status::OK();
+}
+
+easytime::Result<SeededKnowledge> SeedKnowledge(
+    const tsdata::SuiteSpec& suite, const eval::EvalConfig& eval_config,
+    const std::vector<std::string>& method_names) {
+  SeededKnowledge out;
+  EASYTIME_RETURN_IF_ERROR(out.repository.AddSuite(suite));
+
+  pipeline::BenchmarkConfig config;
+  config.eval = eval_config;
+  for (const auto& name : method_names) {
+    config.methods.push_back(pipeline::MethodSpec{name, Json::Object()});
+  }
+  pipeline::PipelineRunner runner(&out.repository, config);
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+
+  for (const auto* ds : out.repository.All()) out.kb.AddDataset(*ds);
+  out.kb.AddAllMethods();
+  out.kb.AddReport(report);
+  return out;
+}
+
+}  // namespace easytime::knowledge

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file knowledge_base.h
+/// \brief The benchmark knowledge: "the meta-information of both datasets
+/// and methods, and also the benchmarking experiment results" (paper
+/// §II-A). Built by running the pipeline over the dataset suite; consumed by
+/// the Automated Ensemble (method-performance supervision) and the Q&A
+/// module (as SQL tables).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pipeline/runner.h"
+#include "sql/table.h"
+#include "tsdata/characteristics.h"
+#include "tsdata/repository.h"
+
+namespace easytime::knowledge {
+
+/// Dataset metadata row.
+struct DatasetMeta {
+  std::string name;
+  std::string domain;
+  bool multivariate = false;
+  size_t num_channels = 1;
+  size_t length = 0;
+  tsdata::Characteristics characteristics;
+};
+
+/// Method metadata row.
+struct MethodMeta {
+  std::string name;
+  std::string family;
+  std::string description;
+};
+
+/// One benchmark result: (method, dataset, protocol) -> metric values.
+struct ResultEntry {
+  std::string dataset;
+  std::string method;
+  std::string strategy;
+  size_t horizon = 0;
+  std::map<std::string, double> metrics;
+  double fit_seconds = 0.0;
+  double forecast_seconds = 0.0;
+};
+
+/// \brief The accumulated benchmark knowledge base.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Registers dataset metadata (characteristics are computed here).
+  void AddDataset(const tsdata::Dataset& ds);
+
+  /// Registers metadata for every method in the global registry.
+  void AddAllMethods();
+
+  /// Ingests a pipeline report's successful records.
+  void AddReport(const pipeline::BenchmarkReport& report);
+
+  const std::vector<DatasetMeta>& datasets() const { return datasets_; }
+  const std::vector<MethodMeta>& methods() const { return methods_; }
+  const std::vector<ResultEntry>& results() const { return results_; }
+
+  /// Dataset metadata by name.
+  easytime::Result<const DatasetMeta*> GetDataset(
+      const std::string& name) const;
+
+  /// \brief Results for one dataset keyed by method — the supervision signal
+  /// the Automated Ensemble's classifier trains on.
+  std::map<std::string, double> MethodScores(const std::string& dataset,
+                                             const std::string& metric) const;
+
+  /// \brief Materializes the knowledge base as SQL tables:
+  ///   datasets(name, domain, multivariate, num_channels, length,
+  ///            seasonality, trend, transition, shifting, stationarity,
+  ///            correlation, period)
+  ///   methods(name, family, description)
+  ///   results(dataset, method, strategy, horizon, metric, value,
+  ///           fit_seconds, forecast_seconds)
+  /// Results are in long form (one row per metric) so "top-k by MAE" style
+  /// questions stay simple SQL.
+  easytime::Status ExportToDatabase(sql::Database* db) const;
+
+  /// Persists results to CSV / reloads them (reporting-layer round trip).
+  easytime::Status SaveResultsCsv(const std::string& path) const;
+  easytime::Status LoadResultsCsv(const std::string& path);
+
+ private:
+  std::vector<DatasetMeta> datasets_;
+  std::vector<MethodMeta> methods_;
+  std::vector<ResultEntry> results_;
+  std::map<std::string, size_t> dataset_index_;
+};
+
+/// \brief Convenience: generate a suite, run the full pipeline on it, and
+/// return the populated knowledge base plus the repository it was built
+/// from. \p quick uses a reduced method set for fast tests/demos.
+struct SeededKnowledge {
+  tsdata::Repository repository;
+  KnowledgeBase kb;
+};
+
+easytime::Result<SeededKnowledge> SeedKnowledge(
+    const tsdata::SuiteSpec& suite, const eval::EvalConfig& eval_config,
+    const std::vector<std::string>& method_names = {});
+
+}  // namespace easytime::knowledge

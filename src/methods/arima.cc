@@ -1,0 +1,217 @@
+#include "methods/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/optimize.h"
+
+namespace easytime::methods {
+
+namespace {
+
+/// OLS fit of an AR(p); returns (intercept, phi, sse) or error.
+struct ArFit {
+  double intercept = 0.0;
+  std::vector<double> phi;
+  double sse = 0.0;
+};
+
+Result<ArFit> FitArOls(const std::vector<double>& y, size_t p) {
+  size_t n = y.size();
+  if (n < p + 2) return Status::InvalidArgument("series too short for AR fit");
+  size_t rows = n - p;
+  size_t cols = p + 1;
+  std::vector<double> x(rows * cols);
+  std::vector<double> target(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    x[r * cols] = 1.0;
+    for (size_t j = 0; j < p; ++j) {
+      x[r * cols + 1 + j] = y[p + r - 1 - j];
+    }
+    target[r] = y[p + r];
+  }
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> beta,
+                            LeastSquares(x, target, rows, cols, 1e-8));
+  ArFit fit;
+  fit.intercept = beta[0];
+  fit.phi.assign(beta.begin() + 1, beta.end());
+  for (size_t r = 0; r < rows; ++r) {
+    double pred = 0.0;
+    for (size_t c = 0; c < cols; ++c) pred += x[r * cols + c] * beta[c];
+    double e = target[r] - pred;
+    fit.sse += e * e;
+  }
+  return fit;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- AR
+
+Status ArForecaster::Fit(const std::vector<double>& train,
+                         const FitContext&) {
+  if (train.size() < 4) {
+    return Status::InvalidArgument("AR needs at least 4 observations");
+  }
+  size_t best_order = order_cfg_;
+  if (best_order == 0) {
+    double best_aic = 1e300;
+    size_t pmax = std::min(max_order_, train.size() / 4);
+    pmax = std::max<size_t>(pmax, 1);
+    for (size_t p = 1; p <= pmax; ++p) {
+      auto fit = FitArOls(train, p);
+      if (!fit.ok()) continue;
+      size_t rows = train.size() - p;
+      double sigma2 = std::max(fit->sse / static_cast<double>(rows), 1e-12);
+      double aic = static_cast<double>(rows) * std::log(sigma2) +
+                   2.0 * static_cast<double>(p + 1);
+      if (aic < best_aic) {
+        best_aic = aic;
+        best_order = p;
+      }
+    }
+    if (best_order == 0) best_order = 1;
+  }
+  best_order = std::min(best_order, train.size() - 2);
+  best_order = std::max<size_t>(best_order, 1);
+
+  EASYTIME_ASSIGN_OR_RETURN(ArFit fit, FitArOls(train, best_order));
+  order_ = best_order;
+  intercept_ = fit.intercept;
+  phi_ = fit.phi;
+  tail_.assign(train.end() - static_cast<long>(order_), train.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  std::vector<double> state = tail_;  // most recent last
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double pred = intercept_;
+    for (size_t j = 0; j < order_; ++j) {
+      pred += phi_[j] * state[state.size() - 1 - j];
+    }
+    out[h] = pred;
+    state.push_back(pred);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- ARIMA
+
+double ArimaForecaster::Css(const std::vector<double>& w,
+                            const std::vector<double>& params,
+                            std::vector<double>* residuals) const {
+  // params = [c, phi_1..phi_p, theta_1..theta_q]
+  const double c = params[0];
+  const double* phi = params.data() + 1;
+  const double* theta = params.data() + 1 + p_;
+  size_t n = w.size();
+  std::vector<double> e(n, 0.0);
+  double sse = 0.0;
+  for (size_t t = p_; t < n; ++t) {
+    double pred = c;
+    for (size_t i = 0; i < p_; ++i) pred += phi[i] * w[t - 1 - i];
+    for (size_t j = 0; j < q_; ++j) {
+      if (t >= 1 + j) pred += theta[j] * e[t - 1 - j];
+    }
+    e[t] = w[t] - pred;
+    sse += e[t] * e[t];
+    if (!std::isfinite(sse)) return 1e300;
+  }
+  if (residuals) *residuals = std::move(e);
+  return sse;
+}
+
+Status ArimaForecaster::Fit(const std::vector<double>& train,
+                            const FitContext&) {
+  if (train.size() < p_ + d_ + q_ + 8) {
+    return Status::InvalidArgument("series too short for ARIMA(" +
+                                   std::to_string(p_) + "," +
+                                   std::to_string(d_) + "," +
+                                   std::to_string(q_) + ")");
+  }
+
+  // Difference d times, remembering the last value at each level for
+  // integration at forecast time.
+  std::vector<double> w = train;
+  integrate_tail_.clear();
+  for (size_t k = 0; k < d_; ++k) {
+    integrate_tail_.push_back(w.back());
+    w = Difference(w);
+  }
+
+  // Initialize phi from an AR OLS fit, theta at 0.
+  std::vector<double> params(1 + p_ + q_, 0.0);
+  if (p_ > 0) {
+    auto ar = FitArOls(w, p_);
+    if (ar.ok()) {
+      params[0] = ar->intercept;
+      for (size_t i = 0; i < p_; ++i) params[1 + i] = ar->phi[i];
+    }
+  } else {
+    params[0] = Mean(w);
+  }
+
+  auto objective = [&](const std::vector<double>& x) {
+    // Soft stationarity/invertibility guard: penalize |coef| > 1.2.
+    double penalty = 0.0;
+    for (size_t i = 1; i < x.size(); ++i) {
+      double ex = std::fabs(x[i]) - 1.2;
+      if (ex > 0.0) penalty += 1e3 * ex * ex;
+    }
+    return Css(w, x, nullptr) * (1.0 + penalty);
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 400;
+  auto res = NelderMead(objective, params, opts);
+
+  intercept_ = res.x[0];
+  phi_.assign(res.x.begin() + 1, res.x.begin() + 1 + static_cast<long>(p_));
+  theta_.assign(res.x.begin() + 1 + static_cast<long>(p_), res.x.end());
+
+  std::vector<double> residuals;
+  Css(w, res.x, &residuals);
+  size_t keep_p = std::min(p_, w.size());
+  diffed_tail_.assign(w.end() - static_cast<long>(keep_p), w.end());
+  size_t keep_q = std::min(q_, residuals.size());
+  resid_tail_.assign(residuals.end() - static_cast<long>(keep_q),
+                     residuals.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArimaForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  std::vector<double> w = diffed_tail_;  // recent differenced values
+  std::vector<double> e = resid_tail_;   // recent residuals
+  std::vector<double> diffed_fc(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double pred = intercept_;
+    for (size_t i = 0; i < p_ && i < w.size(); ++i) {
+      pred += phi_[i] * w[w.size() - 1 - i];
+    }
+    for (size_t j = 0; j < q_ && j < e.size(); ++j) {
+      pred += theta_[j] * e[e.size() - 1 - j];
+    }
+    diffed_fc[h] = pred;
+    w.push_back(pred);
+    e.push_back(0.0);  // future shocks have zero expectation
+  }
+
+  // Integrate back through each differencing level.
+  std::vector<double> out = std::move(diffed_fc);
+  for (size_t k = integrate_tail_.size(); k-- > 0;) {
+    double prev = integrate_tail_[k];
+    for (size_t h = 0; h < horizon; ++h) {
+      prev += out[h];
+      out[h] = prev;
+    }
+  }
+  return out;
+}
+
+}  // namespace easytime::methods

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file arima.h
+/// \brief Autoregressive models: AR(p) via OLS (with AIC order selection)
+/// and ARIMA(p,d,q) estimated by conditional sum of squares (CSS) with
+/// Nelder–Mead over (constant, phi, theta).
+
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// AR(p) fitted by ordinary least squares on lagged values.
+class ArForecaster : public Forecaster {
+ public:
+  /// \param order 0 = select order in {1..max_order} by AIC
+  explicit ArForecaster(size_t order = 0, size_t max_order = 8)
+      : order_cfg_(order), max_order_(max_order) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "ar"; }
+  Family family() const override { return Family::kStatistical; }
+
+  size_t order() const { return order_; }
+  const std::vector<double>& coefficients() const { return phi_; }
+
+ private:
+  size_t order_cfg_;
+  size_t max_order_;
+  size_t order_ = 0;
+  double intercept_ = 0.0;
+  std::vector<double> phi_;
+  std::vector<double> tail_;  ///< last `order_` training values
+  bool fitted_ = false;
+};
+
+/// ARIMA(p,d,q) via CSS.
+class ArimaForecaster : public Forecaster {
+ public:
+  ArimaForecaster(size_t p = 2, size_t d = 1, size_t q = 1)
+      : p_(p), d_(d), q_(q) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "arima"; }
+  Family family() const override { return Family::kStatistical; }
+
+  size_t p() const { return p_; }
+  size_t d() const { return d_; }
+  size_t q() const { return q_; }
+
+ private:
+  /// CSS objective on the differenced series; optionally records residuals.
+  double Css(const std::vector<double>& w, const std::vector<double>& params,
+             std::vector<double>* residuals) const;
+
+  size_t p_, d_, q_;
+  double intercept_ = 0.0;
+  std::vector<double> phi_, theta_;
+  std::vector<double> diffed_tail_;   ///< last p_ differenced values
+  std::vector<double> resid_tail_;    ///< last q_ residuals
+  std::vector<double> integrate_tail_;  ///< last values per differencing level
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

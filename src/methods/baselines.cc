@@ -1,0 +1,130 @@
+#include "methods/baselines.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace easytime::methods {
+
+namespace {
+Status RequireNonEmpty(const std::vector<double>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("training data must be non-empty");
+  }
+  return Status::OK();
+}
+Status RequireFitted(bool fitted) {
+  if (!fitted) return Status::Internal("Forecast called before Fit");
+  return Status::OK();
+}
+}  // namespace
+
+Status NaiveForecaster::Fit(const std::vector<double>& train,
+                            const FitContext&) {
+  EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
+  last_ = train.back();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> NaiveForecaster::Forecast(size_t horizon) const {
+  EASYTIME_RETURN_IF_ERROR(RequireFitted(fitted_));
+  return std::vector<double>(horizon, last_);
+}
+
+Result<std::vector<double>> NaiveForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return std::vector<double>(horizon, history.back());
+}
+
+Status SeasonalNaiveForecaster::Fit(const std::vector<double>& train,
+                                    const FitContext& ctx) {
+  EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
+  period_ = period_cfg_ != 0 ? period_cfg_ : ctx.period_hint;
+  if (period_ < 1 || period_ > train.size()) period_ = 0;
+  if (period_ == 0) {
+    last_cycle_ = {train.back()};
+  } else {
+    last_cycle_.assign(train.end() - static_cast<long>(period_), train.end());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> SeasonalNaiveForecaster::Forecast(
+    size_t horizon) const {
+  EASYTIME_RETURN_IF_ERROR(RequireFitted(fitted_));
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    out[h] = last_cycle_[h % last_cycle_.size()];
+  }
+  return out;
+}
+
+Result<std::vector<double>> SeasonalNaiveForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  size_t p = period_ != 0 && period_ <= history.size() ? period_ : 1;
+  std::vector<double> cycle(history.end() - static_cast<long>(p),
+                            history.end());
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) out[h] = cycle[h % cycle.size()];
+  return out;
+}
+
+Status DriftForecaster::Fit(const std::vector<double>& train,
+                            const FitContext&) {
+  EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
+  last_ = train.back();
+  slope_ = train.size() > 1 ? (train.back() - train.front()) /
+                                  static_cast<double>(train.size() - 1)
+                            : 0.0;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> DriftForecaster::Forecast(size_t horizon) const {
+  EASYTIME_RETURN_IF_ERROR(RequireFitted(fitted_));
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    out[h] = last_ + slope_ * static_cast<double>(h + 1);
+  }
+  return out;
+}
+
+Status MeanForecaster::Fit(const std::vector<double>& train,
+                           const FitContext&) {
+  EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
+  mean_ = Mean(train);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> MeanForecaster::Forecast(size_t horizon) const {
+  EASYTIME_RETURN_IF_ERROR(RequireFitted(fitted_));
+  return std::vector<double>(horizon, mean_);
+}
+
+Status WindowAverageForecaster::Fit(const std::vector<double>& train,
+                                    const FitContext&) {
+  EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
+  size_t w = std::min(window_ == 0 ? size_t{1} : window_, train.size());
+  double acc = 0.0;
+  for (size_t i = train.size() - w; i < train.size(); ++i) acc += train[i];
+  mean_ = acc / static_cast<double>(w);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> WindowAverageForecaster::Forecast(
+    size_t horizon) const {
+  EASYTIME_RETURN_IF_ERROR(RequireFitted(fitted_));
+  return std::vector<double>(horizon, mean_);
+}
+
+}  // namespace easytime::methods

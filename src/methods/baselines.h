@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file baselines.h
+/// \brief The classical baseline forecasters every benchmark needs: naive,
+/// seasonal naive, drift, historical mean, and window average.
+
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// Repeats the last observed value.
+class NaiveForecaster : public Forecaster {
+ public:
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "naive"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Repeats the last full seasonal cycle (falls back to naive when no period).
+class SeasonalNaiveForecaster : public Forecaster {
+ public:
+  /// \param period 0 = use the period from FitContext
+  explicit SeasonalNaiveForecaster(size_t period = 0) : period_cfg_(period) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "seasonal_naive"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  size_t period_cfg_;
+  size_t period_ = 0;
+  std::vector<double> last_cycle_;
+  bool fitted_ = false;
+};
+
+/// Extrapolates the line through the first and last observation.
+class DriftForecaster : public Forecaster {
+ public:
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "drift"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  double last_ = 0.0;
+  double slope_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Forecasts the historical mean.
+class MeanForecaster : public Forecaster {
+ public:
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "mean"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Forecasts the mean of the trailing window.
+class WindowAverageForecaster : public Forecaster {
+ public:
+  explicit WindowAverageForecaster(size_t window = 16) : window_(window) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "window_average"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  size_t window_;
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

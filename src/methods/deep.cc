@@ -1,0 +1,321 @@
+#include "methods/deep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace easytime::methods {
+
+namespace {
+
+/// Subsamples window indices deterministically when there are too many.
+std::vector<size_t> SelectWindows(size_t total, size_t max_windows,
+                                  Rng* rng) {
+  std::vector<size_t> idx(total);
+  for (size_t i = 0; i < total; ++i) idx[i] = i;
+  if (total > max_windows) {
+    rng->Shuffle(&idx);
+    idx.resize(max_windows);
+    std::sort(idx.begin(), idx.end());
+  }
+  return idx;
+}
+
+/// Normalizes a window by its last value (NLinear-style) for stable deep
+/// training across levels; returns the offset to add back to outputs.
+std::vector<double> NormalizeWindow(const std::vector<double>& w,
+                                    double* offset) {
+  *offset = w.empty() ? 0.0 : w.back();
+  std::vector<double> out(w.size());
+  for (size_t i = 0; i < w.size(); ++i) out[i] = w[i] - *offset;
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MLP
+
+Status MlpForecaster::Fit(const std::vector<double>& train,
+                          const FitContext& ctx) {
+  size_t horizon = std::max<size_t>(1, ctx.horizon);
+  size_t lookback = options_.lookback != 0
+                        ? options_.lookback
+                        : ChooseLookback(train.size(), ctx.period_hint,
+                                         horizon);
+  EASYTIME_ASSIGN_OR_RETURN(WindowedData wd,
+                            MakeWindows(train, lookback, horizon));
+  Rng rng(ctx.seed);
+
+  net_ = std::make_unique<nn::Sequential>();
+  net_->Add(std::make_unique<nn::Linear>(lookback, options_.hidden, &rng));
+  net_->Add(std::make_unique<nn::ReLU>());
+  net_->Add(std::make_unique<nn::Linear>(options_.hidden, options_.hidden,
+                                         &rng));
+  net_->Add(std::make_unique<nn::ReLU>());
+  net_->Add(std::make_unique<nn::Linear>(options_.hidden, horizon, &rng));
+
+  std::vector<size_t> idx =
+      SelectWindows(wd.inputs.size(), options_.max_windows, &rng);
+
+  // Batch matrices (all selected windows at once — the MLP is batch-capable).
+  nn::Matrix x(idx.size(), lookback), y(idx.size(), horizon);
+  for (size_t r = 0; r < idx.size(); ++r) {
+    double off = 0.0;
+    std::vector<double> wnorm = NormalizeWindow(wd.inputs[idx[r]], &off);
+    for (size_t c = 0; c < lookback; ++c) x.at(r, c) = wnorm[c];
+    for (size_t c = 0; c < horizon; ++c) {
+      y.at(r, c) = wd.targets[idx[r]][c] - off;
+    }
+  }
+
+  nn::Adam opt(net_->Params(), options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    nn::Matrix pred = net_->Forward(x);
+    auto [loss, grad] = nn::MseLoss(pred, y);
+    (void)loss;
+    net_->Backward(grad);
+    opt.ClipGradNorm(options_.grad_clip);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+
+  lookback_ = lookback;
+  trained_horizon_ = horizon;
+  train_tail_ = train;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> MlpForecaster::PredictWindow(
+    const std::vector<double>& window) const {
+  double off = 0.0;
+  std::vector<double> wnorm = NormalizeWindow(window, &off);
+  nn::Matrix x = nn::Matrix::FromVector(wnorm);
+  nn::Matrix pred = net_->Forward(x);
+  std::vector<double> out = pred.Row(0);
+  for (auto& v : out) v += off;
+  return out;
+}
+
+Result<std::vector<double>> MlpForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return RecursiveMultiStep(
+      train_tail_, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+Result<std::vector<double>> MlpForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (!fitted_) return Status::Internal("ForecastFrom called before Fit");
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return RecursiveMultiStep(
+      history, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+// ---------------------------------------------------------------- GRU
+
+Status GruForecaster::Fit(const std::vector<double>& train,
+                          const FitContext& ctx) {
+  size_t horizon = std::max<size_t>(1, ctx.horizon);
+  size_t lookback = options_.lookback != 0
+                        ? options_.lookback
+                        : ChooseLookback(train.size(), ctx.period_hint,
+                                         horizon);
+  lookback = std::min<size_t>(lookback, 64);  // bound BPTT length
+  EASYTIME_ASSIGN_OR_RETURN(WindowedData wd,
+                            MakeWindows(train, lookback, horizon));
+  Rng rng(ctx.seed);
+
+  gru_ = std::make_unique<nn::Gru>(1, options_.hidden, &rng);
+  head_ = std::make_unique<nn::Linear>(options_.hidden, horizon, &rng);
+
+  std::vector<size_t> idx = SelectWindows(
+      wd.inputs.size(), std::min<size_t>(options_.max_windows, 96), &rng);
+
+  std::vector<nn::Param*> params = gru_->Params();
+  auto hp = head_->Params();
+  params.insert(params.end(), hp.begin(), hp.end());
+  nn::Adam opt(params, options_.learning_rate);
+
+  size_t epochs = std::max<size_t>(8, options_.epochs / 2);
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t r : idx) {
+      double off = 0.0;
+      std::vector<double> wnorm = NormalizeWindow(wd.inputs[r], &off);
+      nn::Matrix seq(lookback, 1);
+      for (size_t t = 0; t < lookback; ++t) seq.at(t, 0) = wnorm[t];
+
+      nn::Matrix hidden = gru_->Forward(seq);          // (T x H)
+      nn::Matrix last(1, options_.hidden);
+      for (size_t j = 0; j < options_.hidden; ++j) {
+        last.at(0, j) = hidden.at(lookback - 1, j);
+      }
+      nn::Matrix pred = head_->Forward(last);          // (1 x horizon)
+      nn::Matrix target(1, horizon);
+      for (size_t c = 0; c < horizon; ++c) {
+        target.at(0, c) = wd.targets[r][c] - off;
+      }
+      auto [loss, grad] = nn::MseLoss(pred, target);
+      (void)loss;
+      nn::Matrix dlast = head_->Backward(grad);
+      nn::Matrix dhidden(lookback, options_.hidden);
+      for (size_t j = 0; j < options_.hidden; ++j) {
+        dhidden.at(lookback - 1, j) = dlast.at(0, j);
+      }
+      gru_->Backward(dhidden);
+      opt.ClipGradNorm(options_.grad_clip);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+
+  lookback_ = lookback;
+  trained_horizon_ = horizon;
+  train_tail_ = train;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> GruForecaster::PredictWindow(
+    const std::vector<double>& window) const {
+  double off = 0.0;
+  std::vector<double> wnorm = NormalizeWindow(window, &off);
+  nn::Matrix seq(wnorm.size(), 1);
+  for (size_t t = 0; t < wnorm.size(); ++t) seq.at(t, 0) = wnorm[t];
+  nn::Matrix hidden = gru_->Forward(seq);
+  nn::Matrix last(1, gru_->hidden_size());
+  for (size_t j = 0; j < gru_->hidden_size(); ++j) {
+    last.at(0, j) = hidden.at(hidden.rows() - 1, j);
+  }
+  nn::Matrix pred = head_->Forward(last);
+  std::vector<double> out = pred.Row(0);
+  for (auto& v : out) v += off;
+  return out;
+}
+
+Result<std::vector<double>> GruForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return RecursiveMultiStep(
+      train_tail_, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+Result<std::vector<double>> GruForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (!fitted_) return Status::Internal("ForecastFrom called before Fit");
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return RecursiveMultiStep(
+      history, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+// ---------------------------------------------------------------- TCN
+
+Status TcnForecaster::Fit(const std::vector<double>& train,
+                          const FitContext& ctx) {
+  size_t horizon = std::max<size_t>(1, ctx.horizon);
+  size_t lookback = options_.lookback != 0
+                        ? options_.lookback
+                        : ChooseLookback(train.size(), ctx.period_hint,
+                                         horizon);
+  lookback = std::min<size_t>(lookback, 96);
+  EASYTIME_ASSIGN_OR_RETURN(WindowedData wd,
+                            MakeWindows(train, lookback, horizon));
+  Rng rng(ctx.seed);
+
+  size_t ch = std::max<size_t>(8, options_.hidden / 2);
+  encoder_ = std::make_unique<nn::Sequential>();
+  encoder_->Add(std::make_unique<nn::ResidualConvBlock>(1, ch, 3, 1, &rng));
+  encoder_->Add(std::make_unique<nn::ResidualConvBlock>(ch, ch, 3, 2, &rng));
+  encoder_->Add(std::make_unique<nn::ResidualConvBlock>(ch, ch, 3, 4, &rng));
+  head_ = std::make_unique<nn::Linear>(ch, horizon, &rng);
+
+  std::vector<size_t> idx = SelectWindows(
+      wd.inputs.size(), std::min<size_t>(options_.max_windows, 96), &rng);
+
+  std::vector<nn::Param*> params = encoder_->Params();
+  auto hp = head_->Params();
+  params.insert(params.end(), hp.begin(), hp.end());
+  nn::Adam opt(params, options_.learning_rate);
+
+  size_t epochs = std::max<size_t>(8, options_.epochs / 2);
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t r : idx) {
+      double off = 0.0;
+      std::vector<double> wnorm = NormalizeWindow(wd.inputs[r], &off);
+      nn::Matrix seq(lookback, 1);
+      for (size_t t = 0; t < lookback; ++t) seq.at(t, 0) = wnorm[t];
+
+      nn::Matrix feats = encoder_->Forward(seq);  // (T x ch)
+      nn::Matrix last(1, ch);
+      for (size_t j = 0; j < ch; ++j) last.at(0, j) = feats.at(lookback - 1, j);
+      nn::Matrix pred = head_->Forward(last);
+      nn::Matrix target(1, horizon);
+      for (size_t c = 0; c < horizon; ++c) {
+        target.at(0, c) = wd.targets[r][c] - off;
+      }
+      auto [loss, grad] = nn::MseLoss(pred, target);
+      (void)loss;
+      nn::Matrix dlast = head_->Backward(grad);
+      nn::Matrix dfeats(lookback, ch);
+      for (size_t j = 0; j < ch; ++j) {
+        dfeats.at(lookback - 1, j) = dlast.at(0, j);
+      }
+      encoder_->Backward(dfeats);
+      opt.ClipGradNorm(options_.grad_clip);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+
+  lookback_ = lookback;
+  trained_horizon_ = horizon;
+  train_tail_ = train;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> TcnForecaster::PredictWindow(
+    const std::vector<double>& window) const {
+  double off = 0.0;
+  std::vector<double> wnorm = NormalizeWindow(window, &off);
+  nn::Matrix seq(wnorm.size(), 1);
+  for (size_t t = 0; t < wnorm.size(); ++t) seq.at(t, 0) = wnorm[t];
+  nn::Matrix feats = encoder_->Forward(seq);
+  size_t ch = feats.cols();
+  nn::Matrix last(1, ch);
+  for (size_t j = 0; j < ch; ++j) {
+    last.at(0, j) = feats.at(feats.rows() - 1, j);
+  }
+  nn::Matrix pred = head_->Forward(last);
+  std::vector<double> out = pred.Row(0);
+  for (auto& v : out) v += off;
+  return out;
+}
+
+Result<std::vector<double>> TcnForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return RecursiveMultiStep(
+      train_tail_, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+Result<std::vector<double>> TcnForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (!fitted_) return Status::Internal("ForecastFrom called before Fit");
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return RecursiveMultiStep(
+      history, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+}  // namespace easytime::methods

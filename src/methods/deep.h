@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file deep.h
+/// \brief Deep-learning forecasters on the from-scratch nn/ engine: an MLP
+/// over the lookback window, a GRU encoder, and a dilated-causal-conv TCN —
+/// the three architectures covering the deep family of TFB's method layer.
+/// Models are intentionally small (CPU training in well under a second per
+/// series) while preserving the architecture class.
+
+#include <memory>
+
+#include "methods/forecaster.h"
+#include "methods/window_util.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace easytime::methods {
+
+/// Shared training hyperparameters for the deep forecasters.
+struct DeepOptions {
+  size_t hidden = 32;
+  size_t epochs = 40;
+  double learning_rate = 5e-3;
+  size_t max_windows = 256;   ///< subsample training windows beyond this
+  size_t lookback = 0;        ///< 0 = auto
+  double grad_clip = 5.0;
+};
+
+/// Window MLP: lookback -> hidden -> hidden -> horizon (direct multi-step).
+class MlpForecaster : public Forecaster {
+ public:
+  explicit MlpForecaster(DeepOptions options = {}) : options_(options) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "mlp"; }
+  Family family() const override { return Family::kDeepLearning; }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  DeepOptions options_;
+  size_t lookback_ = 0;
+  size_t trained_horizon_ = 0;
+  mutable std::unique_ptr<nn::Sequential> net_;
+  double norm_offset_ = 0.0;  ///< window normalization: subtract last value
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+};
+
+/// GRU encoder: sequence -> last hidden state -> linear head to horizon.
+class GruForecaster : public Forecaster {
+ public:
+  explicit GruForecaster(DeepOptions options = {}) : options_(options) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "gru"; }
+  Family family() const override { return Family::kDeepLearning; }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  DeepOptions options_;
+  size_t lookback_ = 0;
+  size_t trained_horizon_ = 0;
+  mutable std::unique_ptr<nn::Gru> gru_;
+  mutable std::unique_ptr<nn::Linear> head_;
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+};
+
+/// TCN: stacked residual dilated causal convolutions -> last timestep ->
+/// linear head to horizon.
+class TcnForecaster : public Forecaster {
+ public:
+  explicit TcnForecaster(DeepOptions options = {}) : options_(options) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "tcn"; }
+  Family family() const override { return Family::kDeepLearning; }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  DeepOptions options_;
+  size_t lookback_ = 0;
+  size_t trained_horizon_ = 0;
+  mutable std::unique_ptr<nn::Sequential> encoder_;  ///< conv stack
+  mutable std::unique_ptr<nn::Linear> head_;
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

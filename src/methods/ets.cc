@@ -1,0 +1,99 @@
+#include "methods/ets.h"
+
+#include <cmath>
+#include <vector>
+
+#include "methods/exponential.h"
+
+namespace easytime::methods {
+
+namespace {
+
+/// Corrected AIC from an SSE, sample size n, and parameter count k.
+double Aicc(double sse, size_t n, int k) {
+  double sigma2 = std::max(sse / static_cast<double>(n), 1e-12);
+  double aic = static_cast<double>(n) * std::log(sigma2) + 2.0 * (k + 1);
+  double denom = static_cast<double>(n) - k - 2.0;
+  if (denom <= 0.0) return aic + 1e6;  // too few points for this model
+  return aic + 2.0 * (k + 1) * (k + 2) / denom;
+}
+
+}  // namespace
+
+Status EtsAutoForecaster::Fit(const std::vector<double>& train,
+                              const FitContext& ctx) {
+  if (train.size() < 4) {
+    return Status::InvalidArgument("ets_auto needs at least 4 observations");
+  }
+  struct Candidate {
+    ForecasterPtr model;
+    double sse;
+    int k;
+    std::string label;
+  };
+  std::vector<Candidate> candidates;
+
+  {
+    auto m = std::make_unique<SesForecaster>();
+    if (m->Fit(train, ctx).ok()) {
+      double sse = m->sse();
+      int k = m->num_params();
+      candidates.push_back({std::move(m), sse, k, "ses"});
+    }
+  }
+  {
+    auto m = std::make_unique<HoltForecaster>(/*damped=*/false);
+    if (m->Fit(train, ctx).ok()) {
+      double sse = m->sse();
+      int k = m->num_params();
+      candidates.push_back({std::move(m), sse, k, "holt"});
+    }
+  }
+  {
+    auto m = std::make_unique<HoltForecaster>(/*damped=*/true);
+    if (m->Fit(train, ctx).ok()) {
+      double sse = m->sse();
+      int k = m->num_params();
+      candidates.push_back({std::move(m), sse, k, "holt_damped"});
+    }
+  }
+  if (ctx.period_hint >= 2 && train.size() >= 2 * ctx.period_hint + 2) {
+    auto add = std::make_unique<HoltWintersForecaster>(
+        HoltWintersForecaster::Seasonal::kAdditive);
+    if (add->Fit(train, ctx).ok()) {
+      double sse = add->sse();
+      int k = add->num_params();
+      candidates.push_back({std::move(add), sse, k, "holt_winters_add"});
+    }
+    auto mul = std::make_unique<HoltWintersForecaster>(
+        HoltWintersForecaster::Seasonal::kMultiplicative);
+    if (mul->Fit(train, ctx).ok()) {
+      double sse = mul->sse();
+      int k = mul->num_params();
+      candidates.push_back({std::move(mul), sse, k, "holt_winters_mul"});
+    }
+  }
+  if (candidates.empty()) {
+    return Status::Internal("no ETS candidate could be fitted");
+  }
+
+  double best_aicc = 1e300;
+  size_t best_i = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double a = Aicc(candidates[i].sse, train.size(), candidates[i].k);
+    if (a < best_aicc) {
+      best_aicc = a;
+      best_i = i;
+    }
+  }
+  best_ = std::move(candidates[best_i].model);
+  selected_ = candidates[best_i].label;
+  return Status::OK();
+}
+
+Result<std::vector<double>> EtsAutoForecaster::Forecast(size_t horizon) const {
+  if (!best_) return Status::Internal("Forecast called before Fit");
+  return best_->Forecast(horizon);
+}
+
+}  // namespace easytime::methods

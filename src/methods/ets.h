@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file ets.h
+/// \brief Automatic exponential-smoothing model selection (a small ETS):
+/// fits SES, Holt, damped Holt, and Holt-Winters (additive/multiplicative)
+/// candidates and picks the winner by corrected AIC on the in-sample
+/// one-step errors.
+
+#include <memory>
+
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// ETS-style auto-selector over the exponential-smoothing family.
+class EtsAutoForecaster : public Forecaster {
+ public:
+  EtsAutoForecaster() = default;
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "ets_auto"; }
+  Family family() const override { return Family::kStatistical; }
+
+  /// Name of the selected candidate ("ses", "holt", ...).
+  const std::string& selected() const { return selected_; }
+
+ private:
+  ForecasterPtr best_;
+  std::string selected_;
+};
+
+}  // namespace easytime::methods

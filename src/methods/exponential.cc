@@ -1,0 +1,256 @@
+#include "methods/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/optimize.h"
+
+namespace easytime::methods {
+
+namespace {
+
+/// Maps an unconstrained optimizer variable into (lo, hi) via a logistic.
+double Squash(double x, double lo = 0.0, double hi = 1.0) {
+  return lo + (hi - lo) / (1.0 + std::exp(-x));
+}
+
+double Unsquash(double p, double lo = 0.0, double hi = 1.0) {
+  double q = (p - lo) / (hi - lo);
+  q = std::clamp(q, 1e-6, 1.0 - 1e-6);
+  return std::log(q / (1.0 - q));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SES
+
+Status SesForecaster::Fit(const std::vector<double>& train,
+                          const FitContext&) {
+  if (train.empty()) {
+    return Status::InvalidArgument("training data must be non-empty");
+  }
+  auto run = [&](double alpha) {
+    double level = train[0];
+    double sse = 0.0;
+    for (size_t t = 1; t < train.size(); ++t) {
+      double err = train[t] - level;
+      sse += err * err;
+      level += alpha * err;
+    }
+    return std::make_pair(sse, level);
+  };
+
+  if (alpha_cfg_ > 0.0) {
+    alpha_ = std::min(alpha_cfg_, 1.0);
+  } else if (train.size() < 3) {
+    alpha_ = 0.5;
+  } else {
+    auto objective = [&](const std::vector<double>& x) {
+      return run(Squash(x[0], 0.01, 0.99)).first;
+    };
+    auto res = NelderMead(objective, {Unsquash(0.5, 0.01, 0.99)});
+    alpha_ = Squash(res.x[0], 0.01, 0.99);
+  }
+  auto [sse, level] = run(alpha_);
+  sse_ = sse;
+  level_ = level;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> SesForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return std::vector<double>(horizon, level_);
+}
+
+// ---------------------------------------------------------------- Holt
+
+Status HoltForecaster::Fit(const std::vector<double>& train,
+                           const FitContext&) {
+  if (train.size() < 2) {
+    if (train.empty()) {
+      return Status::InvalidArgument("training data must be non-empty");
+    }
+    level_ = train[0];
+    trend_ = 0.0;
+    alpha_ = 0.5;
+    beta_ = 0.1;
+    phi_ = 1.0;
+    fitted_ = true;
+    return Status::OK();
+  }
+
+  auto run = [&](double alpha, double beta, double phi, double* out_level,
+                 double* out_trend) {
+    double level = train[0];
+    double trend = train[1] - train[0];
+    double sse = 0.0;
+    for (size_t t = 1; t < train.size(); ++t) {
+      double pred = level + phi * trend;
+      double err = train[t] - pred;
+      sse += err * err;
+      double new_level = alpha * train[t] + (1.0 - alpha) * (level + phi * trend);
+      double new_trend = beta * (new_level - level) + (1.0 - beta) * phi * trend;
+      level = new_level;
+      trend = new_trend;
+    }
+    if (out_level) *out_level = level;
+    if (out_trend) *out_trend = trend;
+    return sse;
+  };
+
+  if (train.size() >= 6) {
+    std::vector<double> x0 = {Unsquash(0.5, 0.01, 0.99),
+                              Unsquash(0.1, 0.001, 0.99)};
+    if (damped_) x0.push_back(Unsquash(0.9, 0.5, 0.999));
+    auto objective = [&](const std::vector<double>& x) {
+      double a = Squash(x[0], 0.01, 0.99);
+      double b = Squash(x[1], 0.001, 0.99);
+      double p = damped_ ? Squash(x[2], 0.5, 0.999) : 1.0;
+      return run(a, b, p, nullptr, nullptr);
+    };
+    auto res = NelderMead(objective, x0);
+    alpha_ = Squash(res.x[0], 0.01, 0.99);
+    beta_ = Squash(res.x[1], 0.001, 0.99);
+    phi_ = damped_ ? Squash(res.x[2], 0.5, 0.999) : 1.0;
+  } else {
+    alpha_ = 0.5;
+    beta_ = 0.1;
+    phi_ = damped_ ? 0.9 : 1.0;
+  }
+  sse_ = run(alpha_, beta_, phi_, &level_, &trend_);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HoltForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  std::vector<double> out(horizon);
+  double damp_sum = 0.0;
+  for (size_t h = 0; h < horizon; ++h) {
+    damp_sum += std::pow(phi_, static_cast<double>(h + 1));
+    out[h] = level_ + damp_sum * trend_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- HW
+
+double HoltWintersForecaster::RunSmoothing(const std::vector<double>& y,
+                                           double alpha, double beta,
+                                           double gamma, bool record_state) {
+  const size_t m = period_;
+  const size_t n = y.size();
+  // Initialize level/trend from the first cycle, seasonals from the first
+  // two cycles.
+  double level = 0.0;
+  for (size_t i = 0; i < m; ++i) level += y[i];
+  level /= static_cast<double>(m);
+  double next = 0.0;
+  for (size_t i = m; i < 2 * m && i < n; ++i) next += y[i];
+  next /= static_cast<double>(m);
+  double trend = (next - level) / static_cast<double>(m);
+
+  std::vector<double> season(m, seasonal_ == Seasonal::kAdditive ? 0.0 : 1.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (seasonal_ == Seasonal::kAdditive) {
+      season[i] = y[i] - level;
+    } else {
+      season[i] = level > 1e-9 ? y[i] / level : 1.0;
+    }
+  }
+
+  double sse = 0.0;
+  for (size_t t = m; t < n; ++t) {
+    size_t si = t % m;
+    double pred = seasonal_ == Seasonal::kAdditive
+                      ? level + trend + season[si]
+                      : (level + trend) * season[si];
+    double err = y[t] - pred;
+    sse += err * err;
+
+    double prev_level = level;
+    if (seasonal_ == Seasonal::kAdditive) {
+      level = alpha * (y[t] - season[si]) + (1.0 - alpha) * (level + trend);
+      trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+      season[si] = gamma * (y[t] - level) + (1.0 - gamma) * season[si];
+    } else {
+      double denom = season[si];
+      if (std::fabs(denom) < 1e-9) denom = denom < 0 ? -1e-9 : 1e-9;
+      level = alpha * (y[t] / denom) + (1.0 - alpha) * (level + trend);
+      trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+      double ld = std::fabs(level) < 1e-9 ? 1e-9 : level;
+      season[si] = gamma * (y[t] / ld) + (1.0 - gamma) * season[si];
+    }
+    if (!std::isfinite(level) || !std::isfinite(trend)) return 1e300;
+  }
+  if (record_state) {
+    level_ = level;
+    trend_ = trend;
+    season_ = season;
+  }
+  return sse;
+}
+
+Status HoltWintersForecaster::Fit(const std::vector<double>& train,
+                                  const FitContext& ctx) {
+  if (train.empty()) {
+    return Status::InvalidArgument("training data must be non-empty");
+  }
+  period_ = period_cfg_ != 0 ? period_cfg_ : ctx.period_hint;
+
+  // Multiplicative smoothing needs strictly positive data.
+  bool positive = std::all_of(train.begin(), train.end(),
+                              [](double v) { return v > 1e-9; });
+  bool usable = period_ >= 2 && train.size() >= 2 * period_ + 2 &&
+                (seasonal_ == Seasonal::kAdditive || positive);
+  if (!usable) {
+    fallback_ = std::make_unique<HoltForecaster>();
+    EASYTIME_RETURN_IF_ERROR(fallback_->Fit(train, FitContext{}));
+    sse_ = fallback_->sse();
+    fitted_ = true;
+    return Status::OK();
+  }
+  fallback_.reset();
+
+  auto objective = [&](const std::vector<double>& x) {
+    double a = Squash(x[0], 0.01, 0.99);
+    double b = Squash(x[1], 0.001, 0.5);
+    double g = Squash(x[2], 0.001, 0.99);
+    return RunSmoothing(train, a, b, g, /*record_state=*/false);
+  };
+  std::vector<double> x0 = {Unsquash(0.3, 0.01, 0.99),
+                            Unsquash(0.05, 0.001, 0.5),
+                            Unsquash(0.1, 0.001, 0.99)};
+  NelderMeadOptions opts;
+  opts.max_iterations = 200;
+  auto res = NelderMead(objective, x0, opts);
+  alpha_ = Squash(res.x[0], 0.01, 0.99);
+  beta_ = Squash(res.x[1], 0.001, 0.5);
+  gamma_ = Squash(res.x[2], 0.001, 0.99);
+  sse_ = RunSmoothing(train, alpha_, beta_, gamma_, /*record_state=*/true);
+  train_len_mod_ = train.size() % period_;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HoltWintersForecaster::Forecast(
+    size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  if (fallback_) return fallback_->Forecast(horizon);
+  std::vector<double> out(horizon);
+  const size_t m = period_;
+  // Seasonal index continues from the end of training: season_[t % m] was
+  // last updated at training time t, so forecast step h uses (n + h) % m —
+  // but RunSmoothing indexes by absolute t % m, so continue the same cycle.
+  for (size_t h = 0; h < horizon; ++h) {
+    size_t si = (train_len_mod_ + h) % m;
+    double base = level_ + trend_ * static_cast<double>(h + 1);
+    out[h] = seasonal_ == Seasonal::kAdditive ? base + season_[si]
+                                              : base * season_[si];
+  }
+  return out;
+}
+
+}  // namespace easytime::methods

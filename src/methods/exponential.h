@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file exponential.h
+/// \brief Exponential-smoothing family: SES, Holt's linear (optionally
+/// damped), and Holt-Winters seasonal smoothing (additive/multiplicative).
+/// Smoothing parameters are estimated by minimizing in-sample one-step SSE
+/// with Nelder–Mead.
+
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// Simple exponential smoothing; flat forecasts at the final level.
+class SesForecaster : public Forecaster {
+ public:
+  /// \param alpha fixed smoothing parameter in (0,1]; <= 0 optimizes it
+  explicit SesForecaster(double alpha = -1.0) : alpha_cfg_(alpha) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "ses"; }
+  Family family() const override { return Family::kStatistical; }
+
+  double alpha() const { return alpha_; }
+  /// In-sample one-step sum of squared errors at the fitted parameters.
+  double sse() const { return sse_; }
+  /// Number of free parameters (for information criteria).
+  int num_params() const { return alpha_cfg_ <= 0.0 ? 1 : 0; }
+
+ private:
+  double alpha_cfg_;
+  double alpha_ = 0.5;
+  double level_ = 0.0;
+  double sse_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Holt's linear trend method with optional damping.
+class HoltForecaster : public Forecaster {
+ public:
+  /// \param damped use a damped trend (phi optimized)
+  explicit HoltForecaster(bool damped = false) : damped_(damped) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return damped_ ? "holt_damped" : "holt"; }
+  Family family() const override { return Family::kStatistical; }
+
+  double sse() const { return sse_; }
+  int num_params() const { return damped_ ? 3 : 2; }
+
+ private:
+  bool damped_;
+  double alpha_ = 0.5, beta_ = 0.1, phi_ = 1.0;
+  double level_ = 0.0, trend_ = 0.0;
+  double sse_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Holt-Winters triple exponential smoothing.
+class HoltWintersForecaster : public Forecaster {
+ public:
+  enum class Seasonal { kAdditive, kMultiplicative };
+
+  /// \param seasonal seasonal component type
+  /// \param period 0 = use the period from FitContext
+  explicit HoltWintersForecaster(Seasonal seasonal = Seasonal::kAdditive,
+                                 size_t period = 0)
+      : seasonal_(seasonal), period_cfg_(period) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override {
+    return seasonal_ == Seasonal::kAdditive ? "holt_winters_add"
+                                            : "holt_winters_mul";
+  }
+  Family family() const override { return Family::kStatistical; }
+
+  double sse() const { return sse_; }
+  int num_params() const { return 3; }
+  size_t period() const { return period_; }
+
+ private:
+  double RunSmoothing(const std::vector<double>& y, double alpha, double beta,
+                      double gamma, bool record_state);
+
+  Seasonal seasonal_;
+  size_t period_cfg_;
+  size_t period_ = 0;
+  size_t train_len_mod_ = 0;  ///< train length mod period: forecast phase
+  double alpha_ = 0.3, beta_ = 0.05, gamma_ = 0.1;
+  double level_ = 0.0, trend_ = 0.0;
+  std::vector<double> season_;
+  // Fallback when the series is too short for seasonal smoothing.
+  std::unique_ptr<HoltForecaster> fallback_;
+  double sse_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

@@ -1,0 +1,24 @@
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kStatistical: return "statistical";
+    case Family::kMachineLearning: return "ml";
+    case Family::kDeepLearning: return "deep";
+  }
+  return "unknown";
+}
+
+easytime::Result<std::vector<double>> Forecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  // Default: refit on the extended history. Statistical methods are cheap
+  // enough for this to be the right behaviour under rolling evaluation.
+  FitContext ctx;
+  ctx.horizon = horizon;
+  EASYTIME_RETURN_IF_ERROR(Fit(history, ctx));
+  return Forecast(horizon);
+}
+
+}  // namespace easytime::methods

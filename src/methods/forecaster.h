@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file forecaster.h
+/// \brief The method layer's core contract. TFB's method layer is "a
+/// flexible interface that facilitates the inclusion of statistical
+/// learning, machine learning, and deep learning methods"; every forecaster
+/// in EasyTime implements this interface, and users plug new methods in by
+/// registering a factory (see registry.h).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace easytime::methods {
+
+/// Method family, mirroring the paper's taxonomy.
+enum class Family { kStatistical, kMachineLearning, kDeepLearning };
+
+/// Human-readable family name.
+const char* FamilyName(Family f);
+
+/// \brief Side information the pipeline passes to Fit: the detected seasonal
+/// period, the forecasting horizon the evaluation will request (window-based
+/// methods train direct multi-step heads for it), and a deterministic seed
+/// for stochastic methods.
+struct FitContext {
+  size_t period_hint = 0;
+  size_t horizon = 1;
+  uint64_t seed = 42;
+};
+
+/// \brief A univariate forecaster. The pipeline guarantees Fit is called
+/// before Forecast; values arrive pre-normalized (the pipeline owns the
+/// scaler) and forecasts are produced in the same space.
+///
+/// Multivariate datasets are handled channel-independently by the
+/// evaluation layer (each channel gets its own fitted instance), the
+/// strategy TFB applies to univariate methods on multivariate data.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Estimates model state from the training segment.
+  virtual easytime::Status Fit(const std::vector<double>& train,
+                               const FitContext& ctx) = 0;
+
+  /// Predicts the \p horizon values following the training segment.
+  virtual easytime::Result<std::vector<double>> Forecast(
+      size_t horizon) const = 0;
+
+  /// \brief Predicts the \p horizon values following \p history, reusing the
+  /// fitted model where possible. Rolling evaluation calls this with
+  /// successively longer histories. The default refits (cheap for
+  /// statistical methods); window-based ML/DL methods override it to condition
+  /// on the last lookback window without retraining.
+  virtual easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon);
+
+  /// Unique method identifier (e.g. "holt_winters").
+  virtual std::string name() const = 0;
+
+  /// The method's family.
+  virtual Family family() const = 0;
+};
+
+/// Convenience alias used throughout the pipeline.
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+}  // namespace easytime::methods

@@ -1,0 +1,183 @@
+#include "methods/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace easytime::methods {
+
+void RegressionTree::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y,
+                         const Options& options) {
+  nodes_.clear();
+  std::vector<size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Build(x, y, idx, 0, options);
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y,
+                          std::vector<size_t>& idx, size_t depth,
+                          const Options& options) {
+  Node node;
+  double sum = 0.0;
+  for (size_t i : idx) sum += y[i];
+  double mean = idx.empty() ? 0.0 : sum / static_cast<double>(idx.size());
+  node.value = mean;
+
+  bool make_leaf = depth >= options.max_depth ||
+                   idx.size() < 2 * options.min_samples_leaf;
+  if (!make_leaf) {
+    // Greedy best split by SSE reduction.
+    size_t num_features = x.empty() ? 0 : x[0].size();
+    double base_sse = 0.0;
+    for (size_t i : idx) base_sse += (y[i] - mean) * (y[i] - mean);
+
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    for (size_t f = 0; f < num_features; ++f) {
+      std::vector<size_t> order = idx;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return x[a][f] < x[b][f];
+      });
+      // Prefix sums over the sorted order.
+      double left_sum = 0.0, left_sq = 0.0;
+      double total_sq = 0.0;
+      for (size_t i : idx) total_sq += y[i] * y[i];
+      for (size_t pos = 0; pos + 1 < order.size(); ++pos) {
+        double yi = y[order[pos]];
+        left_sum += yi;
+        left_sq += yi * yi;
+        // Can't split between equal feature values.
+        if (x[order[pos]][f] == x[order[pos + 1]][f]) continue;
+        size_t nl = pos + 1;
+        size_t nr = order.size() - nl;
+        if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+          continue;
+        }
+        double right_sum = sum - left_sum;
+        double right_sq = total_sq - left_sq;
+        double sse_l = left_sq - left_sum * left_sum / static_cast<double>(nl);
+        double sse_r =
+            right_sq - right_sum * right_sum / static_cast<double>(nr);
+        double gain = base_sse - sse_l - sse_r;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold =
+              0.5 * (x[order[pos]][f] + x[order[pos + 1]][f]);
+        }
+      }
+    }
+    if (best_feature >= 0) {
+      std::vector<size_t> left, right;
+      for (size_t i : idx) {
+        if (x[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+          left.push_back(i);
+        } else {
+          right.push_back(i);
+        }
+      }
+      if (!left.empty() && !right.empty()) {
+        node.feature = best_feature;
+        node.threshold = best_threshold;
+        int self = static_cast<int>(nodes_.size());
+        nodes_.push_back(node);
+        int l = Build(x, y, left, depth + 1, options);
+        int r = Build(x, y, right, depth + 1, options);
+        nodes_[static_cast<size_t>(self)].left = l;
+        nodes_[static_cast<size_t>(self)].right = r;
+        return self;
+      }
+    }
+  }
+  int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  return self;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    size_t f = static_cast<size_t>(nodes_[cur].feature);
+    double v = f < features.size() ? features[f] : 0.0;
+    int next = v <= nodes_[cur].threshold ? nodes_[cur].left
+                                          : nodes_[cur].right;
+    if (next < 0) break;
+    cur = static_cast<size_t>(next);
+  }
+  return nodes_[cur].value;
+}
+
+Status GbdtForecaster::Fit(const std::vector<double>& train,
+                           const FitContext& ctx) {
+  size_t lookback =
+      options_.lookback != 0
+          ? options_.lookback
+          : std::min<size_t>(ChooseLookback(train.size(), ctx.period_hint, 1),
+                             24);
+  // One-step-ahead supervision.
+  EASYTIME_ASSIGN_OR_RETURN(WindowedData wd, MakeWindows(train, lookback, 1));
+
+  std::vector<double> y(wd.targets.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] = wd.targets[i][0];
+  base_prediction_ = Mean(y);
+
+  std::vector<double> residual(y.size());
+  std::vector<double> current(y.size(), base_prediction_);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  RegressionTree::Options topt;
+  topt.max_depth = options_.max_depth;
+  topt.min_samples_leaf = options_.min_samples_leaf;
+
+  for (size_t m = 0; m < options_.num_trees; ++m) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
+    RegressionTree tree;
+    tree.Fit(wd.inputs, residual, topt);
+    for (size_t i = 0; i < y.size(); ++i) {
+      current[i] += options_.learning_rate * tree.Predict(wd.inputs[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  lookback_ = lookback;
+  train_tail_ = train;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GbdtForecaster::PredictOne(const std::vector<double>& features) const {
+  double out = base_prediction_;
+  for (const auto& tree : trees_) {
+    out += options_.learning_rate * tree.Predict(features);
+  }
+  return out;
+}
+
+Result<std::vector<double>> GbdtForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return RecursiveMultiStep(
+      train_tail_, lookback_, 1, horizon,
+      [this](const std::vector<double>& w) {
+        return std::vector<double>{PredictOne(w)};
+      });
+}
+
+Result<std::vector<double>> GbdtForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (!fitted_) return Status::Internal("ForecastFrom called before Fit");
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return RecursiveMultiStep(
+      history, lookback_, 1, horizon,
+      [this](const std::vector<double>& w) {
+        return std::vector<double>{PredictOne(w)};
+      });
+}
+
+}  // namespace easytime::methods

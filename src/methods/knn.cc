@@ -1,0 +1,92 @@
+#include "methods/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easytime::methods {
+
+Status KnnForecaster::Fit(const std::vector<double>& train,
+                          const FitContext& ctx) {
+  size_t horizon = std::max<size_t>(1, ctx.horizon);
+  size_t lookback = lookback_cfg_ != 0
+                        ? lookback_cfg_
+                        : ChooseLookback(train.size(), ctx.period_hint,
+                                         horizon);
+  EASYTIME_ASSIGN_OR_RETURN(bank_, MakeWindows(train, lookback, horizon));
+  lookback_ = lookback;
+  trained_horizon_ = horizon;
+  train_tail_ = train;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> KnnForecaster::PredictWindow(
+    const std::vector<double>& window) const {
+  // Distance over mean-removed windows so the match is shape-based; the
+  // level difference is added back to the continuation.
+  auto mean_of = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m += x;
+    return v.empty() ? 0.0 : m / static_cast<double>(v.size());
+  };
+  double wm = mean_of(window);
+
+  struct Scored {
+    double dist;
+    size_t index;
+    double level_delta;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(bank_.inputs.size());
+  for (size_t i = 0; i < bank_.inputs.size(); ++i) {
+    const auto& cand = bank_.inputs[i];
+    double cm = mean_of(cand);
+    double d = 0.0;
+    for (size_t j = 0; j < cand.size(); ++j) {
+      double diff = (window[j] - wm) - (cand[j] - cm);
+      d += diff * diff;
+    }
+    scored.push_back({d, i, wm - cm});
+  }
+  size_t k = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.dist < b.dist;
+                    });
+
+  std::vector<double> out(bank_.horizon, 0.0);
+  double wsum = 0.0;
+  for (size_t r = 0; r < k; ++r) {
+    double w = 1.0 / (1.0 + std::sqrt(scored[r].dist));
+    wsum += w;
+    const auto& cont = bank_.targets[scored[r].index];
+    for (size_t h = 0; h < out.size(); ++h) {
+      out[h] += w * (cont[h] + scored[r].level_delta);
+    }
+  }
+  if (wsum > 0.0) {
+    for (auto& v : out) v /= wsum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> KnnForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  return RecursiveMultiStep(
+      train_tail_, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+Result<std::vector<double>> KnnForecaster::ForecastFrom(
+    const std::vector<double>& history, size_t horizon) {
+  if (!fitted_) return Status::Internal("ForecastFrom called before Fit");
+  if (history.empty()) {
+    return Status::InvalidArgument("history must be non-empty");
+  }
+  return RecursiveMultiStep(
+      history, lookback_, trained_horizon_, horizon,
+      [this](const std::vector<double>& w) { return PredictWindow(w); });
+}
+
+}  // namespace easytime::methods

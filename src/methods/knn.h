@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file knn.h
+/// \brief k-nearest-neighbour forecasting: finds the k historical windows
+/// closest (Euclidean, z-normalized) to the current context and averages
+/// their continuations, weighted by inverse distance.
+
+#include "methods/forecaster.h"
+#include "methods/window_util.h"
+
+namespace easytime::methods {
+
+/// Pattern-matching forecaster over embedded windows.
+class KnnForecaster : public Forecaster {
+ public:
+  /// \param k number of neighbours
+  /// \param lookback 0 = choose automatically
+  explicit KnnForecaster(size_t k = 5, size_t lookback = 0)
+      : k_(k == 0 ? 1 : k), lookback_cfg_(lookback) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "knn"; }
+  Family family() const override { return Family::kMachineLearning; }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  size_t k_;
+  size_t lookback_cfg_;
+  size_t lookback_ = 0;
+  size_t trained_horizon_ = 0;
+  WindowedData bank_;  ///< stored training windows + continuations
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

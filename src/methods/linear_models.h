@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file linear_models.h
+/// \brief Window-based linear forecasters: ridge regression on lags, and the
+/// decomposition linears popularized by "Are Transformers Effective for Time
+/// Series Forecasting?" — DLinear (moving-average trend/remainder split with
+/// separate heads) and NLinear (last-value normalization).
+
+#include "methods/forecaster.h"
+#include "methods/window_util.h"
+
+namespace easytime::methods {
+
+/// Multi-output ridge regression: last L values -> next H values.
+class LagLinearForecaster : public Forecaster {
+ public:
+  /// \param l2 ridge penalty
+  /// \param lookback 0 = choose automatically from period/length
+  explicit LagLinearForecaster(double l2 = 1.0, size_t lookback = 0)
+      : l2_(l2), lookback_cfg_(lookback) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "lag_linear"; }
+  Family family() const override { return Family::kMachineLearning; }
+
+ protected:
+  /// Hook for subclasses: transform a raw input window into features and
+  /// remember per-window state needed to undo the transform on outputs.
+  virtual std::vector<double> EncodeWindow(const std::vector<double>& window,
+                                           double* offset) const;
+
+  double l2_;
+  size_t lookback_cfg_;
+  size_t lookback_ = 0;
+  size_t trained_horizon_ = 0;
+  std::vector<std::vector<double>> weights_;  ///< per-step (L+1) coefficients
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+};
+
+/// NLinear: subtracts the window's last value before the linear map and adds
+/// it back to the outputs — robust to level shifts.
+class NLinearForecaster : public LagLinearForecaster {
+ public:
+  explicit NLinearForecaster(double l2 = 1.0, size_t lookback = 0)
+      : LagLinearForecaster(l2, lookback) {}
+  std::string name() const override { return "nlinear"; }
+
+ protected:
+  std::vector<double> EncodeWindow(const std::vector<double>& window,
+                                   double* offset) const override;
+};
+
+/// \brief DLinear: decomposes each window into a moving-average trend and a
+/// remainder, fits separate linear heads to each, and sums the forecasts.
+class DLinearForecaster : public Forecaster {
+ public:
+  explicit DLinearForecaster(double l2 = 1.0, size_t lookback = 0,
+                             size_t ma_window = 0)
+      : l2_(l2), lookback_cfg_(lookback), ma_window_cfg_(ma_window) {}
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  easytime::Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& history, size_t horizon) override;
+  std::string name() const override { return "dlinear"; }
+  Family family() const override { return Family::kMachineLearning; }
+
+ private:
+  std::vector<double> PredictWindow(const std::vector<double>& window) const;
+
+  double l2_;
+  size_t lookback_cfg_;
+  size_t ma_window_cfg_;
+  size_t lookback_ = 0;
+  size_t ma_window_ = 0;
+  size_t trained_horizon_ = 0;
+  std::vector<std::vector<double>> trend_weights_;
+  std::vector<std::vector<double>> season_weights_;
+  std::vector<double> train_tail_;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

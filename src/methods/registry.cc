@@ -1,0 +1,210 @@
+#include "methods/registry.h"
+
+#include <mutex>
+
+#include "methods/arima.h"
+#include "methods/baselines.h"
+#include "methods/deep.h"
+#include "methods/ets.h"
+#include "methods/exponential.h"
+#include "methods/gbdt.h"
+#include "methods/knn.h"
+#include "methods/linear_models.h"
+#include "methods/theta.h"
+
+namespace easytime::methods {
+
+MethodRegistry& MethodRegistry::Global() {
+  static MethodRegistry* registry = []() {
+    auto* r = new MethodRegistry();
+    RegisterBuiltinMethods(r);
+    return r;
+  }();
+  return *registry;
+}
+
+easytime::Status MethodRegistry::Register(MethodInfo info,
+                                          MethodFactory factory) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument("method name must be non-empty");
+  }
+  if (entries_.count(info.name)) {
+    return Status::AlreadyExists("method already registered: " + info.name);
+  }
+  std::string name = info.name;
+  order_.push_back(name);
+  entries_.emplace(std::move(name),
+                   Entry{std::move(info), std::move(factory)});
+  return Status::OK();
+}
+
+easytime::Result<ForecasterPtr> MethodRegistry::Create(
+    const std::string& name, const easytime::Json& config) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown method: " + name);
+  }
+  return it->second.factory(config);
+}
+
+bool MethodRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+easytime::Result<MethodInfo> MethodRegistry::Info(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown method: " + name);
+  }
+  return it->second.info;
+}
+
+std::vector<std::string> MethodRegistry::Names() const { return order_; }
+
+std::vector<std::string> MethodRegistry::NamesByFamily(Family family) const {
+  std::vector<std::string> out;
+  for (const auto& name : order_) {
+    if (entries_.at(name).info.family == family) out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T, typename... Args>
+MethodFactory SimpleFactory(Args... args) {
+  return [args...](const easytime::Json&) -> easytime::Result<ForecasterPtr> {
+    return ForecasterPtr(new T(args...));
+  };
+}
+
+DeepOptions DeepOptionsFromJson(const easytime::Json& cfg) {
+  DeepOptions o;
+  o.hidden = static_cast<size_t>(cfg.GetInt("hidden", static_cast<int64_t>(o.hidden)));
+  o.epochs = static_cast<size_t>(cfg.GetInt("epochs", static_cast<int64_t>(o.epochs)));
+  o.learning_rate = cfg.GetDouble("learning_rate", o.learning_rate);
+  o.lookback = static_cast<size_t>(cfg.GetInt("lookback", 0));
+  return o;
+}
+
+}  // namespace
+
+void RegisterBuiltinMethods(MethodRegistry* registry) {
+  auto reg = [registry](const std::string& name, Family family,
+                        const std::string& desc, MethodFactory factory) {
+    (void)registry->Register(MethodInfo{name, family, desc},
+                             std::move(factory));
+  };
+
+  // -- statistical ---------------------------------------------------------
+  reg("naive", Family::kStatistical, "repeat the last observed value",
+      SimpleFactory<NaiveForecaster>());
+  reg("seasonal_naive", Family::kStatistical, "repeat the last seasonal cycle",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new SeasonalNaiveForecaster(
+            static_cast<size_t>(cfg.GetInt("period", 0))));
+      });
+  reg("drift", Family::kStatistical, "first-to-last line extrapolation",
+      SimpleFactory<DriftForecaster>());
+  reg("mean", Family::kStatistical, "historical mean",
+      SimpleFactory<MeanForecaster>());
+  reg("window_average", Family::kStatistical, "trailing-window mean",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new WindowAverageForecaster(
+            static_cast<size_t>(cfg.GetInt("window", 16))));
+      });
+  reg("ses", Family::kStatistical, "simple exponential smoothing",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(
+            new SesForecaster(cfg.GetDouble("alpha", -1.0)));
+      });
+  reg("holt", Family::kStatistical, "Holt linear trend smoothing",
+      SimpleFactory<HoltForecaster>(false));
+  reg("holt_damped", Family::kStatistical, "damped-trend Holt smoothing",
+      SimpleFactory<HoltForecaster>(true));
+  reg("holt_winters_add", Family::kStatistical,
+      "additive Holt-Winters seasonal smoothing",
+      SimpleFactory<HoltWintersForecaster>(
+          HoltWintersForecaster::Seasonal::kAdditive, size_t{0}));
+  reg("holt_winters_mul", Family::kStatistical,
+      "multiplicative Holt-Winters seasonal smoothing",
+      SimpleFactory<HoltWintersForecaster>(
+          HoltWintersForecaster::Seasonal::kMultiplicative, size_t{0}));
+  reg("theta", Family::kStatistical, "the Theta method",
+      SimpleFactory<ThetaForecaster>());
+  reg("ar", Family::kStatistical, "autoregression with AIC order selection",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new ArForecaster(
+            static_cast<size_t>(cfg.GetInt("order", 0)),
+            static_cast<size_t>(cfg.GetInt("max_order", 8))));
+      });
+  reg("arima", Family::kStatistical, "ARIMA(p,d,q) via CSS",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new ArimaForecaster(
+            static_cast<size_t>(cfg.GetInt("p", 2)),
+            static_cast<size_t>(cfg.GetInt("d", 1)),
+            static_cast<size_t>(cfg.GetInt("q", 1))));
+      });
+  reg("ets_auto", Family::kStatistical,
+      "automatic exponential-smoothing model selection (AICc)",
+      SimpleFactory<EtsAutoForecaster>());
+
+  // -- machine learning ----------------------------------------------------
+  reg("lag_linear", Family::kMachineLearning,
+      "ridge regression on lag windows (direct multi-step)",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new LagLinearForecaster(
+            cfg.GetDouble("l2", 1.0),
+            static_cast<size_t>(cfg.GetInt("lookback", 0))));
+      });
+  reg("nlinear", Family::kMachineLearning,
+      "last-value-normalized linear (NLinear)",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new NLinearForecaster(
+            cfg.GetDouble("l2", 1.0),
+            static_cast<size_t>(cfg.GetInt("lookback", 0))));
+      });
+  reg("dlinear", Family::kMachineLearning,
+      "decomposition linear (DLinear): trend + remainder heads",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new DLinearForecaster(
+            cfg.GetDouble("l2", 1.0),
+            static_cast<size_t>(cfg.GetInt("lookback", 0)),
+            static_cast<size_t>(cfg.GetInt("ma_window", 0))));
+      });
+  reg("knn", Family::kMachineLearning,
+      "k-nearest-neighbour window matching",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new KnnForecaster(
+            static_cast<size_t>(cfg.GetInt("k", 5)),
+            static_cast<size_t>(cfg.GetInt("lookback", 0))));
+      });
+  reg("gbdt", Family::kMachineLearning,
+      "gradient-boosted regression trees on lag features",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        GbdtForecaster::Options o;
+        o.num_trees = static_cast<size_t>(cfg.GetInt("num_trees", 60));
+        o.learning_rate = cfg.GetDouble("learning_rate", 0.15);
+        o.max_depth = static_cast<size_t>(cfg.GetInt("max_depth", 3));
+        o.lookback = static_cast<size_t>(cfg.GetInt("lookback", 0));
+        return ForecasterPtr(new GbdtForecaster(o));
+      });
+
+  // -- deep learning -------------------------------------------------------
+  reg("mlp", Family::kDeepLearning, "window MLP (direct multi-step)",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new MlpForecaster(DeepOptionsFromJson(cfg)));
+      });
+  reg("gru", Family::kDeepLearning, "GRU encoder + linear head",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new GruForecaster(DeepOptionsFromJson(cfg)));
+      });
+  reg("tcn", Family::kDeepLearning,
+      "dilated causal convolution stack (TCN)",
+      [](const easytime::Json& cfg) -> easytime::Result<ForecasterPtr> {
+        return ForecasterPtr(new TcnForecaster(DeepOptionsFromJson(cfg)));
+      });
+}
+
+}  // namespace easytime::methods

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file registry.h
+/// \brief Method factory registry — the "users can easily integrate their
+/// own forecasting methods" mechanism. A method is registered once with a
+/// name, family, and a factory taking a Json config; the pipeline then
+/// instantiates it by name from the configuration file.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// Factory signature: builds a fresh forecaster from a JSON config object.
+using MethodFactory =
+    std::function<easytime::Result<ForecasterPtr>(const easytime::Json&)>;
+
+/// Metadata describing a registered method.
+struct MethodInfo {
+  std::string name;
+  Family family = Family::kStatistical;
+  std::string description;
+};
+
+/// \brief Registry of forecasting methods.
+class MethodRegistry {
+ public:
+  /// The process-wide registry, with all built-in methods pre-registered.
+  static MethodRegistry& Global();
+
+  /// Registers a method; fails if the name is taken.
+  easytime::Status Register(MethodInfo info, MethodFactory factory);
+
+  /// Instantiates a registered method with \p config.
+  easytime::Result<ForecasterPtr> Create(
+      const std::string& name,
+      const easytime::Json& config = easytime::Json::Object()) const;
+
+  /// True if \p name is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Metadata for one method.
+  easytime::Result<MethodInfo> Info(const std::string& name) const;
+
+  /// All registered method names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Names filtered by family.
+  std::vector<std::string> NamesByFamily(Family family) const;
+
+ private:
+  MethodRegistry() = default;
+
+  struct Entry {
+    MethodInfo info;
+    MethodFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+/// Registers every built-in method into \p registry (idempotent on the
+/// global registry; exposed for isolated-registry testing).
+void RegisterBuiltinMethods(MethodRegistry* registry);
+
+}  // namespace easytime::methods

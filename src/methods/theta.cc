@@ -1,0 +1,75 @@
+#include "methods/theta.h"
+
+#include "common/math_util.h"
+#include "tsdata/characteristics.h"
+
+namespace easytime::methods {
+
+Status ThetaForecaster::Fit(const std::vector<double>& train,
+                            const FitContext& ctx) {
+  if (train.size() < 4) {
+    return Status::InvalidArgument("theta needs at least 4 observations");
+  }
+  n_ = train.size();
+
+  // Deseasonalize additively when a credible period is known and the
+  // seasonality is strong enough (the standard Theta preprocessing).
+  period_ = ctx.period_hint;
+  std::vector<double> work = train;
+  seasonal_profile_.clear();
+  if (period_ >= 2 && train.size() >= 2 * period_ &&
+      tsdata::SeasonalStrength(train, period_) > 0.4) {
+    std::vector<double> phase_sum(period_, 0.0);
+    std::vector<size_t> phase_cnt(period_, 0);
+    std::vector<double> trend = MovingAverage(train, period_ | 1);
+    for (size_t i = 0; i < train.size(); ++i) {
+      phase_sum[i % period_] += train[i] - trend[i];
+      ++phase_cnt[i % period_];
+    }
+    seasonal_profile_.resize(period_);
+    double grand = 0.0;
+    for (size_t p = 0; p < period_; ++p) {
+      seasonal_profile_[p] =
+          phase_sum[p] / static_cast<double>(std::max<size_t>(1, phase_cnt[p]));
+      grand += seasonal_profile_[p];
+    }
+    grand /= static_cast<double>(period_);
+    for (auto& s : seasonal_profile_) s -= grand;
+    for (size_t i = 0; i < work.size(); ++i) {
+      work[i] -= seasonal_profile_[i % period_];
+    }
+  } else {
+    period_ = 0;
+  }
+
+  // Theta line 0: linear trend of the deseasonalized series.
+  std::tie(intercept_, slope_) = LinearTrendFit(work);
+
+  // Theta line 2: 2*y - trendline, forecast by SES.
+  std::vector<double> theta2(work.size());
+  for (size_t t = 0; t < work.size(); ++t) {
+    double trend_t = intercept_ + slope_ * static_cast<double>(t);
+    theta2[t] = 2.0 * work[t] - trend_t;
+  }
+  EASYTIME_RETURN_IF_ERROR(ses_.Fit(theta2, FitContext{}));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ThetaForecaster::Forecast(size_t horizon) const {
+  if (!fitted_) return Status::Internal("Forecast called before Fit");
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> ses_fc,
+                            ses_.Forecast(horizon));
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double trend_fc =
+        intercept_ + slope_ * static_cast<double>(n_ + h);
+    out[h] = 0.5 * (ses_fc[h] + trend_fc);
+    if (period_ >= 2) {
+      out[h] += seasonal_profile_[(n_ + h) % period_];
+    }
+  }
+  return out;
+}
+
+}  // namespace easytime::methods

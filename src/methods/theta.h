@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file theta.h
+/// \brief The Theta method (Assimakopoulos & Nikolopoulos): decomposes the
+/// (optionally deseasonalized) series into theta-lines theta=0 (the linear
+/// trend) and theta=2 (curvature-doubled series forecast by SES), and
+/// combines them 50/50. A strong M-competition baseline.
+
+#include "methods/exponential.h"
+#include "methods/forecaster.h"
+
+namespace easytime::methods {
+
+/// Classic two-line Theta forecaster with additive seasonal adjustment.
+class ThetaForecaster : public Forecaster {
+ public:
+  ThetaForecaster() = default;
+
+  easytime::Status Fit(const std::vector<double>& train,
+                       const FitContext& ctx) override;
+  easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  std::string name() const override { return "theta"; }
+  Family family() const override { return Family::kStatistical; }
+
+ private:
+  double intercept_ = 0.0;
+  double slope_ = 0.0;
+  size_t n_ = 0;
+  size_t period_ = 0;
+  std::vector<double> seasonal_profile_;  ///< per-phase additive component
+  SesForecaster ses_;
+  bool fitted_ = false;
+};
+
+}  // namespace easytime::methods

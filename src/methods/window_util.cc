@@ -1,0 +1,80 @@
+#include "methods/window_util.h"
+
+#include <algorithm>
+
+namespace easytime::methods {
+
+easytime::Result<WindowedData> MakeWindows(const std::vector<double>& series,
+                                           size_t lookback, size_t horizon) {
+  if (lookback == 0 || horizon == 0) {
+    return Status::InvalidArgument("lookback and horizon must be positive");
+  }
+  if (series.size() < lookback + horizon) {
+    return Status::InvalidArgument(
+        "series too short for windows: need " +
+        std::to_string(lookback + horizon) + ", have " +
+        std::to_string(series.size()));
+  }
+  WindowedData out;
+  out.lookback = lookback;
+  out.horizon = horizon;
+  size_t count = series.size() - lookback - horizon + 1;
+  out.inputs.reserve(count);
+  out.targets.reserve(count);
+  for (size_t r = 0; r < count; ++r) {
+    out.inputs.emplace_back(series.begin() + static_cast<long>(r),
+                            series.begin() + static_cast<long>(r + lookback));
+    out.targets.emplace_back(
+        series.begin() + static_cast<long>(r + lookback),
+        series.begin() + static_cast<long>(r + lookback + horizon));
+  }
+  return out;
+}
+
+size_t ChooseLookback(size_t series_len, size_t period_hint, size_t horizon) {
+  size_t lb;
+  if (period_hint >= 2) {
+    lb = 2 * period_hint;
+  } else {
+    lb = std::max<size_t>(8, series_len / 8);
+  }
+  lb = std::max(lb, horizon);
+  // Keep at least 8 training windows.
+  if (series_len > horizon + 8) {
+    lb = std::min(lb, series_len - horizon - 8);
+  } else if (series_len > horizon + 1) {
+    lb = std::min(lb, series_len - horizon - 1);
+  }
+  return std::max<size_t>(lb, 1);
+}
+
+std::vector<double> RecursiveMultiStep(
+    const std::vector<double>& history, size_t lookback,
+    size_t trained_horizon, size_t horizon,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        predict) {
+  std::vector<double> extended = history;
+  std::vector<double> out;
+  out.reserve(horizon);
+  while (out.size() < horizon) {
+    std::vector<double> window(
+        extended.end() - static_cast<long>(
+                             std::min(lookback, extended.size())),
+        extended.end());
+    // Left-pad with the first value when history is shorter than lookback.
+    while (window.size() < lookback) {
+      window.insert(window.begin(), window.empty() ? 0.0 : window.front());
+    }
+    std::vector<double> step = predict(window);
+    for (size_t i = 0; i < step.size() && out.size() < horizon; ++i) {
+      out.push_back(step[i]);
+      extended.push_back(step[i]);
+    }
+    if (step.empty()) break;  // defensive: avoid infinite loop
+  }
+  out.resize(horizon, out.empty() ? 0.0 : out.back());
+  (void)trained_horizon;
+  return out;
+}
+
+}  // namespace easytime::methods

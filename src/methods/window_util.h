@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file window_util.h
+/// \brief Sliding-window supervision shared by the ML/DL forecasters:
+/// builds (lookback -> horizon) training pairs and handles recursive
+/// extension when a forecast longer than the trained horizon is requested.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::methods {
+
+/// \brief Supervised windows: row r of `inputs` holds values
+/// [r, r+lookback); row r of `targets` holds [r+lookback, r+lookback+horizon).
+struct WindowedData {
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> targets;
+  size_t lookback = 0;
+  size_t horizon = 0;
+};
+
+/// Builds all complete windows over \p series.
+easytime::Result<WindowedData> MakeWindows(const std::vector<double>& series,
+                                           size_t lookback, size_t horizon);
+
+/// Picks a lookback for a series: ~2 periods when seasonal, otherwise a
+/// length-scaled default, clamped so at least a few windows exist.
+size_t ChooseLookback(size_t series_len, size_t period_hint, size_t horizon);
+
+/// \brief Produces a \p horizon -step forecast from a model that maps the
+/// last \p lookback values to \p trained_horizon future values, extending
+/// recursively (feeding predictions back) when horizon > trained_horizon.
+/// \param predict maps a window (size lookback) to trained_horizon values
+std::vector<double> RecursiveMultiStep(
+    const std::vector<double>& history, size_t lookback,
+    size_t trained_horizon, size_t horizon,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        predict);
+
+}  // namespace easytime::methods

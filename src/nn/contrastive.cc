@@ -1,0 +1,249 @@
+#include "nn/contrastive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace easytime::nn {
+
+namespace {
+
+/// Accumulates one InfoNCE term: anchor dotted against candidates, softmax
+/// cross-entropy with the positive at \p pos_index. cand[k] points at row
+/// vectors of length D; grads are accumulated into ganchor / gcand[k].
+double InfoNceTerm(const double* anchor,
+                   const std::vector<const double*>& cand, size_t pos_index,
+                   size_t dim, double* ganchor,
+                   const std::vector<double*>& gcand, double weight) {
+  size_t k = cand.size();
+  std::vector<double> logits(k);
+  double mx = -1e300;
+  for (size_t i = 0; i < k; ++i) {
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += anchor[d] * cand[i][d];
+    logits[i] = dot;
+    if (dot > mx) mx = dot;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    logits[i] = std::exp(logits[i] - mx);
+    sum += logits[i];
+  }
+  double loss = -std::log(std::max(logits[pos_index] / sum, 1e-300));
+  for (size_t i = 0; i < k; ++i) {
+    double p = logits[i] / sum;
+    double coef = weight * (p - (i == pos_index ? 1.0 : 0.0));
+    if (coef == 0.0) continue;
+    for (size_t d = 0; d < dim; ++d) {
+      ganchor[d] += coef * cand[i][d];
+      gcand[i][d] += coef * anchor[d];
+    }
+  }
+  return weight * loss;
+}
+
+}  // namespace
+
+double DualContrastiveLoss(const std::vector<Matrix>& view1,
+                           const std::vector<Matrix>& view2, double alpha,
+                           std::vector<Matrix>* grad1,
+                           std::vector<Matrix>* grad2) {
+  const size_t B = view1.size();
+  assert(view2.size() == B);
+  if (B == 0) return 0.0;
+  const size_t T = view1[0].rows();
+  const size_t D = view1[0].cols();
+
+  if (grad1) {
+    grad1->assign(B, Matrix(T, D));
+  }
+  if (grad2) {
+    grad2->assign(B, Matrix(T, D));
+  }
+  // Local grads (always computed; cheap relative to the loss itself).
+  std::vector<Matrix> g1(B, Matrix(T, D)), g2(B, Matrix(T, D));
+
+  double loss = 0.0;
+  size_t terms = 0;
+
+  // Instance contrast: anchor z1[i][t]; candidates z2[j][t] (all j) and
+  // z1[j][t] (j != i). Symmetrized by swapping the views.
+  if (B >= 2 && alpha > 0.0) {
+    for (size_t t = 0; t < T; ++t) {
+      for (size_t i = 0; i < B; ++i) {
+        for (int dir = 0; dir < 2; ++dir) {
+          const auto& va = dir == 0 ? view1 : view2;
+          const auto& vb = dir == 0 ? view2 : view1;
+          auto& ga = dir == 0 ? g1 : g2;
+          auto& gb = dir == 0 ? g2 : g1;
+          const double* anchor = va[i].data() + t * D;
+          double* ganchor = ga[i].data() + t * D;
+          std::vector<const double*> cand;
+          std::vector<double*> gcand;
+          cand.reserve(2 * B - 1);
+          gcand.reserve(2 * B - 1);
+          size_t pos = 0;
+          for (size_t j = 0; j < B; ++j) {
+            if (j == i) pos = cand.size();
+            cand.push_back(vb[j].data() + t * D);
+            gcand.push_back(gb[j].data() + t * D);
+          }
+          for (size_t j = 0; j < B; ++j) {
+            if (j == i) continue;
+            cand.push_back(va[j].data() + t * D);
+            gcand.push_back(ga[j].data() + t * D);
+          }
+          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, alpha);
+          ++terms;
+        }
+      }
+    }
+  }
+
+  // Temporal contrast: anchor z1[i][t]; candidates z2[i][t'] (all t') and
+  // z1[i][t'] (t' != t). Symmetrized.
+  double beta = 1.0 - alpha;
+  if (T >= 2 && beta > 0.0) {
+    for (size_t i = 0; i < B; ++i) {
+      for (size_t t = 0; t < T; ++t) {
+        for (int dir = 0; dir < 2; ++dir) {
+          const auto& va = dir == 0 ? view1 : view2;
+          const auto& vb = dir == 0 ? view2 : view1;
+          auto& ga = dir == 0 ? g1 : g2;
+          auto& gb = dir == 0 ? g2 : g1;
+          const double* anchor = va[i].data() + t * D;
+          double* ganchor = ga[i].data() + t * D;
+          std::vector<const double*> cand;
+          std::vector<double*> gcand;
+          cand.reserve(2 * T - 1);
+          gcand.reserve(2 * T - 1);
+          size_t pos = 0;
+          for (size_t u = 0; u < T; ++u) {
+            if (u == t) pos = cand.size();
+            cand.push_back(vb[i].data() + u * D);
+            gcand.push_back(gb[i].data() + u * D);
+          }
+          for (size_t u = 0; u < T; ++u) {
+            if (u == t) continue;
+            cand.push_back(va[i].data() + u * D);
+            gcand.push_back(ga[i].data() + u * D);
+          }
+          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, beta);
+          ++terms;
+        }
+      }
+    }
+  }
+
+  if (terms == 0) return 0.0;
+  double norm = 1.0 / static_cast<double>(terms);
+  loss *= norm;
+  for (size_t i = 0; i < B; ++i) {
+    g1[i].Scale(norm);
+    g2[i].Scale(norm);
+    if (grad1) (*grad1)[i] = g1[i];
+    if (grad2) (*grad2)[i] = g2[i];
+  }
+  return loss;
+}
+
+namespace {
+
+/// Max-pool over time by 2; records the source row of each pooled entry.
+Matrix MaxPoolTime(const Matrix& x, std::vector<size_t>* argmax) {
+  size_t T = x.rows(), D = x.cols();
+  size_t T2 = (T + 1) / 2;
+  Matrix out(T2, D);
+  argmax->assign(T2 * D, 0);
+  for (size_t t = 0; t < T2; ++t) {
+    size_t a = 2 * t;
+    size_t b = std::min(2 * t + 1, T - 1);
+    for (size_t d = 0; d < D; ++d) {
+      if (x.at(a, d) >= x.at(b, d)) {
+        out.at(t, d) = x.at(a, d);
+        (*argmax)[t * D + d] = a;
+      } else {
+        out.at(t, d) = x.at(b, d);
+        (*argmax)[t * D + d] = b;
+      }
+    }
+  }
+  return out;
+}
+
+/// Routes pooled grads back to the rows recorded by MaxPoolTime.
+Matrix UnpoolTime(const Matrix& gpooled, const std::vector<size_t>& argmax,
+                  size_t orig_T) {
+  size_t T2 = gpooled.rows(), D = gpooled.cols();
+  Matrix out(orig_T, D);
+  for (size_t t = 0; t < T2; ++t) {
+    for (size_t d = 0; d < D; ++d) {
+      out.at(argmax[t * D + d], d) += gpooled.at(t, d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double HierarchicalContrastiveLoss(const std::vector<Matrix>& view1,
+                                   const std::vector<Matrix>& view2,
+                                   std::vector<Matrix>* grad1,
+                                   std::vector<Matrix>* grad2,
+                                   const ContrastiveOptions& options) {
+  const size_t B = view1.size();
+  if (B == 0 || view2.size() != B) return 0.0;
+
+  // Level data.
+  std::vector<std::vector<Matrix>> lv1{view1}, lv2{view2};
+  std::vector<std::vector<std::vector<size_t>>> maps1, maps2;  // per level, per series
+  std::vector<size_t> lengths{view1[0].rows()};
+
+  while (lv1.back()[0].rows() > 1 &&
+         static_cast<int>(lv1.size()) < options.max_levels) {
+    std::vector<Matrix> n1(B), n2(B);
+    std::vector<std::vector<size_t>> m1(B), m2(B);
+    for (size_t i = 0; i < B; ++i) {
+      n1[i] = MaxPoolTime(lv1.back()[i], &m1[i]);
+      n2[i] = MaxPoolTime(lv2.back()[i], &m2[i]);
+    }
+    maps1.push_back(std::move(m1));
+    maps2.push_back(std::move(m2));
+    lengths.push_back(n1[0].rows());
+    lv1.push_back(std::move(n1));
+    lv2.push_back(std::move(n2));
+  }
+
+  const size_t L = lv1.size();
+  double total = 0.0;
+  std::vector<std::vector<Matrix>> lg1(L), lg2(L);
+  for (size_t l = 0; l < L; ++l) {
+    total += DualContrastiveLoss(lv1[l], lv2[l], options.alpha,
+                                 grad1 ? &lg1[l] : nullptr,
+                                 grad2 ? &lg2[l] : nullptr);
+  }
+  total /= static_cast<double>(L);
+
+  auto collapse = [&](std::vector<std::vector<Matrix>>& lg,
+                      const std::vector<std::vector<std::vector<size_t>>>& maps,
+                      std::vector<Matrix>* out) {
+    if (!out) return;
+    // acc = G_{L-1}; for l = L-2..0: acc = G_l + Unpool(acc).
+    std::vector<Matrix> acc = std::move(lg[L - 1]);
+    for (size_t l = L - 1; l-- > 0;) {
+      std::vector<Matrix> up(B);
+      for (size_t i = 0; i < B; ++i) {
+        up[i] = UnpoolTime(acc[i], maps[l][i], lengths[l]);
+        up[i].Add(lg[l][i]);
+      }
+      acc = std::move(up);
+    }
+    for (auto& g : acc) g.Scale(1.0 / static_cast<double>(L));
+    *out = std::move(acc);
+  };
+  collapse(lg1, maps1, grad1);
+  collapse(lg2, maps2, grad2);
+  return total;
+}
+
+}  // namespace easytime::nn

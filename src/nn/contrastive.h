@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file contrastive.h
+/// \brief TS2Vec's hierarchical contrastive loss (Yue et al., AAAI'22) with
+/// analytic gradients. Two augmented views of each series in a batch are
+/// encoded to representation sequences; the loss contrasts them temporally
+/// (same series, other timestamps are negatives) and instance-wise (same
+/// timestamp, other series are negatives), at every level of a max-pool
+/// hierarchy over time.
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace easytime::nn {
+
+/// Options for the hierarchical contrastive loss.
+struct ContrastiveOptions {
+  double alpha = 0.5;   ///< weight of the instance term (1-alpha temporal)
+  int max_levels = 8;   ///< cap on pooling depth
+};
+
+/// \brief Computes the hierarchical contrastive loss between two views.
+///
+/// \param view1 batch of representation sequences, each (T x D); all series
+///        must share T and D
+/// \param view2 the second view, same shapes, aligned on the overlap
+/// \param grad1 output: dL/dview1 (same shapes); may be nullptr
+/// \param grad2 output: dL/dview2; may be nullptr
+/// \returns the scalar loss (averaged over hierarchy levels)
+double HierarchicalContrastiveLoss(const std::vector<Matrix>& view1,
+                                   const std::vector<Matrix>& view2,
+                                   std::vector<Matrix>* grad1,
+                                   std::vector<Matrix>* grad2,
+                                   const ContrastiveOptions& options = {});
+
+/// \brief Single-level dual contrastive loss (instance + temporal) used by
+/// the hierarchy; exposed for testing.
+double DualContrastiveLoss(const std::vector<Matrix>& view1,
+                           const std::vector<Matrix>& view2, double alpha,
+                           std::vector<Matrix>* grad1,
+                           std::vector<Matrix>* grad2);
+
+}  // namespace easytime::nn

@@ -1,0 +1,143 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+namespace easytime::nn {
+
+namespace {
+double SigmoidScalar(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+}  // namespace
+
+Gru::Gru(size_t input_size, size_t hidden_size, Rng* rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      w_ir_(Matrix::Xavier(input_size, hidden_size, rng)),
+      w_iz_(Matrix::Xavier(input_size, hidden_size, rng)),
+      w_in_(Matrix::Xavier(input_size, hidden_size, rng)),
+      w_hr_(Matrix::Xavier(hidden_size, hidden_size, rng)),
+      w_hz_(Matrix::Xavier(hidden_size, hidden_size, rng)),
+      w_hn_(Matrix::Xavier(hidden_size, hidden_size, rng)),
+      b_r_(Matrix::Zeros(1, hidden_size)),
+      b_z_(Matrix::Zeros(1, hidden_size)),
+      b_n_(Matrix::Zeros(1, hidden_size)),
+      b_hn_(Matrix::Zeros(1, hidden_size)) {}
+
+Matrix Gru::Forward(const Matrix& x) {
+  cached_input_ = x;
+  const size_t T = x.rows();
+  const size_t H = hidden_size_;
+  r_.assign(T, std::vector<double>(H));
+  z_.assign(T, std::vector<double>(H));
+  n_.assign(T, std::vector<double>(H));
+  h_.assign(T, std::vector<double>(H));
+  hn_lin_.assign(T, std::vector<double>(H));
+
+  Matrix out(T, H);
+  std::vector<double> h_prev(H, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t j = 0; j < H; ++j) {
+      double ar = b_r_.value.at(0, j);
+      double az = b_z_.value.at(0, j);
+      double an = b_n_.value.at(0, j);
+      double hn = b_hn_.value.at(0, j);
+      for (size_t i = 0; i < input_size_; ++i) {
+        double xv = x.at(t, i);
+        ar += xv * w_ir_.value.at(i, j);
+        az += xv * w_iz_.value.at(i, j);
+        an += xv * w_in_.value.at(i, j);
+      }
+      for (size_t i = 0; i < H; ++i) {
+        double hv = h_prev[i];
+        ar += hv * w_hr_.value.at(i, j);
+        az += hv * w_hz_.value.at(i, j);
+        hn += hv * w_hn_.value.at(i, j);
+      }
+      double r = SigmoidScalar(ar);
+      double z = SigmoidScalar(az);
+      double n = std::tanh(an + r * hn);
+      double h = (1.0 - z) * n + z * h_prev[j];
+      r_[t][j] = r;
+      z_[t][j] = z;
+      n_[t][j] = n;
+      hn_lin_[t][j] = hn;
+      h_[t][j] = h;
+      out.at(t, j) = h;
+    }
+    h_prev = h_[t];
+  }
+  return out;
+}
+
+Matrix Gru::Backward(const Matrix& grad_out) {
+  const size_t T = cached_input_.rows();
+  const size_t H = hidden_size_;
+  Matrix dx(T, input_size_);
+  std::vector<double> dh_next(H, 0.0);  // dL/dh_t carried backward
+  const std::vector<double> zero_state(H, 0.0);
+
+  for (size_t ti = T; ti-- > 0;) {
+    const std::vector<double>& h_prev = ti > 0 ? h_[ti - 1] : zero_state;
+    std::vector<double> dh(H);
+    for (size_t j = 0; j < H; ++j) dh[j] = grad_out.at(ti, j) + dh_next[j];
+
+    std::vector<double> dh_prev(H, 0.0);
+    std::vector<double> dar(H), daz(H), dan(H), dhn(H);
+    for (size_t j = 0; j < H; ++j) {
+      double r = r_[ti][j], z = z_[ti][j], n = n_[ti][j];
+      double dn = dh[j] * (1.0 - z);
+      double dz = dh[j] * (h_prev[j] - n);
+      dh_prev[j] += dh[j] * z;
+
+      double dan_j = dn * (1.0 - n * n);          // grad wrt tanh pre-act
+      double dhn_j = dan_j * r;                   // grad wrt (h W_hn + b_hn)
+      double dr = dan_j * hn_lin_[ti][j];
+      double dar_j = dr * r * (1.0 - r);
+      double daz_j = dz * z * (1.0 - z);
+
+      dar[j] = dar_j;
+      daz[j] = daz_j;
+      dan[j] = dan_j;
+      dhn[j] = dhn_j;
+
+      b_r_.grad.at(0, j) += dar_j;
+      b_z_.grad.at(0, j) += daz_j;
+      b_n_.grad.at(0, j) += dan_j;
+      b_hn_.grad.at(0, j) += dhn_j;
+    }
+
+    // Parameter and input/hidden gradients.
+    for (size_t i = 0; i < input_size_; ++i) {
+      double xv = cached_input_.at(ti, i);
+      double dxi = 0.0;
+      for (size_t j = 0; j < H; ++j) {
+        w_ir_.grad.at(i, j) += xv * dar[j];
+        w_iz_.grad.at(i, j) += xv * daz[j];
+        w_in_.grad.at(i, j) += xv * dan[j];
+        dxi += dar[j] * w_ir_.value.at(i, j) + daz[j] * w_iz_.value.at(i, j) +
+               dan[j] * w_in_.value.at(i, j);
+      }
+      dx.at(ti, i) = dxi;
+    }
+    for (size_t i = 0; i < H; ++i) {
+      double hv = h_prev[i];
+      double acc = 0.0;
+      for (size_t j = 0; j < H; ++j) {
+        w_hr_.grad.at(i, j) += hv * dar[j];
+        w_hz_.grad.at(i, j) += hv * daz[j];
+        w_hn_.grad.at(i, j) += hv * dhn[j];
+        acc += dar[j] * w_hr_.value.at(i, j) + daz[j] * w_hz_.value.at(i, j) +
+               dhn[j] * w_hn_.value.at(i, j);
+      }
+      dh_prev[i] += acc;
+    }
+    dh_next = std::move(dh_prev);
+  }
+  return dx;
+}
+
+std::vector<Param*> Gru::Params() {
+  return {&w_ir_, &w_iz_, &w_in_, &w_hr_, &w_hz_, &w_hn_,
+          &b_r_,  &b_z_,  &b_n_,  &b_hn_};
+}
+
+}  // namespace easytime::nn

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file gru.h
+/// \brief A GRU layer processing one sequence (time x input) into hidden
+/// states (time x hidden), with full backpropagation-through-time. Used by
+/// the GRU forecaster.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace easytime::nn {
+
+/// \brief Gated recurrent unit (PyTorch gate convention):
+///   r_t = sigma(x_t W_ir + h_{t-1} W_hr + b_r)
+///   z_t = sigma(x_t W_iz + h_{t-1} W_hz + b_z)
+///   n_t = tanh (x_t W_in + r_t * (h_{t-1} W_hn + b_hn) + b_n)
+///   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+/// Forward takes the whole sequence; the initial hidden state is zero.
+class Gru : public Layer {
+ public:
+  Gru(size_t input_size, size_t hidden_size, Rng* rng);
+
+  /// \param x (time x input) -> (time x hidden)
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string name() const override { return "Gru"; }
+
+  size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  size_t input_size_;
+  size_t hidden_size_;
+
+  // Input-to-hidden and hidden-to-hidden weights per gate.
+  Param w_ir_, w_iz_, w_in_;  // (input x hidden)
+  Param w_hr_, w_hz_, w_hn_;  // (hidden x hidden)
+  Param b_r_, b_z_, b_n_, b_hn_;  // (1 x hidden)
+
+  // Per-timestep caches for BPTT.
+  Matrix cached_input_;
+  std::vector<std::vector<double>> r_, z_, n_, h_, hn_lin_;
+};
+
+}  // namespace easytime::nn

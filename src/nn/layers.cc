@@ -1,0 +1,197 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace easytime::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : weight_(Matrix::Xavier(in_features, out_features, rng)),
+      bias_(Matrix::Zeros(1, out_features)) {}
+
+Matrix Linear::Forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix out = x.MatMul(weight_.value);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) += bias_.value.at(0, c);
+    }
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_out) {
+  // dW = x^T g ; db = column sums of g ; dx = g W^T.
+  Matrix dw = cached_input_.Transposed().MatMul(grad_out);
+  weight_.grad.Add(dw);
+  for (size_t r = 0; r < grad_out.rows(); ++r) {
+    for (size_t c = 0; c < grad_out.cols(); ++c) {
+      bias_.grad.at(0, c) += grad_out.at(r, c);
+    }
+  }
+  return grad_out.MatMul(weight_.value.Transposed());
+}
+
+Matrix ReLU::Forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix out = x;
+  for (auto& v : out.raw()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_out) {
+  Matrix out = grad_out;
+  for (size_t i = 0; i < out.raw().size(); ++i) {
+    if (cached_input_.raw()[i] <= 0.0) out.raw()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Tanh::Forward(const Matrix& x) {
+  Matrix out = x;
+  for (auto& v : out.raw()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_out) {
+  Matrix out = grad_out;
+  for (size_t i = 0; i < out.raw().size(); ++i) {
+    double y = cached_output_.raw()[i];
+    out.raw()[i] *= (1.0 - y * y);
+  }
+  return out;
+}
+
+Matrix Sigmoid::Forward(const Matrix& x) {
+  Matrix out = x;
+  for (auto& v : out.raw()) v = 1.0 / (1.0 + std::exp(-v));
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_out) {
+  Matrix out = grad_out;
+  for (size_t i = 0; i < out.raw().size(); ++i) {
+    double y = cached_output_.raw()[i];
+    out.raw()[i] *= y * (1.0 - y);
+  }
+  return out;
+}
+
+Matrix Sequential::Forward(const Matrix& x) {
+  Matrix cur = x;
+  for (auto& layer : layers_) cur = layer->Forward(cur);
+  return cur;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_out) {
+  Matrix cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->Backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    auto p = layer->Params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+CausalConv1d::CausalConv1d(size_t in_channels, size_t out_channels,
+                           size_t kernel_size, size_t dilation, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      dilation_(dilation == 0 ? 1 : dilation),
+      weight_(Matrix::Xavier(kernel_size * in_channels, out_channels, rng)),
+      bias_(Matrix::Zeros(1, out_channels)) {}
+
+Matrix CausalConv1d::Forward(const Matrix& x) {
+  cached_input_ = x;
+  size_t T = x.rows();
+  Matrix out(T, out_channels_);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t o = 0; o < out_channels_; ++o) {
+      out.at(t, o) = bias_.value.at(0, o);
+    }
+    for (size_t kk = 0; kk < kernel_size_; ++kk) {
+      // tap index: t - kk * dilation (causal; zero-padded on the left)
+      long src = static_cast<long>(t) - static_cast<long>(kk * dilation_);
+      if (src < 0) continue;
+      for (size_t ci = 0; ci < in_channels_; ++ci) {
+        double xv = x.at(static_cast<size_t>(src), ci);
+        if (xv == 0.0) continue;
+        const size_t wrow = kk * in_channels_ + ci;
+        for (size_t o = 0; o < out_channels_; ++o) {
+          out.at(t, o) += xv * weight_.value.at(wrow, o);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix CausalConv1d::Backward(const Matrix& grad_out) {
+  size_t T = cached_input_.rows();
+  Matrix dx(T, in_channels_);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t o = 0; o < out_channels_; ++o) {
+      double g = grad_out.at(t, o);
+      if (g == 0.0) continue;
+      bias_.grad.at(0, o) += g;
+      for (size_t kk = 0; kk < kernel_size_; ++kk) {
+        long src = static_cast<long>(t) - static_cast<long>(kk * dilation_);
+        if (src < 0) continue;
+        for (size_t ci = 0; ci < in_channels_; ++ci) {
+          const size_t wrow = kk * in_channels_ + ci;
+          weight_.grad.at(wrow, o) +=
+              g * cached_input_.at(static_cast<size_t>(src), ci);
+          dx.at(static_cast<size_t>(src), ci) += g * weight_.value.at(wrow, o);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+ResidualConvBlock::ResidualConvBlock(size_t in_channels, size_t out_channels,
+                                     size_t kernel_size, size_t dilation,
+                                     Rng* rng)
+    : conv1_(in_channels, out_channels, kernel_size, dilation, rng),
+      conv2_(out_channels, out_channels, kernel_size, dilation, rng) {
+  if (in_channels != out_channels) {
+    skip_ = std::make_unique<CausalConv1d>(in_channels, out_channels, 1, 1,
+                                           rng);
+  }
+}
+
+Matrix ResidualConvBlock::Forward(const Matrix& x) {
+  Matrix h = conv2_.Forward(relu1_.Forward(conv1_.Forward(x)));
+  Matrix skip = skip_ ? skip_->Forward(x) : x;
+  h.Add(skip);
+  return h;
+}
+
+Matrix ResidualConvBlock::Backward(const Matrix& grad_out) {
+  Matrix dmain = conv1_.Backward(relu1_.Backward(conv2_.Backward(grad_out)));
+  Matrix dskip = skip_ ? skip_->Backward(grad_out) : grad_out;
+  dmain.Add(dskip);
+  return dmain;
+}
+
+std::vector<Param*> ResidualConvBlock::Params() {
+  std::vector<Param*> out = conv1_.Params();
+  auto p2 = conv2_.Params();
+  out.insert(out.end(), p2.begin(), p2.end());
+  if (skip_) {
+    auto ps = skip_->Params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+}  // namespace easytime::nn

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file layers.h
+/// \brief Layer abstraction with explicit forward/backward passes. Each
+/// layer caches what its backward pass needs; Backward() receives dL/dout
+/// and returns dL/din while accumulating parameter gradients.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace easytime::nn {
+
+/// \brief Base class of all differentiable layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for \p x (shape contract is per-layer;
+  /// fully-connected layers take (batch x features), sequence layers take
+  /// (time x channels)).
+  virtual Matrix Forward(const Matrix& x) = 0;
+
+  /// Backpropagates \p grad_out (dL/doutput, same shape as the last
+  /// Forward's result), accumulates parameter gradients, and returns
+  /// dL/dinput.
+  virtual Matrix Backward(const Matrix& grad_out) = 0;
+
+  /// Trainable parameters (value + grad); empty for stateless layers.
+  virtual std::vector<Param*> Params() { return {}; }
+
+  /// Diagnostic name.
+  virtual std::string name() const = 0;
+};
+
+/// Fully-connected layer: y = x W + b, x is (batch x in).
+class Linear : public Layer {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+
+  size_t in_features() const { return weight_.value.rows(); }
+  size_t out_features() const { return weight_.value.cols(); }
+
+ private:
+  Param weight_;  // (in x out)
+  Param bias_;    // (1 x out)
+  Matrix cached_input_;
+};
+
+/// Element-wise ReLU.
+class ReLU : public Layer {
+ public:
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Element-wise tanh.
+class Tanh : public Layer {
+ public:
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Element-wise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// \brief Ordered container of layers applied in sequence.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (takes ownership).
+  void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string name() const override { return "Sequential"; }
+
+  size_t size() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// \brief Causal dilated 1-D convolution over a (time x in_channels)
+/// sequence, producing (time x out_channels). Left-pads with zeros so output
+/// length equals input length; position t only sees inputs at
+/// t, t-d, ..., t-(k-1)d — the TCN/TS2Vec building block.
+class CausalConv1d : public Layer {
+ public:
+  CausalConv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               size_t dilation, Rng* rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "CausalConv1d"; }
+
+  size_t kernel_size() const { return kernel_size_; }
+  size_t dilation() const { return dilation_; }
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_size_;
+  size_t dilation_;
+  Param weight_;  // (kernel*in x out)
+  Param bias_;    // (1 x out)
+  Matrix cached_input_;
+};
+
+/// \brief Residual dilated-conv block: Conv -> ReLU -> Conv, plus a skip
+/// connection (1x1 conv when channel counts differ). The encoder stacks
+/// these with dilation 2^i.
+class ResidualConvBlock : public Layer {
+ public:
+  ResidualConvBlock(size_t in_channels, size_t out_channels,
+                    size_t kernel_size, size_t dilation, Rng* rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string name() const override { return "ResidualConvBlock"; }
+
+ private:
+  CausalConv1d conv1_;
+  ReLU relu1_;
+  CausalConv1d conv2_;
+  std::unique_ptr<CausalConv1d> skip_;  // nullptr when identity skip works
+};
+
+}  // namespace easytime::nn

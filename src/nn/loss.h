@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file loss.h
+/// \brief Loss functions returning (scalar loss, dL/dpred). Includes the
+/// soft-label cross-entropy the method classifier trains with ([10] in the
+/// paper: SimpleTS-style soft labels).
+
+#include <utility>
+
+#include "nn/matrix.h"
+
+namespace easytime::nn {
+
+/// Mean squared error over all entries; grad has pred's shape.
+std::pair<double, Matrix> MseLoss(const Matrix& pred, const Matrix& target);
+
+/// Mean absolute error over all entries.
+std::pair<double, Matrix> MaeLoss(const Matrix& pred, const Matrix& target);
+
+/// \brief Cross-entropy between row-wise softmax(logits) and a *soft* target
+/// distribution (rows sum to 1). With one-hot targets this is standard CE;
+/// with performance-derived soft labels it trains the classifier to produce
+/// a probability *ranking* over methods rather than a single winner.
+std::pair<double, Matrix> SoftCrossEntropyLoss(const Matrix& logits,
+                                               const Matrix& soft_targets);
+
+/// Row-wise softmax of \p logits.
+Matrix RowSoftmax(const Matrix& logits);
+
+}  // namespace easytime::nn

@@ -1,0 +1,98 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace easytime::nn {
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, double stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::FromVector(const std::vector<double>& v) {
+  Matrix m(1, v.size());
+  m.data_ = v;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+void Matrix::Fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (auto& x : data_) x *= s;
+}
+
+void Matrix::Axpy(double s, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+}  // namespace easytime::nn

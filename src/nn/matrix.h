@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file matrix.h
+/// \brief Dense row-major matrix used as the tensor type of the mini NN
+/// engine. Sequences are (time x channels) matrices; batches are vectors of
+/// matrices. Sized for CPU training of the small models EasyTime uses
+/// (TS2Vec encoder, method classifier, MLP/GRU/TCN forecasters).
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace easytime::nn {
+
+/// \brief A dense row-major double matrix with the handful of operations the
+/// layer implementations need.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Xavier/Glorot uniform initialization.
+  static Matrix Xavier(size_t rows, size_t cols, Rng* rng);
+
+  /// Gaussian initialization with the given std.
+  static Matrix Gaussian(size_t rows, size_t cols, double stddev, Rng* rng);
+
+  /// Builds a 1 x n row vector from \p v.
+  static Matrix FromVector(const std::vector<double>& v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Row r as a vector copy.
+  std::vector<double> Row(size_t r) const;
+
+  /// Sets all entries to \p v.
+  void Fill(double v);
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this -= other (same shape).
+  void Sub(const Matrix& other);
+  /// this *= s.
+  void Scale(double s);
+  /// this += s * other (axpy, same shape).
+  void Axpy(double s, const Matrix& other);
+
+  /// Element-wise product (same shape).
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief A trainable parameter: value plus accumulated gradient.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  Param() = default;
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+}  // namespace easytime::nn

@@ -1,0 +1,72 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace easytime::nn {
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (Param* p : params_) total += p->grad.SquaredNorm();
+  total = std::sqrt(total);
+  if (total <= max_norm || total == 0.0) return;
+  double scale = max_norm / total;
+  for (Param* p : params_) p->grad.Scale(scale);
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (momentum_ > 0.0) {
+      velocity_[i].Scale(momentum_);
+      velocity_[i].Axpy(1.0, p->grad);
+      p->value.Axpy(-lr_, velocity_[i]);
+    } else {
+      p->value.Axpy(-lr_, p->grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, t_);
+  double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    auto& m = m_[i].raw();
+    auto& v = v_[i].raw();
+    const auto& g = p->grad.raw();
+    auto& val = p->value.raw();
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      double mhat = m[j] / bc1;
+      double vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace easytime::nn

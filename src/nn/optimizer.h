@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file optimizer.h
+/// \brief Parameter update rules. Layers expose Param* lists; optimizers
+/// step on those after each backward pass and zero gradients.
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace easytime::nn {
+
+/// \brief Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each param's accumulated gradient.
+  virtual void Step() = 0;
+
+  /// Clears all gradients (call after Step).
+  void ZeroGrad() {
+    for (Param* p : params_) p->ZeroGrad();
+  }
+
+  /// Rescales gradients so their global L2 norm is at most \p max_norm.
+  void ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// SGD with momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace easytime::nn

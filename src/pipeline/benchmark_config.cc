@@ -1,0 +1,95 @@
+#include "pipeline/benchmark_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "methods/registry.h"
+
+namespace easytime::pipeline {
+
+easytime::Result<BenchmarkConfig> BenchmarkConfig::FromJson(
+    const easytime::Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("benchmark config must be a JSON object");
+  }
+  BenchmarkConfig c;
+  if (j.Has("datasets")) {
+    const auto& d = j.Get("datasets");
+    if (!d.is_array()) {
+      return Status::InvalidArgument("datasets must be an array");
+    }
+    for (const auto& item : d.items()) {
+      if (!item.is_string()) {
+        return Status::InvalidArgument("dataset names must be strings");
+      }
+      c.datasets.push_back(item.AsString());
+    }
+  }
+  if (j.Has("methods")) {
+    const auto& m = j.Get("methods");
+    if (!m.is_array()) {
+      return Status::InvalidArgument("methods must be an array");
+    }
+    for (const auto& item : m.items()) {
+      MethodSpec spec;
+      if (item.is_string()) {
+        spec.name = item.AsString();
+      } else if (item.is_object()) {
+        spec.name = item.GetString("name", "");
+        if (item.Has("config")) spec.config = item.Get("config");
+      } else {
+        return Status::InvalidArgument(
+            "method entries must be names or {name, config} objects");
+      }
+      if (spec.name.empty()) {
+        return Status::InvalidArgument("method entry missing name");
+      }
+      if (!methods::MethodRegistry::Global().Contains(spec.name)) {
+        return Status::NotFound("unknown method in config: " + spec.name);
+      }
+      c.methods.push_back(std::move(spec));
+    }
+  }
+  if (j.Has("evaluation")) {
+    EASYTIME_ASSIGN_OR_RETURN(c.eval,
+                              eval::EvalConfig::FromJson(j.Get("evaluation")));
+  }
+  c.num_threads = static_cast<size_t>(j.GetInt("num_threads", 0));
+  c.log_file = j.GetString("log_file", "");
+  c.output_csv = j.GetString("output_csv", "");
+  return c;
+}
+
+easytime::Result<BenchmarkConfig> BenchmarkConfig::FromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EASYTIME_ASSIGN_OR_RETURN(easytime::Json j, easytime::Json::Parse(ss.str()));
+  auto res = FromJson(j);
+  if (!res.ok()) return res.status().WithContext(path);
+  return res;
+}
+
+easytime::Json BenchmarkConfig::ToJson() const {
+  easytime::Json j = easytime::Json::Object();
+  easytime::Json d = easytime::Json::Array();
+  for (const auto& name : datasets) d.Append(name);
+  j.Set("datasets", std::move(d));
+  easytime::Json m = easytime::Json::Array();
+  for (const auto& spec : methods) {
+    easytime::Json entry = easytime::Json::Object();
+    entry.Set("name", spec.name);
+    entry.Set("config", spec.config);
+    m.Append(std::move(entry));
+  }
+  j.Set("methods", std::move(m));
+  j.Set("evaluation", eval.ToJson());
+  j.Set("num_threads", static_cast<int64_t>(num_threads));
+  if (!log_file.empty()) j.Set("log_file", log_file);
+  if (!output_csv.empty()) j.Set("output_csv", output_csv);
+  return j;
+}
+
+}  // namespace easytime::pipeline

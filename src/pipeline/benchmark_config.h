@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file benchmark_config.h
+/// \brief The benchmark "configuration file". One-click evaluation (paper
+/// §II-B) means: edit this config — datasets, methods, strategy, horizons,
+/// metrics — and run the pipeline; everything else is standardized.
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "eval/evaluator.h"
+
+namespace easytime::pipeline {
+
+/// One method entry: registry name plus its hyperparameter config.
+struct MethodSpec {
+  std::string name;
+  easytime::Json config = easytime::Json::Object();
+};
+
+/// \brief Everything a benchmark run needs.
+struct BenchmarkConfig {
+  /// Dataset names to evaluate on; empty = all datasets in the repository.
+  std::vector<std::string> datasets;
+  /// Methods to evaluate; empty = every registered method.
+  std::vector<MethodSpec> methods;
+  /// The evaluation protocol.
+  eval::EvalConfig eval;
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Optional path for the run log ("" = stderr).
+  std::string log_file;
+  /// Optional CSV output path for the result table ("" = don't write).
+  std::string output_csv;
+
+  /// \brief Parses the JSON configuration-file schema:
+  /// \code{.json}
+  /// {
+  ///   "datasets": ["traffic_u0", ...],
+  ///   "methods": [{"name": "theta"}, {"name": "gbdt", "config": {...}}],
+  ///   "evaluation": {"strategy": "rolling", "horizon": 24, ...},
+  ///   "num_threads": 4,
+  ///   "output_csv": "results.csv"
+  /// }
+  /// \endcode
+  static easytime::Result<BenchmarkConfig> FromJson(const easytime::Json& j);
+
+  /// Parses a config file from disk.
+  static easytime::Result<BenchmarkConfig> FromFile(const std::string& path);
+
+  easytime::Json ToJson() const;
+};
+
+}  // namespace easytime::pipeline

@@ -1,0 +1,146 @@
+#include "pipeline/plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easytime::pipeline {
+
+namespace {
+
+/// Downsamples by bucket-averaging to at most `width` points.
+std::vector<double> Downsample(const std::vector<double>& v, size_t width) {
+  if (v.size() <= width || width == 0) return v;
+  std::vector<double> out(width, 0.0);
+  for (size_t i = 0; i < width; ++i) {
+    size_t lo = i * v.size() / width;
+    size_t hi = std::max(lo + 1, (i + 1) * v.size() / width);
+    hi = std::min(hi, v.size());
+    double acc = 0.0;
+    for (size_t j = lo; j < hi; ++j) acc += v[j];
+    out[i] = acc / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+struct Canvas {
+  size_t width, height;
+  std::vector<std::string> rows;
+  double lo = 0.0, hi = 1.0;
+
+  Canvas(size_t w, size_t h) : width(w), height(h) {
+    rows.assign(h, std::string(w, ' '));
+  }
+
+  void SetScale(double min_v, double max_v) {
+    lo = min_v;
+    hi = max_v;
+    if (hi - lo < 1e-12) {
+      hi = lo + 1.0;
+      lo -= 1.0;
+    }
+  }
+
+  size_t RowOf(double v) const {
+    double t = (v - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    // Row 0 is the top.
+    return height - 1 -
+           static_cast<size_t>(std::llround(t * static_cast<double>(height - 1)));
+  }
+
+  void Mark(size_t col, double v, char c) {
+    if (col >= width) return;
+    char& cell = rows[RowOf(v)][col];
+    // Forecast-over-actual overlap gets a distinct glyph.
+    if ((cell == 'o' && c == 'x') || (cell == 'x' && c == 'o')) {
+      cell = '@';
+    } else if (cell == ' ' || c != '.') {
+      cell = c;
+    }
+  }
+
+  std::string Render(bool labels) const {
+    std::string out;
+    for (size_t r = 0; r < height; ++r) {
+      if (labels) {
+        if (r == 0) {
+          out += FormatDouble(hi, 2) + "\t|";
+        } else if (r == height - 1) {
+          out += FormatDouble(lo, 2) + "\t|";
+        } else {
+          out += "\t|";
+        }
+      }
+      out += rows[r];
+      out += '\n';
+    }
+    if (labels) {
+      out += "\t+" + std::string(width, '-') + "\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string RenderSeriesPlot(const std::vector<double>& values,
+                             const PlotOptions& options) {
+  if (values.empty() || options.width == 0 || options.height < 2) return "";
+  std::vector<double> v = Downsample(values, options.width);
+  Canvas canvas(options.width, options.height);
+  canvas.SetScale(*std::min_element(v.begin(), v.end()),
+                  *std::max_element(v.begin(), v.end()));
+  for (size_t i = 0; i < v.size(); ++i) canvas.Mark(i, v[i], '*');
+  return canvas.Render(options.axis_labels);
+}
+
+std::string RenderForecastPlot(const std::vector<double>& history,
+                               const std::vector<double>& actual,
+                               const std::vector<double>& forecast,
+                               const PlotOptions& options) {
+  if (forecast.empty() || options.width == 0 || options.height < 2) return "";
+  size_t fc_len = std::max(forecast.size(), actual.size());
+  // Show history:forecast at roughly 2:1, downsampling the history tail.
+  size_t fc_cols = std::min(fc_len, options.width / 3 + 1);
+  size_t hist_cols = options.width - fc_cols;
+  std::vector<double> hist_tail = history;
+  if (hist_tail.size() > 3 * hist_cols) {
+    hist_tail.assign(history.end() - static_cast<long>(3 * hist_cols),
+                     history.end());
+  }
+  std::vector<double> hist = Downsample(hist_tail, hist_cols);
+
+  double lo = 1e300, hi = -1e300;
+  for (double v : hist) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : actual) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : forecast) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  Canvas canvas(options.width, options.height);
+  canvas.SetScale(lo, hi);
+  for (size_t i = 0; i < hist.size(); ++i) canvas.Mark(i, hist[i], '.');
+  auto col_of = [&](size_t step) {
+    return hist.size() + step * fc_cols / std::max<size_t>(1, fc_len);
+  };
+  for (size_t i = 0; i < actual.size(); ++i) {
+    canvas.Mark(col_of(i), actual[i], 'o');
+  }
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    canvas.Mark(col_of(i), forecast[i], 'x');
+  }
+  std::string out = canvas.Render(options.axis_labels);
+  out += "\t  history: .   actual: o   forecast: x   overlap: @\n";
+  return out;
+}
+
+}  // namespace easytime::pipeline

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file plot.h
+/// \brief Terminal visualization for the reporting layer: the paper's
+/// "visualization of time series inputs and forecasting results" (Fig. 4
+/// label 9), rendered as ASCII so examples and reports work anywhere.
+
+#include <string>
+#include <vector>
+
+namespace easytime::pipeline {
+
+/// Options for the ASCII plots.
+struct PlotOptions {
+  size_t width = 72;   ///< plot columns (x axis)
+  size_t height = 14;  ///< plot rows (y axis)
+  bool axis_labels = true;
+};
+
+/// \brief Renders one series as an ASCII line plot ('*' marks), with min/max
+/// labels on the y axis. Long series are downsampled by averaging.
+std::string RenderSeriesPlot(const std::vector<double>& values,
+                             const PlotOptions& options = {});
+
+/// \brief Renders the forecast view: the tail of the history ('.'), the
+/// actual continuation ('o'), and the forecast ('x', '@' where it overlaps
+/// an actual point), sharing one y scale — the standard forecast-inspection
+/// picture the demo frontend shows.
+/// \param history values before the forecast origin (tail is shown)
+/// \param actual ground-truth continuation (may be empty)
+/// \param forecast predicted continuation
+std::string RenderForecastPlot(const std::vector<double>& history,
+                               const std::vector<double>& actual,
+                               const std::vector<double>& forecast,
+                               const PlotOptions& options = {});
+
+}  // namespace easytime::pipeline

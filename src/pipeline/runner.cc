@@ -1,0 +1,198 @@
+#include "pipeline/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "eval/metrics.h"
+#include "methods/registry.h"
+
+namespace easytime::pipeline {
+
+std::vector<const RunRecord*> BenchmarkReport::Successful() const {
+  std::vector<const RunRecord*> out;
+  for (const auto& r : records) {
+    if (r.status.ok()) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> BenchmarkReport::Leaderboard(
+    const std::string& metric) const {
+  std::map<std::string, std::pair<double, size_t>> acc;  // method -> (sum, n)
+  for (const auto& r : records) {
+    if (!r.status.ok()) continue;
+    auto it = r.metrics.find(metric);
+    if (it == r.metrics.end() || !std::isfinite(it->second)) continue;
+    auto& slot = acc[r.method];
+    slot.first += it->second;
+    slot.second += 1;
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [method, sum_n] : acc) {
+    out.emplace_back(method, sum_n.first / static_cast<double>(sum_n.second));
+  }
+  bool higher = eval::MetricRegistry::Global().HigherIsBetter(metric);
+  std::sort(out.begin(), out.end(), [higher](const auto& a, const auto& b) {
+    return higher ? a.second > b.second : a.second < b.second;
+  });
+  return out;
+}
+
+std::string BenchmarkReport::FormatTable(
+    const std::vector<std::string>& metric_names) const {
+  std::vector<std::string> header = {"dataset", "method", "strategy",
+                                     "horizon", "status"};
+  for (const auto& m : metric_names) header.push_back(m);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : records) {
+    std::vector<std::string> row = {r.dataset, r.method, r.strategy,
+                                    std::to_string(r.horizon),
+                                    r.status.ok() ? "ok" : "FAILED"};
+    for (const auto& m : metric_names) {
+      auto it = r.metrics.find(m);
+      row.push_back(it != r.metrics.end() ? FormatDouble(it->second, 4) : "-");
+    }
+    rows.push_back(std::move(row));
+  }
+  return easytime::FormatTable(header, rows);
+}
+
+easytime::Status BenchmarkReport::WriteCsv(const std::string& path) const {
+  // Collect the union of metric names for a stable header.
+  std::vector<std::string> metric_names;
+  for (const auto& r : records) {
+    for (const auto& [name, _] : r.metrics) {
+      if (std::find(metric_names.begin(), metric_names.end(), name) ==
+          metric_names.end()) {
+        metric_names.push_back(name);
+      }
+    }
+  }
+  std::sort(metric_names.begin(), metric_names.end());
+
+  CsvDocument doc;
+  doc.header = {"dataset",  "method",      "strategy",
+                "horizon",  "multivariate", "domain",
+                "windows",  "fit_seconds", "forecast_seconds", "status"};
+  for (const auto& m : metric_names) doc.header.push_back(m);
+  for (const auto& r : records) {
+    std::vector<std::string> row = {
+        r.dataset,
+        r.method,
+        r.strategy,
+        std::to_string(r.horizon),
+        r.multivariate ? "1" : "0",
+        r.domain,
+        std::to_string(r.num_windows),
+        FormatDouble(r.fit_seconds, 6),
+        FormatDouble(r.forecast_seconds, 6),
+        r.status.ok() ? "ok" : r.status.ToString()};
+    for (const auto& m : metric_names) {
+      auto it = r.metrics.find(m);
+      row.push_back(it != r.metrics.end() ? FormatDouble(it->second, 8) : "");
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, doc);
+}
+
+PipelineRunner::PipelineRunner(const tsdata::Repository* repo,
+                               BenchmarkConfig config)
+    : repo_(repo), config_(std::move(config)) {}
+
+easytime::Result<BenchmarkReport> PipelineRunner::Run() const {
+  if (repo_ == nullptr) {
+    return Status::InvalidArgument("repository must not be null");
+  }
+  if (!config_.log_file.empty()) {
+    Logging::SetLogFile(config_.log_file);
+  }
+
+  // Resolve datasets.
+  std::vector<const tsdata::Dataset*> datasets;
+  if (config_.datasets.empty()) {
+    datasets = repo_->All();
+  } else {
+    for (const auto& name : config_.datasets) {
+      EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds, repo_->Get(name));
+      datasets.push_back(ds);
+    }
+  }
+  if (datasets.empty()) {
+    return Status::InvalidArgument("no datasets to evaluate");
+  }
+
+  // Resolve methods.
+  std::vector<MethodSpec> specs = config_.methods;
+  if (specs.empty()) {
+    for (const auto& name : methods::MethodRegistry::Global().Names()) {
+      specs.push_back(MethodSpec{name, easytime::Json::Object()});
+    }
+  }
+
+  EASYTIME_LOG(Info) << "pipeline: " << specs.size() << " methods x "
+                     << datasets.size() << " datasets, strategy="
+                     << eval::StrategyName(config_.eval.strategy)
+                     << ", horizon=" << config_.eval.horizon;
+
+  struct Task {
+    const tsdata::Dataset* dataset;
+    const MethodSpec* spec;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(datasets.size() * specs.size());
+  for (const auto* ds : datasets) {
+    for (const auto& spec : specs) tasks.push_back({ds, &spec});
+  }
+
+  BenchmarkReport report;
+  report.records.resize(tasks.size());
+  eval::Evaluator evaluator(config_.eval);
+
+  Stopwatch watch;
+  ThreadPool pool(config_.num_threads);
+  std::mutex log_mu;
+  pool.ParallelFor(tasks.size(), [&](size_t i) {
+    const Task& task = tasks[i];
+    RunRecord& rec = report.records[i];
+    rec.dataset = task.dataset->name();
+    rec.method = task.spec->name;
+    rec.strategy = eval::StrategyName(config_.eval.strategy);
+    rec.horizon = config_.eval.horizon;
+    rec.multivariate = task.dataset->multivariate();
+    rec.domain = tsdata::DomainName(task.dataset->domain());
+
+    auto res = evaluator.EvaluateDataset(task.spec->name, task.spec->config,
+                                         *task.dataset);
+    if (res.ok()) {
+      rec.metrics = res->metrics;
+      rec.num_windows = res->num_windows;
+      rec.fit_seconds = res->fit_seconds;
+      rec.forecast_seconds = res->forecast_seconds;
+      rec.status = Status::OK();
+    } else {
+      rec.status = res.status();
+      std::lock_guard<std::mutex> lock(log_mu);
+      EASYTIME_LOG(Warning) << rec.method << " on " << rec.dataset
+                            << " failed: " << rec.status.ToString();
+    }
+  });
+  report.wall_seconds = watch.ElapsedSeconds();
+
+  EASYTIME_LOG(Info) << "pipeline finished: " << report.Successful().size()
+                     << "/" << report.records.size() << " pairs ok in "
+                     << FormatDouble(report.wall_seconds, 2) << "s";
+
+  if (!config_.output_csv.empty()) {
+    EASYTIME_RETURN_IF_ERROR(report.WriteCsv(config_.output_csv));
+  }
+  return report;
+}
+
+}  // namespace easytime::pipeline

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file runner.h
+/// \brief The benchmark pipeline: "standardized dataset processing and
+/// splitting, model training and testing, as well as unified
+/// post-processing". Fans (method x dataset) pairs across a thread pool,
+/// logs progress, and produces the result table that seeds the benchmark
+/// knowledge base.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pipeline/benchmark_config.h"
+#include "tsdata/repository.h"
+
+namespace easytime::pipeline {
+
+/// One (method, dataset) evaluation outcome.
+struct RunRecord {
+  std::string dataset;
+  std::string method;
+  std::string strategy;
+  size_t horizon = 0;
+  bool multivariate = false;
+  std::string domain;
+  std::map<std::string, double> metrics;
+  size_t num_windows = 0;
+  double fit_seconds = 0.0;
+  double forecast_seconds = 0.0;
+  easytime::Status status;  ///< per-pair failure is recorded, not fatal
+};
+
+/// \brief The full pipeline output.
+struct BenchmarkReport {
+  std::vector<RunRecord> records;
+  double wall_seconds = 0.0;
+
+  /// Records that completed successfully.
+  std::vector<const RunRecord*> Successful() const;
+
+  /// \brief Leaderboard: methods ranked by mean \p metric over successful
+  /// records (ascending unless the metric is higher-is-better).
+  std::vector<std::pair<std::string, double>> Leaderboard(
+      const std::string& metric) const;
+
+  /// Renders the per-pair result table as aligned ASCII.
+  std::string FormatTable(const std::vector<std::string>& metric_names) const;
+
+  /// Writes records to CSV (the reporting layer's persistent output).
+  easytime::Status WriteCsv(const std::string& path) const;
+};
+
+/// \brief Executes a benchmark configuration against a dataset repository.
+class PipelineRunner {
+ public:
+  PipelineRunner(const tsdata::Repository* repo, BenchmarkConfig config);
+
+  /// Runs all (method, dataset) pairs; individual failures are recorded in
+  /// their RunRecord::status rather than aborting the run.
+  easytime::Result<BenchmarkReport> Run() const;
+
+ private:
+  const tsdata::Repository* repo_;
+  BenchmarkConfig config_;
+};
+
+}  // namespace easytime::pipeline

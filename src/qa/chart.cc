@@ -1,0 +1,127 @@
+#include "qa/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easytime::qa {
+
+const char* ChartTypeName(ChartType t) {
+  switch (t) {
+    case ChartType::kNone: return "none";
+    case ChartType::kBar: return "bar";
+    case ChartType::kLine: return "line";
+    case ChartType::kPie: return "pie";
+  }
+  return "?";
+}
+
+easytime::Json ChartSpec::ToJson() const {
+  easytime::Json j = easytime::Json::Object();
+  j.Set("type", ChartTypeName(type));
+  j.Set("title", title);
+  easytime::Json l = easytime::Json::Array();
+  for (const auto& s : labels) l.Append(s);
+  j.Set("labels", std::move(l));
+  easytime::Json v = easytime::Json::Array();
+  for (double x : values) v.Append(x);
+  j.Set("values", std::move(v));
+  return j;
+}
+
+std::string ChartSpec::RenderAscii(size_t width) const {
+  if (type == ChartType::kNone || values.empty()) return "";
+  std::string out = title.empty() ? "" : title + "\n";
+
+  size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+
+  if (type == ChartType::kPie) {
+    double total = 0.0;
+    for (double v : values) total += std::fabs(v);
+    if (total <= 0.0) total = 1.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      double share = std::fabs(values[i]) / total;
+      size_t bars = static_cast<size_t>(std::round(share * width));
+      out += labels[i] + std::string(label_w - labels[i].size(), ' ') + " |" +
+             std::string(bars, '@') + "| " +
+             FormatDouble(100.0 * share, 1) + "%\n";
+    }
+    return out;
+  }
+
+  double mx = *std::max_element(values.begin(), values.end());
+  double mn = *std::min_element(values.begin(), values.end());
+  double lo = std::min(0.0, mn);
+  double span = std::max(mx - lo, 1e-12);
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t bars = static_cast<size_t>(
+        std::round((values[i] - lo) / span * static_cast<double>(width)));
+    std::string label = i < labels.size() ? labels[i] : std::to_string(i);
+    out += label + std::string(label_w >= label.size()
+                                   ? label_w - label.size()
+                                   : 0, ' ') +
+           " |" + std::string(bars, type == ChartType::kLine ? '*' : '#') +
+           " " + FormatDouble(values[i], 4) + "\n";
+  }
+  return out;
+}
+
+ChartSpec SelectChart(const sql::ResultSet& result, const std::string& title) {
+  ChartSpec spec;
+  spec.title = title;
+  if (result.rows.empty() || result.columns.size() < 2) return spec;
+
+  // Find the first text column and first numeric column.
+  int text_col = -1, num_col = -1;
+  bool first_col_numeric = false;
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    bool numeric = true, text = true;
+    for (const auto& row : result.rows) {
+      if (!row[c].is_numeric()) numeric = false;
+      if (!row[c].is_text()) text = false;
+    }
+    if (text && text_col < 0) text_col = static_cast<int>(c);
+    if (numeric && num_col < 0) {
+      num_col = static_cast<int>(c);
+      if (c == 0) first_col_numeric = true;
+    }
+  }
+  if (num_col < 0) return spec;
+
+  // Numeric-vs-numeric => line chart over the first column.
+  if (text_col < 0 && first_col_numeric && result.columns.size() >= 2) {
+    bool second_numeric = true;
+    for (const auto& row : result.rows) {
+      if (!row[1].is_numeric()) second_numeric = false;
+    }
+    if (second_numeric) {
+      spec.type = ChartType::kLine;
+      for (const auto& row : result.rows) {
+        spec.labels.push_back(row[0].ToDisplay());
+        spec.values.push_back(row[1].ToDouble());
+      }
+      return spec;
+    }
+  }
+  if (text_col < 0) return spec;
+
+  // Share-like counts (small category set, integer values) => pie.
+  bool all_integer = true;
+  for (const auto& row : result.rows) {
+    if (!row[static_cast<size_t>(num_col)].is_integer()) all_integer = false;
+  }
+  spec.type = (all_integer && result.rows.size() <= 12 &&
+               ContainsIgnoreCase(result.columns[static_cast<size_t>(num_col)],
+                                  "count"))
+                  ? ChartType::kPie
+                  : ChartType::kBar;
+  for (const auto& row : result.rows) {
+    spec.labels.push_back(row[static_cast<size_t>(text_col)].ToDisplay());
+    spec.values.push_back(row[static_cast<size_t>(num_col)].ToDouble());
+  }
+  return spec;
+}
+
+}  // namespace easytime::qa

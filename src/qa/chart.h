@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file chart.h
+/// \brief Chart outputs for the Q&A module: chart-type selection from the
+/// result shape, a structured JSON chart spec ("structured data outputs
+/// compatible with various types of charts", paper §II-D), and ASCII
+/// rendering standing in for the web frontend's visualizations.
+
+#include <string>
+
+#include "common/json.h"
+#include "sql/table.h"
+
+namespace easytime::qa {
+
+/// Supported chart types.
+enum class ChartType { kNone, kBar, kLine, kPie };
+
+const char* ChartTypeName(ChartType t);
+
+/// \brief A renderable chart: (label, value) pairs plus a title.
+struct ChartSpec {
+  ChartType type = ChartType::kNone;
+  std::string title;
+  std::vector<std::string> labels;
+  std::vector<double> values;
+
+  /// JSON the frontend would consume: {type, title, labels, values}.
+  easytime::Json ToJson() const;
+
+  /// Terminal rendering (horizontal bars / sparkline rows / share table).
+  std::string RenderAscii(size_t width = 48) const;
+};
+
+/// \brief Picks a chart for a SQL result: two columns of (text, number) ->
+/// bar chart (or pie for share-like counts); (number, number) -> line; a
+/// single aggregate value or anything wider -> no chart.
+ChartSpec SelectChart(const sql::ResultSet& result, const std::string& title);
+
+}  // namespace easytime::qa

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file nl2sql.h
+/// \brief The NL2SQL stage of the Q&A workflow (Fig. 3, step 2). The paper
+/// prompts an LLM with the benchmark metadata and Q&A history; this repo
+/// substitutes a deterministic grammar/rule-based semantic parser with the
+/// same contract — question text in, SQL out — so everything downstream
+/// (verification, retrieval, generation) is exercised identically (see
+/// DESIGN.md §1).
+///
+/// Supported question shapes (case-insensitive, synonyms handled):
+///   - "What are the top-8 methods (ordered by MAE) for long term
+///      forecasting on all multivariate datasets with trends?"
+///   - "Which method is best for short term forecasting on traffic
+///      datasets with strong seasonality?"
+///   - "Is theta or gbdt better on datasets with trends (by rmse)?"
+///   - "What is the average smape of holt_winters_add on electricity
+///      datasets?"
+///   - "How many datasets have strong seasonality?"
+///   - "List all multivariate datasets with shifting."
+///   - "Which methods are available?" / "list methods"
+///   - "Which domains are covered?" / count per domain
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::qa {
+
+/// Parsed filters extracted from a question.
+struct QuestionFilters {
+  bool want_multivariate = false;
+  bool want_univariate = false;
+  bool with_trend = false;
+  bool with_seasonality = false;
+  bool stationary = false;
+  bool non_stationary = false;
+  bool with_shifting = false;
+  bool with_transition = false;
+  std::string domain;          ///< empty = all domains
+  std::string horizon_class;   ///< "", "long", "short"
+};
+
+/// What the question asks for.
+enum class QuestionIntent {
+  kTopKMethods,      ///< ranking of methods by a metric
+  kCompareMethods,   ///< two named methods head-to-head
+  kMethodAverage,    ///< average metric of one method
+  kCountDatasets,    ///< how many datasets match filters
+  kListDatasets,     ///< names of matching datasets
+  kListMethods,      ///< the method catalog
+  kDomainBreakdown,  ///< datasets per domain
+  kFamilyRanking,    ///< method families ranked by a metric
+};
+
+/// \brief The NL2SQL translation output: the SQL plus everything the answer
+/// generator needs to phrase the response.
+struct TranslatedQuestion {
+  QuestionIntent intent = QuestionIntent::kTopKMethods;
+  std::string sql;
+  std::string metric = "mae";
+  size_t top_k = 5;
+  std::vector<std::string> mentioned_methods;
+  QuestionFilters filters;
+};
+
+/// \brief Translates a natural-language question to SQL. Returns
+/// InvalidArgument when the question is outside the supported scope — the
+/// Q&A engine reports that instead of executing anything.
+///
+/// When \p previous is non-null, follow-up phrasings ("what about short
+/// term?", "and on traffic datasets?", "same but by rmse") inherit the
+/// previous question's intent and slots and overlay only what the new
+/// question mentions — the paper's "Q&A history" fed back into translation.
+/// \param question the user's natural-language question
+/// \param known_methods registered method names, used to spot mentions
+/// \param known_domains domain names, used to spot mentions
+/// \param previous the last successful translation, or nullptr
+easytime::Result<TranslatedQuestion> TranslateQuestion(
+    const std::string& question, const std::vector<std::string>& known_methods,
+    const std::vector<std::string>& known_domains,
+    const TranslatedQuestion* previous = nullptr);
+
+/// Renders the filter set as a human-readable clause ("on multivariate
+/// datasets with trend, long-term"); empty when no filters.
+std::string DescribeFilters(const QuestionFilters& f);
+
+}  // namespace easytime::qa

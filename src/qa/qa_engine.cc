@@ -1,0 +1,207 @@
+#include "qa/qa_engine.h"
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "tsdata/series.h"
+
+namespace easytime::qa {
+
+easytime::Json QaResponse::ToJson() const {
+  easytime::Json j = easytime::Json::Object();
+  j.Set("question", question);
+  j.Set("sql", sql);
+  j.Set("verified", verified);
+  j.Set("answer", answer);
+  j.Set("chart", chart.ToJson());
+  easytime::Json cols = easytime::Json::Array();
+  for (const auto& c : table.columns) cols.Append(c);
+  j.Set("columns", std::move(cols));
+  easytime::Json rows = easytime::Json::Array();
+  for (const auto& row : table.rows) {
+    easytime::Json r = easytime::Json::Array();
+    for (const auto& v : row) {
+      if (v.is_null()) r.Append(easytime::Json(nullptr));
+      else if (v.is_integer()) r.Append(easytime::Json(v.AsInteger()));
+      else if (v.is_real()) r.Append(easytime::Json(v.AsReal()));
+      else r.Append(easytime::Json(v.AsText()));
+    }
+    rows.Append(std::move(r));
+  }
+  j.Set("rows", std::move(rows));
+  j.Set("seconds", seconds);
+  return j;
+}
+
+std::string QaResponse::Render() const {
+  std::string out;
+  out += "Q: " + question + "\n";
+  out += "A: " + answer + "\n";
+  std::string ascii = chart.RenderAscii();
+  if (!ascii.empty()) out += "\n" + ascii;
+  out += "\nSQL: " + sql + "\n\n";
+  out += table.Format();
+  return out;
+}
+
+easytime::Result<std::unique_ptr<QaEngine>> QaEngine::Create(
+    const knowledge::KnowledgeBase& kb) {
+  auto engine = std::unique_ptr<QaEngine>(new QaEngine());
+  EASYTIME_RETURN_IF_ERROR(kb.ExportToDatabase(&engine->db_));
+  for (const auto& m : kb.methods()) engine->method_names_.push_back(m.name);
+  for (int d = 0; d < tsdata::kNumDomains; ++d) {
+    engine->domain_names_.push_back(
+        tsdata::DomainName(static_cast<tsdata::Domain>(d)));
+  }
+  return engine;
+}
+
+namespace {
+
+/// Phrases the answer from the intent and the result rows.
+std::string GenerateAnswer(const TranslatedQuestion& t,
+                           const sql::ResultSet& rs) {
+  auto fmt_rank = [&](size_t max_items) {
+    std::string out;
+    size_t n = std::min(max_items, rs.rows.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (i) out += ", ";
+      out += std::to_string(i + 1) + ". " + rs.rows[i][0].ToDisplay() + " (" +
+             rs.rows[i][1].ToDisplay() + ")";
+    }
+    return out;
+  };
+  std::string scope = DescribeFilters(t.filters);
+
+  switch (t.intent) {
+    case QuestionIntent::kTopKMethods: {
+      if (rs.rows.empty()) {
+        return "No benchmark results match that question (" + scope + ").";
+      }
+      if (t.top_k == 1 || rs.rows.size() == 1) {
+        return "The best method by " + ToUpper(t.metric) + " on " + scope +
+               " is " + rs.rows[0][0].ToDisplay() + " (average " +
+               ToUpper(t.metric) + " " + rs.rows[0][1].ToDisplay() + ").";
+      }
+      return "Top " + std::to_string(rs.rows.size()) + " methods by " +
+             ToUpper(t.metric) + " on " + scope + ": " + fmt_rank(t.top_k) +
+             ".";
+    }
+    case QuestionIntent::kCompareMethods: {
+      if (rs.rows.size() < 2) {
+        return "Not enough benchmark coverage to compare those methods on " +
+               scope + ".";
+      }
+      double a = rs.rows[0][1].ToDouble(), b = rs.rows[1][1].ToDouble();
+      double rel = b > 1e-12 ? (b - a) / b * 100.0 : 0.0;
+      return rs.rows[0][0].ToDisplay() + " beats " +
+             rs.rows[1][0].ToDisplay() + " on " + scope + ": average " +
+             ToUpper(t.metric) + " " + rs.rows[0][1].ToDisplay() + " vs " +
+             rs.rows[1][1].ToDisplay() + " (" + FormatDouble(rel, 1) +
+             "% better).";
+    }
+    case QuestionIntent::kMethodAverage: {
+      if (rs.rows.empty()) {
+        return "No benchmark results for that method on " + scope + ".";
+      }
+      return "The average " + ToUpper(t.metric) + " of " +
+             rs.rows[0][0].ToDisplay() + " on " + scope + " is " +
+             rs.rows[0][1].ToDisplay() + " (over " +
+             rs.rows[0][2].ToDisplay() + " runs).";
+    }
+    case QuestionIntent::kCountDatasets: {
+      std::string n = rs.rows.empty() ? "0" : rs.rows[0][0].ToDisplay();
+      return n + " datasets match (" + scope + ").";
+    }
+    case QuestionIntent::kListDatasets: {
+      if (rs.rows.empty()) return "No datasets match (" + scope + ").";
+      std::string names;
+      for (size_t i = 0; i < rs.rows.size(); ++i) {
+        if (i) names += ", ";
+        names += rs.rows[i][0].ToDisplay();
+      }
+      return std::to_string(rs.rows.size()) + " datasets match (" + scope +
+             "): " + names + ".";
+    }
+    case QuestionIntent::kListMethods:
+      return "EasyTime currently registers " + std::to_string(rs.rows.size()) +
+             " forecasting methods across the statistical, ML, and deep "
+             "families (see the table).";
+    case QuestionIntent::kDomainBreakdown: {
+      if (rs.rows.empty()) return "The benchmark has no datasets loaded.";
+      return "Dataset coverage per domain is shown in the chart; " +
+             rs.rows[0][0].ToDisplay() + " has the most datasets (" +
+             rs.rows[0][1].ToDisplay() + ").";
+    }
+    case QuestionIntent::kFamilyRanking: {
+      if (rs.rows.empty()) {
+        return "No benchmark results match that question (" + scope + ").";
+      }
+      return "Ranking method families by " + ToUpper(t.metric) + " on " +
+             scope + ": " + fmt_rank(rs.rows.size()) +
+             " (average over every member method's runs).";
+    }
+  }
+  return "Done.";
+}
+
+}  // namespace
+
+easytime::Result<QaResponse> QaEngine::Ask(const std::string& question) {
+  Stopwatch watch;
+
+  // Step 2: NL2SQL (with Q&A history as context for follow-ups).
+  auto translated = TranslateQuestion(
+      question, method_names_, domain_names_,
+      last_translation_ ? &*last_translation_ : nullptr);
+  if (!translated.ok()) {
+    history_.push_back({question, "", false});
+    return translated.status();
+  }
+  const TranslatedQuestion& t = *translated;
+
+  // Step 3: Retrieval — verify first, then execute.
+  EASYTIME_ASSIGN_OR_RETURN(sql::SelectStatement stmt,
+                            sql::ParseSelect(t.sql));
+  Status verify = sql::AnalyzeSelect(db_, stmt);
+  if (!verify.ok()) {
+    history_.push_back({question, t.sql, false});
+    return verify.WithContext("generated SQL failed verification");
+  }
+  EASYTIME_ASSIGN_OR_RETURN(sql::ResultSet rs, sql::ExecuteSelect(db_, stmt));
+
+  // Steps 4-6: Generation, post-processing, output.
+  QaResponse resp;
+  resp.question = question;
+  resp.sql = t.sql;
+  resp.verified = true;
+  resp.table = std::move(rs);
+  resp.answer = GenerateAnswer(t, resp.table);
+  resp.chart = SelectChart(resp.table, question);
+  resp.seconds = watch.ElapsedSeconds();
+  history_.push_back({question, t.sql, true});
+  last_translation_ = t;
+  return resp;
+}
+
+easytime::Result<QaResponse> QaEngine::AskSql(const std::string& query) {
+  Stopwatch watch;
+  EASYTIME_ASSIGN_OR_RETURN(sql::SelectStatement stmt,
+                            sql::ParseSelect(query));
+  EASYTIME_RETURN_IF_ERROR(sql::AnalyzeSelect(db_, stmt));
+  EASYTIME_ASSIGN_OR_RETURN(sql::ResultSet rs, sql::ExecuteSelect(db_, stmt));
+  QaResponse resp;
+  resp.question = query;
+  resp.sql = query;
+  resp.verified = true;
+  resp.table = std::move(rs);
+  resp.answer = std::to_string(resp.table.rows.size()) + " rows.";
+  resp.chart = SelectChart(resp.table, "query result");
+  resp.seconds = watch.ElapsedSeconds();
+  history_.push_back({query, query, true});
+  return resp;
+}
+
+}  // namespace easytime::qa

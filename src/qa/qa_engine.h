@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file qa_engine.h
+/// \brief The natural-language Q&A module (paper §II-D, Fig. 3). Pipeline:
+/// Input -> NL2SQL -> Verification (sql::AnalyzeSelect) -> Retrieval
+/// (sql::ExecuteSelect) -> Generation (answer templates) ->
+/// Post-processing (charts + structured outputs) -> Output.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "knowledge/knowledge_base.h"
+#include "qa/chart.h"
+#include "qa/nl2sql.h"
+#include "sql/table.h"
+
+namespace easytime::qa {
+
+/// \brief Everything the frontend renders for one question (Fig. 5):
+/// natural-language answer, chart, the SQL itself, and the data table.
+struct QaResponse {
+  std::string question;
+  std::string sql;            ///< the generated (and verified) SQL
+  bool verified = false;      ///< passed semantic verification
+  std::string answer;         ///< natural-language response
+  sql::ResultSet table;       ///< benchmark result data table
+  ChartSpec chart;            ///< selected visualization
+  double seconds = 0.0;       ///< end-to-end latency
+
+  /// Bundles the response as JSON (answer, sql, chart spec, rows).
+  easytime::Json ToJson() const;
+
+  /// Terminal rendering of the full response (answer, chart, SQL, table).
+  std::string Render() const;
+};
+
+/// One Q&A exchange kept as history (the paper feeds history back into the
+/// LLM prompt; here it is exposed for inspection and context listing).
+struct QaHistoryEntry {
+  std::string question;
+  std::string sql;
+  bool ok = false;
+};
+
+/// \brief The Q&A engine over a knowledge base.
+class QaEngine {
+ public:
+  /// Builds the engine: exports \p kb into an internal SQL database.
+  static easytime::Result<std::unique_ptr<QaEngine>> Create(
+      const knowledge::KnowledgeBase& kb);
+
+  /// \brief Answers a question end-to-end. Unsupported questions and
+  /// verification failures produce an error Status — nothing is executed.
+  /// Follow-up phrasings ("what about short term?") inherit the previous
+  /// successful question's intent and filters.
+  easytime::Result<QaResponse> Ask(const std::string& question);
+
+  /// Runs a raw SQL query through the same verify-then-execute path
+  /// (the power-user escape hatch shown in the demo frontend).
+  easytime::Result<QaResponse> AskSql(const std::string& sql);
+
+  /// The benchmark metadata handed to the translator (schema description).
+  std::string SchemaDescription() const { return db_.DescribeSchema(); }
+
+  const std::vector<QaHistoryEntry>& history() const { return history_; }
+
+ private:
+  QaEngine() = default;
+
+  sql::Database db_;
+  std::vector<std::string> method_names_;
+  std::vector<std::string> domain_names_;
+  std::vector<QaHistoryEntry> history_;
+  std::optional<TranslatedQuestion> last_translation_;
+};
+
+}  // namespace easytime::qa

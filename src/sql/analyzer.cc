@@ -1,0 +1,393 @@
+#include "sql/analyzer.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace easytime::sql {
+
+namespace {
+
+/// Pseudo-type lattice used during verification. kAny arises from NULL
+/// literals and unifies with everything.
+enum class SemType { kAny, kNumeric, kText, kBool };
+
+const char* SemTypeName(SemType t) {
+  switch (t) {
+    case SemType::kAny: return "NULL";
+    case SemType::kNumeric: return "numeric";
+    case SemType::kText: return "text";
+    case SemType::kBool: return "boolean";
+  }
+  return "?";
+}
+
+SemType FromDataType(DataType t) {
+  switch (t) {
+    case DataType::kInteger:
+    case DataType::kReal: return SemType::kNumeric;
+    case DataType::kText: return SemType::kText;
+    case DataType::kNull: return SemType::kAny;
+  }
+  return SemType::kAny;
+}
+
+bool Compatible(SemType a, SemType b) {
+  return a == SemType::kAny || b == SemType::kAny || a == b;
+}
+
+/// Scope: effective table name -> table, in FROM/JOIN order.
+struct Scope {
+  std::vector<std::pair<std::string, const Table*>> tables;
+
+  easytime::Result<SemType> Resolve(const std::string& qualifier,
+                                    const std::string& column) const {
+    if (!qualifier.empty()) {
+      std::string q = ToLower(qualifier);
+      for (const auto& [name, table] : tables) {
+        if (ToLower(name) == q) {
+          int idx = table->ColumnIndex(column);
+          if (idx < 0) {
+            return Status::NotFound("column '" + column +
+                                    "' does not exist in table '" + name + "'");
+          }
+          return FromDataType(table->columns()[static_cast<size_t>(idx)].type);
+        }
+      }
+      return Status::NotFound("unknown table or alias: " + qualifier);
+    }
+    int found = 0;
+    SemType type = SemType::kAny;
+    for (const auto& [name, table] : tables) {
+      int idx = table->ColumnIndex(column);
+      if (idx >= 0) {
+        ++found;
+        type = FromDataType(table->columns()[static_cast<size_t>(idx)].type);
+      }
+    }
+    if (found == 0) return Status::NotFound("unknown column: " + column);
+    if (found > 1) {
+      return Status::InvalidArgument("ambiguous column: " + column +
+                                     " (qualify with a table name)");
+    }
+    return type;
+  }
+};
+
+class SelectAnalyzer {
+ public:
+  SelectAnalyzer(const Database& db, const SelectStatement& stmt)
+      : db_(db), stmt_(stmt) {}
+
+  easytime::Status Run() {
+    EASYTIME_RETURN_IF_ERROR(BuildScope());
+
+    // JOIN conditions: boolean, no aggregates.
+    for (const auto& join : stmt_.joins) {
+      EASYTIME_RETURN_IF_ERROR(
+          CheckBooleanNoAggregate(*join.on, "JOIN ... ON"));
+    }
+    // WHERE: boolean, no aggregates (SQL requires HAVING for those).
+    if (stmt_.where) {
+      EASYTIME_RETURN_IF_ERROR(CheckBooleanNoAggregate(*stmt_.where, "WHERE"));
+    }
+    // GROUP BY expressions: no aggregates.
+    for (const auto& g : stmt_.group_by) {
+      if (g->ContainsAggregate()) {
+        return Status::InvalidArgument(
+            "aggregate functions are not allowed in GROUP BY");
+      }
+      EASYTIME_ASSIGN_OR_RETURN(SemType t, TypeOf(*g, /*in_aggregate=*/false));
+      (void)t;
+    }
+
+    bool grouped = !stmt_.group_by.empty();
+    bool any_aggregate = false;
+    for (const auto& item : stmt_.items) {
+      if (item.expr->ContainsAggregate()) any_aggregate = true;
+    }
+    if (stmt_.having && !grouped && !any_aggregate) {
+      return Status::InvalidArgument(
+          "HAVING requires GROUP BY or aggregates in the select list");
+    }
+
+    // Select items typecheck; under grouping, bare columns must be grouped.
+    for (const auto& item : stmt_.items) {
+      EASYTIME_ASSIGN_OR_RETURN(SemType t,
+                                TypeOf(*item.expr, /*in_aggregate=*/false));
+      (void)t;
+      if ((grouped || any_aggregate) && !item.expr->ContainsAggregate()) {
+        if (!IsGroupedExpr(*item.expr)) {
+          return Status::InvalidArgument(
+              "column '" + item.expr->ToSql() +
+              "' must appear in GROUP BY or inside an aggregate");
+        }
+      }
+    }
+    if (stmt_.star_all && (grouped || any_aggregate)) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with GROUP BY / aggregates");
+    }
+
+    if (stmt_.having) {
+      EASYTIME_ASSIGN_OR_RETURN(SemType t,
+                                TypeOf(*stmt_.having, /*in_aggregate=*/false));
+      if (!Compatible(t, SemType::kBool) && t != SemType::kNumeric) {
+        return Status::TypeError("HAVING must be a boolean predicate");
+      }
+    }
+    for (const auto& key : stmt_.order_by) {
+      // ORDER BY may reference output aliases; skip resolution for those.
+      if (key.expr->kind == ExprKind::kColumnRef && key.expr->table.empty()) {
+        bool is_alias = false;
+        for (const auto& item : stmt_.items) {
+          if (ToLower(item.OutputName()) == ToLower(key.expr->column)) {
+            is_alias = true;
+            break;
+          }
+        }
+        if (is_alias) continue;
+      }
+      EASYTIME_ASSIGN_OR_RETURN(SemType t,
+                                TypeOf(*key.expr, /*in_aggregate=*/false));
+      (void)t;
+    }
+    if (stmt_.limit < -1) {
+      return Status::InvalidArgument("LIMIT must be non-negative");
+    }
+    return Status::OK();
+  }
+
+ private:
+  easytime::Status BuildScope() {
+    auto add_table = [&](const TableRef& ref) -> easytime::Status {
+      EASYTIME_ASSIGN_OR_RETURN(const Table* t, db_.GetTable(ref.table));
+      std::string eff = ref.effective_name();
+      for (const auto& [name, _] : scope_.tables) {
+        if (ToLower(name) == ToLower(eff)) {
+          return Status::InvalidArgument("duplicate table name/alias: " + eff);
+        }
+      }
+      scope_.tables.emplace_back(eff, t);
+      return Status::OK();
+    };
+    EASYTIME_RETURN_IF_ERROR(add_table(stmt_.from));
+    for (const auto& join : stmt_.joins) {
+      EASYTIME_RETURN_IF_ERROR(add_table(join.table));
+    }
+    return Status::OK();
+  }
+
+  easytime::Status CheckBooleanNoAggregate(const Expr& e, const char* where) {
+    if (e.ContainsAggregate()) {
+      return Status::InvalidArgument(
+          std::string("aggregate functions are not allowed in ") + where);
+    }
+    EASYTIME_ASSIGN_OR_RETURN(SemType t, TypeOf(e, /*in_aggregate=*/false));
+    if (t != SemType::kBool && t != SemType::kNumeric && t != SemType::kAny) {
+      return Status::TypeError(std::string(where) +
+                               " must be a boolean predicate");
+    }
+    return Status::OK();
+  }
+
+  bool IsGroupedExpr(const Expr& e) const {
+    // Literals are trivially grouped.
+    if (e.kind == ExprKind::kLiteral) return true;
+    std::string sql = e.ToSql();
+    for (const auto& g : stmt_.group_by) {
+      if (ToLower(g->ToSql()) == ToLower(sql)) return true;
+    }
+    // A compound of grouped parts is grouped.
+    switch (e.kind) {
+      case ExprKind::kBinary:
+        return IsGroupedExpr(*e.left) && IsGroupedExpr(*e.right);
+      case ExprKind::kUnary:
+        return IsGroupedExpr(*e.left);
+      case ExprKind::kFunction: {
+        if (IsAggregateFunction(e.function)) return true;
+        for (const auto& a : e.args) {
+          if (!IsGroupedExpr(*a)) return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  easytime::Result<SemType> TypeOf(const Expr& e, bool in_aggregate) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return FromDataType(e.literal.type());
+      case ExprKind::kColumnRef:
+        return scope_.Resolve(e.table, e.column);
+      case ExprKind::kStar:
+        return Status::InvalidArgument(
+            "'*' is only valid in COUNT(*) or SELECT *");
+      case ExprKind::kUnary: {
+        EASYTIME_ASSIGN_OR_RETURN(SemType t, TypeOf(*e.left, in_aggregate));
+        if (e.unary_op == UnaryOp::kNeg) {
+          if (!Compatible(t, SemType::kNumeric)) {
+            return Status::TypeError("unary '-' needs a numeric operand");
+          }
+          return SemType::kNumeric;
+        }
+        return SemType::kBool;
+      }
+      case ExprKind::kBinary: {
+        EASYTIME_ASSIGN_OR_RETURN(SemType lt, TypeOf(*e.left, in_aggregate));
+        EASYTIME_ASSIGN_OR_RETURN(SemType rt, TypeOf(*e.right, in_aggregate));
+        switch (e.binary_op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+          case BinaryOp::kMod:
+            if (!Compatible(lt, SemType::kNumeric) ||
+                !Compatible(rt, SemType::kNumeric)) {
+              return Status::TypeError("arithmetic on non-numeric operands");
+            }
+            return SemType::kNumeric;
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            return SemType::kBool;
+          default:
+            if (!Compatible(lt, rt)) {
+              return Status::TypeError(
+                  "cannot compare " + std::string(SemTypeName(lt)) + " with " +
+                  SemTypeName(rt));
+            }
+            return SemType::kBool;
+        }
+      }
+      case ExprKind::kFunction: {
+        const std::string& f = e.function;
+        if (IsAggregateFunction(f)) {
+          if (in_aggregate) {
+            return Status::InvalidArgument("nested aggregate: " + f);
+          }
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument(f + " takes exactly one argument");
+          }
+          if (e.args[0]->kind == ExprKind::kStar) {
+            if (f != "COUNT") {
+              return Status::InvalidArgument("'*' only valid in COUNT(*)");
+            }
+            return SemType::kNumeric;
+          }
+          EASYTIME_ASSIGN_OR_RETURN(SemType at,
+                                    TypeOf(*e.args[0], /*in_aggregate=*/true));
+          if ((f == "SUM" || f == "AVG") &&
+              !Compatible(at, SemType::kNumeric)) {
+            return Status::TypeError(f + " needs a numeric argument");
+          }
+          if (f == "COUNT") return SemType::kNumeric;
+          if (f == "MIN" || f == "MAX") return at;
+          return SemType::kNumeric;
+        }
+        if (f == "ABS" || f == "ROUND") {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument(f + " takes exactly one argument");
+          }
+          EASYTIME_ASSIGN_OR_RETURN(SemType at, TypeOf(*e.args[0], in_aggregate));
+          if (!Compatible(at, SemType::kNumeric)) {
+            return Status::TypeError(f + " needs a numeric argument");
+          }
+          return SemType::kNumeric;
+        }
+        if (f == "LOWER" || f == "UPPER") {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument(f + " takes exactly one argument");
+          }
+          EASYTIME_ASSIGN_OR_RETURN(SemType at, TypeOf(*e.args[0], in_aggregate));
+          if (!Compatible(at, SemType::kText)) {
+            return Status::TypeError(f + " needs a text argument");
+          }
+          return SemType::kText;
+        }
+        return Status::NotFound("unknown function: " + f);
+      }
+      case ExprKind::kIsNull:
+        EASYTIME_RETURN_IF_ERROR(TypeOf(*e.left, in_aggregate).status());
+        return SemType::kBool;
+      case ExprKind::kInList: {
+        EASYTIME_ASSIGN_OR_RETURN(SemType lt, TypeOf(*e.left, in_aggregate));
+        for (const auto& item : e.in_list) {
+          EASYTIME_ASSIGN_OR_RETURN(SemType it, TypeOf(*item, in_aggregate));
+          if (!Compatible(lt, it)) {
+            return Status::TypeError("IN list element type mismatch");
+          }
+        }
+        return SemType::kBool;
+      }
+      case ExprKind::kBetween: {
+        EASYTIME_ASSIGN_OR_RETURN(SemType lt, TypeOf(*e.left, in_aggregate));
+        EASYTIME_ASSIGN_OR_RETURN(SemType lo, TypeOf(*e.between_lo, in_aggregate));
+        EASYTIME_ASSIGN_OR_RETURN(SemType hi, TypeOf(*e.between_hi, in_aggregate));
+        if (!Compatible(lt, lo) || !Compatible(lt, hi)) {
+          return Status::TypeError("BETWEEN bound type mismatch");
+        }
+        return SemType::kBool;
+      }
+      case ExprKind::kLike: {
+        EASYTIME_ASSIGN_OR_RETURN(SemType lt, TypeOf(*e.left, in_aggregate));
+        if (!Compatible(lt, SemType::kText)) {
+          return Status::TypeError("LIKE needs a text operand");
+        }
+        return SemType::kBool;
+      }
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  const Database& db_;
+  const SelectStatement& stmt_;
+  Scope scope_;
+};
+
+}  // namespace
+
+easytime::Status AnalyzeSelect(const Database& db,
+                               const SelectStatement& stmt) {
+  return SelectAnalyzer(db, stmt).Run();
+}
+
+easytime::Status AnalyzeStatement(const Database& db, const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return AnalyzeSelect(db, stmt.select);
+    case Statement::Kind::kCreateTable:
+      if (db.HasTable(stmt.create_table.table)) {
+        return Status::AlreadyExists("table already exists: " +
+                                     stmt.create_table.table);
+      }
+      return Status::OK();
+    case Statement::Kind::kInsert: {
+      EASYTIME_ASSIGN_OR_RETURN(const Table* t,
+                                db.GetTable(stmt.insert.table));
+      size_t expected = stmt.insert.columns.empty()
+                            ? t->num_columns()
+                            : stmt.insert.columns.size();
+      for (const auto& col : stmt.insert.columns) {
+        if (t->ColumnIndex(col) < 0) {
+          return Status::NotFound("column '" + col +
+                                  "' does not exist in table '" +
+                                  stmt.insert.table + "'");
+        }
+      }
+      for (const auto& row : stmt.insert.rows) {
+        if (row.size() != expected) {
+          return Status::InvalidArgument(
+              "INSERT row has " + std::to_string(row.size()) +
+              " values, expected " + std::to_string(expected));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace easytime::sql

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file analyzer.h
+/// \brief Semantic verification of SQL before execution — the explicit
+/// "verified for correctness before they are executed" step in the paper's
+/// Q&A workflow (Fig. 3). Checks table/column resolution, type
+/// compatibility, aggregate placement, and GROUP BY validity, returning a
+/// descriptive error instead of executing a bad query.
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/table.h"
+
+namespace easytime::sql {
+
+/// \brief Verifies a SELECT against a database schema. Returns OK when the
+/// statement is executable; otherwise a ParseError/TypeError/NotFound status
+/// describing the first problem found.
+easytime::Status AnalyzeSelect(const Database& db, const SelectStatement& stmt);
+
+/// Verifies any statement (SELECT analysis; CREATE/INSERT schema checks).
+easytime::Status AnalyzeStatement(const Database& db, const Statement& stmt);
+
+}  // namespace easytime::sql

@@ -1,0 +1,166 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace easytime::sql {
+
+bool IsAggregateFunction(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+namespace {
+
+const char* BinaryOpSql(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNeg ? "-" : "NOT ") + left->ToSql();
+    case ExprKind::kBinary:
+      return "(" + left->ToSql() + " " + BinaryOpSql(binary_op) + " " +
+             right->ToSql() + ")";
+    case ExprKind::kFunction: {
+      std::string out = function + "(";
+      if (distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToSql();
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return left->ToSql() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kInList: {
+      std::string out = left->ToSql() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i) out += ", ";
+        out += in_list[i]->ToSql();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return left->ToSql() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             between_lo->ToSql() + " AND " + between_hi->ToSql();
+    case ExprKind::kLike:
+      return left->ToSql() + (negated ? " NOT LIKE '" : " LIKE '") +
+             like_pattern + "'";
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFunction && IsAggregateFunction(function)) {
+    return true;
+  }
+  if (left && left->ContainsAggregate()) return true;
+  if (right && right->ContainsAggregate()) return true;
+  if (between_lo && between_lo->ContainsAggregate()) return true;
+  if (between_hi && between_hi->ContainsAggregate()) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  for (const auto& e : in_list) {
+    if (e->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (expr->kind == ExprKind::kColumnRef) return expr->column;
+  return expr->ToSql();
+}
+
+std::string SelectStatement::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (star_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i) out += ", ";
+      out += items[i].expr->ToSql();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM " + from.table;
+  if (!from.alias.empty()) out += " AS " + from.alias;
+  for (const auto& j : joins) {
+    out += j.left_outer ? " LEFT JOIN " : " JOIN ";
+    out += j.table.table;
+    if (!j.table.alias.empty()) out += " AS " + j.table.alias;
+    out += " ON " + j.on->ToSql();
+  }
+  if (where) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i]->ToSql();
+    }
+  }
+  if (having) out += " HAVING " + having->ToSql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->ToSql();
+      out += order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  if (offset > 0) out += " OFFSET " + std::to_string(offset);
+  return out;
+}
+
+}  // namespace easytime::sql

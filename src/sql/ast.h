@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file ast.h
+/// \brief SQL abstract syntax tree: expressions and the SELECT / CREATE
+/// TABLE / INSERT statements the knowledge-base workload needs.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/table.h"
+#include "sql/value.h"
+
+namespace easytime::sql {
+
+// ----------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,     // 42, 3.14, 'text', NULL, TRUE/FALSE
+  kColumnRef,   // col or table.col
+  kUnary,       // -x, NOT x
+  kBinary,      // arithmetic, comparison, AND/OR
+  kFunction,    // COUNT/SUM/AVG/MIN/MAX/ABS/ROUND/LOWER/UPPER
+  kIsNull,      // x IS [NOT] NULL
+  kInList,      // x [NOT] IN (a, b, ...)
+  kBetween,     // x [NOT] BETWEEN a AND b
+  kLike,        // x [NOT] LIKE 'pattern'
+  kStar,        // * (only inside COUNT(*) / SELECT *)
+};
+
+/// Binary operators.
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Unary operators.
+enum class UnaryOp { kNeg, kNot };
+
+/// \brief A SQL expression node (tagged union style).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table;   ///< optional qualifier
+  std::string column;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kFunction
+  std::string function;  ///< uppercase name
+  std::vector<ExprPtr> args;
+  bool distinct_arg = false;  ///< COUNT(DISTINCT x)
+
+  // kIsNull / kInList / kBetween / kLike share `left` as the operand
+  bool negated = false;
+  std::vector<ExprPtr> in_list;
+  ExprPtr between_lo;
+  ExprPtr between_hi;
+  std::string like_pattern;
+
+  /// Renders the expression back to SQL text (diagnostics, Q&A display).
+  std::string ToSql() const;
+
+  /// True if this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+};
+
+/// Helper constructors.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+
+/// True for COUNT/SUM/AVG/MIN/MAX.
+bool IsAggregateFunction(const std::string& upper_name);
+
+// ----------------------------------------------------------- statements
+
+/// One SELECT-list item.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty = derive from expression
+
+  /// Output column name (alias or rendered expression).
+  std::string OutputName() const;
+};
+
+/// FROM-clause table reference with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< empty = table name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One JOIN clause.
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+  bool left_outer = false;  ///< LEFT [OUTER] JOIN: unmatched rows keep NULLs
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief A SELECT statement.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;  ///< empty + star_all => SELECT *
+  bool star_all = false;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;   ///< -1 = no limit
+  int64_t offset = 0;
+
+  std::string ToSql() const;
+};
+
+/// CREATE TABLE statement.
+struct CreateTableStatement {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+/// INSERT INTO ... VALUES statement (possibly multi-row).
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = full schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+/// \brief Any parsed statement.
+struct Statement {
+  enum class Kind { kSelect, kCreateTable, kInsert } kind = Kind::kSelect;
+  SelectStatement select;
+  CreateTableStatement create_table;
+  InsertStatement insert;
+};
+
+}  // namespace easytime::sql

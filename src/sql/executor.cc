@@ -1,0 +1,588 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace easytime::sql {
+
+namespace {
+
+/// Flattened schema of the joined row: one entry per column with its source
+/// table's effective name.
+struct JoinedSchema {
+  struct Col {
+    std::string qualifier;  ///< effective table name
+    std::string name;
+    DataType type;
+  };
+  std::vector<Col> cols;
+
+  easytime::Result<size_t> Resolve(const std::string& qualifier,
+                                   const std::string& column) const {
+    std::string q = ToLower(qualifier);
+    std::string c = ToLower(column);
+    int found = -1;
+    int count = 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (ToLower(cols[i].name) != c) continue;
+      if (!q.empty() && ToLower(cols[i].qualifier) != q) continue;
+      found = static_cast<int>(i);
+      ++count;
+    }
+    if (count == 0) {
+      return Status::NotFound("unknown column: " +
+                              (qualifier.empty() ? column
+                                                 : qualifier + "." + column));
+    }
+    if (count > 1) {
+      return Status::InvalidArgument("ambiguous column: " + column);
+    }
+    return static_cast<size_t>(found);
+  }
+};
+
+/// Evaluation context: a single joined row, or a group of rows for
+/// aggregates (group non-empty => aggregate context; scalar parts evaluate
+/// against group->front()).
+struct EvalContext {
+  const JoinedSchema* schema;
+  const Row* row;                       ///< scalar context
+  const std::vector<const Row*>* group;  ///< aggregate context (may be null)
+};
+
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_integer()) return v.AsInteger() != 0;
+  if (v.is_real()) return v.AsReal() != 0.0;
+  return !v.AsText().empty();
+}
+
+easytime::Result<Value> Evaluate(const Expr& e, const EvalContext& ctx);
+
+easytime::Result<Value> EvaluateAggregate(const Expr& e,
+                                          const EvalContext& ctx) {
+  const std::vector<const Row*>* group = ctx.group;
+  if (group == nullptr) {
+    return Status::Internal("aggregate evaluated outside a group context");
+  }
+  const std::string& f = e.function;
+  bool star = !e.args.empty() && e.args[0]->kind == ExprKind::kStar;
+
+  if (f == "COUNT" && star) {
+    return Value::Integer(static_cast<int64_t>(group->size()));
+  }
+
+  // Evaluate the argument per row, skipping NULLs (SQL semantics).
+  std::vector<Value> vals;
+  vals.reserve(group->size());
+  for (const Row* row : *group) {
+    EvalContext scalar{ctx.schema, row, nullptr};
+    EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.args[0], scalar));
+    if (!v.is_null()) vals.push_back(std::move(v));
+  }
+  if (e.distinct_arg) {
+    std::vector<Value> uniq;
+    for (auto& v : vals) {
+      bool dup = false;
+      for (const auto& u : uniq) {
+        if (u.GroupEquals(v)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) uniq.push_back(std::move(v));
+    }
+    vals = std::move(uniq);
+  }
+
+  if (f == "COUNT") return Value::Integer(static_cast<int64_t>(vals.size()));
+  if (vals.empty()) return Value::Null();
+
+  if (f == "SUM" || f == "AVG") {
+    double acc = 0.0;
+    for (const auto& v : vals) {
+      if (!v.is_numeric()) {
+        return Status::TypeError(f + " over non-numeric values");
+      }
+      acc += v.ToDouble();
+    }
+    if (f == "AVG") acc /= static_cast<double>(vals.size());
+    return Value::Real(acc);
+  }
+  if (f == "MIN" || f == "MAX") {
+    Value best = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i) {
+      EASYTIME_ASSIGN_OR_RETURN(int cmp, vals[i].Compare(best));
+      if ((f == "MIN" && cmp < 0) || (f == "MAX" && cmp > 0)) best = vals[i];
+    }
+    return best;
+  }
+  return Status::NotFound("unknown aggregate: " + f);
+}
+
+easytime::Result<Value> Evaluate(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      const Row* row = ctx.row;
+      if (row == nullptr && ctx.group != nullptr && !ctx.group->empty()) {
+        row = ctx.group->front();
+      }
+      if (row == nullptr) return Status::Internal("no row in context");
+      EASYTIME_ASSIGN_OR_RETURN(size_t idx,
+                                ctx.schema->Resolve(e.table, e.column));
+      return (*row)[idx];
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' cannot be evaluated as a value");
+    case ExprKind::kUnary: {
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.left, ctx));
+      if (e.unary_op == UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Integer(Truthy(v) ? 0 : 1);
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.is_integer()) return Value::Integer(-v.AsInteger());
+      if (v.is_real()) return Value::Real(-v.AsReal());
+      return Status::TypeError("unary '-' on non-numeric value");
+    }
+    case ExprKind::kBinary: {
+      if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+        EASYTIME_ASSIGN_OR_RETURN(Value l, Evaluate(*e.left, ctx));
+        bool lt = Truthy(l);
+        if (e.binary_op == BinaryOp::kAnd && !lt) return Value::Integer(0);
+        if (e.binary_op == BinaryOp::kOr && lt) return Value::Integer(1);
+        EASYTIME_ASSIGN_OR_RETURN(Value r, Evaluate(*e.right, ctx));
+        return Value::Integer(Truthy(r) ? 1 : 0);
+      }
+      EASYTIME_ASSIGN_OR_RETURN(Value l, Evaluate(*e.left, ctx));
+      EASYTIME_ASSIGN_OR_RETURN(Value r, Evaluate(*e.right, ctx));
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          if (!l.is_numeric() || !r.is_numeric()) {
+            return Status::TypeError("arithmetic on non-numeric values");
+          }
+          if (l.is_integer() && r.is_integer() &&
+              e.binary_op != BinaryOp::kDiv) {
+            int64_t a = l.AsInteger(), b = r.AsInteger();
+            switch (e.binary_op) {
+              case BinaryOp::kAdd: return Value::Integer(a + b);
+              case BinaryOp::kSub: return Value::Integer(a - b);
+              case BinaryOp::kMul: return Value::Integer(a * b);
+              case BinaryOp::kMod:
+                if (b == 0) return Status::InvalidArgument("modulo by zero");
+                return Value::Integer(a % b);
+              default: break;
+            }
+          }
+          double a = l.ToDouble(), b = r.ToDouble();
+          switch (e.binary_op) {
+            case BinaryOp::kAdd: return Value::Real(a + b);
+            case BinaryOp::kSub: return Value::Real(a - b);
+            case BinaryOp::kMul: return Value::Real(a * b);
+            case BinaryOp::kDiv:
+              if (b == 0.0) return Status::InvalidArgument("division by zero");
+              return Value::Real(a / b);
+            case BinaryOp::kMod:
+              if (b == 0.0) return Status::InvalidArgument("modulo by zero");
+              return Value::Real(std::fmod(a, b));
+            default: break;
+          }
+          return Status::Internal("unreachable arithmetic");
+        }
+        default: {
+          // Comparisons: NULL operand -> NULL (unknown).
+          if (l.is_null() || r.is_null()) return Value::Null();
+          EASYTIME_ASSIGN_OR_RETURN(int cmp, l.Compare(r));
+          bool result = false;
+          switch (e.binary_op) {
+            case BinaryOp::kEq: result = cmp == 0; break;
+            case BinaryOp::kNe: result = cmp != 0; break;
+            case BinaryOp::kLt: result = cmp < 0; break;
+            case BinaryOp::kLe: result = cmp <= 0; break;
+            case BinaryOp::kGt: result = cmp > 0; break;
+            case BinaryOp::kGe: result = cmp >= 0; break;
+            default: break;
+          }
+          return Value::Integer(result ? 1 : 0);
+        }
+      }
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateFunction(e.function)) return EvaluateAggregate(e, ctx);
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.args[0], ctx));
+      if (v.is_null()) return Value::Null();
+      const std::string& f = e.function;
+      if (f == "ABS") {
+        if (v.is_integer()) return Value::Integer(std::llabs(v.AsInteger()));
+        if (v.is_real()) return Value::Real(std::fabs(v.AsReal()));
+        return Status::TypeError("ABS on non-numeric value");
+      }
+      if (f == "ROUND") {
+        if (!v.is_numeric()) return Status::TypeError("ROUND on non-numeric");
+        return Value::Real(std::round(v.ToDouble()));
+      }
+      if (f == "LOWER") {
+        if (!v.is_text()) return Status::TypeError("LOWER on non-text");
+        return Value::Text(ToLower(v.AsText()));
+      }
+      if (f == "UPPER") {
+        if (!v.is_text()) return Status::TypeError("UPPER on non-text");
+        return Value::Text(ToUpper(v.AsText()));
+      }
+      return Status::NotFound("unknown function: " + f);
+    }
+    case ExprKind::kIsNull: {
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.left, ctx));
+      bool is_null = v.is_null();
+      return Value::Integer((e.negated ? !is_null : is_null) ? 1 : 0);
+    }
+    case ExprKind::kInList: {
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.left, ctx));
+      if (v.is_null()) return Value::Null();
+      bool found = false;
+      for (const auto& item : e.in_list) {
+        EASYTIME_ASSIGN_OR_RETURN(Value iv, Evaluate(*item, ctx));
+        if (iv.is_null()) continue;
+        auto cmp = v.Compare(iv);
+        if (cmp.ok() && *cmp == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Integer((e.negated ? !found : found) ? 1 : 0);
+    }
+    case ExprKind::kBetween: {
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.left, ctx));
+      EASYTIME_ASSIGN_OR_RETURN(Value lo, Evaluate(*e.between_lo, ctx));
+      EASYTIME_ASSIGN_OR_RETURN(Value hi, Evaluate(*e.between_hi, ctx));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      EASYTIME_ASSIGN_OR_RETURN(int c1, v.Compare(lo));
+      EASYTIME_ASSIGN_OR_RETURN(int c2, v.Compare(hi));
+      bool inside = c1 >= 0 && c2 <= 0;
+      return Value::Integer((e.negated ? !inside : inside) ? 1 : 0);
+    }
+    case ExprKind::kLike: {
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e.left, ctx));
+      if (v.is_null()) return Value::Null();
+      if (!v.is_text()) return Status::TypeError("LIKE on non-text value");
+      bool match = LikeMatch(v.AsText(), e.like_pattern);
+      return Value::Integer((e.negated ? !match : match) ? 1 : 0);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+/// Builds the joined row set via nested loops + ON predicates.
+easytime::Result<std::pair<JoinedSchema, std::vector<Row>>> BuildJoinedRows(
+    const Database& db, const SelectStatement& stmt) {
+  JoinedSchema schema;
+  EASYTIME_ASSIGN_OR_RETURN(const Table* base, db.GetTable(stmt.from.table));
+  for (const auto& col : base->columns()) {
+    schema.cols.push_back({stmt.from.effective_name(), col.name, col.type});
+  }
+  std::vector<Row> rows = base->rows();
+
+  for (const auto& join : stmt.joins) {
+    EASYTIME_ASSIGN_OR_RETURN(const Table* right,
+                              db.GetTable(join.table.table));
+    JoinedSchema next_schema = schema;
+    for (const auto& col : right->columns()) {
+      next_schema.cols.push_back(
+          {join.table.effective_name(), col.name, col.type});
+    }
+    std::vector<Row> next_rows;
+    for (const auto& lrow : rows) {
+      bool matched = false;
+      for (const auto& rrow : right->rows()) {
+        Row combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        EvalContext ctx{&next_schema, &combined, nullptr};
+        EASYTIME_ASSIGN_OR_RETURN(Value cond, Evaluate(*join.on, ctx));
+        if (Truthy(cond)) {
+          matched = true;
+          next_rows.push_back(std::move(combined));
+        }
+      }
+      if (!matched && join.left_outer) {
+        Row combined = lrow;
+        combined.resize(combined.size() + right->num_columns(),
+                        Value::Null());
+        next_rows.push_back(std::move(combined));
+      }
+    }
+    schema = std::move(next_schema);
+    rows = std::move(next_rows);
+  }
+  return std::make_pair(std::move(schema), std::move(rows));
+}
+
+/// Key for GROUP BY grouping.
+struct GroupKey {
+  std::vector<Value> values;
+  bool operator==(const GroupKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].GroupEquals(other.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+easytime::Result<ResultSet> ExecuteSelect(const Database& db,
+                                          const SelectStatement& stmt) {
+  EASYTIME_ASSIGN_OR_RETURN(auto joined, BuildJoinedRows(db, stmt));
+  JoinedSchema& schema = joined.first;
+  std::vector<Row>& rows = joined.second;
+
+  // WHERE filter.
+  if (stmt.where) {
+    std::vector<Row> kept;
+    for (auto& row : rows) {
+      EvalContext ctx{&schema, &row, nullptr};
+      EASYTIME_ASSIGN_OR_RETURN(Value cond, Evaluate(*stmt.where, ctx));
+      if (Truthy(cond)) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+
+  ResultSet result;
+
+  // Projection setup.
+  std::vector<SelectItem> items;
+  if (stmt.star_all) {
+    for (const auto& col : schema.cols) {
+      SelectItem item;
+      item.expr = MakeColumnRef(col.qualifier, col.name);
+      item.alias = col.name;
+      items.push_back(std::move(item));
+    }
+  } else {
+    for (const auto& it : stmt.items) {
+      SelectItem copy;
+      // Re-parse from SQL to clone the expression tree.
+      copy.alias = it.alias;
+      copy.expr = nullptr;
+      items.push_back(std::move(copy));
+    }
+  }
+
+  // To avoid deep-cloning expressions we reference stmt.items directly for
+  // the non-star case.
+  auto item_expr = [&](size_t i) -> const Expr& {
+    return stmt.star_all ? *items[i].expr : *stmt.items[i].expr;
+  };
+  auto item_name = [&](size_t i) -> std::string {
+    return stmt.star_all ? items[i].alias : stmt.items[i].OutputName();
+  };
+  size_t num_items = stmt.star_all ? items.size() : stmt.items.size();
+  for (size_t i = 0; i < num_items; ++i) result.columns.push_back(item_name(i));
+
+  bool grouped = !stmt.group_by.empty();
+  bool any_aggregate = false;
+  if (!stmt.star_all) {
+    for (const auto& it : stmt.items) {
+      if (it.expr->ContainsAggregate()) any_aggregate = true;
+    }
+  }
+  if (stmt.having && stmt.having->ContainsAggregate()) any_aggregate = true;
+
+  struct OutputRow {
+    Row values;
+    std::vector<Value> order_keys;
+  };
+  std::vector<OutputRow> output;
+
+  auto eval_order_keys = [&](const EvalContext& ctx, const Row& projected)
+      -> easytime::Result<std::vector<Value>> {
+    std::vector<Value> keys;
+    for (const auto& key : stmt.order_by) {
+      // Alias/output-name reference?
+      if (key.expr->kind == ExprKind::kColumnRef && key.expr->table.empty()) {
+        int idx = -1;
+        for (size_t i = 0; i < result.columns.size(); ++i) {
+          if (ToLower(result.columns[i]) == ToLower(key.expr->column)) {
+            idx = static_cast<int>(i);
+            break;
+          }
+        }
+        if (idx >= 0) {
+          keys.push_back(projected[static_cast<size_t>(idx)]);
+          continue;
+        }
+      }
+      EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*key.expr, ctx));
+      keys.push_back(std::move(v));
+    }
+    return keys;
+  };
+
+  if (grouped || any_aggregate) {
+    // Group rows.
+    std::vector<GroupKey> keys;
+    std::vector<std::vector<const Row*>> groups;
+    for (const auto& row : rows) {
+      GroupKey key;
+      EvalContext ctx{&schema, &row, nullptr};
+      for (const auto& g : stmt.group_by) {
+        EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*g, ctx));
+        key.values.push_back(std::move(v));
+      }
+      size_t gi = groups.size();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == key) {
+          gi = i;
+          break;
+        }
+      }
+      if (gi == groups.size()) {
+        keys.push_back(std::move(key));
+        groups.emplace_back();
+      }
+      groups[gi].push_back(&row);
+    }
+    // Aggregate-only query over an empty input still yields one group.
+    if (groups.empty() && !grouped) {
+      groups.emplace_back();
+    }
+
+    for (const auto& group : groups) {
+      if (group.empty() && grouped) continue;
+      EvalContext ctx{&schema, group.empty() ? nullptr : group.front(),
+                      &group};
+      if (stmt.having) {
+        EASYTIME_ASSIGN_OR_RETURN(Value cond, Evaluate(*stmt.having, ctx));
+        if (!Truthy(cond)) continue;
+      }
+      OutputRow out;
+      for (size_t i = 0; i < num_items; ++i) {
+        EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(item_expr(i), ctx));
+        out.values.push_back(std::move(v));
+      }
+      EASYTIME_ASSIGN_OR_RETURN(out.order_keys,
+                                eval_order_keys(ctx, out.values));
+      output.push_back(std::move(out));
+    }
+  } else {
+    for (const auto& row : rows) {
+      EvalContext ctx{&schema, &row, nullptr};
+      OutputRow out;
+      for (size_t i = 0; i < num_items; ++i) {
+        EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(item_expr(i), ctx));
+        out.values.push_back(std::move(v));
+      }
+      EASYTIME_ASSIGN_OR_RETURN(out.order_keys,
+                                eval_order_keys(ctx, out.values));
+      output.push_back(std::move(out));
+    }
+  }
+
+  // DISTINCT.
+  if (stmt.distinct) {
+    std::vector<OutputRow> uniq;
+    for (auto& row : output) {
+      bool dup = false;
+      for (const auto& u : uniq) {
+        bool same = u.values.size() == row.values.size();
+        for (size_t i = 0; same && i < u.values.size(); ++i) {
+          same = u.values[i].GroupEquals(row.values[i]);
+        }
+        if (same) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) uniq.push_back(std::move(row));
+    }
+    output = std::move(uniq);
+  }
+
+  // ORDER BY (stable sort, multi-key).
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(output.begin(), output.end(),
+                     [&](const OutputRow& a, const OutputRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         auto cmp = a.order_keys[i].Compare(b.order_keys[i]);
+                         int c = cmp.ok() ? *cmp : 0;
+                         if (c != 0) {
+                           return stmt.order_by[i].ascending ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  // OFFSET / LIMIT.
+  size_t begin = std::min<size_t>(static_cast<size_t>(std::max<int64_t>(
+                                      0, stmt.offset)),
+                                  output.size());
+  size_t end = output.size();
+  if (stmt.limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(stmt.limit));
+  }
+  for (size_t i = begin; i < end; ++i) {
+    result.rows.push_back(std::move(output[i].values));
+  }
+  return result;
+}
+
+easytime::Result<ResultSet> ExecuteStatement(Database* db,
+                                             const Statement& stmt) {
+  if (db == nullptr) return Status::InvalidArgument("database must not be null");
+  EASYTIME_RETURN_IF_ERROR(AnalyzeStatement(*db, stmt));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*db, stmt.select);
+    case Statement::Kind::kCreateTable: {
+      EASYTIME_RETURN_IF_ERROR(
+          db->CreateTable(stmt.create_table.table, stmt.create_table.columns));
+      return ResultSet{};
+    }
+    case Statement::Kind::kInsert: {
+      EASYTIME_ASSIGN_OR_RETURN(Table* table, db->GetTable(stmt.insert.table));
+      for (const auto& row_exprs : stmt.insert.rows) {
+        // Evaluate literal expressions (no row context).
+        JoinedSchema empty_schema;
+        Row values;
+        for (const auto& e : row_exprs) {
+          EvalContext ctx{&empty_schema, nullptr, nullptr};
+          EASYTIME_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
+          values.push_back(std::move(v));
+        }
+        if (!stmt.insert.columns.empty()) {
+          // Reorder into full schema order; unmentioned columns get NULL.
+          Row full(table->num_columns(), Value::Null());
+          for (size_t i = 0; i < stmt.insert.columns.size(); ++i) {
+            int idx = table->ColumnIndex(stmt.insert.columns[i]);
+            full[static_cast<size_t>(idx)] = std::move(values[i]);
+          }
+          values = std::move(full);
+        }
+        EASYTIME_RETURN_IF_ERROR(table->Insert(std::move(values)));
+      }
+      return ResultSet{};
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+easytime::Result<ResultSet> ExecuteQuery(Database* db, const std::string& sql) {
+  EASYTIME_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  return ExecuteStatement(db, stmt);
+}
+
+}  // namespace easytime::sql

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file executor.h
+/// \brief SQL execution: nested-loop joins, predicate filtering, grouping
+/// with aggregates, HAVING, ORDER BY, LIMIT/OFFSET. Statements are analyzed
+/// (analyzer.h) before execution — ExecuteQuery wires both together, which
+/// is the exact verify-then-execute retrieval flow of the paper's Fig. 3.
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/table.h"
+
+namespace easytime::sql {
+
+/// Executes a verified SELECT against the database.
+easytime::Result<ResultSet> ExecuteSelect(const Database& db,
+                                          const SelectStatement& stmt);
+
+/// Executes any statement, mutating the database for CREATE/INSERT.
+/// SELECTs return rows; DDL/DML return an empty ResultSet.
+easytime::Result<ResultSet> ExecuteStatement(Database* db,
+                                             const Statement& stmt);
+
+/// \brief Parse + analyze (verify) + execute in one call. This is the
+/// retrieval entry point the Q&A module uses.
+easytime::Result<ResultSet> ExecuteQuery(Database* db, const std::string& sql);
+
+}  // namespace easytime::sql

@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace easytime::sql {
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",     "HAVING", "ORDER",
+      "LIMIT",  "OFFSET", "AS",     "AND",    "OR",     "NOT",    "IN",
+      "LIKE",   "BETWEEN", "IS",    "NULL",   "ASC",    "DESC",   "JOIN",
+      "INNER",  "LEFT",   "ON",     "DISTINCT", "COUNT", "SUM",   "AVG",
+      "MIN",    "MAX",    "CREATE", "TABLE",  "INSERT", "INTO",   "VALUES",
+      "INTEGER", "REAL",  "TEXT",   "TRUE",   "FALSE",  "ABS",    "ROUND",
+      "LOWER",  "UPPER",
+  };
+  return kKeywords->count(upper_word) > 0;
+}
+
+easytime::Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        out.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_real = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_real = true;
+        ++i;
+      }
+      out.push_back({is_real ? TokenType::kReal : TokenType::kInteger,
+                     sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Operators.
+    auto two = [&](const char* op) {
+      if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+        out.push_back({TokenType::kOperator, op, start});
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two("!=") || two("<>") || two("<=") || two(">=")) continue;
+    if (std::string("=<>+-*/%(),.;").find(c) != std::string::npos) {
+      out.push_back({TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace easytime::sql

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file lexer.h
+/// \brief SQL tokenizer: keywords, identifiers, numeric/string literals, and
+/// operators, with source offsets for error messages.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kIdentifier,  // table/column names (original case preserved)
+  kInteger,
+  kReal,
+  kString,      // 'quoted' (text without quotes)
+  kOperator,    // = != <> < <= > >= + - * / % ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes SQL text; returns tokens ending with a kEnd sentinel.
+easytime::Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if \p word (uppercase) is a reserved SQL keyword.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace easytime::sql

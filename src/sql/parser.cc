@@ -1,0 +1,485 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace easytime::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  easytime::Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Peek().IsKeyword("SELECT")) {
+      stmt.kind = Statement::Kind::kSelect;
+      EASYTIME_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
+    } else if (Peek().IsKeyword("CREATE")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      EASYTIME_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+    } else if (Peek().IsKeyword("INSERT")) {
+      stmt.kind = Statement::Kind::kInsert;
+      EASYTIME_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else {
+      return Err("expected SELECT, CREATE, or INSERT");
+    }
+    if (Peek().IsOp(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOp(const char* op) {
+    if (Peek().IsOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  easytime::Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " +
+                              std::to_string(Peek().offset) +
+                              (Peek().text.empty() ? ""
+                                                   : " ('" + Peek().text + "')"));
+  }
+  easytime::Status ExpectKeyword(const char* kw) {
+    if (!ConsumeKeyword(kw)) return Err(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  easytime::Status ExpectOp(const char* op) {
+    if (!ConsumeOp(op)) return Err(std::string("expected '") + op + "'");
+    return Status::OK();
+  }
+  easytime::Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) return Err("expected identifier");
+    return Advance().text;
+  }
+
+  // ---- statements
+
+  easytime::Result<SelectStatement> ParseSelectStatement() {
+    SelectStatement s;
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (ConsumeKeyword("DISTINCT")) s.distinct = true;
+
+    if (Peek().IsOp("*") &&
+        !(Peek(1).IsOp(",") )) {  // bare star projection
+      Advance();
+      s.star_all = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        EASYTIME_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          EASYTIME_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   !Peek().IsKeyword("FROM")) {
+          item.alias = Advance().text;
+        }
+        s.items.push_back(std::move(item));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    EASYTIME_ASSIGN_OR_RETURN(s.from, ParseTableRef());
+
+    while (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER") ||
+           Peek().IsKeyword("LEFT")) {
+      JoinClause join;
+      if (ConsumeKeyword("LEFT")) {
+        join.left_outer = true;
+      } else {
+        ConsumeKeyword("INNER");
+      }
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      EASYTIME_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      EASYTIME_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      s.joins.push_back(std::move(join));
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      EASYTIME_ASSIGN_OR_RETURN(s.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        EASYTIME_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        s.group_by.push_back(std::move(e));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      EASYTIME_ASSIGN_OR_RETURN(s.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderKey key;
+        EASYTIME_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        s.order_by.push_back(std::move(key));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) return Err("expected LIMIT count");
+      s.limit = std::atoll(Advance().text.c_str());
+    }
+    if (ConsumeKeyword("OFFSET")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Err("expected OFFSET count");
+      }
+      s.offset = std::atoll(Advance().text.c_str());
+    }
+    return s;
+  }
+
+  easytime::Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    EASYTIME_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+    if (ConsumeKeyword("AS")) {
+      EASYTIME_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  easytime::Result<CreateTableStatement> ParseCreateTable() {
+    CreateTableStatement c;
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    EASYTIME_ASSIGN_OR_RETURN(c.table, ExpectIdentifier());
+    EASYTIME_RETURN_IF_ERROR(ExpectOp("("));
+    while (true) {
+      Column col;
+      EASYTIME_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      if (ConsumeKeyword("INTEGER")) {
+        col.type = DataType::kInteger;
+      } else if (ConsumeKeyword("REAL")) {
+        col.type = DataType::kReal;
+      } else if (ConsumeKeyword("TEXT")) {
+        col.type = DataType::kText;
+      } else {
+        return Err("expected column type (INTEGER, REAL, TEXT)");
+      }
+      c.columns.push_back(std::move(col));
+      if (ConsumeOp(")")) break;
+      EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+    }
+    return c;
+  }
+
+  easytime::Result<InsertStatement> ParseInsert() {
+    InsertStatement ins;
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    EASYTIME_ASSIGN_OR_RETURN(ins.table, ExpectIdentifier());
+    if (ConsumeOp("(")) {
+      while (true) {
+        EASYTIME_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        ins.columns.push_back(std::move(col));
+        if (ConsumeOp(")")) break;
+        EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+      }
+    }
+    EASYTIME_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      EASYTIME_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        EASYTIME_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (ConsumeOp(")")) break;
+        EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+      }
+      ins.rows.push_back(std::move(row));
+      if (!ConsumeOp(",")) break;
+    }
+    return ins;
+  }
+
+  // ---- expressions (precedence climbing)
+
+  easytime::Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  easytime::Result<ExprPtr> ParseOr() {
+    EASYTIME_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  easytime::Result<ExprPtr> ParseAnd() {
+    EASYTIME_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  easytime::Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNot;
+      e->left = std::move(inner);
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  easytime::Result<ExprPtr> ParseComparison() {
+    EASYTIME_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+
+    if (ConsumeKeyword("IS")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->left = std::move(left);
+      if (ConsumeKeyword("NOT")) e->negated = true;
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return ExprPtr(std::move(e));
+    }
+    if (ConsumeKeyword("IN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->left = std::move(left);
+      e->negated = negated;
+      EASYTIME_RETURN_IF_ERROR(ExpectOp("("));
+      while (true) {
+        EASYTIME_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        e->in_list.push_back(std::move(item));
+        if (ConsumeOp(")")) break;
+        EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+      }
+      return ExprPtr(std::move(e));
+    }
+    if (ConsumeKeyword("LIKE")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->left = std::move(left);
+      e->negated = negated;
+      if (Peek().type != TokenType::kString) {
+        return Err("LIKE expects a string pattern");
+      }
+      e->like_pattern = Advance().text;
+      return ExprPtr(std::move(e));
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->left = std::move(left);
+      e->negated = negated;
+      EASYTIME_ASSIGN_OR_RETURN(e->between_lo, ParseAdditive());
+      EASYTIME_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      EASYTIME_ASSIGN_OR_RETURN(e->between_hi, ParseAdditive());
+      return ExprPtr(std::move(e));
+    }
+    if (negated) return Err("dangling NOT");
+
+    struct OpMap {
+      const char* text;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<>", BinaryOp::kNe},
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const auto& [text, op] : kOps) {
+      if (Peek().IsOp(text)) {
+        Advance();
+        EASYTIME_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  easytime::Result<ExprPtr> ParseAdditive() {
+    EASYTIME_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().IsOp("+") || Peek().IsOp("-")) {
+      BinaryOp op = Peek().IsOp("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  easytime::Result<ExprPtr> ParseMultiplicative() {
+    EASYTIME_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().IsOp("*") || Peek().IsOp("/") || Peek().IsOp("%")) {
+      BinaryOp op = Peek().IsOp("*")
+                        ? BinaryOp::kMul
+                        : (Peek().IsOp("/") ? BinaryOp::kDiv : BinaryOp::kMod);
+      Advance();
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  easytime::Result<ExprPtr> ParseUnary() {
+    if (ConsumeOp("-")) {
+      EASYTIME_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNeg;
+      e->left = std::move(inner);
+      return ExprPtr(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  easytime::Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return MakeLiteral(Value::Integer(std::atoll(tok.text.c_str())));
+      }
+      case TokenType::kReal: {
+        Advance();
+        return MakeLiteral(Value::Real(std::atof(tok.text.c_str())));
+      }
+      case TokenType::kString: {
+        Advance();
+        return MakeLiteral(Value::Text(tok.text));
+      }
+      case TokenType::kKeyword: {
+        if (tok.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (tok.text == "TRUE") {
+          Advance();
+          return MakeLiteral(Value::Integer(1));
+        }
+        if (tok.text == "FALSE") {
+          Advance();
+          return MakeLiteral(Value::Integer(0));
+        }
+        // Function-style keywords: COUNT/SUM/AVG/MIN/MAX/ABS/ROUND/...
+        if (Peek(1).IsOp("(")) {
+          std::string fname = tok.text;
+          Advance();
+          Advance();  // '('
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunction;
+          e->function = fname;
+          if (ConsumeKeyword("DISTINCT")) e->distinct_arg = true;
+          if (ConsumeOp(")")) return ExprPtr(std::move(e));
+          while (true) {
+            if (Peek().IsOp("*")) {
+              Advance();
+              auto star = std::make_unique<Expr>();
+              star->kind = ExprKind::kStar;
+              e->args.push_back(std::move(star));
+            } else {
+              EASYTIME_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+            }
+            if (ConsumeOp(")")) break;
+            EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+          }
+          return ExprPtr(std::move(e));
+        }
+        return Err("unexpected keyword '" + tok.text + "' in expression");
+      }
+      case TokenType::kIdentifier: {
+        std::string first = Advance().text;
+        if (ConsumeOp(".")) {
+          EASYTIME_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          return MakeColumnRef(first, col);
+        }
+        // Identifier-style function call: parsed here, validated by the
+        // analyzer (which rejects unknown function names).
+        if (Peek().IsOp("(")) {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunction;
+          e->function = ToUpper(first);
+          if (ConsumeOp(")")) return ExprPtr(std::move(e));
+          while (true) {
+            EASYTIME_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+            if (ConsumeOp(")")) break;
+            EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+          }
+          return ExprPtr(std::move(e));
+        }
+        return MakeColumnRef("", first);
+      }
+      case TokenType::kOperator: {
+        if (tok.IsOp("(")) {
+          Advance();
+          EASYTIME_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          EASYTIME_RETURN_IF_ERROR(ExpectOp(")"));
+          return inner;
+        }
+        return Err("unexpected token '" + tok.text + "'");
+      }
+      case TokenType::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+easytime::Result<Statement> ParseSql(const std::string& sql) {
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseStatement();
+}
+
+easytime::Result<SelectStatement> ParseSelect(const std::string& sql) {
+  EASYTIME_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace easytime::sql

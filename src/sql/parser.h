@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file parser.h
+/// \brief Recursive-descent SQL parser producing the AST in ast.h.
+/// Supported: SELECT (projections with aliases, DISTINCT, inner JOIN ... ON,
+/// WHERE, GROUP BY, HAVING, ORDER BY, LIMIT/OFFSET), CREATE TABLE, INSERT.
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace easytime::sql {
+
+/// Parses a single SQL statement (trailing ';' allowed).
+easytime::Result<Statement> ParseSql(const std::string& sql);
+
+/// Convenience wrapper: parses and requires a SELECT.
+easytime::Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace easytime::sql

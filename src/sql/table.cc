@@ -1,0 +1,144 @@
+#include "sql/table.h"
+
+#include "common/string_util.h"
+
+namespace easytime::sql {
+
+int Table::ColumnIndex(const std::string& name) const {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].name) == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+easytime::Status Table::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "INSERT into '" + name_ + "': expected " +
+        std::to_string(columns_.size()) + " values, got " +
+        std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (columns_[i].type) {
+      case DataType::kInteger:
+        if (!v.is_integer()) {
+          return Status::TypeError("column '" + columns_[i].name +
+                                   "' expects INTEGER, got " +
+                                   DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kReal:
+        if (v.is_integer()) {
+          v = Value::Real(static_cast<double>(v.AsInteger()));
+        } else if (!v.is_real()) {
+          return Status::TypeError("column '" + columns_[i].name +
+                                   "' expects REAL, got " +
+                                   DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kText:
+        if (!v.is_text()) {
+          return Status::TypeError("column '" + columns_[i].name +
+                                   "' expects TEXT, got " +
+                                   DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kNull:
+        break;
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+easytime::Status Database::CreateTable(const std::string& name,
+                                       std::vector<Column> columns) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (ToLower(columns[i].name) == ToLower(columns[j].name)) {
+        return Status::InvalidArgument("duplicate column name: " +
+                                       columns[i].name);
+      }
+    }
+  }
+  order_.push_back(key);
+  tables_.emplace(key, Table(name, std::move(columns)));
+  return Status::OK();
+}
+
+void Database::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  tables_.erase(key);
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (*it == key) {
+      order_.erase(it);
+      break;
+    }
+  }
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+easytime::Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return &it->second;
+}
+
+easytime::Result<const Table*> Database::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& key : order_) out.push_back(tables_.at(key).name());
+  return out;
+}
+
+std::string Database::DescribeSchema() const {
+  std::string out;
+  for (const auto& key : order_) {
+    const Table& t = tables_.at(key);
+    out += t.name() + "(";
+    for (size_t i = 0; i < t.columns().size(); ++i) {
+      if (i) out += ", ";
+      out += t.columns()[i].name;
+      out += " ";
+      out += DataTypeName(t.columns()[i].type);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+std::string ResultSet::Format() const {
+  std::vector<std::vector<std::string>> display;
+  display.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& v : row) r.push_back(v.ToDisplay());
+    display.push_back(std::move(r));
+  }
+  return FormatTable(columns, display);
+}
+
+}  // namespace easytime::sql

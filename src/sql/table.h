@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file table.h
+/// \brief In-memory relational storage: typed columns, row vectors, and a
+/// Database of named tables. This is the store behind the benchmark
+/// knowledge base the Q&A module queries.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace easytime::sql {
+
+/// Column schema.
+struct Column {
+  std::string name;
+  DataType type = DataType::kText;
+};
+
+/// One row of values (aligned with the table's columns).
+using Row = std::vector<Value>;
+
+/// \brief A named table with a fixed schema.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by (case-insensitive) name; -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// \brief Appends a row after validating arity and types. Integer values
+  /// are accepted into REAL columns (widened); NULL is accepted everywhere.
+  easytime::Status Insert(Row row);
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+/// \brief A collection of named tables.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty table; fails if the name exists.
+  easytime::Status CreateTable(const std::string& name,
+                               std::vector<Column> columns);
+
+  /// Drops a table if present.
+  void DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  easytime::Result<Table*> GetTable(const std::string& name);
+  easytime::Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// \brief Schema summary ("table(col TYPE, ...)" per line) — the metadata
+  /// handed to the NL2SQL layer as "pre-stored benchmark metadata".
+  std::string DescribeSchema() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::vector<std::string> order_;
+};
+
+/// \brief A query result: named columns + rows, renderable as a table (the
+/// Q&A module's "benchmark result data table" output).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  std::string Format() const;
+};
+
+}  // namespace easytime::sql

@@ -1,0 +1,77 @@
+#include "sql/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easytime::sql {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInteger: return "INTEGER";
+    case DataType::kReal: return "REAL";
+    case DataType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+DataType Value::type() const {
+  if (is_null()) return DataType::kNull;
+  if (is_integer()) return DataType::kInteger;
+  if (is_real()) return DataType::kReal;
+  return DataType::kText;
+}
+
+double Value::ToDouble() const {
+  if (is_integer()) return static_cast<double>(AsInteger());
+  if (is_real()) return AsReal();
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_integer()) return std::to_string(AsInteger());
+  if (is_real()) return FormatDouble(AsReal(), 6);
+  std::string out = "'";
+  for (char c : AsText()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  return out + "'";
+}
+
+std::string Value::ToDisplay() const {
+  if (is_text()) return AsText();
+  if (is_real()) return FormatDouble(AsReal(), 4);
+  return ToString();
+}
+
+easytime::Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    double a = ToDouble(), b = other.ToDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_text() && other.is_text()) {
+    int c = AsText().compare(other.AsText());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return Status::TypeError("cannot compare " +
+                           std::string(DataTypeName(type())) + " with " +
+                           DataTypeName(other.type()));
+}
+
+bool Value::GroupEquals(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (is_null() || other.is_null()) return false;
+  auto c = Compare(other);
+  return c.ok() && *c == 0;
+}
+
+}  // namespace easytime::sql

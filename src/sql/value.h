@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file value.h
+/// \brief The SQL runtime value: NULL, INTEGER, REAL, or TEXT, with SQL
+/// comparison semantics (NULL compares unknown; numeric types compare
+/// cross-type).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace easytime::sql {
+
+/// Column/value type.
+enum class DataType { kNull, kInteger, kReal, kText };
+
+/// Name of a DataType ("NULL", "INTEGER", "REAL", "TEXT").
+const char* DataTypeName(DataType t);
+
+/// \brief A dynamically typed SQL value.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Integer(int64_t i) { return Value(i); }
+  static Value Real(double d) { return Value(d); }
+  static Value Text(std::string s) { return Value(std::move(s)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_integer() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_integer() || is_real(); }
+
+  DataType type() const;
+
+  int64_t AsInteger() const { return std::get<int64_t>(v_); }
+  double AsReal() const { return std::get<double>(v_); }
+  const std::string& AsText() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion (integer widened to double); 0 for non-numerics.
+  double ToDouble() const;
+
+  /// SQL rendering: NULL, 42, 3.14, 'text'.
+  std::string ToString() const;
+
+  /// Plain rendering without text quotes (for result tables).
+  std::string ToDisplay() const;
+
+  /// \brief Three-valued comparison: returns <0/0/>0, or an error when the
+  /// values are incomparable (text vs number). NULLs order first (used only
+  /// by ORDER BY; predicates handle NULL separately).
+  easytime::Result<int> Compare(const Value& other) const;
+
+  /// Equality used by GROUP BY keys (NULL == NULL groups together).
+  bool GroupEquals(const Value& other) const;
+
+ private:
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace easytime::sql

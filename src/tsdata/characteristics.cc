@@ -1,0 +1,323 @@
+#include "tsdata/characteristics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace easytime::tsdata {
+
+namespace {
+
+/// Classical decomposition: trend via centered MA, seasonal via per-phase
+/// means of the detrended series. Returns (trend, seasonal) components.
+std::pair<std::vector<double>, std::vector<double>> Decompose(
+    const std::vector<double>& v, size_t period) {
+  size_t n = v.size();
+  size_t window = period >= 2 ? period : std::max<size_t>(3, n / 10);
+  if (window % 2 == 0) ++window;  // centered MA wants an odd window
+  std::vector<double> trend = MovingAverage(v, window);
+
+  std::vector<double> seasonal(n, 0.0);
+  if (period >= 2 && n >= 2 * period) {
+    std::vector<double> phase_sum(period, 0.0);
+    std::vector<size_t> phase_cnt(period, 0);
+    for (size_t i = 0; i < n; ++i) {
+      phase_sum[i % period] += v[i] - trend[i];
+      ++phase_cnt[i % period];
+    }
+    double grand = 0.0;
+    for (size_t p = 0; p < period; ++p) {
+      phase_sum[p] /= std::max<size_t>(1, phase_cnt[p]);
+      grand += phase_sum[p];
+    }
+    grand /= static_cast<double>(period);
+    for (size_t i = 0; i < n; ++i) seasonal[i] = phase_sum[i % period] - grand;
+  }
+  return {std::move(trend), std::move(seasonal)};
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace
+
+size_t DetectPeriod(const std::vector<double>& values, size_t max_period) {
+  size_t n = values.size();
+  if (n < 8) return 0;
+  if (max_period == 0) max_period = n / 3;
+  max_period = std::min(max_period, n / 3);
+  if (max_period < 2) return 0;
+
+  // Detrend first so strong trends do not masquerade as low frequencies.
+  auto [intercept, slope] = LinearTrendFit(values);
+  std::vector<double> detrended(n);
+  for (size_t i = 0; i < n; ++i) {
+    detrended[i] = values[i] - (intercept + slope * static_cast<double>(i));
+  }
+
+  // Spectral candidate: strongest non-DC frequency.
+  std::vector<double> spec = PowerSpectrum(detrended);
+  size_t padded = (spec.size() - 1) * 2;
+  size_t best_k = 0;
+  double best_power = 0.0;
+  for (size_t k = 1; k < spec.size(); ++k) {
+    double p = static_cast<double>(padded) / static_cast<double>(k);
+    if (p < 2.0 || p > static_cast<double>(max_period)) continue;
+    if (spec[k] > best_power) {
+      best_power = spec[k];
+      best_k = k;
+    }
+  }
+  if (best_k == 0) return 0;
+  size_t candidate = static_cast<size_t>(std::llround(
+      static_cast<double>(padded) / static_cast<double>(best_k)));
+  candidate = std::clamp<size_t>(candidate, 2, max_period);
+
+  // Confirm with ACF: search a small neighborhood for the best lag.
+  size_t best_lag = 0;
+  double best_acf = 0.2;  // significance floor
+  size_t lo = candidate > candidate / 4 ? candidate - candidate / 4 : 2;
+  size_t hi = std::min(max_period, candidate + candidate / 4 + 1);
+  for (size_t lag = std::max<size_t>(2, lo); lag <= hi; ++lag) {
+    double r = Autocorrelation(detrended, lag);
+    if (r > best_acf) {
+      best_acf = r;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+double SeasonalStrength(const std::vector<double>& values, size_t period) {
+  size_t n = values.size();
+  if (period < 2 || n < 2 * period) return 0.0;
+  auto [trend, seasonal] = Decompose(values, period);
+  std::vector<double> detrended = Subtract(values, trend);
+  std::vector<double> remainder = Subtract(detrended, seasonal);
+  double var_detrended = Variance(detrended);
+  if (var_detrended < 1e-12) return 0.0;
+  return std::clamp(1.0 - Variance(remainder) / var_detrended, 0.0, 1.0);
+}
+
+double TrendStrength(const std::vector<double>& values, size_t period) {
+  size_t n = values.size();
+  if (n < 6) return 0.0;
+  auto [trend, seasonal] = Decompose(values, period);
+  std::vector<double> deseason = Subtract(values, seasonal);
+  std::vector<double> remainder = Subtract(deseason, trend);
+  double var_deseason = Variance(deseason);
+  if (var_deseason < 1e-12) return 0.0;
+  return std::clamp(1.0 - Variance(remainder) / var_deseason, 0.0, 1.0);
+}
+
+double AdfStatistic(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n < 12) return 0.0;
+  size_t lags = static_cast<size_t>(std::cbrt(static_cast<double>(n)));
+  lags = std::clamp<size_t>(lags, 1, 12);
+
+  // Regression: dy_t = a + b*y_{t-1} + sum_i c_i dy_{t-i}.
+  std::vector<double> dy = Difference(values);
+  size_t rows = dy.size() - lags;
+  size_t cols = 2 + lags;
+  if (rows < cols + 2) return 0.0;
+
+  std::vector<double> x(rows * cols);
+  std::vector<double> y(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t t = r + lags;  // index into dy
+    y[r] = dy[t];
+    x[r * cols + 0] = 1.0;
+    x[r * cols + 1] = values[t];  // y_{t-1} of the level series
+    for (size_t i = 0; i < lags; ++i) {
+      x[r * cols + 2 + i] = dy[t - 1 - i];
+    }
+  }
+  auto beta_res = LeastSquares(x, y, rows, cols);
+  if (!beta_res.ok()) return 0.0;
+  const auto& beta = *beta_res;
+
+  // Residual variance and the standard error of beta[1].
+  double sse = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    double pred = 0.0;
+    for (size_t c = 0; c < cols; ++c) pred += x[r * cols + c] * beta[c];
+    double e = y[r] - pred;
+    sse += e * e;
+  }
+  double sigma2 = sse / static_cast<double>(rows - cols);
+
+  // SE(beta_1) = sqrt(sigma2 * [(X'X)^-1]_{11}); solve X'X z = e_1.
+  std::vector<double> xtx(cols * cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        xtx[i * cols + j] += x[r * cols + i] * x[r * cols + j];
+      }
+    }
+  }
+  std::vector<double> e1(cols, 0.0);
+  e1[1] = 1.0;
+  auto z = SolveLinearSystem(xtx, e1, cols);
+  if (!z.ok()) return 0.0;
+  double var_b1 = sigma2 * (*z)[1];
+  if (var_b1 <= 0.0) return 0.0;
+  return beta[1] / std::sqrt(var_b1);
+}
+
+double StationarityScore(double adf_stat) {
+  // ADF critical values (constant, no trend): 1% ~ -3.43, 10% ~ -2.57.
+  // Map linearly: <= -3.43 -> 1, >= -1.0 -> 0.
+  const double hi = -3.43, lo = -1.0;
+  double score = (lo - adf_stat) / (lo - hi);
+  return std::clamp(score, 0.0, 1.0);
+}
+
+double ShiftingScore(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n < 8) return 0.0;
+  std::vector<double> a(values.begin(), values.begin() + static_cast<long>(n / 2));
+  std::vector<double> b(values.begin() + static_cast<long>(n / 2), values.end());
+  double pooled = std::sqrt((Variance(a) + Variance(b)) / 2.0);
+  if (pooled < 1e-12) pooled = 1e-12;
+  double mean_shift = std::fabs(Mean(a) - Mean(b)) / pooled;
+  double sa = StdDev(a), sb = StdDev(b);
+  double scale_shift =
+      (std::max(sa, sb) > 1e-12)
+          ? 1.0 - std::min(sa, sb) / std::max(std::max(sa, sb), 1e-12)
+          : 0.0;
+  // Logistic squash of the standardized mean shift; blend in scale drift.
+  double m = 1.0 - std::exp(-0.9 * mean_shift);
+  return std::clamp(0.8 * m + 0.2 * scale_shift, 0.0, 1.0);
+}
+
+double TransitionScore(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n < 24) return 0.0;
+  // Windowed means; count CUSUM-style breaks in the local level/slope.
+  size_t w = std::max<size_t>(8, n / 16);
+  std::vector<double> means;
+  for (size_t start = 0; start + w <= n; start += w) {
+    double s = 0.0;
+    for (size_t i = start; i < start + w; ++i) s += values[i];
+    means.push_back(s / static_cast<double>(w));
+  }
+  if (means.size() < 3) return 0.0;
+  std::vector<double> dm = Difference(means);
+  double sd = StdDev(dm);
+  if (sd < 1e-12) return 0.0;
+  // A transition shows as a sign change in windowed slope with large
+  // magnitude; count significant slope reversals.
+  size_t breaks = 0;
+  for (size_t i = 1; i < dm.size(); ++i) {
+    bool sign_flip = (dm[i] > 0) != (dm[i - 1] > 0);
+    bool significant = std::fabs(dm[i] - dm[i - 1]) > 2.0 * sd;
+    if (sign_flip && significant) ++breaks;
+  }
+  double rate = static_cast<double>(breaks) /
+                static_cast<double>(dm.size() - 1);
+  return std::clamp(3.0 * rate, 0.0, 1.0);
+}
+
+double ChannelCorrelation(const Dataset& ds) {
+  size_t c = ds.num_channels();
+  if (c < 2) return 0.0;
+  double acc = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < c; ++i) {
+    for (size_t j = i + 1; j < c; ++j) {
+      acc += std::fabs(
+          PearsonCorrelation(ds.channel(i).values(), ds.channel(j).values()));
+      ++pairs;
+    }
+  }
+  return pairs ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+Characteristics ExtractCharacteristics(const std::vector<double>& values) {
+  Characteristics ch;
+  ch.period = DetectPeriod(values);
+  ch.seasonality = SeasonalStrength(values, ch.period);
+  ch.trend = TrendStrength(values, ch.period);
+  ch.transition = TransitionScore(values);
+  ch.shifting = ShiftingScore(values);
+  ch.stationarity = StationarityScore(AdfStatistic(values));
+  ch.correlation = 0.0;
+  return ch;
+}
+
+Characteristics ExtractCharacteristics(const Dataset& ds) {
+  Characteristics acc;
+  if (ds.num_channels() == 0) return acc;
+  for (const auto& chan : ds.channels()) {
+    Characteristics c = ExtractCharacteristics(chan.values());
+    acc.seasonality += c.seasonality;
+    acc.trend += c.trend;
+    acc.transition += c.transition;
+    acc.shifting += c.shifting;
+    acc.stationarity += c.stationarity;
+    if (c.period > acc.period) acc.period = c.period;
+  }
+  double k = static_cast<double>(ds.num_channels());
+  acc.seasonality /= k;
+  acc.trend /= k;
+  acc.transition /= k;
+  acc.shifting /= k;
+  acc.stationarity /= k;
+  acc.correlation = ChannelCorrelation(ds);
+  return acc;
+}
+
+std::string Characteristics::Describe() const {
+  std::vector<std::string> parts;
+  if (has_seasonality()) {
+    parts.push_back("seasonal (period " + std::to_string(period) + ")");
+  }
+  if (has_trend()) parts.push_back("trending");
+  if (has_shifting()) parts.push_back("shifting");
+  if (has_transition()) parts.push_back("transitioning");
+  parts.push_back(is_stationary() ? "stationary" : "non-stationary");
+  if (correlation > 0.3) parts.push_back("cross-correlated");
+  return Join(parts, ", ");
+}
+
+std::vector<double> CharacteristicFeatureVector(
+    const std::vector<double>& values) {
+  Characteristics ch = ExtractCharacteristics(values);
+  std::vector<double> f;
+  f.reserve(kCharacteristicFeatureDim);
+  f.push_back(ch.seasonality);
+  f.push_back(ch.trend);
+  f.push_back(ch.transition);
+  f.push_back(ch.shifting);
+  f.push_back(ch.stationarity);
+  f.push_back(ch.period > 0
+                  ? std::log(1.0 + static_cast<double>(ch.period)) / 6.0
+                  : 0.0);
+  // Distribution shape in normalized space.
+  double m = Mean(values), sd = std::max(StdDev(values), 1e-12);
+  double skew = 0.0, kurt = 0.0;
+  for (double v : values) {
+    double z = (v - m) / sd;
+    skew += z * z * z;
+    kurt += z * z * z * z;
+  }
+  double n = std::max<double>(1.0, static_cast<double>(values.size()));
+  f.push_back(std::tanh(skew / n));
+  f.push_back(std::tanh(kurt / n / 3.0 - 1.0));
+  f.push_back(Autocorrelation(values, 1));
+  std::vector<double> d1 = Difference(values);
+  f.push_back(Autocorrelation(d1, 1));
+  double cv = std::fabs(m) > 1e-9 ? std::min(1.0, sd / std::fabs(m)) : 1.0;
+  f.push_back(cv);
+  f.push_back(std::log(1.0 + n) / 10.0);
+  return f;
+}
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file characteristics.h
+/// \brief Time-series characteristics extraction. TFB curates datasets to
+/// cover Seasonality, Trend, Transition, Shifting, Stationarity, and
+/// Correlation; this module measures those six axes so that (a) the
+/// generator can be validated, (b) the recommender can correlate features
+/// with method performance, and (c) the Q&A module can answer questions
+/// like "... on time series with strong seasonality".
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tsdata/series.h"
+
+namespace easytime::tsdata {
+
+/// \brief The six TFB characteristic measurements plus the detected period.
+/// All strengths are normalized to [0, 1]; booleans apply the thresholds
+/// used throughout the benchmark.
+struct Characteristics {
+  double seasonality = 0.0;   ///< STL-style seasonal strength
+  double trend = 0.0;         ///< STL-style trend strength
+  double transition = 0.0;    ///< regime/slope-change intensity (CUSUM-based)
+  double shifting = 0.0;      ///< distribution drift between halves
+  double stationarity = 0.0;  ///< 1 = strongly stationary (ADF-based)
+  double correlation = 0.0;   ///< mean |pairwise Pearson| across channels
+  size_t period = 0;          ///< dominant seasonal period (0 = none)
+
+  bool has_seasonality() const { return seasonality > 0.64; }
+  bool has_trend() const { return trend > 0.6; }
+  bool is_stationary() const { return stationarity > 0.5; }
+  bool has_shifting() const { return shifting > 0.5; }
+  bool has_transition() const { return transition > 0.5; }
+
+  /// Short human-readable summary for the frontend (Fig. 4 label 4).
+  std::string Describe() const;
+};
+
+/// \brief Detects the dominant seasonal period of \p values by combining the
+/// power-spectrum peak with ACF confirmation; returns 0 when no credible
+/// period exists. \p max_period defaults to length/3.
+size_t DetectPeriod(const std::vector<double>& values, size_t max_period = 0);
+
+/// Seasonal strength: 1 - Var(remainder)/Var(detrended), clamped to [0,1].
+double SeasonalStrength(const std::vector<double>& values, size_t period);
+
+/// Trend strength: 1 - Var(remainder)/Var(deseasonalized), clamped to [0,1].
+double TrendStrength(const std::vector<double>& values, size_t period);
+
+/// \brief Augmented Dickey–Fuller test statistic for a unit root, with
+/// automatic lag order floor(cbrt(n)). More negative = more stationary.
+double AdfStatistic(const std::vector<double>& values);
+
+/// Maps an ADF statistic into a [0,1] stationarity score (1 at/below the 1%
+/// critical value, 0 well above the 10% value).
+double StationarityScore(double adf_stat);
+
+/// \brief Distribution-shift score in [0,1]: standardized difference in mean
+/// and scale between the first and second half of the series.
+double ShiftingScore(const std::vector<double>& values);
+
+/// \brief Transition score in [0,1]: intensity of regime changes detected by
+/// a sliding CUSUM over windowed means.
+double TransitionScore(const std::vector<double>& values);
+
+/// Mean absolute pairwise Pearson correlation across dataset channels; 0 for
+/// univariate datasets.
+double ChannelCorrelation(const Dataset& ds);
+
+/// Extracts the full characteristic profile of a univariate series.
+Characteristics ExtractCharacteristics(const std::vector<double>& values);
+
+/// Extracts a dataset-level profile: channel-averaged univariate
+/// characteristics plus the cross-channel correlation axis.
+Characteristics ExtractCharacteristics(const Dataset& ds);
+
+/// \brief A compact numeric feature vector (fixed length) summarizing a
+/// series: the six characteristics plus distributional statistics. Used as a
+/// fallback/augmentation of learned TS2Vec features in the recommender.
+std::vector<double> CharacteristicFeatureVector(
+    const std::vector<double>& values);
+
+/// Length of the vector produced by CharacteristicFeatureVector.
+inline constexpr size_t kCharacteristicFeatureDim = 12;
+
+}  // namespace easytime::tsdata

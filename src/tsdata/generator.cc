@@ -1,0 +1,229 @@
+#include "tsdata/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace easytime::tsdata {
+
+namespace {
+
+/// Deterministic component synthesis shared by all channels of a dataset;
+/// per-channel randomness comes from the caller's rng.
+std::vector<double> SynthesizeValues(const GeneratorConfig& cfg, Rng* rng) {
+  const size_t n = cfg.length;
+  std::vector<double> v(n, 0.0);
+
+  // Trend with an optional slope break at a random interior point.
+  size_t break_at = n / 2;
+  if (cfg.trend_break != 0.0) {
+    break_at = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(n / 4), static_cast<int64_t>(3 * n / 4)));
+  }
+  double slope = cfg.trend_slope;
+  double level = cfg.level;
+  for (size_t t = 0; t < n; ++t) {
+    if (t == break_at) slope += cfg.trend_break;
+    if (t > 0) level += slope;
+    v[t] = level;
+  }
+
+  // Harmonic seasonality with a random phase per harmonic.
+  if (cfg.period >= 2 && cfg.season_amp > 0.0) {
+    int harmonics = std::clamp(static_cast<int>(cfg.season_harmonics), 1, 3);
+    for (int h = 1; h <= harmonics; ++h) {
+      double phase = rng->Uniform(0.0, 2.0 * std::numbers::pi);
+      double amp = cfg.season_amp / static_cast<double>(h);
+      for (size_t t = 0; t < n; ++t) {
+        v[t] += amp * std::sin(2.0 * std::numbers::pi * h *
+                                   static_cast<double>(t) /
+                                   static_cast<double>(cfg.period) +
+                               phase);
+      }
+    }
+  }
+
+  // AR(1) noise, optionally integrated (random walk) and heavy-tailed.
+  double prev = 0.0;
+  double walk = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double eps = rng->Gaussian(0.0, cfg.noise_std);
+    if (cfg.heavy_tail && rng->Uniform() < 0.02) {
+      eps *= rng->Uniform(4.0, 8.0);  // rare large shock
+    }
+    double noise = cfg.ar_coef * prev + eps;
+    prev = noise;
+    if (cfg.random_walk) {
+      walk += noise;
+      v[t] += walk;
+    } else {
+      v[t] += noise;
+    }
+  }
+
+  // Level shift (distribution shifting) at a random point in the second half.
+  if (cfg.level_shift != 0.0) {
+    size_t at = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(n / 2), static_cast<int64_t>(7 * n / 8)));
+    for (size_t t = at; t < n; ++t) v[t] += cfg.level_shift;
+  }
+  return v;
+}
+
+}  // namespace
+
+Series GenerateSeries(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Series s(config.name.empty() ? "synthetic" : config.name,
+           SynthesizeValues(config, &rng));
+  s.set_domain(config.domain);
+  s.set_period_hint(config.period);
+  return s;
+}
+
+Dataset GenerateDataset(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Dataset ds(config.name.empty() ? "synthetic" : config.name);
+  ds.set_domain(config.domain);
+
+  size_t k = std::max<size_t>(1, config.num_channels);
+  if (k == 1) {
+    (void)ds.AddChannel(GenerateSeries(config));
+    return ds;
+  }
+
+  // Latent-factor model: shared factor + idiosyncratic component, mixed so
+  // that the expected pairwise correlation approximates the target rho.
+  GeneratorConfig shared_cfg = config;
+  shared_cfg.seed = rng.Next();
+  Rng shared_rng(shared_cfg.seed);
+  std::vector<double> shared = SynthesizeValues(shared_cfg, &shared_rng);
+
+  double rho = std::clamp(config.channel_correlation, 0.0, 0.99);
+  double a = std::sqrt(rho);          // shared weight
+  double b = std::sqrt(1.0 - rho);    // idiosyncratic weight
+
+  for (size_t c = 0; c < k; ++c) {
+    GeneratorConfig ch_cfg = config;
+    ch_cfg.seed = rng.Next();
+    // Idiosyncratic channels keep the same structure but fresh randomness.
+    Rng ch_rng(ch_cfg.seed);
+    std::vector<double> own = SynthesizeValues(ch_cfg, &ch_rng);
+    std::vector<double> mixed(config.length);
+    for (size_t t = 0; t < config.length; ++t) {
+      mixed[t] = a * shared[t] + b * own[t];
+    }
+    Series s(config.name + "_ch" + std::to_string(c), std::move(mixed));
+    s.set_domain(config.domain);
+    s.set_period_hint(config.period);
+    (void)ds.AddChannel(std::move(s));
+  }
+  return ds;
+}
+
+GeneratorConfig DomainProfile(Domain domain, Rng* rng) {
+  GeneratorConfig c;
+  c.domain = domain;
+  c.level = rng->Uniform(5.0, 50.0);
+  c.noise_std = rng->Uniform(0.3, 1.0);
+  switch (domain) {
+    case Domain::kTraffic:
+      c.period = 24;
+      c.season_amp = rng->Uniform(4.0, 9.0);
+      c.season_harmonics = 2;
+      c.ar_coef = rng->Uniform(0.2, 0.5);
+      break;
+    case Domain::kElectricity:
+      c.period = 24;
+      c.season_amp = rng->Uniform(5.0, 10.0);
+      c.season_harmonics = 3;
+      c.trend_slope = rng->Uniform(0.0, 0.01);
+      c.ar_coef = rng->Uniform(0.1, 0.4);
+      break;
+    case Domain::kEnergy:
+      c.period = 24;
+      c.season_amp = rng->Uniform(2.0, 6.0);
+      c.trend_slope = rng->Uniform(0.0, 0.02);
+      c.level_shift = rng->Uniform() < 0.4 ? rng->Uniform(3.0, 8.0) : 0.0;
+      break;
+    case Domain::kEnvironment:
+      c.period = 12;
+      c.season_amp = rng->Uniform(2.0, 5.0);
+      c.ar_coef = rng->Uniform(0.4, 0.7);
+      c.trend_slope = rng->Uniform(-0.01, 0.02);
+      break;
+    case Domain::kNature:
+      c.period = 7;
+      c.season_amp = rng->Uniform(1.0, 3.0);
+      c.ar_coef = rng->Uniform(0.5, 0.8);
+      c.trend_break = rng->Uniform() < 0.4 ? rng->Uniform(-0.06, 0.06) : 0.0;
+      break;
+    case Domain::kEconomic:
+      c.period = 12;
+      c.season_amp = rng->Uniform(0.5, 2.0);
+      c.trend_slope = rng->Uniform(0.02, 0.08);
+      c.trend_break = rng->Uniform() < 0.5 ? rng->Uniform(-0.1, 0.1) : 0.0;
+      break;
+    case Domain::kStock:
+      c.random_walk = true;
+      c.heavy_tail = true;
+      c.noise_std = rng->Uniform(0.5, 1.5);
+      c.period = 0;
+      break;
+    case Domain::kBanking:
+      c.period = 7;
+      c.season_amp = rng->Uniform(1.0, 4.0);
+      c.trend_slope = rng->Uniform(0.0, 0.04);
+      c.level_shift = rng->Uniform() < 0.3 ? rng->Uniform(2.0, 6.0) : 0.0;
+      break;
+    case Domain::kHealth:
+      c.period = 52;
+      c.season_amp = rng->Uniform(2.0, 5.0);
+      c.ar_coef = rng->Uniform(0.2, 0.5);
+      break;
+    case Domain::kWeb:
+      c.period = 7;
+      c.season_amp = rng->Uniform(2.0, 6.0);
+      c.season_harmonics = 2;
+      c.trend_break = rng->Uniform() < 0.5 ? rng->Uniform(-0.08, 0.08) : 0.0;
+      c.ar_coef = rng->Uniform(0.1, 0.4);
+      break;
+  }
+  return c;
+}
+
+std::vector<Dataset> GenerateSuite(const SuiteSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Dataset> out;
+  out.reserve(spec.univariate_per_domain * kNumDomains +
+              spec.multivariate_total);
+
+  for (int d = 0; d < kNumDomains; ++d) {
+    Domain domain = static_cast<Domain>(d);
+    for (size_t i = 0; i < spec.univariate_per_domain; ++i) {
+      GeneratorConfig cfg = DomainProfile(domain, &rng);
+      cfg.length = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(spec.min_length),
+          static_cast<int64_t>(spec.max_length)));
+      cfg.num_channels = 1;
+      cfg.seed = rng.Next();
+      cfg.name = std::string(DomainName(domain)) + "_u" + std::to_string(i);
+      out.push_back(GenerateDataset(cfg));
+    }
+  }
+  for (size_t i = 0; i < spec.multivariate_total; ++i) {
+    Domain domain = static_cast<Domain>(rng.UniformInt(0, kNumDomains - 1));
+    GeneratorConfig cfg = DomainProfile(domain, &rng);
+    cfg.length = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(spec.min_length),
+        static_cast<int64_t>(spec.max_length)));
+    cfg.num_channels = spec.multivariate_channels;
+    cfg.channel_correlation = rng.Uniform(0.3, 0.9);
+    cfg.seed = rng.Next();
+    cfg.name = std::string(DomainName(domain)) + "_mv" + std::to_string(i);
+    out.push_back(GenerateDataset(cfg));
+  }
+  return out;
+}
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,91 @@
+#include "tsdata/repository.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/string_util.h"
+
+namespace easytime::tsdata {
+
+easytime::Status Repository::Add(Dataset ds) {
+  if (ds.name().empty()) {
+    return Status::InvalidArgument("dataset must have a name");
+  }
+  if (by_name_.count(ds.name())) {
+    return Status::AlreadyExists("dataset already registered: " + ds.name());
+  }
+  if (ds.num_channels() == 0 || ds.length() == 0) {
+    return Status::InvalidArgument("dataset is empty: " + ds.name());
+  }
+  std::string name = ds.name();
+  order_.push_back(name);
+  by_name_.emplace(std::move(name), std::move(ds));
+  return Status::OK();
+}
+
+easytime::Result<const Dataset*> Repository::Get(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  return &it->second;
+}
+
+bool Repository::Contains(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+std::vector<const Dataset*> Repository::All() const {
+  std::vector<const Dataset*> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.push_back(&by_name_.at(name));
+  return out;
+}
+
+std::vector<const Dataset*> Repository::ByDomain(Domain domain) const {
+  std::vector<const Dataset*> out;
+  for (const auto& name : order_) {
+    const Dataset& ds = by_name_.at(name);
+    if (ds.domain() == domain) out.push_back(&ds);
+  }
+  return out;
+}
+
+std::vector<const Dataset*> Repository::ByArity(bool multivariate) const {
+  std::vector<const Dataset*> out;
+  for (const auto& name : order_) {
+    const Dataset& ds = by_name_.at(name);
+    if (ds.multivariate() == multivariate) out.push_back(&ds);
+  }
+  return out;
+}
+
+easytime::Status Repository::AddSuite(const SuiteSpec& spec) {
+  for (auto& ds : GenerateSuite(spec)) {
+    EASYTIME_RETURN_IF_ERROR(Add(std::move(ds)));
+  }
+  return Status::OK();
+}
+
+easytime::Status Repository::LoadDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IOError("not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    EASYTIME_ASSIGN_OR_RETURN(Dataset ds, LoadDatasetCsv(path));
+    EASYTIME_RETURN_IF_ERROR(Add(std::move(ds)));
+  }
+  return Status::OK();
+}
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file repository.h
+/// \brief The data layer's dataset registry: holds the benchmark suite
+/// (generated or loaded from CSV files) and serves lookups by name, domain,
+/// and arity to the pipeline, the recommender, and the Q&A module.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tsdata/generator.h"
+#include "tsdata/series.h"
+
+namespace easytime::tsdata {
+
+/// \brief In-memory collection of named datasets.
+class Repository {
+ public:
+  Repository() = default;
+
+  /// Registers a dataset; the name must be unique.
+  easytime::Status Add(Dataset ds);
+
+  /// Looks a dataset up by exact name.
+  easytime::Result<const Dataset*> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  size_t size() const { return order_.size(); }
+
+  /// Dataset names in registration order.
+  const std::vector<std::string>& names() const { return order_; }
+
+  /// All datasets in registration order.
+  std::vector<const Dataset*> All() const;
+
+  /// Datasets from one domain.
+  std::vector<const Dataset*> ByDomain(Domain domain) const;
+
+  /// Univariate (single-channel) or multivariate datasets.
+  std::vector<const Dataset*> ByArity(bool multivariate) const;
+
+  /// Populates this repository with a generated benchmark suite.
+  easytime::Status AddSuite(const SuiteSpec& spec);
+
+  /// Loads every *.csv file in \p dir as one dataset each.
+  easytime::Status LoadDirectory(const std::string& dir);
+
+ private:
+  std::map<std::string, Dataset> by_name_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace easytime::tsdata

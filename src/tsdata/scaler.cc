@@ -1,0 +1,70 @@
+#include "tsdata/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace easytime::tsdata {
+
+easytime::Status ZScoreScaler::Fit(const std::vector<double>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty training data");
+  }
+  mean_ = Mean(train);
+  stddev_ = StdDev(train);
+  if (stddev_ < 1e-12) stddev_ = 1.0;  // constant series: center only
+  return Status::OK();
+}
+
+std::vector<double> ZScoreScaler::Transform(const std::vector<double>& v) const {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - mean_) / stddev_;
+  return out;
+}
+
+std::vector<double> ZScoreScaler::Inverse(const std::vector<double>& v) const {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * stddev_ + mean_;
+  return out;
+}
+
+easytime::Status MinMaxScaler::Fit(const std::vector<double>& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty training data");
+  }
+  auto [mn, mx] = std::minmax_element(train.begin(), train.end());
+  min_ = *mn;
+  range_ = *mx - *mn;
+  if (range_ < 1e-12) range_ = 1.0;
+  return Status::OK();
+}
+
+std::vector<double> MinMaxScaler::Transform(const std::vector<double>& v) const {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - min_) / range_;
+  return out;
+}
+
+std::vector<double> MinMaxScaler::Inverse(const std::vector<double>& v) const {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * range_ + min_;
+  return out;
+}
+
+easytime::Result<std::unique_ptr<Scaler>> MakeScaler(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "zscore" || lower == "standard") {
+    return std::unique_ptr<Scaler>(new ZScoreScaler());
+  }
+  if (lower == "minmax") {
+    return std::unique_ptr<Scaler>(new MinMaxScaler());
+  }
+  if (lower == "none" || lower == "identity" || lower.empty()) {
+    return std::unique_ptr<Scaler>(new IdentityScaler());
+  }
+  return Status::NotFound("unknown scaler: " + name);
+}
+
+}  // namespace easytime::tsdata

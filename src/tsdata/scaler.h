@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file scaler.h
+/// \brief Normalization for the benchmark pipeline. TFB emphasizes that the
+/// *choice* of normalization must be consistent across compared methods; the
+/// pipeline fits the scaler on the training split only and applies it
+/// everywhere (no test leakage).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::tsdata {
+
+/// \brief Fit-on-train / transform-everywhere normalizer interface.
+class Scaler {
+ public:
+  virtual ~Scaler() = default;
+
+  /// Estimates scaling parameters from training data.
+  virtual easytime::Status Fit(const std::vector<double>& train) = 0;
+
+  /// Maps raw values into normalized space.
+  virtual std::vector<double> Transform(const std::vector<double>& v) const = 0;
+
+  /// Maps normalized values back to the raw space.
+  virtual std::vector<double> Inverse(const std::vector<double>& v) const = 0;
+
+  /// Identifier ("zscore", "minmax", "none").
+  virtual std::string name() const = 0;
+};
+
+/// Pass-through scaler.
+class IdentityScaler : public Scaler {
+ public:
+  easytime::Status Fit(const std::vector<double>&) override {
+    return easytime::Status::OK();
+  }
+  std::vector<double> Transform(const std::vector<double>& v) const override {
+    return v;
+  }
+  std::vector<double> Inverse(const std::vector<double>& v) const override {
+    return v;
+  }
+  std::string name() const override { return "none"; }
+};
+
+/// Standardizes to zero mean / unit variance (train statistics).
+class ZScoreScaler : public Scaler {
+ public:
+  easytime::Status Fit(const std::vector<double>& train) override;
+  std::vector<double> Transform(const std::vector<double>& v) const override;
+  std::vector<double> Inverse(const std::vector<double>& v) const override;
+  std::string name() const override { return "zscore"; }
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+/// Rescales the train range to [0, 1].
+class MinMaxScaler : public Scaler {
+ public:
+  easytime::Status Fit(const std::vector<double>& train) override;
+  std::vector<double> Transform(const std::vector<double>& v) const override;
+  std::vector<double> Inverse(const std::vector<double>& v) const override;
+  std::string name() const override { return "minmax"; }
+
+ private:
+  double min_ = 0.0;
+  double range_ = 1.0;
+};
+
+/// Creates a scaler by name ("zscore" | "minmax" | "none").
+easytime::Result<std::unique_ptr<Scaler>> MakeScaler(const std::string& name);
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,106 @@
+#include "tsdata/series.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace easytime::tsdata {
+
+const char* DomainName(Domain d) {
+  switch (d) {
+    case Domain::kTraffic: return "traffic";
+    case Domain::kElectricity: return "electricity";
+    case Domain::kEnergy: return "energy";
+    case Domain::kEnvironment: return "environment";
+    case Domain::kNature: return "nature";
+    case Domain::kEconomic: return "economic";
+    case Domain::kStock: return "stock";
+    case Domain::kBanking: return "banking";
+    case Domain::kHealth: return "health";
+    case Domain::kWeb: return "web";
+  }
+  return "unknown";
+}
+
+easytime::Result<Domain> ParseDomain(const std::string& name) {
+  std::string lower = ToLower(name);
+  for (int i = 0; i < kNumDomains; ++i) {
+    Domain d = static_cast<Domain>(i);
+    if (lower == DomainName(d)) return d;
+  }
+  return Status::NotFound("unknown domain: " + name);
+}
+
+std::vector<double> Series::Slice(size_t start, size_t len) const {
+  if (start >= values_.size()) return {};
+  size_t end = std::min(values_.size(), start + len);
+  return std::vector<double>(values_.begin() + static_cast<long>(start),
+                             values_.begin() + static_cast<long>(end));
+}
+
+easytime::Status Dataset::AddChannel(Series s) {
+  if (!channels_.empty() && s.length() != length()) {
+    return Status::InvalidArgument(
+        "channel '" + s.name() + "' length " + std::to_string(s.length()) +
+        " does not match dataset length " + std::to_string(length()));
+  }
+  channels_.push_back(std::move(s));
+  return Status::OK();
+}
+
+easytime::Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  EASYTIME_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  if (doc.header.empty()) return Status::ParseError("empty CSV header");
+
+  // Derive a dataset name from the file name.
+  std::string name = path;
+  if (auto pos = name.find_last_of('/'); pos != std::string::npos) {
+    name = name.substr(pos + 1);
+  }
+  if (EndsWith(name, ".csv")) name = name.substr(0, name.size() - 4);
+
+  Dataset ds(name);
+  std::vector<int> value_cols;
+  for (size_t c = 0; c < doc.header.size(); ++c) {
+    std::string lower = ToLower(doc.header[c]);
+    if (lower == "date" || lower == "timestamp" || lower == "time") continue;
+    value_cols.push_back(static_cast<int>(c));
+  }
+  if (value_cols.empty()) {
+    return Status::ParseError("no value columns in CSV: " + path);
+  }
+
+  for (int c : value_cols) {
+    std::vector<double> values;
+    values.reserve(doc.rows.size());
+    for (size_t r = 0; r < doc.rows.size(); ++r) {
+      if (static_cast<size_t>(c) >= doc.rows[r].size()) {
+        return Status::ParseError("row " + std::to_string(r) +
+                                  " has too few columns");
+      }
+      EASYTIME_ASSIGN_OR_RETURN(double v, ParseDouble(doc.rows[r][c]));
+      values.push_back(v);
+    }
+    EASYTIME_RETURN_IF_ERROR(
+        ds.AddChannel(Series(doc.header[static_cast<size_t>(c)],
+                             std::move(values))));
+  }
+  return ds;
+}
+
+easytime::Status SaveDatasetCsv(const Dataset& ds, const std::string& path) {
+  CsvDocument doc;
+  for (const auto& ch : ds.channels()) doc.header.push_back(ch.name());
+  for (size_t t = 0; t < ds.length(); ++t) {
+    std::vector<std::string> row;
+    row.reserve(ds.num_channels());
+    for (const auto& ch : ds.channels()) {
+      row.push_back(FormatDouble(ch[t], 8));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, doc);
+}
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file series.h
+/// \brief Core time-series containers for the data layer: a univariate
+/// Series and a (possibly multivariate) Dataset made of channels.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::tsdata {
+
+/// Application domains covered by the benchmark (TFB's 10 domains).
+enum class Domain : int {
+  kTraffic = 0,
+  kElectricity,
+  kEnergy,
+  kEnvironment,
+  kNature,
+  kEconomic,
+  kStock,
+  kBanking,
+  kHealth,
+  kWeb,
+};
+
+/// Number of distinct domains.
+inline constexpr int kNumDomains = 10;
+
+/// Human-readable domain name ("traffic", "electricity", ...).
+const char* DomainName(Domain d);
+
+/// Parses a domain name (case-insensitive); error on unknown names.
+easytime::Result<Domain> ParseDomain(const std::string& name);
+
+/// \brief A univariate time series: ordered observations at a fixed
+/// (implicit) frequency, plus metadata used by the benchmark layers.
+class Series {
+ public:
+  Series() = default;
+  Series(std::string name, std::vector<double> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  size_t length() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+
+  /// Seasonal period hint (observations per cycle); 0 = unknown/none.
+  size_t period_hint() const { return period_hint_; }
+  void set_period_hint(size_t p) { period_hint_ = p; }
+
+  /// The application domain this series belongs to.
+  Domain domain() const { return domain_; }
+  void set_domain(Domain d) { domain_ = d; }
+
+  /// Returns values[start, start+len) as a new vector; clamps to bounds.
+  std::vector<double> Slice(size_t start, size_t len) const;
+
+  /// Appends one observation.
+  void Append(double v) { values_.push_back(v); }
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  size_t period_hint_ = 0;
+  Domain domain_ = Domain::kWeb;
+};
+
+/// \brief A dataset: one or more aligned channels (univariate series of the
+/// same length). Multivariate forecasting treats channels jointly; the
+/// benchmark's 8k univariate datasets are single-channel Datasets.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Domain domain() const { return domain_; }
+  void set_domain(Domain d) { domain_ = d; }
+
+  size_t num_channels() const { return channels_.size(); }
+  bool multivariate() const { return channels_.size() > 1; }
+
+  /// Length of each channel (channels are aligned); 0 when empty.
+  size_t length() const {
+    return channels_.empty() ? 0 : channels_[0].length();
+  }
+
+  const Series& channel(size_t i) const { return channels_[i]; }
+  Series& mutable_channel(size_t i) { return channels_[i]; }
+  const std::vector<Series>& channels() const { return channels_; }
+
+  /// Adds a channel; all channels must share the dataset length.
+  easytime::Status AddChannel(Series s);
+
+  /// The primary channel (channel 0) — the univariate view of the dataset.
+  const Series& primary() const { return channels_[0]; }
+
+ private:
+  std::string name_;
+  Domain domain_ = Domain::kWeb;
+  std::vector<Series> channels_;
+};
+
+/// \brief Loads a dataset from CSV. Layout: one column per channel, one row
+/// per time step; a header row names channels. A column named "date" or
+/// "timestamp" is skipped.
+easytime::Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+/// Serializes a dataset to CSV (inverse of LoadDatasetCsv).
+easytime::Status SaveDatasetCsv(const Dataset& ds, const std::string& path);
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,39 @@
+#include "tsdata/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easytime::tsdata {
+
+easytime::Result<SplitBounds> ComputeSplit(size_t n, const SplitSpec& spec) {
+  if (n == 0) return Status::InvalidArgument("cannot split an empty series");
+  if (spec.train <= 0.0 || spec.train > 1.0) {
+    return Status::InvalidArgument("train fraction must be in (0, 1]");
+  }
+  if (spec.val < 0.0 || spec.test < 0.0 ||
+      spec.train + spec.val + spec.test > 1.0 + 1e-9) {
+    return Status::InvalidArgument("split fractions must be >= 0 and sum <= 1");
+  }
+  SplitBounds b;
+  b.n = n;
+  b.train_end = static_cast<size_t>(
+      std::round(spec.train * static_cast<double>(n)));
+  b.train_end = std::clamp<size_t>(b.train_end, 1, n);
+  size_t val_len = static_cast<size_t>(
+      std::round(spec.val * static_cast<double>(n)));
+  b.val_end = std::min(n, b.train_end + val_len);
+  return b;
+}
+
+SplitView ApplySplit(const std::vector<double>& values,
+                     const SplitBounds& bounds) {
+  SplitView view;
+  auto begin = values.begin();
+  view.train.assign(begin, begin + static_cast<long>(bounds.train_end));
+  view.val.assign(begin + static_cast<long>(bounds.train_end),
+                  begin + static_cast<long>(bounds.val_end));
+  view.test.assign(begin + static_cast<long>(bounds.val_end), values.end());
+  return view;
+}
+
+}  // namespace easytime::tsdata

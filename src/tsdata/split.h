@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file split.h
+/// \brief Standardized train/validation/test splitting. TFB's pipeline fixes
+/// the partition so that every method sees identical splits; this module is
+/// the single source of truth for those boundaries.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::tsdata {
+
+/// Fractions of the series assigned to each split (must sum to <= 1; the
+/// remainder after train+val goes to test when test == 0).
+struct SplitSpec {
+  double train = 0.7;
+  double val = 0.1;
+  double test = 0.2;
+};
+
+/// Index boundaries of a chronological split: [0, train_end) train,
+/// [train_end, val_end) validation, [val_end, n) test.
+struct SplitBounds {
+  size_t train_end = 0;
+  size_t val_end = 0;
+  size_t n = 0;
+
+  size_t train_size() const { return train_end; }
+  size_t val_size() const { return val_end - train_end; }
+  size_t test_size() const { return n - val_end; }
+};
+
+/// \brief Computes chronological split boundaries for a series of length
+/// \p n. Guarantees a non-empty training split; validation may be empty when
+/// spec.val == 0.
+easytime::Result<SplitBounds> ComputeSplit(size_t n, const SplitSpec& spec);
+
+/// The three contiguous segments of \p values under \p bounds.
+struct SplitView {
+  std::vector<double> train;
+  std::vector<double> val;
+  std::vector<double> test;
+};
+
+/// Materializes the split segments.
+SplitView ApplySplit(const std::vector<double>& values,
+                     const SplitBounds& bounds);
+
+}  // namespace easytime::tsdata

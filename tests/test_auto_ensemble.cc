@@ -1,0 +1,198 @@
+#include "ensemble/auto_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methods/baselines.h"
+#include "methods/registry.h"
+#include "test_util.h"
+
+namespace easytime::ensemble {
+namespace {
+
+using ::easytime::testing::MakeSeasonalSeries;
+
+TEST(EnsembleForecaster, WeightsFormSimplexAndFavorBetterMember) {
+  // Members: drift (exact on the trend) and mean (poor on a trend).
+  std::vector<methods::ForecasterPtr> members;
+  members.push_back(
+      methods::MethodRegistry::Global().Create("drift").ValueOrDie());
+  members.push_back(
+      methods::MethodRegistry::Global().Create("mean").ValueOrDie());
+  EnsembleForecaster ens(std::move(members), {"drift", "mean"}, 0.25,
+                         /*weight_shrinkage=*/0.0);
+
+  auto v = ::easytime::testing::MakeLinearSeries(100, 0.0, 1.0);
+  methods::FitContext ctx;
+  ctx.horizon = 8;
+  ASSERT_TRUE(ens.Fit(v, ctx).ok());
+
+  const auto& w = ens.weights();
+  ASSERT_EQ(w.size(), 2u);
+  double sum = w[0] + w[1];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(w[0], 0.8) << "drift should dominate on a pure trend";
+
+  auto fc = ens.Forecast(8).ValueOrDie();
+  EXPECT_NEAR(fc[0], 100.0, 2.0);
+}
+
+TEST(EnsembleForecaster, FailingMemberIsNeutralized) {
+  std::vector<methods::ForecasterPtr> members;
+  members.push_back(
+      methods::MethodRegistry::Global().Create("naive").ValueOrDie());
+  members.push_back(
+      methods::MethodRegistry::Global().Create("arima").ValueOrDie());
+  EnsembleForecaster ens(std::move(members), {"naive", "arima"}, 0.25);
+
+  // Too short for ARIMA (both on the inner and the full fit) but fine for
+  // naive: the failing member's weight must be zeroed.
+  std::vector<double> tiny = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  methods::FitContext ctx;
+  ctx.horizon = 2;
+  ASSERT_TRUE(ens.Fit(tiny, ctx).ok());
+  EXPECT_DOUBLE_EQ(ens.weights()[1], 0.0);
+  auto fc = ens.Forecast(2).ValueOrDie();
+  EXPECT_NEAR(fc[0], 10.0, 1e-6);  // pure naive
+}
+
+TEST(EnsembleForecaster, EmptyEnsembleRejected) {
+  EnsembleForecaster ens({}, {}, 0.2);
+  EXPECT_FALSE(ens.Fit({1, 2, 3}, {}).ok());
+  EXPECT_FALSE(ens.Forecast(2).ok());
+}
+
+TEST(EnsembleForecaster, ForecastFromDelegatesToMembers) {
+  std::vector<methods::ForecasterPtr> members;
+  members.push_back(
+      methods::MethodRegistry::Global().Create("naive").ValueOrDie());
+  EnsembleForecaster ens(std::move(members), {"naive"}, 0.25);
+  auto v = MakeSeasonalSeries(80, 8, 3.0);
+  methods::FitContext ctx;
+  ctx.horizon = 4;
+  ASSERT_TRUE(ens.Fit(v, ctx).ok());
+  auto fc = ens.ForecastFrom({5.0, 7.0}, 3).ValueOrDie();
+  EXPECT_NEAR(fc[0], 7.0, 1e-9);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tsdata::SuiteSpec suite;
+    suite.univariate_per_domain = 2;
+    suite.multivariate_total = 1;
+    suite.min_length = 200;
+    suite.max_length = 260;
+    eval::EvalConfig cfg;
+    cfg.horizon = 12;
+    cfg.metrics = {"mae"};
+    auto seeded = knowledge::SeedKnowledge(
+        suite, cfg, {"naive", "seasonal_naive", "theta", "drift", "ses"});
+    ASSERT_TRUE(seeded.ok());
+    seeded_ = new knowledge::SeededKnowledge(std::move(*seeded));
+
+    AutoEnsembleOptions opt;
+    opt.top_k = 3;
+    opt.ts2vec.epochs = 4;
+    opt.ts2vec.repr_dim = 8;
+    opt.ts2vec.hidden_dim = 12;
+    opt.ts2vec.depth = 2;
+    opt.classifier.epochs = 120;
+    engine_ = new AutoEnsembleEngine(opt);
+    ASSERT_TRUE(engine_->Pretrain(seeded_->repository, seeded_->kb).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete seeded_;
+    engine_ = nullptr;
+    seeded_ = nullptr;
+  }
+
+  static knowledge::SeededKnowledge* seeded_;
+  static AutoEnsembleEngine* engine_;
+};
+
+knowledge::SeededKnowledge* EngineTest::seeded_ = nullptr;
+AutoEnsembleEngine* EngineTest::engine_ = nullptr;
+
+TEST_F(EngineTest, PretrainedStateAndCandidates) {
+  EXPECT_TRUE(engine_->pretrained());
+  EXPECT_EQ(engine_->candidate_methods().size(), 5u);
+}
+
+TEST_F(EngineTest, FeaturesAreFixedDimension) {
+  auto v = MakeSeasonalSeries(150, 12, 4.0, 0.0, 0.2);
+  auto f = engine_->Features(v).ValueOrDie();
+  EXPECT_EQ(f.size(), 8u + tsdata::kCharacteristicFeatureDim);
+}
+
+TEST_F(EngineTest, RecommendReturnsRankedCandidates) {
+  auto v = MakeSeasonalSeries(180, 24, 6.0, 0.0, 0.3);
+  auto rec = engine_->Recommend(v, 3).ValueOrDie();
+  ASSERT_EQ(rec.size(), 3u);
+  EXPECT_GE(rec[0].second, rec[1].second);
+  EXPECT_GE(rec[1].second, rec[2].second);
+  for (const auto& [name, prob] : rec) {
+    EXPECT_TRUE(methods::MethodRegistry::Global().Contains(name)) << name;
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+  }
+}
+
+TEST_F(EngineTest, BuildEnsembleProducesWorkingForecaster) {
+  auto v = MakeSeasonalSeries(220, 12, 5.0, 0.05, 0.3);
+  auto ens = engine_->BuildEnsemble(v).ValueOrDie();
+  EXPECT_EQ(ens->member_names().size(), 3u);
+
+  methods::FitContext ctx;
+  ctx.horizon = 12;
+  ctx.period_hint = 12;
+  std::vector<double> train(v.begin(), v.end() - 12);
+  ASSERT_TRUE(ens->Fit(train, ctx).ok());
+  auto fc = ens->Forecast(12).ValueOrDie();
+  EXPECT_EQ(fc.size(), 12u);
+
+  // The paper's claim (Fig. 2): the validation-weighted ensemble is at
+  // least competitive with its average member.
+  std::vector<double> actual(v.end() - 12, v.end());
+  auto mae = [&](const std::vector<double>& fc_values) {
+    double acc = 0.0;
+    for (size_t i = 0; i < fc_values.size(); ++i) {
+      acc += std::fabs(fc_values[i] - actual[i]);
+    }
+    return acc / static_cast<double>(fc_values.size());
+  };
+  double ens_mae = mae(fc);
+  double member_sum = 0.0;
+  for (const auto& name : ens->member_names()) {
+    auto m = methods::MethodRegistry::Global().Create(name).ValueOrDie();
+    EXPECT_TRUE(m->Fit(train, ctx).ok());
+    member_sum += mae(m->Forecast(12).ValueOrDie());
+  }
+  double member_avg = member_sum / 3.0;
+  EXPECT_LE(ens_mae, member_avg * 1.25)
+      << "ensemble should be competitive with its mean member";
+}
+
+TEST_F(EngineTest, MethodsBeforePretrainFail) {
+  AutoEnsembleEngine fresh;
+  auto v = MakeSeasonalSeries(100, 10, 2.0);
+  EXPECT_FALSE(fresh.Recommend(v).ok());
+  EXPECT_FALSE(fresh.Features(v).ok());
+  EXPECT_FALSE(fresh.BuildEnsemble(v).ok());
+}
+
+TEST(EngineValidation, PretrainNeedsResults) {
+  tsdata::Repository repo;
+  tsdata::SuiteSpec spec;
+  spec.univariate_per_domain = 1;
+  spec.multivariate_total = 0;
+  ASSERT_TRUE(repo.AddSuite(spec).ok());
+  knowledge::KnowledgeBase empty_kb;
+  AutoEnsembleEngine engine;
+  EXPECT_FALSE(engine.Pretrain(repo, empty_kb).ok());
+}
+
+}  // namespace
+}  // namespace easytime::ensemble

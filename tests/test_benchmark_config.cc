@@ -1,0 +1,77 @@
+#include "pipeline/benchmark_config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace easytime::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(BenchmarkConfigFile, LoadsFromDisk) {
+  std::string path =
+      (fs::temp_directory_path() / "easytime_cfg.json").string();
+  {
+    std::ofstream f(path);
+    f << R"({"methods": ["naive"],
+             "evaluation": {"strategy": "fixed", "horizon": 6,
+                            "metrics": ["mae"]}})";
+  }
+  auto cfg = BenchmarkConfig::FromFile(path);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_EQ(cfg->methods.size(), 1u);
+  EXPECT_EQ(cfg->eval.horizon, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(BenchmarkConfigFile, MissingFileIsIOError) {
+  auto cfg = BenchmarkConfig::FromFile("/no/such/config.json");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kIOError);
+}
+
+TEST(BenchmarkConfigFile, MalformedJsonIsParseError) {
+  std::string path =
+      (fs::temp_directory_path() / "easytime_cfg_bad.json").string();
+  {
+    std::ofstream f(path);
+    f << "{not json";
+  }
+  auto cfg = BenchmarkConfig::FromFile(path);
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(BenchmarkConfigJson, RoundTripPreservesEverything) {
+  BenchmarkConfig c;
+  c.datasets = {"a"};
+  c.methods = {MethodSpec{"naive", Json::Object()}};
+  c.eval.strategy = eval::Strategy::kRolling;
+  c.eval.horizon = 12;
+  c.num_threads = 2;
+  c.log_file = "run.log";
+  c.output_csv = "out.csv";
+  auto round = BenchmarkConfig::FromJson(c.ToJson());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->datasets, c.datasets);
+  EXPECT_EQ(round->methods.size(), 1u);
+  EXPECT_EQ(round->eval.strategy, eval::Strategy::kRolling);
+  EXPECT_EQ(round->num_threads, 2u);
+  EXPECT_EQ(round->log_file, "run.log");
+  EXPECT_EQ(round->output_csv, "out.csv");
+}
+
+TEST(BenchmarkConfigJson, EmptyObjectGivesDefaults) {
+  auto cfg = BenchmarkConfig::FromJson(Json::Object());
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->datasets.empty());  // = all datasets
+  EXPECT_TRUE(cfg->methods.empty());   // = all methods
+  EXPECT_EQ(cfg->eval.strategy, eval::Strategy::kFixed);
+}
+
+}  // namespace
+}  // namespace easytime::pipeline

@@ -1,0 +1,175 @@
+#include "tsdata/characteristics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "tsdata/generator.h"
+
+namespace easytime::tsdata {
+namespace {
+
+using ::easytime::testing::MakeLinearSeries;
+using ::easytime::testing::MakeSeasonalSeries;
+
+TEST(DetectPeriod, FindsSinePeriod) {
+  auto v = MakeSeasonalSeries(480, 24, 5.0, 0.0, 0.1);
+  size_t p = DetectPeriod(v);
+  EXPECT_NEAR(static_cast<double>(p), 24.0, 2.0);
+}
+
+TEST(DetectPeriod, RobustToTrend) {
+  auto v = MakeSeasonalSeries(480, 12, 4.0, 0.5, 0.1);
+  size_t p = DetectPeriod(v);
+  EXPECT_NEAR(static_cast<double>(p), 12.0, 2.0);
+}
+
+TEST(DetectPeriod, NoPeriodInNoise) {
+  Rng rng(3);
+  std::vector<double> v(300);
+  for (auto& x : v) x = rng.Gaussian();
+  size_t p = DetectPeriod(v);
+  // White noise should give no (or a spurious weak) period; accept 0 or a
+  // value whose ACF is weak — here we require 0 most of the time.
+  EXPECT_EQ(p, 0u);
+}
+
+TEST(DetectPeriod, TooShortReturnsZero) {
+  EXPECT_EQ(DetectPeriod({1, 2, 3}), 0u);
+}
+
+TEST(SeasonalStrength, HighForCleanSine) {
+  auto v = MakeSeasonalSeries(240, 24, 5.0, 0.0, 0.05);
+  EXPECT_GT(SeasonalStrength(v, 24), 0.85);
+}
+
+TEST(SeasonalStrength, LowForNoise) {
+  Rng rng(5);
+  std::vector<double> v(240);
+  for (auto& x : v) x = rng.Gaussian();
+  EXPECT_LT(SeasonalStrength(v, 24), 0.4);
+}
+
+TEST(SeasonalStrength, ZeroWithoutPeriod) {
+  auto v = MakeSeasonalSeries(100, 10);
+  EXPECT_DOUBLE_EQ(SeasonalStrength(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SeasonalStrength(v, 60), 0.0);  // < 2 full cycles
+}
+
+TEST(TrendStrength, HighForLine) {
+  auto v = MakeLinearSeries(200, 1.0, 0.5);
+  EXPECT_GT(TrendStrength(v, 0), 0.95);
+}
+
+TEST(TrendStrength, LowForStationaryNoise) {
+  Rng rng(7);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.Gaussian();
+  EXPECT_LT(TrendStrength(v, 0), 0.5);
+}
+
+TEST(Adf, StationaryVsRandomWalk) {
+  Rng rng(11);
+  std::vector<double> stationary(400), walk(400);
+  double acc = 0.0;
+  double prev = 0.0;
+  for (size_t i = 0; i < 400; ++i) {
+    prev = 0.5 * prev + rng.Gaussian();  // AR(1), phi=0.5: stationary
+    stationary[i] = prev;
+    acc += rng.Gaussian();
+    walk[i] = acc;
+  }
+  double adf_stat = AdfStatistic(stationary);
+  double adf_walk = AdfStatistic(walk);
+  EXPECT_LT(adf_stat, -4.0);      // strongly rejects the unit root
+  EXPECT_LT(adf_stat, adf_walk);  // walk looks much less stationary
+  EXPECT_GT(StationarityScore(adf_stat), 0.9);
+  EXPECT_GT(StationarityScore(adf_stat), StationarityScore(adf_walk));
+}
+
+TEST(StationarityScore, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(StationarityScore(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(StationarityScore(0.0), 0.0);
+}
+
+TEST(ShiftingScore, DetectsLevelShift) {
+  std::vector<double> v(200, 1.0);
+  Rng rng(13);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = (i < 100 ? 0.0 : 8.0) + rng.Gaussian(0.0, 0.5);
+  }
+  EXPECT_GT(ShiftingScore(v), 0.7);
+}
+
+TEST(ShiftingScore, LowWithoutShift) {
+  Rng rng(17);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.Gaussian();
+  EXPECT_LT(ShiftingScore(v), 0.4);
+}
+
+TEST(TransitionScore, DetectsSlopeReversals) {
+  // Zig-zag macro pattern: up, down, up — clear regime transitions.
+  std::vector<double> v;
+  for (int seg = 0; seg < 6; ++seg) {
+    for (int i = 0; i < 40; ++i) {
+      double slope = seg % 2 == 0 ? 1.0 : -1.0;
+      v.push_back(slope * i);
+    }
+  }
+  double zigzag = TransitionScore(v);
+  double line = TransitionScore(
+      ::easytime::testing::MakeLinearSeries(240, 0.0, 1.0));
+  EXPECT_GT(zigzag, 0.15);
+  EXPECT_GT(zigzag, line + 0.1);
+}
+
+TEST(TransitionScore, LowForSmoothLine) {
+  auto v = MakeLinearSeries(300, 0.0, 1.0);
+  EXPECT_LT(TransitionScore(v), 0.2);
+}
+
+TEST(ChannelCorrelation, ControlledByGenerator) {
+  GeneratorConfig cfg;
+  cfg.name = "corr_test";
+  cfg.length = 400;
+  cfg.num_channels = 4;
+  cfg.noise_std = 1.0;
+  cfg.seed = 21;
+
+  cfg.channel_correlation = 0.9;
+  double high = ChannelCorrelation(GenerateDataset(cfg));
+  cfg.channel_correlation = 0.05;
+  cfg.seed = 22;
+  double low = ChannelCorrelation(GenerateDataset(cfg));
+  EXPECT_GT(high, low);
+  EXPECT_GT(high, 0.5);
+  EXPECT_LT(low, 0.5);
+}
+
+TEST(ChannelCorrelation, ZeroForUnivariate) {
+  Dataset ds("u");
+  (void)ds.AddChannel(Series("a", MakeLinearSeries(50, 0, 1)));
+  EXPECT_DOUBLE_EQ(ChannelCorrelation(ds), 0.0);
+}
+
+TEST(ExtractCharacteristics, SeasonalTrendingSeries) {
+  auto v = MakeSeasonalSeries(480, 24, 5.0, 0.08, 0.3);
+  Characteristics ch = ExtractCharacteristics(v);
+  EXPECT_TRUE(ch.has_seasonality());
+  EXPECT_TRUE(ch.has_trend());
+  EXPECT_NEAR(static_cast<double>(ch.period), 24.0, 3.0);
+  EXPECT_FALSE(ch.Describe().empty());
+}
+
+TEST(FeatureVector, FixedDimensionAndFiniteValues) {
+  auto v = MakeSeasonalSeries(300, 12, 3.0, 0.02, 0.5);
+  auto f = CharacteristicFeatureVector(v);
+  EXPECT_EQ(f.size(), kCharacteristicFeatureDim);
+  for (double x : f) EXPECT_TRUE(std::isfinite(x));
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

@@ -1,0 +1,157 @@
+#include "ensemble/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace easytime::ensemble {
+namespace {
+
+TEST(SoftLabel, SoftmaxOfNegatedErrors) {
+  auto label = MethodClassifier::SoftLabel({1.0, 2.0, 3.0}, 0.5, false);
+  ASSERT_EQ(label.size(), 3u);
+  double sum = label[0] + label[1] + label[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(label[0], label[1]);  // lower error -> higher probability
+  EXPECT_GT(label[1], label[2]);
+}
+
+TEST(SoftLabel, HardModeIsOneHot) {
+  auto label = MethodClassifier::SoftLabel({5.0, 1.0, 3.0}, 0.5, true);
+  EXPECT_DOUBLE_EQ(label[0], 0.0);
+  EXPECT_DOUBLE_EQ(label[1], 1.0);
+  EXPECT_DOUBLE_EQ(label[2], 0.0);
+}
+
+TEST(SoftLabel, TemperatureControlsSharpness) {
+  auto soft = MethodClassifier::SoftLabel({1.0, 2.0}, 1.0, false);
+  auto sharp = MethodClassifier::SoftLabel({1.0, 2.0}, 0.1, false);
+  EXPECT_GT(sharp[0], soft[0]);
+}
+
+ClassifierOptions FastOptions() {
+  ClassifierOptions o;
+  o.hidden = 16;
+  o.epochs = 250;
+  return o;
+}
+
+/// Synthetic supervision: method A wins when feature[0] > 0, B otherwise.
+std::vector<ClassifierExample> SyntheticExamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ClassifierExample> out;
+  for (size_t i = 0; i < n; ++i) {
+    ClassifierExample ex;
+    double f0 = rng.Uniform(-1.0, 1.0);
+    ex.features = {f0, rng.Uniform(-1.0, 1.0), rng.Uniform(-0.1, 0.1)};
+    if (f0 > 0) {
+      ex.method_errors = {{"A", 1.0}, {"B", 3.0}, {"C", 2.0}};
+    } else {
+      ex.method_errors = {{"A", 3.0}, {"B", 1.0}, {"C", 2.0}};
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+TEST(Classifier, LearnsFeaturePerformanceMapping) {
+  MethodClassifier clf({"A", "B", "C"}, 3, FastOptions());
+  ASSERT_TRUE(clf.Train(SyntheticExamples(80, 1)).ok());
+
+  auto probs_pos = clf.Predict({0.8, 0.0, 0.0}).ValueOrDie();
+  auto probs_neg = clf.Predict({-0.8, 0.0, 0.0}).ValueOrDie();
+  EXPECT_GT(probs_pos[0], probs_pos[1]);  // A preferred
+  EXPECT_GT(probs_neg[1], probs_neg[0]);  // B preferred
+  double s = probs_pos[0] + probs_pos[1] + probs_pos[2];
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Classifier, TopKOrderedByProbability) {
+  MethodClassifier clf({"A", "B", "C"}, 3, FastOptions());
+  ASSERT_TRUE(clf.Train(SyntheticExamples(80, 2)).ok());
+  auto top = clf.TopK({0.8, 0.0, 0.0}, 2).ValueOrDie();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "A");
+  EXPECT_GE(top[0].second, top[1].second);
+  // k larger than classes clamps.
+  EXPECT_EQ(clf.TopK({0.1, 0.0, 0.0}, 10).ValueOrDie().size(), 3u);
+}
+
+TEST(Classifier, PredictBeforeTrainFails) {
+  MethodClassifier clf({"A", "B"}, 2, FastOptions());
+  EXPECT_FALSE(clf.Predict({0.0, 0.0}).ok());
+}
+
+TEST(Classifier, DimensionMismatchRejected) {
+  MethodClassifier clf({"A", "B"}, 3, FastOptions());
+  ClassifierExample bad;
+  bad.features = {1.0};  // wrong dim
+  bad.method_errors = {{"A", 1.0}, {"B", 2.0}};
+  EXPECT_FALSE(clf.Train({bad}).ok());
+
+  ASSERT_TRUE(clf.Train(SyntheticExamples(20, 3)).ok());
+  EXPECT_FALSE(clf.Predict({1.0}).ok());
+}
+
+TEST(Classifier, SkipsExamplesWithTooFewScores) {
+  MethodClassifier clf({"A", "B"}, 2, FastOptions());
+  ClassifierExample only_one;
+  only_one.features = {0.5, 0.5};
+  only_one.method_errors = {{"A", 1.0}};
+  EXPECT_FALSE(clf.Train({only_one}).ok());  // nothing usable
+}
+
+TEST(Classifier, HandlesMissingMethodScores) {
+  // Example missing method C: C is imputed as a loser, training proceeds.
+  MethodClassifier clf({"A", "B", "C"}, 2, FastOptions());
+  std::vector<ClassifierExample> ex(10);
+  Rng rng(4);
+  for (auto& e : ex) {
+    e.features = {rng.Uniform(), rng.Uniform()};
+    e.method_errors = {{"A", 1.0}, {"B", 2.0}};  // no C anywhere
+  }
+  ASSERT_TRUE(clf.Train(ex).ok());
+  auto probs = clf.Predict({0.5, 0.5}).ValueOrDie();
+  EXPECT_LT(probs[2], probs[0]);  // C never wins
+}
+
+TEST(Classifier, SoftBeatsHardOnNearTies) {
+  // When two methods are near-tied winners, soft labels preserve both in
+  // the predicted ranking; hard labels overcommit. Measure the probability
+  // assigned to the runner-up.
+  auto make_examples = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ClassifierExample> out;
+    for (int i = 0; i < 60; ++i) {
+      ClassifierExample ex;
+      ex.features = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      // A and B nearly tied (noise decides), C clearly worst.
+      double noise = rng.Gaussian(0.0, 0.05);
+      ex.method_errors = {{"A", 1.0 + noise}, {"B", 1.0 - noise}, {"C", 5.0}};
+      out.push_back(std::move(ex));
+    }
+    return out;
+  };
+  ClassifierOptions soft_opt = FastOptions();
+  ClassifierOptions hard_opt = FastOptions();
+  hard_opt.hard_labels = true;
+
+  MethodClassifier soft({"A", "B", "C"}, 2, soft_opt);
+  MethodClassifier hard({"A", "B", "C"}, 2, hard_opt);
+  ASSERT_TRUE(soft.Train(make_examples(5)).ok());
+  ASSERT_TRUE(hard.Train(make_examples(5)).ok());
+
+  auto ps = soft.Predict({0.3, -0.2}).ValueOrDie();
+  auto ph = hard.Predict({0.3, -0.2}).ValueOrDie();
+  // Soft classifier assigns materially less mass to the clear loser C
+  // relative to the tied pair, and keeps A/B balanced.
+  EXPECT_LT(ps[2], 0.2);
+  double soft_gap = std::fabs(ps[0] - ps[1]);
+  double hard_gap = std::fabs(ph[0] - ph[1]);
+  EXPECT_LE(soft_gap, hard_gap + 0.15);
+}
+
+}  // namespace
+}  // namespace easytime::ensemble

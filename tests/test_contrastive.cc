@@ -1,0 +1,137 @@
+#include "nn/contrastive.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace easytime::nn {
+namespace {
+
+std::vector<Matrix> RandomBatch(size_t B, size_t T, size_t D, Rng* rng) {
+  std::vector<Matrix> out;
+  out.reserve(B);
+  for (size_t i = 0; i < B; ++i) {
+    out.push_back(Matrix::Gaussian(T, D, 0.8, rng));
+  }
+  return out;
+}
+
+TEST(DualContrastive, LossIsFiniteAndGradsShaped) {
+  Rng rng(1);
+  auto v1 = RandomBatch(3, 4, 5, &rng);
+  auto v2 = RandomBatch(3, 4, 5, &rng);
+  std::vector<Matrix> g1, g2;
+  double loss = DualContrastiveLoss(v1, v2, 0.5, &g1, &g2);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  ASSERT_EQ(g1.size(), 3u);
+  ASSERT_EQ(g2.size(), 3u);
+  EXPECT_EQ(g1[0].rows(), 4u);
+  EXPECT_EQ(g1[0].cols(), 5u);
+}
+
+TEST(DualContrastive, AlignedViewsScoreBetterThanMisaligned) {
+  Rng rng(2);
+  auto v1 = RandomBatch(4, 6, 8, &rng);
+  // Aligned: v2 = v1 (positives identical).
+  double aligned = DualContrastiveLoss(v1, v1, 0.5, nullptr, nullptr);
+  // Misaligned: v2 is unrelated noise.
+  auto noise = RandomBatch(4, 6, 8, &rng);
+  double misaligned = DualContrastiveLoss(v1, noise, 0.5, nullptr, nullptr);
+  EXPECT_LT(aligned, misaligned);
+}
+
+TEST(DualContrastive, GradientMatchesFiniteDifferences) {
+  Rng rng(3);
+  auto v1 = RandomBatch(2, 3, 4, &rng);
+  auto v2 = RandomBatch(2, 3, 4, &rng);
+
+  auto loss_fn = [&]() {
+    return DualContrastiveLoss(v1, v2, 0.5, nullptr, nullptr);
+  };
+  // Check gradients w.r.t. view1[0] and view2[1].
+  {
+    auto grad_fn = [&]() {
+      std::vector<Matrix> g1, g2;
+      DualContrastiveLoss(v1, v2, 0.5, &g1, &g2);
+      return g1[0];
+    };
+    EXPECT_LT(easytime::testing::GradCheck(&v1[0], loss_fn, grad_fn), 1e-4);
+  }
+  {
+    auto grad_fn = [&]() {
+      std::vector<Matrix> g1, g2;
+      DualContrastiveLoss(v1, v2, 0.5, &g1, &g2);
+      return g2[1];
+    };
+    EXPECT_LT(easytime::testing::GradCheck(&v2[1], loss_fn, grad_fn), 1e-4);
+  }
+}
+
+TEST(DualContrastive, SingleSeriesUsesTemporalOnly) {
+  Rng rng(4);
+  auto v1 = RandomBatch(1, 6, 4, &rng);
+  auto v2 = RandomBatch(1, 6, 4, &rng);
+  std::vector<Matrix> g1, g2;
+  double loss = DualContrastiveLoss(v1, v2, 0.5, &g1, &g2);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);  // temporal term still active
+}
+
+TEST(HierarchicalContrastive, LossFiniteAndGradShapesMatch) {
+  Rng rng(5);
+  auto v1 = RandomBatch(3, 8, 4, &rng);
+  auto v2 = RandomBatch(3, 8, 4, &rng);
+  std::vector<Matrix> g1, g2;
+  double loss = HierarchicalContrastiveLoss(v1, v2, &g1, &g2);
+  EXPECT_TRUE(std::isfinite(loss));
+  ASSERT_EQ(g1.size(), 3u);
+  EXPECT_EQ(g1[0].rows(), 8u);
+  EXPECT_EQ(g1[0].cols(), 4u);
+}
+
+TEST(HierarchicalContrastive, GradientMatchesFiniteDifferences) {
+  Rng rng(6);
+  auto v1 = RandomBatch(2, 4, 3, &rng);
+  auto v2 = RandomBatch(2, 4, 3, &rng);
+  auto loss_fn = [&]() {
+    return HierarchicalContrastiveLoss(v1, v2, nullptr, nullptr);
+  };
+  auto grad_fn = [&]() {
+    std::vector<Matrix> g1, g2;
+    HierarchicalContrastiveLoss(v1, v2, &g1, &g2);
+    return g1[0];
+  };
+  // Max-pool argmax switches make strict FD checks noisy; use a loose bound
+  // with a small epsilon so pooling choices stay stable.
+  EXPECT_LT(easytime::testing::GradCheck(&v1[0], loss_fn, grad_fn, 1e-6),
+            5e-3);
+}
+
+TEST(HierarchicalContrastive, EmptyBatchIsZero) {
+  std::vector<Matrix> empty;
+  EXPECT_DOUBLE_EQ(
+      HierarchicalContrastiveLoss(empty, empty, nullptr, nullptr), 0.0);
+}
+
+TEST(HierarchicalContrastive, TrainingSignalSeparatesInstances) {
+  // Gradient descent on raw representations should pull the two views of
+  // the same instance together relative to other instances.
+  Rng rng(7);
+  auto v1 = RandomBatch(4, 4, 6, &rng);
+  auto v2 = RandomBatch(4, 4, 6, &rng);
+  double before = HierarchicalContrastiveLoss(v1, v2, nullptr, nullptr);
+  for (int it = 0; it < 60; ++it) {
+    std::vector<Matrix> g1, g2;
+    HierarchicalContrastiveLoss(v1, v2, &g1, &g2);
+    for (size_t i = 0; i < v1.size(); ++i) {
+      v1[i].Axpy(-0.5, g1[i]);
+      v2[i].Axpy(-0.5, g2[i]);
+    }
+  }
+  double after = HierarchicalContrastiveLoss(v1, v2, nullptr, nullptr);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace easytime::nn

@@ -1,0 +1,124 @@
+#include "core/easytime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace easytime::core {
+namespace {
+
+class EasyTimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    EasyTime::Options opt;
+    opt.suite.univariate_per_domain = 1;
+    opt.suite.multivariate_total = 1;
+    opt.suite.min_length = 180;
+    opt.suite.max_length = 220;
+    opt.seed_eval.horizon = 12;
+    opt.seed_eval.metrics = {"mae", "rmse"};
+    opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+    opt.ensemble.top_k = 2;
+    opt.ensemble.ts2vec.epochs = 3;
+    opt.ensemble.ts2vec.repr_dim = 8;
+    opt.ensemble.ts2vec.hidden_dim = 10;
+    opt.ensemble.ts2vec.depth = 2;
+    opt.ensemble.classifier.epochs = 80;
+    auto system = EasyTime::Create(opt);
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = system->release();
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static EasyTime* system_;
+};
+
+EasyTime* EasyTimeTest::system_ = nullptr;
+
+TEST_F(EasyTimeTest, CreateSeedsEverything) {
+  EXPECT_EQ(system_->repository()->size(), 11u);  // 10 domains + 1 mv
+  EXPECT_EQ(system_->knowledge().results().size(), 11u * 5u);
+  EXPECT_TRUE(system_->ensemble_engine().pretrained());
+}
+
+TEST_F(EasyTimeTest, OneClickEvaluateFromJsonConfig) {
+  // S1: user edits a config and clicks once.
+  auto cfg = Json::Parse(R"({
+    "methods": ["holt"],
+    "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]}
+  })").ValueOrDie();
+  size_t before = system_->knowledge().results().size();
+  auto report = system_->OneClickEvaluate(cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->records.size(), system_->repository()->size());
+  EXPECT_GT(system_->knowledge().results().size(), before);
+
+  // The new results are immediately visible to Q&A.
+  auto resp = system_->Ask("What is the average mae of holt?");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->table.rows.empty());
+}
+
+TEST_F(EasyTimeTest, EvaluateMethodEverywhere) {
+  auto report = system_->EvaluateMethodEverywhere("window_average");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), system_->repository()->size());
+  EXPECT_FALSE(system_->EvaluateMethodEverywhere("not_a_method").ok());
+}
+
+TEST_F(EasyTimeTest, RecommendOnRepositoryDataset) {
+  std::string name = system_->repository()->names()[0];
+  auto rec = system_->Recommend(name, 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 2u);
+  EXPECT_FALSE(system_->Recommend("ghost_dataset").ok());
+}
+
+TEST_F(EasyTimeTest, RecommendForUploadedValues) {
+  auto v = ::easytime::testing::MakeSeasonalSeries(160, 24, 5.0, 0.0, 0.3);
+  auto rec = system_->RecommendForValues(v, 3);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 3u);
+}
+
+TEST_F(EasyTimeTest, EvaluateWithEnsembleComparesMembers) {
+  // S2: the AutoML button — ensemble vs individual methods on a dataset.
+  std::string name = system_->repository()->names()[1];
+  eval::EvalConfig cfg;
+  cfg.horizon = 12;
+  cfg.metrics = {"mae"};
+  auto result = system_->EvaluateWithEnsemble(name, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->members.size(), 2u);
+  EXPECT_EQ(result->weights.size(), 2u);
+  EXPECT_TRUE(result->ensemble.metrics.count("mae"));
+  for (const auto& [mname, mres] : result->members) {
+    EXPECT_TRUE(mres.metrics.count("mae")) << mname;
+  }
+}
+
+TEST_F(EasyTimeTest, AskEndToEnd) {
+  // S3: the Fig. 5-style question.
+  auto resp = system_->Ask(
+      "What are the top-3 methods (ordered by MAE) on univariate datasets?");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->verified);
+  EXPECT_LE(resp->table.rows.size(), 3u);
+  EXPECT_FALSE(resp->answer.empty());
+  EXPECT_FALSE(system_->Ask("tell me a joke").ok());
+}
+
+TEST_F(EasyTimeTest, AskSqlPath) {
+  auto resp = system_->AskSql("SELECT COUNT(*) FROM results");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->table.rows.size(), 1u);
+  EXPECT_GT(resp->table.rows[0][0].AsInteger(), 0);
+}
+
+}  // namespace
+}  // namespace easytime::core

@@ -1,0 +1,101 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace easytime {
+namespace {
+
+TEST(CsvParse, BasicWithHeader) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvParse, NoHeaderMode) {
+  auto doc = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->header.empty());
+  EXPECT_EQ(doc->rows.size(), 2u);
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndNewlines) {
+  auto doc = ParseCsv("name,desc\nx,\"a, b\"\ny,\"line1\nline2\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "a, b");
+  EXPECT_EQ(doc->rows[1][1], "line1\nline2");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  auto doc = ParseCsv("v\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  auto doc = ParseCsv("a\n1");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvParse, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvParse, EmptyDocumentNeedsHeader) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_TRUE(ParseCsv("", /*has_header=*/false).ok());
+}
+
+TEST(CsvWrite, RoundTripsWithQuoting) {
+  CsvDocument doc;
+  doc.header = {"name", "note"};
+  doc.rows = {{"x", "has, comma"}, {"y", "has \"quote\""}, {"z", "plain"}};
+  std::string text = WriteCsv(doc);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvColumnIndex, FindsByName) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  EXPECT_EQ(doc.ColumnIndex("b"), 1);
+  EXPECT_EQ(doc.ColumnIndex("missing"), -1);
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "easytime_csv_test.csv")
+          .string();
+  CsvDocument doc;
+  doc.header = {"v"};
+  doc.rows = {{"1.5"}, {"2.5"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace easytime

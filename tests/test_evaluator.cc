@@ -1,0 +1,169 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methods/baselines.h"
+#include "test_util.h"
+#include "tsdata/generator.h"
+
+namespace easytime::eval {
+namespace {
+
+using ::easytime::testing::MakeLinearSeries;
+using ::easytime::testing::MakeSeasonalSeries;
+
+EvalConfig SmallConfig(Strategy strategy = Strategy::kFixed) {
+  EvalConfig c;
+  c.strategy = strategy;
+  c.horizon = 8;
+  c.metrics = {"mae", "rmse"};
+  return c;
+}
+
+TEST(ParseStrategy, NamesAndErrors) {
+  EXPECT_EQ(ParseStrategy("fixed").ValueOrDie(), Strategy::kFixed);
+  EXPECT_EQ(ParseStrategy("ROLLING").ValueOrDie(), Strategy::kRolling);
+  EXPECT_FALSE(ParseStrategy("expanding").ok());
+  EXPECT_STREQ(StrategyName(Strategy::kRolling), "rolling");
+}
+
+TEST(EvalConfigJson, RoundTrip) {
+  EvalConfig c;
+  c.strategy = Strategy::kRolling;
+  c.horizon = 12;
+  c.stride = 6;
+  c.scaler = "minmax";
+  c.metrics = {"mae", "smape"};
+  c.drop_last = false;
+  auto parsed = EvalConfig::FromJson(c.ToJson()).ValueOrDie();
+  EXPECT_EQ(parsed.strategy, Strategy::kRolling);
+  EXPECT_EQ(parsed.horizon, 12u);
+  EXPECT_EQ(parsed.stride, 6u);
+  EXPECT_EQ(parsed.scaler, "minmax");
+  EXPECT_EQ(parsed.metrics, (std::vector<std::string>{"mae", "smape"}));
+  EXPECT_FALSE(parsed.drop_last);
+}
+
+TEST(EvalConfigJson, RejectsBadInput) {
+  EXPECT_FALSE(EvalConfig::FromJson(Json("string")).ok());
+  auto bad_metric = Json::Parse(R"({"metrics": ["nope"]})").ValueOrDie();
+  EXPECT_FALSE(EvalConfig::FromJson(bad_metric).ok());
+  auto bad_horizon = Json::Parse(R"({"horizon": -3})").ValueOrDie();
+  EXPECT_FALSE(EvalConfig::FromJson(bad_horizon).ok());
+  auto bad_strategy = Json::Parse(R"({"strategy": "magic"})").ValueOrDie();
+  EXPECT_FALSE(EvalConfig::FromJson(bad_strategy).ok());
+}
+
+TEST(EvaluatorFixed, PerfectForecasterScoresZero) {
+  // A forecaster that always predicts the true continuation of a line.
+  auto v = MakeLinearSeries(100, 0.0, 1.0);
+  methods::DriftForecaster drift;  // exact on a pure line
+  Evaluator eval(SmallConfig());
+  auto r = eval.EvaluateValues(&drift, v).ValueOrDie();
+  EXPECT_NEAR(r.metrics.at("mae"), 0.0, 1e-6);
+  EXPECT_EQ(r.num_windows, 1u);
+  EXPECT_EQ(r.last_forecast.size(), 8u);
+  EXPECT_EQ(r.last_actual.size(), 8u);
+}
+
+TEST(EvaluatorFixed, MetricsInOriginalScale) {
+  // Scale-dependent check: a mean forecaster on a +1000-level series must
+  // produce an MAE in original units, not normalized ones.
+  auto v = MakeSeasonalSeries(120, 12, 50.0, 0.0, 0.0);
+  for (auto& x : v) x += 1000.0;
+  methods::MeanForecaster mean;
+  Evaluator eval(SmallConfig());
+  auto r = eval.EvaluateValues(&mean, v).ValueOrDie();
+  EXPECT_GT(r.metrics.at("mae"), 5.0);   // seasonal amplitude visible
+  EXPECT_LT(r.metrics.at("mae"), 200.0); // but not level-sized
+}
+
+TEST(EvaluatorFixed, NullForecasterRejected) {
+  Evaluator eval(SmallConfig());
+  EXPECT_FALSE(eval.EvaluateValues(nullptr, {1, 2, 3}).ok());
+}
+
+TEST(EvaluatorRolling, CountsWindowsAndDropLast) {
+  auto v = MakeLinearSeries(100, 0.0, 1.0);
+  // test segment = 20 points; horizon 8, stride 8 -> windows at 80, 88
+  // cover 8 each; window at 96 is incomplete (4 left).
+  EvalConfig c = SmallConfig(Strategy::kRolling);
+  c.split = tsdata::SplitSpec{0.7, 0.1, 0.2};
+  c.drop_last = true;
+  methods::NaiveForecaster naive;
+  auto dropped = Evaluator(c).EvaluateValues(&naive, v).ValueOrDie();
+  EXPECT_EQ(dropped.num_windows, 2u);
+
+  c.drop_last = false;
+  auto kept = Evaluator(c).EvaluateValues(&naive, v).ValueOrDie();
+  EXPECT_EQ(kept.num_windows, 3u);  // truncated final window included
+}
+
+TEST(EvaluatorRolling, StrideControlsOverlap) {
+  auto v = MakeLinearSeries(100, 0.0, 1.0);
+  EvalConfig c = SmallConfig(Strategy::kRolling);
+  c.stride = 4;
+  c.drop_last = true;
+  methods::NaiveForecaster naive;
+  auto r = Evaluator(c).EvaluateValues(&naive, v).ValueOrDie();
+  // windows start at 80, 84, 88, 92 (96 would need 8 -> only 4 left).
+  EXPECT_EQ(r.num_windows, 4u);
+}
+
+TEST(EvaluatorRolling, NaiveErrorGrowsWithHorizonOnTrend) {
+  // Sanity: on a trending series rolling naive has nonzero error ~ slope.
+  auto v = MakeLinearSeries(120, 0.0, 2.0);
+  EvalConfig c = SmallConfig(Strategy::kRolling);
+  methods::NaiveForecaster naive;
+  auto r = Evaluator(c).EvaluateValues(&naive, v).ValueOrDie();
+  // Mean |h*slope| for h=1..8 = 2 * 4.5 = 9.
+  EXPECT_NEAR(r.metrics.at("mae"), 9.0, 0.5);
+}
+
+TEST(EvaluatorRolling, TooShortTestRejected) {
+  EvalConfig c = SmallConfig(Strategy::kRolling);
+  c.horizon = 50;
+  methods::NaiveForecaster naive;
+  auto v = MakeLinearSeries(60, 0.0, 1.0);
+  EXPECT_FALSE(Evaluator(c).EvaluateValues(&naive, v).ok());
+}
+
+TEST(EvaluateDataset, AveragesOverChannels) {
+  tsdata::GeneratorConfig cfg;
+  cfg.name = "mv";
+  cfg.length = 120;
+  cfg.num_channels = 3;
+  cfg.period = 12;
+  cfg.season_amp = 4.0;
+  cfg.seed = 3;
+  tsdata::Dataset ds = tsdata::GenerateDataset(cfg);
+
+  Evaluator eval(SmallConfig());
+  auto r = eval.EvaluateDataset("naive", Json::Object(), ds).ValueOrDie();
+  EXPECT_TRUE(r.metrics.count("mae"));
+  EXPECT_EQ(r.num_windows, 3u);  // one fixed window per channel
+}
+
+TEST(EvaluateDataset, UnknownMethodFails) {
+  tsdata::Dataset ds("x");
+  (void)ds.AddChannel(tsdata::Series("a", MakeLinearSeries(50, 0, 1)));
+  Evaluator eval(SmallConfig());
+  EXPECT_FALSE(eval.EvaluateDataset("not_a_method", Json::Object(), ds).ok());
+}
+
+TEST(Evaluator, ScalerVariantsAllWork) {
+  auto v = MakeSeasonalSeries(120, 12, 4.0, 0.1, 0.2);
+  for (const char* scaler : {"zscore", "minmax", "none"}) {
+    EvalConfig c = SmallConfig();
+    c.scaler = scaler;
+    methods::NaiveForecaster naive;
+    auto r = Evaluator(c).EvaluateValues(&naive, v);
+    ASSERT_TRUE(r.ok()) << scaler;
+    EXPECT_TRUE(std::isfinite(r->metrics.at("mae"))) << scaler;
+  }
+}
+
+}  // namespace
+}  // namespace easytime::eval

@@ -1,0 +1,208 @@
+// Failure-injection tests: misbehaving methods, hostile inputs, and
+// degenerate data must degrade gracefully — recorded errors, never crashes
+// or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ensemble/auto_ensemble.h"
+#include "eval/evaluator.h"
+#include "methods/registry.h"
+#include "pipeline/runner.h"
+#include "qa/qa_engine.h"
+#include "test_util.h"
+#include "tsdata/characteristics.h"
+#include "tsdata/generator.h"
+
+namespace easytime {
+namespace {
+
+/// A method that misbehaves on demand (registered once per process).
+struct SaboteurForecaster : methods::Forecaster {
+  enum class Mode { kWrongLength, kNan, kFitFails, kForecastFails };
+  explicit SaboteurForecaster(Mode mode) : mode(mode) {}
+
+  Status Fit(const std::vector<double>& train,
+             const methods::FitContext&) override {
+    if (mode == Mode::kFitFails) return Status::Internal("injected fit fail");
+    if (train.empty()) return Status::InvalidArgument("empty");
+    last = train.back();
+    return Status::OK();
+  }
+  Result<std::vector<double>> Forecast(size_t horizon) const override {
+    switch (mode) {
+      case Mode::kWrongLength:
+        return std::vector<double>(horizon + 3, last);
+      case Mode::kNan:
+        return std::vector<double>(horizon,
+                                   std::numeric_limits<double>::quiet_NaN());
+      case Mode::kForecastFails:
+        return Status::Internal("injected forecast fail");
+      case Mode::kFitFails:
+        return Status::Internal("unreachable");
+    }
+    return std::vector<double>(horizon, last);
+  }
+  std::string name() const override { return "saboteur"; }
+  methods::Family family() const override {
+    return methods::Family::kStatistical;
+  }
+
+  Mode mode;
+  double last = 0.0;
+};
+
+eval::EvalConfig SmallConfig() {
+  eval::EvalConfig c;
+  c.horizon = 8;
+  c.metrics = {"mae"};
+  return c;
+}
+
+TEST(FailureInjection, WrongForecastLengthIsInternalError) {
+  SaboteurForecaster bad(SaboteurForecaster::Mode::kWrongLength);
+  auto v = testing::MakeLinearSeries(100, 0.0, 1.0);
+  auto r = eval::Evaluator(SmallConfig()).EvaluateValues(&bad, v);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjection, NanForecastYieldsNanMetricsNotCrash) {
+  SaboteurForecaster bad(SaboteurForecaster::Mode::kNan);
+  auto v = testing::MakeLinearSeries(100, 0.0, 1.0);
+  auto r = eval::Evaluator(SmallConfig()).EvaluateValues(&bad, v);
+  ASSERT_TRUE(r.ok());  // the protocol ran; the metric value carries the NaN
+  EXPECT_TRUE(std::isnan(r->metrics.at("mae")));
+}
+
+TEST(FailureInjection, LeaderboardIgnoresNanEntries) {
+  pipeline::BenchmarkReport report;
+  pipeline::RunRecord good;
+  good.method = "good";
+  good.metrics["mae"] = 1.0;
+  good.status = Status::OK();
+  pipeline::RunRecord poisoned;
+  poisoned.method = "poisoned";
+  poisoned.metrics["mae"] = std::nan("");
+  poisoned.status = Status::OK();
+  report.records = {good, poisoned};
+  auto lb = report.Leaderboard("mae");
+  ASSERT_EQ(lb.size(), 1u);
+  EXPECT_EQ(lb[0].first, "good");
+}
+
+TEST(FailureInjection, EnsembleSurvivesMemberForecastFailure) {
+  std::vector<methods::ForecasterPtr> members;
+  members.push_back(
+      methods::MethodRegistry::Global().Create("naive").ValueOrDie());
+  members.push_back(std::make_unique<SaboteurForecaster>(
+      SaboteurForecaster::Mode::kForecastFails));
+  ensemble::EnsembleForecaster ens(std::move(members), {"naive", "saboteur"},
+                                   0.25);
+  auto v = testing::MakeSeasonalSeries(120, 12, 4.0);
+  methods::FitContext ctx;
+  ctx.horizon = 8;
+  // Fit succeeds (the saboteur's validation forecasts are neutralized)...
+  ASSERT_TRUE(ens.Fit(v, ctx).ok());
+  // ...but the final Forecast hits the saboteur's injected error if it
+  // carries weight; the ensemble must surface the error, not fabricate data.
+  auto fc = ens.Forecast(8);
+  if (fc.ok()) {
+    for (double x : *fc) EXPECT_TRUE(std::isfinite(x));
+  } else {
+    EXPECT_EQ(fc.status().code(), StatusCode::kInternal);
+  }
+}
+
+TEST(FailureInjection, PipelineRecordsFitFailuresPerPair) {
+  auto& registry = methods::MethodRegistry::Global();
+  if (!registry.Contains("always_fails")) {
+    ASSERT_TRUE(registry
+                    .Register({"always_fails",
+                               methods::Family::kStatistical,
+                               "failure injection"},
+                              [](const Json&) -> Result<methods::ForecasterPtr> {
+                                return methods::ForecasterPtr(
+                                    new SaboteurForecaster(
+                                        SaboteurForecaster::Mode::kFitFails));
+                              })
+                    .ok());
+  }
+  tsdata::Repository repo;
+  tsdata::SuiteSpec spec;
+  spec.univariate_per_domain = 1;
+  spec.multivariate_total = 0;
+  spec.min_length = 120;
+  spec.max_length = 140;
+  ASSERT_TRUE(repo.AddSuite(spec).ok());
+
+  pipeline::BenchmarkConfig config;
+  config.eval = SmallConfig();
+  config.methods = {pipeline::MethodSpec{"always_fails", Json::Object()},
+                    pipeline::MethodSpec{"naive", Json::Object()}};
+  auto report = pipeline::PipelineRunner(&repo, config).Run();
+  ASSERT_TRUE(report.ok());
+  size_t failed = 0;
+  for (const auto& rec : report->records) {
+    if (!rec.status.ok()) {
+      ++failed;
+      EXPECT_EQ(rec.method, "always_fails");
+    }
+  }
+  EXPECT_EQ(failed, repo.size());
+  EXPECT_EQ(report->Successful().size(), repo.size());
+}
+
+TEST(FailureInjection, DegenerateSeriesDoNotCrashCharacteristics) {
+  // Constant, tiny, huge-magnitude, and NaN-free-but-extreme inputs.
+  std::vector<std::vector<double>> inputs = {
+      std::vector<double>(100, 5.0),                    // constant
+      {1.0, 2.0},                                       // tiny
+      std::vector<double>(50, 1e150),                   // huge constant
+  };
+  std::vector<double> alternating(64);
+  for (size_t i = 0; i < alternating.size(); ++i) {
+    alternating[i] = i % 2 ? 1e9 : -1e9;
+  }
+  inputs.push_back(alternating);
+  for (const auto& v : inputs) {
+    auto ch = tsdata::ExtractCharacteristics(v);
+    EXPECT_GE(ch.seasonality, 0.0);
+    EXPECT_LE(ch.seasonality, 1.0);
+    EXPECT_GE(ch.trend, 0.0);
+    EXPECT_LE(ch.trend, 1.0);
+    auto f = tsdata::CharacteristicFeatureVector(v);
+    for (double x : f) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(FailureInjection, QaSurvivesEmptyKnowledgeBase) {
+  knowledge::KnowledgeBase empty;
+  empty.AddAllMethods();  // methods but no datasets/results
+  auto engine = qa::QaEngine::Create(empty).ValueOrDie();
+  auto resp = engine->Ask("top-3 methods by mae");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->table.rows.empty());
+  EXPECT_NE(resp->answer.find("No benchmark results"), std::string::npos);
+}
+
+TEST(FailureInjection, SqlInjectionStyleQuestionStaysSafe) {
+  knowledge::KnowledgeBase empty;
+  empty.AddAllMethods();
+  auto engine = qa::QaEngine::Create(empty).ValueOrDie();
+  // Hostile text cannot escape the NL2SQL templates into DDL: either the
+  // question is rejected, or the generated SQL is a verified SELECT.
+  auto resp =
+      engine->Ask("top-3 methods'; DROP TABLE results; -- by mae");
+  if (resp.ok()) {
+    EXPECT_EQ(resp->sql.find("DROP"), std::string::npos);
+    EXPECT_EQ(resp->sql.rfind("SELECT", 0), 0u);
+  }
+  EXPECT_TRUE(engine->SchemaDescription().find("results(") !=
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace easytime

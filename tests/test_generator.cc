@@ -1,0 +1,169 @@
+#include "tsdata/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsdata/characteristics.h"
+
+namespace easytime::tsdata {
+namespace {
+
+TEST(GenerateSeries, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.name = "det";
+  cfg.length = 128;
+  cfg.period = 12;
+  cfg.season_amp = 3.0;
+  cfg.seed = 5;
+  Series a = GenerateSeries(cfg);
+  Series b = GenerateSeries(cfg);
+  ASSERT_EQ(a.length(), b.length());
+  for (size_t i = 0; i < a.length(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  cfg.seed = 6;
+  Series c = GenerateSeries(cfg);
+  bool all_same = true;
+  for (size_t i = 0; i < a.length(); ++i) {
+    if (a[i] != c[i]) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(GenerateSeries, MetadataPropagates) {
+  GeneratorConfig cfg;
+  cfg.name = "meta";
+  cfg.domain = Domain::kTraffic;
+  cfg.length = 64;
+  cfg.period = 24;
+  Series s = GenerateSeries(cfg);
+  EXPECT_EQ(s.name(), "meta");
+  EXPECT_EQ(s.domain(), Domain::kTraffic);
+  EXPECT_EQ(s.period_hint(), 24u);
+  EXPECT_EQ(s.length(), 64u);
+}
+
+TEST(GenerateSeries, SeasonalAmplitudeVisible) {
+  GeneratorConfig cfg;
+  cfg.length = 480;
+  cfg.period = 24;
+  cfg.season_amp = 8.0;
+  cfg.noise_std = 0.2;
+  cfg.seed = 9;
+  Series s = GenerateSeries(cfg);
+  EXPECT_GT(SeasonalStrength(s.values(), 24), 0.8);
+}
+
+TEST(GenerateSeries, TrendSlopeVisible) {
+  GeneratorConfig cfg;
+  cfg.length = 300;
+  cfg.trend_slope = 0.5;
+  cfg.noise_std = 0.5;
+  cfg.seed = 10;
+  Series s = GenerateSeries(cfg);
+  EXPECT_GT(TrendStrength(s.values(), 0), 0.9);
+}
+
+TEST(GenerateSeries, LevelShiftChangesHalves) {
+  GeneratorConfig cfg;
+  cfg.length = 400;
+  cfg.level_shift = 10.0;
+  cfg.noise_std = 0.5;
+  cfg.seed = 11;
+  Series s = GenerateSeries(cfg);
+  EXPECT_GT(ShiftingScore(s.values()), 0.5);
+}
+
+TEST(GenerateDataset, MultichannelShapes) {
+  GeneratorConfig cfg;
+  cfg.name = "mv";
+  cfg.length = 200;
+  cfg.num_channels = 5;
+  cfg.seed = 12;
+  Dataset ds = GenerateDataset(cfg);
+  EXPECT_EQ(ds.num_channels(), 5u);
+  EXPECT_EQ(ds.length(), 200u);
+  EXPECT_TRUE(ds.multivariate());
+  EXPECT_EQ(ds.channel(2).name(), "mv_ch2");
+}
+
+class DomainProfileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomainProfileTest, ProfileIsGenerableAndInRange) {
+  Domain domain = static_cast<Domain>(GetParam());
+  Rng rng(31 + static_cast<uint64_t>(GetParam()));
+  GeneratorConfig cfg = DomainProfile(domain, &rng);
+  cfg.length = 300;
+  cfg.seed = 77;
+  cfg.name = std::string(DomainName(domain)) + "_test";
+  Series s = GenerateSeries(cfg);
+  EXPECT_EQ(s.length(), 300u);
+  for (double v : s.values()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(cfg.domain, domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainProfileTest,
+                         ::testing::Range(0, kNumDomains));
+
+TEST(DomainProfiles, StockIsRandomWalkHeavyTail) {
+  Rng rng(41);
+  GeneratorConfig cfg = DomainProfile(Domain::kStock, &rng);
+  EXPECT_TRUE(cfg.random_walk);
+  EXPECT_TRUE(cfg.heavy_tail);
+  EXPECT_EQ(cfg.period, 0u);
+}
+
+TEST(DomainProfiles, TrafficIsDailySeasonal) {
+  Rng rng(43);
+  GeneratorConfig cfg = DomainProfile(Domain::kTraffic, &rng);
+  EXPECT_EQ(cfg.period, 24u);
+  EXPECT_GT(cfg.season_amp, 0.0);
+}
+
+TEST(GenerateSuite, CountsAndNaming) {
+  SuiteSpec spec;
+  spec.univariate_per_domain = 2;
+  spec.multivariate_total = 3;
+  spec.min_length = 100;
+  spec.max_length = 150;
+  spec.multivariate_channels = 3;
+  auto suite = GenerateSuite(spec);
+  EXPECT_EQ(suite.size(), 2u * kNumDomains + 3u);
+  size_t mv = 0;
+  for (const auto& ds : suite) {
+    EXPECT_GE(ds.length(), 100u);
+    EXPECT_LE(ds.length(), 150u);
+    if (ds.multivariate()) {
+      ++mv;
+      EXPECT_EQ(ds.num_channels(), 3u);
+    }
+  }
+  EXPECT_EQ(mv, 3u);
+  // Deterministic regeneration.
+  auto again = GenerateSuite(spec);
+  ASSERT_EQ(again.size(), suite.size());
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(again[i].name(), suite[i].name());
+    EXPECT_DOUBLE_EQ(again[i].primary()[0], suite[i].primary()[0]);
+  }
+}
+
+TEST(GenerateSuite, CoversCharacteristicSpace) {
+  SuiteSpec spec;
+  spec.univariate_per_domain = 3;
+  spec.multivariate_total = 2;
+  auto suite = GenerateSuite(spec);
+  size_t seasonal = 0, trending = 0, nonstationary = 0;
+  for (const auto& ds : suite) {
+    auto ch = tsdata::ExtractCharacteristics(ds.primary().values());
+    if (ch.has_seasonality()) ++seasonal;
+    if (ch.has_trend()) ++trending;
+    if (!ch.is_stationary()) ++nonstationary;
+  }
+  // The suite must span the axes TFB curates for: some of each class.
+  EXPECT_GT(seasonal, 3u);
+  EXPECT_GT(trending, 3u);
+  EXPECT_GT(nonstationary, 2u);
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

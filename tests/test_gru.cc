@@ -1,0 +1,99 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace easytime::nn {
+namespace {
+
+using ::easytime::testing::GradCheck;
+
+double WeightedSum(const Matrix& out, const Matrix& g) {
+  double s = 0.0;
+  for (size_t i = 0; i < out.raw().size(); ++i) {
+    s += out.raw()[i] * g.raw()[i];
+  }
+  return s;
+}
+
+TEST(Gru, OutputShape) {
+  Rng rng(1);
+  Gru gru(2, 4, &rng);
+  Matrix x = Matrix::Gaussian(7, 2, 1.0, &rng);
+  Matrix h = gru.Forward(x);
+  EXPECT_EQ(h.rows(), 7u);
+  EXPECT_EQ(h.cols(), 4u);
+  EXPECT_EQ(gru.Params().size(), 10u);
+}
+
+TEST(Gru, HiddenStateBounded) {
+  Rng rng(2);
+  Gru gru(1, 8, &rng);
+  Matrix x = Matrix::Gaussian(50, 1, 3.0, &rng);
+  Matrix h = gru.Forward(x);
+  // GRU hidden values are convex mixes of tanh outputs: |h| <= 1.
+  for (double v : h.raw()) {
+    EXPECT_LE(std::fabs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(Gru, DeterministicForSeed) {
+  Rng rng1(3), rng2(3);
+  Gru a(1, 4, &rng1), b(1, 4, &rng2);
+  Matrix x = Matrix::Gaussian(10, 1, 1.0, &rng1);
+  Matrix ha = a.Forward(x);
+  Matrix hb = b.Forward(x);
+  for (size_t i = 0; i < ha.raw().size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha.raw()[i], hb.raw()[i]);
+  }
+}
+
+TEST(Gru, ParameterGradientsMatchFiniteDifferences) {
+  Rng rng(4);
+  Gru gru(2, 3, &rng);
+  Matrix x = Matrix::Gaussian(5, 2, 0.8, &rng);
+  Matrix g = Matrix::Gaussian(5, 3, 1.0, &rng);
+
+  auto loss = [&]() { return WeightedSum(gru.Forward(x), g); };
+  for (Param* p : gru.Params()) {
+    auto grad = [&]() {
+      for (Param* q : gru.Params()) q->ZeroGrad();
+      gru.Forward(x);
+      gru.Backward(g);
+      return p->grad;
+    };
+    EXPECT_LT(GradCheck(&p->value, loss, grad, 1e-5), 5e-4);
+  }
+}
+
+TEST(Gru, InputGradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  Gru gru(2, 3, &rng);
+  Matrix x = Matrix::Gaussian(6, 2, 0.8, &rng);
+  Matrix g = Matrix::Gaussian(6, 3, 1.0, &rng);
+  auto loss = [&]() { return WeightedSum(gru.Forward(x), g); };
+  auto grad_x = [&]() {
+    for (Param* q : gru.Params()) q->ZeroGrad();
+    gru.Forward(x);
+    return gru.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss, grad_x, 1e-5), 5e-4);
+}
+
+TEST(Gru, GradientFlowsThroughTime) {
+  // Gradient injected only at the last step must reach early inputs.
+  Rng rng(6);
+  Gru gru(1, 4, &rng);
+  Matrix x = Matrix::Gaussian(8, 1, 1.0, &rng);
+  gru.Forward(x);
+  Matrix g(8, 4);
+  for (size_t c = 0; c < 4; ++c) g.at(7, c) = 1.0;
+  Matrix dx = gru.Backward(g);
+  double early = 0.0;
+  for (size_t t = 0; t < 4; ++t) early += std::fabs(dx.at(t, 0));
+  EXPECT_GT(early, 1e-8);
+}
+
+}  // namespace
+}  // namespace easytime::nn

@@ -1,0 +1,125 @@
+#include "knowledge/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sql/executor.h"
+
+namespace easytime::knowledge {
+namespace {
+
+SeededKnowledge MakeSeeded() {
+  tsdata::SuiteSpec suite;
+  suite.univariate_per_domain = 1;
+  suite.multivariate_total = 1;
+  suite.min_length = 160;
+  suite.max_length = 200;
+  eval::EvalConfig cfg;
+  cfg.horizon = 8;
+  cfg.metrics = {"mae", "rmse"};
+  auto seeded = SeedKnowledge(suite, cfg, {"naive", "theta", "ses"});
+  EXPECT_TRUE(seeded.ok()) << seeded.status().ToString();
+  return std::move(*seeded);
+}
+
+TEST(KnowledgeBase, SeedingPopulatesAllSections) {
+  auto seeded = MakeSeeded();
+  const KnowledgeBase& kb = seeded.kb;
+  EXPECT_EQ(kb.datasets().size(), seeded.repository.size());
+  EXPECT_GE(kb.methods().size(), 20u);  // every registered method's metadata
+  EXPECT_EQ(kb.results().size(), seeded.repository.size() * 3);
+  // Dataset meta has computed characteristics.
+  const DatasetMeta& meta = kb.datasets()[0];
+  EXPECT_FALSE(meta.name.empty());
+  EXPECT_GT(meta.length, 0u);
+}
+
+TEST(KnowledgeBase, GetDatasetAndMethodScores) {
+  auto seeded = MakeSeeded();
+  const KnowledgeBase& kb = seeded.kb;
+  std::string name = kb.datasets()[0].name;
+  EXPECT_TRUE(kb.GetDataset(name).ok());
+  EXPECT_FALSE(kb.GetDataset("ghost").ok());
+
+  auto scores = kb.MethodScores(name, "mae");
+  EXPECT_EQ(scores.size(), 3u);
+  for (const auto& [m, v] : scores) {
+    EXPECT_TRUE(std::isfinite(v)) << m;
+  }
+  EXPECT_TRUE(kb.MethodScores(name, "not_a_metric").empty());
+}
+
+TEST(KnowledgeBase, DuplicateDatasetIgnored) {
+  auto seeded = MakeSeeded();
+  size_t before = seeded.kb.datasets().size();
+  seeded.kb.AddDataset(**seeded.repository.Get(seeded.kb.datasets()[0].name));
+  EXPECT_EQ(seeded.kb.datasets().size(), before);
+}
+
+TEST(KnowledgeBase, ExportToDatabaseIsQueryable) {
+  auto seeded = MakeSeeded();
+  sql::Database db;
+  ASSERT_TRUE(seeded.kb.ExportToDatabase(&db).ok());
+  EXPECT_TRUE(db.HasTable("datasets"));
+  EXPECT_TRUE(db.HasTable("methods"));
+  EXPECT_TRUE(db.HasTable("results"));
+
+  auto rs = sql::ExecuteQuery(
+                &db,
+                "SELECT r.method, AVG(r.value) AS avg_mae FROM results r "
+                "JOIN datasets d ON r.dataset = d.name "
+                "WHERE r.metric = 'mae' GROUP BY r.method "
+                "ORDER BY avg_mae ASC")
+                .ValueOrDie();
+  EXPECT_EQ(rs.rows.size(), 3u);
+  // Sanity: theta should not be worst on average across the suite.
+  EXPECT_NE(rs.rows.back()[0].AsText(), "theta");
+
+  auto count = sql::ExecuteQuery(&db, "SELECT COUNT(*) FROM datasets")
+                   .ValueOrDie();
+  EXPECT_EQ(count.rows[0][0].AsInteger(),
+            static_cast<int64_t>(seeded.repository.size()));
+
+  // Long-form results: one row per metric.
+  auto metrics = sql::ExecuteQuery(
+                     &db, "SELECT COUNT(DISTINCT metric) FROM results")
+                     .ValueOrDie();
+  EXPECT_EQ(metrics.rows[0][0].AsInteger(), 2);
+}
+
+TEST(KnowledgeBase, SchemaDescriptionMentionsCharacteristics) {
+  auto seeded = MakeSeeded();
+  sql::Database db;
+  ASSERT_TRUE(seeded.kb.ExportToDatabase(&db).ok());
+  std::string schema = db.DescribeSchema();
+  EXPECT_NE(schema.find("seasonality"), std::string::npos);
+  EXPECT_NE(schema.find("results("), std::string::npos);
+}
+
+TEST(KnowledgeBase, ResultsCsvRoundTrip) {
+  auto seeded = MakeSeeded();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "easytime_kb.csv").string();
+  ASSERT_TRUE(seeded.kb.SaveResultsCsv(path).ok());
+
+  KnowledgeBase loaded;
+  ASSERT_TRUE(loaded.LoadResultsCsv(path).ok());
+  EXPECT_EQ(loaded.results().size(), seeded.kb.results().size());
+  // Metric values survive.
+  const auto& orig = seeded.kb.results()[0];
+  auto scores = loaded.MethodScores(orig.dataset, "mae");
+  EXPECT_NEAR(scores.at(orig.method), orig.metrics.at("mae"), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBase, LoadMissingCsvFails) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.LoadResultsCsv("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace easytime::knowledge

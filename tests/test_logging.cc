@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace easytime {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() / "easytime_log_test.txt").string();
+    std::remove(path_.c_str());
+    Logging::SetLogFile(path_);
+    Logging::SetLevel(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logging::SetLogFile("");  // back to stderr for other tests
+    Logging::SetLevel(LogLevel::kInfo);
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(LoggingTest, WritesFormattedLinesToFile) {
+  EASYTIME_LOG(Info) << "pipeline started with " << 3 << " methods";
+  std::string log = ReadFile(path_);
+  EXPECT_NE(log.find("INFO"), std::string::npos);
+  EXPECT_NE(log.find("pipeline started with 3 methods"), std::string::npos);
+  EXPECT_NE(log.find("test_logging.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logging::SetLevel(LogLevel::kWarning);
+  EASYTIME_LOG(Debug) << "hidden debug";
+  EASYTIME_LOG(Info) << "hidden info";
+  EASYTIME_LOG(Warning) << "visible warning";
+  EASYTIME_LOG(Error) << "visible error";
+  std::string log = ReadFile(path_);
+  EXPECT_EQ(log.find("hidden"), std::string::npos);
+  EXPECT_NE(log.find("visible warning"), std::string::npos);
+  EXPECT_NE(log.find("visible error"), std::string::npos);
+  EXPECT_EQ(Logging::GetLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SeverityNamesDistinct) {
+  EASYTIME_LOG(Debug) << "d";
+  EASYTIME_LOG(Error) << "e";
+  std::string log = ReadFile(path_);
+  EXPECT_NE(log.find("DEBUG"), std::string::npos);
+  EXPECT_NE(log.find("ERROR"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double t0 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny bit; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedMillis() * 0.5 + 1.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), t1 + 1.0);
+}
+
+}  // namespace
+}  // namespace easytime

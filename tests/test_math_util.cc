@@ -1,0 +1,187 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace easytime {
+namespace {
+
+TEST(Stats, MeanVarianceStd) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Stats, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 0.25), 2.0);
+}
+
+TEST(Correlation, PerfectAndInverse) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, {1, 1, 1, 1}), 0.0);  // degenerate
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, {1, 2}), 0.0);        // mismatch
+}
+
+TEST(Acf, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> v(200);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 20.0);
+  }
+  EXPECT_NEAR(Autocorrelation(v, 0), 1.0, 1e-12);
+  EXPECT_GT(Autocorrelation(v, 20), 0.8);
+  EXPECT_LT(Autocorrelation(v, 10), -0.8);
+  auto acf = AcfUpTo(v, 25);
+  EXPECT_EQ(acf.size(), 26u);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesLength) {
+  std::vector<double> v = {0, 10, 0, 10, 0, 10};
+  auto ma = MovingAverage(v, 3);
+  EXPECT_EQ(ma.size(), v.size());
+  // Interior point 2 averages its centered window {10, 0, 10}.
+  EXPECT_NEAR(ma[2], 20.0 / 3.0, 1e-9);
+  // Edge point 0 averages the shrunken window {0, 10}.
+  EXPECT_NEAR(ma[0], 5.0, 1e-9);
+  // Window 1 = identity.
+  EXPECT_EQ(MovingAverage(v, 1), v);
+}
+
+TEST(Difference, FirstAndSecondOrder) {
+  std::vector<double> v = {1, 4, 9, 16};
+  EXPECT_EQ(Difference(v), (std::vector<double>{3, 5, 7}));
+  EXPECT_EQ(Difference(v, 2), (std::vector<double>{2, 2}));
+  EXPECT_TRUE(Difference({1.0}, 1).empty());
+}
+
+TEST(Fft, KnownTransformAndInverse) {
+  std::vector<std::complex<double>> data = {
+      {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  auto copy = data;
+  ASSERT_TRUE(Fft(&data).ok());
+  // DC component = sum.
+  EXPECT_NEAR(data[0].real(), 10.0, 1e-9);
+  ASSERT_TRUE(Fft(&data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(data[i].real(), copy[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoRejected) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_FALSE(Fft(&data).ok());
+}
+
+TEST(PowerSpectrum, PeakAtSignalFrequency) {
+  size_t n = 256, period = 16;
+  std::vector<double> v(n);
+  for (size_t t = 0; t < n; ++t) {
+    v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                    static_cast<double>(period));
+  }
+  auto spec = PowerSpectrum(v);
+  size_t peak = ArgMax(spec);
+  // Frequency bin k corresponds to period n/k.
+  EXPECT_NEAR(static_cast<double>(n) / static_cast<double>(peak),
+              static_cast<double>(period), 1.0);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  auto x = SolveLinearSystem({2, 1, 1, -1}, {5, 1}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, SingularRejected) {
+  EXPECT_FALSE(SolveLinearSystem({1, 1, 1, 1}, {2, 2}, 2).ok());
+  EXPECT_FALSE(SolveLinearSystem({1, 2}, {1}, 2).ok());  // bad dims
+}
+
+TEST(LeastSquares, RecoversLinearModel) {
+  // y = 3 + 2*x with exact data.
+  size_t rows = 10;
+  std::vector<double> x(rows * 2), y(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    x[r * 2] = 1.0;
+    x[r * 2 + 1] = static_cast<double>(r);
+    y[r] = 3.0 + 2.0 * static_cast<double>(r);
+  }
+  auto beta = LeastSquares(x, y, rows, 2);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-8);
+  EXPECT_NEAR((*beta)[1], 2.0, 1e-8);
+}
+
+TEST(LeastSquares, RidgeShrinks) {
+  std::vector<double> x = {1, 1, 1, 1};  // collinear columns
+  std::vector<double> y = {2, 2};
+  auto beta = LeastSquares(x, y, 2, 2, 1.0);
+  ASSERT_TRUE(beta.ok());
+  // Symmetric shrinkage splits the signal.
+  EXPECT_NEAR((*beta)[0], (*beta)[1], 1e-9);
+}
+
+TEST(LinearTrendFit, ExactLine) {
+  auto [a, b] = LinearTrendFit({5, 7, 9, 11});
+  EXPECT_NEAR(a, 5.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+  auto [a1, b1] = LinearTrendFit({42});
+  EXPECT_DOUBLE_EQ(a1, 42.0);
+  EXPECT_DOUBLE_EQ(b1, 0.0);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  auto p = Softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+  // Temperature sharpens.
+  auto sharp = Softmax({1.0, 2.0, 3.0}, 0.1);
+  EXPECT_GT(sharp[2], p[2]);
+}
+
+TEST(ArgMaxMin, Basics) {
+  EXPECT_EQ(ArgMax({1.0, 5.0, 3.0}), 1u);
+  EXPECT_EQ(ArgMin({1.0, 5.0, 3.0}), 0u);
+  EXPECT_EQ(ArgMax({}), 0u);
+}
+
+TEST(NextPowerOfTwo, Basics) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Ranks, HandlesTies) {
+  auto r = Ranks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {1, 4, 9, 16, 25};  // monotone transform
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace easytime

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methods/baselines.h"
+#include "methods/deep.h"
+#include "test_util.h"
+
+namespace easytime::methods {
+namespace {
+
+using ::easytime::testing::MakeSeasonalSeries;
+
+DeepOptions FastOptions() {
+  DeepOptions o;
+  o.hidden = 16;
+  o.epochs = 30;
+  o.max_windows = 96;
+  return o;
+}
+
+double MaeAgainst(const std::vector<double>& fc,
+                  const std::vector<double>& actual) {
+  double acc = 0.0;
+  for (size_t i = 0; i < fc.size(); ++i) acc += std::fabs(fc[i] - actual[i]);
+  return acc / static_cast<double>(fc.size());
+}
+
+struct DeepCase {
+  std::string name;
+};
+
+class DeepForecasterTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  ForecasterPtr Make() {
+    std::string which = GetParam();
+    if (which == "mlp") return std::make_unique<MlpForecaster>(FastOptions());
+    if (which == "gru") return std::make_unique<GruForecaster>(FastOptions());
+    return std::make_unique<TcnForecaster>(FastOptions());
+  }
+};
+
+TEST_P(DeepForecasterTest, FitsAndForecastsRightLength) {
+  auto v = MakeSeasonalSeries(200, 12, 4.0, 0.0, 0.2);
+  auto f = Make();
+  FitContext ctx;
+  ctx.horizon = 8;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f->Fit(v, ctx).ok());
+  auto fc = f->Forecast(8).ValueOrDie();
+  EXPECT_EQ(fc.size(), 8u);
+  for (double x : fc) EXPECT_TRUE(std::isfinite(x));
+  // Longer-than-trained horizon via recursion.
+  auto longer = f->Forecast(20).ValueOrDie();
+  EXPECT_EQ(longer.size(), 20u);
+}
+
+TEST_P(DeepForecasterTest, BeatsMeanBaselineOnSeasonalSignal) {
+  auto full = MakeSeasonalSeries(260, 12, 6.0, 0.0, 0.2);
+  std::vector<double> train(full.begin(), full.end() - 12);
+  std::vector<double> actual(full.end() - 12, full.end());
+
+  auto f = Make();
+  FitContext ctx;
+  ctx.horizon = 12;
+  ctx.period_hint = 12;
+  ctx.seed = 5;
+  ASSERT_TRUE(f->Fit(train, ctx).ok());
+  auto fc = f->Forecast(12).ValueOrDie();
+
+  MeanForecaster mean;
+  ASSERT_TRUE(mean.Fit(train, ctx).ok());
+  auto mf = mean.Forecast(12).ValueOrDie();
+
+  EXPECT_LT(MaeAgainst(fc, actual), MaeAgainst(mf, actual))
+      << GetParam() << " failed to beat the mean baseline";
+}
+
+TEST_P(DeepForecasterTest, DeterministicGivenSeed) {
+  auto v = MakeSeasonalSeries(150, 12, 3.0, 0.0, 0.3);
+  FitContext ctx;
+  ctx.horizon = 6;
+  ctx.period_hint = 12;
+  ctx.seed = 11;
+  auto f1 = Make();
+  auto f2 = Make();
+  ASSERT_TRUE(f1->Fit(v, ctx).ok());
+  ASSERT_TRUE(f2->Fit(v, ctx).ok());
+  auto a = f1->Forecast(6).ValueOrDie();
+  auto b = f2->Forecast(6).ValueOrDie();
+  for (size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_P(DeepForecasterTest, ForecastFromReusesWeights) {
+  auto v = MakeSeasonalSeries(160, 8, 4.0, 0.0, 0.2);
+  auto f = Make();
+  FitContext ctx;
+  ctx.horizon = 4;
+  ctx.period_hint = 8;
+  ASSERT_TRUE(f->Fit(v, ctx).ok());
+  auto fc = f->ForecastFrom(v, 4).ValueOrDie();
+  EXPECT_EQ(fc.size(), 4u);
+  EXPECT_FALSE(f->ForecastFrom({}, 4).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeepModels, DeepForecasterTest,
+                         ::testing::Values("mlp", "gru", "tcn"));
+
+TEST(DeepModels, RejectTooShortSeries) {
+  MlpForecaster f(FastOptions());
+  FitContext ctx;
+  ctx.horizon = 50;
+  EXPECT_FALSE(f.Fit({1, 2, 3}, ctx).ok());
+}
+
+}  // namespace
+}  // namespace easytime::methods

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "methods/gbdt.h"
+#include "methods/knn.h"
+#include "methods/linear_models.h"
+#include "methods/window_util.h"
+#include "test_util.h"
+
+namespace easytime::methods {
+namespace {
+
+using ::easytime::testing::MakeLinearSeries;
+using ::easytime::testing::MakeSeasonalSeries;
+
+TEST(MakeWindows, ShapesAndContents) {
+  std::vector<double> v = {0, 1, 2, 3, 4, 5};
+  auto wd = MakeWindows(v, 3, 2).ValueOrDie();
+  EXPECT_EQ(wd.inputs.size(), 2u);
+  EXPECT_EQ(wd.inputs[0], (std::vector<double>{0, 1, 2}));
+  EXPECT_EQ(wd.targets[0], (std::vector<double>{3, 4}));
+  EXPECT_EQ(wd.inputs[1], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(wd.targets[1], (std::vector<double>{4, 5}));
+}
+
+TEST(MakeWindows, Validation) {
+  EXPECT_FALSE(MakeWindows({1, 2}, 0, 1).ok());
+  EXPECT_FALSE(MakeWindows({1, 2}, 1, 0).ok());
+  EXPECT_FALSE(MakeWindows({1, 2}, 4, 4).ok());
+}
+
+TEST(ChooseLookback, RespectsPeriodAndBounds) {
+  EXPECT_EQ(ChooseLookback(500, 24, 12), 48u);  // 2 periods
+  size_t lb = ChooseLookback(40, 0, 8);
+  EXPECT_GE(lb, 8u);                 // at least horizon
+  EXPECT_LE(lb + 8 + 1, 41u);        // leaves windows
+}
+
+TEST(RecursiveMultiStep, ExtendsBeyondTrainedHorizon) {
+  // Model predicts [last+1, last+2] per call.
+  auto predict = [](const std::vector<double>& w) {
+    return std::vector<double>{w.back() + 1.0, w.back() + 2.0};
+  };
+  auto fc = RecursiveMultiStep({0, 1, 2}, 2, 2, 5, predict);
+  ASSERT_EQ(fc.size(), 5u);
+  EXPECT_DOUBLE_EQ(fc[0], 3.0);
+  EXPECT_DOUBLE_EQ(fc[1], 4.0);
+  EXPECT_DOUBLE_EQ(fc[2], 5.0);  // recursion: window now ends at 4
+  EXPECT_DOUBLE_EQ(fc[3], 6.0);
+  EXPECT_DOUBLE_EQ(fc[4], 7.0);
+}
+
+TEST(LagLinear, RecoversLinearContinuation) {
+  auto v = MakeLinearSeries(100, 3.0, 2.0);
+  LagLinearForecaster f(1e-6);
+  FitContext ctx;
+  ctx.horizon = 6;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  auto fc = f.Forecast(6).ValueOrDie();
+  for (size_t h = 0; h < 6; ++h) {
+    EXPECT_NEAR(fc[h], 3.0 + 2.0 * static_cast<double>(100 + h), 0.5);
+  }
+}
+
+TEST(LagLinear, ForecastFromConditionsOnNewHistory) {
+  auto v = MakeLinearSeries(100, 0.0, 1.0);
+  LagLinearForecaster f(1e-6);
+  FitContext ctx;
+  ctx.horizon = 3;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  // New history shifted by +1000: prediction must follow it (linear model
+  // on lags extrapolates the same slope from the new level).
+  std::vector<double> shifted = MakeLinearSeries(60, 1000.0, 1.0);
+  auto fc = f.ForecastFrom(shifted, 3).ValueOrDie();
+  EXPECT_NEAR(fc[0], 1060.0, 2.0);
+}
+
+TEST(NLinear, InvariantToLevelShift) {
+  auto v = MakeSeasonalSeries(120, 12, 4.0, 0.0, 0.1);
+  NLinearForecaster f(1e-4);
+  FitContext ctx;
+  ctx.horizon = 6;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  auto base = f.Forecast(6).ValueOrDie();
+  // Shift history by a constant: forecasts shift by the same constant.
+  std::vector<double> shifted = v;
+  for (auto& x : shifted) x += 500.0;
+  auto moved = f.ForecastFrom(shifted, 6).ValueOrDie();
+  for (size_t h = 0; h < 6; ++h) {
+    EXPECT_NEAR(moved[h] - base[h], 500.0, 1e-6);
+  }
+}
+
+TEST(DLinear, TracksTrendPlusSeason) {
+  auto v = MakeSeasonalSeries(144, 12, 5.0, 0.3, 0.15);
+  std::vector<double> train(v.begin(), v.end() - 12);
+  std::vector<double> actual(v.end() - 12, v.end());
+  DLinearForecaster f(1e-3);
+  FitContext ctx;
+  ctx.horizon = 12;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f.Fit(train, ctx).ok());
+  auto fc = f.Forecast(12).ValueOrDie();
+  double mae = 0.0;
+  for (size_t h = 0; h < 12; ++h) mae += std::fabs(fc[h] - actual[h]);
+  mae /= 12.0;
+  EXPECT_LT(mae, 1.5);
+}
+
+TEST(Knn, NearestPatternDrivesForecast) {
+  // Periodic sawtooth: the continuation of the matched pattern is exact.
+  std::vector<double> v;
+  for (int rep = 0; rep < 30; ++rep) {
+    for (int i = 0; i < 8; ++i) v.push_back(static_cast<double>(i));
+  }
+  KnnForecaster f(3);
+  FitContext ctx;
+  ctx.horizon = 4;
+  ctx.period_hint = 8;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  auto fc = f.Forecast(4).ValueOrDie();
+  // History ends at 7; continuation is 0,1,2,3.
+  EXPECT_NEAR(fc[0], 0.0, 0.5);
+  EXPECT_NEAR(fc[3], 3.0, 0.5);
+}
+
+TEST(Knn, SingleNeighborEqualsNearestContinuation) {
+  std::vector<double> v;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int i = 0; i < 6; ++i) v.push_back(i == 3 ? 10.0 : 0.0);
+  }
+  KnnForecaster f(1);
+  FitContext ctx;
+  ctx.horizon = 6;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  auto fc = f.Forecast(6).ValueOrDie();
+  for (double x : fc) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Gbdt, LearnsSquareWave) {
+  // A square wave is piecewise-constant — trees express it exactly while
+  // the phase logic is awkward for linear models.
+  std::vector<double> v;
+  for (int t = 0; t < 400; ++t) v.push_back(t % 8 < 4 ? 0.0 : 10.0);
+  GbdtForecaster::Options opt;
+  opt.lookback = 8;
+  GbdtForecaster f(opt);
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  EXPECT_EQ(f.num_trees(), opt.num_trees);
+
+  // Continuation: t = 400..407 -> 0,0,0,0,10,10,10,10.
+  auto fc = f.Forecast(8).ValueOrDie();
+  for (size_t h = 0; h < 8; ++h) {
+    double expected = (400 + h) % 8 < 4 ? 0.0 : 10.0;
+    EXPECT_NEAR(fc[h], expected, 2.0) << "h=" << h;
+  }
+  // Conditioning on an in-distribution history flips the prediction.
+  auto next_low = f.ForecastFrom({0, 0, 0, 0, 10, 10, 10, 10}, 1).ValueOrDie();
+  auto next_high = f.ForecastFrom({10, 10, 10, 10, 0, 0, 0, 0}, 1).ValueOrDie();
+  EXPECT_LT(next_low[0], 3.0);
+  EXPECT_GT(next_high[0], 7.0);
+}
+
+TEST(RegressionTree, SplitsOnInformativeFeature) {
+  // y depends on feature 1 only.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    double f1 = i % 2 == 0 ? 0.0 : 1.0;
+    x.push_back({static_cast<double>(i), f1});
+    y.push_back(f1 * 10.0);
+  }
+  RegressionTree tree;
+  RegressionTree::Options opt;
+  opt.max_depth = 2;
+  tree.Fit(x, y, opt);
+  EXPECT_NEAR(tree.Predict({50.0, 0.0}), 0.0, 0.5);
+  EXPECT_NEAR(tree.Predict({51.0, 1.0}), 10.0, 0.5);
+}
+
+TEST(RegressionTree, LeafWhenPure) {
+  std::vector<std::vector<double>> x = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {5, 5, 5, 5};
+  RegressionTree tree;
+  tree.Fit(x, y, {});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({9}), 5.0);
+}
+
+}  // namespace
+}  // namespace easytime::methods

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methods/arima.h"
+#include "methods/baselines.h"
+#include "methods/ets.h"
+#include "methods/exponential.h"
+#include "methods/theta.h"
+#include "test_util.h"
+
+namespace easytime::methods {
+namespace {
+
+using ::easytime::testing::MakeLinearSeries;
+using ::easytime::testing::MakeSeasonalSeries;
+
+TEST(Naive, RepeatsLastValue) {
+  NaiveForecaster f;
+  ASSERT_TRUE(f.Fit({1, 2, 3, 7}, {}).ok());
+  auto fc = f.Forecast(3).ValueOrDie();
+  EXPECT_EQ(fc, (std::vector<double>{7, 7, 7}));
+}
+
+TEST(Naive, ForecastBeforeFitFails) {
+  NaiveForecaster f;
+  EXPECT_FALSE(f.Forecast(2).ok());
+  EXPECT_FALSE(f.Fit({}, {}).ok());
+}
+
+TEST(Naive, ForecastFromUsesHistory) {
+  NaiveForecaster f;
+  ASSERT_TRUE(f.Fit({1, 2}, {}).ok());
+  auto fc = f.ForecastFrom({5, 9}, 2).ValueOrDie();
+  EXPECT_EQ(fc, (std::vector<double>{9, 9}));
+}
+
+TEST(SeasonalNaive, RepeatsCycle) {
+  SeasonalNaiveForecaster f(3);
+  ASSERT_TRUE(f.Fit({1, 2, 3, 4, 5, 6}, {}).ok());
+  auto fc = f.Forecast(5).ValueOrDie();
+  EXPECT_EQ(fc, (std::vector<double>{4, 5, 6, 4, 5}));
+}
+
+TEST(SeasonalNaive, UsesContextPeriodHint) {
+  SeasonalNaiveForecaster f;  // period from ctx
+  FitContext ctx;
+  ctx.period_hint = 2;
+  ASSERT_TRUE(f.Fit({10, 20, 30, 40}, ctx).ok());
+  auto fc = f.Forecast(3).ValueOrDie();
+  EXPECT_EQ(fc, (std::vector<double>{30, 40, 30}));
+}
+
+TEST(SeasonalNaive, FallsBackToNaiveWithoutPeriod) {
+  SeasonalNaiveForecaster f;
+  ASSERT_TRUE(f.Fit({1, 2, 9}, {}).ok());
+  auto fc = f.Forecast(2).ValueOrDie();
+  EXPECT_EQ(fc, (std::vector<double>{9, 9}));
+}
+
+TEST(Drift, ExtrapolatesLine) {
+  DriftForecaster f;
+  ASSERT_TRUE(f.Fit({0, 2, 4, 6}, {}).ok());  // slope 2
+  auto fc = f.Forecast(3).ValueOrDie();
+  EXPECT_NEAR(fc[0], 8.0, 1e-9);
+  EXPECT_NEAR(fc[2], 12.0, 1e-9);
+}
+
+TEST(Mean, ForecastsHistoricalMean) {
+  MeanForecaster f;
+  ASSERT_TRUE(f.Fit({2, 4, 6}, {}).ok());
+  EXPECT_NEAR(f.Forecast(2).ValueOrDie()[1], 4.0, 1e-9);
+}
+
+TEST(WindowAverage, UsesTrailingWindow) {
+  WindowAverageForecaster f(2);
+  ASSERT_TRUE(f.Fit({100, 100, 2, 4}, {}).ok());
+  EXPECT_NEAR(f.Forecast(1).ValueOrDie()[0], 3.0, 1e-9);
+}
+
+TEST(Ses, FlatForecastTracksLevel) {
+  SesForecaster f(0.9);
+  ASSERT_TRUE(f.Fit({10, 10, 10, 20}, {}).ok());
+  auto fc = f.Forecast(2).ValueOrDie();
+  EXPECT_NEAR(fc[0], fc[1], 1e-12);
+  EXPECT_GT(fc[0], 15.0);  // pulled strongly toward the last value
+}
+
+TEST(Ses, OptimizedAlphaBeatsBadFixedAlpha) {
+  // Noisy constant level: small alpha is optimal.
+  Rng rng(1);
+  std::vector<double> v(200);
+  for (auto& x : v) x = 10.0 + rng.Gaussian(0.0, 1.0);
+  SesForecaster opt;
+  SesForecaster stiff(0.99);
+  ASSERT_TRUE(opt.Fit(v, {}).ok());
+  ASSERT_TRUE(stiff.Fit(v, {}).ok());
+  EXPECT_LE(opt.sse(), stiff.sse() + 1e-9);
+  EXPECT_LT(opt.alpha(), 0.5);
+}
+
+TEST(Holt, TracksLinearTrend) {
+  HoltForecaster f;
+  auto v = MakeLinearSeries(60, 5.0, 2.0);
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  auto fc = f.Forecast(5).ValueOrDie();
+  // Next values continue the line: 5 + 2*60 = 125 ...
+  EXPECT_NEAR(fc[0], 125.0, 1.0);
+  EXPECT_NEAR(fc[4], 133.0, 1.5);
+}
+
+TEST(HoltDamped, FlattensEventually) {
+  HoltForecaster damped(/*damped=*/true);
+  auto v = MakeLinearSeries(60, 0.0, 1.0);
+  ASSERT_TRUE(damped.Fit(v, {}).ok());
+  auto fc = damped.Forecast(200).ValueOrDie();
+  double late_growth = fc[199] - fc[198];
+  double early_growth = fc[1] - fc[0];
+  EXPECT_LT(late_growth, early_growth);  // damping shrinks increments
+}
+
+TEST(HoltWinters, RecoversSeasonalPattern) {
+  auto v = MakeSeasonalSeries(96, 12, 5.0, 0.1, 0.1);
+  HoltWintersForecaster f(HoltWintersForecaster::Seasonal::kAdditive);
+  FitContext ctx;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  auto fc = f.Forecast(12).ValueOrDie();
+  // Compare forecast shape against the known generator continuation.
+  auto full = MakeSeasonalSeries(108, 12, 5.0, 0.1, 0.1);
+  double err = 0.0;
+  for (size_t h = 0; h < 12; ++h) err += std::fabs(fc[h] - full[96 + h]);
+  EXPECT_LT(err / 12.0, 1.5);
+}
+
+TEST(HoltWinters, FallsBackWithoutEnoughData) {
+  HoltWintersForecaster f(HoltWintersForecaster::Seasonal::kAdditive);
+  FitContext ctx;
+  ctx.period_hint = 50;
+  ASSERT_TRUE(f.Fit(MakeLinearSeries(30, 1.0, 1.0), ctx).ok());
+  EXPECT_TRUE(f.Forecast(5).ok());  // Holt fallback
+}
+
+TEST(HoltWintersMultiplicative, RequiresPositiveData) {
+  std::vector<double> v = MakeSeasonalSeries(96, 12, 5.0);
+  for (auto& x : v) x -= 20.0;  // force negatives
+  HoltWintersForecaster f(HoltWintersForecaster::Seasonal::kMultiplicative);
+  FitContext ctx;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());  // falls back instead of exploding
+  auto fc = f.Forecast(6);
+  ASSERT_TRUE(fc.ok());
+  for (double x : *fc) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Theta, BeatsNaiveOnTrendingSeries) {
+  auto v = MakeSeasonalSeries(120, 12, 2.0, 0.5, 0.2);
+  std::vector<double> train(v.begin(), v.end() - 12);
+  std::vector<double> actual(v.end() - 12, v.end());
+
+  ThetaForecaster theta;
+  NaiveForecaster naive;
+  FitContext ctx;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(theta.Fit(train, ctx).ok());
+  ASSERT_TRUE(naive.Fit(train, ctx).ok());
+  auto tf = theta.Forecast(12).ValueOrDie();
+  auto nf = naive.Forecast(12).ValueOrDie();
+  double te = 0.0, ne = 0.0;
+  for (size_t h = 0; h < 12; ++h) {
+    te += std::fabs(tf[h] - actual[h]);
+    ne += std::fabs(nf[h] - actual[h]);
+  }
+  EXPECT_LT(te, ne);
+}
+
+TEST(Theta, RejectsTooShortSeries) {
+  ThetaForecaster f;
+  EXPECT_FALSE(f.Fit({1, 2, 3}, {}).ok());
+}
+
+TEST(Ar, RecoversCoefficients) {
+  // AR(2): y_t = 0.6 y_{t-1} - 0.3 y_{t-2} + eps.
+  Rng rng(13);
+  std::vector<double> v(600, 0.0);
+  for (size_t t = 2; t < v.size(); ++t) {
+    v[t] = 0.6 * v[t - 1] - 0.3 * v[t - 2] + rng.Gaussian(0.0, 0.5);
+  }
+  ArForecaster f(2);
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  ASSERT_EQ(f.order(), 2u);
+  EXPECT_NEAR(f.coefficients()[0], 0.6, 0.1);
+  EXPECT_NEAR(f.coefficients()[1], -0.3, 0.1);
+}
+
+TEST(Ar, AicSelectsReasonableOrder) {
+  Rng rng(17);
+  std::vector<double> v(400, 0.0);
+  for (size_t t = 1; t < v.size(); ++t) {
+    v[t] = 0.8 * v[t - 1] + rng.Gaussian(0.0, 0.3);
+  }
+  ArForecaster f;  // auto order
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  EXPECT_GE(f.order(), 1u);
+  EXPECT_LE(f.order(), 4u);
+}
+
+TEST(Ar, ForecastDecaysTowardMean) {
+  Rng rng(19);
+  std::vector<double> v(300, 0.0);
+  for (size_t t = 1; t < v.size(); ++t) {
+    v[t] = 0.7 * v[t - 1] + rng.Gaussian(0.0, 0.2);
+  }
+  ArForecaster f(1);
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  auto fc = f.Forecast(50).ValueOrDie();
+  EXPECT_LT(std::fabs(fc[49]), std::fabs(fc[0]) + 0.5);
+}
+
+TEST(Arima, HandlesIntegratedSeries) {
+  // Random walk with drift: ARIMA(0,1,0)-ish; d=1 should capture the drift.
+  Rng rng(23);
+  std::vector<double> v(300);
+  double acc = 0.0;
+  for (size_t t = 0; t < v.size(); ++t) {
+    acc += 0.5 + rng.Gaussian(0.0, 0.3);
+    v[t] = acc;
+  }
+  ArimaForecaster f(1, 1, 1);
+  ASSERT_TRUE(f.Fit(v, {}).ok());
+  auto fc = f.Forecast(10).ValueOrDie();
+  // Forecast continues upward at roughly the drift rate.
+  EXPECT_GT(fc[9], fc[0]);
+  EXPECT_NEAR(fc[9] - fc[0], 0.5 * 9, 2.0);
+}
+
+TEST(Arima, RejectsTooShortSeries) {
+  ArimaForecaster f(2, 1, 1);
+  EXPECT_FALSE(f.Fit({1, 2, 3, 4, 5}, {}).ok());
+}
+
+TEST(EtsAuto, PicksSeasonalModelForSeasonalData) {
+  auto v = MakeSeasonalSeries(120, 12, 6.0, 0.0, 0.2);
+  EtsAutoForecaster f;
+  FitContext ctx;
+  ctx.period_hint = 12;
+  ASSERT_TRUE(f.Fit(v, ctx).ok());
+  EXPECT_TRUE(f.selected() == "holt_winters_add" ||
+              f.selected() == "holt_winters_mul")
+      << f.selected();
+}
+
+TEST(EtsAuto, PicksNonSeasonalForLine) {
+  EtsAutoForecaster f;
+  ASSERT_TRUE(f.Fit(MakeLinearSeries(60, 1.0, 1.0), {}).ok());
+  EXPECT_TRUE(f.selected() == "holt" || f.selected() == "holt_damped")
+      << f.selected();
+  auto fc = f.Forecast(3).ValueOrDie();
+  EXPECT_NEAR(fc[0], 61.0, 1.0);
+}
+
+}  // namespace
+}  // namespace easytime::methods

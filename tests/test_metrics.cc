@@ -1,0 +1,111 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easytime::eval {
+namespace {
+
+const std::vector<double> kActual = {2.0, 4.0, 6.0};
+const std::vector<double> kPred = {1.0, 4.0, 8.0};
+
+TEST(Metrics, MaeKnown) { EXPECT_DOUBLE_EQ(Mae(kActual, kPred), 1.0); }
+
+TEST(Metrics, MseRmseKnown) {
+  EXPECT_DOUBLE_EQ(Mse(kActual, kPred), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(Rmse(kActual, kPred), std::sqrt(5.0 / 3.0));
+}
+
+TEST(Metrics, MapeKnownAndSkipsZeros) {
+  // |1/2| + |0/4| + |2/6| over 3 -> *100
+  EXPECT_NEAR(Mape(kActual, kPred), 100.0 * (0.5 + 0.0 + 1.0 / 3.0) / 3.0,
+              1e-9);
+  EXPECT_NEAR(Mape({0.0, 2.0}, {5.0, 1.0}), 100.0 * 0.5, 1e-9);
+}
+
+TEST(Metrics, SmapeSymmetric) {
+  double a = Smape({2.0}, {4.0});
+  double b = Smape({4.0}, {2.0});
+  EXPECT_NEAR(a, b, 1e-12);
+  EXPECT_NEAR(a, 100.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, WapeKnown) {
+  EXPECT_NEAR(Wape(kActual, kPred), 100.0 * 3.0 / 12.0, 1e-9);
+}
+
+TEST(Metrics, MaseScalesBySeasonalNaive) {
+  MetricContext ctx;
+  ctx.train = {1, 2, 3, 4, 5, 6};
+  ctx.period = 1;  // naive scale = mean |diff| = 1
+  EXPECT_NEAR(Mase(kActual, kPred, ctx), 1.0, 1e-9);
+  ctx.period = 2;  // |3-1|,|4-2|... = 2
+  EXPECT_NEAR(Mase(kActual, kPred, ctx), 0.5, 1e-9);
+  // Insufficient train -> NaN.
+  ctx.train = {1.0};
+  EXPECT_TRUE(std::isnan(Mase(kActual, kPred, ctx)));
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  EXPECT_DOUBLE_EQ(R2(kActual, kActual), 1.0);
+  std::vector<double> mean_pred(3, 4.0);
+  EXPECT_NEAR(R2(kActual, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, MaxAndMedianErrors) {
+  EXPECT_DOUBLE_EQ(MaxError(kActual, kPred), 2.0);
+  EXPECT_DOUBLE_EQ(MedianAe(kActual, kPred), 1.0);
+}
+
+TEST(Metrics, MismatchedLengthsReturnNan) {
+  EXPECT_TRUE(std::isnan(Mae({1.0}, {1.0, 2.0})));
+  EXPECT_TRUE(std::isnan(Mse({}, {})));
+}
+
+TEST(MetricRegistry, BuiltinsPresent) {
+  auto& r = MetricRegistry::Global();
+  for (const char* name : {"mae", "mse", "rmse", "mape", "smape", "wape",
+                           "mase", "r2", "max_error", "median_ae"}) {
+    EXPECT_TRUE(r.Contains(name)) << name;
+  }
+  EXPECT_TRUE(r.HigherIsBetter("r2"));
+  EXPECT_FALSE(r.HigherIsBetter("mae"));
+}
+
+TEST(MetricRegistry, ComputeAndComputeAll) {
+  auto& r = MetricRegistry::Global();
+  EXPECT_DOUBLE_EQ(r.Compute("mae", kActual, kPred).ValueOrDie(), 1.0);
+  auto all = r.ComputeAll({"mae", "rmse"}, kActual, kPred).ValueOrDie();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all["mae"], 1.0);
+}
+
+TEST(MetricRegistry, ErrorsOnBadInput) {
+  auto& r = MetricRegistry::Global();
+  EXPECT_FALSE(r.Compute("unknown_metric", kActual, kPred).ok());
+  EXPECT_FALSE(r.Compute("mae", {1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(r.Compute("mae", {}, {}).ok());
+}
+
+TEST(MetricRegistry, CustomMetricRegistration) {
+  auto& r = MetricRegistry::Global();
+  if (!r.Contains("always_seven")) {
+    ASSERT_TRUE(r.Register("always_seven",
+                           [](const std::vector<double>&,
+                              const std::vector<double>&,
+                              const MetricContext&) { return 7.0; })
+                    .ok());
+  }
+  EXPECT_DOUBLE_EQ(r.Compute("always_seven", kActual, kPred).ValueOrDie(),
+                   7.0);
+  // Duplicate registration rejected.
+  EXPECT_FALSE(r.Register("always_seven",
+                          [](const std::vector<double>&,
+                             const std::vector<double>&,
+                             const MetricContext&) { return 0.0; })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace easytime::eval

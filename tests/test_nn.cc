@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+#include "test_util.h"
+
+namespace easytime::nn {
+namespace {
+
+using ::easytime::testing::GradCheck;
+
+TEST(Matrix, BasicOps) {
+  Matrix m(2, 3, 1.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 10.0);
+  m.Scale(2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+}
+
+TEST(Matrix, MatMulKnownResult) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, TransposeHadamardAxpy) {
+  Matrix a(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a.at(r, c) = static_cast<double>(r * 3 + c);
+  }
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), a.at(1, 2));
+
+  Matrix h = a.Hadamard(a);
+  EXPECT_DOUBLE_EQ(h.at(1, 2), 25.0);
+
+  Matrix b = a;
+  b.Axpy(2.0, a);
+  EXPECT_DOUBLE_EQ(b.at(1, 2), 15.0);
+}
+
+TEST(Matrix, XavierBounded) {
+  Rng rng(1);
+  Matrix m = Matrix::Xavier(10, 10, &rng);
+  double limit = std::sqrt(6.0 / 20.0);
+  for (double v : m.raw()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+// Gradient check helper: loss = sum(out .* G) for fixed random G, so
+// dL/dout = G exactly.
+double WeightedSum(const Matrix& out, const Matrix& g) {
+  double s = 0.0;
+  for (size_t i = 0; i < out.raw().size(); ++i) {
+    s += out.raw()[i] * g.raw()[i];
+  }
+  return s;
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  Linear layer(4, 3, &rng);
+  Matrix x = Matrix::Gaussian(5, 4, 1.0, &rng);
+  Matrix g = Matrix::Gaussian(5, 3, 1.0, &rng);
+
+  auto loss = [&]() { return WeightedSum(layer.Forward(x), g); };
+  for (Param* p : layer.Params()) {
+    auto grad = [&]() {
+      p->ZeroGrad();
+      layer.Forward(x);
+      layer.Backward(g);
+      return p->grad;
+    };
+    EXPECT_LT(GradCheck(&p->value, loss, grad), 1e-5);
+  }
+  // Input gradient.
+  auto loss_x = [&]() { return WeightedSum(layer.Forward(x), g); };
+  auto grad_x = [&]() {
+    layer.Forward(x);
+    return layer.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss_x, grad_x), 1e-5);
+}
+
+TEST(Activations, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  Matrix x = Matrix::Gaussian(4, 6, 1.0, &rng);
+  Matrix g = Matrix::Gaussian(4, 6, 1.0, &rng);
+
+  // ReLU at nonzero inputs (avoid the kink).
+  for (auto& v : x.raw()) {
+    if (std::fabs(v) < 0.1) v = 0.5;
+  }
+  ReLU relu;
+  auto loss_r = [&]() { return WeightedSum(relu.Forward(x), g); };
+  auto grad_r = [&]() {
+    relu.Forward(x);
+    return relu.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss_r, grad_r), 1e-5);
+
+  Tanh tanh_layer;
+  auto loss_t = [&]() { return WeightedSum(tanh_layer.Forward(x), g); };
+  auto grad_t = [&]() {
+    tanh_layer.Forward(x);
+    return tanh_layer.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss_t, grad_t), 1e-5);
+
+  Sigmoid sig;
+  auto loss_s = [&]() { return WeightedSum(sig.Forward(x), g); };
+  auto grad_s = [&]() {
+    sig.Forward(x);
+    return sig.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss_s, grad_s), 1e-5);
+}
+
+TEST(CausalConv1d, OutputShapeAndCausality) {
+  Rng rng(4);
+  CausalConv1d conv(1, 2, 3, 2, &rng);
+  Matrix x(10, 1);
+  x.at(9, 0) = 1.0;  // impulse at the last step
+  Matrix out = conv.Forward(x);
+  EXPECT_EQ(out.rows(), 10u);
+  EXPECT_EQ(out.cols(), 2u);
+  // Impulse at t=9 must not affect outputs before t=9 beyond the bias.
+  Matrix zero_in(10, 1);
+  Matrix base = conv.Forward(zero_in);
+  Matrix out2 = conv.Forward(x);
+  for (size_t t = 0; t < 9; ++t) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(out2.at(t, c), base.at(t, c));
+    }
+  }
+}
+
+TEST(CausalConv1d, GradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  CausalConv1d conv(2, 3, 3, 2, &rng);
+  Matrix x = Matrix::Gaussian(8, 2, 1.0, &rng);
+  Matrix g = Matrix::Gaussian(8, 3, 1.0, &rng);
+
+  auto loss = [&]() { return WeightedSum(conv.Forward(x), g); };
+  for (Param* p : conv.Params()) {
+    auto grad = [&]() {
+      p->ZeroGrad();
+      conv.Forward(x);
+      conv.Backward(g);
+      return p->grad;
+    };
+    EXPECT_LT(GradCheck(&p->value, loss, grad), 1e-5);
+  }
+  auto grad_x = [&]() {
+    conv.Forward(x);
+    return conv.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss, grad_x), 1e-5);
+}
+
+TEST(ResidualConvBlock, GradientsMatchFiniteDifferences) {
+  Rng rng(6);
+  ResidualConvBlock block(2, 4, 3, 1, &rng);  // channel change => 1x1 skip
+  Matrix x = Matrix::Gaussian(6, 2, 0.5, &rng);
+  Matrix g = Matrix::Gaussian(6, 4, 1.0, &rng);
+
+  auto loss = [&]() { return WeightedSum(block.Forward(x), g); };
+  auto params = block.Params();
+  ASSERT_GE(params.size(), 6u);
+  for (Param* p : params) {
+    auto grad = [&]() {
+      for (Param* q : block.Params()) q->ZeroGrad();
+      block.Forward(x);
+      block.Backward(g);
+      return p->grad;
+    };
+    EXPECT_LT(GradCheck(&p->value, loss, grad), 2e-4);
+  }
+}
+
+TEST(Sequential, ComposesForwardBackward) {
+  Rng rng(7);
+  Sequential net;
+  net.Add(std::make_unique<Linear>(3, 5, &rng));
+  net.Add(std::make_unique<Tanh>());
+  net.Add(std::make_unique<Linear>(5, 2, &rng));
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.Params().size(), 4u);
+
+  Matrix x = Matrix::Gaussian(4, 3, 1.0, &rng);
+  Matrix g = Matrix::Gaussian(4, 2, 1.0, &rng);
+  auto loss = [&]() { return WeightedSum(net.Forward(x), g); };
+  auto grad_x = [&]() {
+    net.Forward(x);
+    return net.Backward(g);
+  };
+  EXPECT_LT(GradCheck(&x, loss, grad_x), 1e-5);
+}
+
+TEST(Losses, MseKnownValueAndGradient) {
+  Matrix pred(1, 2);
+  pred.at(0, 0) = 1.0;
+  pred.at(0, 1) = 3.0;
+  Matrix target(1, 2);
+  target.at(0, 0) = 0.0;
+  target.at(0, 1) = 1.0;
+  auto [loss, grad] = MseLoss(pred, target);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 1), 2.0 * 2.0 / 2.0);
+}
+
+TEST(Losses, MaeKnownValue) {
+  Matrix pred(1, 2);
+  pred.at(0, 0) = 1.0;
+  pred.at(0, 1) = -1.0;
+  Matrix target(1, 2, 0.0);
+  auto [loss, grad] = MaeLoss(pred, target);
+  EXPECT_DOUBLE_EQ(loss, 1.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(grad.at(0, 1), -0.5);
+}
+
+TEST(Losses, SoftCrossEntropyGradientMatchesFd) {
+  Rng rng(8);
+  Matrix logits = Matrix::Gaussian(3, 4, 1.0, &rng);
+  Matrix targets(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    std::vector<double> raw = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                               rng.Uniform()};
+    double sum = raw[0] + raw[1] + raw[2] + raw[3];
+    for (size_t c = 0; c < 4; ++c) targets.at(r, c) = raw[c] / sum;
+  }
+  auto loss = [&]() { return SoftCrossEntropyLoss(logits, targets).first; };
+  auto grad = [&]() { return SoftCrossEntropyLoss(logits, targets).second; };
+  EXPECT_LT(GradCheck(&logits, loss, grad), 1e-5);
+}
+
+TEST(RowSoftmax, RowsSumToOne) {
+  Matrix logits(2, 3);
+  logits.at(0, 0) = 100.0;  // stability check
+  logits.at(1, 2) = -100.0;
+  Matrix p = RowSoftmax(logits);
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) sum += p.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Optimizers, SgdAndAdamReduceQuadraticLoss) {
+  for (int use_adam = 0; use_adam < 2; ++use_adam) {
+    Param p(Matrix(1, 2));
+    p.value.at(0, 0) = 5.0;
+    p.value.at(0, 1) = -3.0;
+    std::unique_ptr<Optimizer> opt;
+    if (use_adam) {
+      opt = std::make_unique<Adam>(std::vector<Param*>{&p}, 0.1);
+    } else {
+      opt = std::make_unique<Sgd>(std::vector<Param*>{&p}, 0.1, 0.9);
+    }
+    for (int i = 0; i < 200; ++i) {
+      // loss = ||p||^2, grad = 2p.
+      p.grad = p.value;
+      p.grad.Scale(2.0);
+      opt->Step();
+      opt->ZeroGrad();
+    }
+    EXPECT_NEAR(p.value.at(0, 0), 0.0, 1e-2) << "adam=" << use_adam;
+    EXPECT_NEAR(p.value.at(0, 1), 0.0, 1e-2) << "adam=" << use_adam;
+  }
+}
+
+TEST(Optimizers, ClipGradNormScales) {
+  Param p(Matrix(1, 2));
+  p.grad.at(0, 0) = 3.0;
+  p.grad.at(0, 1) = 4.0;  // norm 5
+  Sgd opt({&p}, 0.1);
+  opt.ClipGradNorm(1.0);
+  double norm = std::sqrt(p.grad.SquaredNorm());
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+  // Below threshold: untouched.
+  p.grad.at(0, 0) = 0.3;
+  p.grad.at(0, 1) = 0.4;
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(p.grad.at(0, 0), 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace easytime::nn

@@ -1,0 +1,92 @@
+#include "common/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easytime {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  auto res = NelderMead(f, {0.0, 0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(res.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(res.fx, 0.0, 1e-5);
+}
+
+TEST(NelderMead, Rosenbrock2d) {
+  auto f = [](const std::vector<double>& x) {
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  opts.tolerance = 1e-12;
+  auto res = NelderMead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](const std::vector<double>& x) {
+    return std::fabs(x[0] - 0.25);
+  };
+  auto res = NelderMead(f, {0.9});
+  EXPECT_NEAR(res.x[0], 0.25, 1e-3);
+}
+
+TEST(NelderMead, EmptyInputTrivial) {
+  auto res = NelderMead([](const std::vector<double>&) { return 1.0; }, {});
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.x.empty());
+}
+
+TEST(LearnSimplexWeights, RecoversDominantMember) {
+  // Member 0 equals the target exactly; member 1 is garbage.
+  std::vector<double> target = {1, 2, 3, 4, 5, 6};
+  std::vector<std::vector<double>> preds = {
+      target, {6, 5, 4, 3, 2, 1}};
+  auto w = LearnSimplexWeights(preds, target);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT((*w)[0], 0.9);
+  EXPECT_NEAR((*w)[0] + (*w)[1], 1.0, 1e-9);
+  EXPECT_GE((*w)[1], 0.0);
+}
+
+TEST(LearnSimplexWeights, MixtureRecovered) {
+  // target = 0.7*p0 + 0.3*p1.
+  std::vector<double> p0 = {1, 0, 2, 1, 3, 0, 1, 2};
+  std::vector<double> p1 = {0, 2, 1, 3, 0, 2, 2, 0};
+  std::vector<double> target(p0.size());
+  for (size_t i = 0; i < p0.size(); ++i) target[i] = 0.7 * p0[i] + 0.3 * p1[i];
+  auto w = LearnSimplexWeights({p0, p1}, target, 2000, 0.5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 0.7, 0.05);
+  EXPECT_NEAR((*w)[1], 0.3, 0.05);
+}
+
+TEST(LearnSimplexWeights, ErrorsOnBadInput) {
+  EXPECT_FALSE(LearnSimplexWeights({}, {1.0}).ok());
+  EXPECT_FALSE(LearnSimplexWeights({{1.0, 2.0}}, {1.0}).ok());
+  EXPECT_FALSE(LearnSimplexWeights({{}}, {}).ok());
+}
+
+TEST(LearnSimplexWeights, StaysOnSimplex) {
+  std::vector<std::vector<double>> preds = {{1, 2, 3}, {3, 2, 1}, {2, 2, 2}};
+  auto w = LearnSimplexWeights(preds, {2, 2, 2});
+  ASSERT_TRUE(w.ok());
+  double sum = 0.0;
+  for (double wi : *w) {
+    EXPECT_GE(wi, 0.0);
+    sum += wi;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easytime

@@ -1,0 +1,100 @@
+#include "pipeline/plot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace easytime::pipeline {
+namespace {
+
+using ::easytime::testing::MakeLinearSeries;
+using ::easytime::testing::MakeSeasonalSeries;
+
+TEST(SeriesPlot, RendersGridOfExpectedSize) {
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 8;
+  auto v = MakeSeasonalSeries(200, 20, 5.0);
+  std::string plot = RenderSeriesPlot(v, opt);
+  // height rows + axis rule.
+  EXPECT_EQ(static_cast<size_t>(std::count(plot.begin(), plot.end(), '\n')),
+            opt.height + 1);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('|'), std::string::npos);
+}
+
+TEST(SeriesPlot, MinMaxLabelsPresent) {
+  std::vector<double> v = {0.0, 10.0, 5.0, 10.0, 0.0};
+  std::string plot = RenderSeriesPlot(v);
+  EXPECT_NE(plot.find("10.00"), std::string::npos);
+  EXPECT_NE(plot.find("0.00"), std::string::npos);
+}
+
+TEST(SeriesPlot, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(RenderSeriesPlot({}).empty());
+  PlotOptions tiny;
+  tiny.height = 1;
+  EXPECT_TRUE(RenderSeriesPlot({1.0, 2.0}, tiny).empty());
+  // Constant series must not divide by zero.
+  std::string flat = RenderSeriesPlot({3.0, 3.0, 3.0});
+  EXPECT_NE(flat.find('*'), std::string::npos);
+}
+
+TEST(SeriesPlot, DownsamplesLongSeries) {
+  PlotOptions opt;
+  opt.width = 30;
+  opt.height = 6;
+  auto v = MakeLinearSeries(5000, 0.0, 1.0);
+  std::string plot = RenderSeriesPlot(v, opt);
+  // Each rendered row is width + label prefix; the plot terminates.
+  EXPECT_FALSE(plot.empty());
+  // Monotone line: the '*' column positions ascend from bottom-left to
+  // top-right; check the first row (top) has its mark near the right edge.
+  size_t first_newline = plot.find('\n');
+  std::string top_row = plot.substr(0, first_newline);
+  size_t star = top_row.rfind('*');
+  ASSERT_NE(star, std::string::npos);
+  EXPECT_GT(star, top_row.size() / 2);
+}
+
+TEST(ForecastPlot, ContainsAllThreeMarkSets) {
+  auto history = MakeSeasonalSeries(120, 12, 5.0);
+  std::vector<double> actual(history.end() - 12, history.end());
+  std::vector<double> forecast = actual;
+  for (auto& v : forecast) v += 0.5;
+  std::vector<double> past(history.begin(), history.end() - 12);
+
+  std::string plot = RenderForecastPlot(past, actual, forecast);
+  EXPECT_NE(plot.find('.'), std::string::npos);  // history
+  EXPECT_NE(plot.find('x'), std::string::npos);  // forecast
+  EXPECT_NE(plot.find("history"), std::string::npos);  // legend
+}
+
+TEST(ForecastPlot, OverlapUsesDistinctGlyph) {
+  // Identical actual and forecast -> every mark overlaps.
+  std::vector<double> past = MakeLinearSeries(50, 0.0, 1.0);
+  std::vector<double> cont = {50, 51, 52, 53};
+  std::string plot = RenderForecastPlot(past, cont, cont);
+  EXPECT_NE(plot.find('@'), std::string::npos);
+}
+
+TEST(ForecastPlot, WorksWithoutActuals) {
+  std::vector<double> past = MakeLinearSeries(50, 0.0, 1.0);
+  std::vector<double> forecast = {50, 51, 52};
+  std::string plot = RenderForecastPlot(past, {}, forecast);
+  EXPECT_NE(plot.find('x'), std::string::npos);
+  EXPECT_TRUE(RenderForecastPlot(past, {}, {}).empty());
+}
+
+TEST(ForecastPlot, SharedScaleCoversAllInputs) {
+  // Forecast far above history: the top label must reflect the forecast.
+  std::vector<double> past(50, 1.0);
+  std::vector<double> forecast = {100.0, 100.0};
+  std::string plot = RenderForecastPlot(past, {}, forecast);
+  EXPECT_NE(plot.find("100.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easytime::pipeline

@@ -1,0 +1,240 @@
+// Property-style invariant tests (TEST_P sweeps): metric identities, scaler
+// round-trips, SQL executor algebra, and evaluation-protocol invariants,
+// checked across randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "methods/baselines.h"
+#include "sql/executor.h"
+#include "test_util.h"
+#include "tsdata/scaler.h"
+
+namespace easytime {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    actual_.resize(64);
+    pred_.resize(64);
+    for (size_t i = 0; i < actual_.size(); ++i) {
+      actual_[i] = rng.Uniform(1.0, 20.0);  // positive for MAPE-family
+      pred_[i] = actual_[i] + rng.Gaussian(0.0, 2.0);
+    }
+  }
+  std::vector<double> actual_, pred_;
+};
+
+TEST_P(MetricPropertyTest, PerfectForecastIsZeroOrOne) {
+  EXPECT_DOUBLE_EQ(eval::Mae(actual_, actual_), 0.0);
+  EXPECT_DOUBLE_EQ(eval::Mse(actual_, actual_), 0.0);
+  EXPECT_DOUBLE_EQ(eval::Smape(actual_, actual_), 0.0);
+  EXPECT_DOUBLE_EQ(eval::Wape(actual_, actual_), 0.0);
+  EXPECT_DOUBLE_EQ(eval::R2(actual_, actual_), 1.0);
+}
+
+TEST_P(MetricPropertyTest, NonNegativityAndBounds) {
+  EXPECT_GE(eval::Mae(actual_, pred_), 0.0);
+  EXPECT_GE(eval::Mse(actual_, pred_), 0.0);
+  EXPECT_GE(eval::Smape(actual_, pred_), 0.0);
+  EXPECT_LE(eval::Smape(actual_, pred_), 200.0);  // sMAPE's hard ceiling
+  EXPECT_LE(eval::R2(actual_, pred_), 1.0);
+  EXPECT_GE(eval::MaxError(actual_, pred_), eval::Mae(actual_, pred_));
+  EXPECT_GE(eval::Rmse(actual_, pred_), eval::Mae(actual_, pred_));  // Jensen
+}
+
+TEST_P(MetricPropertyTest, ScaleInvarianceFamilies) {
+  // Percentage metrics are invariant to multiplicative rescaling.
+  std::vector<double> a2 = actual_, p2 = pred_;
+  for (auto& v : a2) v *= 37.0;
+  for (auto& v : p2) v *= 37.0;
+  EXPECT_NEAR(eval::Smape(actual_, pred_), eval::Smape(a2, p2), 1e-9);
+  EXPECT_NEAR(eval::Mape(actual_, pred_), eval::Mape(a2, p2), 1e-9);
+  EXPECT_NEAR(eval::Wape(actual_, pred_), eval::Wape(a2, p2), 1e-9);
+  // Absolute metrics scale linearly / quadratically.
+  EXPECT_NEAR(eval::Mae(a2, p2), 37.0 * eval::Mae(actual_, pred_), 1e-6);
+  EXPECT_NEAR(eval::Mse(a2, p2), 37.0 * 37.0 * eval::Mse(actual_, pred_),
+              1e-4);
+  // MASE is scale-free (train scales identically).
+  eval::MetricContext ctx1, ctx2;
+  ctx1.train = actual_;
+  ctx1.period = 1;
+  ctx2.train = a2;
+  ctx2.period = 1;
+  EXPECT_NEAR(eval::Mase(actual_, pred_, ctx1), eval::Mase(a2, p2, ctx2),
+              1e-9);
+}
+
+TEST_P(MetricPropertyTest, MaeSymmetry) {
+  EXPECT_NEAR(eval::Mae(actual_, pred_), eval::Mae(pred_, actual_), 1e-12);
+  EXPECT_NEAR(eval::Mse(actual_, pred_), eval::Mse(pred_, actual_), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------- scalers
+
+class ScalerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScalerPropertyTest, RoundTripIsIdentity) {
+  Rng rng(GetParam());
+  std::vector<double> train(100), other(50);
+  for (auto& v : train) v = rng.Gaussian(10.0, 5.0);
+  for (auto& v : other) v = rng.Uniform(-100.0, 100.0);
+  for (const char* name : {"zscore", "minmax", "none"}) {
+    auto scaler = tsdata::MakeScaler(name).ValueOrDie();
+    ASSERT_TRUE(scaler->Fit(train).ok());
+    auto round = scaler->Inverse(scaler->Transform(other));
+    for (size_t i = 0; i < other.size(); ++i) {
+      EXPECT_NEAR(round[i], other[i], 1e-9) << name;
+    }
+  }
+}
+
+TEST_P(ScalerPropertyTest, TransformIsMonotone) {
+  Rng rng(GetParam() + 100);
+  std::vector<double> train(60);
+  for (auto& v : train) v = rng.Gaussian(0.0, 3.0);
+  for (const char* name : {"zscore", "minmax"}) {
+    auto scaler = tsdata::MakeScaler(name).ValueOrDie();
+    ASSERT_TRUE(scaler->Fit(train).ok());
+    auto t = scaler->Transform({-5.0, -1.0, 0.0, 2.0, 9.0});
+    for (size_t i = 1; i < t.size(); ++i) {
+      EXPECT_LT(t[i - 1], t[i]) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalerPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------- SQL
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        sql::ExecuteQuery(&db_, "CREATE TABLE t (k TEXT, v REAL, g INTEGER)")
+            .ok());
+    Rng rng(GetParam());
+    for (int i = 0; i < 60; ++i) {
+      std::string stmt = "INSERT INTO t VALUES ('k" +
+                         std::to_string(rng.UniformInt(0, 9)) + "', " +
+                         FormatDouble(rng.Uniform(0.0, 10.0), 4) + ", " +
+                         std::to_string(rng.UniformInt(0, 3)) + ")";
+      ASSERT_TRUE(sql::ExecuteQuery(&db_, stmt).ok());
+    }
+  }
+  sql::ResultSet Q(const std::string& q) {
+    auto r = sql::ExecuteQuery(&db_, q);
+    EXPECT_TRUE(r.ok()) << q;
+    return r.ok() ? std::move(*r) : sql::ResultSet{};
+  }
+  sql::Database db_;
+};
+
+TEST_P(SqlPropertyTest, LimitIsPrefixOfUnlimited) {
+  auto all = Q("SELECT k, v FROM t ORDER BY v ASC, k ASC");
+  auto limited = Q("SELECT k, v FROM t ORDER BY v ASC, k ASC LIMIT 10");
+  ASSERT_EQ(limited.rows.size(), 10u);
+  for (size_t i = 0; i < limited.rows.size(); ++i) {
+    EXPECT_TRUE(limited.rows[i][0].GroupEquals(all.rows[i][0]));
+    EXPECT_TRUE(limited.rows[i][1].GroupEquals(all.rows[i][1]));
+  }
+}
+
+TEST_P(SqlPropertyTest, CountPartitionsUnderGroupBy) {
+  auto total = Q("SELECT COUNT(*) FROM t");
+  auto grouped = Q("SELECT g, COUNT(*) AS n FROM t GROUP BY g");
+  int64_t sum = 0;
+  for (const auto& row : grouped.rows) sum += row[1].AsInteger();
+  EXPECT_EQ(sum, total.rows[0][0].AsInteger());
+}
+
+TEST_P(SqlPropertyTest, WherePartitionsByComplement) {
+  auto lt = Q("SELECT COUNT(*) FROM t WHERE v < 5.0");
+  auto ge = Q("SELECT COUNT(*) FROM t WHERE v >= 5.0");
+  EXPECT_EQ(lt.rows[0][0].AsInteger() + ge.rows[0][0].AsInteger(), 60);
+}
+
+TEST_P(SqlPropertyTest, OrderByIsSorted) {
+  auto rs = Q("SELECT v FROM t ORDER BY v DESC");
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    EXPECT_GE(rs.rows[i - 1][0].ToDouble(), rs.rows[i][0].ToDouble());
+  }
+}
+
+TEST_P(SqlPropertyTest, AvgBetweenMinAndMax) {
+  auto rs = Q("SELECT MIN(v), AVG(v), MAX(v) FROM t");
+  double mn = rs.rows[0][0].ToDouble();
+  double av = rs.rows[0][1].ToDouble();
+  double mx = rs.rows[0][2].ToDouble();
+  EXPECT_LE(mn, av);
+  EXPECT_LE(av, mx);
+}
+
+TEST_P(SqlPropertyTest, DistinctNeverIncreasesRows) {
+  auto all = Q("SELECT k FROM t");
+  auto distinct = Q("SELECT DISTINCT k FROM t");
+  EXPECT_LE(distinct.rows.size(), all.rows.size());
+  EXPECT_GE(distinct.rows.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Values(7, 17, 27));
+
+// ------------------------------------------------------------- evaluation
+
+TEST(EvaluationProperty, RollingWithOneWindowMatchesFixed) {
+  // When the test segment holds exactly one horizon, rolling == fixed for a
+  // method whose ForecastFrom(full history) equals Forecast after Fit.
+  auto v = testing::MakeSeasonalSeries(120, 12, 4.0, 0.1, 0.3);
+  eval::EvalConfig cfg;
+  cfg.horizon = 24;  // test segment = 20% of 120 = 24 points exactly
+  cfg.split = tsdata::SplitSpec{0.7, 0.1, 0.2};
+  cfg.metrics = {"mae"};
+
+  methods::NaiveForecaster naive_fixed, naive_rolling;
+  cfg.strategy = eval::Strategy::kFixed;
+  auto fixed = eval::Evaluator(cfg).EvaluateValues(&naive_fixed, v)
+                   .ValueOrDie();
+  cfg.strategy = eval::Strategy::kRolling;
+  auto rolling = eval::Evaluator(cfg).EvaluateValues(&naive_rolling, v)
+                     .ValueOrDie();
+  EXPECT_EQ(rolling.num_windows, 1u);
+  EXPECT_NEAR(fixed.metrics.at("mae"), rolling.metrics.at("mae"), 1e-9);
+}
+
+TEST(EvaluationProperty, MoreNoiseNeverHelpsNaive) {
+  // Adding observation noise cannot improve the naive forecaster's MAE (in
+  // expectation; checked across seeds with a tolerance).
+  eval::EvalConfig cfg;
+  cfg.horizon = 12;
+  cfg.metrics = {"mae"};
+  double clean_sum = 0, noisy_sum = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto clean = testing::MakeSeasonalSeries(200, 12, 5.0, 0.0, 0.0, seed);
+    auto noisy = testing::MakeSeasonalSeries(200, 12, 5.0, 0.0, 2.0, seed);
+    methods::NaiveForecaster f1, f2;
+    clean_sum += eval::Evaluator(cfg).EvaluateValues(&f1, clean)
+                     .ValueOrDie()
+                     .metrics.at("mae");
+    noisy_sum += eval::Evaluator(cfg).EvaluateValues(&f2, noisy)
+                     .ValueOrDie()
+                     .metrics.at("mae");
+  }
+  EXPECT_LT(clean_sum, noisy_sum);
+}
+
+}  // namespace
+}  // namespace easytime

@@ -1,0 +1,204 @@
+#include "qa/qa_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easytime::qa {
+namespace {
+
+class QaEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tsdata::SuiteSpec suite;
+    suite.univariate_per_domain = 1;
+    suite.multivariate_total = 2;
+    suite.min_length = 160;
+    suite.max_length = 200;
+    eval::EvalConfig cfg;
+    cfg.horizon = 24;  // "long-term" per the NL2SQL boundary
+    cfg.metrics = {"mae", "rmse"};
+    auto seeded = knowledge::SeedKnowledge(suite, cfg,
+                                           {"naive", "theta", "ses", "drift"});
+    ASSERT_TRUE(seeded.ok());
+    seeded_ = new knowledge::SeededKnowledge(std::move(*seeded));
+    auto engine = QaEngine::Create(seeded_->kb);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete seeded_;
+    engine_ = nullptr;
+    seeded_ = nullptr;
+  }
+
+  static knowledge::SeededKnowledge* seeded_;
+  static QaEngine* engine_;
+};
+
+knowledge::SeededKnowledge* QaEngineTest::seeded_ = nullptr;
+QaEngine* QaEngineTest::engine_ = nullptr;
+
+TEST_F(QaEngineTest, TopKQuestionEndToEnd) {
+  auto resp = engine_->Ask(
+      "What are the top-3 methods (ordered by MAE) for long term "
+      "forecasting?");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->verified);
+  EXPECT_EQ(resp->table.rows.size(), 3u);
+  EXPECT_NE(resp->answer.find("Top 3 methods by MAE"), std::string::npos);
+  EXPECT_EQ(resp->chart.type, ChartType::kBar);
+  EXPECT_EQ(resp->chart.labels.size(), 3u);
+  EXPECT_NE(resp->sql.find("LIMIT 3"), std::string::npos);
+  EXPECT_GE(resp->seconds, 0.0);
+}
+
+TEST_F(QaEngineTest, BestMethodPhrasing) {
+  auto resp = engine_->Ask("Which method is best by mae?");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->table.rows.size(), 1u);
+  EXPECT_NE(resp->answer.find("The best method by MAE"), std::string::npos);
+}
+
+TEST_F(QaEngineTest, ComparisonAnswerNamesWinner) {
+  auto resp = engine_->Ask("Is theta or naive better by mae?");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->table.rows.size(), 2u);
+  EXPECT_NE(resp->answer.find("beats"), std::string::npos);
+}
+
+TEST_F(QaEngineTest, DomainBreakdownUsesChart) {
+  auto resp = engine_->Ask("How many datasets per domain?");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->table.rows.size(), 10u);
+  EXPECT_EQ(resp->chart.type, ChartType::kPie);
+}
+
+TEST_F(QaEngineTest, CountQuestion) {
+  auto resp = engine_->Ask("How many datasets have strong seasonality?");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->table.rows.size(), 1u);
+  EXPECT_NE(resp->answer.find("datasets match"), std::string::npos);
+}
+
+TEST_F(QaEngineTest, FamilyRankingEndToEnd) {
+  auto resp = engine_->Ask(
+      "Is the statistical or deep family better for long term forecasting?");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  // Only statistical methods were seeded here, so one family row returns —
+  // the point is the three-table join executes and phrases an answer.
+  EXPECT_FALSE(resp->table.rows.empty());
+  EXPECT_EQ(resp->table.columns[0], "family");
+  EXPECT_NE(resp->answer.find("Ranking method families"), std::string::npos);
+}
+
+TEST_F(QaEngineTest, ListMethodsTable) {
+  auto resp = engine_->Ask("Which methods are available?");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GE(resp->table.rows.size(), 20u);
+}
+
+TEST_F(QaEngineTest, UnsupportedQuestionRejectedBeforeExecution) {
+  auto resp = engine_->Ask("Will the sales in Shanghai increase next month?");
+  EXPECT_FALSE(resp.ok());
+  // The failed question still lands in history with no SQL run.
+  bool found = false;
+  for (const auto& h : engine_->history()) {
+    if (h.question.find("Shanghai") != std::string::npos) {
+      found = true;
+      EXPECT_FALSE(h.ok);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(QaEngineTest, RawSqlPathVerifies) {
+  auto ok = engine_->AskSql(
+      "SELECT name, domain FROM datasets ORDER BY name LIMIT 5");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->table.rows.size(), 5u);
+
+  EXPECT_FALSE(engine_->AskSql("SELECT ghost FROM datasets").ok());
+  EXPECT_FALSE(engine_->AskSql("DROP TABLE datasets").ok());
+}
+
+TEST_F(QaEngineTest, ResponseRendersAndSerializes) {
+  auto resp = engine_->Ask("top-3 methods by mae").ValueOrDie();
+  std::string text = resp.Render();
+  EXPECT_NE(text.find("Q: "), std::string::npos);
+  EXPECT_NE(text.find("SQL: "), std::string::npos);
+
+  Json j = resp.ToJson();
+  EXPECT_TRUE(j.Has("answer"));
+  EXPECT_TRUE(j.Has("sql"));
+  EXPECT_TRUE(j.Has("chart"));
+  EXPECT_EQ(j.Get("rows").size(), resp.table.rows.size());
+  // Serialized JSON is itself parseable.
+  EXPECT_TRUE(Json::Parse(j.Dump(2)).ok());
+}
+
+TEST_F(QaEngineTest, HistoryAccumulates) {
+  size_t before = engine_->history().size();
+  (void)engine_->Ask("top-2 methods by rmse");
+  EXPECT_EQ(engine_->history().size(), before + 1);
+  EXPECT_TRUE(engine_->history().back().ok);
+}
+
+TEST_F(QaEngineTest, SchemaDescriptionExposed) {
+  std::string schema = engine_->SchemaDescription();
+  EXPECT_NE(schema.find("results("), std::string::npos);
+  EXPECT_NE(schema.find("datasets("), std::string::npos);
+}
+
+TEST(ChartSpec, AsciiRenderingShapes) {
+  ChartSpec bar;
+  bar.type = ChartType::kBar;
+  bar.title = "demo";
+  bar.labels = {"a", "bb"};
+  bar.values = {1.0, 3.0};
+  std::string text = bar.RenderAscii(10);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+
+  ChartSpec pie;
+  pie.type = ChartType::kPie;
+  pie.labels = {"x", "y"};
+  pie.values = {1.0, 1.0};
+  EXPECT_NE(pie.RenderAscii(10).find("50.0%"), std::string::npos);
+
+  ChartSpec none;
+  EXPECT_TRUE(none.RenderAscii().empty());
+}
+
+TEST(SelectChart, ShapeDrivenSelection) {
+  sql::ResultSet ranking;
+  ranking.columns = {"method", "avg_mae"};
+  ranking.rows = {{sql::Value::Text("a"), sql::Value::Real(1.0)},
+                  {sql::Value::Text("b"), sql::Value::Real(2.0)}};
+  EXPECT_EQ(SelectChart(ranking, "t").type, ChartType::kBar);
+
+  sql::ResultSet counts;
+  counts.columns = {"domain", "dataset_count"};
+  counts.rows = {{sql::Value::Text("a"), sql::Value::Integer(3)},
+                 {sql::Value::Text("b"), sql::Value::Integer(5)}};
+  EXPECT_EQ(SelectChart(counts, "t").type, ChartType::kPie);
+
+  sql::ResultSet series;
+  series.columns = {"horizon", "value"};
+  series.rows = {{sql::Value::Integer(6), sql::Value::Real(1.0)},
+                 {sql::Value::Integer(12), sql::Value::Real(2.0)}};
+  EXPECT_EQ(SelectChart(series, "t").type, ChartType::kLine);
+
+  sql::ResultSet scalar;
+  scalar.columns = {"count"};
+  scalar.rows = {{sql::Value::Integer(7)}};
+  EXPECT_EQ(SelectChart(scalar, "t").type, ChartType::kNone);
+
+  sql::ResultSet empty;
+  empty.columns = {"a", "b"};
+  EXPECT_EQ(SelectChart(empty, "t").type, ChartType::kNone);
+}
+
+}  // namespace
+}  // namespace easytime::qa

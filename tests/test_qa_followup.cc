@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "qa/nl2sql.h"
+#include "qa/qa_engine.h"
+
+namespace easytime::qa {
+namespace {
+
+const std::vector<std::string> kMethods = {"naive", "theta", "gbdt", "holt"};
+const std::vector<std::string> kDomains = {
+    "traffic", "electricity", "energy", "environment", "nature",
+    "economic", "stock", "banking", "health", "web"};
+
+TranslatedQuestion T(const std::string& q,
+                     const TranslatedQuestion* prev = nullptr) {
+  auto r = TranslateQuestion(q, kMethods, kDomains, prev);
+  EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+  return r.ok() ? std::move(*r) : TranslatedQuestion{};
+}
+
+TEST(FollowUp, InheritsIntentAndOverlaysHorizon) {
+  auto first = T("top-5 methods by rmse on multivariate datasets with "
+                 "trends for long term forecasting");
+  auto follow = T("what about short term?", &first);
+  EXPECT_EQ(follow.intent, QuestionIntent::kTopKMethods);
+  EXPECT_EQ(follow.metric, "rmse");                 // inherited
+  EXPECT_EQ(follow.top_k, 5u);                      // inherited
+  EXPECT_TRUE(follow.filters.want_multivariate);    // inherited
+  EXPECT_TRUE(follow.filters.with_trend);           // inherited
+  EXPECT_EQ(follow.filters.horizon_class, "short"); // overlaid
+  EXPECT_NE(follow.sql.find("r.horizon <"), std::string::npos);
+  EXPECT_NE(follow.sql.find("d.multivariate = 1"), std::string::npos);
+}
+
+TEST(FollowUp, OverlaysMetricAndDomain) {
+  auto first = T("top-3 methods by mae on traffic datasets");
+  auto follow = T("and for web datasets by smape?", &first);
+  EXPECT_EQ(follow.metric, "smape");
+  EXPECT_EQ(follow.filters.domain, "web");
+  EXPECT_EQ(follow.top_k, 3u);
+  EXPECT_NE(follow.sql.find("d.domain = 'web'"), std::string::npos);
+  EXPECT_NE(follow.sql.find("smape"), std::string::npos);
+}
+
+TEST(FollowUp, ArityFlipsCleanly) {
+  auto first = T("top-4 methods on multivariate datasets");
+  auto follow = T("what about univariate?", &first);
+  EXPECT_TRUE(follow.filters.want_univariate);
+  EXPECT_FALSE(follow.filters.want_multivariate);
+  EXPECT_NE(follow.sql.find("d.multivariate = 0"), std::string::npos);
+}
+
+TEST(FollowUp, WithoutPreviousIsRejected) {
+  auto r = TranslateQuestion("what about short term?", kMethods, kDomains,
+                             nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FollowUp, NonFollowUpIgnoresPrevious) {
+  auto first = T("top-5 methods by rmse on multivariate datasets");
+  auto fresh = T("how many datasets have strong seasonality?", &first);
+  EXPECT_EQ(fresh.intent, QuestionIntent::kCountDatasets);
+  // No multivariate filter leaked from the previous question.
+  EXPECT_EQ(fresh.sql.find("multivariate"), std::string::npos);
+}
+
+TEST(FollowUp, ComparisonInheritsMethods) {
+  auto first = T("is theta or gbdt better by mae?");
+  auto follow = T("what about on seasonal datasets?", &first);
+  EXPECT_EQ(follow.intent, QuestionIntent::kCompareMethods);
+  EXPECT_NE(follow.sql.find("r.method IN ('theta', 'gbdt')"),
+            std::string::npos);
+  EXPECT_NE(follow.sql.find("d.seasonality >"), std::string::npos);
+}
+
+class FollowUpEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tsdata::SuiteSpec suite;
+    suite.univariate_per_domain = 1;
+    suite.multivariate_total = 1;
+    suite.min_length = 160;
+    suite.max_length = 200;
+    eval::EvalConfig cfg;
+    cfg.horizon = 24;
+    cfg.metrics = {"mae", "rmse"};
+    auto seeded =
+        knowledge::SeedKnowledge(suite, cfg, {"naive", "theta", "ses"});
+    ASSERT_TRUE(seeded.ok());
+    auto engine = QaEngine::Create(seeded->kb);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static QaEngine* engine_;
+};
+
+QaEngine* FollowUpEngineTest::engine_ = nullptr;
+
+TEST_F(FollowUpEngineTest, EndToEndConversation) {
+  auto first = engine_->Ask("top-3 methods by mae on univariate datasets");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NE(first->sql.find("d.multivariate = 0"), std::string::npos);
+
+  auto follow = engine_->Ask("what about multivariate?");
+  ASSERT_TRUE(follow.ok()) << follow.status().ToString();
+  EXPECT_NE(follow->sql.find("d.multivariate = 1"), std::string::npos);
+  EXPECT_NE(follow->sql.find("LIMIT 3"), std::string::npos);
+  EXPECT_FALSE(follow->table.rows.empty());
+}
+
+TEST_F(FollowUpEngineTest, FailedQuestionDoesNotBecomeContext) {
+  ASSERT_TRUE(engine_->Ask("top-2 methods by rmse").ok());
+  EXPECT_FALSE(engine_->Ask("tell me a story").ok());
+  // Context still points at the last *successful* question.
+  auto follow = engine_->Ask("what about by mae?");
+  ASSERT_TRUE(follow.ok());
+  EXPECT_NE(follow->sql.find("avg_mae"), std::string::npos);
+  EXPECT_NE(follow->sql.find("LIMIT 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easytime::qa

@@ -1,0 +1,99 @@
+#include "tsdata/repository.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace easytime::tsdata {
+namespace {
+
+Dataset MakeDs(const std::string& name, Domain domain, size_t channels = 1) {
+  Dataset ds(name);
+  ds.set_domain(domain);
+  for (size_t c = 0; c < channels; ++c) {
+    (void)ds.AddChannel(Series(name + "_ch" + std::to_string(c),
+                               {1.0, 2.0, 3.0, 4.0}));
+  }
+  return ds;
+}
+
+TEST(Repository, AddAndGet) {
+  Repository repo;
+  ASSERT_TRUE(repo.Add(MakeDs("a", Domain::kTraffic)).ok());
+  EXPECT_TRUE(repo.Contains("a"));
+  EXPECT_EQ(repo.size(), 1u);
+  auto ds = repo.Get("a");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->name(), "a");
+  EXPECT_FALSE(repo.Get("missing").ok());
+}
+
+TEST(Repository, RejectsDuplicatesAndInvalid) {
+  Repository repo;
+  ASSERT_TRUE(repo.Add(MakeDs("a", Domain::kWeb)).ok());
+  EXPECT_FALSE(repo.Add(MakeDs("a", Domain::kWeb)).ok());
+  EXPECT_FALSE(repo.Add(Dataset("")).ok());
+  EXPECT_FALSE(repo.Add(Dataset("empty")).ok());  // no channels
+}
+
+TEST(Repository, FiltersByDomainAndArity) {
+  Repository repo;
+  (void)repo.Add(MakeDs("t1", Domain::kTraffic));
+  (void)repo.Add(MakeDs("t2", Domain::kTraffic, 3));
+  (void)repo.Add(MakeDs("w1", Domain::kWeb));
+  EXPECT_EQ(repo.ByDomain(Domain::kTraffic).size(), 2u);
+  EXPECT_EQ(repo.ByDomain(Domain::kHealth).size(), 0u);
+  EXPECT_EQ(repo.ByArity(true).size(), 1u);
+  EXPECT_EQ(repo.ByArity(false).size(), 2u);
+  EXPECT_EQ(repo.All().size(), 3u);
+}
+
+TEST(Repository, PreservesRegistrationOrder) {
+  Repository repo;
+  (void)repo.Add(MakeDs("z", Domain::kWeb));
+  (void)repo.Add(MakeDs("a", Domain::kWeb));
+  EXPECT_EQ(repo.names(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(Repository, AddSuitePopulates) {
+  Repository repo;
+  SuiteSpec spec;
+  spec.univariate_per_domain = 1;
+  spec.multivariate_total = 2;
+  ASSERT_TRUE(repo.AddSuite(spec).ok());
+  EXPECT_EQ(repo.size(), static_cast<size_t>(kNumDomains) + 2u);
+}
+
+TEST(Repository, LoadDirectoryReadsCsvFiles) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "easytime_repo_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir / "one.csv");
+    f << "v\n1\n2\n3\n";
+  }
+  {
+    std::ofstream f(dir / "two.csv");
+    f << "a,b\n1,2\n3,4\n";
+  }
+  {
+    std::ofstream f(dir / "ignored.txt");
+    f << "not a csv";
+  }
+  Repository repo;
+  ASSERT_TRUE(repo.LoadDirectory(dir.string()).ok());
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_TRUE(repo.Contains("one"));
+  EXPECT_TRUE(repo.Contains("two"));
+  EXPECT_EQ((*repo.Get("two"))->num_channels(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(Repository, LoadDirectoryMissingIsError) {
+  Repository repo;
+  EXPECT_FALSE(repo.LoadDirectory("/definitely/not/a/dir").ok());
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace easytime {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  EXPECT_EQ(rng.UniformInt(5, 2), 5);  // degenerate clamps to lo
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);  // must not crash
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(19);
+  auto idx = rng.SampleIndices(10, 4);
+  EXPECT_EQ(idx.size(), 4u);
+  std::set<size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (size_t i : idx) EXPECT_LT(i, 10u);
+  // k > n clamps.
+  EXPECT_EQ(rng.SampleIndices(3, 10).size(), 3u);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(23);
+  Rng fork1 = a.Fork();
+  Rng b(23);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+}  // namespace
+}  // namespace easytime

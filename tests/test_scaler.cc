@@ -1,0 +1,76 @@
+#include "tsdata/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace easytime::tsdata {
+namespace {
+
+TEST(ZScoreScaler, NormalizesTrainToUnit) {
+  ZScoreScaler s;
+  std::vector<double> train = {2, 4, 6, 8};
+  ASSERT_TRUE(s.Fit(train).ok());
+  auto t = s.Transform(train);
+  EXPECT_NEAR(Mean(t), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(t), 1.0, 1e-12);
+}
+
+TEST(ZScoreScaler, InverseRoundTrips) {
+  ZScoreScaler s;
+  ASSERT_TRUE(s.Fit({1, 5, 9, 13}).ok());
+  std::vector<double> v = {-3.0, 0.0, 2.5, 100.0};
+  auto round = s.Inverse(s.Transform(v));
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(round[i], v[i], 1e-9);
+}
+
+TEST(ZScoreScaler, ConstantSeriesCentersOnly) {
+  ZScoreScaler s;
+  ASSERT_TRUE(s.Fit({5, 5, 5}).ok());
+  auto t = s.Transform({5, 6});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 1.0, 1e-12);  // stddev falls back to 1
+}
+
+TEST(ZScoreScaler, EmptyTrainRejected) {
+  ZScoreScaler s;
+  EXPECT_FALSE(s.Fit({}).ok());
+}
+
+TEST(MinMaxScaler, MapsTrainRangeToUnitInterval) {
+  MinMaxScaler s;
+  ASSERT_TRUE(s.Fit({10, 20, 30}).ok());
+  auto t = s.Transform({10, 20, 30, 40});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.5, 1e-12);
+  EXPECT_NEAR(t[2], 1.0, 1e-12);
+  EXPECT_NEAR(t[3], 1.5, 1e-12);  // extrapolates beyond train range
+}
+
+TEST(MinMaxScaler, InverseRoundTrips) {
+  MinMaxScaler s;
+  ASSERT_TRUE(s.Fit({-5, 0, 15}).ok());
+  std::vector<double> v = {-5, 3, 15, 20};
+  auto round = s.Inverse(s.Transform(v));
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(round[i], v[i], 1e-9);
+}
+
+TEST(IdentityScaler, PassThrough) {
+  IdentityScaler s;
+  ASSERT_TRUE(s.Fit({}).ok());  // identity accepts anything
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_EQ(s.Transform(v), v);
+  EXPECT_EQ(s.Inverse(v), v);
+}
+
+TEST(MakeScaler, Factory) {
+  EXPECT_EQ(MakeScaler("zscore").ValueOrDie()->name(), "zscore");
+  EXPECT_EQ(MakeScaler("standard").ValueOrDie()->name(), "zscore");
+  EXPECT_EQ(MakeScaler("minmax").ValueOrDie()->name(), "minmax");
+  EXPECT_EQ(MakeScaler("none").ValueOrDie()->name(), "none");
+  EXPECT_EQ(MakeScaler("").ValueOrDie()->name(), "none");
+  EXPECT_FALSE(MakeScaler("quantile").ok());
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

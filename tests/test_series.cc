@@ -1,0 +1,98 @@
+#include "tsdata/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace easytime::tsdata {
+namespace {
+
+TEST(Domain, NamesRoundTrip) {
+  for (int i = 0; i < kNumDomains; ++i) {
+    Domain d = static_cast<Domain>(i);
+    auto parsed = ParseDomain(DomainName(d));
+    ASSERT_TRUE(parsed.ok()) << DomainName(d);
+    EXPECT_EQ(*parsed, d);
+  }
+  EXPECT_TRUE(ParseDomain("TRAFFIC").ok());  // case-insensitive
+  EXPECT_FALSE(ParseDomain("astrology").ok());
+}
+
+TEST(Series, BasicAccessors) {
+  Series s("load", {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.name(), "load");
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  s.Append(4.0);
+  EXPECT_EQ(s.length(), 4u);
+  s.set_period_hint(24);
+  EXPECT_EQ(s.period_hint(), 24u);
+}
+
+TEST(Series, SliceClampsToBounds) {
+  Series s("x", {0, 1, 2, 3, 4});
+  EXPECT_EQ(s.Slice(1, 3), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(s.Slice(3, 10), (std::vector<double>{3, 4}));
+  EXPECT_TRUE(s.Slice(9, 2).empty());
+}
+
+TEST(Dataset, ChannelsMustAlign) {
+  Dataset ds("multi");
+  EXPECT_TRUE(ds.AddChannel(Series("a", {1, 2, 3})).ok());
+  EXPECT_TRUE(ds.AddChannel(Series("b", {4, 5, 6})).ok());
+  EXPECT_FALSE(ds.AddChannel(Series("c", {7, 8})).ok());
+  EXPECT_EQ(ds.num_channels(), 2u);
+  EXPECT_EQ(ds.length(), 3u);
+  EXPECT_TRUE(ds.multivariate());
+  EXPECT_EQ(ds.primary().name(), "a");
+}
+
+TEST(DatasetCsv, SaveLoadRoundTrip) {
+  Dataset ds("roundtrip");
+  (void)ds.AddChannel(Series("ch0", {1.5, 2.5, 3.5}));
+  (void)ds.AddChannel(Series("ch1", {-1.0, 0.0, 1.0}));
+  std::string path =
+      (std::filesystem::temp_directory_path() / "easytime_ds.csv").string();
+  ASSERT_TRUE(SaveDatasetCsv(ds, path).ok());
+
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name(), "easytime_ds");
+  ASSERT_EQ(loaded->num_channels(), 2u);
+  EXPECT_EQ(loaded->channel(0).name(), "ch0");
+  EXPECT_NEAR(loaded->channel(0)[2], 3.5, 1e-9);
+  EXPECT_NEAR(loaded->channel(1)[0], -1.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsv, SkipsDateColumn) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "easytime_dated.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("date,value\n2024-01-01,1.0\n2024-01-02,2.0\n", f);
+    fclose(f);
+  }
+  auto ds = LoadDatasetCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_channels(), 1u);
+  EXPECT_EQ(ds->channel(0).name(), "value");
+  EXPECT_EQ(ds->length(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsv, NonNumericValueIsError) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "easytime_bad.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("v\n1.0\nnot_a_number\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

@@ -1,0 +1,64 @@
+#include "tsdata/split.h"
+
+#include <gtest/gtest.h>
+
+namespace easytime::tsdata {
+namespace {
+
+TEST(ComputeSplit, DefaultFractions) {
+  auto b = ComputeSplit(100, SplitSpec{});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->train_end, 70u);
+  EXPECT_EQ(b->val_end, 80u);
+  EXPECT_EQ(b->n, 100u);
+  EXPECT_EQ(b->train_size(), 70u);
+  EXPECT_EQ(b->val_size(), 10u);
+  EXPECT_EQ(b->test_size(), 20u);
+}
+
+TEST(ComputeSplit, NoValidation) {
+  SplitSpec spec{0.8, 0.0, 0.2};
+  auto b = ComputeSplit(50, spec);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->train_end, 40u);
+  EXPECT_EQ(b->val_end, 40u);
+  EXPECT_EQ(b->test_size(), 10u);
+}
+
+TEST(ComputeSplit, TrainAlwaysNonEmpty) {
+  SplitSpec spec{0.01, 0.1, 0.89};
+  auto b = ComputeSplit(5, spec);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->train_size(), 1u);
+}
+
+TEST(ComputeSplit, Validation) {
+  EXPECT_FALSE(ComputeSplit(0, SplitSpec{}).ok());
+  EXPECT_FALSE(ComputeSplit(10, SplitSpec{0.0, 0.5, 0.5}).ok());
+  EXPECT_FALSE(ComputeSplit(10, SplitSpec{1.5, 0.0, 0.0}).ok());
+  EXPECT_FALSE(ComputeSplit(10, SplitSpec{0.7, 0.4, 0.2}).ok());  // sum > 1
+  EXPECT_FALSE(ComputeSplit(10, SplitSpec{0.7, -0.1, 0.2}).ok());
+}
+
+TEST(ApplySplit, SegmentsAreChronological) {
+  std::vector<double> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto b = ComputeSplit(v.size(), SplitSpec{0.6, 0.2, 0.2}).ValueOrDie();
+  SplitView view = ApplySplit(v, b);
+  EXPECT_EQ(view.train, (std::vector<double>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(view.val, (std::vector<double>{6, 7}));
+  EXPECT_EQ(view.test, (std::vector<double>{8, 9}));
+}
+
+TEST(ApplySplit, ReassemblesOriginal) {
+  std::vector<double> v(37);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  auto b = ComputeSplit(v.size(), SplitSpec{}).ValueOrDie();
+  SplitView view = ApplySplit(v, b);
+  std::vector<double> joined = view.train;
+  joined.insert(joined.end(), view.val.begin(), view.val.end());
+  joined.insert(joined.end(), view.test.begin(), view.test.end());
+  EXPECT_EQ(joined, v);
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

@@ -1,0 +1,157 @@
+#include "sql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace easytime::sql {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("results",
+                                {{"dataset", DataType::kText},
+                                 {"method", DataType::kText},
+                                 {"metric", DataType::kText},
+                                 {"value", DataType::kReal},
+                                 {"horizon", DataType::kInteger}})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable("datasets",
+                                {{"name", DataType::kText},
+                                 {"domain", DataType::kText},
+                                 {"trend", DataType::kReal}})
+                    .ok());
+  }
+
+  Status Analyze(const std::string& sql) {
+    auto s = ParseSelect(sql);
+    EXPECT_TRUE(s.ok()) << sql << " -> " << s.status().ToString();
+    if (!s.ok()) return s.status();
+    return AnalyzeSelect(db_, *s);
+  }
+
+  Database db_;
+};
+
+TEST_F(AnalyzerTest, ValidQueriesPass) {
+  EXPECT_TRUE(Analyze("SELECT * FROM results").ok());
+  EXPECT_TRUE(Analyze("SELECT method, value FROM results WHERE value > 1")
+                  .ok());
+  EXPECT_TRUE(Analyze("SELECT method, AVG(value) FROM results "
+                      "GROUP BY method HAVING AVG(value) < 2")
+                  .ok());
+  EXPECT_TRUE(Analyze("SELECT r.method FROM results r JOIN datasets d "
+                      "ON r.dataset = d.name WHERE d.trend > 0.5")
+                  .ok());
+  EXPECT_TRUE(Analyze("SELECT COUNT(*) FROM datasets").ok());
+  EXPECT_TRUE(
+      Analyze("SELECT method FROM results ORDER BY value DESC LIMIT 3").ok());
+}
+
+TEST_F(AnalyzerTest, UnknownTableRejected) {
+  Status s = Analyze("SELECT x FROM nonexistent");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownColumnRejected) {
+  EXPECT_EQ(Analyze("SELECT missing_col FROM results").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Analyze("SELECT results.nope FROM results").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Analyze("SELECT q.method FROM results r").code(),
+            StatusCode::kNotFound);  // unknown alias
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnRejected) {
+  // Both tables joined twice under different aliases share column names.
+  Status s = Analyze(
+      "SELECT name FROM results r JOIN datasets a ON r.dataset = a.name "
+      "JOIN datasets b ON r.dataset = b.name");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, TypeMismatchesRejected) {
+  EXPECT_EQ(Analyze("SELECT method FROM results WHERE method > 3").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Analyze("SELECT method + 1 FROM results").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Analyze("SELECT SUM(method) FROM results").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Analyze("SELECT method FROM results WHERE value LIKE 'x%'")
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Analyze("SELECT LOWER(value) FROM results").code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(AnalyzerTest, AggregatePlacementRules) {
+  EXPECT_EQ(
+      Analyze("SELECT method FROM results WHERE AVG(value) > 1").code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Analyze("SELECT method FROM results GROUP BY AVG(value)").code(),
+      StatusCode::kInvalidArgument);
+  // Ungrouped bare column alongside aggregate.
+  EXPECT_EQ(Analyze("SELECT method, AVG(value) FROM results").code(),
+            StatusCode::kInvalidArgument);
+  // Grouped column is fine.
+  EXPECT_TRUE(
+      Analyze("SELECT method, AVG(value) FROM results GROUP BY method").ok());
+  // SELECT * with aggregates is rejected.
+  EXPECT_EQ(Analyze("SELECT * FROM results GROUP BY method").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, HavingWithoutGroupingRejected) {
+  EXPECT_EQ(Analyze("SELECT method FROM results HAVING value > 1").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, OrderByAliasAllowed) {
+  EXPECT_TRUE(Analyze("SELECT method, AVG(value) AS avg_v FROM results "
+                      "GROUP BY method ORDER BY avg_v DESC")
+                  .ok());
+  // Unknown order key that is neither alias nor column fails.
+  EXPECT_FALSE(Analyze("SELECT method FROM results ORDER BY ghost").ok());
+}
+
+TEST_F(AnalyzerTest, FunctionArityChecked) {
+  EXPECT_FALSE(Analyze("SELECT ABS(value, 2) FROM results").ok());
+  EXPECT_FALSE(Analyze("SELECT SUM(value, 1) FROM results").ok());
+  EXPECT_FALSE(Analyze("SELECT NOSUCHFN(value) FROM results").ok());
+  EXPECT_FALSE(Analyze("SELECT MIN(*) FROM results").ok());
+  EXPECT_TRUE(Analyze("SELECT COUNT(*) FROM results").ok());
+}
+
+TEST_F(AnalyzerTest, DuplicateAliasRejected) {
+  Status s = Analyze(
+      "SELECT r.method FROM results r JOIN datasets r ON r.method = r.name");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, AnalyzeStatementCoversDdlAndDml) {
+  auto create = ParseSql("CREATE TABLE results (x INTEGER)").ValueOrDie();
+  EXPECT_EQ(AnalyzeStatement(db_, create).code(),
+            StatusCode::kAlreadyExists);
+
+  auto create_ok = ParseSql("CREATE TABLE fresh (x INTEGER)").ValueOrDie();
+  EXPECT_TRUE(AnalyzeStatement(db_, create_ok).ok());
+
+  auto ins_bad_table =
+      ParseSql("INSERT INTO ghost VALUES (1)").ValueOrDie();
+  EXPECT_EQ(AnalyzeStatement(db_, ins_bad_table).code(),
+            StatusCode::kNotFound);
+
+  auto ins_bad_col =
+      ParseSql("INSERT INTO results (nope) VALUES (1)").ValueOrDie();
+  EXPECT_EQ(AnalyzeStatement(db_, ins_bad_col).code(), StatusCode::kNotFound);
+
+  auto ins_bad_arity =
+      ParseSql("INSERT INTO results VALUES (1, 2)").ValueOrDie();
+  EXPECT_EQ(AnalyzeStatement(db_, ins_bad_arity).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace easytime::sql

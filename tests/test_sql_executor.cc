@@ -1,0 +1,277 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace easytime::sql {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ExecuteQuery(&db_,
+                             "CREATE TABLE results (dataset TEXT, method "
+                             "TEXT, metric TEXT, value REAL, horizon INTEGER)")
+                    .ok());
+    ASSERT_TRUE(
+        ExecuteQuery(&db_,
+                     "CREATE TABLE datasets (name TEXT, domain TEXT, "
+                     "trend REAL, multivariate INTEGER)")
+            .ok());
+    ASSERT_TRUE(ExecuteQuery(&db_, R"(
+      INSERT INTO results VALUES
+        ('t1', 'naive', 'mae', 2.0, 24),
+        ('t1', 'theta', 'mae', 1.0, 24),
+        ('t1', 'gbdt',  'mae', 1.5, 24),
+        ('t2', 'naive', 'mae', 4.0, 24),
+        ('t2', 'theta', 'mae', 3.0, 24),
+        ('t2', 'gbdt',  'mae', 5.0, 12),
+        ('t1', 'naive', 'rmse', 2.5, 24)
+    )").ok());
+    ASSERT_TRUE(ExecuteQuery(&db_, R"(
+      INSERT INTO datasets VALUES
+        ('t1', 'traffic', 0.8, 0),
+        ('t2', 'web', 0.2, 1)
+    )").ok());
+  }
+
+  ResultSet Q(const std::string& sql) {
+    auto r = ExecuteQuery(&db_, sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStarReturnsAllColumnsAndRows) {
+  auto rs = Q("SELECT * FROM datasets");
+  EXPECT_EQ(rs.columns.size(), 4u);
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.columns[0], "name");
+}
+
+TEST_F(ExecutorTest, WhereFiltersRows) {
+  auto rs = Q("SELECT method FROM results WHERE value < 2.0 AND metric = 'mae'");
+  ASSERT_EQ(rs.rows.size(), 2u);  // theta(1.0), gbdt(1.5)
+}
+
+TEST_F(ExecutorTest, ComparisonOperatorsWork) {
+  EXPECT_EQ(Q("SELECT method FROM results WHERE value >= 4.0").rows.size(),
+            2u);
+  EXPECT_EQ(Q("SELECT method FROM results WHERE value != 2.0").rows.size(),
+            6u);
+  EXPECT_EQ(Q("SELECT method FROM results WHERE horizon <> 24").rows.size(),
+            1u);
+}
+
+TEST_F(ExecutorTest, LikeInBetween) {
+  EXPECT_EQ(Q("SELECT name FROM datasets WHERE name LIKE 't%'").rows.size(),
+            2u);
+  EXPECT_EQ(
+      Q("SELECT method FROM results WHERE method IN ('naive', 'gbdt')")
+          .rows.size(),
+      5u);
+  // Values in [1.5, 3.0]: theta t2 (3.0), gbdt t1 (1.5), naive t1 mae
+  // (2.0), naive t1 rmse (2.5).
+  EXPECT_EQ(
+      Q("SELECT method FROM results WHERE value BETWEEN 1.5 AND 3.0")
+          .rows.size(),
+      4u);
+  EXPECT_EQ(
+      Q("SELECT method FROM results WHERE method NOT IN ('naive')")
+          .rows.size(),
+      4u);
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  auto rs = Q("SELECT value * 2 + 1 FROM results WHERE method = 'theta' "
+              "AND dataset = 't1'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].ToDouble(), 3.0);
+  EXPECT_FALSE(ExecuteQuery(&db_, "SELECT 1 / 0 FROM datasets").ok());
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  auto rs = Q("SELECT UPPER(domain), ABS(-trend), ROUND(trend + 0.4) "
+              "FROM datasets WHERE name = 't1'");
+  EXPECT_EQ(rs.rows[0][0].AsText(), "TRAFFIC");
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].ToDouble(), 0.8);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].ToDouble(), 1.0);
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  auto rs = Q("SELECT method, AVG(value) AS avg_mae, COUNT(*) AS n "
+              "FROM results WHERE metric = 'mae' "
+              "GROUP BY method ORDER BY avg_mae ASC");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "theta");   // avg 2.0
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].ToDouble(), 2.0);
+  EXPECT_EQ(rs.rows[0][2].AsInteger(), 2);
+  EXPECT_EQ(rs.rows[2][0].AsText(), "gbdt");    // avg 3.25
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  auto rs = Q("SELECT dataset, COUNT(*) AS n FROM results "
+              "GROUP BY dataset HAVING COUNT(*) > 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "t1");
+}
+
+TEST_F(ExecutorTest, AggregatesWithoutGroupBy) {
+  auto rs = Q("SELECT COUNT(*), MIN(value), MAX(value), SUM(horizon) "
+              "FROM results");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInteger(), 7);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].ToDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].ToDouble(), 5.0);
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  auto rs = Q("SELECT COUNT(DISTINCT method) FROM results");
+  EXPECT_EQ(rs.rows[0][0].AsInteger(), 3);
+}
+
+TEST_F(ExecutorTest, JoinCombinesTables) {
+  auto rs = Q("SELECT r.method, d.domain FROM results r "
+              "JOIN datasets d ON r.dataset = d.name "
+              "WHERE d.trend > 0.5 AND r.metric = 'mae'");
+  ASSERT_EQ(rs.rows.size(), 3u);  // t1 rows only
+  for (const auto& row : rs.rows) {
+    EXPECT_EQ(row[1].AsText(), "traffic");
+  }
+}
+
+TEST_F(ExecutorTest, LeftJoinKeepsUnmatchedRowsWithNulls) {
+  // Add a result row whose dataset has no datasets entry.
+  ASSERT_TRUE(ExecuteQuery(&db_,
+                           "INSERT INTO results VALUES "
+                           "('orphan', 'naive', 'mae', 9.0, 24)")
+                  .ok());
+  auto inner = Q("SELECT r.method, d.domain FROM results r "
+                 "JOIN datasets d ON r.dataset = d.name "
+                 "WHERE r.value = 9.0");
+  EXPECT_TRUE(inner.rows.empty());  // inner join drops the orphan
+
+  auto left = Q("SELECT r.method, d.domain FROM results r "
+                "LEFT JOIN datasets d ON r.dataset = d.name "
+                "WHERE r.value = 9.0");
+  ASSERT_EQ(left.rows.size(), 1u);
+  EXPECT_EQ(left.rows[0][0].AsText(), "naive");
+  EXPECT_TRUE(left.rows[0][1].is_null());  // unmatched right side is NULL
+
+  // Matched rows behave exactly like the inner join.
+  auto both = Q("SELECT r.dataset, d.domain FROM results r "
+                "LEFT JOIN datasets d ON r.dataset = d.name "
+                "WHERE r.dataset = 't1' AND r.metric = 'mae'");
+  ASSERT_EQ(both.rows.size(), 3u);
+  for (const auto& row : both.rows) {
+    EXPECT_EQ(row[1].AsText(), "traffic");
+  }
+}
+
+TEST_F(ExecutorTest, LeftJoinNullsFilterableWithIsNull) {
+  ASSERT_TRUE(ExecuteQuery(&db_,
+                           "INSERT INTO results VALUES "
+                           "('ghost', 'theta', 'mae', 7.0, 24)")
+                  .ok());
+  auto rs = Q("SELECT r.dataset FROM results r "
+              "LEFT JOIN datasets d ON r.dataset = d.name "
+              "WHERE d.name IS NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "ghost");
+}
+
+TEST_F(ExecutorTest, JoinedAggregation) {
+  auto rs = Q("SELECT r.method, AVG(r.value) AS avg_mae FROM results r "
+              "JOIN datasets d ON r.dataset = d.name "
+              "WHERE r.metric = 'mae' AND d.multivariate = 1 "
+              "GROUP BY r.method ORDER BY avg_mae ASC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "theta");  // 3.0 on t2
+}
+
+TEST_F(ExecutorTest, OrderByMultiKeyAndDesc) {
+  auto rs = Q("SELECT dataset, method FROM results WHERE metric = 'mae' "
+              "ORDER BY dataset ASC, value DESC");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "t1");
+  EXPECT_EQ(rs.rows[0][1].AsText(), "naive");  // largest value in t1
+}
+
+TEST_F(ExecutorTest, LimitOffset) {
+  auto rs = Q("SELECT method FROM results ORDER BY value ASC LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  auto rs = Q("SELECT DISTINCT method FROM results");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, NullSemantics) {
+  ASSERT_TRUE(ExecuteQuery(&db_, "CREATE TABLE n (a INTEGER, b TEXT)").ok());
+  ASSERT_TRUE(ExecuteQuery(&db_,
+                           "INSERT INTO n VALUES (1, 'x'), (NULL, 'y'), "
+                           "(3, NULL)")
+                  .ok());
+  // Comparisons with NULL are unknown -> filtered out.
+  EXPECT_EQ(Q("SELECT a FROM n WHERE a > 0").rows.size(), 2u);
+  EXPECT_EQ(Q("SELECT a FROM n WHERE a IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Q("SELECT a FROM n WHERE a IS NOT NULL").rows.size(), 2u);
+  // Aggregates skip NULLs; COUNT(*) does not.
+  auto rs = Q("SELECT COUNT(*), COUNT(a), AVG(a) FROM n");
+  EXPECT_EQ(rs.rows[0][0].AsInteger(), 3);
+  EXPECT_EQ(rs.rows[0][1].AsInteger(), 2);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].ToDouble(), 2.0);
+}
+
+TEST_F(ExecutorTest, EmptyGroupAggregatesToNullOrZero) {
+  auto rs = Q("SELECT COUNT(*), MAX(value) FROM results WHERE value > 100");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInteger(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, InsertTypeChecking) {
+  EXPECT_FALSE(
+      ExecuteQuery(&db_, "INSERT INTO datasets VALUES (1, 'x', 0.5, 0)")
+          .ok());  // name must be TEXT
+  // INTEGER widens into REAL columns.
+  EXPECT_TRUE(
+      ExecuteQuery(&db_, "INSERT INTO datasets VALUES ('t3', 'web', 1, 0)")
+          .ok());
+}
+
+TEST_F(ExecutorTest, InsertWithColumnListFillsNulls) {
+  ASSERT_TRUE(
+      ExecuteQuery(&db_, "INSERT INTO datasets (name) VALUES ('t9')").ok());
+  auto rs = Q("SELECT domain FROM datasets WHERE name = 't9'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, VerificationBlocksBadQueries) {
+  // ExecuteQuery runs the analyzer first: these never reach execution.
+  EXPECT_FALSE(ExecuteQuery(&db_, "SELECT ghost FROM results").ok());
+  EXPECT_FALSE(
+      ExecuteQuery(&db_, "SELECT method FROM results WHERE AVG(value) > 1")
+          .ok());
+}
+
+TEST_F(ExecutorTest, ResultSetFormatsAsAsciiTable) {
+  auto rs = Q("SELECT name, domain FROM datasets ORDER BY name LIMIT 1");
+  std::string text = rs.Format();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find("traffic"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, OrderByAliasOfAggregate) {
+  auto rs = Q("SELECT method, AVG(value) AS score FROM results "
+              "GROUP BY method ORDER BY score DESC LIMIT 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsText(), "gbdt");  // avg over mae+rmse rows
+}
+
+}  // namespace
+}  // namespace easytime::sql

@@ -1,0 +1,75 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace easytime::sql {
+namespace {
+
+TEST(Lexer, KeywordsUppercasedIdentifiersPreserved) {
+  auto toks = Tokenize("select Name from Methods").ValueOrDie();
+  ASSERT_EQ(toks.size(), 5u);  // incl. kEnd
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].text, "Name");
+  EXPECT_TRUE(toks[2].IsKeyword("FROM"));
+  EXPECT_EQ(toks[3].text, "Methods");
+  EXPECT_EQ(toks[4].type, TokenType::kEnd);
+}
+
+TEST(Lexer, NumbersIntegerVsReal) {
+  auto toks = Tokenize("42 3.14 1e5 .5").ValueOrDie();
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[1].type, TokenType::kReal);
+  EXPECT_EQ(toks[2].type, TokenType::kReal);
+  EXPECT_EQ(toks[3].type, TokenType::kReal);
+}
+
+TEST(Lexer, StringsWithEscapedQuotes) {
+  auto toks = Tokenize("'it''s fine'").ValueOrDie();
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "it's fine");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = Tokenize("a != b <> c <= d >= e").ValueOrDie();
+  EXPECT_TRUE(toks[1].IsOp("!="));
+  EXPECT_TRUE(toks[3].IsOp("<>"));
+  EXPECT_TRUE(toks[5].IsOp("<="));
+  EXPECT_TRUE(toks[7].IsOp(">="));
+}
+
+TEST(Lexer, PunctuationAndQualifiedNames) {
+  auto toks = Tokenize("r.method, (x)").ValueOrDie();
+  EXPECT_EQ(toks[0].text, "r");
+  EXPECT_TRUE(toks[1].IsOp("."));
+  EXPECT_EQ(toks[2].text, "method");
+  EXPECT_TRUE(toks[3].IsOp(","));
+  EXPECT_TRUE(toks[4].IsOp("("));
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  auto r = Tokenize("select @foo");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, KeywordTable) {
+  EXPECT_TRUE(IsSqlKeyword("SELECT"));
+  EXPECT_TRUE(IsSqlKeyword("BETWEEN"));
+  EXPECT_TRUE(IsSqlKeyword("COUNT"));
+  EXPECT_FALSE(IsSqlKeyword("select"));  // expects uppercase input
+  EXPECT_FALSE(IsSqlKeyword("DATASET"));
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+  auto toks = Tokenize("ab  cd").ValueOrDie();
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace easytime::sql

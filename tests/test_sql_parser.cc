@@ -1,0 +1,174 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace easytime::sql {
+namespace {
+
+TEST(Parser, SimpleSelect) {
+  auto s = ParseSelect("SELECT name FROM methods").ValueOrDie();
+  EXPECT_FALSE(s.star_all);
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->column, "name");
+  EXPECT_EQ(s.from.table, "methods");
+  EXPECT_FALSE(s.where);
+  EXPECT_EQ(s.limit, -1);
+}
+
+TEST(Parser, SelectStar) {
+  auto s = ParseSelect("SELECT * FROM datasets").ValueOrDie();
+  EXPECT_TRUE(s.star_all);
+}
+
+TEST(Parser, AliasesWithAndWithoutAs) {
+  auto s = ParseSelect("SELECT a AS x, b y FROM t").ValueOrDie();
+  EXPECT_EQ(s.items[0].alias, "x");
+  EXPECT_EQ(s.items[1].alias, "y");
+  EXPECT_EQ(s.items[0].OutputName(), "x");
+}
+
+TEST(Parser, QualifiedColumnsAndTableAlias) {
+  auto s = ParseSelect("SELECT r.method FROM results r").ValueOrDie();
+  EXPECT_EQ(s.items[0].expr->table, "r");
+  EXPECT_EQ(s.from.alias, "r");
+  EXPECT_EQ(s.from.effective_name(), "r");
+}
+
+TEST(Parser, JoinOn) {
+  auto s = ParseSelect(
+               "SELECT r.method FROM results r JOIN datasets d "
+               "ON r.dataset = d.name")
+               .ValueOrDie();
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table.table, "datasets");
+  EXPECT_EQ(s.joins[0].table.alias, "d");
+  EXPECT_EQ(s.joins[0].on->kind, ExprKind::kBinary);
+}
+
+TEST(Parser, LeftJoinParses) {
+  auto s =
+      ParseSelect("SELECT a FROM t LEFT JOIN u ON t.x = u.x").ValueOrDie();
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_TRUE(s.joins[0].left_outer);
+  EXPECT_NE(s.ToSql().find("LEFT JOIN"), std::string::npos);
+  auto inner = ParseSelect("SELECT a FROM t JOIN u ON t.x = u.x").ValueOrDie();
+  EXPECT_FALSE(inner.joins[0].left_outer);
+}
+
+TEST(Parser, WherePrecedence) {
+  auto s = ParseSelect("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+               .ValueOrDie();
+  // AND binds tighter: OR(x=1, AND(y=2, z=3)).
+  ASSERT_EQ(s.where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(s.where->right->binary_op, BinaryOp::kAnd);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  auto s = ParseSelect("SELECT 1 + 2 * 3 FROM t").ValueOrDie();
+  const Expr& e = *s.items[0].expr;
+  ASSERT_EQ(e.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.right->binary_op, BinaryOp::kMul);
+}
+
+TEST(Parser, InBetweenLikeIsNull) {
+  auto s = ParseSelect(
+               "SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 0 AND 5 "
+               "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)")
+               .ValueOrDie();
+  EXPECT_NE(s.where, nullptr);
+  std::string sql = s.where->ToSql();
+  EXPECT_NE(sql.find("IN (1, 2)"), std::string::npos);
+  EXPECT_NE(sql.find("BETWEEN 0 AND 5"), std::string::npos);
+  EXPECT_NE(sql.find("LIKE 'x%'"), std::string::npos);
+  EXPECT_NE(sql.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(sql.find("NOT IN (3)"), std::string::npos);
+}
+
+TEST(Parser, AggregatesAndGroupByHaving) {
+  auto s = ParseSelect(
+               "SELECT method, AVG(value) AS avg_mae, COUNT(*) FROM results "
+               "GROUP BY method HAVING COUNT(*) > 2 ORDER BY avg_mae ASC "
+               "LIMIT 8 OFFSET 1")
+               .ValueOrDie();
+  EXPECT_EQ(s.items.size(), 3u);
+  EXPECT_TRUE(s.items[1].expr->ContainsAggregate());
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].ascending);
+  EXPECT_EQ(s.limit, 8);
+  EXPECT_EQ(s.offset, 1);
+}
+
+TEST(Parser, OrderByDesc) {
+  auto s = ParseSelect("SELECT a FROM t ORDER BY a DESC, b").ValueOrDie();
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+}
+
+TEST(Parser, DistinctAndCountDistinct) {
+  auto s =
+      ParseSelect("SELECT DISTINCT domain FROM datasets").ValueOrDie();
+  EXPECT_TRUE(s.distinct);
+  auto s2 = ParseSelect("SELECT COUNT(DISTINCT method) FROM results")
+                .ValueOrDie();
+  EXPECT_TRUE(s2.items[0].expr->distinct_arg);
+}
+
+TEST(Parser, UnaryAndParens) {
+  auto s = ParseSelect("SELECT -(1 + 2) FROM t").ValueOrDie();
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kUnary);
+  auto s2 = ParseSelect("SELECT a FROM t WHERE NOT (x = 1)").ValueOrDie();
+  EXPECT_EQ(s2.where->kind, ExprKind::kUnary);
+}
+
+TEST(Parser, CreateTable) {
+  auto stmt = ParseSql(
+                  "CREATE TABLE t (id INTEGER, score REAL, name TEXT)")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt.create_table.columns.size(), 3u);
+  EXPECT_EQ(stmt.create_table.columns[0].type, DataType::kInteger);
+  EXPECT_EQ(stmt.create_table.columns[1].type, DataType::kReal);
+  EXPECT_EQ(stmt.create_table.columns[2].type, DataType::kText);
+}
+
+TEST(Parser, InsertMultiRowAndColumnList) {
+  auto stmt = ParseSql(
+                  "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt.insert.columns.size(), 2u);
+  EXPECT_EQ(stmt.insert.rows.size(), 2u);
+}
+
+TEST(Parser, ErrorsAreParseErrors) {
+  for (const char* bad :
+       {"", "SELECT", "SELECT FROM t", "SELECT a FROM", "SELECT a t",
+        "SELECT a FROM t WHERE", "SELECT a FROM t GROUP", "DELETE FROM t",
+        "SELECT a FROM t LIMIT x", "SELECT a FROM t extra garbage"}) {
+    auto r = ParseSql(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST(Parser, ToSqlRoundTripsThroughParser) {
+  const char* original =
+      "SELECT r.method, AVG(r.value) AS avg_mae FROM results r "
+      "JOIN datasets d ON r.dataset = d.name "
+      "WHERE r.metric = 'mae' AND d.trend > 0.6 "
+      "GROUP BY r.method ORDER BY avg_mae ASC LIMIT 8";
+  auto s = ParseSelect(original).ValueOrDie();
+  std::string rendered = s.ToSql();
+  auto reparsed = ParseSelect(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(reparsed->ToSql(), rendered);  // fixpoint
+}
+
+TEST(Parser, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t;").ok());
+}
+
+}  // namespace
+}  // namespace easytime::sql

@@ -1,0 +1,116 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace easytime {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad horizon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad horizon");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad horizon");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "Parse error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "Type error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+TEST(Status, WithContextPrependsMessage) {
+  Status s = Status::NotFound("no such dataset");
+  Status wrapped = s.WithContext("loading config");
+  EXPECT_EQ(wrapped.message(), "loading config: no such dataset");
+  EXPECT_EQ(wrapped.code(), StatusCode::kNotFound);
+  // OK statuses pass through untouched.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(a, b);
+}
+
+Status FailingFunction() { return Status::IOError("disk gone"); }
+
+Status PropagatesError() {
+  EASYTIME_RETURN_IF_ERROR(FailingFunction());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  Status s = PropagatesError();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> GiveValue() { return 42; }
+Result<int> GiveError() { return Status::NotFound("nope"); }
+
+Result<int> UseAssignOrReturn(bool fail) {
+  EASYTIME_ASSIGN_OR_RETURN(int v, fail ? GiveError() : GiveValue());
+  return v + 1;
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = GiveValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = GiveError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  EXPECT_EQ(GiveValue().ValueOr(-1), 42);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(UseAssignOrReturn(false).ValueOrDie(), 43);
+  EXPECT_EQ(UseAssignOrReturn(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace easytime

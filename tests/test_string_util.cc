@@ -1,0 +1,98 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace easytime {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, DropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a\t b \n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+}
+
+TEST(CaseFolding, LowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(StartsWith("holt_winters", "holt"));
+  EXPECT_FALSE(StartsWith("holt", "holt_winters"));
+  EXPECT_TRUE(EndsWith("data.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "data.csv"));
+}
+
+TEST(ContainsIgnoreCase, Basic) {
+  EXPECT_TRUE(ContainsIgnoreCase("The TOP methods", "top"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abd"));
+}
+
+TEST(ParseDouble, StrictWholeString) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2e3 ").ValueOrDie(), -2000.0);
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(ParseInt, StrictWholeString) {
+  EXPECT_EQ(ParseInt("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt("-7").ValueOrDie(), -7);
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 1), "-1.0");
+}
+
+TEST(FormatTable, AlignsColumns) {
+  std::string t = FormatTable({"name", "v"}, {{"alpha", "1"}, {"b", "22"}});
+  // Header, rule, two rows.
+  EXPECT_EQ(4, std::count(t.begin(), t.end(), '\n'));
+  EXPECT_NE(t.find("| name  | v  |"), std::string::npos);
+  EXPECT_NE(t.find("| alpha | 1  |"), std::string::npos);
+}
+
+TEST(LikeMatch, Wildcards) {
+  EXPECT_TRUE(LikeMatch("traffic_u0", "traffic%"));
+  EXPECT_TRUE(LikeMatch("traffic_u0", "%u0"));
+  EXPECT_TRUE(LikeMatch("traffic_u0", "%affic%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_FALSE(LikeMatch("abc", ""));
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  // Case-insensitive.
+  EXPECT_TRUE(LikeMatch("ABC", "a%"));
+  // Backtracking case.
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+}
+
+}  // namespace
+}  // namespace easytime

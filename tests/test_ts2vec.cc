@@ -1,0 +1,109 @@
+#include "ensemble/ts2vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace easytime::ensemble {
+namespace {
+
+using ::easytime::testing::MakeSeasonalSeries;
+
+Ts2VecOptions TinyOptions() {
+  Ts2VecOptions o;
+  o.repr_dim = 8;
+  o.hidden_dim = 12;
+  o.depth = 2;
+  o.crop_length = 32;
+  o.batch_size = 4;
+  o.epochs = 6;
+  return o;
+}
+
+TEST(Ts2VecEncoder, EncodeShape) {
+  Ts2VecEncoder enc(TinyOptions());
+  nn::Matrix seq(20, 1);
+  nn::Matrix repr = enc.Encode(seq);
+  EXPECT_EQ(repr.rows(), 20u);
+  EXPECT_EQ(repr.cols(), 8u);
+  EXPECT_FALSE(enc.Params().empty());
+}
+
+TEST(Ts2VecEncoder, RepresentIsFixedLengthAndScaleInvariant) {
+  Ts2VecEncoder enc(TinyOptions());
+  auto v = MakeSeasonalSeries(100, 10, 4.0, 0.0, 0.1);
+  auto r1 = enc.Represent(v);
+  EXPECT_EQ(r1.size(), 8u);
+  // z-normalization inside Represent => affine rescaling changes little.
+  std::vector<double> scaled = v;
+  for (auto& x : scaled) x = x * 10.0 + 100.0;
+  auto r2 = enc.Represent(scaled);
+  for (size_t d = 0; d < r1.size(); ++d) {
+    EXPECT_NEAR(r1[d], r2[d], 1e-6);
+  }
+}
+
+TEST(Ts2VecEncoder, DeterministicForSeed) {
+  Ts2VecEncoder a(TinyOptions()), b(TinyOptions());
+  auto v = MakeSeasonalSeries(80, 8, 3.0);
+  auto ra = a.Represent(v);
+  auto rb = b.Represent(v);
+  for (size_t d = 0; d < ra.size(); ++d) EXPECT_DOUBLE_EQ(ra[d], rb[d]);
+}
+
+TEST(Pretrain, LossDecreasesOverEpochs) {
+  Ts2VecEncoder enc(TinyOptions());
+  std::vector<std::vector<double>> corpus;
+  for (int i = 0; i < 8; ++i) {
+    corpus.push_back(MakeSeasonalSeries(120, 8 + 2 * (i % 3), 4.0, 0.0, 0.3,
+                                        static_cast<uint64_t>(100 + i)));
+  }
+  auto stats = PretrainTs2Vec(&enc, corpus);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GE(stats->epoch_losses.size(), 4u);
+  double first = stats->epoch_losses.front();
+  double last = stats->epoch_losses.back();
+  EXPECT_LT(last, first);
+  for (double l : stats->epoch_losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Pretrain, RepresentationSeparatesSignalFamilies) {
+  // After pretraining on two families (fast-seasonal vs slow-seasonal),
+  // same-family series should be closer in representation space than
+  // cross-family ones.
+  Ts2VecOptions opt = TinyOptions();
+  opt.epochs = 10;
+  Ts2VecEncoder enc(opt);
+  std::vector<std::vector<double>> corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(
+        MakeSeasonalSeries(128, 6, 5.0, 0.0, 0.2, static_cast<uint64_t>(i)));
+    corpus.push_back(MakeSeasonalSeries(128, 32, 5.0, 0.0, 0.2,
+                                        static_cast<uint64_t>(50 + i)));
+  }
+  ASSERT_TRUE(PretrainTs2Vec(&enc, corpus).ok());
+
+  auto dist = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(d);
+  };
+  auto fast1 = enc.Represent(MakeSeasonalSeries(128, 6, 5.0, 0.0, 0.2, 901));
+  auto fast2 = enc.Represent(MakeSeasonalSeries(128, 6, 5.0, 0.0, 0.2, 902));
+  auto slow1 = enc.Represent(MakeSeasonalSeries(128, 32, 5.0, 0.0, 0.2, 903));
+
+  EXPECT_LT(dist(fast1, fast2), dist(fast1, slow1));
+}
+
+TEST(Pretrain, RejectsBadInput) {
+  Ts2VecEncoder enc(TinyOptions());
+  EXPECT_FALSE(PretrainTs2Vec(nullptr, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(PretrainTs2Vec(&enc, {}).ok());
+  // All series too short.
+  EXPECT_FALSE(PretrainTs2Vec(&enc, {{1.0, 2.0, 3.0}}).ok());
+}
+
+}  // namespace
+}  // namespace easytime::ensemble

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file test_util.h
+/// \brief Shared helpers for the EasyTime test suite: synthetic series and
+/// finite-difference gradient checking for the nn/ layers.
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace easytime::testing {
+
+/// Deterministic sine + trend + noise series.
+inline std::vector<double> MakeSeasonalSeries(size_t n, size_t period,
+                                              double amp = 5.0,
+                                              double slope = 0.0,
+                                              double noise = 0.0,
+                                              uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (size_t t = 0; t < n; ++t) {
+    out[t] = 10.0 + slope * static_cast<double>(t) +
+             amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                            static_cast<double>(period)) +
+             (noise > 0.0 ? rng.Gaussian(0.0, noise) : 0.0);
+  }
+  return out;
+}
+
+/// Pure linear series a + b*t.
+inline std::vector<double> MakeLinearSeries(size_t n, double a, double b) {
+  std::vector<double> out(n);
+  for (size_t t = 0; t < n; ++t) out[t] = a + b * static_cast<double>(t);
+  return out;
+}
+
+/// \brief Central-difference gradient check: compares the analytic gradient
+/// of `loss(x)` w.r.t. a parameter matrix against finite differences.
+/// \param params the parameter being checked (value mutated and restored)
+/// \param compute_loss re-runs the forward+loss with current params
+/// \param compute_grad runs forward+backward and returns the analytic grad
+/// \returns maximum relative error across entries
+inline double GradCheck(nn::Matrix* value,
+                        const std::function<double()>& compute_loss,
+                        const std::function<nn::Matrix()>& compute_grad,
+                        double eps = 1e-5) {
+  nn::Matrix analytic = compute_grad();
+  double max_rel = 0.0;
+  for (size_t i = 0; i < value->raw().size(); ++i) {
+    double orig = value->raw()[i];
+    value->raw()[i] = orig + eps;
+    double lp = compute_loss();
+    value->raw()[i] = orig - eps;
+    double lm = compute_loss();
+    value->raw()[i] = orig;
+    double numeric = (lp - lm) / (2.0 * eps);
+    double a = analytic.raw()[i];
+    double denom = std::max({std::fabs(a), std::fabs(numeric), 1e-8});
+    max_rel = std::max(max_rel, std::fabs(a - numeric) / denom);
+  }
+  return max_rel;
+}
+
+}  // namespace easytime::testing
