@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leaderboard.dir/bench_leaderboard.cpp.o"
+  "CMakeFiles/bench_leaderboard.dir/bench_leaderboard.cpp.o.d"
+  "bench_leaderboard"
+  "bench_leaderboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leaderboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_click.dir/bench_one_click.cpp.o"
+  "CMakeFiles/bench_one_click.dir/bench_one_click.cpp.o.d"
+  "bench_one_click"
+  "bench_one_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

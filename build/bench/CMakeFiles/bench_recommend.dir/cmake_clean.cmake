@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recommend.dir/bench_recommend.cpp.o"
+  "CMakeFiles/bench_recommend.dir/bench_recommend.cpp.o.d"
+  "bench_recommend"
+  "bench_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_ensemble_demo.dir/auto_ensemble_demo.cpp.o"
+  "CMakeFiles/auto_ensemble_demo.dir/auto_ensemble_demo.cpp.o.d"
+  "auto_ensemble_demo"
+  "auto_ensemble_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_ensemble_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

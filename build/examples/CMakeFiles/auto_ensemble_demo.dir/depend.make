@@ -1,0 +1,2 @@
+# Empty dependencies file for auto_ensemble_demo.
+# This may be replaced when dependencies are built.

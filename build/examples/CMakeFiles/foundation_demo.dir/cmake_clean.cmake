@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foundation_demo.dir/foundation_demo.cpp.o"
+  "CMakeFiles/foundation_demo.dir/foundation_demo.cpp.o.d"
+  "foundation_demo"
+  "foundation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foundation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_click_eval.dir/one_click_eval.cpp.o"
+  "CMakeFiles/one_click_eval.dir/one_click_eval.cpp.o.d"
+  "one_click_eval"
+  "one_click_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_click_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

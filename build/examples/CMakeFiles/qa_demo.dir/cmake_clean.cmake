@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_demo.dir/qa_demo.cpp.o"
+  "CMakeFiles/qa_demo.dir/qa_demo.cpp.o.d"
+  "qa_demo"
+  "qa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_common.dir/csv.cc.o"
+  "CMakeFiles/easytime_common.dir/csv.cc.o.d"
+  "CMakeFiles/easytime_common.dir/json.cc.o"
+  "CMakeFiles/easytime_common.dir/json.cc.o.d"
+  "CMakeFiles/easytime_common.dir/logging.cc.o"
+  "CMakeFiles/easytime_common.dir/logging.cc.o.d"
+  "CMakeFiles/easytime_common.dir/math_util.cc.o"
+  "CMakeFiles/easytime_common.dir/math_util.cc.o.d"
+  "CMakeFiles/easytime_common.dir/optimize.cc.o"
+  "CMakeFiles/easytime_common.dir/optimize.cc.o.d"
+  "CMakeFiles/easytime_common.dir/rng.cc.o"
+  "CMakeFiles/easytime_common.dir/rng.cc.o.d"
+  "CMakeFiles/easytime_common.dir/status.cc.o"
+  "CMakeFiles/easytime_common.dir/status.cc.o.d"
+  "CMakeFiles/easytime_common.dir/string_util.cc.o"
+  "CMakeFiles/easytime_common.dir/string_util.cc.o.d"
+  "CMakeFiles/easytime_common.dir/thread_pool.cc.o"
+  "CMakeFiles/easytime_common.dir/thread_pool.cc.o.d"
+  "libeasytime_common.a"
+  "libeasytime_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

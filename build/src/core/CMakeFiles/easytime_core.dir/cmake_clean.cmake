@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_core.dir/easytime.cc.o"
+  "CMakeFiles/easytime_core.dir/easytime.cc.o.d"
+  "libeasytime_core.a"
+  "libeasytime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_ensemble.dir/auto_ensemble.cc.o"
+  "CMakeFiles/easytime_ensemble.dir/auto_ensemble.cc.o.d"
+  "CMakeFiles/easytime_ensemble.dir/classifier.cc.o"
+  "CMakeFiles/easytime_ensemble.dir/classifier.cc.o.d"
+  "CMakeFiles/easytime_ensemble.dir/foundation.cc.o"
+  "CMakeFiles/easytime_ensemble.dir/foundation.cc.o.d"
+  "CMakeFiles/easytime_ensemble.dir/ts2vec.cc.o"
+  "CMakeFiles/easytime_ensemble.dir/ts2vec.cc.o.d"
+  "libeasytime_ensemble.a"
+  "libeasytime_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_eval.dir/evaluator.cc.o"
+  "CMakeFiles/easytime_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/easytime_eval.dir/metrics.cc.o"
+  "CMakeFiles/easytime_eval.dir/metrics.cc.o.d"
+  "libeasytime_eval.a"
+  "libeasytime_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeasytime_eval.a"
+)

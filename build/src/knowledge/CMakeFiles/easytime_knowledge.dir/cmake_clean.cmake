@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_knowledge.dir/knowledge_base.cc.o"
+  "CMakeFiles/easytime_knowledge.dir/knowledge_base.cc.o.d"
+  "libeasytime_knowledge.a"
+  "libeasytime_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/methods/arima.cc" "src/methods/CMakeFiles/easytime_methods.dir/arima.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/arima.cc.o.d"
+  "/root/repo/src/methods/baselines.cc" "src/methods/CMakeFiles/easytime_methods.dir/baselines.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/baselines.cc.o.d"
+  "/root/repo/src/methods/deep.cc" "src/methods/CMakeFiles/easytime_methods.dir/deep.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/deep.cc.o.d"
+  "/root/repo/src/methods/ets.cc" "src/methods/CMakeFiles/easytime_methods.dir/ets.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/ets.cc.o.d"
+  "/root/repo/src/methods/exponential.cc" "src/methods/CMakeFiles/easytime_methods.dir/exponential.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/exponential.cc.o.d"
+  "/root/repo/src/methods/forecaster.cc" "src/methods/CMakeFiles/easytime_methods.dir/forecaster.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/forecaster.cc.o.d"
+  "/root/repo/src/methods/gbdt.cc" "src/methods/CMakeFiles/easytime_methods.dir/gbdt.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/gbdt.cc.o.d"
+  "/root/repo/src/methods/knn.cc" "src/methods/CMakeFiles/easytime_methods.dir/knn.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/knn.cc.o.d"
+  "/root/repo/src/methods/linear_models.cc" "src/methods/CMakeFiles/easytime_methods.dir/linear_models.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/linear_models.cc.o.d"
+  "/root/repo/src/methods/registry.cc" "src/methods/CMakeFiles/easytime_methods.dir/registry.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/registry.cc.o.d"
+  "/root/repo/src/methods/theta.cc" "src/methods/CMakeFiles/easytime_methods.dir/theta.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/theta.cc.o.d"
+  "/root/repo/src/methods/window_util.cc" "src/methods/CMakeFiles/easytime_methods.dir/window_util.cc.o" "gcc" "src/methods/CMakeFiles/easytime_methods.dir/window_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easytime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/easytime_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/easytime_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_methods.dir/arima.cc.o"
+  "CMakeFiles/easytime_methods.dir/arima.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/baselines.cc.o"
+  "CMakeFiles/easytime_methods.dir/baselines.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/deep.cc.o"
+  "CMakeFiles/easytime_methods.dir/deep.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/ets.cc.o"
+  "CMakeFiles/easytime_methods.dir/ets.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/exponential.cc.o"
+  "CMakeFiles/easytime_methods.dir/exponential.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/forecaster.cc.o"
+  "CMakeFiles/easytime_methods.dir/forecaster.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/gbdt.cc.o"
+  "CMakeFiles/easytime_methods.dir/gbdt.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/knn.cc.o"
+  "CMakeFiles/easytime_methods.dir/knn.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/linear_models.cc.o"
+  "CMakeFiles/easytime_methods.dir/linear_models.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/registry.cc.o"
+  "CMakeFiles/easytime_methods.dir/registry.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/theta.cc.o"
+  "CMakeFiles/easytime_methods.dir/theta.cc.o.d"
+  "CMakeFiles/easytime_methods.dir/window_util.cc.o"
+  "CMakeFiles/easytime_methods.dir/window_util.cc.o.d"
+  "libeasytime_methods.a"
+  "libeasytime_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_nn.dir/contrastive.cc.o"
+  "CMakeFiles/easytime_nn.dir/contrastive.cc.o.d"
+  "CMakeFiles/easytime_nn.dir/gru.cc.o"
+  "CMakeFiles/easytime_nn.dir/gru.cc.o.d"
+  "CMakeFiles/easytime_nn.dir/layers.cc.o"
+  "CMakeFiles/easytime_nn.dir/layers.cc.o.d"
+  "CMakeFiles/easytime_nn.dir/loss.cc.o"
+  "CMakeFiles/easytime_nn.dir/loss.cc.o.d"
+  "CMakeFiles/easytime_nn.dir/matrix.cc.o"
+  "CMakeFiles/easytime_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/easytime_nn.dir/optimizer.cc.o"
+  "CMakeFiles/easytime_nn.dir/optimizer.cc.o.d"
+  "libeasytime_nn.a"
+  "libeasytime_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_pipeline.dir/benchmark_config.cc.o"
+  "CMakeFiles/easytime_pipeline.dir/benchmark_config.cc.o.d"
+  "CMakeFiles/easytime_pipeline.dir/plot.cc.o"
+  "CMakeFiles/easytime_pipeline.dir/plot.cc.o.d"
+  "CMakeFiles/easytime_pipeline.dir/runner.cc.o"
+  "CMakeFiles/easytime_pipeline.dir/runner.cc.o.d"
+  "libeasytime_pipeline.a"
+  "libeasytime_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

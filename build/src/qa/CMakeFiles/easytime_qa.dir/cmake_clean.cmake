@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_qa.dir/chart.cc.o"
+  "CMakeFiles/easytime_qa.dir/chart.cc.o.d"
+  "CMakeFiles/easytime_qa.dir/nl2sql.cc.o"
+  "CMakeFiles/easytime_qa.dir/nl2sql.cc.o.d"
+  "CMakeFiles/easytime_qa.dir/qa_engine.cc.o"
+  "CMakeFiles/easytime_qa.dir/qa_engine.cc.o.d"
+  "libeasytime_qa.a"
+  "libeasytime_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

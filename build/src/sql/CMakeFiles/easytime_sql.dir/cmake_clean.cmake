@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_sql.dir/analyzer.cc.o"
+  "CMakeFiles/easytime_sql.dir/analyzer.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/ast.cc.o"
+  "CMakeFiles/easytime_sql.dir/ast.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/executor.cc.o"
+  "CMakeFiles/easytime_sql.dir/executor.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/lexer.cc.o"
+  "CMakeFiles/easytime_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/parser.cc.o"
+  "CMakeFiles/easytime_sql.dir/parser.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/table.cc.o"
+  "CMakeFiles/easytime_sql.dir/table.cc.o.d"
+  "CMakeFiles/easytime_sql.dir/value.cc.o"
+  "CMakeFiles/easytime_sql.dir/value.cc.o.d"
+  "libeasytime_sql.a"
+  "libeasytime_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdata/characteristics.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/characteristics.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/characteristics.cc.o.d"
+  "/root/repo/src/tsdata/generator.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/generator.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/generator.cc.o.d"
+  "/root/repo/src/tsdata/repository.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/repository.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/repository.cc.o.d"
+  "/root/repo/src/tsdata/scaler.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/scaler.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/scaler.cc.o.d"
+  "/root/repo/src/tsdata/series.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/series.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/series.cc.o.d"
+  "/root/repo/src/tsdata/split.cc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/split.cc.o" "gcc" "src/tsdata/CMakeFiles/easytime_tsdata.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easytime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easytime_tsdata.dir/characteristics.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/characteristics.cc.o.d"
+  "CMakeFiles/easytime_tsdata.dir/generator.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/generator.cc.o.d"
+  "CMakeFiles/easytime_tsdata.dir/repository.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/repository.cc.o.d"
+  "CMakeFiles/easytime_tsdata.dir/scaler.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/scaler.cc.o.d"
+  "CMakeFiles/easytime_tsdata.dir/series.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/series.cc.o.d"
+  "CMakeFiles/easytime_tsdata.dir/split.cc.o"
+  "CMakeFiles/easytime_tsdata.dir/split.cc.o.d"
+  "libeasytime_tsdata.a"
+  "libeasytime_tsdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easytime_tsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

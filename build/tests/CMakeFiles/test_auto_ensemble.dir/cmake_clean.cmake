@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_ensemble.dir/test_auto_ensemble.cc.o"
+  "CMakeFiles/test_auto_ensemble.dir/test_auto_ensemble.cc.o.d"
+  "test_auto_ensemble"
+  "test_auto_ensemble.pdb"
+  "test_auto_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

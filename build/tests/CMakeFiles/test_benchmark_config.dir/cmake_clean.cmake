@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_config.dir/test_benchmark_config.cc.o"
+  "CMakeFiles/test_benchmark_config.dir/test_benchmark_config.cc.o.d"
+  "test_benchmark_config"
+  "test_benchmark_config.pdb"
+  "test_benchmark_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characteristics.dir/test_characteristics.cc.o"
+  "CMakeFiles/test_characteristics.dir/test_characteristics.cc.o.d"
+  "test_characteristics"
+  "test_characteristics.pdb"
+  "test_characteristics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contrastive.dir/test_contrastive.cc.o"
+  "CMakeFiles/test_contrastive.dir/test_contrastive.cc.o.d"
+  "test_contrastive"
+  "test_contrastive.pdb"
+  "test_contrastive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contrastive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

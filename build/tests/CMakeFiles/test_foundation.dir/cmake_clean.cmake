@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foundation.dir/test_foundation.cc.o"
+  "CMakeFiles/test_foundation.dir/test_foundation.cc.o.d"
+  "test_foundation"
+  "test_foundation.pdb"
+  "test_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gru.dir/test_gru.cc.o"
+  "CMakeFiles/test_gru.dir/test_gru.cc.o.d"
+  "test_gru"
+  "test_gru.pdb"
+  "test_gru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/test_logging.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_logging.dir/test_logging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/easytime_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/easytime_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ensemble/CMakeFiles/easytime_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/easytime_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/easytime_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/easytime_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/methods/CMakeFiles/easytime_methods.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/easytime_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/easytime_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/easytime_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easytime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methods_deep.dir/test_methods_deep.cc.o"
+  "CMakeFiles/test_methods_deep.dir/test_methods_deep.cc.o.d"
+  "test_methods_deep"
+  "test_methods_deep.pdb"
+  "test_methods_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methods_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

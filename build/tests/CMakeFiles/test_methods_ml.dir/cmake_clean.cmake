@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methods_ml.dir/test_methods_ml.cc.o"
+  "CMakeFiles/test_methods_ml.dir/test_methods_ml.cc.o.d"
+  "test_methods_ml"
+  "test_methods_ml.pdb"
+  "test_methods_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methods_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methods_stat.dir/test_methods_stat.cc.o"
+  "CMakeFiles/test_methods_stat.dir/test_methods_stat.cc.o.d"
+  "test_methods_stat"
+  "test_methods_stat.pdb"
+  "test_methods_stat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methods_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nl2sql.dir/test_nl2sql.cc.o"
+  "CMakeFiles/test_nl2sql.dir/test_nl2sql.cc.o.d"
+  "test_nl2sql"
+  "test_nl2sql.pdb"
+  "test_nl2sql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nl2sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_nl2sql.
+# This may be replaced when dependencies are built.

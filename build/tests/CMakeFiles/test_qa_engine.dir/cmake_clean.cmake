@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qa_engine.dir/test_qa_engine.cc.o"
+  "CMakeFiles/test_qa_engine.dir/test_qa_engine.cc.o.d"
+  "test_qa_engine"
+  "test_qa_engine.pdb"
+  "test_qa_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

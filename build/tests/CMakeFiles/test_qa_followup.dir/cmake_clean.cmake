@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qa_followup.dir/test_qa_followup.cc.o"
+  "CMakeFiles/test_qa_followup.dir/test_qa_followup.cc.o.d"
+  "test_qa_followup"
+  "test_qa_followup.pdb"
+  "test_qa_followup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qa_followup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_executor.dir/test_sql_executor.cc.o"
+  "CMakeFiles/test_sql_executor.dir/test_sql_executor.cc.o.d"
+  "test_sql_executor"
+  "test_sql_executor.pdb"
+  "test_sql_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

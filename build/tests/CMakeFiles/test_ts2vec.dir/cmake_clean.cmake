@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts2vec.dir/test_ts2vec.cc.o"
+  "CMakeFiles/test_ts2vec.dir/test_ts2vec.cc.o.d"
+  "test_ts2vec"
+  "test_ts2vec.pdb"
+  "test_ts2vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
