@@ -4,8 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "common/rng.h"
 #include "ensemble/ts2vec.h"
 #include "eval/metrics.h"
+#include "nn/gru.h"
+#include "nn/matrix.h"
 #include "tsdata/characteristics.h"
 #include "tsdata/generator.h"
 #include "tsdata/scaler.h"
@@ -93,6 +98,100 @@ void BM_Ts2VecEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ts2VecEncode)->Arg(128)->Arg(512);
+
+// --- Kernel / training-path benchmarks (PR 1). The *Naive cases run the
+// seed's reference kernel so the blocked-GEMM speedup is visible in one
+// report; BM_Ts2VecTrainEpoch matches the pre-PR harness workload so its
+// wall time is comparable across revisions.
+
+void GemmOperands(size_t n, nn::Matrix* a, nn::Matrix* b) {
+  Rng rng(1);
+  *a = nn::Matrix::Gaussian(n, n, 1.0, &rng);
+  *b = nn::Matrix::Gaussian(n, n, 1.0, &rng);
+}
+
+void BM_GemmSmall(benchmark::State& state) {
+  nn::Matrix a, b, out;
+  GemmOperands(64, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * 64 * 64);
+}
+BENCHMARK(BM_GemmSmall);
+
+void BM_GemmSmallNaive(benchmark::State& state) {
+  nn::Matrix a, b;
+  GemmOperands(64, &a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulNaive(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * 64 * 64);
+}
+BENCHMARK(BM_GemmSmallNaive);
+
+void BM_GemmLarge(benchmark::State& state) {
+  nn::Matrix a, b, out;
+  GemmOperands(256, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
+}
+BENCHMARK(BM_GemmLarge);
+
+void BM_GemmLargeNaive(benchmark::State& state) {
+  nn::Matrix a, b;
+  GemmOperands(256, &a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulNaive(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
+}
+BENCHMARK(BM_GemmLargeNaive);
+
+void BM_GruStep(benchmark::State& state) {
+  Rng rng(2);
+  nn::Gru gru(1, 32, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(64, 1, 1.0, &rng);
+  nn::Matrix g = nn::Matrix::Gaussian(64, 32, 0.1, &rng);
+  nn::Matrix h, dx;
+  for (auto _ : state) {
+    gru.ForwardInto(x, &h);
+    gru.BackwardInto(g, &dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_GruStep);
+
+void BM_Ts2VecTrainEpoch(benchmark::State& state) {
+  ensemble::Ts2VecOptions opt;
+  opt.repr_dim = 16;
+  opt.hidden_dim = 24;
+  opt.depth = 3;
+  opt.crop_length = 64;
+  opt.batch_size = 8;
+  opt.epochs = 1;
+  opt.seed = 9;
+  std::vector<std::vector<double>> corpus;
+  for (uint64_t s = 0; s < 16; ++s) {
+    Rng rng(s + 1);
+    std::vector<double> v(160);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::sin(static_cast<double>(i) * 0.26) + rng.Gaussian(0.0, 0.3);
+    }
+    corpus.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    ensemble::Ts2VecEncoder enc(opt);
+    auto r = ensemble::PretrainTs2Vec(&enc, corpus);
+    if (!r.ok()) state.SkipWithError("pretrain failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Ts2VecTrainEpoch);
 
 }  // namespace
 

@@ -1,8 +1,16 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace easytime {
+
+namespace {
+/// Set for the lifetime of each worker thread; lets ParallelFor detect
+/// re-entry from one of its own workers and fall back to inline execution.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -25,7 +33,10 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -41,12 +52,58 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&body, i]() { body(i); }));
+  // Inline when there is no parallelism to gain or when called from one of
+  // this pool's own workers (blocking a worker on work only other workers
+  // can run deadlocks once every worker is inside such a call).
+  if (n == 1 || workers_.empty() || InWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
   }
-  for (auto& f : futures) f.get();
+
+  // Chunked dispatch: participants claim contiguous grains off one atomic
+  // counter. One task per worker at most; the caller works too.
+  const size_t participants = workers_.size() + 1;
+  const size_t grain = std::max<size_t>(1, n / (4 * participants));
+  std::atomic<size_t> next{0};
+  auto run_chunks = [&next, &body, n, grain]() {
+    for (;;) {
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) body(i);
+    }
+  };
+
+  const size_t num_chunks = (n + grain - 1) / grain;
+  const size_t fanout = std::min(workers_.size(), num_chunks - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(fanout);
+  for (size_t t = 0; t < fanout; ++t) futures.push_back(Submit(run_chunks));
+
+  // The caller participates; hold any exception until the workers drain so
+  // no task outlives the shared state on this stack frame.
+  std::exception_ptr caller_error;
+  try {
+    run_chunks();
+  } catch (...) {
+    caller_error = std::current_exception();
+    next.store(n, std::memory_order_relaxed);  // stop remaining chunks early
+  }
+  std::exception_ptr task_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!task_error) task_error = std::current_exception();
+    }
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (task_error) std::rethrow_exception(task_error);
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool;
+  return pool;
 }
 
 }  // namespace easytime

@@ -2,7 +2,7 @@
 
 /// \file thread_pool.h
 /// \brief Fixed-size worker pool used by the benchmark pipeline to evaluate
-/// (method, dataset) pairs in parallel, plus a ParallelFor convenience.
+/// (method, dataset) pairs in parallel, plus a chunked ParallelFor.
 
 #include <condition_variable>
 #include <cstddef>
@@ -45,7 +45,18 @@ class ThreadPool {
 
   /// \brief Runs body(i) for i in [0, n), distributing across the pool and
   /// blocking until all iterations complete.
+  ///
+  /// Iterations are claimed in contiguous grains off a shared atomic counter,
+  /// so only one task per worker is enqueued regardless of n, and the calling
+  /// thread participates in the work instead of idling. When called from
+  /// inside one of this pool's own workers the loop executes inline — the
+  /// old one-future-per-index implementation would block that worker on
+  /// futures no other worker could ever run (deadlock once all workers were
+  /// inside such a call).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
  private:
   void WorkerLoop();
@@ -56,5 +67,10 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// \brief Process-wide shared pool (lazily created, hardware-concurrency
+/// sized). Used by the NN kernels and the training loops so they draw from
+/// one set of workers instead of each spinning up their own.
+ThreadPool& GlobalThreadPool();
 
 }  // namespace easytime

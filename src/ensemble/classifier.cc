@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
@@ -47,16 +48,23 @@ easytime::Status MethodClassifier::Train(
   if (examples.empty()) {
     return Status::InvalidArgument("no classifier training examples");
   }
-  // Assemble the dense training batch; skip examples with missing features
-  // or with fewer than 2 method scores.
-  std::vector<std::vector<double>> feats;
-  std::vector<std::vector<double>> labels;
   for (const auto& ex : examples) {
     if (ex.features.size() != feature_dim_) {
       return Status::InvalidArgument(
           "feature dim mismatch: expected " + std::to_string(feature_dim_) +
           ", got " + std::to_string(ex.features.size()));
     }
+  }
+
+  // Per-example label assembly is independent, so it fans out over the
+  // shared pool into index-stable slots; the serial compaction below keeps
+  // the original example order. Examples with fewer than 2 method scores
+  // are skipped.
+  const size_t N = examples.size();
+  std::vector<std::vector<double>> labels(N);
+  std::vector<char> usable(N, 0);
+  GlobalThreadPool().ParallelFor(N, [&](size_t e) {
+    const auto& ex = examples[e];
     std::vector<double> errors(methods_.size(),
                                std::numeric_limits<double>::quiet_NaN());
     size_t have = 0;
@@ -67,36 +75,44 @@ easytime::Status MethodClassifier::Train(
         ++have;
       }
     }
-    if (have < 2) continue;
+    if (have < 2) return;
     // Missing methods get the worst observed error (they never win).
     double worst = -1e300;
-    for (double e : errors) {
-      if (std::isfinite(e)) worst = std::max(worst, e);
+    for (double err : errors) {
+      if (std::isfinite(err)) worst = std::max(worst, err);
     }
-    for (auto& e : errors) {
-      if (!std::isfinite(e)) e = worst * 1.5 + 1.0;
+    for (auto& err : errors) {
+      if (!std::isfinite(err)) err = worst * 1.5 + 1.0;
     }
-    feats.push_back(ex.features);
-    labels.push_back(SoftLabel(errors, options_.label_temperature,
-                               options_.hard_labels));
-  }
-  if (feats.empty()) {
+    labels[e] = SoftLabel(errors, options_.label_temperature,
+                          options_.hard_labels);
+    usable[e] = 1;
+  });
+
+  size_t rows = 0;
+  for (size_t e = 0; e < N; ++e) rows += usable[e];
+  if (rows == 0) {
     return Status::InvalidArgument("no usable classifier training examples");
   }
 
-  nn::Matrix x(feats.size(), feature_dim_);
-  nn::Matrix y(feats.size(), methods_.size());
-  for (size_t r = 0; r < feats.size(); ++r) {
-    for (size_t c = 0; c < feature_dim_; ++c) x.at(r, c) = feats[r][c];
-    for (size_t c = 0; c < methods_.size(); ++c) y.at(r, c) = labels[r][c];
+  nn::Matrix x(rows, feature_dim_);
+  nn::Matrix y(rows, methods_.size());
+  size_t r = 0;
+  for (size_t e = 0; e < N; ++e) {
+    if (!usable[e]) continue;
+    for (size_t c = 0; c < feature_dim_; ++c) {
+      x.at(r, c) = examples[e].features[c];
+    }
+    for (size_t c = 0; c < methods_.size(); ++c) y.at(r, c) = labels[e][c];
+    ++r;
   }
 
   nn::Adam opt(net_.Params(), options_.learning_rate);
+  nn::Matrix logits, grad, grad_in, probs_ws;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    nn::Matrix logits = net_.Forward(x);
-    auto [loss, grad] = nn::SoftCrossEntropyLoss(logits, y);
-    (void)loss;
-    net_.Backward(grad);
+    net_.ForwardInto(x, &logits);
+    nn::SoftCrossEntropyLossInto(logits, y, &grad, &probs_ws);
+    net_.BackwardInto(grad, &grad_in);
     opt.ClipGradNorm(5.0);
     opt.Step();
     opt.ZeroGrad();
@@ -112,7 +128,8 @@ easytime::Result<std::vector<double>> MethodClassifier::Predict(
     return Status::InvalidArgument("feature dim mismatch");
   }
   nn::Matrix x = nn::Matrix::FromVector(features);
-  nn::Matrix logits = net_.Forward(x);
+  nn::Matrix logits;
+  net_.ForwardConst(x, &logits);
   nn::Matrix probs = nn::RowSoftmax(logits);
   return probs.Row(0);
 }

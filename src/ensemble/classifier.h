@@ -42,6 +42,7 @@ class MethodClassifier {
   easytime::Status Train(const std::vector<ClassifierExample>& examples);
 
   /// Probability distribution over methods() for the given features.
+  /// Cache-free inference pass; safe to call from multiple threads.
   easytime::Result<std::vector<double>> Predict(
       const std::vector<double>& features) const;
 
@@ -61,7 +62,7 @@ class MethodClassifier {
   std::vector<std::string> methods_;
   size_t feature_dim_;
   ClassifierOptions options_;
-  mutable nn::Sequential net_;
+  nn::Sequential net_;
   bool trained_ = false;
 };
 

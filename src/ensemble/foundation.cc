@@ -11,12 +11,11 @@
 
 namespace easytime::ensemble {
 
-/// Shared immutable pretrained state. The encoder's forward pass mutates
-/// internal layer caches, so concurrent zero-shot predictions serialize on
-/// a mutex (cheap relative to the conv forward itself).
+/// Shared immutable pretrained state. The encoder's cache-free inference
+/// pass lets concurrent zero-shot predictions share one model without
+/// locking.
 struct FoundationForecaster::Model {
-  mutable std::mutex mu;
-  mutable std::unique_ptr<Ts2VecEncoder> encoder;
+  std::unique_ptr<Ts2VecEncoder> encoder;
   std::vector<std::vector<double>> head;  ///< per-step (repr_dim + 1) coefs
   FoundationOptions options;
 
@@ -24,8 +23,8 @@ struct FoundationForecaster::Model {
   std::vector<double> Represent(const std::vector<double>& window) const {
     nn::Matrix seq(window.size(), 1);
     for (size_t t = 0; t < window.size(); ++t) seq.at(t, 0) = window[t];
-    std::lock_guard<std::mutex> lock(mu);
-    nn::Matrix repr = encoder->Encode(seq);
+    nn::Matrix repr;
+    encoder->EncodeConst(seq, &repr);
     return repr.Row(repr.rows() - 1);
   }
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "nn/optimizer.h"
 
 namespace easytime::ensemble {
@@ -22,17 +23,13 @@ Ts2VecEncoder::Ts2VecEncoder(const Ts2VecOptions& options)
                                               options.repr_dim, 1, 1, &rng));
 }
 
-nn::Matrix Ts2VecEncoder::Encode(const nn::Matrix& seq) {
-  return net_.Forward(seq);
-}
-
 void Ts2VecEncoder::Backprop(const nn::Matrix& seq, const nn::Matrix& grad) {
-  net_.Forward(seq);  // rebuild layer caches for this sequence
-  net_.Backward(grad);
+  net_.ForwardInto(seq, &fwd_ws_);  // rebuild layer caches for this sequence
+  net_.BackwardInto(grad, &bwd_ws_);
 }
 
 std::vector<double> Ts2VecEncoder::Represent(
-    const std::vector<double>& values) {
+    const std::vector<double>& values) const {
   // z-normalize for scale invariance.
   double m = Mean(values);
   double sd = std::max(StdDev(values), 1e-9);
@@ -41,7 +38,8 @@ std::vector<double> Ts2VecEncoder::Represent(
   for (size_t t = 0; t < values.size(); ++t) {
     seq.at(t, 0) = (values[t] - m) / sd;
   }
-  nn::Matrix repr = Encode(seq);
+  nn::Matrix repr;
+  EncodeConst(seq, &repr);
   // Max-pool over time (TS2Vec's instance-level representation).
   std::vector<double> out(repr.cols(), -1e300);
   for (size_t t = 0; t < repr.rows(); ++t) {
@@ -84,15 +82,21 @@ easytime::Result<Ts2VecTrainStats> PretrainTs2Vec(
   Ts2VecTrainStats stats;
   size_t steps_per_epoch =
       std::max<size_t>(1, normed.size() / std::max<size_t>(1, opt.batch_size));
+  const size_t B = std::min(opt.batch_size, normed.size());
+
+  ThreadPool& pool = GlobalThreadPool();
+  // Step-loop workspaces: the matrices keep their buffers across steps.
+  std::vector<nn::Matrix> seq1(B), seq2(B), rep1(B), rep2(B);
+  std::vector<nn::Matrix> g1, g2;
 
   for (size_t epoch = 0; epoch < opt.epochs; ++epoch) {
     double epoch_loss = 0.0;
     for (size_t step = 0; step < steps_per_epoch; ++step) {
-      size_t B = std::min(opt.batch_size, normed.size());
       std::vector<size_t> batch = rng.SampleIndices(normed.size(), B);
 
-      // Build two masked views of a random crop per series.
-      std::vector<nn::Matrix> seq1(B), seq2(B), rep1(B), rep2(B);
+      // Build two masked views of a random crop per series. This stays
+      // serial: the crop and mask draws must consume the RNG in batch
+      // order.
       for (size_t i = 0; i < B; ++i) {
         const auto& s = normed[batch[i]];
         size_t crop = std::min(opt.crop_length, s.size());
@@ -100,19 +104,27 @@ easytime::Result<Ts2VecTrainStats> PretrainTs2Vec(
                            ? static_cast<size_t>(rng.UniformInt(
                                  0, static_cast<int64_t>(s.size() - crop)))
                            : 0;
-        nn::Matrix a(crop, 1), b(crop, 1);
+        seq1[i].Resize(crop, 1);
+        seq2[i].Resize(crop, 1);
         for (size_t t = 0; t < crop; ++t) {
           double v = s[start + t];
-          a.at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
-          b.at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
+          seq1[i].at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
+          seq2[i].at(t, 0) = rng.Uniform() < opt.mask_prob ? 0.0 : v;
         }
-        seq1[i] = std::move(a);
-        seq2[i] = std::move(b);
-        rep1[i] = encoder->Encode(seq1[i]);
-        rep2[i] = encoder->Encode(seq2[i]);
       }
 
-      std::vector<nn::Matrix> g1, g2;
+      // Encode both views of every series in parallel. Each encode is
+      // cache-free and writes only its own output matrix, so the schedule
+      // cannot affect the results.
+      pool.ParallelFor(2 * B, [&](size_t idx) {
+        const size_t i = idx / 2;
+        if (idx % 2 == 0) {
+          encoder->EncodeConst(seq1[i], &rep1[i]);
+        } else {
+          encoder->EncodeConst(seq2[i], &rep2[i]);
+        }
+      });
+
       double loss =
           nn::HierarchicalContrastiveLoss(rep1, rep2, &g1, &g2, copt);
       epoch_loss += loss;

@@ -38,7 +38,13 @@ class Ts2VecEncoder {
   explicit Ts2VecEncoder(const Ts2VecOptions& options);
 
   /// Forward pass over a full (z-normalized) sequence.
-  nn::Matrix Encode(const nn::Matrix& seq);
+  nn::Matrix Encode(const nn::Matrix& seq) { return net_.Forward(seq); }
+
+  /// Cache-free forward pass into \p out; safe to call concurrently from
+  /// multiple threads (used by the parallel batch encode in pretraining).
+  void EncodeConst(const nn::Matrix& seq, nn::Matrix* out) const {
+    net_.ForwardConst(seq, out);
+  }
 
   /// Re-runs the forward pass for \p seq and backpropagates \p grad,
   /// accumulating parameter gradients.
@@ -46,8 +52,8 @@ class Ts2VecEncoder {
 
   /// \brief Instance-level representation of a raw value sequence:
   /// z-normalizes, encodes, and max-pools over time. This is the feature
-  /// vector handed to the method classifier.
-  std::vector<double> Represent(const std::vector<double>& values);
+  /// vector handed to the method classifier. Thread-safe.
+  std::vector<double> Represent(const std::vector<double>& values) const;
 
   std::vector<nn::Param*> Params() { return net_.Params(); }
   size_t repr_dim() const { return options_.repr_dim; }
@@ -56,6 +62,7 @@ class Ts2VecEncoder {
  private:
   Ts2VecOptions options_;
   nn::Sequential net_;
+  nn::Matrix fwd_ws_, bwd_ws_;  // Backprop scratch, reused across calls
 };
 
 /// Pretraining statistics per epoch.
@@ -66,6 +73,9 @@ struct Ts2VecTrainStats {
 /// \brief Pretrains the encoder on a corpus of series (the offline phase of
 /// Fig. 2). Each step samples a batch, crops a window per series, builds two
 /// randomly-masked views, and minimizes the hierarchical contrastive loss.
+/// View construction stays serial (it owns the RNG call order); the batch
+/// encodes run on the shared thread pool, which cannot change the result
+/// because each view's encode is independent and cache-free.
 easytime::Result<Ts2VecTrainStats> PretrainTs2Vec(
     Ts2VecEncoder* encoder, const std::vector<std::vector<double>>& corpus);
 

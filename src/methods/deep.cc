@@ -25,11 +25,18 @@ std::vector<size_t> SelectWindows(size_t total, size_t max_windows,
 
 /// Normalizes a window by its last value (NLinear-style) for stable deep
 /// training across levels; returns the offset to add back to outputs.
+/// Writes into \p out so per-window loops reuse one buffer.
+void NormalizeWindowInto(const std::vector<double>& w, double* offset,
+                         std::vector<double>* out) {
+  *offset = w.empty() ? 0.0 : w.back();
+  out->resize(w.size());
+  for (size_t i = 0; i < w.size(); ++i) (*out)[i] = w[i] - *offset;
+}
+
 std::vector<double> NormalizeWindow(const std::vector<double>& w,
                                     double* offset) {
-  *offset = w.empty() ? 0.0 : w.back();
-  std::vector<double> out(w.size());
-  for (size_t i = 0; i < w.size(); ++i) out[i] = w[i] - *offset;
+  std::vector<double> out;
+  NormalizeWindowInto(w, offset, &out);
   return out;
 }
 
@@ -61,9 +68,10 @@ Status MlpForecaster::Fit(const std::vector<double>& train,
 
   // Batch matrices (all selected windows at once — the MLP is batch-capable).
   nn::Matrix x(idx.size(), lookback), y(idx.size(), horizon);
+  std::vector<double> wnorm;
   for (size_t r = 0; r < idx.size(); ++r) {
     double off = 0.0;
-    std::vector<double> wnorm = NormalizeWindow(wd.inputs[idx[r]], &off);
+    NormalizeWindowInto(wd.inputs[idx[r]], &off, &wnorm);
     for (size_t c = 0; c < lookback; ++c) x.at(r, c) = wnorm[c];
     for (size_t c = 0; c < horizon; ++c) {
       y.at(r, c) = wd.targets[idx[r]][c] - off;
@@ -71,11 +79,11 @@ Status MlpForecaster::Fit(const std::vector<double>& train,
   }
 
   nn::Adam opt(net_->Params(), options_.learning_rate);
+  nn::Matrix pred, grad, grad_in;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    nn::Matrix pred = net_->Forward(x);
-    auto [loss, grad] = nn::MseLoss(pred, y);
-    (void)loss;
-    net_->Backward(grad);
+    net_->ForwardInto(x, &pred);
+    nn::MseLossInto(pred, y, &grad);
+    net_->BackwardInto(grad, &grad_in);
     opt.ClipGradNorm(options_.grad_clip);
     opt.Step();
     opt.ZeroGrad();
@@ -93,7 +101,8 @@ std::vector<double> MlpForecaster::PredictWindow(
   double off = 0.0;
   std::vector<double> wnorm = NormalizeWindow(window, &off);
   nn::Matrix x = nn::Matrix::FromVector(wnorm);
-  nn::Matrix pred = net_->Forward(x);
+  nn::Matrix pred;
+  net_->ForwardConst(x, &pred);
   std::vector<double> out = pred.Row(0);
   for (auto& v : out) v += off;
   return out;
@@ -142,32 +151,35 @@ Status GruForecaster::Fit(const std::vector<double>& train,
   params.insert(params.end(), hp.begin(), hp.end());
   nn::Adam opt(params, options_.learning_rate);
 
+  // Per-window buffers, reused across the whole training run.
+  std::vector<double> wnorm;
+  nn::Matrix seq, hidden, last(1, options_.hidden), pred, target(1, horizon);
+  nn::Matrix grad, dlast, dhidden, dseq;
+
   size_t epochs = std::max<size_t>(8, options_.epochs / 2);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t r : idx) {
       double off = 0.0;
-      std::vector<double> wnorm = NormalizeWindow(wd.inputs[r], &off);
-      nn::Matrix seq(lookback, 1);
+      NormalizeWindowInto(wd.inputs[r], &off, &wnorm);
+      seq.Resize(lookback, 1);
       for (size_t t = 0; t < lookback; ++t) seq.at(t, 0) = wnorm[t];
 
-      nn::Matrix hidden = gru_->Forward(seq);          // (T x H)
-      nn::Matrix last(1, options_.hidden);
+      gru_->ForwardInto(seq, &hidden);                 // (T x H)
       for (size_t j = 0; j < options_.hidden; ++j) {
         last.at(0, j) = hidden.at(lookback - 1, j);
       }
-      nn::Matrix pred = head_->Forward(last);          // (1 x horizon)
-      nn::Matrix target(1, horizon);
+      head_->ForwardInto(last, &pred);                 // (1 x horizon)
       for (size_t c = 0; c < horizon; ++c) {
         target.at(0, c) = wd.targets[r][c] - off;
       }
-      auto [loss, grad] = nn::MseLoss(pred, target);
-      (void)loss;
-      nn::Matrix dlast = head_->Backward(grad);
-      nn::Matrix dhidden(lookback, options_.hidden);
+      nn::MseLossInto(pred, target, &grad);
+      head_->BackwardInto(grad, &dlast);
+      dhidden.Resize(lookback, options_.hidden);
+      dhidden.Fill(0.0);
       for (size_t j = 0; j < options_.hidden; ++j) {
         dhidden.at(lookback - 1, j) = dlast.at(0, j);
       }
-      gru_->Backward(dhidden);
+      gru_->BackwardInto(dhidden, &dseq);
       opt.ClipGradNorm(options_.grad_clip);
       opt.Step();
       opt.ZeroGrad();
@@ -187,12 +199,14 @@ std::vector<double> GruForecaster::PredictWindow(
   std::vector<double> wnorm = NormalizeWindow(window, &off);
   nn::Matrix seq(wnorm.size(), 1);
   for (size_t t = 0; t < wnorm.size(); ++t) seq.at(t, 0) = wnorm[t];
-  nn::Matrix hidden = gru_->Forward(seq);
+  nn::Matrix hidden;
+  gru_->ForwardConst(seq, &hidden);
   nn::Matrix last(1, gru_->hidden_size());
   for (size_t j = 0; j < gru_->hidden_size(); ++j) {
     last.at(0, j) = hidden.at(hidden.rows() - 1, j);
   }
-  nn::Matrix pred = head_->Forward(last);
+  nn::Matrix pred;
+  head_->ForwardConst(last, &pred);
   std::vector<double> out = pred.Row(0);
   for (auto& v : out) v += off;
   return out;
@@ -245,30 +259,33 @@ Status TcnForecaster::Fit(const std::vector<double>& train,
   params.insert(params.end(), hp.begin(), hp.end());
   nn::Adam opt(params, options_.learning_rate);
 
+  // Per-window buffers, reused across the whole training run.
+  std::vector<double> wnorm;
+  nn::Matrix seq, feats, last(1, ch), pred, target(1, horizon);
+  nn::Matrix grad, dlast, dfeats, dseq;
+
   size_t epochs = std::max<size_t>(8, options_.epochs / 2);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t r : idx) {
       double off = 0.0;
-      std::vector<double> wnorm = NormalizeWindow(wd.inputs[r], &off);
-      nn::Matrix seq(lookback, 1);
+      NormalizeWindowInto(wd.inputs[r], &off, &wnorm);
+      seq.Resize(lookback, 1);
       for (size_t t = 0; t < lookback; ++t) seq.at(t, 0) = wnorm[t];
 
-      nn::Matrix feats = encoder_->Forward(seq);  // (T x ch)
-      nn::Matrix last(1, ch);
+      encoder_->ForwardInto(seq, &feats);  // (T x ch)
       for (size_t j = 0; j < ch; ++j) last.at(0, j) = feats.at(lookback - 1, j);
-      nn::Matrix pred = head_->Forward(last);
-      nn::Matrix target(1, horizon);
+      head_->ForwardInto(last, &pred);
       for (size_t c = 0; c < horizon; ++c) {
         target.at(0, c) = wd.targets[r][c] - off;
       }
-      auto [loss, grad] = nn::MseLoss(pred, target);
-      (void)loss;
-      nn::Matrix dlast = head_->Backward(grad);
-      nn::Matrix dfeats(lookback, ch);
+      nn::MseLossInto(pred, target, &grad);
+      head_->BackwardInto(grad, &dlast);
+      dfeats.Resize(lookback, ch);
+      dfeats.Fill(0.0);
       for (size_t j = 0; j < ch; ++j) {
         dfeats.at(lookback - 1, j) = dlast.at(0, j);
       }
-      encoder_->Backward(dfeats);
+      encoder_->BackwardInto(dfeats, &dseq);
       opt.ClipGradNorm(options_.grad_clip);
       opt.Step();
       opt.ZeroGrad();
@@ -288,13 +305,15 @@ std::vector<double> TcnForecaster::PredictWindow(
   std::vector<double> wnorm = NormalizeWindow(window, &off);
   nn::Matrix seq(wnorm.size(), 1);
   for (size_t t = 0; t < wnorm.size(); ++t) seq.at(t, 0) = wnorm[t];
-  nn::Matrix feats = encoder_->Forward(seq);
+  nn::Matrix feats;
+  encoder_->ForwardConst(seq, &feats);
   size_t ch = feats.cols();
   nn::Matrix last(1, ch);
   for (size_t j = 0; j < ch; ++j) {
     last.at(0, j) = feats.at(feats.rows() - 1, j);
   }
-  nn::Matrix pred = head_->Forward(last);
+  nn::Matrix pred;
+  head_->ForwardConst(last, &pred);
   std::vector<double> out = pred.Row(0);
   for (auto& v : out) v += off;
   return out;

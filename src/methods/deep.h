@@ -46,7 +46,7 @@ class MlpForecaster : public Forecaster {
   DeepOptions options_;
   size_t lookback_ = 0;
   size_t trained_horizon_ = 0;
-  mutable std::unique_ptr<nn::Sequential> net_;
+  std::unique_ptr<nn::Sequential> net_;
   double norm_offset_ = 0.0;  ///< window normalization: subtract last value
   std::vector<double> train_tail_;
   bool fitted_ = false;
@@ -71,8 +71,8 @@ class GruForecaster : public Forecaster {
   DeepOptions options_;
   size_t lookback_ = 0;
   size_t trained_horizon_ = 0;
-  mutable std::unique_ptr<nn::Gru> gru_;
-  mutable std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<nn::Gru> gru_;
+  std::unique_ptr<nn::Linear> head_;
   std::vector<double> train_tail_;
   bool fitted_ = false;
 };
@@ -97,8 +97,8 @@ class TcnForecaster : public Forecaster {
   DeepOptions options_;
   size_t lookback_ = 0;
   size_t trained_horizon_ = 0;
-  mutable std::unique_ptr<nn::Sequential> encoder_;  ///< conv stack
-  mutable std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<nn::Sequential> encoder_;  ///< conv stack
+  std::unique_ptr<nn::Linear> head_;
   std::vector<double> train_tail_;
   bool fitted_ = false;
 };

@@ -11,12 +11,16 @@ namespace {
 /// Accumulates one InfoNCE term: anchor dotted against candidates, softmax
 /// cross-entropy with the positive at \p pos_index. cand[k] points at row
 /// vectors of length D; grads are accumulated into ganchor / gcand[k].
+/// \p logits is caller-provided scratch (resized here) so the per-term
+/// buffer is allocated once per loss call, not once per term.
 double InfoNceTerm(const double* anchor,
                    const std::vector<const double*>& cand, size_t pos_index,
                    size_t dim, double* ganchor,
-                   const std::vector<double*>& gcand, double weight) {
+                   const std::vector<double*>& gcand, double weight,
+                   std::vector<double>* logits_scratch) {
   size_t k = cand.size();
-  std::vector<double> logits(k);
+  std::vector<double>& logits = *logits_scratch;
+  logits.resize(k);
   double mx = -1e300;
   for (size_t i = 0; i < k; ++i) {
     double dot = 0.0;
@@ -66,9 +70,17 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
   double loss = 0.0;
   size_t terms = 0;
 
+  // Per-term scratch, hoisted out of the loops: clear() keeps capacity so
+  // only the first term of each section allocates.
+  std::vector<const double*> cand;
+  std::vector<double*> gcand;
+  std::vector<double> logits;
+
   // Instance contrast: anchor z1[i][t]; candidates z2[j][t] (all j) and
   // z1[j][t] (j != i). Symmetrized by swapping the views.
   if (B >= 2 && alpha > 0.0) {
+    cand.reserve(2 * B - 1);
+    gcand.reserve(2 * B - 1);
     for (size_t t = 0; t < T; ++t) {
       for (size_t i = 0; i < B; ++i) {
         for (int dir = 0; dir < 2; ++dir) {
@@ -78,10 +90,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
           auto& gb = dir == 0 ? g2 : g1;
           const double* anchor = va[i].data() + t * D;
           double* ganchor = ga[i].data() + t * D;
-          std::vector<const double*> cand;
-          std::vector<double*> gcand;
-          cand.reserve(2 * B - 1);
-          gcand.reserve(2 * B - 1);
+          cand.clear();
+          gcand.clear();
           size_t pos = 0;
           for (size_t j = 0; j < B; ++j) {
             if (j == i) pos = cand.size();
@@ -93,7 +103,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
             cand.push_back(va[j].data() + t * D);
             gcand.push_back(ga[j].data() + t * D);
           }
-          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, alpha);
+          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, alpha,
+                              &logits);
           ++terms;
         }
       }
@@ -104,6 +115,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
   // z1[i][t'] (t' != t). Symmetrized.
   double beta = 1.0 - alpha;
   if (T >= 2 && beta > 0.0) {
+    cand.reserve(2 * T - 1);
+    gcand.reserve(2 * T - 1);
     for (size_t i = 0; i < B; ++i) {
       for (size_t t = 0; t < T; ++t) {
         for (int dir = 0; dir < 2; ++dir) {
@@ -113,10 +126,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
           auto& gb = dir == 0 ? g2 : g1;
           const double* anchor = va[i].data() + t * D;
           double* ganchor = ga[i].data() + t * D;
-          std::vector<const double*> cand;
-          std::vector<double*> gcand;
-          cand.reserve(2 * T - 1);
-          gcand.reserve(2 * T - 1);
+          cand.clear();
+          gcand.clear();
           size_t pos = 0;
           for (size_t u = 0; u < T; ++u) {
             if (u == t) pos = cand.size();
@@ -128,7 +139,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
             cand.push_back(va[i].data() + u * D);
             gcand.push_back(ga[i].data() + u * D);
           }
-          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, beta);
+          loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, beta,
+                              &logits);
           ++terms;
         }
       }
@@ -141,8 +153,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
   for (size_t i = 0; i < B; ++i) {
     g1[i].Scale(norm);
     g2[i].Scale(norm);
-    if (grad1) (*grad1)[i] = g1[i];
-    if (grad2) (*grad2)[i] = g2[i];
+    if (grad1) (*grad1)[i] = std::move(g1[i]);
+    if (grad2) (*grad2)[i] = std::move(g2[i]);
   }
   return loss;
 }

@@ -1,5 +1,6 @@
 #include "nn/gru.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace easytime::nn {
@@ -22,75 +23,123 @@ Gru::Gru(size_t input_size, size_t hidden_size, Rng* rng)
       b_n_(Matrix::Zeros(1, hidden_size)),
       b_hn_(Matrix::Zeros(1, hidden_size)) {}
 
-Matrix Gru::Forward(const Matrix& x) {
-  cached_input_ = x;
+void Gru::ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r,
+                      Matrix* pre_z, Matrix* pre_n, Matrix* hn_lin, Matrix* r,
+                      Matrix* z, Matrix* n, Matrix* h) const {
   const size_t T = x.rows();
   const size_t H = hidden_size_;
-  r_.assign(T, std::vector<double>(H));
-  z_.assign(T, std::vector<double>(H));
-  n_.assign(T, std::vector<double>(H));
-  h_.assign(T, std::vector<double>(H));
-  hn_lin_.assign(T, std::vector<double>(H));
 
-  Matrix out(T, H);
-  std::vector<double> h_prev(H, 0.0);
-  for (size_t t = 0; t < T; ++t) {
-    for (size_t j = 0; j < H; ++j) {
-      double ar = b_r_.value.at(0, j);
-      double az = b_z_.value.at(0, j);
-      double an = b_n_.value.at(0, j);
-      double hn = b_hn_.value.at(0, j);
-      for (size_t i = 0; i < input_size_; ++i) {
-        double xv = x.at(t, i);
-        ar += xv * w_ir_.value.at(i, j);
-        az += xv * w_iz_.value.at(i, j);
-        an += xv * w_in_.value.at(i, j);
-      }
-      for (size_t i = 0; i < H; ++i) {
-        double hv = h_prev[i];
-        ar += hv * w_hr_.value.at(i, j);
-        az += hv * w_hz_.value.at(i, j);
-        hn += hv * w_hn_.value.at(i, j);
-      }
-      double r = SigmoidScalar(ar);
-      double z = SigmoidScalar(az);
-      double n = std::tanh(an + r * hn);
-      double h = (1.0 - z) * n + z * h_prev[j];
-      r_[t][j] = r;
-      z_[t][j] = z;
-      n_[t][j] = n;
-      hn_lin_[t][j] = hn;
-      h_[t][j] = h;
-      out.at(t, j) = h;
+  // Each gate pre-activation row accumulates bias first, then the x terms,
+  // then (per step) the h terms — the per-element order of the scalar loop.
+  auto seed_bias = [T, H](Matrix* m, const Matrix& bias) {
+    m->Resize(T, H);
+    const double* pb = bias.data();
+    for (size_t t = 0; t < T; ++t) {
+      double* row = m->row_data(t);
+      for (size_t j = 0; j < H; ++j) row[j] = pb[j];
     }
-    h_prev = h_[t];
+  };
+  seed_bias(pre_r, b_r_.value);
+  seed_bias(pre_z, b_z_.value);
+  seed_bias(pre_n, b_n_.value);
+  seed_bias(hn_lin, b_hn_.value);
+
+  kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
+                  w_ir_.value.data(), H, pre_r->data(), H);
+  kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
+                  w_iz_.value.data(), H, pre_z->data(), H);
+  kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
+                  w_in_.value.data(), H, pre_n->data(), H);
+
+  r->Resize(T, H);
+  z->Resize(T, H);
+  n->Resize(T, H);
+  h->Resize(T, H);
+  out->Resize(T, H);
+
+  const std::vector<double> zero_state(H, 0.0);
+  const double* h_prev = zero_state.data();
+  for (size_t t = 0; t < T; ++t) {
+    kernel::GemmAcc(1, H, H, h_prev, H, w_hr_.value.data(), H,
+                    pre_r->row_data(t), H);
+    kernel::GemmAcc(1, H, H, h_prev, H, w_hz_.value.data(), H,
+                    pre_z->row_data(t), H);
+    kernel::GemmAcc(1, H, H, h_prev, H, w_hn_.value.data(), H,
+                    hn_lin->row_data(t), H);
+    const double* ar = pre_r->row_data(t);
+    const double* az = pre_z->row_data(t);
+    const double* an = pre_n->row_data(t);
+    const double* hn = hn_lin->row_data(t);
+    double* rr = r->row_data(t);
+    double* zr = z->row_data(t);
+    double* nr = n->row_data(t);
+    double* hr = h->row_data(t);
+    double* orow = out->row_data(t);
+    for (size_t j = 0; j < H; ++j) {
+      const double rj = SigmoidScalar(ar[j]);
+      const double zj = SigmoidScalar(az[j]);
+      const double nj = std::tanh(an[j] + rj * hn[j]);
+      const double hj = (1.0 - zj) * nj + zj * h_prev[j];
+      rr[j] = rj;
+      zr[j] = zj;
+      nr[j] = nj;
+      hr[j] = hj;
+      orow[j] = hj;
+    }
+    h_prev = h->row_data(t);
   }
-  return out;
 }
 
-Matrix Gru::Backward(const Matrix& grad_out) {
+void Gru::ForwardInto(const Matrix& x, Matrix* out) {
+  cached_input_ = x;
+  ForwardImpl(x, out, &pre_r_, &pre_z_, &pre_n_, &hn_lin_, &r_, &z_, &n_,
+              &h_);
+}
+
+void Gru::ForwardConst(const Matrix& x, Matrix* out) const {
+  Matrix pre_r, pre_z, pre_n, hn_lin, r, z, n, h;
+  ForwardImpl(x, out, &pre_r, &pre_z, &pre_n, &hn_lin, &r, &z, &n, &h);
+}
+
+void Gru::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
   const size_t T = cached_input_.rows();
   const size_t H = hidden_size_;
-  Matrix dx(T, input_size_);
-  std::vector<double> dh_next(H, 0.0);  // dL/dh_t carried backward
+  grad_in->Resize(T, input_size_);
+
+  bwd_dh_.resize(H);
+  bwd_dh_prev_.resize(H);
+  bwd_dh_next_.assign(H, 0.0);
+  bwd_dar_.resize(H);
+  bwd_daz_.resize(H);
+  bwd_dan_.resize(H);
+  bwd_dhn_.resize(H);
   const std::vector<double> zero_state(H, 0.0);
 
   for (size_t ti = T; ti-- > 0;) {
-    const std::vector<double>& h_prev = ti > 0 ? h_[ti - 1] : zero_state;
-    std::vector<double> dh(H);
-    for (size_t j = 0; j < H; ++j) dh[j] = grad_out.at(ti, j) + dh_next[j];
+    const double* h_prev = ti > 0 ? h_.row_data(ti - 1) : zero_state.data();
+    std::vector<double>& dh = bwd_dh_;
+    const double* grow = grad_out.row_data(ti);
+    for (size_t j = 0; j < H; ++j) dh[j] = grow[j] + bwd_dh_next_[j];
 
-    std::vector<double> dh_prev(H, 0.0);
-    std::vector<double> dar(H), daz(H), dan(H), dhn(H);
+    std::vector<double>& dh_prev = bwd_dh_prev_;
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
+    std::vector<double>& dar = bwd_dar_;
+    std::vector<double>& daz = bwd_daz_;
+    std::vector<double>& dan = bwd_dan_;
+    std::vector<double>& dhn = bwd_dhn_;
+    const double* rrow = r_.row_data(ti);
+    const double* zrow = z_.row_data(ti);
+    const double* nrow = n_.row_data(ti);
+    const double* hnrow = hn_lin_.row_data(ti);
     for (size_t j = 0; j < H; ++j) {
-      double r = r_[ti][j], z = z_[ti][j], n = n_[ti][j];
+      double r = rrow[j], z = zrow[j], n = nrow[j];
       double dn = dh[j] * (1.0 - z);
       double dz = dh[j] * (h_prev[j] - n);
       dh_prev[j] += dh[j] * z;
 
       double dan_j = dn * (1.0 - n * n);          // grad wrt tanh pre-act
       double dhn_j = dan_j * r;                   // grad wrt (h W_hn + b_hn)
-      double dr = dan_j * hn_lin_[ti][j];
+      double dr = dan_j * hnrow[j];
       double dar_j = dr * r * (1.0 - r);
       double daz_j = dz * z * (1.0 - z);
 
@@ -105,34 +154,45 @@ Matrix Gru::Backward(const Matrix& grad_out) {
       b_hn_.grad.at(0, j) += dhn_j;
     }
 
-    // Parameter and input/hidden gradients.
+    // Parameter and input/hidden gradients. The dxi/acc summations
+    // interleave the three gate terms per j, so they stay scalar to keep
+    // the accumulation order of the reference implementation.
     for (size_t i = 0; i < input_size_; ++i) {
       double xv = cached_input_.at(ti, i);
       double dxi = 0.0;
+      double* gir = w_ir_.grad.row_data(i);
+      double* giz = w_iz_.grad.row_data(i);
+      double* gin = w_in_.grad.row_data(i);
+      const double* vir = w_ir_.value.row_data(i);
+      const double* viz = w_iz_.value.row_data(i);
+      const double* vin = w_in_.value.row_data(i);
       for (size_t j = 0; j < H; ++j) {
-        w_ir_.grad.at(i, j) += xv * dar[j];
-        w_iz_.grad.at(i, j) += xv * daz[j];
-        w_in_.grad.at(i, j) += xv * dan[j];
-        dxi += dar[j] * w_ir_.value.at(i, j) + daz[j] * w_iz_.value.at(i, j) +
-               dan[j] * w_in_.value.at(i, j);
+        gir[j] += xv * dar[j];
+        giz[j] += xv * daz[j];
+        gin[j] += xv * dan[j];
+        dxi += dar[j] * vir[j] + daz[j] * viz[j] + dan[j] * vin[j];
       }
-      dx.at(ti, i) = dxi;
+      grad_in->at(ti, i) = dxi;
     }
     for (size_t i = 0; i < H; ++i) {
       double hv = h_prev[i];
       double acc = 0.0;
+      double* ghr = w_hr_.grad.row_data(i);
+      double* ghz = w_hz_.grad.row_data(i);
+      double* ghn = w_hn_.grad.row_data(i);
+      const double* vhr = w_hr_.value.row_data(i);
+      const double* vhz = w_hz_.value.row_data(i);
+      const double* vhn = w_hn_.value.row_data(i);
       for (size_t j = 0; j < H; ++j) {
-        w_hr_.grad.at(i, j) += hv * dar[j];
-        w_hz_.grad.at(i, j) += hv * daz[j];
-        w_hn_.grad.at(i, j) += hv * dhn[j];
-        acc += dar[j] * w_hr_.value.at(i, j) + daz[j] * w_hz_.value.at(i, j) +
-               dhn[j] * w_hn_.value.at(i, j);
+        ghr[j] += hv * dar[j];
+        ghz[j] += hv * daz[j];
+        ghn[j] += hv * dhn[j];
+        acc += dar[j] * vhr[j] + daz[j] * vhz[j] + dhn[j] * vhn[j];
       }
       dh_prev[i] += acc;
     }
-    dh_next = std::move(dh_prev);
+    std::swap(bwd_dh_next_, bwd_dh_prev_);
   }
-  return dx;
 }
 
 std::vector<Param*> Gru::Params() {

@@ -17,19 +17,32 @@ namespace easytime::nn {
 ///   n_t = tanh (x_t W_in + r_t * (h_{t-1} W_hn + b_hn) + b_n)
 ///   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
 /// Forward takes the whole sequence; the initial hidden state is zero.
+///
+/// The input-to-hidden products for the whole sequence go through one GEMM
+/// per gate; the recurrent products are one GEMM row per step. Each gate
+/// pre-activation accumulates bias, then x terms, then h terms — the same
+/// per-element order as the scalar reference. The backward pass stays
+/// scalar: its input/hidden gradients interleave the three gate terms inside
+/// one summation, which separate GEMMs cannot reproduce bit-for-bit.
 class Gru : public Layer {
  public:
   Gru(size_t input_size, size_t hidden_size, Rng* rng);
 
   /// \param x (time x input) -> (time x hidden)
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::vector<Param*> Params() override;
   std::string name() const override { return "Gru"; }
 
   size_t hidden_size() const { return hidden_size_; }
 
  private:
+  /// Shared forward computation; fills the caches when they are given.
+  void ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r, Matrix* pre_z,
+                   Matrix* pre_n, Matrix* hn_lin, Matrix* r, Matrix* z,
+                   Matrix* n, Matrix* h) const;
+
   size_t input_size_;
   size_t hidden_size_;
 
@@ -38,9 +51,14 @@ class Gru : public Layer {
   Param w_hr_, w_hz_, w_hn_;  // (hidden x hidden)
   Param b_r_, b_z_, b_n_, b_hn_;  // (1 x hidden)
 
-  // Per-timestep caches for BPTT.
+  // Per-timestep caches for BPTT (rows are timesteps); reused across calls.
   Matrix cached_input_;
-  std::vector<std::vector<double>> r_, z_, n_, h_, hn_lin_;
+  Matrix r_, z_, n_, h_, hn_lin_;
+  Matrix pre_r_, pre_z_, pre_n_;  // gate pre-activation workspaces
+
+  // Backward scratch, reused across calls.
+  std::vector<double> bwd_dh_, bwd_dh_prev_, bwd_dh_next_;
+  std::vector<double> bwd_dar_, bwd_daz_, bwd_dan_, bwd_dhn_;
 };
 
 }  // namespace easytime::nn

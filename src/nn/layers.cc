@@ -8,88 +8,142 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
     : weight_(Matrix::Xavier(in_features, out_features, rng)),
       bias_(Matrix::Zeros(1, out_features)) {}
 
-Matrix Linear::Forward(const Matrix& x) {
+void Linear::ForwardInto(const Matrix& x, Matrix* out) {
   cached_input_ = x;
-  Matrix out = x.MatMul(weight_.value);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    for (size_t c = 0; c < out.cols(); ++c) {
-      out.at(r, c) += bias_.value.at(0, c);
-    }
-  }
-  return out;
+  ForwardConst(x, out);
 }
 
-Matrix Linear::Backward(const Matrix& grad_out) {
-  // dW = x^T g ; db = column sums of g ; dx = g W^T.
-  Matrix dw = cached_input_.Transposed().MatMul(grad_out);
-  weight_.grad.Add(dw);
+void Linear::ForwardConst(const Matrix& x, Matrix* out) const {
+  MatMulInto(x, weight_.value, out);
+  const double* bias = bias_.value.data();
+  for (size_t r = 0; r < out->rows(); ++r) {
+    double* orow = out->row_data(r);
+    for (size_t c = 0; c < out->cols(); ++c) orow[c] += bias[c];
+  }
+}
+
+void Linear::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  // dW = x^T g ; db = column sums of g ; dx = g W^T. dW is built in a
+  // zeroed workspace and summed into the grad in one shot, matching the
+  // accumulation order of grad.Add(x.Transposed().MatMul(g)).
+  MatMulTransAInto(cached_input_, grad_out, &dw_ws_, /*accumulate=*/false);
+  weight_.grad.Add(dw_ws_);
+  double* bias_grad = bias_.grad.data();
   for (size_t r = 0; r < grad_out.rows(); ++r) {
-    for (size_t c = 0; c < grad_out.cols(); ++c) {
-      bias_.grad.at(0, c) += grad_out.at(r, c);
-    }
+    const double* grow = grad_out.row_data(r);
+    for (size_t c = 0; c < grad_out.cols(); ++c) bias_grad[c] += grow[c];
   }
-  return grad_out.MatMul(weight_.value.Transposed());
+  MatMulTransBInto(grad_out, weight_.value, grad_in);
 }
 
-Matrix ReLU::Forward(const Matrix& x) {
+void ReLU::ForwardInto(const Matrix& x, Matrix* out) {
   cached_input_ = x;
-  Matrix out = x;
-  for (auto& v : out.raw()) v = v > 0.0 ? v : 0.0;
-  return out;
+  ForwardConst(x, out);
 }
 
-Matrix ReLU::Backward(const Matrix& grad_out) {
-  Matrix out = grad_out;
-  for (size_t i = 0; i < out.raw().size(); ++i) {
-    if (cached_input_.raw()[i] <= 0.0) out.raw()[i] = 0.0;
+void ReLU::ForwardConst(const Matrix& x, Matrix* out) const {
+  out->Resize(x.rows(), x.cols());
+  const double* px = x.data();
+  double* po = out->data();
+  for (size_t i = 0; i < x.size(); ++i) po[i] = px[i] > 0.0 ? px[i] : 0.0;
+}
+
+void ReLU::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  grad_in->Resize(grad_out.rows(), grad_out.cols());
+  const double* pg = grad_out.data();
+  const double* px = cached_input_.data();
+  double* po = grad_in->data();
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = px[i] <= 0.0 ? 0.0 : pg[i];
   }
-  return out;
 }
 
-Matrix Tanh::Forward(const Matrix& x) {
-  Matrix out = x;
-  for (auto& v : out.raw()) v = std::tanh(v);
-  cached_output_ = out;
-  return out;
+void Tanh::ForwardInto(const Matrix& x, Matrix* out) {
+  ForwardConst(x, out);
+  cached_output_ = *out;
 }
 
-Matrix Tanh::Backward(const Matrix& grad_out) {
-  Matrix out = grad_out;
-  for (size_t i = 0; i < out.raw().size(); ++i) {
-    double y = cached_output_.raw()[i];
-    out.raw()[i] *= (1.0 - y * y);
+void Tanh::ForwardConst(const Matrix& x, Matrix* out) const {
+  out->Resize(x.rows(), x.cols());
+  const double* px = x.data();
+  double* po = out->data();
+  for (size_t i = 0; i < x.size(); ++i) po[i] = std::tanh(px[i]);
+}
+
+void Tanh::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  grad_in->Resize(grad_out.rows(), grad_out.cols());
+  const double* pg = grad_out.data();
+  const double* py = cached_output_.data();
+  double* po = grad_in->data();
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = pg[i] * (1.0 - py[i] * py[i]);
   }
-  return out;
 }
 
-Matrix Sigmoid::Forward(const Matrix& x) {
-  Matrix out = x;
-  for (auto& v : out.raw()) v = 1.0 / (1.0 + std::exp(-v));
-  cached_output_ = out;
-  return out;
+void Sigmoid::ForwardInto(const Matrix& x, Matrix* out) {
+  ForwardConst(x, out);
+  cached_output_ = *out;
 }
 
-Matrix Sigmoid::Backward(const Matrix& grad_out) {
-  Matrix out = grad_out;
-  for (size_t i = 0; i < out.raw().size(); ++i) {
-    double y = cached_output_.raw()[i];
-    out.raw()[i] *= y * (1.0 - y);
+void Sigmoid::ForwardConst(const Matrix& x, Matrix* out) const {
+  out->Resize(x.rows(), x.cols());
+  const double* px = x.data();
+  double* po = out->data();
+  for (size_t i = 0; i < x.size(); ++i) po[i] = 1.0 / (1.0 + std::exp(-px[i]));
+}
+
+void Sigmoid::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  grad_in->Resize(grad_out.rows(), grad_out.cols());
+  const double* pg = grad_out.data();
+  const double* py = cached_output_.data();
+  double* po = grad_in->data();
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    po[i] = pg[i] * py[i] * (1.0 - py[i]);
   }
-  return out;
 }
 
-Matrix Sequential::Forward(const Matrix& x) {
-  Matrix cur = x;
-  for (auto& layer : layers_) cur = layer->Forward(cur);
-  return cur;
-}
-
-Matrix Sequential::Backward(const Matrix& grad_out) {
-  Matrix cur = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    cur = (*it)->Backward(cur);
+void Sequential::ForwardInto(const Matrix& x, Matrix* out) {
+  if (layers_.empty()) {
+    *out = x;
+    return;
   }
-  return cur;
+  const Matrix* cur = &x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Matrix* dst = &fwd_ws_[i % 2];
+    layers_[i]->ForwardInto(*cur, dst);
+    cur = dst;
+  }
+  layers_.back()->ForwardInto(*cur, out);
+}
+
+void Sequential::ForwardConst(const Matrix& x, Matrix* out) const {
+  if (layers_.empty()) {
+    *out = x;
+    return;
+  }
+  Matrix ws[2];
+  const Matrix* cur = &x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Matrix* dst = &ws[i % 2];
+    layers_[i]->ForwardConst(*cur, dst);
+    cur = dst;
+  }
+  layers_.back()->ForwardConst(*cur, out);
+}
+
+void Sequential::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  if (layers_.empty()) {
+    *grad_in = grad_out;
+    return;
+  }
+  const Matrix* cur = &grad_out;
+  size_t step = 0;
+  for (size_t i = layers_.size(); i-- > 1; ++step) {
+    Matrix* dst = &bwd_ws_[step % 2];
+    layers_[i]->BackwardInto(*cur, dst);
+    cur = dst;
+  }
+  layers_.front()->BackwardInto(*cur, grad_in);
 }
 
 std::vector<Param*> Sequential::Params() {
@@ -110,52 +164,61 @@ CausalConv1d::CausalConv1d(size_t in_channels, size_t out_channels,
       weight_(Matrix::Xavier(kernel_size * in_channels, out_channels, rng)),
       bias_(Matrix::Zeros(1, out_channels)) {}
 
-Matrix CausalConv1d::Forward(const Matrix& x) {
+void CausalConv1d::ForwardInto(const Matrix& x, Matrix* out) {
   cached_input_ = x;
-  size_t T = x.rows();
-  Matrix out(T, out_channels_);
-  for (size_t t = 0; t < T; ++t) {
-    for (size_t o = 0; o < out_channels_; ++o) {
-      out.at(t, o) = bias_.value.at(0, o);
-    }
-    for (size_t kk = 0; kk < kernel_size_; ++kk) {
-      // tap index: t - kk * dilation (causal; zero-padded on the left)
-      long src = static_cast<long>(t) - static_cast<long>(kk * dilation_);
-      if (src < 0) continue;
-      for (size_t ci = 0; ci < in_channels_; ++ci) {
-        double xv = x.at(static_cast<size_t>(src), ci);
-        if (xv == 0.0) continue;
-        const size_t wrow = kk * in_channels_ + ci;
-        for (size_t o = 0; o < out_channels_; ++o) {
-          out.at(t, o) += xv * weight_.value.at(wrow, o);
-        }
-      }
-    }
-  }
-  return out;
+  ForwardConst(x, out);
 }
 
-Matrix CausalConv1d::Backward(const Matrix& grad_out) {
-  size_t T = cached_input_.rows();
-  Matrix dx(T, in_channels_);
+void CausalConv1d::ForwardConst(const Matrix& x, Matrix* out) const {
+  const size_t T = x.rows();
+  out->Resize(T, out_channels_);
+  // Bias is seeded before the tap accumulations, as in the scalar version;
+  // taps then accumulate in ascending (kk, ci) order via the shifted GEMMs.
+  const double* bias = bias_.value.data();
   for (size_t t = 0; t < T; ++t) {
-    for (size_t o = 0; o < out_channels_; ++o) {
-      double g = grad_out.at(t, o);
-      if (g == 0.0) continue;
-      bias_.grad.at(0, o) += g;
-      for (size_t kk = 0; kk < kernel_size_; ++kk) {
-        long src = static_cast<long>(t) - static_cast<long>(kk * dilation_);
-        if (src < 0) continue;
-        for (size_t ci = 0; ci < in_channels_; ++ci) {
-          const size_t wrow = kk * in_channels_ + ci;
-          weight_.grad.at(wrow, o) +=
-              g * cached_input_.at(static_cast<size_t>(src), ci);
-          dx.at(static_cast<size_t>(src), ci) += g * weight_.value.at(wrow, o);
-        }
-      }
-    }
+    double* orow = out->row_data(t);
+    for (size_t o = 0; o < out_channels_; ++o) orow[o] = bias[o];
   }
-  return dx;
+  for (size_t kk = 0; kk < kernel_size_; ++kk) {
+    const size_t shift = kk * dilation_;
+    if (shift >= T) break;
+    kernel::GemmAcc(T - shift, out_channels_, in_channels_, x.data(),
+                    in_channels_, weight_.value.row_data(kk * in_channels_),
+                    out_channels_, out->row_data(shift), out_channels_);
+  }
+}
+
+void CausalConv1d::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  const size_t T = cached_input_.rows();
+  // The scalar version interleaved the three targets inside one t loop, but
+  // each target element still received its contributions in ascending t
+  // order, so three independent t-ascending passes accumulate identically.
+  double* bias_grad = bias_.grad.data();
+  for (size_t t = 0; t < T; ++t) {
+    const double* grow = grad_out.row_data(t);
+    for (size_t o = 0; o < out_channels_; ++o) bias_grad[o] += grow[o];
+  }
+  for (size_t kk = 0; kk < kernel_size_; ++kk) {
+    const size_t shift = kk * dilation_;
+    if (shift >= T) break;
+    // dW_block(kk) += x[0..T-s)^T g[s..T)
+    kernel::GemmTransAAcc(in_channels_, out_channels_, T - shift,
+                          cached_input_.data(), in_channels_,
+                          grad_out.row_data(shift), out_channels_,
+                          weight_.grad.row_data(kk * in_channels_),
+                          out_channels_);
+  }
+  grad_in->Resize(T, in_channels_);
+  grad_in->Fill(0.0);
+  for (size_t kk = 0; kk < kernel_size_; ++kk) {
+    const size_t shift = kk * dilation_;
+    if (shift >= T) break;
+    // dx[0..T-s) += g[s..T) W_block(kk)^T
+    kernel::GemmTransBAcc(T - shift, in_channels_, out_channels_,
+                          grad_out.row_data(shift), out_channels_,
+                          weight_.value.row_data(kk * in_channels_),
+                          out_channels_, grad_in->data(), in_channels_);
+  }
 }
 
 ResidualConvBlock::ResidualConvBlock(size_t in_channels, size_t out_channels,
@@ -169,18 +232,42 @@ ResidualConvBlock::ResidualConvBlock(size_t in_channels, size_t out_channels,
   }
 }
 
-Matrix ResidualConvBlock::Forward(const Matrix& x) {
-  Matrix h = conv2_.Forward(relu1_.Forward(conv1_.Forward(x)));
-  Matrix skip = skip_ ? skip_->Forward(x) : x;
-  h.Add(skip);
-  return h;
+void ResidualConvBlock::ForwardInto(const Matrix& x, Matrix* out) {
+  conv1_.ForwardInto(x, &ws1_);
+  relu1_.ForwardInto(ws1_, &ws2_);
+  conv2_.ForwardInto(ws2_, out);
+  if (skip_) {
+    skip_->ForwardInto(x, &skip_ws_);
+    out->Add(skip_ws_);
+  } else {
+    out->Add(x);
+  }
 }
 
-Matrix ResidualConvBlock::Backward(const Matrix& grad_out) {
-  Matrix dmain = conv1_.Backward(relu1_.Backward(conv2_.Backward(grad_out)));
-  Matrix dskip = skip_ ? skip_->Backward(grad_out) : grad_out;
-  dmain.Add(dskip);
-  return dmain;
+void ResidualConvBlock::ForwardConst(const Matrix& x, Matrix* out) const {
+  Matrix ws1, ws2;
+  conv1_.ForwardConst(x, &ws1);
+  relu1_.ForwardConst(ws1, &ws2);
+  conv2_.ForwardConst(ws2, out);
+  if (skip_) {
+    Matrix skip_ws;
+    skip_->ForwardConst(x, &skip_ws);
+    out->Add(skip_ws);
+  } else {
+    out->Add(x);
+  }
+}
+
+void ResidualConvBlock::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  conv2_.BackwardInto(grad_out, &bws1_);
+  relu1_.BackwardInto(bws1_, &bws2_);
+  conv1_.BackwardInto(bws2_, grad_in);
+  if (skip_) {
+    skip_->BackwardInto(grad_out, &skip_bws_);
+    grad_in->Add(skip_bws_);
+  } else {
+    grad_in->Add(grad_out);
+  }
 }
 
 std::vector<Param*> ResidualConvBlock::Params() {

@@ -2,8 +2,14 @@
 
 /// \file layers.h
 /// \brief Layer abstraction with explicit forward/backward passes. Each
-/// layer caches what its backward pass needs; Backward() receives dL/dout
-/// and returns dL/din while accumulating parameter gradients.
+/// layer caches what its backward pass needs; backward receives dL/dout
+/// and produces dL/din while accumulating parameter gradients.
+///
+/// The primitive operations are the *Into variants, which write results into
+/// caller-owned matrices so steady-state training reuses buffers instead of
+/// allocating per step. ForwardConst is a cache-free, thread-safe inference
+/// pass (used by the parallel encode paths). The allocating Forward /
+/// Backward wrappers on Layer keep the original call style working.
 
 #include <memory>
 #include <string>
@@ -18,15 +24,33 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output for \p x (shape contract is per-layer;
-  /// fully-connected layers take (batch x features), sequence layers take
-  /// (time x channels)).
-  virtual Matrix Forward(const Matrix& x) = 0;
+  /// Computes the layer output for \p x into \p out (shape contract is
+  /// per-layer; fully-connected layers take (batch x features), sequence
+  /// layers take (time x channels)). \p out must not alias \p x. Caches
+  /// whatever the next BackwardInto needs.
+  virtual void ForwardInto(const Matrix& x, Matrix* out) = 0;
 
   /// Backpropagates \p grad_out (dL/doutput, same shape as the last
-  /// Forward's result), accumulates parameter gradients, and returns
-  /// dL/dinput.
-  virtual Matrix Backward(const Matrix& grad_out) = 0;
+  /// forward's result), accumulates parameter gradients, and writes
+  /// dL/dinput into \p grad_in (must not alias \p grad_out).
+  virtual void BackwardInto(const Matrix& grad_out, Matrix* grad_in) = 0;
+
+  /// Inference-only forward: no caching, no mutation, safe to call from
+  /// multiple threads concurrently on the same layer.
+  virtual void ForwardConst(const Matrix& x, Matrix* out) const = 0;
+
+  /// Allocating convenience wrappers (non-virtual on purpose: derived
+  /// classes implement the Into variants only).
+  Matrix Forward(const Matrix& x) {
+    Matrix out;
+    ForwardInto(x, &out);
+    return out;
+  }
+  Matrix Backward(const Matrix& grad_out) {
+    Matrix grad_in;
+    BackwardInto(grad_out, &grad_in);
+    return grad_in;
+  }
 
   /// Trainable parameters (value + grad); empty for stateless layers.
   virtual std::vector<Param*> Params() { return {}; }
@@ -40,8 +64,9 @@ class Linear : public Layer {
  public:
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 
@@ -52,13 +77,15 @@ class Linear : public Layer {
   Param weight_;  // (in x out)
   Param bias_;    // (1 x out)
   Matrix cached_input_;
+  Matrix dw_ws_;  // per-step dW, summed into weight_.grad in one shot
 };
 
 /// Element-wise ReLU.
 class ReLU : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -68,8 +95,9 @@ class ReLU : public Layer {
 /// Element-wise tanh.
 class Tanh : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::string name() const override { return "Tanh"; }
 
  private:
@@ -79,8 +107,9 @@ class Tanh : public Layer {
 /// Element-wise logistic sigmoid.
 class Sigmoid : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
@@ -95,8 +124,9 @@ class Sequential : public Layer {
   /// Appends a layer (takes ownership).
   void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::vector<Param*> Params() override;
   std::string name() const override { return "Sequential"; }
 
@@ -105,19 +135,26 @@ class Sequential : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  Matrix fwd_ws_[2];  // ping-pong buffers between layers
+  Matrix bwd_ws_[2];
 };
 
 /// \brief Causal dilated 1-D convolution over a (time x in_channels)
 /// sequence, producing (time x out_channels). Left-pads with zeros so output
 /// length equals input length; position t only sees inputs at
 /// t, t-d, ..., t-(k-1)d — the TCN/TS2Vec building block.
+///
+/// Implemented as one shifted GEMM per kernel tap: tap kk contributes
+/// out[s..T) += x[0..T-s) * W_block(kk) with s = kk*dilation, which keeps
+/// every pass on the blocked kernels instead of scalar loops.
 class CausalConv1d : public Layer {
  public:
   CausalConv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
                size_t dilation, Rng* rng);
 
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "CausalConv1d"; }
 
@@ -142,8 +179,9 @@ class ResidualConvBlock : public Layer {
   ResidualConvBlock(size_t in_channels, size_t out_channels,
                     size_t kernel_size, size_t dilation, Rng* rng);
 
-  Matrix Forward(const Matrix& x) override;
-  Matrix Backward(const Matrix& grad_out) override;
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in) override;
+  void ForwardConst(const Matrix& x, Matrix* out) const override;
   std::vector<Param*> Params() override;
   std::string name() const override { return "ResidualConvBlock"; }
 
@@ -152,6 +190,8 @@ class ResidualConvBlock : public Layer {
   ReLU relu1_;
   CausalConv1d conv2_;
   std::unique_ptr<CausalConv1d> skip_;  // nullptr when identity skip works
+  Matrix ws1_, ws2_, skip_ws_;          // forward intermediates
+  Matrix bws1_, bws2_, skip_bws_;       // backward intermediates
 };
 
 }  // namespace easytime::nn

@@ -6,65 +6,100 @@
 
 namespace easytime::nn {
 
-std::pair<double, Matrix> MseLoss(const Matrix& pred, const Matrix& target) {
+double MseLossInto(const Matrix& pred, const Matrix& target, Matrix* grad) {
   assert(pred.rows() == target.rows() && pred.cols() == target.cols());
-  Matrix grad(pred.rows(), pred.cols());
+  grad->Resize(pred.rows(), pred.cols());
   double loss = 0.0;
   double n = static_cast<double>(pred.size());
-  for (size_t i = 0; i < pred.raw().size(); ++i) {
-    double d = pred.raw()[i] - target.raw()[i];
+  const double* pp = pred.data();
+  const double* pt = target.data();
+  double* pg = grad->data();
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pp[i] - pt[i];
     loss += d * d;
-    grad.raw()[i] = 2.0 * d / n;
+    pg[i] = 2.0 * d / n;
   }
-  return {loss / n, std::move(grad)};
+  return loss / n;
+}
+
+std::pair<double, Matrix> MseLoss(const Matrix& pred, const Matrix& target) {
+  Matrix grad;
+  double loss = MseLossInto(pred, target, &grad);
+  return {loss, std::move(grad)};
+}
+
+double MaeLossInto(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  grad->Resize(pred.rows(), pred.cols());
+  double loss = 0.0;
+  double n = static_cast<double>(pred.size());
+  const double* pp = pred.data();
+  const double* pt = target.data();
+  double* pg = grad->data();
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pp[i] - pt[i];
+    loss += std::fabs(d);
+    pg[i] = (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) / n;
+  }
+  return loss / n;
 }
 
 std::pair<double, Matrix> MaeLoss(const Matrix& pred, const Matrix& target) {
-  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
-  Matrix grad(pred.rows(), pred.cols());
-  double loss = 0.0;
-  double n = static_cast<double>(pred.size());
-  for (size_t i = 0; i < pred.raw().size(); ++i) {
-    double d = pred.raw()[i] - target.raw()[i];
-    loss += std::fabs(d);
-    grad.raw()[i] = (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) / n;
+  Matrix grad;
+  double loss = MaeLossInto(pred, target, &grad);
+  return {loss, std::move(grad)};
+}
+
+void RowSoftmaxInto(const Matrix& logits, Matrix* out) {
+  *out = logits;
+  for (size_t r = 0; r < out->rows(); ++r) {
+    double* row = out->row_data(r);
+    double mx = row[0];
+    for (size_t c = 1; c < out->cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < out->cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (size_t c = 0; c < out->cols(); ++c) row[c] /= sum;
   }
-  return {loss / n, std::move(grad)};
 }
 
 Matrix RowSoftmax(const Matrix& logits) {
-  Matrix out = logits;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    double mx = out.at(r, 0);
-    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out.at(r, c));
-    double sum = 0.0;
-    for (size_t c = 0; c < out.cols(); ++c) {
-      out.at(r, c) = std::exp(out.at(r, c) - mx);
-      sum += out.at(r, c);
-    }
-    for (size_t c = 0; c < out.cols(); ++c) out.at(r, c) /= sum;
-  }
+  Matrix out;
+  RowSoftmaxInto(logits, &out);
   return out;
+}
+
+double SoftCrossEntropyLossInto(const Matrix& logits,
+                                const Matrix& soft_targets, Matrix* grad,
+                                Matrix* probs_ws) {
+  assert(logits.rows() == soft_targets.rows() &&
+         logits.cols() == soft_targets.cols());
+  RowSoftmaxInto(logits, probs_ws);
+  double loss = 0.0;
+  grad->Resize(logits.rows(), logits.cols());
+  double batch = static_cast<double>(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const double* trow = soft_targets.row_data(r);
+    const double* prow = probs_ws->row_data(r);
+    double* grow = grad->row_data(r);
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      double t = trow[c];
+      double p = std::max(prow[c], 1e-12);
+      if (t > 0.0) loss -= t * std::log(p);
+      // d(CE)/dlogit = softmax - target (per row), averaged over batch.
+      grow[c] = (prow[c] - t) / batch;
+    }
+  }
+  return loss / batch;
 }
 
 std::pair<double, Matrix> SoftCrossEntropyLoss(const Matrix& logits,
                                                const Matrix& soft_targets) {
-  assert(logits.rows() == soft_targets.rows() &&
-         logits.cols() == soft_targets.cols());
-  Matrix probs = RowSoftmax(logits);
-  double loss = 0.0;
-  Matrix grad(logits.rows(), logits.cols());
-  double batch = static_cast<double>(logits.rows());
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    for (size_t c = 0; c < logits.cols(); ++c) {
-      double t = soft_targets.at(r, c);
-      double p = std::max(probs.at(r, c), 1e-12);
-      if (t > 0.0) loss -= t * std::log(p);
-      // d(CE)/dlogit = softmax - target (per row), averaged over batch.
-      grad.at(r, c) = (probs.at(r, c) - t) / batch;
-    }
-  }
-  return {loss / batch, std::move(grad)};
+  Matrix grad, probs;
+  double loss = SoftCrossEntropyLossInto(logits, soft_targets, &grad, &probs);
+  return {loss, std::move(grad)};
 }
 
 }  // namespace easytime::nn

@@ -4,6 +4,10 @@
 /// \brief Loss functions returning (scalar loss, dL/dpred). Includes the
 /// soft-label cross-entropy the method classifier trains with ([10] in the
 /// paper: SimpleTS-style soft labels).
+///
+/// The *Into variants write the gradient into a caller-owned matrix so
+/// per-epoch training loops reuse one buffer; the pair-returning forms wrap
+/// them.
 
 #include <utility>
 
@@ -11,20 +15,27 @@
 
 namespace easytime::nn {
 
-/// Mean squared error over all entries; grad has pred's shape.
+/// Mean squared error over all entries; grad gets pred's shape.
+double MseLossInto(const Matrix& pred, const Matrix& target, Matrix* grad);
 std::pair<double, Matrix> MseLoss(const Matrix& pred, const Matrix& target);
 
 /// Mean absolute error over all entries.
+double MaeLossInto(const Matrix& pred, const Matrix& target, Matrix* grad);
 std::pair<double, Matrix> MaeLoss(const Matrix& pred, const Matrix& target);
 
 /// \brief Cross-entropy between row-wise softmax(logits) and a *soft* target
 /// distribution (rows sum to 1). With one-hot targets this is standard CE;
 /// with performance-derived soft labels it trains the classifier to produce
 /// a probability *ranking* over methods rather than a single winner.
+/// \p probs_ws is caller scratch for the softmax (reused across epochs).
+double SoftCrossEntropyLossInto(const Matrix& logits,
+                                const Matrix& soft_targets, Matrix* grad,
+                                Matrix* probs_ws);
 std::pair<double, Matrix> SoftCrossEntropyLoss(const Matrix& logits,
                                                const Matrix& soft_targets);
 
 /// Row-wise softmax of \p logits.
+void RowSoftmaxInto(const Matrix& logits, Matrix* out);
 Matrix RowSoftmax(const Matrix& logits);
 
 }  // namespace easytime::nn

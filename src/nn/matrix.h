@@ -5,6 +5,11 @@
 /// engine. Sequences are (time x channels) matrices; batches are vectors of
 /// matrices. Sized for CPU training of the small models EasyTime uses
 /// (TS2Vec encoder, method classifier, MLP/GRU/TCN forecasters).
+///
+/// The hot products go through cache-blocked, register-tiled GEMM kernels
+/// (kernel::GemmAcc and friends) that accumulate each output element in
+/// strictly ascending k order, so they are bit-compatible with the naive
+/// reference kernel (MatMulNaive) kept for equivalence testing.
 
 #include <cassert>
 #include <cstddef>
@@ -13,6 +18,28 @@
 #include "common/rng.h"
 
 namespace easytime::nn {
+
+/// \brief Raw row-major GEMM micro-kernels. All variants *accumulate* into C
+/// (callers zero or bias-seed C first) and keep per-element accumulation in
+/// ascending k order, which makes them drop-in replacements for naive loops
+/// without numerical drift. Strides (lda/ldb/ldc) are row strides, allowing
+/// shifted / sub-panel views (used by the causal convolutions).
+namespace kernel {
+
+/// C (m x n) += A (m x k) * B (k x n).
+void GemmAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
+             const double* b, size_t ldb, double* c, size_t ldc);
+
+/// C (m x n) += A^T * B where A is (k x m), B is (k x n). The transpose is
+/// fused into the access pattern; no transposed copy is materialized.
+void GemmTransAAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
+                   const double* b, size_t ldb, double* c, size_t ldc);
+
+/// C (m x n) += A * B^T where A is (m x k), B is (n x k). Fused transpose.
+void GemmTransBAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
+                   const double* b, size_t ldb, double* c, size_t ldc);
+
+}  // namespace kernel
 
 /// \brief A dense row-major double matrix with the handful of operations the
 /// layer implementations need.
@@ -38,6 +65,15 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to (rows x cols) without initializing entries. Keeps the
+  /// underlying buffer when the element count allows, so workspace matrices
+  /// resized to a steady-state shape stop allocating after the first call.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& at(size_t r, size_t c) {
     assert(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
@@ -49,6 +85,9 @@ class Matrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
+  /// Pointer to row \p r.
+  double* row_data(size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(size_t r) const { return data_.data() + r * cols_; }
   std::vector<double>& raw() { return data_; }
   const std::vector<double>& raw() const { return data_; }
 
@@ -70,8 +109,12 @@ class Matrix {
   /// Element-wise product (same shape).
   Matrix Hadamard(const Matrix& other) const;
 
-  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  /// Matrix product: (m x k) * (k x n) -> (m x n). Blocked kernel.
   Matrix MatMul(const Matrix& other) const;
+
+  /// Naive triple-loop reference product, kept for equivalence testing of
+  /// the blocked kernels.
+  Matrix MatMulNaive(const Matrix& other) const;
 
   /// Transpose copy.
   Matrix Transposed() const;
@@ -87,6 +130,25 @@ class Matrix {
   size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// out = a * b, blocked kernel; out is resized (buffer reused when possible).
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out (+)= a^T * b with a (k x m), b (k x n); no transposed copy is made.
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      bool accumulate = false);
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// out (+)= a * b^T with a (m x k), b (n x k); no transposed copy is made.
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      bool accumulate = false);
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// out = a + b (same shape); out is resized.
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a .* b (same shape); out is resized.
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// \brief A trainable parameter: value plus accumulated gradient.
 struct Param {

@@ -1,0 +1,29 @@
+/// \file matrix_naive.cc
+/// \brief The seed's original single-threaded GEMM, kept verbatim as the
+/// reference kernel for equivalence tests and the BM_Gemm*Naive benchmarks.
+/// It lives in its own translation unit so it is compiled with the default
+/// project flags — the blocked kernel's tuned flags (-O3, host ISA) must not
+/// leak into the baseline it is measured against.
+
+#include <cassert>
+
+#include "nn/matrix.h"
+
+namespace easytime::nn {
+
+Matrix Matrix::MatMulNaive(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace easytime::nn

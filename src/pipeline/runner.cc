@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <set>
 
 #include "common/csv.h"
 #include "common/logging.h"
@@ -64,19 +65,16 @@ std::string BenchmarkReport::FormatTable(
 }
 
 easytime::Status BenchmarkReport::WriteCsv(const std::string& path) const {
-  // Collect the union of metric names for a stable header.
-  std::vector<std::string> metric_names;
+  // Collect the union of metric names for a stable header. A set gives the
+  // sorted order directly and avoids the quadratic linear-scan dedup.
+  std::set<std::string> name_set;
   for (const auto& r : records) {
-    for (const auto& [name, _] : r.metrics) {
-      if (std::find(metric_names.begin(), metric_names.end(), name) ==
-          metric_names.end()) {
-        metric_names.push_back(name);
-      }
-    }
+    for (const auto& [name, _] : r.metrics) name_set.insert(name);
   }
-  std::sort(metric_names.begin(), metric_names.end());
+  std::vector<std::string> metric_names(name_set.begin(), name_set.end());
 
   CsvDocument doc;
+  doc.rows.reserve(records.size());
   doc.header = {"dataset",  "method",      "strategy",
                 "horizon",  "multivariate", "domain",
                 "windows",  "fit_seconds", "forecast_seconds", "status"};

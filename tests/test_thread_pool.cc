@@ -62,5 +62,65 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, ParallelForManyMoreIndicesThanWorkers) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Regression: the seed's one-future-per-index ParallelFor deadlocked when
+// called from a task already running on a pool worker (the inner wait
+// occupied the only thread that could run the inner tasks). The chunked
+// version executes inline on workers of the same pool.
+TEST(ThreadPool, NestedParallelForFromSubmitDoesNotDeadlock) {
+  ThreadPool pool(1);  // single worker: any blocking wait would deadlock
+  std::atomic<int> counter{0};
+  auto f = pool.Submit([&]() {
+    pool.ParallelFor(16, [&](size_t) { counter.fetch_add(1); });
+  });
+  f.get();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForFromParallelForBody) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 57) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingletonAndUsable) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<int> counter{0};
+  a.ParallelFor(32, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 32);
+}
+
 }  // namespace
 }  // namespace easytime
