@@ -1,0 +1,236 @@
+// Serving-layer benchmark (DESIGN.md §6): measures the three numbers the
+// serving layer exists for and emits them as JSON (BENCH_serve.json via
+// bench/run_serve.sh):
+//
+//   1. cache     — forecast latency, cache hit vs cache miss
+//   2. batching  — same-method forecast throughput, batched vs unbatched
+//   3. loopback  — end-to-end req/sec over the TCP front-end
+//
+//   ./build/bench/bench_serve [output.json]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/easytime.h"
+#include "serve/server.h"
+#include "serve/tcp_server.h"
+
+using namespace easytime;
+
+namespace {
+
+std::unique_ptr<core::EasyTime> MakeSystem() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.classifier.epochs = 80;
+  auto system = core::EasyTime::Create(opt);
+  if (!system.ok()) {
+    std::fprintf(stderr, "create: %s\n", system.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*system);
+}
+
+std::string ForecastLine(const std::string& dataset, const std::string& method,
+                         int id, int horizon) {
+  return R"({"id": )" + std::to_string(id) +
+         R"(, "endpoint": "forecast", "params": {"dataset": ")" + dataset +
+         R"(", "method": ")" + method + R"(", "horizon": )" +
+         std::to_string(horizon) + "}}";
+}
+
+void Expect(const std::string& response) {
+  auto json = Json::Parse(response);
+  if (!json.ok() || !json->GetBool("ok", false)) {
+    std::fprintf(stderr, "bench request failed: %s\n", response.c_str());
+    std::exit(1);
+  }
+}
+
+// ---- 1. cache hit vs miss -------------------------------------------------
+
+struct CacheNumbers {
+  double miss_mean_ms = 0.0;
+  double hit_mean_ms = 0.0;
+};
+
+CacheNumbers BenchCache(serve::ForecastServer* server,
+                        const std::vector<std::string>& datasets) {
+  // gbdt has a real fit cost, so the miss path is honest work.
+  const std::string method = "gbdt";
+  constexpr int kMisses = 20;
+  constexpr int kHits = 200;
+
+  CacheNumbers out;
+  Stopwatch watch;
+  for (int i = 0; i < kMisses; ++i) {
+    // Distinct horizons => distinct cache keys => all misses.
+    Expect(server->HandleLine(
+        ForecastLine(datasets[i % datasets.size()], method, i, 4 + i)));
+  }
+  out.miss_mean_ms = watch.ElapsedMillis() / kMisses;
+
+  const std::string hot = ForecastLine(datasets[0], method, 999, 4);
+  Expect(server->HandleLine(hot));  // prime
+  watch.Reset();
+  for (int i = 0; i < kHits; ++i) Expect(server->HandleLine(hot));
+  out.hit_mean_ms = watch.ElapsedMillis() / kHits;
+  return out;
+}
+
+// ---- 2. batched vs unbatched throughput -----------------------------------
+
+double MeasureThroughput(core::EasyTime* system, bool batching,
+                         const std::vector<std::string>& datasets,
+                         uint64_t* max_batch_size) {
+  serve::ForecastServer::Options opt;
+  opt.enable_batching = batching;
+  opt.batch_max = 8;
+  opt.batch_wait_ms = 2.0;
+  opt.num_worker_threads = 4;
+  opt.fast_queue_capacity = 4096;
+  opt.cache_capacity = 0;  // measure computation, not the cache
+  serve::ForecastServer server(system, opt);
+  server.Start();
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 30;
+  std::atomic<int> failures{0};
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int r = 0; r < kPerClient; ++r) {
+        // Same method everywhere => one batch bucket; distinct datasets and
+        // horizons => real per-request work (no dedup shortcut).
+        auto resp = Json::Parse(server.HandleLine(ForecastLine(
+            datasets[(c + r) % datasets.size()], "theta", c * 1000 + r,
+            4 + ((c + r) % 8))));
+        if (!resp.ok() || !resp->GetBool("ok", false)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double seconds = watch.ElapsedSeconds();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "throughput bench: %d failures\n", failures.load());
+    std::exit(1);
+  }
+  if (max_batch_size) {
+    *max_batch_size = static_cast<uint64_t>(
+        server.StatsJson().Get("batching").GetInt("max_batch_size", 0));
+  }
+  server.Stop();
+  return kClients * kPerClient / seconds;
+}
+
+// ---- 3. loopback TCP req/sec ----------------------------------------------
+
+double BenchTcp(serve::ForecastServer* server, const std::string& dataset) {
+  serve::TcpServer tcp(server);
+  if (auto st = tcp.Start(); !st.ok()) {
+    std::fprintf(stderr, "tcp: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(tcp.port());
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "tcp connect failed\n");
+    std::exit(1);
+  }
+
+  // Warm the cache so the TCP number measures the protocol + transport.
+  const std::string line = ForecastLine(dataset, "theta", 1, 6) + "\n";
+  constexpr int kRequests = 500;
+  auto round_trip = [&]() {
+    if (::send(fd, line.data(), line.size(), 0) !=
+        static_cast<ssize_t>(line.size())) {
+      std::exit(1);
+    }
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') {
+    }
+  };
+  round_trip();
+
+  Stopwatch watch;
+  for (int i = 0; i < kRequests; ++i) round_trip();
+  double seconds = watch.ElapsedSeconds();
+  ::close(fd);
+  tcp.Stop();
+  return kRequests / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto system = MakeSystem();
+  const std::vector<std::string> datasets = system->repository()->names();
+
+  serve::ForecastServer server(system.get());
+  server.Start();
+
+  CacheNumbers cache = BenchCache(&server, datasets);
+  double tcp_rps = BenchTcp(&server, datasets[0]);
+  server.Stop();
+
+  uint64_t max_batch = 0;
+  double unbatched_rps =
+      MeasureThroughput(system.get(), false, datasets, nullptr);
+  double batched_rps =
+      MeasureThroughput(system.get(), true, datasets, &max_batch);
+
+  Json out = Json::Object();
+  Json cache_json = Json::Object();
+  cache_json.Set("miss_mean_ms", cache.miss_mean_ms);
+  cache_json.Set("hit_mean_ms", cache.hit_mean_ms);
+  cache_json.Set("speedup",
+                 cache.hit_mean_ms > 0.0
+                     ? cache.miss_mean_ms / cache.hit_mean_ms
+                     : 0.0);
+  out.Set("cache", std::move(cache_json));
+
+  Json batch_json = Json::Object();
+  batch_json.Set("unbatched_req_per_sec", unbatched_rps);
+  batch_json.Set("batched_req_per_sec", batched_rps);
+  batch_json.Set("speedup",
+                 unbatched_rps > 0.0 ? batched_rps / unbatched_rps : 0.0);
+  batch_json.Set("max_batch_size", static_cast<int64_t>(max_batch));
+  out.Set("batching", std::move(batch_json));
+
+  Json tcp_json = Json::Object();
+  tcp_json.Set("cached_forecast_req_per_sec", tcp_rps);
+  out.Set("loopback_tcp", std::move(tcp_json));
+
+  std::string payload = out.Dump(2);
+  std::printf("%s\n", payload.c_str());
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(payload.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the serving-layer benchmark and writes BENCH_serve.json at the repo
+# root: cache-hit vs cache-miss forecast latency, batched vs unbatched
+# throughput, and loopback TCP req/sec.
+#
+# Usage: bench/run_serve.sh [build_dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bin="$build_dir/bench/bench_serve"
+
+if [[ ! -x "$bin" ]]; then
+  echo "bench_serve not found at $bin — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bin" "$repo_root/BENCH_serve.json"
+echo "wrote $repo_root/BENCH_serve.json"

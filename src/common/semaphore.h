@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file semaphore.h
+/// \brief A counting semaphore (mutex + condvar). Used by the serving layer
+/// to cap concurrent TCP connection handlers; TryAcquire doubles as an
+/// admission-control check.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace easytime {
+
+/// \brief Counting semaphore with blocking and non-blocking acquire.
+class Semaphore {
+ public:
+  explicit Semaphore(size_t initial) : count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Blocks until a permit is available, then takes it.
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this]() { return count_ > 0; });
+    --count_;
+  }
+
+  /// Takes a permit if one is available without blocking.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns a permit.
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Currently available permits (diagnostic only — racy by nature).
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace easytime

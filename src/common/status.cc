@@ -15,6 +15,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kParseError: return "Parse error";
     case StatusCode::kTypeError: return "Type error";
     case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

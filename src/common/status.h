@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kParseError = 8,
   kTypeError = 9,
   kUnsupported = 10,
+  kUnavailable = 11,   ///< transient overload: retry later (admission control)
+  kCancelled = 12,     ///< the operation was cancelled by the caller
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -78,6 +80,12 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -95,6 +103,8 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;

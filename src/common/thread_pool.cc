@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace easytime {
 
@@ -101,8 +103,17 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   if (task_error) std::rethrow_exception(task_error);
 }
 
+size_t GlobalThreadPoolSizeOverride() {
+  const char* env = std::getenv("EASYTIME_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 0;  // malformed: ignore
+  return static_cast<size_t>(v);
+}
+
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool pool;
+  static ThreadPool pool(GlobalThreadPoolSizeOverride());
   return pool;
 }
 

@@ -71,6 +71,16 @@ class ThreadPool {
 /// \brief Process-wide shared pool (lazily created, hardware-concurrency
 /// sized). Used by the NN kernels and the training loops so they draw from
 /// one set of workers instead of each spinning up their own.
+///
+/// The size can be pinned with the EASYTIME_NUM_THREADS environment variable
+/// (a positive integer; malformed or non-positive values are ignored) —
+/// serving deployments use it to match the pool to their CPU quota, and the
+/// 1-core CI box uses it to keep worker counts deterministic. It is read
+/// once, at first use.
 ThreadPool& GlobalThreadPool();
+
+/// \brief The EASYTIME_NUM_THREADS override, or 0 when unset/invalid
+/// (0 lets ThreadPool fall back to hardware concurrency).
+size_t GlobalThreadPoolSizeOverride();
 
 }  // namespace easytime

@@ -1,5 +1,7 @@
 #include "core/easytime.h"
 
+#include <mutex>
+
 #include "common/logging.h"
 #include "methods/registry.h"
 
@@ -74,15 +76,34 @@ easytime::Status EasyTime::RefreshQa() {
   return Status::OK();
 }
 
-easytime::Result<pipeline::BenchmarkReport> EasyTime::OneClickEvaluate(
-    const easytime::Json& config_json) {
-  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkConfig config,
-                            pipeline::BenchmarkConfig::FromJson(config_json));
-  pipeline::PipelineRunner runner(&repository_, config);
-  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+easytime::Result<pipeline::BenchmarkReport> EasyTime::RunAndCommit(
+    pipeline::BenchmarkConfig config, const pipeline::RunHooks& hooks) {
+  // Run phase under a shared lock: the pipeline only reads the repository,
+  // so queries (and other evaluations) proceed concurrently.
+  pipeline::BenchmarkReport report;
+  {
+    std::shared_lock lock(mu_);
+    pipeline::PipelineRunner runner(&repository_, std::move(config));
+    EASYTIME_ASSIGN_OR_RETURN(report, runner.Run(hooks));
+  }
+  // Commit phase under the exclusive lock: append to the knowledge base and
+  // swap in a rebuilt Q&A engine atomically with respect to queries.
+  std::unique_lock lock(mu_);
   kb_.AddReport(report);
   EASYTIME_RETURN_IF_ERROR(RefreshQa());
   return report;
+}
+
+easytime::Result<pipeline::BenchmarkReport> EasyTime::OneClickEvaluate(
+    const easytime::Json& config_json) {
+  return OneClickEvaluate(config_json, pipeline::RunHooks{});
+}
+
+easytime::Result<pipeline::BenchmarkReport> EasyTime::OneClickEvaluate(
+    const easytime::Json& config_json, const pipeline::RunHooks& hooks) {
+  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkConfig config,
+                            pipeline::BenchmarkConfig::FromJson(config_json));
+  return RunAndCommit(std::move(config), hooks);
 }
 
 easytime::Result<pipeline::BenchmarkReport> EasyTime::EvaluateMethodEverywhere(
@@ -93,15 +114,12 @@ easytime::Result<pipeline::BenchmarkReport> EasyTime::EvaluateMethodEverywhere(
   pipeline::BenchmarkConfig config;
   config.eval = options_.seed_eval;
   config.methods.push_back(pipeline::MethodSpec{method_name, method_config});
-  pipeline::PipelineRunner runner(&repository_, config);
-  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
-  kb_.AddReport(report);
-  EASYTIME_RETURN_IF_ERROR(RefreshQa());
-  return report;
+  return RunAndCommit(std::move(config), pipeline::RunHooks{});
 }
 
 easytime::Result<ensemble::Recommendation> EasyTime::Recommend(
     const std::string& dataset_name, size_t k) const {
+  std::shared_lock lock(mu_);
   EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
                             repository_.Get(dataset_name));
   return ensemble_.Recommend(ds->primary().values(), k);
@@ -109,11 +127,13 @@ easytime::Result<ensemble::Recommendation> EasyTime::Recommend(
 
 easytime::Result<ensemble::Recommendation> EasyTime::RecommendForValues(
     const std::vector<double>& values, size_t k) const {
+  std::shared_lock lock(mu_);
   return ensemble_.Recommend(values, k);
 }
 
 easytime::Result<EasyTime::EnsembleEvaluation> EasyTime::EvaluateWithEnsemble(
     const std::string& dataset_name, const eval::EvalConfig& config) const {
+  std::shared_lock lock(mu_);
   EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
                             repository_.Get(dataset_name));
   const std::vector<double>& values = ds->primary().values();
@@ -137,11 +157,13 @@ easytime::Result<EasyTime::EnsembleEvaluation> EasyTime::EvaluateWithEnsemble(
 }
 
 easytime::Result<qa::QaResponse> EasyTime::Ask(const std::string& question) {
+  std::shared_lock lock(mu_);
   if (!qa_) return Status::Internal("Q&A engine not initialized");
   return qa_->Ask(question);
 }
 
 easytime::Result<qa::QaResponse> EasyTime::AskSql(const std::string& sql) {
+  std::shared_lock lock(mu_);
   if (!qa_) return Status::Internal("Q&A engine not initialized");
   return qa_->AskSql(sql);
 }

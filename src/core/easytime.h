@@ -15,6 +15,7 @@
 /// \endcode
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,15 @@
 namespace easytime::core {
 
 /// \brief The assembled EasyTime system.
+///
+/// Thread safety (the contract the serving layer builds on): after Create
+/// returns, Recommend/RecommendForValues/EvaluateWithEnsemble/Ask/AskSql may
+/// be called concurrently from any number of threads. The evaluation entry
+/// points run their pipeline under a shared lock too — only the short
+/// commit phase (knowledge-base append + Q&A rebuild) takes the facade's
+/// exclusive lock, so long evaluations do not stall concurrent reads.
+/// Mutating the repository via repository() is only safe before concurrent
+/// use begins.
 class EasyTime {
  public:
   /// System bring-up options.
@@ -67,6 +77,12 @@ class EasyTime {
   /// to the knowledge base.
   easytime::Result<pipeline::BenchmarkReport> OneClickEvaluate(
       const easytime::Json& config_json);
+
+  /// OneClickEvaluate with pipeline hooks (cancellation + progress) — the
+  /// serving layer's async evaluation jobs use this. A cancelled run leaves
+  /// the knowledge base untouched and returns Status::Cancelled.
+  easytime::Result<pipeline::BenchmarkReport> OneClickEvaluate(
+      const easytime::Json& config_json, const pipeline::RunHooks& hooks);
 
   /// One-click "run this method on all datasets".
   easytime::Result<pipeline::BenchmarkReport> EvaluateMethodEverywhere(
@@ -113,6 +129,14 @@ class EasyTime {
   /// Rebuilds the Q&A engine after the knowledge base changes.
   easytime::Status RefreshQa();
 
+  /// Runs a parsed benchmark config and commits the report (shared lock for
+  /// the run, exclusive lock for the commit).
+  easytime::Result<pipeline::BenchmarkReport> RunAndCommit(
+      pipeline::BenchmarkConfig config, const pipeline::RunHooks& hooks);
+
+  /// Guards the module graph: shared for queries, exclusive for the commit
+  /// phase of evaluations (kb_ append + qa_ swap).
+  mutable std::shared_mutex mu_;
   tsdata::Repository repository_;
   knowledge::KnowledgeBase kb_;
   ensemble::AutoEnsembleEngine ensemble_;

@@ -1,6 +1,7 @@
 #include "knowledge/knowledge_base.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -8,8 +9,28 @@
 
 namespace easytime::knowledge {
 
+KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
+  std::unique_lock lock(other.mu_);
+  version_ = other.version_;
+  datasets_ = std::move(other.datasets_);
+  methods_ = std::move(other.methods_);
+  results_ = std::move(other.results_);
+  dataset_index_ = std::move(other.dataset_index_);
+}
+
+KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  version_ = other.version_;
+  datasets_ = std::move(other.datasets_);
+  methods_ = std::move(other.methods_);
+  results_ = std::move(other.results_);
+  dataset_index_ = std::move(other.dataset_index_);
+  return *this;
+}
+
 void KnowledgeBase::AddDataset(const tsdata::Dataset& ds) {
-  if (dataset_index_.count(ds.name())) return;
+  // Characteristic extraction is the expensive part; do it before locking.
   DatasetMeta meta;
   meta.name = ds.name();
   meta.domain = tsdata::DomainName(ds.domain());
@@ -17,12 +38,18 @@ void KnowledgeBase::AddDataset(const tsdata::Dataset& ds) {
   meta.num_channels = ds.num_channels();
   meta.length = ds.length();
   meta.characteristics = tsdata::ExtractCharacteristics(ds);
+
+  std::unique_lock lock(mu_);
+  if (dataset_index_.count(meta.name)) return;
   dataset_index_[meta.name] = datasets_.size();
   datasets_.push_back(std::move(meta));
+  ++version_;
 }
 
 void KnowledgeBase::AddAllMethods() {
   auto& registry = methods::MethodRegistry::Global();
+  std::unique_lock lock(mu_);
+  bool added = false;
   for (const auto& name : registry.Names()) {
     bool exists = std::any_of(methods_.begin(), methods_.end(),
                               [&](const MethodMeta& m) { return m.name == name; });
@@ -34,10 +61,14 @@ void KnowledgeBase::AddAllMethods() {
     meta.family = methods::FamilyName(info->family);
     meta.description = info->description;
     methods_.push_back(std::move(meta));
+    added = true;
   }
+  if (added) ++version_;
 }
 
 void KnowledgeBase::AddReport(const pipeline::BenchmarkReport& report) {
+  std::unique_lock lock(mu_);
+  bool added = false;
   for (const auto* rec : report.Successful()) {
     ResultEntry entry;
     entry.dataset = rec->dataset;
@@ -48,20 +79,50 @@ void KnowledgeBase::AddReport(const pipeline::BenchmarkReport& report) {
     entry.fit_seconds = rec->fit_seconds;
     entry.forecast_seconds = rec->forecast_seconds;
     results_.push_back(std::move(entry));
+    added = true;
   }
+  if (added) ++version_;
+}
+
+uint64_t KnowledgeBase::version() const {
+  std::shared_lock lock(mu_);
+  return version_;
+}
+
+size_t KnowledgeBase::NumDatasets() const {
+  std::shared_lock lock(mu_);
+  return datasets_.size();
+}
+
+size_t KnowledgeBase::NumMethods() const {
+  std::shared_lock lock(mu_);
+  return methods_.size();
+}
+
+size_t KnowledgeBase::NumResults() const {
+  std::shared_lock lock(mu_);
+  return results_.size();
+}
+
+std::vector<ResultEntry> KnowledgeBase::ResultsSnapshot() const {
+  std::shared_lock lock(mu_);
+  return std::vector<ResultEntry>(results_.begin(), results_.end());
 }
 
 easytime::Result<const DatasetMeta*> KnowledgeBase::GetDataset(
     const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = dataset_index_.find(name);
   if (it == dataset_index_.end()) {
     return Status::NotFound("no such dataset in knowledge base: " + name);
   }
+  // Deque rows are stable under append, so the pointer outlives the lock.
   return &datasets_[it->second];
 }
 
 std::map<std::string, double> KnowledgeBase::MethodScores(
     const std::string& dataset, const std::string& metric) const {
+  std::shared_lock lock(mu_);
   std::map<std::string, double> out;
   for (const auto& r : results_) {
     if (r.dataset != dataset) continue;
@@ -75,6 +136,7 @@ easytime::Status KnowledgeBase::ExportToDatabase(sql::Database* db) const {
   if (db == nullptr) {
     return Status::InvalidArgument("database must not be null");
   }
+  std::shared_lock lock(mu_);
   using sql::Column;
   using sql::DataType;
   using sql::Value;
@@ -142,6 +204,7 @@ easytime::Status KnowledgeBase::ExportToDatabase(sql::Database* db) const {
 }
 
 easytime::Status KnowledgeBase::SaveResultsCsv(const std::string& path) const {
+  std::shared_lock lock(mu_);
   CsvDocument doc;
   doc.header = {"dataset", "method",       "strategy",
                 "horizon", "metric",       "value",
@@ -166,6 +229,7 @@ easytime::Status KnowledgeBase::LoadResultsCsv(const std::string& path) {
   if (ds < 0 || me < 0 || st < 0 || ho < 0 || mt < 0 || va < 0) {
     return Status::ParseError("results CSV missing required columns");
   }
+  std::unique_lock lock(mu_);
   // Rows sharing (dataset, method, strategy, horizon) merge into one entry.
   std::map<std::string, size_t> index;
   for (const auto& row : doc.rows) {
@@ -188,6 +252,7 @@ easytime::Status KnowledgeBase::LoadResultsCsv(const std::string& path) {
     EASYTIME_ASSIGN_OR_RETURN(double v, ParseDouble(row[static_cast<size_t>(va)]));
     results_[it->second].metrics[row[static_cast<size_t>(mt)]] = v;
   }
+  if (!doc.rows.empty()) ++version_;
   return Status::OK();
 }
 

@@ -7,7 +7,10 @@
 /// the Automated Ensemble (method-performance supervision) and the Q&A
 /// module (as SQL tables).
 
+#include <cstdint>
+#include <deque>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,9 +51,24 @@ struct ResultEntry {
 };
 
 /// \brief The accumulated benchmark knowledge base.
+///
+/// Thread safety: mutators take an exclusive lock and bump a monotonically
+/// increasing version counter; the named query methods (GetDataset,
+/// MethodScores, ExportToDatabase, the counts/snapshots, version()) take a
+/// shared lock, so any number of readers may run concurrently with appends.
+/// Rows live in deques, so references handed out under the lock are never
+/// invalidated by later appends. The raw container accessors (datasets(),
+/// methods(), results()) remain lock-free for the single-threaded build and
+/// bench phases — don't iterate them while another thread may be appending.
 class KnowledgeBase {
  public:
   KnowledgeBase() = default;
+
+  /// Movable (the mutex itself stays put; the source is locked during the
+  /// move). Only safe while no other thread is using the source — moves
+  /// belong to the single-threaded seeding phase.
+  KnowledgeBase(KnowledgeBase&& other) noexcept;
+  KnowledgeBase& operator=(KnowledgeBase&& other) noexcept;
 
   /// Registers dataset metadata (characteristics are computed here).
   void AddDataset(const tsdata::Dataset& ds);
@@ -61,9 +79,21 @@ class KnowledgeBase {
   /// Ingests a pipeline report's successful records.
   void AddReport(const pipeline::BenchmarkReport& report);
 
-  const std::vector<DatasetMeta>& datasets() const { return datasets_; }
-  const std::vector<MethodMeta>& methods() const { return methods_; }
-  const std::vector<ResultEntry>& results() const { return results_; }
+  const std::deque<DatasetMeta>& datasets() const { return datasets_; }
+  const std::deque<MethodMeta>& methods() const { return methods_; }
+  const std::deque<ResultEntry>& results() const { return results_; }
+
+  /// \brief Number of times the knowledge base has been mutated. The serving
+  /// layer tags cache entries with this value so appends invalidate them.
+  uint64_t version() const;
+
+  /// Locked row counts (safe under concurrent appends).
+  size_t NumDatasets() const;
+  size_t NumMethods() const;
+  size_t NumResults() const;
+
+  /// Locked copy of the result rows (safe under concurrent appends).
+  std::vector<ResultEntry> ResultsSnapshot() const;
 
   /// Dataset metadata by name.
   easytime::Result<const DatasetMeta*> GetDataset(
@@ -90,9 +120,11 @@ class KnowledgeBase {
   easytime::Status LoadResultsCsv(const std::string& path);
 
  private:
-  std::vector<DatasetMeta> datasets_;
-  std::vector<MethodMeta> methods_;
-  std::vector<ResultEntry> results_;
+  mutable std::shared_mutex mu_;
+  uint64_t version_ = 0;  // guarded by mu_
+  std::deque<DatasetMeta> datasets_;
+  std::deque<MethodMeta> methods_;
+  std::deque<ResultEntry> results_;
   std::map<std::string, size_t> dataset_index_;
 };
 

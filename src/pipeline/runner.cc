@@ -1,6 +1,7 @@
 #include "pipeline/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <set>
@@ -105,6 +106,11 @@ PipelineRunner::PipelineRunner(const tsdata::Repository* repo,
     : repo_(repo), config_(std::move(config)) {}
 
 easytime::Result<BenchmarkReport> PipelineRunner::Run() const {
+  return Run(RunHooks{});
+}
+
+easytime::Result<BenchmarkReport> PipelineRunner::Run(
+    const RunHooks& hooks) const {
   if (repo_ == nullptr) {
     return Status::InvalidArgument("repository must not be null");
   }
@@ -156,7 +162,15 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run() const {
   Stopwatch watch;
   ThreadPool pool(config_.num_threads);
   std::mutex log_mu;
+  std::atomic<size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  const size_t total = tasks.size();
   pool.ParallelFor(tasks.size(), [&](size_t i) {
+    if (cancelled.load(std::memory_order_relaxed) ||
+        (hooks.cancelled && hooks.cancelled())) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
     const Task& task = tasks[i];
     RunRecord& rec = report.records[i];
     rec.dataset = task.dataset->name();
@@ -180,7 +194,13 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run() const {
       EASYTIME_LOG(Warning) << rec.method << " on " << rec.dataset
                             << " failed: " << rec.status.ToString();
     }
+    if (hooks.progress) {
+      hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+    }
   });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("pipeline run cancelled");
+  }
   report.wall_seconds = watch.ElapsedSeconds();
 
   EASYTIME_LOG(Info) << "pipeline finished: " << report.Successful().size()

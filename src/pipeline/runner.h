@@ -7,6 +7,7 @@
 /// logs progress, and produces the result table that seeds the benchmark
 /// knowledge base.
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ struct BenchmarkReport {
   easytime::Status WriteCsv(const std::string& path) const;
 };
 
+/// \brief Observation and control hooks for a pipeline run. Both callbacks
+/// are invoked from worker threads and must be thread-safe; either may be
+/// left empty.
+struct RunHooks {
+  /// Polled before each (method, dataset) pair; returning true skips the
+  /// remaining pairs and makes Run return Status::Cancelled. The serving
+  /// layer wires this to a job's cancellation flag.
+  std::function<bool()> cancelled;
+  /// Called after each pair completes with (pairs done, pairs total).
+  std::function<void(size_t, size_t)> progress;
+};
+
 /// \brief Executes a benchmark configuration against a dataset repository.
 class PipelineRunner {
  public:
@@ -60,6 +73,10 @@ class PipelineRunner {
   /// Runs all (method, dataset) pairs; individual failures are recorded in
   /// their RunRecord::status rather than aborting the run.
   easytime::Result<BenchmarkReport> Run() const;
+
+  /// Run with cancellation/progress hooks. A cancelled run returns
+  /// Status::Cancelled — no partial report is produced.
+  easytime::Result<BenchmarkReport> Run(const RunHooks& hooks) const;
 
  private:
   const tsdata::Repository* repo_;

@@ -150,6 +150,11 @@ std::string GenerateAnswer(const TranslatedQuestion& t,
 }  // namespace
 
 easytime::Result<QaResponse> QaEngine::Ask(const std::string& question) {
+  // One exchange at a time: the follow-up context (history, last
+  // translation) is engine state, and interleaved questions would race on
+  // it. Q&A is milliseconds of SQL over small tables, so serializing here
+  // is cheap and keeps the serving layer's Ask endpoint thread-safe.
+  std::lock_guard<std::mutex> guard(mu_);
   Stopwatch watch;
 
   // Step 2: NL2SQL (with Q&A history as context for follow-ups).
@@ -187,6 +192,7 @@ easytime::Result<QaResponse> QaEngine::Ask(const std::string& question) {
 }
 
 easytime::Result<QaResponse> QaEngine::AskSql(const std::string& query) {
+  std::lock_guard<std::mutex> guard(mu_);
   Stopwatch watch;
   EASYTIME_ASSIGN_OR_RETURN(sql::SelectStatement stmt,
                             sql::ParseSelect(query));

@@ -7,6 +7,7 @@
 /// Post-processing (charts + structured outputs) -> Output.
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +58,9 @@ class QaEngine {
   /// verification failures produce an error Status — nothing is executed.
   /// Follow-up phrasings ("what about short term?") inherit the previous
   /// successful question's intent and filters.
+  ///
+  /// Thread-safe: exchanges are serialized on an internal mutex so the
+  /// history/follow-up state never interleaves (AskSql shares the lock).
   easytime::Result<QaResponse> Ask(const std::string& question);
 
   /// Runs a raw SQL query through the same verify-then-execute path
@@ -66,11 +70,13 @@ class QaEngine {
   /// The benchmark metadata handed to the translator (schema description).
   std::string SchemaDescription() const { return db_.DescribeSchema(); }
 
+  /// Exchange history. Not locked — read it only when no Ask is in flight.
   const std::vector<QaHistoryEntry>& history() const { return history_; }
 
  private:
   QaEngine() = default;
 
+  mutable std::mutex mu_;  ///< serializes Ask/AskSql (history + follow-ups)
   sql::Database db_;
   std::vector<std::string> method_names_;
   std::vector<std::string> domain_names_;

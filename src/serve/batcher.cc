@@ -1,0 +1,67 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace easytime::serve {
+
+void MicroBatcher::Add(const std::string& batch_key, FastTask task) {
+  std::vector<FastTask> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.items;
+    Bucket& bucket = buckets_[batch_key];
+    if (bucket.items.empty()) {
+      bucket.deadline = Clock::now() + options_.max_wait;
+    }
+    bucket.items.push_back(std::move(task));
+    if (bucket.items.size() >= options_.max_batch) {
+      ready = std::move(bucket.items);
+      buckets_.erase(batch_key);
+      ++stats_.batches;
+      stats_.max_batch_size = std::max(stats_.max_batch_size,
+                                       static_cast<uint64_t>(ready.size()));
+    }
+  }
+  if (!ready.empty()) flush_(std::move(ready));
+}
+
+std::optional<MicroBatcher::Clock::time_point> MicroBatcher::NextDeadline()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Clock::time_point> next;
+  for (const auto& [key, bucket] : buckets_) {
+    if (!next || bucket.deadline < *next) next = bucket.deadline;
+  }
+  return next;
+}
+
+void MicroBatcher::FlushExpired(Clock::time_point now) {
+  std::vector<std::vector<FastTask>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->second.deadline <= now) {
+        ++stats_.batches;
+        stats_.max_batch_size =
+            std::max(stats_.max_batch_size,
+                     static_cast<uint64_t>(it->second.items.size()));
+        ready.push_back(std::move(it->second.items));
+        it = buckets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& batch : ready) flush_(std::move(batch));
+}
+
+void MicroBatcher::FlushAll() {
+  FlushExpired(Clock::time_point::max());
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace easytime::serve

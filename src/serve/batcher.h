@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file batcher.h
+/// \brief Micro-batching for the fast lane: forecast requests naming the
+/// same (method, config) coalesce into one batch so the executor can run
+/// them as a single data-parallel task (one ParallelFor over the batch — the
+/// chunked scheduler and row-parallel GEMM kernels see multi-item work) and
+/// deduplicate identical requests into one computation.
+///
+/// A bucket flushes when it reaches max_batch items or when max_wait has
+/// elapsed since its first item — the classic size-or-deadline policy. All
+/// mutation happens on the dispatcher thread; the internal lock only makes
+/// the stats readable from the stats endpoint.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace easytime::serve {
+
+/// One queued fast-lane request: the parsed request, its cache key, and the
+/// promise its client blocks on.
+struct FastTask {
+  Request request;
+  std::string cache_key;
+  std::shared_ptr<std::promise<easytime::Json>> promise;
+};
+
+/// \brief Size-or-deadline batcher, keyed on a caller-chosen batch key
+/// (the serving layer uses method + canonical method config).
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Receives a full batch (same batch key) ready for execution.
+  using FlushFn = std::function<void(std::vector<FastTask>)>;
+
+  struct Options {
+    size_t max_batch = 8;
+    std::chrono::microseconds max_wait{1000};
+  };
+
+  struct Stats {
+    uint64_t items = 0;    ///< tasks that entered the batcher
+    uint64_t batches = 0;  ///< batches flushed
+    uint64_t max_batch_size = 0;
+  };
+
+  MicroBatcher(Options options, FlushFn flush)
+      : options_(options), flush_(std::move(flush)) {}
+
+  /// Adds a task under \p batch_key; flushes the bucket if it is full.
+  void Add(const std::string& batch_key, FastTask task);
+
+  /// Earliest bucket deadline, if any bucket is non-empty — the dispatcher
+  /// uses it as its queue-pop timeout.
+  std::optional<Clock::time_point> NextDeadline() const;
+
+  /// Flushes every bucket whose deadline has passed.
+  void FlushExpired(Clock::time_point now);
+
+  /// Flushes everything (shutdown drain).
+  void FlushAll();
+
+  Stats stats() const;
+
+ private:
+  struct Bucket {
+    std::vector<FastTask> items;
+    Clock::time_point deadline;
+  };
+
+  Options options_;
+  FlushFn flush_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  Stats stats_;
+};
+
+}  // namespace easytime::serve

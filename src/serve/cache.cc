@@ -1,0 +1,75 @@
+#include "serve/cache.h"
+
+namespace easytime::serve {
+
+std::optional<std::string> ResultCache::Lookup(const std::string& key,
+                                               uint64_t current_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  const bool expired = entry.expires && Clock::now() >= entry.expires_at;
+  if (expired || entry.version != current_version) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return entry.payload;
+}
+
+void ResultCache::Insert(const std::string& key, std::string payload,
+                         uint64_t version) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.payload = std::move(payload);
+  entry.version = version;
+  if (options_.ttl_seconds > 0.0) {
+    entry.expires = true;
+    entry.expires_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options_.ttl_seconds));
+  }
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace easytime::serve

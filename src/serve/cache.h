@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cache.h
+/// \brief LRU + TTL result cache for the serving layer. Entries are keyed on
+/// the canonical request key (see request.h) and tagged with the knowledge
+/// base version they were computed against — appending to the knowledge base
+/// bumps the version, which lazily invalidates every older entry.
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace easytime::serve {
+
+/// \brief Thread-safe LRU cache with per-entry TTL and version tagging.
+/// Stores serialized result payloads (the "result" member of a response), so
+/// hits cost one map lookup plus one JSON parse — no model work.
+class ResultCache {
+ public:
+  struct Options {
+    size_t capacity = 256;        ///< max entries; 0 disables the cache
+    double ttl_seconds = 300.0;   ///< entry lifetime; <= 0 = never expires
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      ///< LRU capacity evictions
+    uint64_t invalidations = 0;  ///< TTL expiries + version mismatches
+    size_t entries = 0;          ///< current size
+  };
+
+  explicit ResultCache(Options options) : options_(options) {}
+
+  /// \brief Returns the payload cached under \p key if it is fresh: present,
+  /// within TTL, and computed at \p current_version. Stale entries are
+  /// erased on the way out. Counts a hit or miss either way.
+  std::optional<std::string> Lookup(const std::string& key,
+                                    uint64_t current_version);
+
+  /// Inserts (or refreshes) \p key, evicting the LRU tail beyond capacity.
+  void Insert(const std::string& key, std::string payload, uint64_t version);
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    std::string key;
+    std::string payload;
+    uint64_t version = 0;
+    Clock::time_point expires_at;
+    bool expires = false;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace easytime::serve

@@ -1,0 +1,163 @@
+#include "serve/job_manager.h"
+
+#include "common/logging.h"
+#include "pipeline/runner.h"
+
+namespace easytime::serve {
+
+const char* JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(core::EasyTime* system, size_t queue_capacity)
+    : system_(system), pending_(queue_capacity) {}
+
+JobManager::~JobManager() { Shutdown(); }
+
+void JobManager::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  worker_ = std::thread([this]() { WorkerLoop(); });
+}
+
+void JobManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || shutdown_.load()) {
+      shutdown_.store(true);
+      pending_.Close();
+      if (worker_.joinable()) worker_.join();
+      return;
+    }
+    shutdown_.store(true);
+  }
+  pending_.Close();  // worker drains the queue (cancelling queued jobs)
+  if (worker_.joinable()) worker_.join();
+}
+
+easytime::Result<uint64_t> JobManager::Submit(easytime::Json config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_.load()) {
+    ++stats_.rejected;
+    return Status::Unavailable("evaluation lane is shut down");
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_id_;
+  job->config = std::move(config);
+  const uint64_t id = job->id;
+  if (!pending_.TryPush(id)) {
+    ++stats_.rejected;
+    return Status::Unavailable(
+        "evaluation queue is full (" +
+        std::to_string(pending_.capacity()) + " jobs); retry later");
+  }
+  ++next_id_;
+  jobs_[id] = std::move(job);
+  ++stats_.submitted;
+  return id;
+}
+
+easytime::Json JobManager::JobJsonLocked(const Job& job) const {
+  easytime::Json out = easytime::Json::Object();
+  out.Set("job", static_cast<int64_t>(job.id));
+  out.Set("state", JobStateName(job.state));
+  out.Set("done", static_cast<int64_t>(job.done.load()));
+  out.Set("total", static_cast<int64_t>(job.total.load()));
+  if (job.state == JobState::kDone) out.Set("result", job.result);
+  if (job.state == JobState::kFailed) {
+    out.Set("error", job.error.ToString());
+  }
+  return out;
+}
+
+easytime::Result<easytime::Json> JobManager::StatusJson(
+    uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no such job: " + std::to_string(job_id));
+  }
+  return JobJsonLocked(*it->second);
+}
+
+easytime::Result<easytime::Json> JobManager::Cancel(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no such job: " + std::to_string(job_id));
+  }
+  Job& job = *it->second;
+  job.cancel->store(true);
+  if (job.state == JobState::kQueued) {
+    // The worker sees the state and skips it when the id surfaces.
+    job.state = JobState::kCancelled;
+    ++stats_.cancelled;
+  }
+  return JobJsonLocked(job);
+}
+
+JobManager::Stats JobManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void JobManager::WorkerLoop() {
+  while (auto id = pending_.Pop()) {
+    Job* job = nullptr;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(*id);
+      if (it == jobs_.end()) continue;
+      if (it->second->state != JobState::kQueued) continue;  // cancelled
+      if (shutdown_.load()) {
+        // Draining: don't start new work, just mark it cancelled.
+        it->second->state = JobState::kCancelled;
+        ++stats_.cancelled;
+        continue;
+      }
+      job = it->second.get();
+      job->state = JobState::kRunning;
+      cancel = job->cancel;
+    }
+
+    pipeline::RunHooks hooks;
+    hooks.cancelled = [cancel]() { return cancel->load(); };
+    hooks.progress = [job](size_t done, size_t total) {
+      job->done.store(done, std::memory_order_relaxed);
+      job->total.store(total, std::memory_order_relaxed);
+    };
+    auto report = system_->OneClickEvaluate(job->config, hooks);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (report.ok()) {
+      size_t ok_records = report->Successful().size();
+      easytime::Json summary = easytime::Json::Object();
+      summary.Set("records", static_cast<int64_t>(report->records.size()));
+      summary.Set("ok", static_cast<int64_t>(ok_records));
+      summary.Set("wall_seconds", report->wall_seconds);
+      job->result = std::move(summary);
+      job->state = JobState::kDone;
+      ++stats_.completed;
+    } else if (report.status().IsCancelled()) {
+      job->state = JobState::kCancelled;
+      ++stats_.cancelled;
+    } else {
+      job->error = report.status();
+      job->state = JobState::kFailed;
+      ++stats_.failed;
+      EASYTIME_LOG(Warning) << "evaluation job " << job->id
+                            << " failed: " << report.status().ToString();
+    }
+  }
+}
+
+}  // namespace easytime::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file job_manager.h
+/// \brief The async lane: long-running OneClickEvaluate jobs submitted via
+/// the "evaluate" endpoint. Jobs queue into a bounded FIFO (admission
+/// control), run one at a time on a dedicated worker thread, report
+/// progress, and can be cancelled while queued or mid-run (the pipeline
+/// polls the cancellation flag between (method, dataset) pairs).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "core/easytime.h"
+
+namespace easytime::serve {
+
+/// Lifecycle of an evaluation job.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Wire name of a job state ("queued", "running", ...).
+const char* JobStateName(JobState s);
+
+/// \brief Owns the evaluation job queue and its worker thread.
+class JobManager {
+ public:
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;   ///< admission-control rejections (queue full)
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+  };
+
+  /// \param system the facade evaluations run against (not owned)
+  /// \param queue_capacity max queued-but-not-started jobs
+  JobManager(core::EasyTime* system, size_t queue_capacity);
+  ~JobManager();
+
+  /// Starts the worker thread (idempotent).
+  void Start();
+
+  /// \brief Drains the lane: the in-flight job (if any) runs to completion,
+  /// jobs still queued are marked cancelled, and the worker exits. Further
+  /// submissions are rejected.
+  void Shutdown();
+
+  /// \brief Admits an evaluation job. Returns its id, or Unavailable when
+  /// the queue is at capacity or the lane is shut down.
+  easytime::Result<uint64_t> Submit(easytime::Json config);
+
+  /// \brief Job status as a response payload: {"job", "state", "done",
+  /// "total", and — depending on state — "result" or "error"}.
+  easytime::Result<easytime::Json> StatusJson(uint64_t job_id) const;
+
+  /// \brief Requests cancellation. A queued job is cancelled immediately; a
+  /// running job stops at its next pipeline checkpoint. Terminal jobs are
+  /// left as they are (the returned payload shows the final state).
+  easytime::Result<easytime::Json> Cancel(uint64_t job_id);
+
+  Stats stats() const;
+  size_t queue_depth() const { return pending_.size(); }
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    easytime::Json config;
+    JobState state = JobState::kQueued;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> total{0};
+    easytime::Json result;  ///< summary, set when state == kDone
+    Status error;           ///< set when state == kFailed
+  };
+
+  void WorkerLoop();
+  easytime::Json JobJsonLocked(const Job& job) const;
+
+  core::EasyTime* system_;
+  BoundedQueue<uint64_t> pending_;
+  mutable std::mutex mu_;  ///< guards jobs_, next_id_, stats_, state fields
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  Stats stats_;
+  std::thread worker_;
+  bool started_ = false;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace easytime::serve

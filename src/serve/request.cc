@@ -1,0 +1,132 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace easytime::serve {
+
+easytime::Result<Request> ParseRequest(const std::string& line,
+                                       size_t max_bytes,
+                                       int64_t* error_id) {
+  if (error_id) *error_id = -1;
+  if (max_bytes > 0 && line.size() > max_bytes) {
+    return Status::InvalidArgument(
+        "request exceeds the " + std::to_string(max_bytes) +
+        "-byte limit (" + std::to_string(line.size()) + " bytes)");
+  }
+  EASYTIME_ASSIGN_OR_RETURN(easytime::Json doc, easytime::Json::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  if (doc.Has("id")) {
+    const easytime::Json& id = doc.Get("id");
+    if (!id.is_number()) {
+      return Status::InvalidArgument("request \"id\" must be a number");
+    }
+    req.id = id.AsInt();
+    if (error_id) *error_id = req.id;
+  }
+  req.endpoint = doc.GetString("endpoint", "");
+  if (req.endpoint.empty()) {
+    return Status::InvalidArgument(
+        "request is missing the \"endpoint\" field");
+  }
+  if (doc.Has("params")) {
+    const easytime::Json& params = doc.Get("params");
+    if (!params.is_object()) {
+      return Status::InvalidArgument("request \"params\" must be an object");
+    }
+    req.params = params;
+  } else {
+    req.params = easytime::Json::Object();
+  }
+  return req;
+}
+
+namespace {
+
+void CanonicalDump(const easytime::Json& node, std::string* out) {
+  switch (node.type()) {
+    case easytime::Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& item : node.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        CanonicalDump(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case easytime::Json::Type::kObject: {
+      std::vector<std::string> keys = node.keys();
+      std::sort(keys.begin(), keys.end());
+      out->push_back('{');
+      bool first = true;
+      for (const auto& key : keys) {
+        if (!first) out->push_back(',');
+        first = false;
+        *out += easytime::Json(key).Dump();
+        out->push_back(':');
+        CanonicalDump(node.Get(key), out);
+      }
+      out->push_back('}');
+      return;
+    }
+    default:
+      // Scalars already serialize deterministically.
+      *out += node.Dump();
+      return;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalKey(const std::string& endpoint,
+                         const easytime::Json& params) {
+  std::string key = endpoint;
+  key.push_back('\n');
+  CanonicalDump(params, &key);
+  return key;
+}
+
+const char* ErrorCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+easytime::Json MakeOkResponse(int64_t id, easytime::Json result) {
+  easytime::Json resp = easytime::Json::Object();
+  if (id >= 0) resp.Set("id", id);
+  resp.Set("ok", true);
+  resp.Set("result", std::move(result));
+  return resp;
+}
+
+easytime::Json MakeErrorResponse(int64_t id, const Status& status) {
+  easytime::Json resp = easytime::Json::Object();
+  if (id >= 0) resp.Set("id", id);
+  resp.Set("ok", false);
+  easytime::Json err = easytime::Json::Object();
+  err.Set("code", ErrorCodeToken(status.code()));
+  err.Set("message", status.message());
+  resp.Set("error", std::move(err));
+  return resp;
+}
+
+}  // namespace easytime::serve

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file request.h
+/// \brief The serve wire protocol: line-delimited JSON requests and
+/// responses, plus the canonical request key the result cache is keyed on.
+///
+/// Request line:  {"id": 7, "endpoint": "forecast", "params": {...}}
+/// Response line: {"id": 7, "ok": true, "result": {...}}
+///             or {"id": 7, "ok": false,
+///                 "error": {"code": "InvalidArgument", "message": "..."}}
+///
+/// "id" is an optional client-chosen correlation token echoed back verbatim
+/// (clients pipelining several requests over one TCP connection use it to
+/// match responses). "params" defaults to an empty object.
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace easytime::serve {
+
+/// One parsed request.
+struct Request {
+  int64_t id = -1;       ///< client correlation id; -1 = absent
+  std::string endpoint;  ///< "forecast", "ask", "evaluate", ...
+  easytime::Json params; ///< endpoint arguments (object)
+};
+
+/// \brief Parses one request line. Enforces \p max_bytes (0 = unlimited)
+/// before parsing so oversized payloads are rejected cheaply.
+/// \param error_id if non-null, receives the request's numeric "id" when one
+/// could be parsed even though the request as a whole was rejected — the
+/// error response can then still be correlated by the client.
+easytime::Result<Request> ParseRequest(const std::string& line,
+                                       size_t max_bytes,
+                                       int64_t* error_id = nullptr);
+
+/// \brief Deterministic cache key: endpoint plus a canonicalized dump of the
+/// params (object keys sorted recursively), so key order and whitespace in
+/// the client's JSON don't fragment the cache.
+std::string CanonicalKey(const std::string& endpoint,
+                         const easytime::Json& params);
+
+/// CamelCase wire token for a status code ("InvalidArgument", "Unavailable").
+const char* ErrorCodeToken(StatusCode code);
+
+/// Builds the success envelope around an endpoint result.
+easytime::Json MakeOkResponse(int64_t id, easytime::Json result);
+
+/// Builds the error envelope from a failure status.
+easytime::Json MakeErrorResponse(int64_t id, const Status& status);
+
+}  // namespace easytime::serve

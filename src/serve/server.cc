@@ -1,0 +1,513 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "methods/registry.h"
+
+namespace easytime::serve {
+
+namespace {
+
+bool IsFastEndpoint(const std::string& endpoint) {
+  return endpoint == "forecast" || endpoint == "recommend" ||
+         endpoint == "ask" || endpoint == "sql";
+}
+
+}  // namespace
+
+ForecastServer::ForecastServer(core::EasyTime* system, Options options)
+    : system_(system),
+      options_(options),
+      cache_(ResultCache::Options{options.cache_capacity,
+                                  options.cache_ttl_seconds}),
+      jobs_(system, options.evaluate_queue_capacity),
+      fast_queue_(options.fast_queue_capacity) {}
+
+ForecastServer::ForecastServer(core::EasyTime* system)
+    : ForecastServer(system, Options()) {}
+
+ForecastServer::~ForecastServer() { Stop(); }
+
+void ForecastServer::Start() {
+  if (running_.exchange(true)) return;
+  const size_t workers = std::max<size_t>(1, options_.num_worker_threads);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  inflight_ = std::make_unique<Semaphore>(workers);
+  batcher_ = std::make_unique<MicroBatcher>(
+      MicroBatcher::Options{
+          options_.batch_max,
+          std::chrono::microseconds(
+              static_cast<int64_t>(options_.batch_wait_ms * 1000.0))},
+      [this](std::vector<FastTask> batch) {
+        inflight_->Acquire();  // backpressure: see inflight_ in server.h
+        pool_->Submit([this, batch = std::move(batch)]() mutable {
+          ExecuteBatch(std::move(batch));
+          inflight_->Release();
+        });
+      });
+  jobs_.Start();
+  dispatcher_ = std::thread([this]() { DispatchLoop(); });
+  accepting_.store(true);
+}
+
+void ForecastServer::Stop() {
+  if (!running_.load() || stopped_.exchange(true)) return;
+  accepting_.store(false);
+  // Drain order matters: close the fast queue so the dispatcher hands every
+  // queued request (and every open batch bucket) to the pool and exits, then
+  // destroy the pool — its destructor runs all remaining tasks, fulfilling
+  // every outstanding promise — and finally drain the async lane.
+  fast_queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+  jobs_.Shutdown();
+  running_.store(false);
+}
+
+bool ForecastServer::IsCacheable(const std::string& endpoint) {
+  // forecast/recommend are pure functions of (repository, request); ask is
+  // not cached because follow-up questions depend on conversation history.
+  return endpoint == "forecast" || endpoint == "recommend";
+}
+
+std::string ForecastServer::BatchKey(const Request& req) {
+  // Same method + same hyperparameters batch together.
+  easytime::Json key = easytime::Json::Object();
+  key.Set("method", req.params.GetString("method", ""));
+  if (req.params.Has("config")) key.Set("config", req.params.Get("config"));
+  return CanonicalKey("batch", key);
+}
+
+std::string ForecastServer::HandleLine(const std::string& line) {
+  int64_t error_id = -1;
+  auto parsed = ParseRequest(line, options_.max_request_bytes, &error_id);
+  if (!parsed.ok()) {
+    RecordStats("_protocol", false, false, false, 0.0);
+    return MakeErrorResponse(error_id, parsed.status()).Dump();
+  }
+  return Dispatch(std::move(*parsed)).Dump();
+}
+
+easytime::Result<easytime::Json> ForecastServer::Call(
+    const std::string& endpoint, const easytime::Json& params) {
+  Request req;
+  req.endpoint = endpoint;
+  req.params = params;
+  easytime::Json resp = Dispatch(std::move(req));
+  if (resp.GetBool("ok", false)) return resp.Get("result");
+  const easytime::Json& err = resp.Get("error");
+  // Surface the original code where possible; Internal otherwise.
+  std::string code = err.GetString("code", "Internal");
+  std::string message = err.GetString("message", "unknown serving error");
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+    if (code == ErrorCodeToken(static_cast<StatusCode>(c))) {
+      return Status(static_cast<StatusCode>(c), std::move(message));
+    }
+  }
+  return Status::Internal(std::move(message));
+}
+
+easytime::Json ForecastServer::Dispatch(Request req) {
+  Stopwatch watch;
+  const std::string endpoint = req.endpoint;
+
+  // ----- control plane: always served inline, even under load -------------
+  if (endpoint == "ping") {
+    easytime::Json result = easytime::Json::Object();
+    result.Set("pong", true);
+    RecordStats(endpoint, true, false, false, watch.ElapsedSeconds());
+    return MakeOkResponse(req.id, std::move(result));
+  }
+  if (endpoint == "stats") {
+    easytime::Json result = StatsJson();
+    RecordStats(endpoint, true, false, false, watch.ElapsedSeconds());
+    return MakeOkResponse(req.id, std::move(result));
+  }
+  if (endpoint == "job_status" || endpoint == "cancel") {
+    if (!req.params.Has("job") || !req.params.Get("job").is_number()) {
+      RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(
+          req.id, Status::InvalidArgument("missing numeric \"job\" id"));
+    }
+    uint64_t job_id = static_cast<uint64_t>(req.params.Get("job").AsInt());
+    auto result = endpoint == "cancel" ? jobs_.Cancel(job_id)
+                                       : jobs_.StatusJson(job_id);
+    RecordStats(endpoint, result.ok(), false, false, watch.ElapsedSeconds());
+    if (!result.ok()) return MakeErrorResponse(req.id, result.status());
+    return MakeOkResponse(req.id, std::move(*result));
+  }
+
+  // ----- async lane: evaluation jobs --------------------------------------
+  if (endpoint == "evaluate") {
+    if (!accepting_.load()) {
+      RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(req.id,
+                               Status::Unavailable("server is not accepting"));
+    }
+    auto job_id = jobs_.Submit(req.params);
+    const bool rejected = !job_id.ok() && job_id.status().IsUnavailable();
+    RecordStats(endpoint, job_id.ok(), rejected, false,
+                watch.ElapsedSeconds());
+    if (!job_id.ok()) return MakeErrorResponse(req.id, job_id.status());
+    easytime::Json result = easytime::Json::Object();
+    result.Set("job", static_cast<int64_t>(*job_id));
+    result.Set("state", "queued");
+    return MakeOkResponse(req.id, std::move(result));
+  }
+
+  // ----- fast lane ---------------------------------------------------------
+  if (!IsFastEndpoint(endpoint)) {
+    RecordStats("_protocol", false, false, false, watch.ElapsedSeconds());
+    return MakeErrorResponse(
+        req.id, Status::NotFound("unknown endpoint: " + endpoint));
+  }
+  if (!accepting_.load() || !running_.load()) {
+    RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
+    return MakeErrorResponse(
+        req.id, Status::Unavailable("server is not accepting requests"));
+  }
+
+  FastTask task;
+  task.request = std::move(req);
+  if (IsCacheable(endpoint)) {
+    task.cache_key = CanonicalKey(endpoint, task.request.params);
+    auto hit = cache_.Lookup(task.cache_key, system_->knowledge().version());
+    if (hit) {
+      auto payload = easytime::Json::Parse(*hit);
+      if (payload.ok()) {
+        const double secs = watch.ElapsedSeconds();
+        RecordStats(endpoint, true, false, true, secs);
+        easytime::Json resp =
+            MakeOkResponse(task.request.id, std::move(*payload));
+        resp.Set("cached", true);
+        resp.Set("seconds", secs);
+        return resp;
+      }
+    }
+  }
+
+  task.promise = std::make_shared<std::promise<easytime::Json>>();
+  std::future<easytime::Json> future = task.promise->get_future();
+  if (!fast_queue_.TryPush(std::move(task))) {
+    RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
+    return MakeErrorResponse(
+        req.id, Status::Unavailable(
+                    "fast lane at capacity (" +
+                    std::to_string(fast_queue_.capacity()) +
+                    " queued requests); retry later"));
+  }
+  return future.get();
+}
+
+void ForecastServer::DispatchLoop() {
+  for (;;) {
+    std::optional<FastTask> task;
+    auto deadline = batcher_->NextDeadline();
+    if (deadline) {
+      auto now = MicroBatcher::Clock::now();
+      auto wait = *deadline > now
+                      ? std::chrono::duration_cast<std::chrono::microseconds>(
+                            *deadline - now)
+                      : std::chrono::microseconds(0);
+      task = fast_queue_.PopFor(wait);
+    } else {
+      task = fast_queue_.Pop();
+    }
+
+    if (task) {
+      if (options_.enable_batching && task->request.endpoint == "forecast") {
+        batcher_->Add(BatchKey(task->request), std::move(*task));
+      } else {
+        inflight_->Acquire();  // backpressure: see inflight_ in server.h
+        pool_->Submit([this, t = std::move(*task)]() mutable {
+          ExecuteSingle(std::move(t));
+          inflight_->Release();
+        });
+      }
+    }
+    batcher_->FlushExpired(MicroBatcher::Clock::now());
+
+    if (!task && fast_queue_.closed() && fast_queue_.size() == 0) {
+      batcher_->FlushAll();  // drain open buckets into the pool
+      return;
+    }
+  }
+}
+
+void ForecastServer::Fulfill(FastTask& task,
+                             const easytime::Result<easytime::Json>& result,
+                             bool from_batch, size_t batch_size,
+                             double seconds) {
+  RecordStats(task.request.endpoint, result.ok(), false, false, seconds);
+  if (!result.ok()) {
+    task.promise->set_value(
+        MakeErrorResponse(task.request.id, result.status()));
+    return;
+  }
+  if (!task.cache_key.empty()) {
+    cache_.Insert(task.cache_key, result.ValueOrDie().Dump(),
+                  system_->knowledge().version());
+  }
+  easytime::Json resp = MakeOkResponse(task.request.id, result.ValueOrDie());
+  resp.Set("cached", false);
+  resp.Set("seconds", seconds);
+  if (from_batch) {
+    resp.Set("batched", true);
+    resp.Set("batch_size", static_cast<int64_t>(batch_size));
+  }
+  task.promise->set_value(std::move(resp));
+}
+
+void ForecastServer::ExecuteSingle(FastTask task) {
+  Stopwatch watch;
+  auto result = ExecuteFast(task.request);
+  Fulfill(task, result, /*from_batch=*/false, 1, watch.ElapsedSeconds());
+}
+
+void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
+  Stopwatch watch;
+  // Deduplicate identical requests: one computation fans out to all the
+  // clients that asked for it.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    groups[CanonicalKey(batch[i].request.endpoint, batch[i].request.params)]
+        .push_back(i);
+  }
+  std::vector<const std::vector<size_t>*> unique;
+  unique.reserve(groups.size());
+  for (const auto& [key, indices] : groups) unique.push_back(&indices);
+
+  std::vector<easytime::Result<easytime::Json>> results(
+      unique.size(), easytime::Result<easytime::Json>(
+                         Status::Internal("batch slot not executed")));
+  // One data-parallel dispatch for the whole batch: the global pool's
+  // chunked ParallelFor spreads distinct requests across workers.
+  GlobalThreadPool().ParallelFor(unique.size(), [&](size_t g) {
+    results[g] = ExecuteFast(batch[(*unique[g])[0]].request);
+  });
+
+  const double seconds = watch.ElapsedSeconds();
+  for (size_t g = 0; g < unique.size(); ++g) {
+    for (size_t idx : *unique[g]) {
+      Fulfill(batch[idx], results[g], /*from_batch=*/true, batch.size(),
+              seconds);
+    }
+  }
+}
+
+easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
+    const Request& req) {
+  if (req.endpoint == "forecast") return ExecuteForecast(req.params);
+  if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
+  if (req.endpoint == "ask") {
+    std::string question = req.params.GetString("question", "");
+    if (question.empty()) {
+      return Status::InvalidArgument("ask requires a \"question\" string");
+    }
+    EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp, system_->Ask(question));
+    return resp.ToJson();
+  }
+  if (req.endpoint == "sql") {
+    std::string query = req.params.GetString("query", "");
+    if (query.empty()) {
+      return Status::InvalidArgument("sql requires a \"query\" string");
+    }
+    EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp, system_->AskSql(query));
+    return resp.ToJson();
+  }
+  return Status::NotFound("unknown fast endpoint: " + req.endpoint);
+}
+
+easytime::Result<std::vector<double>> ForecastServer::ResolveSeries(
+    const easytime::Json& params, std::string* source_name) const {
+  if (params.Has("values")) {
+    const easytime::Json& arr = params.Get("values");
+    if (!arr.is_array() || arr.size() == 0) {
+      return Status::InvalidArgument("\"values\" must be a non-empty array");
+    }
+    if (arr.size() > options_.max_inline_values) {
+      return Status::InvalidArgument(
+          "\"values\" exceeds the " +
+          std::to_string(options_.max_inline_values) + "-point limit");
+    }
+    std::vector<double> values;
+    values.reserve(arr.size());
+    for (const auto& v : arr.items()) {
+      if (!v.is_number()) {
+        return Status::TypeError("\"values\" must contain only numbers");
+      }
+      values.push_back(v.AsDouble());
+    }
+    if (source_name) *source_name = "inline";
+    return values;
+  }
+  std::string dataset = params.GetString("dataset", "");
+  if (dataset.empty()) {
+    return Status::InvalidArgument(
+        "request needs either \"dataset\" or \"values\"");
+  }
+  EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
+                            system_->repository()->Get(dataset));
+  if (source_name) *source_name = dataset;
+  return ds->primary().values();
+}
+
+easytime::Result<easytime::Json> ForecastServer::ExecuteForecast(
+    const easytime::Json& params) const {
+  std::string method = params.GetString("method", "");
+  if (method.empty()) {
+    return Status::InvalidArgument("forecast requires a \"method\" name");
+  }
+  int64_t horizon =
+      params.GetInt("horizon", static_cast<int64_t>(options_.default_horizon));
+  if (horizon < 1 || horizon > static_cast<int64_t>(options_.max_horizon)) {
+    return Status::OutOfRange(
+        "horizon must be in [1, " + std::to_string(options_.max_horizon) +
+        "]");
+  }
+  std::string source;
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> values,
+                            ResolveSeries(params, &source));
+  if (values.size() < 8) {
+    return Status::InvalidArgument("series too short to forecast (< 8)");
+  }
+
+  // Test/bench aid: simulate a slow model to exercise admission control and
+  // queueing without burning CPU. Capped so a client cannot stall a worker.
+  double sleep_ms = params.GetDouble("sleep_ms", 0.0);
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(sleep_ms, 1000.0)));
+  }
+
+  easytime::Json method_config = params.Has("config") &&
+                                         params.Get("config").is_object()
+                                     ? params.Get("config")
+                                     : easytime::Json::Object();
+  EASYTIME_ASSIGN_OR_RETURN(
+      methods::ForecasterPtr forecaster,
+      methods::MethodRegistry::Global().Create(method, method_config));
+
+  methods::FitContext ctx;
+  ctx.horizon = static_cast<size_t>(horizon);
+  ctx.seed = static_cast<uint64_t>(params.GetInt("seed", 42));
+  EASYTIME_RETURN_IF_ERROR(forecaster->Fit(values, ctx));
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> forecast,
+                            forecaster->Forecast(static_cast<size_t>(horizon)));
+
+  easytime::Json result = easytime::Json::Object();
+  result.Set("method", method);
+  result.Set("source", source);
+  result.Set("horizon", horizon);
+  easytime::Json out = easytime::Json::Array();
+  for (double v : forecast) out.Append(v);
+  result.Set("values", std::move(out));
+  return result;
+}
+
+easytime::Result<easytime::Json> ForecastServer::ExecuteRecommend(
+    const easytime::Json& params) const {
+  size_t k = static_cast<size_t>(std::max<int64_t>(0, params.GetInt("k", 0)));
+  ensemble::Recommendation rec;
+  if (params.Has("values")) {
+    std::string source;
+    EASYTIME_ASSIGN_OR_RETURN(std::vector<double> values,
+                              ResolveSeries(params, &source));
+    EASYTIME_ASSIGN_OR_RETURN(rec, system_->RecommendForValues(values, k));
+  } else {
+    std::string dataset = params.GetString("dataset", "");
+    if (dataset.empty()) {
+      return Status::InvalidArgument(
+          "recommend needs either \"dataset\" or \"values\"");
+    }
+    EASYTIME_ASSIGN_OR_RETURN(rec, system_->Recommend(dataset, k));
+  }
+  easytime::Json items = easytime::Json::Array();
+  for (const auto& [name, score] : rec) {
+    easytime::Json item = easytime::Json::Object();
+    item.Set("method", name);
+    item.Set("score", score);
+    items.Append(std::move(item));
+  }
+  easytime::Json result = easytime::Json::Object();
+  result.Set("recommendations", std::move(items));
+  return result;
+}
+
+void ForecastServer::RecordStats(const std::string& endpoint, bool ok,
+                                 bool rejected, bool cache_hit,
+                                 double seconds) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  EndpointStats& s = endpoint_stats_[endpoint];
+  ++s.requests;
+  if (ok) ++s.ok; else ++s.errors;
+  if (rejected) ++s.rejected;
+  if (cache_hit) ++s.cache_hits;
+  s.total_seconds += seconds;
+  s.max_seconds = std::max(s.max_seconds, seconds);
+}
+
+easytime::Json ForecastServer::StatsJson() const {
+  easytime::Json endpoints = easytime::Json::Object();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& [name, s] : endpoint_stats_) {
+      easytime::Json e = easytime::Json::Object();
+      e.Set("requests", static_cast<int64_t>(s.requests));
+      e.Set("ok", static_cast<int64_t>(s.ok));
+      e.Set("errors", static_cast<int64_t>(s.errors));
+      e.Set("rejected", static_cast<int64_t>(s.rejected));
+      e.Set("cache_hits", static_cast<int64_t>(s.cache_hits));
+      e.Set("mean_seconds",
+            s.requests ? s.total_seconds / static_cast<double>(s.requests)
+                       : 0.0);
+      e.Set("max_seconds", s.max_seconds);
+      endpoints.Set(name, std::move(e));
+    }
+  }
+
+  ResultCache::Stats cs = cache_.stats();
+  easytime::Json cache = easytime::Json::Object();
+  cache.Set("entries", static_cast<int64_t>(cs.entries));
+  cache.Set("hits", static_cast<int64_t>(cs.hits));
+  cache.Set("misses", static_cast<int64_t>(cs.misses));
+  cache.Set("insertions", static_cast<int64_t>(cs.insertions));
+  cache.Set("evictions", static_cast<int64_t>(cs.evictions));
+  cache.Set("invalidations", static_cast<int64_t>(cs.invalidations));
+
+  JobManager::Stats js = jobs_.stats();
+  easytime::Json jobs = easytime::Json::Object();
+  jobs.Set("submitted", static_cast<int64_t>(js.submitted));
+  jobs.Set("rejected", static_cast<int64_t>(js.rejected));
+  jobs.Set("completed", static_cast<int64_t>(js.completed));
+  jobs.Set("failed", static_cast<int64_t>(js.failed));
+  jobs.Set("cancelled", static_cast<int64_t>(js.cancelled));
+  jobs.Set("queue_depth", static_cast<int64_t>(jobs_.queue_depth()));
+
+  MicroBatcher::Stats bs =
+      batcher_ ? batcher_->stats() : MicroBatcher::Stats{};
+  easytime::Json batching = easytime::Json::Object();
+  batching.Set("items", static_cast<int64_t>(bs.items));
+  batching.Set("batches", static_cast<int64_t>(bs.batches));
+  batching.Set("max_batch_size", static_cast<int64_t>(bs.max_batch_size));
+
+  easytime::Json out = easytime::Json::Object();
+  out.Set("endpoints", std::move(endpoints));
+  out.Set("cache", std::move(cache));
+  out.Set("jobs", std::move(jobs));
+  out.Set("batching", std::move(batching));
+  out.Set("fast_queue_depth", static_cast<int64_t>(fast_queue_.size()));
+  out.Set("kb_version",
+          static_cast<int64_t>(system_->knowledge().version()));
+  return out;
+}
+
+}  // namespace easytime::serve

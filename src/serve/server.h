@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file server.h
+/// \brief ForecastServer — the concurrent request-serving layer on top of
+/// the EasyTime facade. Accepts line-delimited JSON requests (see
+/// request.h) from in-process clients (HandleLine/Call) and, via
+/// serve/tcp_server.h, from a loopback TCP listener.
+///
+/// Architecture (DESIGN.md §6):
+///  - Fast lane: forecast / recommend / ask / sql requests enter a bounded
+///    queue (full queue => Unavailable, the admission-control contract); a
+///    dispatcher thread routes them to a worker pool, micro-batching
+///    same-method forecast requests (serve/batcher.h).
+///  - Async lane: "evaluate" submits a OneClickEvaluate job to a bounded
+///    job queue (serve/job_manager.h); clients poll "job_status" and may
+///    "cancel" queued or in-flight jobs.
+///  - Control plane: "stats", "job_status", "cancel" and "ping" execute
+///    inline on the calling thread — they must stay responsive even when
+///    the lanes are saturated.
+///  - Result cache: forecast/recommend responses are cached (LRU + TTL)
+///    under the canonical request key and invalidated when the knowledge
+///    base version moves (serve/cache.h).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/semaphore.h"
+#include "common/thread_pool.h"
+#include "core/easytime.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/job_manager.h"
+#include "serve/request.h"
+
+namespace easytime::serve {
+
+/// Per-endpoint serving counters.
+struct EndpointStats {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t rejected = 0;    ///< admission-control rejections
+  uint64_t cache_hits = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// \brief The serving layer. Construction is cheap; Start() spins up the
+/// dispatcher, worker pool, and job worker. Stop() (also run by the
+/// destructor) drains: queued fast-lane requests are answered, the
+/// in-flight evaluation job completes, queued evaluation jobs are
+/// cancelled, and only then do the threads exit — no response is dropped.
+class ForecastServer {
+ public:
+  struct Options {
+    size_t fast_queue_capacity = 128;  ///< queued fast-lane requests
+    size_t evaluate_queue_capacity = 8;
+    size_t num_worker_threads = 2;     ///< fast-lane executor pool
+    bool enable_batching = true;
+    size_t batch_max = 8;
+    double batch_wait_ms = 1.0;
+    size_t cache_capacity = 256;       ///< 0 disables the result cache
+    double cache_ttl_seconds = 300.0;
+    size_t max_request_bytes = 1 << 16;
+    size_t default_horizon = 24;
+    size_t max_horizon = 512;
+    size_t max_inline_values = 100000; ///< cap on uploaded "values" arrays
+  };
+
+  /// \param system a fully created facade; not owned. The repository must
+  /// not be mutated while the server is running.
+  ForecastServer(core::EasyTime* system, Options options);
+  explicit ForecastServer(core::EasyTime* system);
+  ~ForecastServer();
+
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  /// Starts the lanes (idempotent).
+  void Start();
+
+  /// Graceful shutdown with drain (idempotent, terminal).
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// \brief The in-process client: one request line in, one response line
+  /// out (no trailing newline). Never throws; protocol errors come back as
+  /// error responses.
+  std::string HandleLine(const std::string& line);
+
+  /// Typed in-process client: dispatches and unwraps the response envelope,
+  /// returning the "result" payload or the error status.
+  easytime::Result<easytime::Json> Call(const std::string& endpoint,
+                                        const easytime::Json& params);
+
+  /// The stats payload (same shape the "stats" endpoint returns).
+  easytime::Json StatsJson() const;
+
+  core::EasyTime* system() { return system_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Full request lifecycle: route, admit, execute, envelope.
+  easytime::Json Dispatch(Request req);
+
+  /// Runs a fast-lane endpoint to completion (worker-pool context).
+  easytime::Result<easytime::Json> ExecuteFast(const Request& req);
+
+  easytime::Result<easytime::Json> ExecuteForecast(
+      const easytime::Json& params) const;
+  easytime::Result<easytime::Json> ExecuteRecommend(
+      const easytime::Json& params) const;
+
+  /// Resolves the series a forecast/recommend request targets: either a
+  /// repository dataset ("dataset") or inline values ("values").
+  easytime::Result<std::vector<double>> ResolveSeries(
+      const easytime::Json& params, std::string* source_name) const;
+
+  void DispatchLoop();
+  void ExecuteSingle(FastTask task);
+  void ExecuteBatch(std::vector<FastTask> batch);
+  /// Fulfills one task from an endpoint result, recording stats + cache.
+  void Fulfill(FastTask& task, const easytime::Result<easytime::Json>& result,
+               bool from_batch, size_t batch_size, double seconds);
+
+  void RecordStats(const std::string& endpoint, bool ok, bool rejected,
+                   bool cache_hit, double seconds);
+
+  static bool IsCacheable(const std::string& endpoint);
+  static std::string BatchKey(const Request& req);
+
+  core::EasyTime* system_;
+  Options options_;
+  ResultCache cache_;
+  JobManager jobs_;
+  BoundedQueue<FastTask> fast_queue_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// In-flight permits (one per worker): the dispatcher blocks here instead
+  /// of spilling into the pool's unbounded queue, so saturation backs up
+  /// into fast_queue_ and TryPush starts rejecting — that is the
+  /// admission-control path.
+  std::unique_ptr<Semaphore> inflight_;
+  std::thread dispatcher_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stopped_{false};  ///< Stop() is terminal
+
+  mutable std::mutex stats_mu_;
+  std::map<std::string, EndpointStats> endpoint_stats_;
+};
+
+}  // namespace easytime::serve

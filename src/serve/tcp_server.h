@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file tcp_server.h
+/// \brief Loopback TCP front-end for ForecastServer. Speaks the same
+/// line-delimited JSON protocol as ForecastServer::HandleLine: one request
+/// per line in, one response per line out, connection stays open for
+/// pipelining. Binds 127.0.0.1 only — this is a local serving endpoint,
+/// not an internet-facing server.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/semaphore.h"
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace easytime::serve {
+
+/// \brief Accept loop + per-connection handler threads over a ForecastServer.
+/// Connection concurrency is capped by a semaphore; excess connections wait
+/// in the listen backlog.
+class TcpServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
+    int backlog = 16;
+    size_t max_connections = 32;  ///< concurrently served connections
+  };
+
+  TcpServer(ForecastServer* server, Options options);
+  explicit TcpServer(ForecastServer* server);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  easytime::Status Start();
+
+  /// Stops accepting, closes live connections, joins all threads.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ForecastServer* server_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  Semaphore connection_slots_;
+
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace easytime::serve

@@ -1,0 +1,481 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/tcp_server.h"
+
+namespace easytime::serve {
+namespace {
+
+core::EasyTime::Options SmallSystemOptions() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae", "rmse"};
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.top_k = 2;
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.ts2vec.repr_dim = 8;
+  opt.ensemble.ts2vec.hidden_dim = 10;
+  opt.ensemble.ts2vec.depth = 2;
+  opt.ensemble.classifier.epochs = 80;
+  return opt;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto system = core::EasyTime::Create(SmallSystemOptions());
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = system->release();
+    server_ = new ForecastServer(system_);
+    server_->Start();
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static std::string FirstDataset() {
+    return system_->repository()->names()[0];
+  }
+
+  static core::EasyTime* system_;
+  static ForecastServer* server_;
+};
+
+core::EasyTime* ServeTest::system_ = nullptr;
+ForecastServer* ServeTest::server_ = nullptr;
+
+Json MustParse(const std::string& s) {
+  auto j = Json::Parse(s);
+  EXPECT_TRUE(j.ok()) << j.status().ToString() << " in " << s;
+  return std::move(*j);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol / envelope behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, MalformedJsonIsAnErrorResponseNotACrash) {
+  Json resp = MustParse(server_->HandleLine("this is not json{{{"));
+  EXPECT_FALSE(resp.GetBool("ok", true));
+  EXPECT_EQ(resp.Get("error").GetString("code", ""), "ParseError");
+}
+
+TEST_F(ServeTest, NonObjectAndMissingEndpointAreRejected) {
+  Json arr = MustParse(server_->HandleLine("[1,2,3]"));
+  EXPECT_FALSE(arr.GetBool("ok", true));
+
+  Json no_ep = MustParse(server_->HandleLine(R"({"id": 7, "params": {}})"));
+  EXPECT_FALSE(no_ep.GetBool("ok", true));
+  // A parsable id is still echoed so the client can correlate the error.
+  EXPECT_EQ(no_ep.GetInt("id", -1), 7);
+}
+
+TEST_F(ServeTest, UnknownEndpointIsNotFound) {
+  Json resp = MustParse(
+      server_->HandleLine(R"({"id": 1, "endpoint": "teleport"})"));
+  EXPECT_FALSE(resp.GetBool("ok", true));
+  EXPECT_EQ(resp.Get("error").GetString("code", ""), "NotFound");
+}
+
+TEST_F(ServeTest, OversizedRequestIsRejected) {
+  std::string big(server_->options().max_request_bytes + 1, 'x');
+  std::string line = R"({"endpoint": "ask", "params": {"question": ")" + big +
+                     R"("}})";
+  Json resp = MustParse(server_->HandleLine(line));
+  EXPECT_FALSE(resp.GetBool("ok", true));
+  EXPECT_EQ(resp.Get("error").GetString("code", ""), "InvalidArgument");
+}
+
+TEST_F(ServeTest, PingAndStatsAlwaysAnswer) {
+  Json pong = MustParse(server_->HandleLine(R"({"endpoint": "ping"})"));
+  EXPECT_TRUE(pong.GetBool("ok", false));
+  EXPECT_TRUE(pong.Get("result").GetBool("pong", false));
+
+  Json stats = MustParse(server_->HandleLine(R"({"endpoint": "stats"})"));
+  ASSERT_TRUE(stats.GetBool("ok", false));
+  EXPECT_TRUE(stats.Get("result").Has("endpoints"));
+  EXPECT_TRUE(stats.Get("result").Has("cache"));
+  EXPECT_TRUE(stats.Get("result").Has("jobs"));
+}
+
+// ---------------------------------------------------------------------------
+// Fast lane
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ForecastOnRepositoryDataset) {
+  Json params = Json::Object();
+  params.Set("dataset", FirstDataset());
+  params.Set("method", "theta");
+  params.Set("horizon", static_cast<int64_t>(8));
+  auto result = server_->Call("forecast", params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->Get("values").size(), 8u);
+  EXPECT_EQ(result->GetString("method", ""), "theta");
+  EXPECT_EQ(result->GetString("source", ""), FirstDataset());
+}
+
+TEST_F(ServeTest, ForecastOnInlineValues) {
+  Json params = Json::Object();
+  Json values = Json::Array();
+  for (int t = 0; t < 64; ++t) values.Append(10.0 + 0.5 * t);
+  params.Set("values", std::move(values));
+  params.Set("method", "drift");
+  params.Set("horizon", static_cast<int64_t>(4));
+  auto result = server_->Call("forecast", params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->Get("values").size(), 4u);
+  // Drift on a rising line keeps rising.
+  EXPECT_GT(result->Get("values").items()[3].AsDouble(), 40.0);
+}
+
+TEST_F(ServeTest, ForecastValidation) {
+  Json params = Json::Object();
+  params.Set("dataset", FirstDataset());
+  EXPECT_TRUE(server_->Call("forecast", params).status().IsInvalidArgument());
+
+  params.Set("method", "no_such_method");
+  EXPECT_FALSE(server_->Call("forecast", params).ok());
+
+  params.Set("method", "naive");
+  params.Set("horizon", static_cast<int64_t>(100000));
+  EXPECT_EQ(server_->Call("forecast", params).status().code(),
+            StatusCode::kOutOfRange);
+
+  Json bad = Json::Object();
+  bad.Set("method", "naive");
+  bad.Set("dataset", "ghost_dataset");
+  EXPECT_FALSE(server_->Call("forecast", bad).ok());
+}
+
+TEST_F(ServeTest, RecommendAndAskAndSql) {
+  Json rp = Json::Object();
+  rp.Set("dataset", FirstDataset());
+  rp.Set("k", static_cast<int64_t>(2));
+  auto rec = server_->Call("recommend", rp);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->Get("recommendations").size(), 2u);
+
+  Json ap = Json::Object();
+  ap.Set("question", "What is the average mae of theta?");
+  auto ask = server_->Call("ask", ap);
+  ASSERT_TRUE(ask.ok()) << ask.status().ToString();
+
+  Json sp = Json::Object();
+  sp.Set("query", "SELECT method FROM results LIMIT 1");
+  auto sql = server_->Call("sql", sp);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+
+  EXPECT_TRUE(server_->Call("ask", Json::Object())
+                  .status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+std::string ForecastLine(const std::string& dataset, const std::string& method,
+                         int id, int horizon = 6) {
+  Json req = Json::Object();
+  req.Set("id", static_cast<int64_t>(id));
+  req.Set("endpoint", "forecast");
+  Json params = Json::Object();
+  params.Set("dataset", dataset);
+  params.Set("method", method);
+  params.Set("horizon", static_cast<int64_t>(horizon));
+  req.Set("params", std::move(params));
+  return req.Dump();
+}
+
+TEST_F(ServeTest, CacheHitOnRepeatAndKeyOrderInsensitive) {
+  Json miss = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "ses", 100)));
+  ASSERT_TRUE(miss.GetBool("ok", false));
+  EXPECT_FALSE(miss.GetBool("cached", true));
+
+  Json hit = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "ses", 101)));
+  ASSERT_TRUE(hit.GetBool("ok", false));
+  EXPECT_TRUE(hit.GetBool("cached", false));
+  EXPECT_EQ(hit.GetInt("id", -1), 101);  // fresh id on a cached payload
+  EXPECT_EQ(hit.Get("result").Dump(), miss.Get("result").Dump());
+
+  // Same request with keys in a different order canonicalizes to the same
+  // cache entry.
+  std::string reordered = R"({"id": 102, "endpoint": "forecast", "params": )"
+                          R"({"horizon": 6, "method": "ses", "dataset": ")" +
+                          FirstDataset() + R"("}})";
+  Json hit2 = MustParse(server_->HandleLine(reordered));
+  ASSERT_TRUE(hit2.GetBool("ok", false));
+  EXPECT_TRUE(hit2.GetBool("cached", false));
+}
+
+TEST_F(ServeTest, CacheInvalidatedByKnowledgeBaseAppend) {
+  Json first = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "holt", 200)));
+  ASSERT_TRUE(first.GetBool("ok", false));
+  Json warm = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "holt", 201)));
+  EXPECT_TRUE(warm.GetBool("cached", false));
+
+  // An evaluation appends to the knowledge base and bumps its version —
+  // every cached result is now stale.
+  uint64_t before = system_->knowledge().version();
+  auto cfg = Json::Parse(R"({
+    "methods": ["window_average"],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  ASSERT_TRUE(cfg.ok());
+  auto report = system_->OneClickEvaluate(*cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(system_->knowledge().version(), before);
+
+  Json cold = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "holt", 202)));
+  ASSERT_TRUE(cold.GetBool("ok", false));
+  EXPECT_FALSE(cold.GetBool("cached", true));
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, FastLaneQueueFullIsRejectedNotDropped) {
+  // A dedicated tiny server: 1 worker, queue of 1, no batching. Occupy the
+  // worker and the queue slot with slow requests, then watch the third
+  // request bounce with Unavailable.
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 1;
+  opt.fast_queue_capacity = 1;
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;  // keep every request on the slow path
+  ForecastServer small(system_, opt);
+  small.Start();
+
+  Json slow = Json::Object();
+  slow.Set("dataset", FirstDataset());
+  slow.Set("method", "naive");
+  slow.Set("horizon", static_cast<int64_t>(2));
+  slow.Set("sleep_ms", 600.0);
+
+  // Three staggered slow requests fill every slot: the worker, the task the
+  // dispatcher holds while waiting for a free worker, and the queue.
+  std::vector<std::thread> occupants;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 3; ++i) {
+    occupants.emplace_back([&small, slow, &ok_count]() {
+      auto r = small.Call("forecast", slow);
+      if (r.ok()) ok_count.fetch_add(1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Json quick = Json::Object();
+  quick.Set("dataset", FirstDataset());
+  quick.Set("method", "naive");
+  quick.Set("horizon", static_cast<int64_t>(2));
+  auto rejected = small.Call("forecast", quick);
+  EXPECT_TRUE(rejected.status().IsUnavailable())
+      << rejected.status().ToString();
+
+  for (auto& t : occupants) t.join();
+  EXPECT_EQ(ok_count.load(), 3);  // the admitted requests still completed
+  small.Stop();
+
+  Json stats = small.StatsJson();
+  EXPECT_GE(stats.Get("endpoints").Get("forecast").GetInt("rejected", 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Async evaluation lane
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, EvaluateJobRunsToCompletionAndInvalidatesCache) {
+  Json warmup = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "theta", 300)));
+  ASSERT_TRUE(warmup.GetBool("ok", false));
+
+  Json params = MustParse(R"({
+    "methods": ["drift"],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  auto submitted = server_->Call("evaluate", params);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  int64_t job = submitted->GetInt("job", -1);
+  ASSERT_GE(job, 0);
+
+  Json poll = Json::Object();
+  poll.Set("job", job);
+  std::string state;
+  for (int i = 0; i < 600; ++i) {
+    auto status = server_->Call("job_status", poll);
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    state = status->GetString("state", "");
+    if (state == "done" || state == "failed" || state == "cancelled") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(state, "done");
+
+  auto final_status = server_->Call("job_status", poll);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_GT(final_status->Get("result").GetInt("records", 0), 0);
+
+  // The job committed results, so the pre-job cache entry is stale.
+  Json after = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "theta", 301)));
+  ASSERT_TRUE(after.GetBool("ok", false));
+  EXPECT_FALSE(after.GetBool("cached", true));
+}
+
+TEST_F(ServeTest, QueuedJobCanBeCancelledAndJobQueueIsBounded) {
+  ForecastServer::Options opt;
+  opt.evaluate_queue_capacity = 1;
+  ForecastServer small(system_, opt);
+  small.Start();
+
+  // Long job holds the single job worker; epochs make it slow enough that
+  // the queued job behind it stays queued while we cancel it.
+  Json heavy = MustParse(R"({
+    "datasets": [")" + FirstDataset() + R"("],
+    "methods": [{"name": "gru", "config": {"epochs": 60}}],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  auto first = small.Call("evaluate", heavy);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  Json light = MustParse(R"({
+    "methods": ["naive"],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  // The queue slot behind the running job is eventually taken by this one.
+  Result<Json> second = Status::Internal("unset");
+  for (int i = 0; i < 200; ++i) {
+    second = small.Call("evaluate", light);
+    if (second.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // With the worker busy and the queue slot taken, the lane is full.
+  auto third = small.Call("evaluate", light);
+  EXPECT_TRUE(third.status().IsUnavailable()) << third.status().ToString();
+
+  // Cancel the queued job: it must finish as "cancelled", never run.
+  Json cancel_params = Json::Object();
+  cancel_params.Set("job", second->GetInt("job", -1));
+  auto cancelled = small.Call("cancel", cancel_params);
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_EQ(cancelled->GetString("state", ""), "cancelled");
+
+  // Cancel the running job too; it either reacts to the flag (cancelled) or
+  // had already finished (done) — both are clean terminal states.
+  Json cancel_first = Json::Object();
+  cancel_first.Set("job", first->GetInt("job", -1));
+  ASSERT_TRUE(small.Call("cancel", cancel_first).ok());
+  std::string state;
+  for (int i = 0; i < 600; ++i) {
+    auto status = small.Call("job_status", cancel_first);
+    ASSERT_TRUE(status.ok());
+    state = status->GetString("state", "");
+    if (state != "queued" && state != "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(state == "cancelled" || state == "done") << state;
+
+  EXPECT_TRUE(small.Call("cancel", MustParse(R"({"job": 999})"))
+                  .status().IsNotFound());
+  small.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Loopback TCP front-end
+// ---------------------------------------------------------------------------
+
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~LoopbackClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  bool SendLine(const std::string& line) {
+    std::string data = line + "\n";
+    return ::send(fd_, data.data(), data.size(), 0) ==
+           static_cast<ssize_t>(data.size());
+  }
+  std::string ReadLine() {
+    std::string line;
+    char c;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST_F(ServeTest, TcpLoopbackServesPipelinedRequests) {
+  TcpServer tcp(server_);
+  auto started = tcp.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  ASSERT_GT(tcp.port(), 0);
+
+  LoopbackClient client(tcp.port());
+  ASSERT_TRUE(client.connected());
+
+  // Pipeline: two valid requests and a malformed one on a single connection.
+  ASSERT_TRUE(client.SendLine(R"({"id": 1, "endpoint": "ping"})"));
+  ASSERT_TRUE(client.SendLine("not json"));
+  ASSERT_TRUE(client.SendLine(ForecastLine(FirstDataset(), "naive", 2)));
+
+  Json r1 = MustParse(client.ReadLine());
+  EXPECT_EQ(r1.GetInt("id", -1), 1);
+  EXPECT_TRUE(r1.GetBool("ok", false));
+
+  Json r2 = MustParse(client.ReadLine());
+  EXPECT_FALSE(r2.GetBool("ok", true));
+
+  Json r3 = MustParse(client.ReadLine());
+  EXPECT_EQ(r3.GetInt("id", -1), 2);
+  EXPECT_TRUE(r3.GetBool("ok", false));
+  EXPECT_EQ(r3.Get("result").Get("values").size(), 6u);
+
+  tcp.Stop();
+  EXPECT_FALSE(tcp.running());
+}
+
+}  // namespace
+}  // namespace easytime::serve
