@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "ensemble/ts2vec.h"
 #include "eval/metrics.h"
@@ -192,6 +193,37 @@ void BM_Ts2VecTrainEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ts2VecTrainEpoch);
+
+// Fault points are compiled into production paths permanently; the unarmed
+// check must stay in the ~1ns range (a single relaxed atomic load) so that
+// leaving them in costs nothing.
+Status GuardedNoop() {
+  EASYTIME_FAULT_POINT("bench.micro.fault");
+  return Status::OK();
+}
+
+void BM_FaultPointUnarmed(benchmark::State& state) {
+  FaultRegistry::Global().DisarmAll();
+  for (auto _ : state) {
+    Status s = GuardedNoop();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FaultPointUnarmed);
+
+// With any point armed the gate opens and checks take the registry mutex;
+// this bounds the slow path (rate 0 so nothing ever fires).
+void BM_FaultPointArmedRateZero(benchmark::State& state) {
+  FaultSpec spec;
+  spec.rate = 0.0;
+  (void)FaultRegistry::Global().Arm("bench.micro.fault", spec);
+  for (auto _ : state) {
+    Status s = GuardedNoop();
+    benchmark::DoNotOptimize(s);
+  }
+  FaultRegistry::Global().DisarmAll();
+}
+BENCHMARK(BM_FaultPointArmedRateZero);
 
 }  // namespace
 

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file deadline.h
+/// \brief A wall-clock deadline carried with a request. Serve requests set
+/// one from their "deadline_ms" parameter; it propagates through the facade
+/// into pipeline::RunHooks and the evaluator's cooperative checks, so a slow
+/// request times out with Status::DeadlineExceeded instead of occupying a
+/// worker forever. A default-constructed Deadline is infinite (never
+/// expires), which keeps it zero-config for callers that don't care.
+
+#include <chrono>
+#include <limits>
+
+namespace easytime {
+
+/// \brief Point in time after which work on a request should stop. Cheap to
+/// copy; checks are a single steady_clock read.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() : tp_(Clock::time_point::max()) {}
+
+  /// The infinite deadline, spelled explicitly.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires \p ms milliseconds from now (non-positive = already expired).
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.tp_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  /// Expires at \p tp.
+  static Deadline At(Clock::time_point tp) {
+    Deadline d;
+    d.tp_ = tp;
+    return d;
+  }
+
+  bool infinite() const { return tp_ == Clock::time_point::max(); }
+
+  /// True once the deadline has passed (never for an infinite deadline).
+  bool expired() const { return !infinite() && Clock::now() >= tp_; }
+
+  /// Milliseconds until expiry: +inf when infinite, <= 0 when expired.
+  double remaining_ms() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(tp_ - Clock::now())
+        .count();
+  }
+
+  Clock::time_point time_point() const { return tp_; }
+
+ private:
+  Clock::time_point tp_;
+};
+
+}  // namespace easytime

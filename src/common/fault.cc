@@ -1,0 +1,211 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace easytime {
+
+std::atomic<int> FaultRegistry::armed_points_{0};
+
+FaultRegistry::FaultRegistry() {
+  const char* env = std::getenv("EASYTIME_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    // Arm directly (cannot use Global() — we are inside its construction).
+    Status st = ArmFromSpec(env);
+    if (!st.ok()) {
+      // A malformed env var must not take the process down; it is ignored
+      // loudly on stderr (logging may not be configured yet).
+      std::fprintf(stderr, "EASYTIME_FAULTS ignored: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+namespace {
+// Construct the registry (and parse EASYTIME_FAULTS) at process start. The
+// fault-point gate checks the static armed counter before ever touching
+// Global(), so without this eager touch an env-armed process would never
+// read the variable — the gate would stay closed forever.
+[[maybe_unused]] const bool kEnvFaultsLoaded =
+    (FaultRegistry::Global(), true);
+}  // namespace
+
+Status FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  if (point.empty()) {
+    return Status::InvalidArgument("fault point name must be non-empty");
+  }
+  if (!(spec.rate >= 0.0 && spec.rate <= 1.0)) {
+    return Status::InvalidArgument("fault rate must be in [0, 1], got " +
+                                   std::to_string(spec.rate));
+  }
+  if (spec.delay_ms < 0.0) {
+    return Status::InvalidArgument("fault delay must be non-negative");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, Entry{spec, {}});
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) == 0) return false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+void FaultRegistry::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.seed(seed);
+}
+
+Status FaultRegistry::ArmFromSpec(const std::string& spec_list) {
+  EASYTIME_ASSIGN_OR_RETURN(auto specs, ParseSpecList(spec_list));
+  for (auto& [point, spec] : specs) {
+    EASYTIME_RETURN_IF_ERROR(Arm(point, spec));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, FaultSpec>>>
+FaultRegistry::ParseSpecList(const std::string& spec_list) {
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  for (const std::string& item : Split(spec_list, ',')) {
+    std::string entry = Trim(item);
+    if (entry.empty()) continue;
+    std::vector<std::string> fields = Split(entry, ':');
+    if (fields.size() < 3 || fields.size() > 4) {
+      return Status::ParseError(
+          "fault spec '" + entry +
+          "' is not point:kind:rate[:param] (see common/fault.h)");
+    }
+    FaultSpec spec;
+    const std::string kind = ToLower(Trim(fields[1]));
+    if (kind == "error") {
+      spec.kind = FaultKind::kError;
+      spec.code = StatusCode::kInternal;
+    } else if (kind == "unavailable") {
+      spec.kind = FaultKind::kError;
+      spec.code = StatusCode::kUnavailable;
+    } else if (kind == "ioerror") {
+      spec.kind = FaultKind::kError;
+      spec.code = StatusCode::kIOError;
+    } else if (kind == "delay") {
+      spec.kind = FaultKind::kDelay;
+    } else if (kind == "nan") {
+      spec.kind = FaultKind::kNan;
+    } else {
+      return Status::ParseError("unknown fault kind '" + fields[1] +
+                                "' in spec '" + entry + "'");
+    }
+    try {
+      spec.rate = std::stod(Trim(fields[2]));
+    } catch (...) {
+      return Status::ParseError("bad fault rate '" + fields[2] + "' in spec '" +
+                                entry + "'");
+    }
+    if (!(spec.rate >= 0.0 && spec.rate <= 1.0)) {
+      return Status::ParseError("fault rate out of [0, 1] in spec '" + entry +
+                                "'");
+    }
+    if (fields.size() == 4) {
+      double param = 0.0;
+      try {
+        param = std::stod(Trim(fields[3]));
+      } catch (...) {
+        return Status::ParseError("bad fault param '" + fields[3] +
+                                  "' in spec '" + entry + "'");
+      }
+      if (spec.kind == FaultKind::kDelay) {
+        spec.delay_ms = param;
+      } else {
+        spec.max_triggers = static_cast<int64_t>(param);
+      }
+    }
+    std::string point = Trim(fields[0]);
+    if (point.empty()) {
+      return Status::ParseError("empty fault point name in spec '" + entry +
+                                "'");
+    }
+    out.emplace_back(std::move(point), spec);
+  }
+  if (out.empty()) {
+    return Status::ParseError("fault spec list is empty");
+  }
+  return out;
+}
+
+Status FaultRegistry::Check(const char* point, bool* corrupt) {
+  FaultKind kind;
+  double delay_ms = 0.0;
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    Entry& e = it->second;
+    ++e.stats.passes;
+    if (e.spec.max_triggers >= 0 &&
+        e.stats.triggers >= static_cast<uint64_t>(e.spec.max_triggers)) {
+      return Status::OK();  // budget exhausted; point stays armed for stats
+    }
+    if (e.spec.rate < 1.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (dist(rng_) >= e.spec.rate) return Status::OK();
+    }
+    ++e.stats.triggers;
+    kind = e.spec.kind;
+    delay_ms = e.spec.delay_ms;
+    if (kind == FaultKind::kError) {
+      std::string msg = e.spec.message.empty()
+                            ? "injected fault at '" + std::string(point) + "'"
+                            : e.spec.message;
+      injected = Status(e.spec.code, std::move(msg));
+    }
+  }
+  switch (kind) {
+    case FaultKind::kError:
+      return injected;
+    case FaultKind::kDelay:
+      // Sleep outside the lock so concurrent checks don't serialize.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      return Status::OK();
+    case FaultKind::kNan:
+      if (corrupt != nullptr) *corrupt = true;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+FaultPointStats FaultRegistry::PointStats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? FaultPointStats{} : it->second.stats;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, _] : points_) out.push_back(name);
+  return out;
+}
+
+}  // namespace easytime

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file fault.h
+/// \brief Deterministic fault injection for robustness testing. Named fault
+/// points are compiled into production code paths (serve dispatch, pipeline
+/// pairs, TCP read/write, ...) and cost a single relaxed atomic load while
+/// nothing is armed. Arming a point — programmatically via
+/// FaultRegistry::Arm or at process start via the EASYTIME_FAULTS
+/// environment variable — makes the point inject errors, latency, or NaN
+/// payload corruption at a configured rate, so shutdown drains, retries,
+/// circuit breakers, and checkpoint resume can be exercised without real
+/// infrastructure failures.
+///
+/// Env syntax (comma-separated):
+///   EASYTIME_FAULTS=point:kind:rate[:param][,point:kind:rate[:param]...]
+/// where kind is one of
+///   error        inject Status::Internal           (param unused)
+///   unavailable  inject Status::Unavailable        (param unused)
+///   ioerror      inject Status::IOError            (param unused)
+///   delay        sleep inline, then continue       (param = delay ms, default 5)
+///   nan          flag payload corruption to caller (param unused)
+/// and rate is the per-pass trigger probability in [0, 1].
+/// Example: EASYTIME_FAULTS=serve.execute:unavailable:0.1,pipeline.pair:delay:0.5:20
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// What an armed fault point does when it triggers.
+enum class FaultKind {
+  kError,  ///< return an error Status (code configurable via FaultSpec::code)
+  kDelay,  ///< sleep delay_ms inline, then proceed normally
+  kNan,    ///< proceed, but tell the caller to corrupt its payload with NaNs
+};
+
+/// Configuration of one armed fault point.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  double rate = 1.0;  ///< per-pass trigger probability in [0, 1]
+  StatusCode code = StatusCode::kInternal;  ///< injected code for kError
+  std::string message;     ///< injected message ("" = a default is composed)
+  double delay_ms = 5.0;   ///< injected latency for kDelay
+  int64_t max_triggers = -1;  ///< stop firing after this many hits; -1 = unlimited
+};
+
+/// Observed activity of one fault point since it was armed.
+struct FaultPointStats {
+  uint64_t passes = 0;    ///< times an armed point was evaluated
+  uint64_t triggers = 0;  ///< times the fault actually fired
+};
+
+/// \brief Process-wide registry of armed fault points.
+///
+/// Thread safety: all methods are safe to call concurrently; the hot-path
+/// gate AnyArmed() is lock-free and the slow path takes one mutex.
+class FaultRegistry {
+ public:
+  /// The process singleton. First access arms any faults named in the
+  /// EASYTIME_FAULTS environment variable.
+  static FaultRegistry& Global();
+
+  /// \brief Lock-free hot-path gate: false whenever no point is armed, in
+  /// which case EASYTIME_FAULT_POINT is a single relaxed load and a
+  /// predictable branch.
+  static bool AnyArmed() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms) \p point with \p spec. Rejects rates outside [0, 1].
+  Status Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point; returns whether it was armed.
+  bool Disarm(const std::string& point);
+
+  /// Disarms everything (test teardown).
+  void DisarmAll();
+
+  /// Reseeds the trigger RNG so probabilistic runs are reproducible.
+  void Reseed(uint64_t seed);
+
+  /// Parses an EASYTIME_FAULTS-syntax list and arms every entry.
+  Status ArmFromSpec(const std::string& spec_list);
+
+  /// Parses without arming (exposed for tests of the env-var syntax).
+  static Result<std::vector<std::pair<std::string, FaultSpec>>> ParseSpecList(
+      const std::string& spec_list);
+
+  /// \brief The slow-path check, called only when AnyArmed(). Sleeps inline
+  /// for delay faults; returns the injected Status for error faults; sets
+  /// \p *corrupt for NaN faults (callers that pass nullptr ignore them).
+  Status Check(const char* point, bool* corrupt = nullptr);
+
+  /// Activity counters for \p point (zeros when not armed).
+  FaultPointStats PointStats(const std::string& point) const;
+
+  /// Names of currently armed points.
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  FaultRegistry();
+
+  struct Entry {
+    FaultSpec spec;
+    FaultPointStats stats;
+  };
+
+  // Static so the AnyArmed() gate needs no singleton access on the hot path.
+  static std::atomic<int> armed_points_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> points_;
+  std::mt19937_64 rng_{0x5eed5eedULL};
+};
+
+}  // namespace easytime
+
+/// \brief Injects a fault at a named point inside any function returning
+/// Status or Result<T>. Zero-cost (one relaxed atomic load) when nothing is
+/// armed; error faults propagate as the function's error return.
+#define EASYTIME_FAULT_POINT(name)                                   \
+  do {                                                               \
+    if (::easytime::FaultRegistry::AnyArmed()) {                     \
+      ::easytime::Status _easytime_fault_st =                        \
+          ::easytime::FaultRegistry::Global().Check(name);           \
+      if (!_easytime_fault_st.ok()) return _easytime_fault_st;       \
+    }                                                                \
+  } while (0)

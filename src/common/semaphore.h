@@ -3,7 +3,9 @@
 /// \file semaphore.h
 /// \brief A counting semaphore (mutex + condvar). Used by the serving layer
 /// to cap concurrent TCP connection handlers; TryAcquire doubles as an
-/// admission-control check.
+/// admission-control check. Close() unblocks waiters for shutdown — without
+/// it, a thread parked in Acquire() while every permit is held would hang a
+/// graceful stop.
 
 #include <condition_variable>
 #include <cstddef>
@@ -11,7 +13,8 @@
 
 namespace easytime {
 
-/// \brief Counting semaphore with blocking and non-blocking acquire.
+/// \brief Counting semaphore with blocking and non-blocking acquire, plus
+/// closable shutdown semantics.
 class Semaphore {
  public:
   explicit Semaphore(size_t initial) : count_(initial) {}
@@ -19,28 +22,48 @@ class Semaphore {
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
-  /// Blocks until a permit is available, then takes it.
-  void Acquire() {
+  /// \brief Blocks until a permit is available or the semaphore is closed.
+  /// \returns true with a permit taken; false when closed (no permit taken).
+  bool Acquire() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this]() { return count_ > 0; });
-    --count_;
-  }
-
-  /// Takes a permit if one is available without blocking.
-  bool TryAcquire() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ == 0) return false;
+    cv_.wait(lock, [this]() { return closed_ || count_ > 0; });
+    if (closed_) return false;
     --count_;
     return true;
   }
 
-  /// Returns a permit.
+  /// Takes a permit if one is available without blocking (false when none
+  /// is available or the semaphore is closed).
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns a permit. Safe (and harmless) after Close().
   void Release() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++count_;
     }
     cv_.notify_one();
+  }
+
+  /// \brief Shuts the semaphore down: every blocked and future Acquire
+  /// returns false. Permits already handed out stay valid and may still be
+  /// Released. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
   /// Currently available permits (diagnostic only — racy by nature).
@@ -53,6 +76,7 @@ class Semaphore {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   size_t count_;
+  bool closed_ = false;
 };
 
 }  // namespace easytime

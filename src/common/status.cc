@@ -17,6 +17,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -26,7 +26,12 @@ enum class StatusCode : int {
   kUnsupported = 10,
   kUnavailable = 11,   ///< transient overload: retry later (admission control)
   kCancelled = 12,     ///< the operation was cancelled by the caller
+  kDeadlineExceeded = 13,  ///< the request's deadline passed before completion
 };
+
+/// One past the largest StatusCode value (for iterating the code space).
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -86,6 +91,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -103,8 +111,12 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/optimize.h"
 #include "methods/registry.h"
@@ -198,6 +199,7 @@ easytime::Result<std::vector<double>> AutoEnsembleEngine::Features(
 
 easytime::Result<Recommendation> AutoEnsembleEngine::Recommend(
     const std::vector<double>& values, size_t k) const {
+  EASYTIME_FAULT_POINT("ensemble.recommend");
   if (!pretrained_) {
     return Status::Internal("Recommend called before Pretrain");
   }

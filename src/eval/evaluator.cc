@@ -109,25 +109,28 @@ easytime::Status AccumulateMetrics(const EvalConfig& config,
 
 easytime::Result<EvalResult> Evaluator::EvaluateValues(
     methods::Forecaster* forecaster, const std::vector<double>& values,
-    size_t period_hint) const {
+    size_t period_hint, const easytime::Deadline& deadline) const {
   if (forecaster == nullptr) {
     return Status::InvalidArgument("forecaster must not be null");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("evaluation deadline expired");
   }
   if (period_hint == 0) {
     period_hint = tsdata::DetectPeriod(values);
   }
   switch (config_.strategy) {
     case Strategy::kFixed:
-      return RunFixed(forecaster, values, period_hint);
+      return RunFixed(forecaster, values, period_hint, deadline);
     case Strategy::kRolling:
-      return RunRolling(forecaster, values, period_hint);
+      return RunRolling(forecaster, values, period_hint, deadline);
   }
   return Status::Internal("unreachable");
 }
 
 easytime::Result<EvalResult> Evaluator::RunFixed(
     methods::Forecaster* forecaster, const std::vector<double>& values,
-    size_t period_hint) const {
+    size_t period_hint, const easytime::Deadline& deadline) const {
   EASYTIME_ASSIGN_OR_RETURN(tsdata::SplitBounds bounds,
                             tsdata::ComputeSplit(values.size(), config_.split));
   // Fixed-window protocol: train on train+val, forecast into the test
@@ -155,10 +158,17 @@ easytime::Result<EvalResult> Evaluator::RunFixed(
   ctx.seed = config_.seed;
 
   EvalResult result;
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("evaluation deadline expired before fit");
+  }
   Stopwatch fit_watch;
   EASYTIME_RETURN_IF_ERROR(forecaster->Fit(train_scaled, ctx));
   result.fit_seconds = fit_watch.ElapsedSeconds();
 
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(
+        "evaluation deadline expired before forecast");
+  }
   Stopwatch fc_watch;
   EASYTIME_ASSIGN_OR_RETURN(std::vector<double> forecast_scaled,
                             forecaster->Forecast(h));
@@ -180,7 +190,7 @@ easytime::Result<EvalResult> Evaluator::RunFixed(
 
 easytime::Result<EvalResult> Evaluator::RunRolling(
     methods::Forecaster* forecaster, const std::vector<double>& values,
-    size_t period_hint) const {
+    size_t period_hint, const easytime::Deadline& deadline) const {
   EASYTIME_ASSIGN_OR_RETURN(tsdata::SplitBounds bounds,
                             tsdata::ComputeSplit(values.size(), config_.split));
   size_t train_end = bounds.val_end;
@@ -205,6 +215,9 @@ easytime::Result<EvalResult> Evaluator::RunRolling(
   ctx.seed = config_.seed;
 
   EvalResult result;
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("evaluation deadline expired before fit");
+  }
   Stopwatch fit_watch;
   EASYTIME_RETURN_IF_ERROR(forecaster->Fit(train_scaled, ctx));
   result.fit_seconds = fit_watch.ElapsedSeconds();
@@ -219,6 +232,11 @@ easytime::Result<EvalResult> Evaluator::RunRolling(
     size_t win = std::min(h, remaining);
     if (win < h && config_.drop_last) break;
     if (win == 0) break;
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "evaluation deadline expired mid-rolling (" +
+          std::to_string(result.num_windows) + " windows done)");
+    }
 
     std::vector<double> history_scaled(
         all_scaled.begin(), all_scaled.begin() + static_cast<long>(start));
@@ -244,17 +262,23 @@ easytime::Result<EvalResult> Evaluator::RunRolling(
 
 easytime::Result<EvalResult> Evaluator::EvaluateDataset(
     const std::string& method_name, const easytime::Json& method_config,
-    const tsdata::Dataset& dataset) const {
+    const tsdata::Dataset& dataset, const easytime::Deadline& deadline) const {
   if (dataset.num_channels() == 0) {
     return Status::InvalidArgument("dataset has no channels");
   }
   EvalResult merged;
   for (size_t c = 0; c < dataset.num_channels(); ++c) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "evaluation deadline expired (" + std::to_string(c) + "/" +
+          std::to_string(dataset.num_channels()) + " channels done)");
+    }
     EASYTIME_ASSIGN_OR_RETURN(
         methods::ForecasterPtr model,
         methods::MethodRegistry::Global().Create(method_name, method_config));
     const tsdata::Series& chan = dataset.channel(c);
-    auto res = EvaluateValues(model.get(), chan.values(), chan.period_hint());
+    auto res = EvaluateValues(model.get(), chan.values(), chan.period_hint(),
+                              deadline);
     if (!res.ok()) {
       return res.status().WithContext("dataset '" + dataset.name() +
                                       "' channel '" + chan.name() + "'");

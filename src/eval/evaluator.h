@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "eval/metrics.h"
@@ -65,25 +66,33 @@ class Evaluator {
 
   /// \brief Evaluates \p forecaster on a univariate value sequence.
   /// The forecaster is fitted on the train(+val) segment in scaled space;
-  /// metrics are computed in the original scale.
-  easytime::Result<EvalResult> EvaluateValues(methods::Forecaster* forecaster,
-                                              const std::vector<double>& values,
-                                              size_t period_hint = 0) const;
+  /// metrics are computed in the original scale. The deadline is checked
+  /// cooperatively (before fitting and between rolling windows); once it
+  /// expires, Status::DeadlineExceeded is returned.
+  easytime::Result<EvalResult> EvaluateValues(
+      methods::Forecaster* forecaster, const std::vector<double>& values,
+      size_t period_hint = 0,
+      const easytime::Deadline& deadline = easytime::Deadline()) const;
 
   /// \brief Evaluates a registered method (by name/config) on a dataset.
   /// Channels are evaluated independently with fresh instances; metrics are
-  /// channel-averaged.
+  /// channel-averaged. The deadline is checked between channels as well.
   easytime::Result<EvalResult> EvaluateDataset(
       const std::string& method_name, const easytime::Json& method_config,
-      const tsdata::Dataset& dataset) const;
+      const tsdata::Dataset& dataset,
+      const easytime::Deadline& deadline = easytime::Deadline()) const;
 
  private:
   easytime::Result<EvalResult> RunFixed(methods::Forecaster* forecaster,
                                         const std::vector<double>& values,
-                                        size_t period_hint) const;
+                                        size_t period_hint,
+                                        const easytime::Deadline& deadline)
+      const;
   easytime::Result<EvalResult> RunRolling(methods::Forecaster* forecaster,
                                           const std::vector<double>& values,
-                                          size_t period_hint) const;
+                                          size_t period_hint,
+                                          const easytime::Deadline& deadline)
+      const;
 
   EvalConfig config_;
 };

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "methods/registry.h"
 
@@ -136,6 +137,7 @@ easytime::Status KnowledgeBase::ExportToDatabase(sql::Database* db) const {
   if (db == nullptr) {
     return Status::InvalidArgument("database must not be null");
   }
+  EASYTIME_FAULT_POINT("knowledge.export");
   std::shared_lock lock(mu_);
   using sql::Column;
   using sql::DataType;

@@ -1,5 +1,9 @@
 #include "methods/forecaster.h"
 
+#include <limits>
+
+#include "common/fault.h"
+
 namespace easytime::methods {
 
 const char* FamilyName(Family f) {
@@ -13,12 +17,26 @@ const char* FamilyName(Family f) {
 
 easytime::Result<std::vector<double>> Forecaster::ForecastFrom(
     const std::vector<double>& history, size_t horizon) {
+  EASYTIME_FAULT_POINT("method.forecast");
   // Default: refit on the extended history. Statistical methods are cheap
   // enough for this to be the right behaviour under rolling evaluation.
   FitContext ctx;
   ctx.horizon = horizon;
   EASYTIME_RETURN_IF_ERROR(Fit(history, ctx));
-  return Forecast(horizon);
+  auto res = Forecast(horizon);
+  if (res.ok() && FaultRegistry::AnyArmed()) {
+    // A "nan" fault models a numerically diverged model: the payload comes
+    // back poisoned instead of the call failing, exercising downstream NaN
+    // handling (metrics, JSON encoding).
+    bool corrupt = false;
+    Status fs =
+        FaultRegistry::Global().Check("method.forecast.payload", &corrupt);
+    if (!fs.ok()) return fs;
+    if (corrupt && !res->empty()) {
+      (*res)[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return res;
 }
 
 }  // namespace easytime::methods

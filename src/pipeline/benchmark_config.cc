@@ -57,6 +57,12 @@ easytime::Result<BenchmarkConfig> BenchmarkConfig::FromJson(
   c.num_threads = static_cast<size_t>(j.GetInt("num_threads", 0));
   c.log_file = j.GetString("log_file", "");
   c.output_csv = j.GetString("output_csv", "");
+  int64_t breaker = j.GetInt("breaker_threshold",
+                             static_cast<int64_t>(c.breaker_threshold));
+  if (breaker < 0) {
+    return Status::InvalidArgument("breaker_threshold must be >= 0");
+  }
+  c.breaker_threshold = static_cast<size_t>(breaker);
   return c;
 }
 
@@ -87,6 +93,7 @@ easytime::Json BenchmarkConfig::ToJson() const {
   j.Set("methods", std::move(m));
   j.Set("evaluation", eval.ToJson());
   j.Set("num_threads", static_cast<int64_t>(num_threads));
+  j.Set("breaker_threshold", static_cast<int64_t>(breaker_threshold));
   if (!log_file.empty()) j.Set("log_file", log_file);
   if (!output_csv.empty()) j.Set("output_csv", output_csv);
   return j;

@@ -34,6 +34,10 @@ struct BenchmarkConfig {
   std::string log_file;
   /// Optional CSV output path for the result table ("" = don't write).
   std::string output_csv;
+  /// Consecutive failures of one method before its circuit breaker opens and
+  /// the method's remaining pairs are skipped (recorded Unavailable).
+  /// 0 disables the breaker.
+  size_t breaker_threshold = 5;
 
   /// \brief Parses the JSON configuration-file schema:
   /// \code{.json}

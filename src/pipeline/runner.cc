@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -15,6 +16,66 @@
 #include "methods/registry.h"
 
 namespace easytime::pipeline {
+
+std::string PairKey(const std::string& dataset, const std::string& method) {
+  return dataset + '\n' + method;
+}
+
+easytime::Json RunRecord::ToJson() const {
+  easytime::Json j = easytime::Json::Object();
+  j.Set("dataset", dataset);
+  j.Set("method", method);
+  j.Set("strategy", strategy);
+  j.Set("horizon", static_cast<int64_t>(horizon));
+  j.Set("multivariate", multivariate);
+  j.Set("domain", domain);
+  easytime::Json m = easytime::Json::Object();
+  for (const auto& [name, v] : metrics) m.Set(name, v);
+  j.Set("metrics", std::move(m));
+  j.Set("num_windows", static_cast<int64_t>(num_windows));
+  j.Set("fit_seconds", fit_seconds);
+  j.Set("forecast_seconds", forecast_seconds);
+  j.Set("ok", status.ok());
+  if (!status.ok()) {
+    j.Set("code", static_cast<int64_t>(status.code()));
+    j.Set("message", status.message());
+  }
+  return j;
+}
+
+easytime::Result<RunRecord> RunRecord::FromJson(const easytime::Json& j) {
+  if (!j.is_object()) {
+    return Status::ParseError("run record must be a JSON object");
+  }
+  RunRecord r;
+  r.dataset = j.GetString("dataset", "");
+  r.method = j.GetString("method", "");
+  if (r.dataset.empty() || r.method.empty()) {
+    return Status::ParseError("run record needs dataset and method names");
+  }
+  r.strategy = j.GetString("strategy", "");
+  r.horizon = static_cast<size_t>(j.GetInt("horizon", 0));
+  r.multivariate = j.GetBool("multivariate", false);
+  r.domain = j.GetString("domain", "");
+  if (j.Has("metrics") && j.Get("metrics").is_object()) {
+    const easytime::Json& m = j.Get("metrics");
+    for (const auto& name : m.keys()) {
+      if (m.Get(name).is_number()) r.metrics[name] = m.Get(name).AsDouble();
+    }
+  }
+  r.num_windows = static_cast<size_t>(j.GetInt("num_windows", 0));
+  r.fit_seconds = j.GetDouble("fit_seconds", 0.0);
+  r.forecast_seconds = j.GetDouble("forecast_seconds", 0.0);
+  if (!j.GetBool("ok", true)) {
+    int64_t code = j.GetInt("code", static_cast<int64_t>(StatusCode::kInternal));
+    if (code <= 0 || code >= kNumStatusCodes) {
+      code = static_cast<int64_t>(StatusCode::kInternal);
+    }
+    r.status = Status(static_cast<StatusCode>(code),
+                      j.GetString("message", "checkpointed failure"));
+  }
+  return r;
+}
 
 std::vector<const RunRecord*> BenchmarkReport::Successful() const {
   std::vector<const RunRecord*> out;
@@ -53,9 +114,11 @@ std::string BenchmarkReport::FormatTable(
   for (const auto& m : metric_names) header.push_back(m);
   std::vector<std::vector<std::string>> rows;
   for (const auto& r : records) {
+    // Same status text as WriteCsv, so grepping a failure message works on
+    // either surface.
     std::vector<std::string> row = {r.dataset, r.method, r.strategy,
                                     std::to_string(r.horizon),
-                                    r.status.ok() ? "ok" : "FAILED"};
+                                    r.status.ok() ? "ok" : r.status.ToString()};
     for (const auto& m : metric_names) {
       auto it = r.metrics.find(m);
       row.push_back(it != r.metrics.end() ? FormatDouble(it->second, 4) : "-");
@@ -148,27 +211,47 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
   struct Task {
     const tsdata::Dataset* dataset;
     const MethodSpec* spec;
+    size_t spec_index;
   };
   std::vector<Task> tasks;
   tasks.reserve(datasets.size() * specs.size());
   for (const auto* ds : datasets) {
-    for (const auto& spec : specs) tasks.push_back({ds, &spec});
+    for (size_t s = 0; s < specs.size(); ++s) {
+      tasks.push_back({ds, &specs[s], s});
+    }
   }
 
   BenchmarkReport report;
   report.records.resize(tasks.size());
   eval::Evaluator evaluator(config_.eval);
 
+  // Per-method circuit breaker: after breaker_threshold consecutive failures
+  // of one forecaster its remaining pairs are skipped (recorded Unavailable)
+  // instead of burning the rest of the run. "Consecutive" is counted over
+  // completion order, which is approximate under the parallel fan-out.
+  struct BreakerState {
+    std::atomic<int> consecutive{0};
+    std::atomic<bool> open{false};
+  };
+  std::vector<BreakerState> breakers(specs.size());
+  const int breaker_threshold = static_cast<int>(config_.breaker_threshold);
+
   Stopwatch watch;
   ThreadPool pool(config_.num_threads);
   std::mutex log_mu;
   std::atomic<size_t> done{0};
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> deadline_hit{false};
   const size_t total = tasks.size();
   pool.ParallelFor(tasks.size(), [&](size_t i) {
     if (cancelled.load(std::memory_order_relaxed) ||
         (hooks.cancelled && hooks.cancelled())) {
       cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (deadline_hit.load(std::memory_order_relaxed) ||
+        hooks.deadline.expired()) {
+      deadline_hit.store(true, std::memory_order_relaxed);
       return;
     }
     const Task& task = tasks[i];
@@ -180,19 +263,79 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
     rec.multivariate = task.dataset->multivariate();
     rec.domain = tsdata::DomainName(task.dataset->domain());
 
-    auto res = evaluator.EvaluateDataset(task.spec->name, task.spec->config,
-                                         *task.dataset);
-    if (res.ok()) {
-      rec.metrics = res->metrics;
-      rec.num_windows = res->num_windows;
-      rec.fit_seconds = res->fit_seconds;
-      rec.forecast_seconds = res->forecast_seconds;
-      rec.status = Status::OK();
+    // Crash-safe resume: splice in a checkpointed record instead of
+    // re-evaluating the pair.
+    if (hooks.completed != nullptr) {
+      auto it = hooks.completed->find(PairKey(rec.dataset, rec.method));
+      if (it != hooks.completed->end()) {
+        rec = it->second;
+        if (hooks.progress) {
+          hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                         total);
+        }
+        return;
+      }
+    }
+
+    BreakerState& breaker = breakers[task.spec_index];
+    if (breaker_threshold > 0 &&
+        breaker.open.load(std::memory_order_relaxed)) {
+      rec.status = Status::Unavailable(
+          "circuit breaker open for method '" + rec.method + "' after " +
+          std::to_string(breaker_threshold) +
+          " consecutive failures; pair skipped");
+      if (hooks.progress) {
+        hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                       total);
+      }
+      return;
+    }
+
+    Status injected;  // blast-radius containment: an injected fault fails
+    if (FaultRegistry::AnyArmed()) {  // only this pair, never the run
+      injected = FaultRegistry::Global().Check("pipeline.pair");
+    }
+    if (!injected.ok()) {
+      rec.status = injected;
     } else {
-      rec.status = res.status();
+      auto res = evaluator.EvaluateDataset(task.spec->name, task.spec->config,
+                                           *task.dataset, hooks.deadline);
+      if (res.ok()) {
+        rec.metrics = res->metrics;
+        rec.num_windows = res->num_windows;
+        rec.fit_seconds = res->fit_seconds;
+        rec.forecast_seconds = res->forecast_seconds;
+        rec.status = Status::OK();
+      } else {
+        rec.status = res.status();
+      }
+    }
+    if (rec.status.IsDeadlineExceeded()) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+    if (!rec.status.ok()) {
       std::lock_guard<std::mutex> lock(log_mu);
       EASYTIME_LOG(Warning) << rec.method << " on " << rec.dataset
                             << " failed: " << rec.status.ToString();
+    }
+    if (breaker_threshold > 0 && !rec.status.IsDeadlineExceeded()) {
+      if (rec.status.ok()) {
+        breaker.consecutive.store(0, std::memory_order_relaxed);
+      } else {
+        int n = breaker.consecutive.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (n >= breaker_threshold &&
+            !breaker.open.exchange(true, std::memory_order_relaxed)) {
+          std::lock_guard<std::mutex> lock(log_mu);
+          EASYTIME_LOG(Warning)
+              << "circuit breaker tripped for method '" << rec.method
+              << "' after " << n << " consecutive failures";
+        }
+      }
+    }
+    // Deadline-expired pairs are not reported: they were not evaluated, and
+    // a resume should run them for real.
+    if (hooks.on_record && !rec.status.IsDeadlineExceeded()) {
+      hooks.on_record(rec);
     }
     if (hooks.progress) {
       hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
@@ -200,6 +343,9 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
   });
   if (cancelled.load(std::memory_order_relaxed)) {
     return Status::Cancelled("pipeline run cancelled");
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("pipeline run exceeded its deadline");
   }
   report.wall_seconds = watch.ElapsedSeconds();
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/json.h"
 #include "common/result.h"
 #include "pipeline/benchmark_config.h"
 #include "tsdata/repository.h"
@@ -31,7 +33,14 @@ struct RunRecord {
   double fit_seconds = 0.0;
   double forecast_seconds = 0.0;
   easytime::Status status;  ///< per-pair failure is recorded, not fatal
+
+  /// Serializes for the job checkpoint (crash-safe evaluation resume).
+  easytime::Json ToJson() const;
+  static easytime::Result<RunRecord> FromJson(const easytime::Json& j);
 };
+
+/// Checkpoint/resume identity of a (dataset, method) pair.
+std::string PairKey(const std::string& dataset, const std::string& method);
 
 /// \brief The full pipeline output.
 struct BenchmarkReport {
@@ -63,6 +72,18 @@ struct RunHooks {
   std::function<bool()> cancelled;
   /// Called after each pair completes with (pairs done, pairs total).
   std::function<void(size_t, size_t)> progress;
+  /// Wall-clock budget for the whole run. Once expired, remaining pairs are
+  /// abandoned and Run returns Status::DeadlineExceeded. Defaults to
+  /// infinite.
+  easytime::Deadline deadline;
+  /// Called with each freshly evaluated record (worker thread — must be
+  /// thread-safe). The serving layer appends these to the job checkpoint.
+  /// Not invoked for records spliced in from `completed`.
+  std::function<void(const RunRecord&)> on_record;
+  /// Previously completed records keyed by PairKey(dataset, method);
+  /// matching pairs are copied into the report instead of re-evaluated —
+  /// the crash-safe resume path. Not owned; may be null.
+  const std::map<std::string, RunRecord>* completed = nullptr;
 };
 
 /// \brief Executes a benchmark configuration against a dataset repository.
@@ -74,8 +95,10 @@ class PipelineRunner {
   /// their RunRecord::status rather than aborting the run.
   easytime::Result<BenchmarkReport> Run() const;
 
-  /// Run with cancellation/progress hooks. A cancelled run returns
-  /// Status::Cancelled — no partial report is produced.
+  /// Run with observation/control hooks. A cancelled run returns
+  /// Status::Cancelled, an expired deadline Status::DeadlineExceeded — no
+  /// partial report is produced (checkpointing via hooks.on_record is how
+  /// partial progress survives).
   easytime::Result<BenchmarkReport> Run(const RunHooks& hooks) const;
 
  private:

@@ -23,15 +23,17 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "serve/request.h"
 
 namespace easytime::serve {
 
-/// One queued fast-lane request: the parsed request, its cache key, and the
-/// promise its client blocks on.
+/// One queued fast-lane request: the parsed request, its cache key, the
+/// deadline it must complete by, and the promise its client blocks on.
 struct FastTask {
   Request request;
   std::string cache_key;
+  easytime::Deadline deadline;  ///< from "deadline_ms"; infinite by default
   std::shared_ptr<std::promise<easytime::Json>> promise;
 };
 

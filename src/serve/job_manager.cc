@@ -1,7 +1,12 @@
 #include "serve/job_manager.h"
 
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+#include "common/fault.h"
 #include "common/logging.h"
-#include "pipeline/runner.h"
+#include "serve/request.h"
 
 namespace easytime::serve {
 
@@ -16,8 +21,13 @@ const char* JobStateName(JobState s) {
   return "unknown";
 }
 
+JobManager::JobManager(core::EasyTime* system, Options options)
+    : system_(system),
+      options_(std::move(options)),
+      pending_(options_.queue_capacity) {}
+
 JobManager::JobManager(core::EasyTime* system, size_t queue_capacity)
-    : system_(system), pending_(queue_capacity) {}
+    : JobManager(system, Options{queue_capacity, "", 1}) {}
 
 JobManager::~JobManager() { Shutdown(); }
 
@@ -43,7 +53,53 @@ void JobManager::Shutdown() {
   if (worker_.joinable()) worker_.join();
 }
 
+std::string JobManager::JobKey(const easytime::Json& config) {
+  std::string key = config.GetString("job_key", "");
+  if (!key.empty()) return key;
+  // No explicit key: derive one from the canonicalized config, so the same
+  // evaluation request resumes its own checkpoint by default.
+  size_t h = std::hash<std::string>{}(CanonicalKey("evaluate", config));
+  std::ostringstream ss;
+  ss << "auto-" << std::hex << h;
+  return ss.str();
+}
+
+std::string JobManager::CheckpointPath(const std::string& job_key) const {
+  if (options_.checkpoint_dir.empty()) return "";
+  std::string safe;
+  safe.reserve(job_key.size());
+  for (char c : job_key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    safe.push_back(ok ? c : '_');
+  }
+  if (safe.empty()) safe = "job";
+  return options_.checkpoint_dir + "/" + safe + ".ckpt";
+}
+
+std::map<std::string, pipeline::RunRecord> JobManager::LoadCheckpoint(
+    const std::string& path, size_t* loaded) const {
+  std::map<std::string, pipeline::RunRecord> completed;
+  if (loaded) *loaded = 0;
+  std::ifstream in(path);
+  if (!in) return completed;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = easytime::Json::Parse(line);
+    if (!doc.ok()) continue;  // torn tail write from a crash — skip
+    auto rec = pipeline::RunRecord::FromJson(*doc);
+    if (!rec.ok()) continue;
+    // Only trust successful records; anything else re-runs on resume.
+    if (!rec->status.ok()) continue;
+    completed[pipeline::PairKey(rec->dataset, rec->method)] = std::move(*rec);
+  }
+  if (loaded) *loaded = completed.size();
+  return completed;
+}
+
 easytime::Result<uint64_t> JobManager::Submit(easytime::Json config) {
+  EASYTIME_FAULT_POINT("serve.job");
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_.load()) {
     ++stats_.rejected;
@@ -51,6 +107,7 @@ easytime::Result<uint64_t> JobManager::Submit(easytime::Json config) {
   }
   auto job = std::make_unique<Job>();
   job->id = next_id_;
+  job->job_key = JobKey(config);
   job->config = std::move(config);
   const uint64_t id = job->id;
   if (!pending_.TryPush(id)) {
@@ -109,6 +166,84 @@ JobManager::Stats JobManager::stats() const {
   return stats_;
 }
 
+void JobManager::RunJob(Job* job,
+                        const std::shared_ptr<std::atomic<bool>>& cancel) {
+  pipeline::RunHooks hooks;
+  hooks.cancelled = [cancel]() { return cancel->load(); };
+  hooks.progress = [job](size_t done, size_t total) {
+    job->done.store(done, std::memory_order_relaxed);
+    job->total.store(total, std::memory_order_relaxed);
+  };
+  double deadline_ms = job->config.GetDouble("deadline_ms", 0.0);
+  if (deadline_ms > 0.0) {
+    hooks.deadline = easytime::Deadline::AfterMillis(deadline_ms);
+  }
+
+  const std::string ckpt_path = CheckpointPath(job->job_key);
+  std::map<std::string, pipeline::RunRecord> completed;
+  size_t resumed = 0;
+  std::mutex ckpt_mu;
+  std::ofstream ckpt_out;
+  size_t unflushed = 0;
+  if (!ckpt_path.empty()) {
+    completed = LoadCheckpoint(ckpt_path, &resumed);
+    if (resumed > 0) {
+      hooks.completed = &completed;
+      EASYTIME_LOG(Info) << "job " << job->id << " resuming from " << resumed
+                         << " checkpointed pairs (" << ckpt_path << ")";
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.resumed_records += resumed;
+    }
+    ckpt_out.open(ckpt_path, std::ios::app);
+    if (ckpt_out) {
+      hooks.on_record = [this, &ckpt_mu, &ckpt_out,
+                         &unflushed](const pipeline::RunRecord& rec) {
+        if (!rec.status.ok()) return;  // failures re-run on resume
+        std::lock_guard<std::mutex> lock(ckpt_mu);
+        ckpt_out << rec.ToJson().Dump() << '\n';
+        if (++unflushed >= options_.checkpoint_every) {
+          ckpt_out.flush();
+          unflushed = 0;
+        }
+      };
+    } else {
+      EASYTIME_LOG(Warning) << "job " << job->id
+                            << ": cannot open checkpoint " << ckpt_path
+                            << "; running without one";
+    }
+  }
+
+  auto report = system_->OneClickEvaluate(job->config, hooks);
+  if (ckpt_out.is_open()) ckpt_out.close();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (report.ok()) {
+    size_t ok_records = report->Successful().size();
+    easytime::Json summary = easytime::Json::Object();
+    summary.Set("records", static_cast<int64_t>(report->records.size()));
+    summary.Set("ok", static_cast<int64_t>(ok_records));
+    summary.Set("wall_seconds", report->wall_seconds);
+    if (resumed > 0) {
+      summary.Set("resumed", static_cast<int64_t>(resumed));
+    }
+    job->result = std::move(summary);
+    job->state = JobState::kDone;
+    ++stats_.completed;
+    // The job is terminal and its results live in the knowledge base now;
+    // the checkpoint has served its purpose.
+    if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
+  } else if (report.status().IsCancelled()) {
+    job->state = JobState::kCancelled;
+    ++stats_.cancelled;
+  } else {
+    job->error = report.status();
+    job->state = JobState::kFailed;
+    ++stats_.failed;
+    EASYTIME_LOG(Warning) << "evaluation job " << job->id
+                          << " failed: " << report.status().ToString();
+  }
+}
+
 void JobManager::WorkerLoop() {
   while (auto id = pending_.Pop()) {
     Job* job = nullptr;
@@ -128,35 +263,7 @@ void JobManager::WorkerLoop() {
       job->state = JobState::kRunning;
       cancel = job->cancel;
     }
-
-    pipeline::RunHooks hooks;
-    hooks.cancelled = [cancel]() { return cancel->load(); };
-    hooks.progress = [job](size_t done, size_t total) {
-      job->done.store(done, std::memory_order_relaxed);
-      job->total.store(total, std::memory_order_relaxed);
-    };
-    auto report = system_->OneClickEvaluate(job->config, hooks);
-
-    std::lock_guard<std::mutex> lock(mu_);
-    if (report.ok()) {
-      size_t ok_records = report->Successful().size();
-      easytime::Json summary = easytime::Json::Object();
-      summary.Set("records", static_cast<int64_t>(report->records.size()));
-      summary.Set("ok", static_cast<int64_t>(ok_records));
-      summary.Set("wall_seconds", report->wall_seconds);
-      job->result = std::move(summary);
-      job->state = JobState::kDone;
-      ++stats_.completed;
-    } else if (report.status().IsCancelled()) {
-      job->state = JobState::kCancelled;
-      ++stats_.cancelled;
-    } else {
-      job->error = report.status();
-      job->state = JobState::kFailed;
-      ++stats_.failed;
-      EASYTIME_LOG(Warning) << "evaluation job " << job->id
-                            << " failed: " << report.status().ToString();
-    }
+    RunJob(job, cancel);
   }
 }
 

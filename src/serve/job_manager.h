@@ -6,9 +6,19 @@
 /// control), run one at a time on a dedicated worker thread, report
 /// progress, and can be cancelled while queued or mid-run (the pipeline
 /// polls the cancellation flag between (method, dataset) pairs).
+///
+/// Crash safety: with a checkpoint directory configured, the worker appends
+/// each successfully evaluated (method, dataset) record to
+/// `<dir>/<job_key>.ckpt` as line-delimited JSON (pipeline::RunRecord).
+/// A job resubmitted with the same "job_key" — after a cancel, a crash, or
+/// on a fresh server pointed at the same directory — splices the
+/// checkpointed records into the run and only evaluates the remainder.
+/// Failed pairs are deliberately not checkpointed, so a resume retries
+/// them. The checkpoint is deleted when the job completes.
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,6 +29,7 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "core/easytime.h"
+#include "pipeline/runner.h"
 
 namespace easytime::serve {
 
@@ -31,16 +42,23 @@ const char* JobStateName(JobState s);
 /// \brief Owns the evaluation job queue and its worker thread.
 class JobManager {
  public:
+  struct Options {
+    size_t queue_capacity = 8;   ///< max queued-but-not-started jobs
+    std::string checkpoint_dir;  ///< "" disables checkpointing
+    size_t checkpoint_every = 1; ///< flush after this many new records
+  };
+
   struct Stats {
     uint64_t submitted = 0;
     uint64_t rejected = 0;   ///< admission-control rejections (queue full)
     uint64_t completed = 0;
     uint64_t failed = 0;
     uint64_t cancelled = 0;
+    uint64_t resumed_records = 0;  ///< pairs spliced in from checkpoints
   };
 
   /// \param system the facade evaluations run against (not owned)
-  /// \param queue_capacity max queued-but-not-started jobs
+  JobManager(core::EasyTime* system, Options options);
   JobManager(core::EasyTime* system, size_t queue_capacity);
   ~JobManager();
 
@@ -53,7 +71,9 @@ class JobManager {
   void Shutdown();
 
   /// \brief Admits an evaluation job. Returns its id, or Unavailable when
-  /// the queue is at capacity or the lane is shut down.
+  /// the queue is at capacity or the lane is shut down. The config may
+  /// carry a "job_key" string (checkpoint identity; derived from the
+  /// canonical config when absent) and a "deadline_ms" budget for the run.
   easytime::Result<uint64_t> Submit(easytime::Json config);
 
   /// \brief Job status as a response payload: {"job", "state", "done",
@@ -68,10 +88,18 @@ class JobManager {
   Stats stats() const;
   size_t queue_depth() const { return pending_.size(); }
 
+  /// Checkpoint identity of an evaluate config: its "job_key" string, or a
+  /// hash of the canonicalized config. Exposed for tests.
+  static std::string JobKey(const easytime::Json& config);
+
+  /// The checkpoint path for \p job_key ("" when checkpointing is off).
+  std::string CheckpointPath(const std::string& job_key) const;
+
  private:
   struct Job {
     uint64_t id = 0;
     easytime::Json config;
+    std::string job_key;
     JobState state = JobState::kQueued;
     std::shared_ptr<std::atomic<bool>> cancel =
         std::make_shared<std::atomic<bool>>(false);
@@ -82,9 +110,15 @@ class JobManager {
   };
 
   void WorkerLoop();
+  void RunJob(Job* job, const std::shared_ptr<std::atomic<bool>>& cancel);
   easytime::Json JobJsonLocked(const Job& job) const;
 
+  /// Loads a checkpoint file into a resume map (missing file -> empty map).
+  std::map<std::string, pipeline::RunRecord> LoadCheckpoint(
+      const std::string& path, size_t* loaded) const;
+
   core::EasyTime* system_;
+  Options options_;
   BoundedQueue<uint64_t> pending_;
   mutable std::mutex mu_;  ///< guards jobs_, next_id_, stats_, state fields
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;

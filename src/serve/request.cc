@@ -106,6 +106,7 @@ const char* ErrorCodeToken(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <map>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "methods/registry.h"
@@ -28,7 +30,8 @@ ForecastServer::ForecastServer(core::EasyTime* system, Options options)
       options_(options),
       cache_(ResultCache::Options{options.cache_capacity,
                                   options.cache_ttl_seconds}),
-      jobs_(system, options.evaluate_queue_capacity),
+      jobs_(system, JobManager::Options{options.evaluate_queue_capacity,
+                                        options.checkpoint_dir}),
       fast_queue_(options.fast_queue_capacity) {}
 
 ForecastServer::ForecastServer(core::EasyTime* system)
@@ -107,7 +110,7 @@ easytime::Result<easytime::Json> ForecastServer::Call(
   // Surface the original code where possible; Internal otherwise.
   std::string code = err.GetString("code", "Internal");
   std::string message = err.GetString("message", "unknown serving error");
-  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+  for (int c = 0; c < kNumStatusCodes; ++c) {
     if (code == ErrorCodeToken(static_cast<StatusCode>(c))) {
       return Status(static_cast<StatusCode>(c), std::move(message));
     }
@@ -115,9 +118,37 @@ easytime::Result<easytime::Json> ForecastServer::Call(
   return Status::Internal(std::move(message));
 }
 
+easytime::Result<easytime::Json> ForecastServer::CallWithRetry(
+    const std::string& endpoint, const easytime::Json& params,
+    const RetryPolicy& policy) {
+  return RetryCall(policy,
+                   [&]() { return Call(endpoint, params); });
+}
+
 easytime::Json ForecastServer::Dispatch(Request req) {
   Stopwatch watch;
   const std::string endpoint = req.endpoint;
+
+  if (FaultRegistry::AnyArmed()) {
+    Status fs = FaultRegistry::Global().Check("serve.dispatch");
+    if (!fs.ok()) {
+      RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(req.id, fs);
+    }
+  }
+
+  // Optional per-request deadline ("deadline_ms" in params). Parsed up
+  // front so an already-absurd value is rejected before any queueing.
+  easytime::Deadline deadline;
+  if (req.params.Has("deadline_ms")) {
+    double ms = req.params.GetDouble("deadline_ms", 0.0);
+    if (ms <= 0.0) {
+      RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(
+          req.id, Status::InvalidArgument("\"deadline_ms\" must be > 0"));
+    }
+    deadline = easytime::Deadline::AfterMillis(ms);
+  }
 
   // ----- control plane: always served inline, even under load -------------
   if (endpoint == "ping") {
@@ -177,6 +208,7 @@ easytime::Json ForecastServer::Dispatch(Request req) {
 
   FastTask task;
   task.request = std::move(req);
+  task.deadline = deadline;
   if (IsCacheable(endpoint)) {
     task.cache_key = CanonicalKey(endpoint, task.request.params);
     auto hit = cache_.Lookup(task.cache_key, system_->knowledge().version());
@@ -268,12 +300,47 @@ void ForecastServer::Fulfill(FastTask& task,
 
 void ForecastServer::ExecuteSingle(FastTask task) {
   Stopwatch watch;
+  if (task.deadline.expired()) {
+    // The request waited out its budget in the queue; don't burn a worker on
+    // an answer nobody is waiting for.
+    Fulfill(task,
+            Status::DeadlineExceeded("request deadline expired while queued"),
+            /*from_batch=*/false, 1, watch.ElapsedSeconds());
+    return;
+  }
   auto result = ExecuteFast(task.request);
   Fulfill(task, result, /*from_batch=*/false, 1, watch.ElapsedSeconds());
 }
 
 void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
   Stopwatch watch;
+  if (FaultRegistry::AnyArmed()) {
+    Status fs = FaultRegistry::Global().Check("serve.batch");
+    if (!fs.ok()) {
+      // An injected batch failure fails every member — clients still get a
+      // terminal response.
+      for (auto& t : batch) {
+        Fulfill(t, fs, /*from_batch=*/true, batch.size(),
+                watch.ElapsedSeconds());
+      }
+      return;
+    }
+  }
+  // Answer expired members up front; only live requests reach the executor.
+  std::vector<FastTask> live;
+  live.reserve(batch.size());
+  for (auto& t : batch) {
+    if (t.deadline.expired()) {
+      Fulfill(t,
+              Status::DeadlineExceeded(
+                  "request deadline expired while queued"),
+              /*from_batch=*/true, batch.size(), watch.ElapsedSeconds());
+    } else {
+      live.push_back(std::move(t));
+    }
+  }
+  batch = std::move(live);
+  if (batch.empty()) return;
   // Deduplicate identical requests: one computation fans out to all the
   // clients that asked for it.
   std::map<std::string, std::vector<size_t>> groups;
@@ -305,6 +372,7 @@ void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
 
 easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     const Request& req) {
+  EASYTIME_FAULT_POINT("serve.execute");
   if (req.endpoint == "forecast") return ExecuteForecast(req.params);
   if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
   if (req.endpoint == "ask") {
@@ -417,18 +485,33 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteRecommend(
     const easytime::Json& params) const {
   size_t k = static_cast<size_t>(std::max<int64_t>(0, params.GetInt("k", 0)));
   ensemble::Recommendation rec;
+  easytime::Status primary_error;
   if (params.Has("values")) {
     std::string source;
     EASYTIME_ASSIGN_OR_RETURN(std::vector<double> values,
                               ResolveSeries(params, &source));
-    EASYTIME_ASSIGN_OR_RETURN(rec, system_->RecommendForValues(values, k));
+    auto r = system_->RecommendForValues(values, k);
+    if (r.ok()) rec = std::move(*r); else primary_error = r.status();
   } else {
     std::string dataset = params.GetString("dataset", "");
     if (dataset.empty()) {
       return Status::InvalidArgument(
           "recommend needs either \"dataset\" or \"values\"");
     }
-    EASYTIME_ASSIGN_OR_RETURN(rec, system_->Recommend(dataset, k));
+    auto r = system_->Recommend(dataset, k);
+    if (r.ok()) rec = std::move(*r); else primary_error = r.status();
+  }
+  bool degraded = false;
+  if (!primary_error.ok()) {
+    // Graceful degradation: when the classifier path fails transiently
+    // (Internal/Unavailable), answer from the knowledge base's global
+    // average ranking instead of failing the request. Bad-input errors
+    // still surface.
+    if (!primary_error.IsInternal() && !primary_error.IsUnavailable()) {
+      return primary_error;
+    }
+    EASYTIME_ASSIGN_OR_RETURN(rec, GlobalAverageRanking(k));
+    degraded = true;
   }
   easytime::Json items = easytime::Json::Array();
   for (const auto& [name, score] : rec) {
@@ -439,7 +522,42 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteRecommend(
   }
   easytime::Json result = easytime::Json::Object();
   result.Set("recommendations", std::move(items));
+  if (degraded) {
+    result.Set("degraded", true);
+    result.Set("degraded_reason", primary_error.ToString());
+  }
   return result;
+}
+
+easytime::Result<ensemble::Recommendation>
+ForecastServer::GlobalAverageRanking(size_t k) const {
+  // Mean MAE per method over every benchmark result — the dataset-agnostic
+  // ranking. Scores are negated MAE so higher is better, matching the
+  // classifier path's convention.
+  std::vector<knowledge::ResultEntry> rows =
+      system_->knowledge().ResultsSnapshot();
+  std::map<std::string, std::pair<double, size_t>> sums;
+  for (const auto& row : rows) {
+    auto it = row.metrics.find("mae");
+    if (it == row.metrics.end() || !std::isfinite(it->second)) continue;
+    auto& [sum, n] = sums[row.method];
+    sum += it->second;
+    ++n;
+  }
+  if (sums.empty()) {
+    return Status::Unavailable(
+        "recommendation fallback has no benchmark results to rank from");
+  }
+  ensemble::Recommendation rec;
+  rec.reserve(sums.size());
+  for (const auto& [method, acc] : sums) {
+    rec.emplace_back(method, -acc.first / static_cast<double>(acc.second));
+  }
+  std::sort(rec.begin(), rec.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (k > 0 && rec.size() > k) rec.resize(k);
+  return rec;
 }
 
 void ForecastServer::RecordStats(const std::string& endpoint, bool ok,

@@ -39,6 +39,7 @@
 #include "serve/cache.h"
 #include "serve/job_manager.h"
 #include "serve/request.h"
+#include "serve/retry.h"
 
 namespace easytime::serve {
 
@@ -73,6 +74,11 @@ class ForecastServer {
     size_t default_horizon = 24;
     size_t max_horizon = 512;
     size_t max_inline_values = 100000; ///< cap on uploaded "values" arrays
+    /// Directory for evaluation-job checkpoints ("" disables them). With a
+    /// directory set, a job whose server died mid-run resumes from the last
+    /// checkpoint when resubmitted with the same "job_key" (see
+    /// serve/job_manager.h).
+    std::string checkpoint_dir;
   };
 
   /// \param system a fully created facade; not owned. The repository must
@@ -102,6 +108,13 @@ class ForecastServer {
   easytime::Result<easytime::Json> Call(const std::string& endpoint,
                                         const easytime::Json& params);
 
+  /// \brief Call with retry: transient Unavailable failures (full queues,
+  /// draining server) back off exponentially with jitter and try again;
+  /// permanent failures return immediately.
+  easytime::Result<easytime::Json> CallWithRetry(
+      const std::string& endpoint, const easytime::Json& params,
+      const RetryPolicy& policy = RetryPolicy());
+
   /// The stats payload (same shape the "stats" endpoint returns).
   easytime::Json StatsJson() const;
 
@@ -119,6 +132,11 @@ class ForecastServer {
       const easytime::Json& params) const;
   easytime::Result<easytime::Json> ExecuteRecommend(
       const easytime::Json& params) const;
+
+  /// Degraded recommend path: methods ranked by mean MAE over every
+  /// benchmark result (dataset-agnostic), used when the classifier fails.
+  easytime::Result<ensemble::Recommendation> GlobalAverageRanking(
+      size_t k) const;
 
   /// Resolves the series a forecast/recommend request targets: either a
   /// repository dataset ("dataset") or inline values ("values").

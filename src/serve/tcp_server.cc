@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "serve/request.h"
 
@@ -96,7 +97,11 @@ easytime::Status TcpServer::Start() {
 void TcpServer::Stop() {
   if (!running_.exchange(false)) return;
 
-  // Unblock accept() and any blocking reads.
+  // Unblock accept() and any blocking reads. Closing the semaphore first
+  // releases an accept thread parked in Acquire() while every slot is held —
+  // without it, that thread's fd is not yet in open_fds_ and the join below
+  // would hang.
+  connection_slots_.Close();
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -129,7 +134,10 @@ void TcpServer::AcceptLoop() {
       ::close(fd);
       break;
     }
-    connection_slots_.Acquire();  // cap concurrent handlers
+    if (!connection_slots_.Acquire()) {  // cap concurrent handlers
+      ::close(fd);  // semaphore closed: the server is stopping
+      break;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     open_fds_.push_back(fd);
     connection_threads_.emplace_back(
@@ -168,7 +176,16 @@ void TcpServer::HandleConnection(int fd) {
     buffer.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    if (!WriteAll(fd, server_->HandleLine(line) + "\n")) goto done;
+    if (FaultRegistry::AnyArmed()) {
+      // Chaos-level connection faults: a failed read/write drops the
+      // connection mid-stream, the way a flaky network would.
+      if (!FaultRegistry::Global().Check("serve.tcp.read").ok()) goto done;
+    }
+    std::string response = server_->HandleLine(line) + "\n";
+    if (FaultRegistry::AnyArmed()) {
+      if (!FaultRegistry::Global().Check("serve.tcp.write").ok()) goto done;
+    }
+    if (!WriteAll(fd, response)) goto done;
   }
 
 done:

@@ -1,0 +1,280 @@
+// Chaos tests: the serving stack under injected faults. Eight concurrent
+// clients hammer a server whose fault points fire at ~10%; the contract is
+// that every single request still reaches a terminal state — a correct
+// result or a well-formed error envelope with the right id — with nothing
+// wrong, dropped, or deadlocked. A separate scenario simulates a killed
+// evaluation job and asserts the checkpoint/resume path skips completed
+// pairs on restart.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "serve/client.h"
+#include "serve/job_manager.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/tcp_server.h"
+
+namespace easytime::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::EasyTime* MakeSystem() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae", "rmse"};
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.top_k = 2;
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.ts2vec.repr_dim = 8;
+  opt.ensemble.ts2vec.hidden_dim = 10;
+  opt.ensemble.ts2vec.depth = 2;
+  opt.ensemble.classifier.epochs = 80;
+  auto system = core::EasyTime::Create(opt);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return system.ok() ? system->release() : nullptr;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { system_ = MakeSystem(); }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  void SetUp() override {
+    ASSERT_NE(system_, nullptr);
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().Reseed(2026);
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+  static core::EasyTime* system_;
+};
+
+core::EasyTime* ChaosTest::system_ = nullptr;
+
+// The acceptance scenario: 8 concurrent clients against a server whose
+// dispatch path fails Unavailable ~10% of the time and whose execute path
+// stalls ~10% of the time. Every request must reach a terminal state: a
+// correct result, or an error envelope carrying the request's own id.
+TEST_F(ChaosTest, EveryRequestReachesTerminalStatusUnderFaults) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromSpec("serve.dispatch:unavailable:0.1,"
+                               "serve.execute:delay:0.1:5")
+                  .ok());
+
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 4;
+  opt.fast_queue_capacity = 1024;
+  opt.cache_capacity = 0;  // every request exercises the faulted path
+  ForecastServer server(system_, opt);
+  server.Start();
+
+  const std::vector<std::string> datasets = system_->repository()->names();
+  const std::vector<std::string> methods = {"naive", "drift", "ses", "theta"};
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> error_responses{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int64_t id = c * 1000 + r;
+        Json req = Json::Object();
+        req.Set("id", id);
+        req.Set("endpoint", "forecast");
+        Json params = Json::Object();
+        params.Set("dataset", datasets[(c + r) % datasets.size()]);
+        params.Set("method", methods[r % methods.size()]);
+        params.Set("horizon", static_cast<int64_t>(4));
+        req.Set("params", std::move(params));
+
+        std::string line = server.HandleLine(req.Dump());
+        auto resp = Json::Parse(line);
+        if (!resp.ok() || resp->GetInt("id", -1) != id) {
+          wrong.fetch_add(1);
+          continue;
+        }
+        if (resp->GetBool("ok", false)) {
+          // A correct result: the requested number of finite values.
+          if (resp->Get("result").Get("values").size() == 4) {
+            ok_responses.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } else if (resp->Has("error") &&
+                   !resp->Get("error").GetString("code", "").empty()) {
+          error_responses.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok_responses.load() + error_responses.load(),
+            kClients * kRequestsPerClient);
+  // With a 10% dispatch fault over 200 requests, both outcomes must occur.
+  EXPECT_GT(ok_responses.load(), 0);
+  EXPECT_GT(error_responses.load(), 0) << "faults were armed but never fired";
+}
+
+// TCP chaos: connections are torn down at random by serve.tcp.* faults; the
+// retrying TcpClient must ride every request through to a correct response.
+TEST_F(ChaosTest, TcpClientsRetryThroughConnectionFaults) {
+  ASSERT_TRUE(
+      FaultRegistry::Global().ArmFromSpec("serve.tcp.read:error:0.1").ok());
+
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 4;
+  opt.fast_queue_capacity = 1024;
+  ForecastServer server(system_, opt);
+  server.Start();
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start().ok());
+
+  const std::vector<std::string> datasets = system_->repository()->names();
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 15;
+
+  std::atomic<int> correct{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      RetryPolicy retry;
+      retry.max_attempts = 8;  // 0.1^8: retries make loss astronomically rare
+      retry.base_delay_ms = 1.0;
+      retry.seed = 100 + static_cast<uint64_t>(c);
+      TcpClient client(tcp.port(), retry);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        Json params = Json::Object();
+        params.Set("dataset", datasets[(c + r) % datasets.size()]);
+        params.Set("method", "naive");
+        params.Set("horizon", static_cast<int64_t>(3));
+        auto result = client.Call("forecast", params);
+        if (result.ok() && result->Get("values").size() == 3) {
+          correct.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  tcp.Stop();
+  server.Stop();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(correct.load(), kClients * kRequestsPerClient);
+  // The fault genuinely dropped connections; retries absorbed all of them.
+  EXPECT_GT(FaultRegistry::Global().PointStats("serve.tcp.read").triggers, 0u);
+}
+
+// SIGKILL simulation: an evaluation job is cancelled mid-run and its manager
+// destroyed — the moral equivalent of the process dying. A fresh manager
+// pointed at the same checkpoint directory and resubmitted the same job_key
+// must splice in the completed pairs instead of re-evaluating them.
+TEST_F(ChaosTest, KilledJobResumesFromCheckpointWithoutReevaluating) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "easytime_chaos_ckpt")
+          .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  auto config = Json::Parse(R"({
+    "methods": ["naive", "drift", "ses", "theta"],
+    "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]},
+    "num_threads": 1,
+    "job_key": "chaos-resume"
+  })");
+  ASSERT_TRUE(config.ok());
+
+  JobManager::Options jm_opt;
+  jm_opt.checkpoint_dir = dir;
+  std::string ckpt_path;
+
+  // Phase 1: run until a few pairs are checkpointed, then cancel and destroy
+  // the manager. A delay fault slows each pair so the cancel lands mid-run.
+  {
+    FaultSpec slow;
+    slow.kind = FaultKind::kDelay;
+    slow.delay_ms = 30.0;
+    ASSERT_TRUE(FaultRegistry::Global().Arm("pipeline.pair", slow).ok());
+
+    JobManager manager(system_, jm_opt);
+    ckpt_path = manager.CheckpointPath("chaos-resume");
+    ASSERT_FALSE(ckpt_path.empty());
+    manager.Start();
+    auto id = manager.Submit(*config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+    // Wait until at least 2 pairs completed, then pull the plug.
+    for (int i = 0; i < 2000; ++i) {
+      auto s = manager.StatusJson(*id);
+      ASSERT_TRUE(s.ok());
+      if (s->GetInt("done", 0) >= 2) break;
+      std::this_thread::sleep_for(2ms);
+    }
+    auto cancelled = manager.Cancel(*id);
+    ASSERT_TRUE(cancelled.ok());
+    // Manager destructor == Shutdown: the worker stops at the cancellation
+    // point, mirroring a killed process whose checkpoint survives on disk.
+  }
+  FaultRegistry::Global().DisarmAll();
+
+  ASSERT_TRUE(std::filesystem::exists(ckpt_path))
+      << "checkpoint must survive a cancelled (killed) job";
+
+  // Phase 2: a fresh manager on the same directory resumes the same job_key.
+  {
+    JobManager manager(system_, jm_opt);
+    manager.Start();
+    auto id = manager.Submit(*config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+    std::string state = "queued";
+    Json status;
+    for (int i = 0; i < 4000 && (state == "queued" || state == "running");
+         ++i) {
+      auto s = manager.StatusJson(*id);
+      ASSERT_TRUE(s.ok());
+      status = *s;
+      state = status.GetString("state", "");
+      std::this_thread::sleep_for(2ms);
+    }
+    ASSERT_EQ(state, "done") << status.Dump();
+
+    const Json& summary = status.Get("result");
+    EXPECT_GT(summary.GetInt("resumed", 0), 0)
+        << "restart must splice checkpointed pairs, not redo them";
+    EXPECT_EQ(summary.GetInt("ok", -1), summary.GetInt("records", -2))
+        << "resumed run must still produce a complete, all-ok report";
+    EXPECT_GT(manager.stats().resumed_records, 0u);
+
+    // A completed job retires its checkpoint.
+    EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easytime::serve

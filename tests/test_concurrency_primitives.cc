@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/semaphore.h"
+
+namespace easytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- Semaphore
+
+TEST(SemaphoreTest, AcquireAndReleaseRoundTrip) {
+  Semaphore sem(2);
+  EXPECT_TRUE(sem.Acquire());
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_EQ(sem.available(), 0u);
+  EXPECT_FALSE(sem.TryAcquire());  // exhausted
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(SemaphoreTest, CloseWakesBlockedAcquire) {
+  Semaphore sem(1);
+  ASSERT_TRUE(sem.Acquire());  // take the only permit
+
+  std::atomic<int> result{-1};
+  std::thread waiter([&]() {
+    // Blocks: no permit available until Close.
+    result.store(sem.Acquire() ? 1 : 0);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(result.load(), -1) << "Acquire should still be blocked";
+
+  sem.Close();
+  waiter.join();
+  EXPECT_EQ(result.load(), 0) << "closed Acquire must return false";
+  EXPECT_TRUE(sem.closed());
+
+  // Permits handed out before Close may still be returned safely, and
+  // Close stays idempotent.
+  sem.Release();
+  sem.Close();
+  EXPECT_FALSE(sem.Acquire());
+  EXPECT_FALSE(sem.TryAcquire());
+}
+
+TEST(SemaphoreTest, CloseWakesEveryWaiter) {
+  Semaphore sem(0);
+  constexpr int kWaiters = 4;
+  std::atomic<int> refused{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&]() {
+      if (!sem.Acquire()) refused.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(30ms);
+  sem.Close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(refused.load(), kWaiters);
+}
+
+// ------------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&]() {
+    auto item = q.Pop();  // blocks: queue is empty
+    got_nullopt.store(!item.has_value());
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(got_nullopt.load());
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueueTest, FullQueueShutdownDrainsQueuedItemsThenSignalsExit) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4)) << "queue is full";
+
+  q.Close();
+  EXPECT_FALSE(q.TryPush(5)) << "closed queue rejects pushes";
+
+  // Drain semantics: the three admitted items remain poppable in order.
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+  EXPECT_EQ(q.Pop(), std::nullopt) << "drained + closed signals exit";
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, PopForTimesOutOnEmptyOpenQueue) {
+  BoundedQueue<int> q(2);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PopFor(20ms), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+  EXPECT_FALSE(q.closed()) << "timeout is distinguishable from closure";
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersAgainstClosingConsumer) {
+  // Shutdown race: producers hammer TryPush while the consumer closes the
+  // queue mid-stream. Every accepted item must be popped exactly once.
+  BoundedQueue<int> q(8);
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&]() {
+      while (!stop.load()) {
+        if (q.TryPush(1)) accepted.fetch_add(1);
+      }
+    });
+  }
+
+  int popped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (q.Pop().has_value()) ++popped;
+  }
+  q.Close();
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  // Post-close drain picks up whatever was admitted before closure.
+  while (q.Pop().has_value()) ++popped;
+  EXPECT_EQ(popped, accepted.load());
+}
+
+}  // namespace
+}  // namespace easytime

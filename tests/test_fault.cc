@@ -1,0 +1,222 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace easytime {
+namespace {
+
+/// A function with a fault point, the way production code uses the macro.
+Status GuardedOperation() {
+  EASYTIME_FAULT_POINT("fault_test.op");
+  return Status::OK();
+}
+
+Result<double> GuardedResultOperation() {
+  EASYTIME_FAULT_POINT("fault_test.result_op");
+  return 42.0;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().Reseed(1234);
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, UnarmedPointPassesThrough) {
+  ASSERT_FALSE(FaultRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  auto r = GuardedResultOperation();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 42.0);
+  // Unarmed points never even reach the registry: no stats accumulate.
+  EXPECT_EQ(FaultRegistry::Global().PointStats("fault_test.op").passes, 0u);
+}
+
+TEST_F(FaultTest, ArmedErrorFaultInjects) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.rate = 1.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+  EXPECT_TRUE(FaultRegistry::AnyArmed());
+
+  Status s = GuardedOperation();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_NE(s.message().find("fault_test.op"), std::string::npos);
+
+  auto stats = FaultRegistry::Global().PointStats("fault_test.op");
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.triggers, 1u);
+
+  // Disarm restores normal behaviour (and the hot-path gate drops).
+  EXPECT_TRUE(FaultRegistry::Global().Disarm("fault_test.op"));
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FaultTest, ResultReturningFunctionPropagatesInjectedStatus) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.message = "simulated outage";
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.result_op", spec).ok());
+  auto r = GuardedResultOperation();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "simulated outage");
+}
+
+TEST_F(FaultTest, RateZeroNeverFiresButCountsPasses) {
+  FaultSpec spec;
+  spec.rate = 0.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  auto stats = FaultRegistry::Global().PointStats("fault_test.op");
+  EXPECT_EQ(stats.passes, 50u);
+  EXPECT_EQ(stats.triggers, 0u);
+}
+
+TEST_F(FaultTest, FractionalRateFiresApproximatelyThatOften) {
+  FaultSpec spec;
+  spec.rate = 0.3;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!GuardedOperation().ok()) ++failures;
+  }
+  // 1000 Bernoulli(0.3) trials: [200, 400] is ~8 sigma wide.
+  EXPECT_GT(failures, 200);
+  EXPECT_LT(failures, 400);
+}
+
+TEST_F(FaultTest, MaxTriggersBudgetExhausts) {
+  FaultSpec spec;
+  spec.max_triggers = 2;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // budget spent
+  EXPECT_TRUE(GuardedOperation().ok());
+  auto stats = FaultRegistry::Global().PointStats("fault_test.op");
+  EXPECT_EQ(stats.triggers, 2u);
+  EXPECT_EQ(stats.passes, 4u);
+}
+
+TEST_F(FaultTest, DelayFaultSleepsThenProceeds) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = 30.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedOperation().ok());  // delay does not fail the call
+  auto elapsed = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 25.0);
+}
+
+TEST_F(FaultTest, NanFaultSetsCorruptFlag) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNan;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.payload", spec).ok());
+  bool corrupt = false;
+  Status s = FaultRegistry::Global().Check("fault_test.payload", &corrupt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(corrupt);
+  // Callers that cannot corrupt pass nullptr and are unaffected.
+  EXPECT_TRUE(FaultRegistry::Global().Check("fault_test.payload").ok());
+}
+
+TEST_F(FaultTest, ArmRejectsBadRates) {
+  FaultSpec spec;
+  spec.rate = 1.5;
+  EXPECT_FALSE(FaultRegistry::Global().Arm("x", spec).ok());
+  spec.rate = -0.1;
+  EXPECT_FALSE(FaultRegistry::Global().Arm("x", spec).ok());
+  spec.rate = 0.5;
+  spec.delay_ms = -1.0;
+  spec.kind = FaultKind::kDelay;
+  EXPECT_FALSE(FaultRegistry::Global().Arm("x", spec).ok());
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+}
+
+TEST_F(FaultTest, ParseSpecListAcceptsTheDocumentedSyntax) {
+  auto parsed = FaultRegistry::ParseSpecList(
+      "serve.execute:unavailable:0.1,pipeline.pair:delay:0.5:20,"
+      "method.forecast.payload:nan:1,knowledge.export:ioerror:1:3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 4u);
+
+  EXPECT_EQ((*parsed)[0].first, "serve.execute");
+  EXPECT_EQ((*parsed)[0].second.kind, FaultKind::kError);
+  EXPECT_EQ((*parsed)[0].second.code, StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ((*parsed)[0].second.rate, 0.1);
+
+  EXPECT_EQ((*parsed)[1].second.kind, FaultKind::kDelay);
+  EXPECT_DOUBLE_EQ((*parsed)[1].second.delay_ms, 20.0);
+
+  EXPECT_EQ((*parsed)[2].second.kind, FaultKind::kNan);
+
+  EXPECT_EQ((*parsed)[3].second.code, StatusCode::kIOError);
+  EXPECT_EQ((*parsed)[3].second.max_triggers, 3);
+}
+
+TEST_F(FaultTest, ParseSpecListRejectsMalformedEntries) {
+  EXPECT_FALSE(FaultRegistry::ParseSpecList("no_kind_or_rate").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpecList("p:unknown_kind:1").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpecList("p:error:2.0").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpecList("p:error:abc").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpecList(":error:1").ok());
+}
+
+TEST_F(FaultTest, ArmFromSpecArmsEveryEntry) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromSpec("a.one:error:1,b.two:delay:0.5:10")
+                  .ok());
+  auto armed = FaultRegistry::Global().ArmedPoints();
+  ASSERT_EQ(armed.size(), 2u);
+  EXPECT_TRUE(FaultRegistry::AnyArmed());
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_TRUE(FaultRegistry::Global().ArmedPoints().empty());
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+}
+
+TEST_F(FaultTest, ReseedMakesProbabilisticRunsReproducible) {
+  FaultSpec spec;
+  spec.rate = 0.5;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("fault_test.op", spec).ok());
+
+  auto run = [&]() {
+    FaultRegistry::Global().Reseed(99);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(GuardedOperation().ok());
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The unarmed hot path must stay cheap enough that leaving fault points in
+// production code is free: sanity-bound a million unarmed checks.
+TEST_F(FaultTest, UnarmedOverheadIsNegligible) {
+  ASSERT_FALSE(FaultRegistry::AnyArmed());
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000000; ++i) {
+    Status s = GuardedOperation();
+    ASSERT_TRUE(s.ok());
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  // Generous bound (~50ns/check) — a mutex or map lookup on the hot path
+  // would blow well past it.
+  EXPECT_LT(elapsed, 0.5);
+}
+
+}  // namespace
+}  // namespace easytime

@@ -1,0 +1,575 @@
+// Robustness tests: deadline propagation, retry with backoff, the per-method
+// circuit breaker, checkpoint/resume of evaluation runs, and graceful
+// degradation of the recommend endpoint.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "eval/evaluator.h"
+#include "methods/registry.h"
+#include "pipeline/benchmark_config.h"
+#include "pipeline/runner.h"
+#include "serve/job_manager.h"
+#include "serve/retry.h"
+#include "serve/server.h"
+#include "tsdata/generator.h"
+
+namespace easytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+  EXPECT_FALSE(Deadline::Infinite().expired());
+}
+
+TEST(DeadlineTest, AfterMillisExpires) {
+  Deadline d = Deadline::AfterMillis(15.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+  std::this_thread::sleep_for(25ms);
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, AlreadyPassedTimePointIsExpired) {
+  Deadline d = Deadline::At(Deadline::Clock::now() - 1ms);
+  EXPECT_TRUE(d.expired());
+}
+
+// ------------------------------------------------- Evaluator deadline checks
+
+TEST(RobustnessTest, EvaluatorHonorsExpiredDeadline) {
+  auto model = methods::MethodRegistry::Global().Create("naive");
+  ASSERT_TRUE(model.ok());
+  std::vector<double> v(200);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i % 17);
+
+  eval::EvalConfig cfg;
+  cfg.horizon = 8;
+  cfg.metrics = {"mae"};
+  eval::Evaluator evaluator(cfg);
+
+  Deadline expired = Deadline::At(Deadline::Clock::now() - 1ms);
+  auto r = evaluator.EvaluateValues(model->get(), v, 0, expired);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+
+  // The default (infinite) deadline leaves evaluation untouched.
+  auto ok = evaluator.EvaluateValues(model->get(), v);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// ------------------------------------------------------ Pipeline run control
+
+tsdata::Repository MakeRepo() {
+  tsdata::Repository repo;
+  tsdata::SuiteSpec spec;
+  spec.univariate_per_domain = 1;
+  spec.multivariate_total = 0;
+  spec.min_length = 120;
+  spec.max_length = 140;
+  EXPECT_TRUE(repo.AddSuite(spec).ok());
+  return repo;
+}
+
+pipeline::BenchmarkConfig SingleMethodConfig(const std::string& method) {
+  pipeline::BenchmarkConfig config;
+  config.eval.horizon = 8;
+  config.eval.metrics = {"mae"};
+  config.methods = {pipeline::MethodSpec{method, Json::Object()}};
+  config.num_threads = 1;  // deterministic completion order
+  return config;
+}
+
+TEST(RobustnessTest, PipelineRunReturnsDeadlineExceededOnExpiredDeadline) {
+  tsdata::Repository repo = MakeRepo();
+  pipeline::BenchmarkConfig config = SingleMethodConfig("naive");
+  pipeline::RunHooks hooks;
+  hooks.deadline = Deadline::At(Deadline::Clock::now() - 1ms);
+  auto report = pipeline::PipelineRunner(&repo, config).Run(hooks);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsDeadlineExceeded());
+}
+
+TEST(RobustnessTest, CircuitBreakerSkipsMethodAfterConsecutiveFailures) {
+  FaultRegistry::Global().DisarmAll();
+  tsdata::Repository repo = MakeRepo();
+  ASSERT_GE(repo.size(), 5u);
+
+  pipeline::BenchmarkConfig config = SingleMethodConfig("naive");
+  config.breaker_threshold = 3;
+
+  // Every evaluated pair fails via the pipeline.pair fault point; after 3
+  // consecutive failures the breaker must stop evaluating this method.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kInternal;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("pipeline.pair", spec).ok());
+
+  auto report = pipeline::PipelineRunner(&repo, config).Run();
+  FaultRegistry::Global().DisarmAll();
+
+  ASSERT_TRUE(report.ok());
+  size_t injected = 0;
+  size_t skipped = 0;
+  for (const auto& rec : report->records) {
+    ASSERT_FALSE(rec.status.ok());
+    if (rec.status.IsUnavailable() &&
+        rec.status.message().find("circuit breaker open") !=
+            std::string::npos) {
+      ++skipped;
+    } else {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected + skipped, repo.size());
+  // The breaker never trips early, and its ordering is approximate by one
+  // in-flight pair: ParallelFor's calling thread participates alongside the
+  // single worker, so a pair that passed the open-check before the trip may
+  // still be evaluated.
+  EXPECT_GE(injected, 3u);
+  EXPECT_LE(injected, 4u);
+  EXPECT_GE(skipped, repo.size() - 4u);
+}
+
+TEST(RobustnessTest, CircuitBreakerDisabledWithThresholdZero) {
+  FaultRegistry::Global().DisarmAll();
+  tsdata::Repository repo = MakeRepo();
+  pipeline::BenchmarkConfig config = SingleMethodConfig("naive");
+  config.breaker_threshold = 0;
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("pipeline.pair", spec).ok());
+  auto report = pipeline::PipelineRunner(&repo, config).Run();
+  FaultRegistry::Global().DisarmAll();
+
+  ASSERT_TRUE(report.ok());
+  for (const auto& rec : report->records) {
+    EXPECT_TRUE(rec.status.IsInternal()) << rec.status.ToString();
+  }
+}
+
+TEST(RobustnessTest, BreakerOnOneMethodSparesOtherMethods) {
+  // A method that always fails fit, pinning every failure to one method so
+  // the per-method breaker isolation is deterministic under concurrency.
+  static const bool registered = [] {
+    return methods::MethodRegistry::Global()
+        .Register({"breaker_victim", methods::Family::kStatistical,
+                   "robustness test: always fails"},
+                  [](const Json&) -> Result<methods::ForecasterPtr> {
+                    return Status::Internal("injected factory failure");
+                  })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  tsdata::Repository repo = MakeRepo();
+  pipeline::BenchmarkConfig config = SingleMethodConfig("breaker_victim");
+  config.methods.push_back(pipeline::MethodSpec{"drift", Json::Object()});
+  config.breaker_threshold = 2;
+
+  auto report = pipeline::PipelineRunner(&repo, config).Run();
+  ASSERT_TRUE(report.ok());
+
+  std::map<std::string, size_t> ok_by_method;
+  size_t victim_skipped = 0;
+  for (const auto& rec : report->records) {
+    if (rec.status.ok()) ++ok_by_method[rec.method];
+    if (rec.method == "breaker_victim" && rec.status.IsUnavailable()) {
+      ++victim_skipped;
+    }
+  }
+  // The victim's breaker trips and skips most of its pairs...
+  EXPECT_EQ(ok_by_method["breaker_victim"], 0u);
+  EXPECT_GE(victim_skipped, repo.size() - 3);
+  // ...while the healthy method is untouched by the victim's breaker.
+  EXPECT_EQ(ok_by_method["drift"], repo.size());
+
+  // Breaker state is per-run: a fresh run of healthy methods is unaffected.
+  auto clean =
+      pipeline::PipelineRunner(&repo, SingleMethodConfig("drift")).Run();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->Successful().size(), clean->records.size());
+}
+
+// ------------------------------------------------ RunRecord JSON round trip
+
+TEST(RobustnessTest, RunRecordJsonRoundTrip) {
+  pipeline::RunRecord rec;
+  rec.dataset = "traffic_u0";
+  rec.method = "theta";
+  rec.strategy = "fixed";
+  rec.horizon = 24;
+  rec.multivariate = false;
+  rec.domain = "traffic";
+  rec.metrics = {{"mae", 1.25}, {"rmse", 2.5}};
+  rec.num_windows = 3;
+  rec.fit_seconds = 0.5;
+  rec.forecast_seconds = 0.25;
+  rec.status = Status::OK();
+
+  auto back = pipeline::RunRecord::FromJson(rec.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->dataset, rec.dataset);
+  EXPECT_EQ(back->method, rec.method);
+  EXPECT_EQ(back->strategy, rec.strategy);
+  EXPECT_EQ(back->horizon, rec.horizon);
+  EXPECT_EQ(back->domain, rec.domain);
+  EXPECT_DOUBLE_EQ(back->metrics.at("mae"), 1.25);
+  EXPECT_DOUBLE_EQ(back->metrics.at("rmse"), 2.5);
+  EXPECT_EQ(back->num_windows, 3u);
+  EXPECT_TRUE(back->status.ok());
+
+  rec.status = Status::Unavailable("worker gone");
+  auto failed = pipeline::RunRecord::FromJson(rec.ToJson());
+  ASSERT_TRUE(failed.ok());
+  EXPECT_TRUE(failed->status.IsUnavailable());
+  EXPECT_EQ(failed->status.message(), "worker gone");
+
+  EXPECT_FALSE(pipeline::RunRecord::FromJson(Json::Object()).ok());
+  EXPECT_NE(pipeline::PairKey("a", "b"), pipeline::PairKey("a", "c"));
+  EXPECT_NE(pipeline::PairKey("ab", "c"), pipeline::PairKey("a", "bc"));
+}
+
+// --------------------------------------------------- Runner resume splicing
+
+TEST(RobustnessTest, RunnerSplicesCompletedRecordsWithoutReevaluating) {
+  tsdata::Repository repo = MakeRepo();
+  pipeline::BenchmarkConfig config = SingleMethodConfig("naive");
+
+  std::map<std::string, pipeline::RunRecord> completed;
+  std::atomic<size_t> fresh{0};
+  {
+    pipeline::RunHooks hooks;
+    hooks.on_record = [&](const pipeline::RunRecord& rec) {
+      completed[pipeline::PairKey(rec.dataset, rec.method)] = rec;
+      fresh.fetch_add(1);
+    };
+    auto first = pipeline::PipelineRunner(&repo, config).Run(hooks);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(fresh.load(), first->records.size());
+  }
+
+  // Resume with everything checkpointed: nothing fresh is evaluated, the
+  // report is complete, and on_record stays silent.
+  fresh.store(0);
+  pipeline::RunHooks hooks;
+  hooks.completed = &completed;
+  hooks.on_record = [&](const pipeline::RunRecord&) { fresh.fetch_add(1); };
+  auto resumed = pipeline::PipelineRunner(&repo, config).Run(hooks);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(fresh.load(), 0u);
+  EXPECT_EQ(resumed->Successful().size(), resumed->records.size());
+  EXPECT_EQ(resumed->records.size(), completed.size());
+}
+
+// -------------------------------------------------------------------- Retry
+
+TEST(RetryTest, RetriesTransientUnavailableUntilSuccess) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_delay_ms = 1.0;
+  policy.seed = 7;
+  int calls = 0;
+  auto result = serve::RetryCall(policy, [&]() -> Result<int> {
+    if (++calls < 3) return Status::Unavailable("try again");
+    return 99;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 99);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, PermanentFailuresAreNotRetried) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_delay_ms = 1.0;
+  int calls = 0;
+  auto result = serve::RetryCall(policy, [&]() -> Result<int> {
+    ++calls;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 1.0;
+  int calls = 0;
+  auto result = serve::RetryCall(policy, [&]() -> Status {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, StopsWhenBackoffWouldOutliveDeadline) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_ms = 50.0;
+  policy.seed = 7;
+  int calls = 0;
+  auto result = serve::RetryCall(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      Deadline::AfterMillis(10.0));
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_EQ(calls, 1) << "a 25ms+ backoff must not be attempted on a 10ms "
+                         "budget";
+}
+
+TEST(RetryTest, BackoffScheduleIsExponentialAndCapped) {
+  serve::RetryPolicy policy;
+  policy.base_delay_ms = 5.0;
+  policy.max_delay_ms = 30.0;
+  EXPECT_DOUBLE_EQ(policy.DelayMs(0), 5.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(3), 30.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.DelayMs(10), 30.0);
+}
+
+// ----------------------------------------------- BenchmarkConfig round trip
+
+TEST(RobustnessTest, BreakerThresholdSurvivesConfigRoundTrip) {
+  auto j = Json::Parse(R"({"breaker_threshold": 7})");
+  ASSERT_TRUE(j.ok());
+  auto config = pipeline::BenchmarkConfig::FromJson(*j);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->breaker_threshold, 7u);
+
+  EXPECT_EQ(config->ToJson().GetInt("breaker_threshold", -1), 7);
+
+  auto dflt = pipeline::BenchmarkConfig::FromJson(Json::Object());
+  ASSERT_TRUE(dflt.ok());
+  EXPECT_EQ(dflt->breaker_threshold, 5u);
+
+  auto bad = Json::Parse(R"({"breaker_threshold": -1})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(pipeline::BenchmarkConfig::FromJson(*bad).ok());
+}
+
+// --------------------------------------------------------- Serving fixtures
+
+core::EasyTime* MakeSystem() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae", "rmse"};
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.top_k = 2;
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.ts2vec.repr_dim = 8;
+  opt.ensemble.ts2vec.hidden_dim = 10;
+  opt.ensemble.ts2vec.depth = 2;
+  opt.ensemble.classifier.epochs = 80;
+  auto system = core::EasyTime::Create(opt);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return system.ok() ? system->release() : nullptr;
+}
+
+class RobustnessServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { system_ = MakeSystem(); }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  void SetUp() override {
+    ASSERT_NE(system_, nullptr);
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().Reseed(42);
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+  static core::EasyTime* system_;
+};
+
+core::EasyTime* RobustnessServeTest::system_ = nullptr;
+
+TEST_F(RobustnessServeTest, RequestDeadlineExpiredInQueueReturnsDeadline) {
+  serve::ForecastServer::Options opt;
+  opt.num_worker_threads = 1;  // one slow request blocks the lane
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;
+  serve::ForecastServer server(system_, opt);
+  server.Start();
+  const std::string dataset = system_->repository()->names()[0];
+
+  // Occupy the only worker for ~300ms.
+  std::thread blocker([&]() {
+    Json params = Json::Object();
+    params.Set("dataset", dataset);
+    params.Set("method", "naive");
+    params.Set("horizon", static_cast<int64_t>(2));
+    params.Set("sleep_ms", 300.0);
+    auto r = server.Call("forecast", params);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  std::this_thread::sleep_for(50ms);
+
+  // This request's 40ms budget dies in the queue behind the blocker.
+  Json params = Json::Object();
+  params.Set("dataset", dataset);
+  params.Set("method", "naive");
+  params.Set("horizon", static_cast<int64_t>(2));
+  params.Set("deadline_ms", 40.0);
+  auto r = server.Call("forecast", params);
+  blocker.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+
+  // A comfortable deadline passes untouched.
+  params.Set("deadline_ms", 60000.0);
+  auto ok = server.Call("forecast", params);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  server.Stop();
+}
+
+TEST_F(RobustnessServeTest, NonPositiveDeadlineIsRejected) {
+  serve::ForecastServer server(system_);
+  server.Start();
+  Json params = Json::Object();
+  params.Set("dataset", system_->repository()->names()[0]);
+  params.Set("method", "naive");
+  params.Set("deadline_ms", -5.0);
+  auto r = server.Call("forecast", params);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  server.Stop();
+}
+
+TEST_F(RobustnessServeTest, EvaluateJobHonorsDeadline) {
+  serve::ForecastServer server(system_);
+  server.Start();
+  auto cfg = Json::Parse(R"({
+    "methods": ["theta", "ses", "drift"],
+    "evaluation": {"strategy": "rolling", "horizon": 8, "metrics": ["mae"]},
+    "num_threads": 1,
+    "deadline_ms": 1.0
+  })");
+  ASSERT_TRUE(cfg.ok());
+  auto submitted = server.Call("evaluate", *cfg);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+
+  Json poll = Json::Object();
+  poll.Set("job", submitted->GetInt("job", -1));
+  std::string state = "queued";
+  Json status;
+  for (int i = 0; i < 600 && (state == "queued" || state == "running"); ++i) {
+    auto s = server.Call("job_status", poll);
+    ASSERT_TRUE(s.ok());
+    status = *s;
+    state = status.GetString("state", "");
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(state, "failed");
+  EXPECT_NE(status.GetString("error", "").find("Deadline exceeded"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(RobustnessServeTest, CallWithRetryRidesOutTransientFaults) {
+  serve::ForecastServer server(system_);
+  server.Start();
+
+  // The first two dispatches fail Unavailable; the third succeeds.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kUnavailable;
+  spec.max_triggers = 2;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("serve.dispatch", spec).ok());
+
+  Json params = Json::Object();
+  params.Set("dataset", system_->repository()->names()[0]);
+  params.Set("method", "naive");
+  params.Set("horizon", static_cast<int64_t>(4));
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_ms = 1.0;
+  policy.seed = 5;
+  auto r = server.CallWithRetry("forecast", params, policy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Get("values").size(), 4u);
+
+  // Plain Call (no retry) with the same fault budget fails immediately.
+  FaultRegistry::Global().DisarmAll();
+  spec.max_triggers = 1;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("serve.dispatch", spec).ok());
+  auto plain = server.Call("forecast", params);
+  EXPECT_TRUE(plain.status().IsUnavailable());
+  server.Stop();
+}
+
+TEST_F(RobustnessServeTest, RecommendDegradesToGlobalRankingOnFailure) {
+  serve::ForecastServer::Options opt;
+  opt.cache_capacity = 0;  // keep injected failures from being masked
+  serve::ForecastServer server(system_, opt);
+  server.Start();
+
+  Json params = Json::Object();
+  params.Set("dataset", system_->repository()->names()[0]);
+  params.Set("k", static_cast<int64_t>(3));
+
+  // Healthy path first: not degraded.
+  auto healthy = server.Call("recommend", params);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_FALSE(healthy->GetBool("degraded", false));
+
+  // Break the classifier path; the endpoint must still answer, flagged.
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kInternal;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("ensemble.recommend", spec).ok());
+  auto degraded = server.Call("recommend", params);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->GetBool("degraded", false));
+  const Json& recs = degraded->Get("recommendations");
+  ASSERT_EQ(recs.size(), 3u);
+  for (const auto& item : recs.items()) {
+    EXPECT_FALSE(item.GetString("method", "").empty());
+  }
+  server.Stop();
+}
+
+TEST_F(RobustnessServeTest, JobKeyIsStableAndOverridable) {
+  auto cfg1 = Json::Parse(R"({"methods": ["naive"], "num_threads": 1})");
+  auto cfg2 = Json::Parse(R"({"num_threads": 1, "methods": ["naive"]})");
+  ASSERT_TRUE(cfg1.ok() && cfg2.ok());
+  // Key order doesn't matter: canonicalization makes the derived key stable.
+  EXPECT_EQ(serve::JobManager::JobKey(*cfg1), serve::JobManager::JobKey(*cfg2));
+
+  auto named = Json::Parse(R"({"methods": ["naive"], "job_key": "nightly"})");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(serve::JobManager::JobKey(*named), "nightly");
+}
+
+}  // namespace
+}  // namespace easytime

@@ -393,7 +393,9 @@ TEST_F(ServeTest, QueuedJobCanBeCancelledAndJobQueueIsBounded) {
   cancel_first.Set("job", first->GetInt("job", -1));
   ASSERT_TRUE(small.Call("cancel", cancel_first).ok());
   std::string state;
-  for (int i = 0; i < 600; ++i) {
+  // Generous budget: one in-flight pair can take tens of seconds under
+  // TSan's ~20x slowdown, and the loop exits as soon as the job lands.
+  for (int i = 0; i < 6000; ++i) {
     auto status = small.Call("job_status", cancel_first);
     ASSERT_TRUE(status.ok());
     state = status->GetString("state", "");
