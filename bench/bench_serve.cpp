@@ -5,11 +5,14 @@
 //   1. cache     — forecast latency, cache hit vs cache miss
 //   2. batching  — same-method forecast throughput, batched vs unbatched
 //   3. loopback  — end-to-end req/sec over the TCP front-end
+//   4. epoll     — multi-client and pipelined req/sec against the event loop
+//   5. job_pool  — two concurrent evaluations vs the same two run back-to-back
 //
 //   ./build/bench/bench_serve [output.json]
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -22,6 +25,8 @@
 
 #include "common/stopwatch.h"
 #include "core/easytime.h"
+#include "serve/event_loop.h"
+#include "serve/job_manager.h"
 #include "serve/server.h"
 #include "serve/tcp_server.h"
 
@@ -179,6 +184,155 @@ double BenchTcp(serve::ForecastServer* server, const std::string& dataset) {
   return kRequests / seconds;
 }
 
+// ---- 4. epoll front-end: many clients, then one pipelined client ----------
+
+int ConnectTo(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "epoll bench: connect failed\n");
+    std::exit(1);
+  }
+  int one = 1;  // burst writes must not sit behind Nagle
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void SendLine(int fd, const std::string& line) {
+  if (::send(fd, line.data(), line.size(), 0) !=
+      static_cast<ssize_t>(line.size())) {
+    std::fprintf(stderr, "epoll bench: send failed\n");
+    std::exit(1);
+  }
+}
+
+void ReadLines(int fd, int n) {
+  char c;
+  while (n > 0 && ::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') --n;
+  }
+  if (n != 0) {
+    std::fprintf(stderr, "epoll bench: connection closed early\n");
+    std::exit(1);
+  }
+}
+
+struct EpollNumbers {
+  double multi_client_rps = 0.0;
+  double pipelined_rps = 0.0;
+};
+
+EpollNumbers BenchEpoll(serve::ForecastServer* server,
+                        const std::string& dataset) {
+  serve::EventLoopServer::Options opt;
+  opt.num_handler_threads = 4;
+  serve::EventLoopServer loop(server, opt);
+  if (auto st = loop.Start(); !st.ok()) {
+    std::fprintf(stderr, "epoll bench: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+
+  const std::string line = ForecastLine(dataset, "theta", 1, 6) + "\n";
+  EpollNumbers out;
+
+  // (a) Concurrent clients, one request in flight per connection: measures
+  // the event loop multiplexing many sockets (cache warm: protocol cost).
+  {
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 250;
+    std::vector<int> fds;
+    for (int c = 0; c < kClients; ++c) fds.push_back(ConnectTo(loop.port()));
+    SendLine(fds[0], line);
+    ReadLines(fds[0], 1);  // warm the forecast cache
+
+    Stopwatch watch;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c]() {
+        for (int r = 0; r < kPerClient; ++r) {
+          SendLine(fds[c], line);
+          ReadLines(fds[c], 1);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    out.multi_client_rps = kClients * kPerClient / watch.ElapsedSeconds();
+    for (int fd : fds) ::close(fd);
+  }
+
+  // (b) One connection, deep pipelining: bursts under the server's pipeline
+  // depth, responses streamed back in order.
+  {
+    constexpr int kBatch = 32;  // stays under max_pipeline_depth
+    constexpr int kBatches = 16;
+    int fd = ConnectTo(loop.port());
+    std::string burst;
+    for (int i = 0; i < kBatch; ++i) burst += line;
+
+    Stopwatch watch;
+    for (int b = 0; b < kBatches; ++b) {
+      SendLine(fd, burst);
+      ReadLines(fd, kBatch);
+    }
+    out.pipelined_rps = kBatch * kBatches / watch.ElapsedSeconds();
+    ::close(fd);
+  }
+
+  loop.Stop();
+  return out;
+}
+
+// ---- 5. job pool: 2 concurrent evaluations vs sequential -------------------
+
+Json MakeJobConfig(const std::string& key) {
+  auto config = Json::Parse(R"({
+    "methods": ["gbdt", "theta", "ses", "naive"],
+    "evaluation": {"strategy": "fixed", "horizon": 12, "metrics": ["mae"]}
+  })");
+  if (!config.ok()) std::exit(1);
+  config->Set("job_key", key);
+  return *config;
+}
+
+void AwaitJobDone(const serve::JobManager& manager, uint64_t id) {
+  for (;;) {
+    auto s = manager.StatusJson(id);
+    if (!s.ok()) std::exit(1);
+    std::string state = s->GetString("state", "");
+    if (state == "done") return;
+    if (state == "failed" || state == "cancelled") {
+      std::fprintf(stderr, "job pool bench: job ended %s\n", state.c_str());
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Runs the same two evaluation jobs through a pool of \p concurrency
+/// workers and returns the wall time; peak_running is written through.
+double RunJobPair(core::EasyTime* system, size_t concurrency,
+                  uint64_t* peak_running) {
+  serve::JobManager::Options opt;
+  opt.queue_capacity = 4;
+  opt.concurrency = concurrency;
+  serve::JobManager manager(system, opt);
+  manager.Start();
+  Stopwatch watch;
+  auto a = manager.Submit(MakeJobConfig("bench-pool-a"));
+  auto b = manager.Submit(MakeJobConfig("bench-pool-b"));
+  if (!a.ok() || !b.ok()) std::exit(1);
+  AwaitJobDone(manager, *a);
+  AwaitJobDone(manager, *b);
+  double seconds = watch.ElapsedSeconds();
+  if (peak_running) *peak_running = manager.stats().peak_running;
+  manager.Shutdown();
+  return seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +344,7 @@ int main(int argc, char** argv) {
 
   CacheNumbers cache = BenchCache(&server, datasets);
   double tcp_rps = BenchTcp(&server, datasets[0]);
+  EpollNumbers epoll = BenchEpoll(&server, datasets[0]);
   server.Stop();
 
   uint64_t max_batch = 0;
@@ -197,6 +352,10 @@ int main(int argc, char** argv) {
       MeasureThroughput(system.get(), false, datasets, nullptr);
   double batched_rps =
       MeasureThroughput(system.get(), true, datasets, &max_batch);
+
+  uint64_t pool_peak = 0;
+  double sequential_seconds = RunJobPair(system.get(), 1, nullptr);
+  double concurrent_seconds = RunJobPair(system.get(), 2, &pool_peak);
 
   Json out = Json::Object();
   Json cache_json = Json::Object();
@@ -219,6 +378,25 @@ int main(int argc, char** argv) {
   Json tcp_json = Json::Object();
   tcp_json.Set("cached_forecast_req_per_sec", tcp_rps);
   out.Set("loopback_tcp", std::move(tcp_json));
+
+  Json epoll_json = Json::Object();
+  epoll_json.Set("clients", static_cast<int64_t>(8));
+  epoll_json.Set("multi_client_req_per_sec", epoll.multi_client_rps);
+  epoll_json.Set("pipelined_req_per_sec", epoll.pipelined_rps);
+  out.Set("epoll", std::move(epoll_json));
+
+  Json pool_json = Json::Object();
+  pool_json.Set("sequential_seconds", sequential_seconds);
+  pool_json.Set("concurrent_seconds", concurrent_seconds);
+  pool_json.Set("speedup", concurrent_seconds > 0.0
+                               ? sequential_seconds / concurrent_seconds
+                               : 0.0);
+  pool_json.Set("peak_running", static_cast<int64_t>(pool_peak));
+  // Context for the speedup: two CPU-bound jobs only finish faster than
+  // back-to-back when there is more than one core to split.
+  pool_json.Set("hardware_concurrency",
+                static_cast<int64_t>(std::thread::hardware_concurrency()));
+  out.Set("job_pool", std::move(pool_json));
 
   std::string payload = out.Dump(2);
   std::printf("%s\n", payload.c_str());

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the serving-layer benchmark and writes BENCH_serve.json at the repo
 # root: cache-hit vs cache-miss forecast latency, batched vs unbatched
-# throughput, and loopback TCP req/sec.
+# throughput, loopback TCP req/sec, the epoll front-end under multiple
+# clients and pipelining, and the 2-worker job pool vs sequential jobs.
 #
 # Usage: bench/run_serve.sh [build_dir]   (default: build)
 set -euo pipefail

@@ -53,6 +53,11 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  ParallelFor(n, body, Schedule::kStatic);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             Schedule schedule) {
   if (n == 0) return;
   // Inline when there is no parallelism to gain or when called from one of
   // this pool's own workers (blocking a worker on work only other workers
@@ -67,7 +72,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   const size_t participants = workers_.size() + 1;
   const size_t grain = std::max<size_t>(1, n / (4 * participants));
   std::atomic<size_t> next{0};
-  auto run_chunks = [&next, &body, n, grain]() {
+  auto run_chunks = [&next, &body, n, grain, participants, schedule]() {
+    if (schedule == Schedule::kGuided) {
+      // Guided claiming: take half the remaining range per participant,
+      // shrinking toward single iterations as the loop drains.
+      size_t cur = next.load(std::memory_order_relaxed);
+      for (;;) {
+        if (cur >= n) return;
+        const size_t chunk =
+            std::max<size_t>(1, (n - cur) / (2 * participants));
+        if (next.compare_exchange_weak(cur, cur + chunk,
+                                       std::memory_order_relaxed)) {
+          const size_t end = std::min(n, cur + chunk);
+          for (size_t i = cur; i < end; ++i) body(i);
+          cur = next.load(std::memory_order_relaxed);
+        }
+      }
+    }
     for (;;) {
       const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
@@ -76,7 +97,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
     }
   };
 
-  const size_t num_chunks = (n + grain - 1) / grain;
+  const size_t num_chunks = schedule == Schedule::kGuided
+                                ? n  // upper bound; fanout only needs a cap
+                                : (n + grain - 1) / grain;
   const size_t fanout = std::min(workers_.size(), num_chunks - 1);
   std::vector<std::future<void>> futures;
   futures.reserve(fanout);

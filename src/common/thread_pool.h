@@ -15,6 +15,20 @@
 
 namespace easytime {
 
+/// \brief How ParallelFor carves the iteration space into grains.
+enum class Schedule {
+  /// Fixed grain size picked at dispatch (n / (4 * participants)). Lowest
+  /// claiming overhead; best when per-index costs are uniform.
+  kStatic,
+  /// Decreasing grain sizes: each claim takes half of the remaining
+  /// iterations divided by the participant count, down to a minimum of 1.
+  /// Large chunks early amortize the atomic traffic, small chunks late keep
+  /// the tail balanced — the right trade when per-index costs are skewed
+  /// (e.g. the pipeline fan-out, where one (method, dataset) pair can cost
+  /// 100x another).
+  kGuided,
+};
+
 /// \brief A simple FIFO thread pool. Tasks are std::function<void()>; use
 /// Submit() for futures or ParallelFor for data-parallel loops.
 class ThreadPool {
@@ -54,6 +68,11 @@ class ThreadPool {
   /// futures no other worker could ever run (deadlock once all workers were
   /// inside such a call).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// ParallelFor with an explicit schedule (see Schedule). The two-argument
+  /// overload is kStatic.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   Schedule schedule);
 
   /// True when the calling thread is one of this pool's workers.
   bool InWorkerThread() const;

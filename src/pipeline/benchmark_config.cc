@@ -63,6 +63,11 @@ easytime::Result<BenchmarkConfig> BenchmarkConfig::FromJson(
     return Status::InvalidArgument("breaker_threshold must be >= 0");
   }
   c.breaker_threshold = static_cast<size_t>(breaker);
+  double cooldown = j.GetDouble("breaker_cooldown_ms", c.breaker_cooldown_ms);
+  if (cooldown < 0.0) {
+    return Status::InvalidArgument("breaker_cooldown_ms must be >= 0");
+  }
+  c.breaker_cooldown_ms = cooldown;
   return c;
 }
 
@@ -94,6 +99,7 @@ easytime::Json BenchmarkConfig::ToJson() const {
   j.Set("evaluation", eval.ToJson());
   j.Set("num_threads", static_cast<int64_t>(num_threads));
   j.Set("breaker_threshold", static_cast<int64_t>(breaker_threshold));
+  j.Set("breaker_cooldown_ms", breaker_cooldown_ms);
   if (!log_file.empty()) j.Set("log_file", log_file);
   if (!output_csv.empty()) j.Set("output_csv", output_csv);
   return j;

@@ -38,6 +38,11 @@ struct BenchmarkConfig {
   /// the method's remaining pairs are skipped (recorded Unavailable).
   /// 0 disables the breaker.
   size_t breaker_threshold = 5;
+  /// How long a tripped method's breaker stays open before one probe pair is
+  /// let through (half-open): a successful probe closes the breaker, a
+  /// failed one re-trips it for another cooldown. 0 = stay open for the
+  /// whole run.
+  double breaker_cooldown_ms = 0.0;
 
   /// \brief Parses the JSON configuration-file schema:
   /// \code{.json}

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <deque>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/fault.h"
@@ -14,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
 #include "methods/registry.h"
+#include "pipeline/circuit_breaker.h"
 
 namespace easytime::pipeline {
 
@@ -227,23 +231,36 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
 
   // Per-method circuit breaker: after breaker_threshold consecutive failures
   // of one forecaster its remaining pairs are skipped (recorded Unavailable)
-  // instead of burning the rest of the run. "Consecutive" is counted over
+  // instead of burning the rest of the run. With a cooldown configured, a
+  // probe pair is let through once the cooldown elapses (half-open) and its
+  // outcome closes or re-trips the breaker. "Consecutive" is counted over
   // completion order, which is approximate under the parallel fan-out.
-  struct BreakerState {
-    std::atomic<int> consecutive{0};
-    std::atomic<bool> open{false};
-  };
-  std::vector<BreakerState> breakers(specs.size());
-  const int breaker_threshold = static_cast<int>(config_.breaker_threshold);
+  CircuitBreaker::Options breaker_opt;
+  breaker_opt.threshold = static_cast<int>(config_.breaker_threshold);
+  breaker_opt.cooldown_ms = config_.breaker_cooldown_ms;
+  std::deque<CircuitBreaker> breakers;  // deque: breakers are not movable
+  for (size_t s = 0; s < specs.size(); ++s) breakers.emplace_back(breaker_opt);
+  const int breaker_threshold = breaker_opt.threshold;
 
   Stopwatch watch;
-  ThreadPool pool(config_.num_threads);
+  // The job pool budgets each concurrent run's pool so N jobs share the
+  // machine instead of oversubscribing it N-fold. ParallelFor has the
+  // calling thread work alongside the pool, so a budget of B means B-1
+  // workers — and a budget of one means no pool at all (plain loop below).
+  size_t pool_workers = config_.num_threads;  // 0 = hardware concurrency
+  if (hooks.max_threads > 0) {
+    const size_t want =
+        pool_workers > 0
+            ? pool_workers
+            : std::max<size_t>(1, std::thread::hardware_concurrency());
+    pool_workers = std::min(want, hooks.max_threads) - 1;
+  }
   std::mutex log_mu;
   std::atomic<size_t> done{0};
   std::atomic<bool> cancelled{false};
   std::atomic<bool> deadline_hit{false};
   const size_t total = tasks.size();
-  pool.ParallelFor(tasks.size(), [&](size_t i) {
+  auto run_pair = [&](size_t i) {
     if (cancelled.load(std::memory_order_relaxed) ||
         (hooks.cancelled && hooks.cancelled())) {
       cancelled.store(true, std::memory_order_relaxed);
@@ -277,9 +294,8 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
       }
     }
 
-    BreakerState& breaker = breakers[task.spec_index];
-    if (breaker_threshold > 0 &&
-        breaker.open.load(std::memory_order_relaxed)) {
+    CircuitBreaker& breaker = breakers[task.spec_index];
+    if (!breaker.Allow(std::chrono::steady_clock::now())) {
       rec.status = Status::Unavailable(
           "circuit breaker open for method '" + rec.method + "' after " +
           std::to_string(breaker_threshold) +
@@ -320,15 +336,14 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
     }
     if (breaker_threshold > 0 && !rec.status.IsDeadlineExceeded()) {
       if (rec.status.ok()) {
-        breaker.consecutive.store(0, std::memory_order_relaxed);
+        breaker.RecordSuccess();
       } else {
-        int n = breaker.consecutive.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (n >= breaker_threshold &&
-            !breaker.open.exchange(true, std::memory_order_relaxed)) {
+        breaker.RecordFailure(std::chrono::steady_clock::now());
+        if (breaker.ConsumeTripEvent()) {
           std::lock_guard<std::mutex> lock(log_mu);
           EASYTIME_LOG(Warning)
               << "circuit breaker tripped for method '" << rec.method
-              << "' after " << n << " consecutive failures";
+              << "' after " << breaker_threshold << " consecutive failures";
         }
       }
     }
@@ -340,7 +355,16 @@ easytime::Result<BenchmarkReport> PipelineRunner::Run(
     if (hooks.progress) {
       hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
     }
-  });
+  };
+  if (hooks.max_threads > 0 && pool_workers == 0) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_pair(i);
+  } else {
+    // Guided schedule: per-pair costs are heavily skewed (a deep method on
+    // a long dataset vs naive on a short one), so decreasing chunk sizes
+    // keep the tail balanced.
+    ThreadPool pool(pool_workers);
+    pool.ParallelFor(tasks.size(), run_pair, Schedule::kGuided);
+  }
   if (cancelled.load(std::memory_order_relaxed)) {
     return Status::Cancelled("pipeline run cancelled");
   }

@@ -1,0 +1,505 @@
+#include "serve/event_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "serve/request.h"
+
+namespace easytime::serve {
+
+namespace {
+
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+
+}  // namespace
+
+EventLoopServer::EventLoopServer(ForecastServer* server, Options options)
+    : server_(server), options_(options) {}
+
+EventLoopServer::~EventLoopServer() { Stop(); }
+
+size_t EventLoopServer::LineByteCap() const {
+  if (options_.max_line_bytes > 0) return options_.max_line_bytes;
+  return server_->options().max_request_bytes * 2 + 1024;
+}
+
+easytime::Status EventLoopServer::Start() {
+  if (running_.load()) return Status::OK();
+  if (stopped_.load()) {
+    return Status::Unavailable("event loop was stopped; create a new one");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  auto fail = [this](const std::string& what) {
+    std::string err = std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::Internal(what + ": " + err);
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind(127.0.0.1:" + std::to_string(options_.port) + ")");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return fail("getsockname()");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen()");
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return fail("epoll_create1()");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) return fail("eventfd()");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return fail("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return fail("epoll_ctl(wake)");
+  }
+
+  handlers_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options_.num_handler_threads));
+  running_.store(true);
+  loop_thread_ = std::thread([this]() { LoopThread(); });
+  return Status::OK();
+}
+
+void EventLoopServer::Stop() {
+  if (!running_.load() || stopped_.exchange(true)) return;
+  stopping_.store(true);
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The pool destructor runs any still-queued handler tasks; their
+  // completions land in the mailbox and are simply discarded. It must go
+  // before the fds so a late PostCompletion never writes a recycled fd.
+  handlers_.reset();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  wake_fd_ = epoll_fd_ = listen_fd_ = -1;
+  running_.store(false);
+}
+
+void EventLoopServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // A full eventfd counter (impossible here) or a race with close is
+  // harmless: the loop polls with a bounded timeout anyway.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoopServer::PostCompletion(Completion c) {
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    mailbox_.push_back(std::move(c));
+  }
+  WakeLoop();
+}
+
+EventLoopServer::Stats EventLoopServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void EventLoopServer::LoopThread() {
+  std::vector<epoll_event> events(64);
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+
+    if (stopping_.load() && !draining) {
+      draining = true;
+      drain_deadline =
+          now + std::chrono::microseconds(
+                    static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      accept_paused_ = true;  // and never resumed
+      for (auto& [id, conn] : conns_) {
+        // Drain contract: the dispatched request finishes and its response
+        // flushes; framed-but-undispatched pipelined lines are abandoned.
+        conn.lines.clear();
+        conn.eof = true;
+        conn.reading_paused = true;
+        UpdateInterest(conn);
+        CloseIfDrained(conn);
+      }
+      CloseDead();
+    }
+    if (draining) {
+      if (conns_.empty()) break;
+      if (now >= drain_deadline) {
+        for (auto& [id, conn] : conns_) conn.dead = true;
+        CloseDead();
+        break;
+      }
+    }
+
+    int timeout_ms = 500;
+    if (draining) {
+      timeout_ms = 10;
+    } else if (options_.idle_timeout_ms > 0.0 && !conns_.empty()) {
+      timeout_ms = std::clamp(
+          static_cast<int>(options_.idle_timeout_ms / 4.0), 5, 100);
+    }
+
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      EASYTIME_LOG(Warning) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      const uint32_t ev = events[i].events;
+      if (id == kListenId) {
+        if (!draining) HandleAccept();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;  // the mailbox is drained below
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      if (conn.dead) continue;
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        conn.dead = true;
+        continue;
+      }
+      if (ev & EPOLLIN) HandleReadable(conn);
+      if (conn.dead) continue;
+      if (ev & EPOLLOUT) {
+        FlushWrite(conn);
+        if (!conn.dead) {
+          UpdateInterest(conn);
+          CloseIfDrained(conn);
+        }
+      }
+    }
+
+    DrainMailbox();
+    CloseDead();
+    if (!draining) SweepIdle(Clock::now());
+    CloseDead();
+  }
+}
+
+void EventLoopServer::HandleAccept() {
+  for (;;) {
+    if (conns_.size() >= options_.max_connections) {
+      PauseAccept();
+      return;
+    }
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (no more pending) or a transient accept error
+    }
+    // Without TCP_NODELAY a pipelined client's responses are held hostage
+    // by Nagle + delayed ACK (~40ms each): line-delimited request/response
+    // traffic always wants small writes out immediately.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.id = id;
+    conn.fd = fd;
+    conn.last_activity = Clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    conn.armed_events = EPOLLIN;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      conns_.erase(id);
+      continue;
+    }
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+  }
+}
+
+void EventLoopServer::PauseAccept() {
+  if (accept_paused_) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  accept_paused_ = true;
+}
+
+void EventLoopServer::ResumeAccept() {
+  if (!accept_paused_ || stopping_.load()) return;
+  if (conns_.size() >= options_.max_connections) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+    accept_paused_ = false;
+  }
+}
+
+void EventLoopServer::HandleReadable(Conn& conn) {
+  // Bounded per event so one firehose peer cannot starve the others; the
+  // level-triggered epoll re-notifies for whatever is left.
+  char chunk[16384];
+  for (int rounds = 0; rounds < 4; ++rounds) {
+    ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.inbuf.append(chunk, static_cast<size_t>(n));
+      conn.last_activity = Clock::now();
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.eof = true;
+      conn.reading_paused = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;  // reset or unexpected socket error
+    return;
+  }
+  FrameLines(conn);
+  MaybeDispatch(conn);
+  UpdateInterest(conn);
+  CloseIfDrained(conn);
+}
+
+void EventLoopServer::FrameLines(Conn& conn) {
+  size_t newline;
+  while ((newline = conn.inbuf.find('\n')) != std::string::npos) {
+    std::string line = conn.inbuf.substr(0, newline);
+    conn.inbuf.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    conn.lines.push_back(std::move(line));
+  }
+  if (conn.inbuf.size() > LineByteCap() && !conn.close_after_flush) {
+    // Unterminated oversized line: a protocol violation. Undispatched
+    // pipelined lines are abandoned — the peer is misbehaving — and the
+    // connection gets one error response before closing.
+    conn.inbuf.clear();
+    conn.inbuf.shrink_to_fit();
+    conn.lines.clear();
+    if (!conn.inflight) {
+      conn.outbuf += MakeErrorResponse(
+                         -1, Status::InvalidArgument(
+                                 "request line exceeds size limit"))
+                         .Dump();
+      conn.outbuf += '\n';
+    }
+    conn.close_after_flush = true;
+    conn.reading_paused = true;
+    FlushWrite(conn);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    return;
+  }
+  // Pipelining backpressure: stop reading while the peer has a deep
+  // backlog of unexecuted requests or unflushed responses.
+  if (conn.lines.size() >= options_.max_pipeline_depth ||
+      conn.outbuf.size() - conn.out_off > options_.max_write_buffer_bytes) {
+    conn.reading_paused = true;
+  }
+}
+
+void EventLoopServer::MaybeDispatch(Conn& conn) {
+  if (conn.inflight || conn.close_after_flush || conn.lines.empty()) return;
+  if (stopping_.load()) return;
+  std::string line = std::move(conn.lines.front());
+  conn.lines.pop_front();
+  conn.inflight = true;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_dispatched;
+  }
+  const uint64_t id = conn.id;
+  handlers_->Submit([this, id, line = std::move(line)]() {
+    Completion done;
+    done.id = id;
+    // Chaos-level connection faults, same points as the old front-end: a
+    // failed read/write drops the connection mid-stream the way a flaky
+    // network would.
+    if (FaultRegistry::AnyArmed() &&
+        !FaultRegistry::Global().Check("serve.tcp.read").ok()) {
+      done.drop = true;
+    } else {
+      done.response = server_->HandleLine(line);
+      done.response += '\n';
+      if (FaultRegistry::AnyArmed() &&
+          !FaultRegistry::Global().Check("serve.tcp.write").ok()) {
+        done.drop = true;
+        done.response.clear();
+      }
+    }
+    PostCompletion(std::move(done));
+  });
+}
+
+void EventLoopServer::DrainMailbox() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    batch.swap(mailbox_);
+  }
+  for (Completion& done : batch) {
+    auto it = conns_.find(done.id);
+    if (it == conns_.end()) continue;  // connection died while computing
+    Conn& conn = it->second;
+    conn.inflight = false;
+    if (conn.dead) continue;
+    if (done.drop) {
+      conn.dead = true;
+      continue;
+    }
+    conn.outbuf += done.response;
+    conn.last_activity = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses_written;
+    }
+    FlushWrite(conn);
+    if (conn.dead) continue;
+    MaybeDispatch(conn);
+    UpdateInterest(conn);
+    CloseIfDrained(conn);
+  }
+}
+
+void EventLoopServer::FlushWrite(Conn& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                       conn.outbuf.size() - conn.out_off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn.want_write = true;
+      break;
+    }
+    conn.dead = true;  // peer hung up mid-response
+    return;
+  }
+  if (conn.out_off >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    conn.want_write = false;
+  } else if (conn.out_off > (1u << 20)) {
+    conn.outbuf.erase(0, conn.out_off);  // keep the backlog compact
+    conn.out_off = 0;
+  }
+  // Backpressure release: resume reading once the backlog is halfway gone.
+  if (conn.reading_paused && !conn.eof && !conn.close_after_flush &&
+      !stopping_.load() &&
+      conn.outbuf.size() - conn.out_off <= options_.max_write_buffer_bytes / 2 &&
+      conn.lines.size() < std::max<size_t>(1, options_.max_pipeline_depth / 2)) {
+    conn.reading_paused = false;
+  }
+}
+
+void EventLoopServer::UpdateInterest(Conn& conn) {
+  uint32_t want = 0;
+  if (!conn.reading_paused) want |= EPOLLIN;
+  if (conn.want_write) want |= EPOLLOUT;
+  if (want == conn.armed_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.armed_events = want;
+  }
+}
+
+void EventLoopServer::CloseIfDrained(Conn& conn) {
+  if (conn.dead || conn.inflight) return;
+  const bool flushed = conn.out_off >= conn.outbuf.size();
+  if (conn.close_after_flush && flushed) {
+    conn.dead = true;
+    return;
+  }
+  if (conn.eof && conn.lines.empty() && flushed) conn.dead = true;
+}
+
+void EventLoopServer::CloseDead() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (!it->second.dead) {
+      ++it;
+      continue;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    it = conns_.erase(it);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.closed;
+  }
+  ResumeAccept();
+}
+
+void EventLoopServer::SweepIdle(Clock::time_point now) {
+  if (options_.idle_timeout_ms <= 0.0) return;
+  for (auto& [id, conn] : conns_) {
+    if (conn.dead || conn.inflight) continue;
+    if (conn.out_off < conn.outbuf.size()) continue;  // still flushing
+    double idle_ms =
+        std::chrono::duration<double, std::milli>(now - conn.last_activity)
+            .count();
+    if (idle_ms >= options_.idle_timeout_ms) {
+      conn.dead = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.idle_closed;
+    }
+  }
+}
+
+}  // namespace easytime::serve

@@ -1,11 +1,13 @@
 #include "serve/job_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <sstream>
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "serve/request.h"
 
 namespace easytime::serve {
@@ -24,10 +26,12 @@ const char* JobStateName(JobState s) {
 JobManager::JobManager(core::EasyTime* system, Options options)
     : system_(system),
       options_(std::move(options)),
-      pending_(options_.queue_capacity) {}
+      pending_(options_.queue_capacity) {
+  if (options_.concurrency == 0) options_.concurrency = 1;
+}
 
 JobManager::JobManager(core::EasyTime* system, size_t queue_capacity)
-    : JobManager(system, Options{queue_capacity, "", 1}) {}
+    : JobManager(system, Options{queue_capacity, "", 1, 1, 0}) {}
 
 JobManager::~JobManager() { Shutdown(); }
 
@@ -35,22 +39,40 @@ void JobManager::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
   started_ = true;
-  worker_ = std::thread([this]() { WorkerLoop(); });
+  workers_.reserve(options_.concurrency);
+  for (size_t i = 0; i < options_.concurrency; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
 }
 
 void JobManager::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || shutdown_.load()) {
-      shutdown_.store(true);
-      pending_.Close();
-      if (worker_.joinable()) worker_.join();
-      return;
-    }
     shutdown_.store(true);
   }
-  pending_.Close();  // worker drains the queue (cancelling queued jobs)
-  if (worker_.joinable()) worker_.join();
+  pending_.Close();  // workers drain the queue (cancelling queued jobs)
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t JobManager::PerJobThreadBudget() const {
+  if (options_.thread_budget > 0) return options_.thread_budget;
+  size_t cores = GlobalThreadPoolSizeOverride();
+  if (cores == 0) {
+    cores = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<size_t>(1, cores / std::max<size_t>(1, options_.concurrency));
+}
+
+size_t JobManager::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_running_;
 }
 
 std::string JobManager::JobKey(const easytime::Json& config) {
@@ -154,7 +176,7 @@ easytime::Result<easytime::Json> JobManager::Cancel(uint64_t job_id) {
   Job& job = *it->second;
   job.cancel->store(true);
   if (job.state == JobState::kQueued) {
-    // The worker sees the state and skips it when the id surfaces.
+    // A worker sees the state and skips it when the id surfaces.
     job.state = JobState::kCancelled;
     ++stats_.cancelled;
   }
@@ -174,6 +196,9 @@ void JobManager::RunJob(Job* job,
     job->done.store(done, std::memory_order_relaxed);
     job->total.store(total, std::memory_order_relaxed);
   };
+  // Split the machine across the pool: with N workers each job's pipeline
+  // gets ~cores/N threads instead of a full-width pool per job.
+  hooks.max_threads = PerJobThreadBudget();
   double deadline_ms = job->config.GetDouble("deadline_ms", 0.0);
   if (deadline_ms > 0.0) {
     hooks.deadline = easytime::Deadline::AfterMillis(deadline_ms);
@@ -244,26 +269,68 @@ void JobManager::RunJob(Job* job,
   }
 }
 
-void JobManager::WorkerLoop() {
-  while (auto id = pending_.Pop()) {
+std::optional<uint64_t> JobManager::PopWaitingLocked(const std::string& key) {
+  auto it = waiting_.find(key);
+  if (it == waiting_.end()) return std::nullopt;
+  uint64_t id = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) waiting_.erase(it);
+  return id;
+}
+
+void JobManager::ProcessJob(uint64_t id) {
+  std::optional<uint64_t> cur = id;
+  while (cur) {
     Job* job = nullptr;
     std::shared_ptr<std::atomic<bool>> cancel;
+    std::string key;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = jobs_.find(*id);
-      if (it == jobs_.end()) continue;
-      if (it->second->state != JobState::kQueued) continue;  // cancelled
-      if (shutdown_.load()) {
-        // Draining: don't start new work, just mark it cancelled.
-        it->second->state = JobState::kCancelled;
-        ++stats_.cancelled;
+      auto it = jobs_.find(*cur);
+      if (it == jobs_.end()) return;  // ids are never erased; defensive
+      Job& j = *it->second;
+      key = j.job_key;
+      bool run = false;
+      if (j.state == JobState::kQueued) {
+        if (shutdown_.load()) {
+          // Draining: don't start new work, just mark it cancelled.
+          j.state = JobState::kCancelled;
+          ++stats_.cancelled;
+        } else if (active_keys_.count(key) > 0) {
+          // Same checkpoint identity is already running: park behind it.
+          // The worker that finishes the active job picks this one up, so
+          // two jobs never interleave writes to one checkpoint file.
+          waiting_[key].push_back(*cur);
+          return;
+        } else {
+          active_keys_.insert(key);
+          j.state = JobState::kRunning;
+          ++num_running_;
+          stats_.peak_running =
+              std::max<uint64_t>(stats_.peak_running, num_running_);
+          job = &j;
+          cancel = j.cancel;
+          run = true;
+        }
+      }
+      if (!run) {  // cancelled while queued/parked, or draining
+        cur = PopWaitingLocked(key);
         continue;
       }
-      job = it->second.get();
-      job->state = JobState::kRunning;
-      cancel = job->cancel;
     }
     RunJob(job, cancel);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_keys_.erase(key);
+      --num_running_;
+      cur = PopWaitingLocked(key);
+    }
+  }
+}
+
+void JobManager::WorkerLoop() {
+  while (auto id = pending_.Pop()) {
+    ProcessJob(*id);
   }
 }
 

@@ -3,27 +3,41 @@
 /// \file job_manager.h
 /// \brief The async lane: long-running OneClickEvaluate jobs submitted via
 /// the "evaluate" endpoint. Jobs queue into a bounded FIFO (admission
-/// control), run one at a time on a dedicated worker thread, report
-/// progress, and can be cancelled while queued or mid-run (the pipeline
-/// polls the cancellation flag between (method, dataset) pairs).
+/// control), run on a pool of worker threads (Options::concurrency, PR 4 —
+/// previously a single worker), report progress, and can be cancelled while
+/// queued or mid-run (the pipeline polls the cancellation flag between
+/// (method, dataset) pairs).
 ///
-/// Crash safety: with a checkpoint directory configured, the worker appends
+/// Thread budgeting: each running job caps its pipeline at
+/// Options::thread_budget concurrently evaluating threads, counting the
+/// worker driving the run (0 derives cores / concurrency), so N concurrent
+/// evaluations split the machine instead of each spinning up a full-width
+/// pool and oversubscribing it N-fold.
+///
+/// Crash safety: with a checkpoint directory configured, a worker appends
 /// each successfully evaluated (method, dataset) record to
 /// `<dir>/<job_key>.ckpt` as line-delimited JSON (pipeline::RunRecord).
 /// A job resubmitted with the same "job_key" — after a cancel, a crash, or
 /// on a fresh server pointed at the same directory — splices the
 /// checkpointed records into the run and only evaluates the remainder.
 /// Failed pairs are deliberately not checkpointed, so a resume retries
-/// them. The checkpoint is deleted when the job completes.
+/// them. The checkpoint is deleted when the job completes. Two admitted
+/// jobs with the same job_key never run concurrently (they share a
+/// checkpoint file): the second waits for the first to reach a terminal
+/// state, preserving FIFO order within the key.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bounded_queue.h"
 #include "common/json.h"
@@ -39,13 +53,18 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 /// Wire name of a job state ("queued", "running", ...).
 const char* JobStateName(JobState s);
 
-/// \brief Owns the evaluation job queue and its worker thread.
+/// \brief Owns the evaluation job queue and its worker pool.
 class JobManager {
  public:
   struct Options {
     size_t queue_capacity = 8;   ///< max queued-but-not-started jobs
     std::string checkpoint_dir;  ///< "" disables checkpointing
     size_t checkpoint_every = 1; ///< flush after this many new records
+    size_t concurrency = 1;      ///< worker threads (jobs run at once)
+    /// Per-job pipeline thread cap. 0 splits the machine evenly:
+    /// max(1, cores / concurrency), where "cores" honors the
+    /// EASYTIME_NUM_THREADS override.
+    size_t thread_budget = 0;
   };
 
   struct Stats {
@@ -55,6 +74,7 @@ class JobManager {
     uint64_t failed = 0;
     uint64_t cancelled = 0;
     uint64_t resumed_records = 0;  ///< pairs spliced in from checkpoints
+    uint64_t peak_running = 0;     ///< max jobs observed running at once
   };
 
   /// \param system the facade evaluations run against (not owned)
@@ -62,11 +82,11 @@ class JobManager {
   JobManager(core::EasyTime* system, size_t queue_capacity);
   ~JobManager();
 
-  /// Starts the worker thread (idempotent).
+  /// Starts the worker pool (idempotent).
   void Start();
 
-  /// \brief Drains the lane: the in-flight job (if any) runs to completion,
-  /// jobs still queued are marked cancelled, and the worker exits. Further
+  /// \brief Drains the lane: in-flight jobs (if any) run to completion,
+  /// jobs still queued are marked cancelled, and the workers exit. Further
   /// submissions are rejected.
   void Shutdown();
 
@@ -87,6 +107,13 @@ class JobManager {
 
   Stats stats() const;
   size_t queue_depth() const { return pending_.size(); }
+
+  /// Jobs currently in kRunning (approximate for readers).
+  size_t running_jobs() const;
+
+  /// \brief The pipeline thread cap each running job gets
+  /// (RunHooks::max_threads). Exposed for tests and capacity planning.
+  size_t PerJobThreadBudget() const;
 
   /// Checkpoint identity of an evaluate config: its "job_key" string, or a
   /// hash of the canonicalized config. Exposed for tests.
@@ -110,8 +137,12 @@ class JobManager {
   };
 
   void WorkerLoop();
+  /// Runs \p id, then any jobs parked behind it on the same job_key.
+  void ProcessJob(uint64_t id);
   void RunJob(Job* job, const std::shared_ptr<std::atomic<bool>>& cancel);
   easytime::Json JobJsonLocked(const Job& job) const;
+  /// Next job parked behind \p key, if any (caller holds mu_).
+  std::optional<uint64_t> PopWaitingLocked(const std::string& key);
 
   /// Loads a checkpoint file into a resume map (missing file -> empty map).
   std::map<std::string, pipeline::RunRecord> LoadCheckpoint(
@@ -124,7 +155,12 @@ class JobManager {
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;
   uint64_t next_id_ = 1;
   Stats stats_;
-  std::thread worker_;
+  size_t num_running_ = 0;
+  /// Keys with a job in kRunning; a popped job whose key is active parks in
+  /// waiting_ and is resumed by the worker that finishes the active job.
+  std::set<std::string> active_keys_;
+  std::map<std::string, std::deque<uint64_t>> waiting_;
+  std::vector<std::thread> workers_;
   bool started_ = false;
   std::atomic<bool> shutdown_{false};
 };

@@ -31,7 +31,9 @@ ForecastServer::ForecastServer(core::EasyTime* system, Options options)
       cache_(ResultCache::Options{options.cache_capacity,
                                   options.cache_ttl_seconds}),
       jobs_(system, JobManager::Options{options.evaluate_queue_capacity,
-                                        options.checkpoint_dir}),
+                                        options.checkpoint_dir,
+                                        /*checkpoint_every=*/1,
+                                        options.evaluate_concurrency}),
       fast_queue_(options.fast_queue_capacity) {}
 
 ForecastServer::ForecastServer(core::EasyTime* system)
@@ -376,6 +378,7 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
   if (req.endpoint == "forecast") return ExecuteForecast(req.params);
   if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
   if (req.endpoint == "ask") {
+    EASYTIME_FAULT_POINT("serve.ask");
     std::string question = req.params.GetString("question", "");
     if (question.empty()) {
       return Status::InvalidArgument("ask requires a \"question\" string");
@@ -384,6 +387,7 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     return resp.ToJson();
   }
   if (req.endpoint == "sql") {
+    EASYTIME_FAULT_POINT("serve.sql");
     std::string query = req.params.GetString("query", "");
     if (query.empty()) {
       return Status::InvalidArgument("sql requires a \"query\" string");
@@ -608,6 +612,9 @@ easytime::Json ForecastServer::StatsJson() const {
   jobs.Set("completed", static_cast<int64_t>(js.completed));
   jobs.Set("failed", static_cast<int64_t>(js.failed));
   jobs.Set("cancelled", static_cast<int64_t>(js.cancelled));
+  jobs.Set("resumed_records", static_cast<int64_t>(js.resumed_records));
+  jobs.Set("peak_running", static_cast<int64_t>(js.peak_running));
+  jobs.Set("running", static_cast<int64_t>(jobs_.running_jobs()));
   jobs.Set("queue_depth", static_cast<int64_t>(jobs_.queue_depth()));
 
   MicroBatcher::Stats bs =

@@ -64,6 +64,11 @@ class ForecastServer {
   struct Options {
     size_t fast_queue_capacity = 128;  ///< queued fast-lane requests
     size_t evaluate_queue_capacity = 8;
+    /// Evaluation jobs run at once (JobManager worker pool, PR 4). Each
+    /// running job's pipeline is capped to ~cores/evaluate_concurrency
+    /// threads so concurrent jobs split the machine instead of
+    /// oversubscribing it.
+    size_t evaluate_concurrency = 1;
     size_t num_worker_threads = 2;     ///< fast-lane executor pool
     bool enable_batching = true;
     size_t batch_max = 8;

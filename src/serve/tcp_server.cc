@@ -1,205 +1,30 @@
 #include "serve/tcp_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <string>
 #include <utility>
-
-#include "common/fault.h"
-#include "common/logging.h"
-#include "serve/request.h"
 
 namespace easytime::serve {
 
-namespace {
-
-/// Writes all of \p data, retrying on short writes. Returns false on error
-/// (peer hung up) — the caller just drops the connection.
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                       MSG_NOSIGNAL
-#else
-                       0
-#endif
-    );
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
 TcpServer::TcpServer(ForecastServer* server, Options options)
-    : server_(server),
-      options_(options),
-      connection_slots_(options.max_connections) {}
+    : server_(server), options_(options) {}
 
 TcpServer::TcpServer(ForecastServer* server) : TcpServer(server, Options()) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
 easytime::Status TcpServer::Start() {
-  if (running_.load()) return Status::OK();
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("bind(127.0.0.1:" +
-                            std::to_string(options_.port) + "): " + err);
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(std::string("getsockname(): ") + err);
-  }
-  port_ = ntohs(addr.sin_port);
-
-  if (::listen(listen_fd_, options_.backlog) < 0) {
-    std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(std::string("listen(): ") + err);
-  }
-
-  running_.store(true);
-  accept_thread_ = std::thread([this]() { AcceptLoop(); });
-  return Status::OK();
+  if (running()) return Status::OK();
+  EventLoopServer::Options opts;
+  opts.port = options_.port;
+  opts.backlog = options_.backlog;
+  opts.max_connections = options_.max_connections;
+  loop_ = std::make_unique<EventLoopServer>(server_, opts);
+  Status st = loop_->Start();
+  if (!st.ok()) loop_.reset();
+  return st;
 }
 
 void TcpServer::Stop() {
-  if (!running_.exchange(false)) return;
-
-  // Unblock accept() and any blocking reads. Closing the semaphore first
-  // releases an accept thread parked in Acquire() while every slot is held —
-  // without it, that thread's fd is not yet in open_fds_ and the join below
-  // would hang.
-  connection_slots_.Close();
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void TcpServer::AcceptLoop() {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down
-    }
-    if (!running_.load()) {
-      ::close(fd);
-      break;
-    }
-    if (!connection_slots_.Acquire()) {  // cap concurrent handlers
-      ::close(fd);  // semaphore closed: the server is stopping
-      break;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    open_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, fd]() { HandleConnection(fd); });
-  }
-}
-
-void TcpServer::HandleConnection(int fd) {
-  // Buffered line reader. A line that grows past twice the request size
-  // limit without a newline is a protocol violation: answer once and close.
-  const size_t hard_cap = server_->options().max_request_bytes * 2 + 1024;
-  std::string buffer;
-  char chunk[4096];
-
-  for (;;) {
-    size_t newline = buffer.find('\n');
-    while (newline == std::string::npos) {
-      if (buffer.size() > hard_cap) {
-        WriteAll(fd, MakeErrorResponse(
-                         -1, Status::InvalidArgument(
-                                 "request line exceeds size limit"))
-                             .Dump() +
-                         "\n");
-        goto done;
-      }
-      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        goto done;  // peer closed or shutdown
-      }
-      buffer.append(chunk, static_cast<size_t>(n));
-      newline = buffer.find('\n');
-    }
-
-    std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    if (FaultRegistry::AnyArmed()) {
-      // Chaos-level connection faults: a failed read/write drops the
-      // connection mid-stream, the way a flaky network would.
-      if (!FaultRegistry::Global().Check("serve.tcp.read").ok()) goto done;
-    }
-    std::string response = server_->HandleLine(line) + "\n";
-    if (FaultRegistry::AnyArmed()) {
-      if (!FaultRegistry::Global().Check("serve.tcp.write").ok()) goto done;
-    }
-    if (!WriteAll(fd, response)) goto done;
-  }
-
-done:
-  ::close(fd);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = open_fds_.begin(); it != open_fds_.end(); ++it) {
-      if (*it == fd) {
-        open_fds_.erase(it);
-        break;
-      }
-    }
-  }
-  connection_slots_.Release();
+  if (loop_) loop_->Stop();
 }
 
 }  // namespace easytime::serve

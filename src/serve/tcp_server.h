@@ -6,22 +6,24 @@
 /// per line in, one response per line out, connection stays open for
 /// pipelining. Binds 127.0.0.1 only — this is a local serving endpoint,
 /// not an internet-facing server.
+///
+/// Since PR 4 this is a thin facade over the epoll EventLoopServer
+/// (event_loop.h): same wire protocol and the same Options, but connections
+/// are multiplexed on one event thread instead of getting a thread each.
+/// Existing callers (tests, bench, examples) compile and behave unchanged.
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
 
-#include "common/semaphore.h"
 #include "common/status.h"
+#include "serve/event_loop.h"
 #include "serve/server.h"
 
 namespace easytime::serve {
 
-/// \brief Accept loop + per-connection handler threads over a ForecastServer.
-/// Connection concurrency is capped by a semaphore; excess connections wait
-/// in the listen backlog.
+/// \brief Epoll-backed serving endpoint with the pre-PR-4 thread-per-
+/// connection API. Connection concurrency is still capped by
+/// max_connections; excess connections wait in the listen backlog.
 class TcpServer {
  public:
   struct Options {
@@ -37,32 +39,23 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread.
+  /// Binds, listens, and starts the event loop.
   easytime::Status Start();
 
-  /// Stops accepting, closes live connections, joins all threads.
+  /// Drains in-flight requests, closes live connections, joins the loop.
   void Stop();
 
   /// The bound port (valid after a successful Start()).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return loop_ ? loop_->port() : 0; }
 
-  bool running() const { return running_.load(); }
+  bool running() const { return loop_ && loop_->running(); }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-
   ForecastServer* server_;
   Options options_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  Semaphore connection_slots_;
-
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> open_fds_;
+  /// Recreated on each Start(): EventLoopServer::Stop is terminal, while
+  /// this class historically allowed Start → Stop → Start.
+  std::unique_ptr<EventLoopServer> loop_;
 };
 
 }  // namespace easytime::serve

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
@@ -345,6 +346,11 @@ struct GroupKey {
 
 easytime::Result<ResultSet> ExecuteSelect(const Database& db,
                                           const SelectStatement& stmt) {
+  // Chaos hook: the knowledge query core. Both the "sql" endpoint (via
+  // ExecuteQuery) and the "ask" endpoint (the QA engine executes its
+  // generated SELECT directly) funnel through here, so an armed fault
+  // surfaces as a failed query on either path, never a crash.
+  EASYTIME_FAULT_POINT("sql.execute");
   EASYTIME_ASSIGN_OR_RETURN(auto joined, BuildJoinedRows(db, stmt));
   JoinedSchema& schema = joined.first;
   std::vector<Row>& rows = joined.second;

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file socket_test_util.h
+/// \brief Raw loopback-socket helpers for the serving front-end tests
+/// (test_event_loop, test_protocol_fuzz). Everything is poll()-bounded so a
+/// server bug shows up as a test failure, never as a hung test run.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace easytime::serve::testutil {
+
+/// Blocking connect to 127.0.0.1:port. Returns the fd, or -1 on failure.
+inline int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends all of \p data (blocking socket), riding out EINTR/short writes.
+inline bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// \brief Poll-bounded line reader; leftover bytes carry across calls.
+struct LineReader {
+  LineReader() = default;
+  explicit LineReader(int fd_in) : fd(fd_in) {}
+
+  int fd = -1;
+  std::string buf;
+  bool eof = false;
+
+  /// Next '\n'-terminated line (without the newline), or nullopt on
+  /// timeout / EOF / socket error.
+  std::optional<std::string> Next(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return line;
+      }
+      if (eof) return std::nullopt;
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - std::chrono::steady_clock::now())
+                           .count();
+      if (remaining <= 0) return std::nullopt;
+      pollfd p{fd, POLLIN, 0};
+      int pr = ::poll(&p, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (pr == 0) return std::nullopt;
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        continue;  // drain whatever is already buffered
+      }
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+  }
+};
+
+/// True when the peer closes the connection within \p timeout_ms (any bytes
+/// received in the meantime are discarded).
+inline bool WaitForEof(int fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - std::chrono::steady_clock::now())
+                         .count();
+    if (remaining <= 0) return false;
+    pollfd p{fd, POLLIN, 0};
+    int pr = ::poll(&p, 1, static_cast<int>(remaining));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) return false;
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return true;
+    if (n < 0 && errno != EINTR) return false;
+  }
+}
+
+/// Switches \p fd to non-blocking mode (for the fuzz harness, which must
+/// never park itself inside send()).
+inline bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace easytime::serve::testutil

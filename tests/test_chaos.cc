@@ -137,6 +137,80 @@ TEST_F(ChaosTest, EveryRequestReachesTerminalStatusUnderFaults) {
   EXPECT_GT(error_responses.load(), 0) << "faults were armed but never fired";
 }
 
+// Knowledge chaos: the same terminal-status contract for the SQL/QA
+// endpoints, with faults armed on the endpoint gates (serve.ask, serve.sql)
+// AND on the SELECT core both funnel through (sql.execute). Every request
+// still gets a correct result or a well-formed error envelope with its own
+// id — a knowledge-path fault must never corrupt a response or take down a
+// neighbouring request.
+TEST_F(ChaosTest, SqlAndAskRequestsStayTerminalUnderKnowledgeFaults) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromSpec("serve.ask:unavailable:0.2,"
+                               "serve.sql:unavailable:0.2,"
+                               "sql.execute:error:0.2,"
+                               "serve.execute:delay:0.1:5")
+                  .ok());
+
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 4;
+  opt.cache_capacity = 0;  // every request exercises the faulted path
+  ForecastServer server(system_, opt);
+  server.Start();
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 30;
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> error_responses{0};
+  std::atomic<int> wrong{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int64_t id = c * 1000 + r;
+        Json req = Json::Object();
+        req.Set("id", id);
+        Json params = Json::Object();
+        if (r % 2 == 0) {
+          req.Set("endpoint", "sql");
+          params.Set("query", "SELECT method FROM results LIMIT 1");
+        } else {
+          req.Set("endpoint", "ask");
+          params.Set("question", "What is the average mae of theta?");
+        }
+        req.Set("params", std::move(params));
+
+        std::string line = server.HandleLine(req.Dump());
+        auto resp = Json::Parse(line);
+        if (!resp.ok() || resp->GetInt("id", -1) != id) {
+          wrong.fetch_add(1);
+          continue;
+        }
+        if (resp->GetBool("ok", false)) {
+          ok_responses.fetch_add(1);
+        } else if (resp->Has("error") &&
+                   !resp->Get("error").GetString("code", "").empty()) {
+          error_responses.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok_responses.load() + error_responses.load(),
+            kClients * kRequestsPerClient);
+  // ~48% of requests hit at least one armed gate over 180 trials: both
+  // outcomes are effectively certain.
+  EXPECT_GT(ok_responses.load(), 0);
+  EXPECT_GT(error_responses.load(), 0) << "faults were armed but never fired";
+  EXPECT_GT(FaultRegistry::Global().PointStats("sql.execute").triggers, 0u)
+      << "the knowledge query core was never exercised";
+}
+
 // TCP chaos: connections are torn down at random by serve.tcp.* faults; the
 // retrying TcpClient must ride every request through to a correct response.
 TEST_F(ChaosTest, TcpClientsRetryThroughConnectionFaults) {

@@ -7,6 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/easytime.h"
+#include "serve/server.h"
+
 namespace easytime {
 namespace {
 
@@ -216,6 +219,128 @@ TEST_F(FaultTest, UnarmedOverheadIsNegligible) {
   // Generous bound (~50ns/check) — a mutex or map lookup on the hot path
   // would blow well past it.
   EXPECT_LT(elapsed, 0.5);
+}
+
+// ------------------------------------------- SQL / QA endpoint fault points
+//
+// The serving layer gates the "ask" and "sql" endpoints ("serve.ask",
+// "serve.sql"), and the knowledge query core gates SELECT execution itself
+// ("sql.execute") — the path both endpoints funnel through. These tests pin
+// down that each gate fires on its own endpoint, leaves its neighbours
+// untouched, and always surfaces as a clean error status.
+
+class EndpointFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::EasyTime::Options opt;
+    opt.suite.univariate_per_domain = 1;
+    opt.suite.multivariate_total = 1;
+    opt.suite.min_length = 180;
+    opt.suite.max_length = 220;
+    opt.seed_eval.horizon = 12;
+    opt.seed_eval.metrics = {"mae", "rmse"};
+    opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+    opt.ensemble.top_k = 2;
+    opt.ensemble.ts2vec.epochs = 3;
+    opt.ensemble.ts2vec.repr_dim = 8;
+    opt.ensemble.ts2vec.hidden_dim = 10;
+    opt.ensemble.ts2vec.depth = 2;
+    opt.ensemble.classifier.epochs = 80;
+    auto system = core::EasyTime::Create(opt);
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = system->release();
+    server_ = new serve::ForecastServer(system_);
+    server_->Start();
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+    delete system_;
+    system_ = nullptr;
+  }
+  void SetUp() override {
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().Reseed(1234);
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  static Result<Json> Ask() {
+    Json p = Json::Object();
+    p.Set("question", "What is the average mae of theta?");
+    return server_->Call("ask", p);
+  }
+  static Result<Json> Sql() {
+    Json p = Json::Object();
+    p.Set("query", "SELECT method FROM results LIMIT 1");
+    return server_->Call("sql", p);
+  }
+  static void ArmError(const std::string& point) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.code = StatusCode::kUnavailable;
+    spec.rate = 1.0;
+    ASSERT_TRUE(FaultRegistry::Global().Arm(point, spec).ok());
+  }
+
+  static core::EasyTime* system_;
+  static serve::ForecastServer* server_;
+};
+
+core::EasyTime* EndpointFaultTest::system_ = nullptr;
+serve::ForecastServer* EndpointFaultTest::server_ = nullptr;
+
+TEST_F(EndpointFaultTest, AskGateFailsOnlyTheAskEndpoint) {
+  ArmError("serve.ask");
+  auto ask = Ask();
+  ASSERT_FALSE(ask.ok());
+  EXPECT_TRUE(ask.status().IsUnavailable());
+  EXPECT_NE(ask.status().message().find("serve.ask"), std::string::npos);
+
+  EXPECT_TRUE(Sql().ok()) << "the sql endpoint must not share the ask gate";
+  EXPECT_TRUE(server_->Call("ping", Json::Object()).ok());
+
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_TRUE(Ask().ok()) << "disarming restores the endpoint";
+}
+
+TEST_F(EndpointFaultTest, SqlGateFailsOnlyTheSqlEndpoint) {
+  ArmError("serve.sql");
+  auto sql = Sql();
+  ASSERT_FALSE(sql.ok());
+  EXPECT_TRUE(sql.status().IsUnavailable());
+  EXPECT_NE(sql.status().message().find("serve.sql"), std::string::npos);
+
+  EXPECT_TRUE(Ask().ok()) << "the ask endpoint must not share the sql gate";
+
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_TRUE(Sql().ok());
+}
+
+TEST_F(EndpointFaultTest, QueryCoreGateCoversBothSqlAndAskPaths) {
+  ArmError("sql.execute");
+  EXPECT_FALSE(Sql().ok()) << "sql funnels through the SELECT core";
+  EXPECT_FALSE(Ask().ok()) << "ask's generated SELECT funnels through too";
+  auto stats = FaultRegistry::Global().PointStats("sql.execute");
+  EXPECT_GE(stats.triggers, 2u);
+  EXPECT_TRUE(server_->Call("ping", Json::Object()).ok())
+      << "endpoints off the knowledge path are unaffected";
+
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_TRUE(Sql().ok());
+  EXPECT_TRUE(Ask().ok());
+}
+
+TEST_F(EndpointFaultTest, DelayFaultSlowsTheSqlEndpointWithoutFailingIt) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = 30.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("serve.sql", spec).ok());
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Sql().ok());
+  auto elapsed = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 25.0);
 }
 
 }  // namespace

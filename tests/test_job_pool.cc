@@ -1,0 +1,405 @@
+// JobManager pool semantics (PR 4): several workers drain the evaluate
+// queue, same-key jobs stay serialized (they share a checkpoint file), each
+// running job's pipeline is clamped to its thread budget, and the
+// cancel/deadline/checkpoint-resume contract from the single-worker era
+// holds under concurrency. The soak test pushes more jobs than the pool has
+// workers through a mixed cancel/deadline/success schedule and insists
+// every one of them reaches a terminal state.
+//
+// Delay faults on "pipeline.pair" stretch job runtimes so overlap and
+// cancellation windows are observable even on a single-core container; no
+// assertion here depends on an upper wall-clock bound.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "core/easytime.h"
+#include "methods/forecaster.h"
+#include "methods/registry.h"
+#include "serve/job_manager.h"
+
+namespace easytime::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::EasyTime* MakeSystem() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae", "rmse"};
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.top_k = 2;
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.ts2vec.repr_dim = 8;
+  opt.ensemble.ts2vec.hidden_dim = 10;
+  opt.ensemble.ts2vec.depth = 2;
+  opt.ensemble.classifier.epochs = 80;
+  auto system = core::EasyTime::Create(opt);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return system.ok() ? system->release() : nullptr;
+}
+
+/// A small evaluate config with an explicit checkpoint identity.
+Json EvalConfig(const std::string& job_key) {
+  auto config = Json::Parse(R"({
+    "methods": ["naive", "drift"],
+    "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]},
+    "num_threads": 1
+  })");
+  EXPECT_TRUE(config.ok());
+  Json c = config.ok() ? *config : Json::Object();
+  c.Set("job_key", job_key);
+  return c;
+}
+
+std::string StateOf(const JobManager& manager, uint64_t id) {
+  auto s = manager.StatusJson(id);
+  return s.ok() ? s->GetString("state", "?") : "?";
+}
+
+bool IsTerminal(const std::string& state) {
+  return state == "done" || state == "failed" || state == "cancelled";
+}
+
+/// Polls until the job leaves queued/running (bounded; ~8s worst case).
+std::string AwaitTerminal(const JobManager& manager, uint64_t id) {
+  std::string state;
+  for (int i = 0; i < 4000; ++i) {
+    state = StateOf(manager, id);
+    if (IsTerminal(state)) return state;
+    std::this_thread::sleep_for(2ms);
+  }
+  return state;
+}
+
+class JobPoolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { system_ = MakeSystem(); }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  void SetUp() override {
+    ASSERT_NE(system_, nullptr);
+    FaultRegistry::Global().DisarmAll();
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  static void ArmPairDelay(double delay_ms) {
+    FaultSpec slow;
+    slow.kind = FaultKind::kDelay;
+    slow.delay_ms = delay_ms;
+    ASSERT_TRUE(FaultRegistry::Global().Arm("pipeline.pair", slow).ok());
+  }
+
+  static core::EasyTime* system_;
+};
+
+core::EasyTime* JobPoolTest::system_ = nullptr;
+
+// Two workers, two distinct keys: both jobs must be observed running at the
+// same time, and the pool records that high-water mark.
+TEST_F(JobPoolTest, TwoWorkersRunDistinctJobsConcurrently) {
+  ArmPairDelay(30.0);
+  JobManager::Options opt;
+  opt.queue_capacity = 8;
+  opt.concurrency = 2;
+  JobManager manager(system_, opt);
+  manager.Start();
+
+  auto a = manager.Submit(EvalConfig("pool-a"));
+  auto b = manager.Submit(EvalConfig("pool-b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  bool overlapped = false;
+  for (int i = 0; i < 2000 && !overlapped; ++i) {
+    overlapped = manager.running_jobs() == 2;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(overlapped) << "pool never ran both jobs at once";
+
+  EXPECT_EQ(AwaitTerminal(manager, *a), "done");
+  EXPECT_EQ(AwaitTerminal(manager, *b), "done");
+  auto stats = manager.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.peak_running, 2u);
+  manager.Shutdown();
+}
+
+// Soak: four times as many jobs as workers, on a mixed schedule — plain
+// runs, 1 ms deadlines, cancels landing while queued, cancels landing
+// mid-run. Every job must reach a terminal state, the terminal counts must
+// add back up to the submissions, and the pool must never run more jobs
+// than it has workers.
+TEST_F(JobPoolTest, SoakMixedCancelDeadlineAndSuccessAllTerminal) {
+  ArmPairDelay(20.0);
+  JobManager::Options opt;
+  opt.queue_capacity = 16;
+  opt.concurrency = 2;
+  JobManager manager(system_, opt);
+  manager.Start();
+
+  constexpr size_t kJobs = 8;
+  std::vector<uint64_t> ids;
+  std::vector<uint64_t> cancel_when_running;
+  for (size_t i = 0; i < kJobs; ++i) {
+    Json config = EvalConfig("soak-" + std::to_string(i));
+    if (i % 4 == 1) config.Set("deadline_ms", 1.0);  // fails deterministically
+    auto id = manager.Submit(config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+    if (i % 4 == 2) {
+      // Cancel immediately: with 20 ms per pair the job cannot have
+      // finished, so it lands queued or at a mid-run cancellation point.
+      ASSERT_TRUE(manager.Cancel(*id).ok());
+    } else if (i % 4 == 3) {
+      cancel_when_running.push_back(*id);
+    }
+  }
+
+  // The mid-run cancels wait for their job to actually start.
+  for (uint64_t id : cancel_when_running) {
+    for (int i = 0; i < 4000; ++i) {
+      std::string state = StateOf(manager, id);
+      if (state != "queued") break;
+      std::this_thread::sleep_for(2ms);
+    }
+    ASSERT_TRUE(manager.Cancel(id).ok());
+  }
+
+  for (size_t i = 0; i < kJobs; ++i) {
+    std::string state = AwaitTerminal(manager, ids[i]);
+    EXPECT_TRUE(IsTerminal(state))
+        << "job " << ids[i] << " stuck in state " << state;
+    if (i % 4 == 0) {
+      EXPECT_EQ(state, "done") << "job " << ids[i];
+    } else if (i % 4 == 1) {
+      EXPECT_EQ(state, "failed") << "job " << ids[i];
+    } else if (i % 4 == 2) {
+      EXPECT_EQ(state, "cancelled") << "job " << ids[i];
+    }
+  }
+
+  auto stats = manager.stats();
+  EXPECT_EQ(stats.submitted, kJobs);
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled, kJobs)
+      << "terminal states must account for every submission";
+  EXPECT_EQ(stats.failed, 2u) << "both 1ms-deadline jobs fail";
+  EXPECT_GE(stats.cancelled, 2u);
+  EXPECT_LE(stats.peak_running, opt.concurrency)
+      << "pool ran more jobs than it has workers";
+  EXPECT_EQ(manager.queue_depth(), 0u);
+  manager.Shutdown();
+}
+
+// Two jobs sharing a job_key share a checkpoint file, so they must never
+// run concurrently even with idle workers — the second waits and runs after
+// the first finishes (FIFO within the key).
+TEST_F(JobPoolTest, SameKeyJobsSerializeOnTheirCheckpointIdentity) {
+  ArmPairDelay(25.0);
+  JobManager::Options opt;
+  opt.queue_capacity = 8;
+  opt.concurrency = 2;
+  JobManager manager(system_, opt);
+  manager.Start();
+
+  auto a = manager.Submit(EvalConfig("shared-key"));
+  auto b = manager.Submit(EvalConfig("shared-key"));
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // While A is live, B must stay out of kRunning.
+  std::string a_state = "queued";
+  for (int i = 0; i < 8000 && !IsTerminal(a_state); ++i) {
+    a_state = StateOf(manager, *a);
+    if (a_state == "running") {
+      EXPECT_NE(StateOf(manager, *b), "running")
+          << "same-key jobs overlapped";
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(a_state, "done");
+  EXPECT_EQ(AwaitTerminal(manager, *b), "done");
+  EXPECT_EQ(manager.stats().completed, 2u);
+  manager.Shutdown();
+}
+
+// --- thread budget ----------------------------------------------------------
+
+std::atomic<int> g_probe_inflight{0};
+std::atomic<int> g_probe_peak{0};
+
+/// Registered once as "budget_probe": tracks how many Fit calls run
+/// concurrently across ALL jobs. Sleeping inside Fit widens the window so
+/// any over-budget parallelism is reliably observed.
+class BudgetProbe final : public methods::Forecaster {
+ public:
+  Status Fit(const std::vector<double>& train,
+             const methods::FitContext&) override {
+    int now = g_probe_inflight.fetch_add(1) + 1;
+    int prev = g_probe_peak.load();
+    while (now > prev && !g_probe_peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(10ms);
+    last_ = train.empty() ? 0.0 : train.back();
+    g_probe_inflight.fetch_sub(1);
+    return Status::OK();
+  }
+  Result<std::vector<double>> Forecast(size_t horizon) const override {
+    return std::vector<double>(horizon, last_);
+  }
+  std::string name() const override { return "budget_probe"; }
+  methods::Family family() const override {
+    return methods::Family::kStatistical;
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+TEST_F(JobPoolTest, ThreadBudgetCapsPipelineParallelismPerJob) {
+  static const bool registered = [] {
+    return methods::MethodRegistry::Global()
+        .Register({"budget_probe", methods::Family::kStatistical,
+                   "job pool test: counts concurrent Fit calls"},
+                  [](const Json&) -> Result<methods::ForecasterPtr> {
+                    return methods::ForecasterPtr(new BudgetProbe());
+                  })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  // Budget arithmetic first: explicit budgets pass through, 0 splits the
+  // observed core count evenly across the pool (never below one thread).
+  {
+    JobManager::Options opt;
+    opt.concurrency = 2;
+    opt.thread_budget = 3;
+    EXPECT_EQ(JobManager(system_, opt).PerJobThreadBudget(), 3u);
+
+    opt.thread_budget = 0;
+    size_t cores = GlobalThreadPoolSizeOverride();
+    if (cores == 0) {
+      cores = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    EXPECT_EQ(JobManager(system_, opt).PerJobThreadBudget(),
+              std::max<size_t>(1, cores / 2));
+  }
+
+  // Behavioral check: two concurrent jobs, one pipeline thread each. The
+  // config asks for 8 threads; the budget must win, so across the whole
+  // pool at most 2 Fit calls can ever be in flight.
+  JobManager::Options opt;
+  opt.queue_capacity = 8;
+  opt.concurrency = 2;
+  opt.thread_budget = 1;
+  JobManager manager(system_, opt);
+  manager.Start();
+
+  auto config = Json::Parse(R"({
+    "methods": ["budget_probe"],
+    "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]},
+    "num_threads": 8
+  })");
+  ASSERT_TRUE(config.ok());
+  g_probe_peak.store(0);
+
+  Json c1 = *config, c2 = *config;
+  c1.Set("job_key", "budget-1");
+  c2.Set("job_key", "budget-2");
+  auto a = manager.Submit(c1);
+  auto b = manager.Submit(c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(AwaitTerminal(manager, *a), "done");
+  EXPECT_EQ(AwaitTerminal(manager, *b), "done");
+  manager.Shutdown();
+
+  EXPECT_GT(g_probe_peak.load(), 0);
+  EXPECT_LE(g_probe_peak.load(), 2)
+      << "a job exceeded its 1-thread pipeline budget";
+}
+
+// Checkpoint-resume still splices correctly when the cancelled job and its
+// resumed successor share the pool with unrelated traffic.
+TEST_F(JobPoolTest, CheckpointResumeSplicesUnderConcurrentPool) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "easytime_pool_ckpt")
+          .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  auto config = Json::Parse(R"({
+    "methods": ["naive", "drift", "ses", "theta"],
+    "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]},
+    "num_threads": 1,
+    "job_key": "pool-resume"
+  })");
+  ASSERT_TRUE(config.ok());
+
+  JobManager::Options opt;
+  opt.queue_capacity = 8;
+  opt.concurrency = 2;
+  opt.checkpoint_dir = dir;
+  std::string ckpt_path;
+
+  // Phase 1: cancel the target mid-run while a filler job keeps the other
+  // worker busy; the manager shuts down like a killed process would.
+  {
+    ArmPairDelay(30.0);
+    JobManager manager(system_, opt);
+    ckpt_path = manager.CheckpointPath("pool-resume");
+    ASSERT_FALSE(ckpt_path.empty());
+    manager.Start();
+    auto target = manager.Submit(*config);
+    auto filler = manager.Submit(EvalConfig("pool-filler"));
+    ASSERT_TRUE(target.ok() && filler.ok());
+
+    for (int i = 0; i < 2000; ++i) {
+      auto s = manager.StatusJson(*target);
+      ASSERT_TRUE(s.ok());
+      if (s->GetInt("done", 0) >= 2) break;
+      std::this_thread::sleep_for(2ms);
+    }
+    ASSERT_TRUE(manager.Cancel(*target).ok());
+  }
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(std::filesystem::exists(ckpt_path))
+      << "checkpoint must survive a cancelled job";
+
+  // Phase 2: a fresh pool on the same directory resumes the key while new
+  // traffic runs beside it.
+  {
+    JobManager manager(system_, opt);
+    manager.Start();
+    auto target = manager.Submit(*config);
+    auto filler = manager.Submit(EvalConfig("pool-filler-2"));
+    ASSERT_TRUE(target.ok() && filler.ok());
+
+    ASSERT_EQ(AwaitTerminal(manager, *target), "done");
+    auto s = manager.StatusJson(*target);
+    ASSERT_TRUE(s.ok());
+    const Json& summary = s->Get("result");
+    EXPECT_GT(summary.GetInt("resumed", 0), 0)
+        << "restart must splice checkpointed pairs, not redo them";
+    EXPECT_EQ(summary.GetInt("ok", -1), summary.GetInt("records", -2));
+    EXPECT_GT(manager.stats().resumed_records, 0u);
+    EXPECT_EQ(AwaitTerminal(manager, *filler), "done");
+    EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easytime::serve

@@ -14,6 +14,7 @@
 
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "pipeline/circuit_breaker.h"
 #include "eval/evaluator.h"
 #include "methods/registry.h"
 #include "pipeline/benchmark_config.h"
@@ -369,6 +370,202 @@ TEST(RobustnessTest, BreakerThresholdSurvivesConfigRoundTrip) {
   EXPECT_EQ(dflt->breaker_threshold, 5u);
 
   auto bad = Json::Parse(R"({"breaker_threshold": -1})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(pipeline::BenchmarkConfig::FromJson(*bad).ok());
+}
+
+// ------------------------------------------------ Half-open circuit breaker
+//
+// CircuitBreaker takes time points from the caller, so these tests drive the
+// open -> half-open -> closed machine with a synthetic clock — no sleeping.
+
+using BreakerState = pipeline::CircuitBreaker::State;
+
+pipeline::CircuitBreaker::TimePoint BreakerAt(double ms) {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(CircuitBreakerTest, OpensThenHalfOpensThenClosesOnProbeSuccess) {
+  pipeline::CircuitBreaker::Options opt;
+  opt.threshold = 2;
+  opt.cooldown_ms = 100.0;
+  pipeline::CircuitBreaker b(opt);
+
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(BreakerAt(0)));
+  b.RecordFailure(BreakerAt(0));
+  EXPECT_TRUE(b.Allow(BreakerAt(1)));
+  b.RecordFailure(BreakerAt(1));  // second consecutive failure: trip
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_TRUE(b.ConsumeTripEvent());
+  EXPECT_FALSE(b.ConsumeTripEvent()) << "a trip is logged exactly once";
+
+  EXPECT_FALSE(b.Allow(BreakerAt(50))) << "still cooling down";
+  EXPECT_TRUE(b.Allow(BreakerAt(102))) << "cooldown elapsed: the probe call";
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(b.Allow(BreakerAt(103))) << "one probe at a time";
+
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(BreakerAt(104)));
+  // Closing reset the failure streak: one new failure does not re-trip.
+  b.RecordFailure(BreakerAt(105));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(BreakerAt(106)));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReTripsForAnotherCooldown) {
+  pipeline::CircuitBreaker::Options opt;
+  opt.threshold = 1;
+  opt.cooldown_ms = 100.0;
+  pipeline::CircuitBreaker b(opt);
+
+  b.RecordFailure(BreakerAt(0));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  // A straggler completing after the trip must not move the cooldown window.
+  b.RecordFailure(BreakerAt(60));
+  EXPECT_TRUE(b.Allow(BreakerAt(101)))
+      << "cooldown counts from the original trip, not late completions";
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+
+  b.RecordFailure(BreakerAt(101));  // the probe failed: re-trip
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allow(BreakerAt(150))) << "a fresh cooldown started";
+  EXPECT_TRUE(b.Allow(BreakerAt(202)));
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, CooldownZeroKeepsAnOpenBreakerOpen) {
+  pipeline::CircuitBreaker::Options opt;
+  opt.threshold = 1;
+  opt.cooldown_ms = 0.0;
+  pipeline::CircuitBreaker b(opt);
+
+  b.RecordFailure(BreakerAt(0));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allow(BreakerAt(1e9))) << "no cooldown: open for the run";
+}
+
+TEST(CircuitBreakerTest, ThresholdZeroDisablesTheBreaker) {
+  pipeline::CircuitBreaker b(pipeline::CircuitBreaker::Options{});
+  b.RecordFailure(BreakerAt(0));
+  b.RecordFailure(BreakerAt(1));
+  b.RecordFailure(BreakerAt(2));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(BreakerAt(3)));
+  EXPECT_FALSE(b.ConsumeTripEvent());
+}
+
+std::atomic<int> g_flaky_factory_calls{0};
+
+/// Healthy-but-slow pacer: each Fit sleeps long enough for a tripped
+/// neighbour's cooldown to elapse before its next pair comes up.
+class SleepyNaive final : public methods::Forecaster {
+ public:
+  Status Fit(const std::vector<double>& train,
+             const methods::FitContext&) override {
+    std::this_thread::sleep_for(30ms);
+    last_ = train.empty() ? 0.0 : train.back();
+    return Status::OK();
+  }
+  Result<std::vector<double>> Forecast(size_t horizon) const override {
+    return std::vector<double>(horizon, last_);
+  }
+  std::string name() const override { return "halfopen_pacer"; }
+  methods::Family family() const override {
+    return methods::Family::kStatistical;
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+// End-to-end half-open recovery inside a pipeline run: a method that fails
+// its first two instantiations trips its breaker, the interleaved slow
+// method lets the cooldown elapse, and the next pair probes, succeeds, and
+// closes the breaker — so the run finishes with no skipped pairs at all.
+TEST(RobustnessTest, BreakerHalfOpenProbeRecoversMidRun) {
+  static const bool registered = [] {
+    bool flaky =
+        methods::MethodRegistry::Global()
+            .Register({"halfopen_flaky", methods::Family::kStatistical,
+                       "robustness test: fails its first two instantiations"},
+                      [](const Json&) -> Result<methods::ForecasterPtr> {
+                        if (g_flaky_factory_calls.fetch_add(1) < 2) {
+                          return Status::Internal("injected warm-up failure");
+                        }
+                        return methods::MethodRegistry::Global().Create(
+                            "drift");
+                      })
+            .ok();
+    bool pacer =
+        methods::MethodRegistry::Global()
+            .Register({"halfopen_pacer", methods::Family::kStatistical,
+                       "robustness test: healthy but slow"},
+                      [](const Json&) -> Result<methods::ForecasterPtr> {
+                        return methods::ForecasterPtr(new SleepyNaive());
+                      })
+            .ok();
+    return flaky && pacer;
+  }();
+  ASSERT_TRUE(registered);
+  g_flaky_factory_calls.store(0);
+
+  tsdata::Repository repo = MakeRepo();
+  ASSERT_GE(repo.size(), 4u);
+
+  pipeline::BenchmarkConfig config = SingleMethodConfig("halfopen_flaky");
+  config.methods.push_back(
+      pipeline::MethodSpec{"halfopen_pacer", Json::Object()});
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 20.0;  // < the pacer's 30ms Fit sleep
+
+  // Tasks are dataset-major, so pairs alternate flaky/pacer. A budget of
+  // one forces a strictly sequential run with deterministic order.
+  pipeline::RunHooks hooks;
+  hooks.max_threads = 1;
+  auto report = pipeline::PipelineRunner(&repo, config).Run(hooks);
+  ASSERT_TRUE(report.ok());
+
+  size_t flaky_ok = 0, flaky_failed = 0, flaky_skipped = 0, pacer_ok = 0;
+  for (const auto& rec : report->records) {
+    if (rec.method == "halfopen_pacer") {
+      if (rec.status.ok()) ++pacer_ok;
+      continue;
+    }
+    if (rec.status.ok()) {
+      ++flaky_ok;
+    } else if (rec.status.IsUnavailable()) {
+      ++flaky_skipped;
+    } else {
+      ++flaky_failed;
+    }
+  }
+  EXPECT_EQ(flaky_failed, 2u) << "exactly the two injected factory failures";
+  EXPECT_EQ(flaky_skipped, 0u)
+      << "the half-open probe must reclose the breaker before any skip";
+  EXPECT_EQ(flaky_ok, repo.size() - 2);
+  EXPECT_EQ(pacer_ok, repo.size());
+}
+
+TEST(RobustnessTest, BreakerCooldownSurvivesConfigRoundTrip) {
+  auto j = Json::Parse(R"({"breaker_cooldown_ms": 250.0})");
+  ASSERT_TRUE(j.ok());
+  auto config = pipeline::BenchmarkConfig::FromJson(*j);
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->breaker_cooldown_ms, 250.0);
+  EXPECT_DOUBLE_EQ(config->ToJson().GetDouble("breaker_cooldown_ms", -1.0),
+                   250.0);
+
+  auto dflt = pipeline::BenchmarkConfig::FromJson(Json::Object());
+  ASSERT_TRUE(dflt.ok());
+  EXPECT_DOUBLE_EQ(dflt->breaker_cooldown_ms, 0.0);
+
+  auto bad = Json::Parse(R"({"breaker_cooldown_ms": -5.0})");
   ASSERT_TRUE(bad.ok());
   EXPECT_FALSE(pipeline::BenchmarkConfig::FromJson(*bad).ok());
 }

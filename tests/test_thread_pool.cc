@@ -122,5 +122,76 @@ TEST(ThreadPool, GlobalPoolIsSingletonAndUsable) {
   EXPECT_EQ(counter.load(), 32);
 }
 
+// ------------------------------------------------------- Guided scheduling
+
+TEST(ThreadPool, GuidedParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(
+      visits.size(), [&](size_t i) { visits[i].fetch_add(1); },
+      Schedule::kGuided);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, GuidedParallelForZeroAndSingleIndex) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](size_t) { count.fetch_add(1); }, Schedule::kGuided);
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); }, Schedule::kGuided);
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, GuidedParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(
+      visits.size(), [&](size_t i) { visits[i].fetch_add(1); },
+      Schedule::kGuided);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, GuidedParallelForSkewedWorkFinishesCompletely) {
+  // Heavily skewed per-index cost — the case guided scheduling exists for.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  constexpr size_t kN = 256;
+  pool.ParallelFor(
+      kN,
+      [&](size_t i) {
+        int64_t acc = 0;  // index 0 does ~256x the work of index 255
+        for (size_t j = 0; j < (kN - i) * 200; ++j) acc += static_cast<int64_t>(j % 7);
+        sum.fetch_add(acc % 1000 + 1);
+      },
+      Schedule::kGuided);
+  EXPECT_GE(sum.load(), static_cast<int64_t>(kN));
+}
+
+TEST(ThreadPool, GuidedParallelForFromWorkerThreadRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  auto f = pool.Submit([&]() {
+    // Nested call from a pool worker: must not deadlock, still covers all.
+    pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); },
+                     Schedule::kGuided);
+  });
+  f.get();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, GuidedParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(
+          100,
+          [](size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          Schedule::kGuided),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace easytime
