@@ -1,0 +1,201 @@
+// Storage-engine benchmark (DESIGN.md §9): measures the three numbers the
+// store exists for and emits them as JSON (BENCH_store.json via
+// bench/run_store.sh):
+//
+//   1. append    — WAL append throughput, buffered vs fsync-per-append
+//   2. recovery  — reopen (replay) time as the record count grows
+//   3. compaction— on-disk bytes before vs after a snapshot retires the log
+//
+//   ./build/bench/bench_store [output.json]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "store/record_store.h"
+
+using namespace easytime;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kDir = "/tmp/easytime_bench_store";
+
+std::string Payload(uint64_t i) {
+  // ~120 bytes, roughly the size of one serialized checkpoint record.
+  std::string p = "{\"dataset\":\"bench_ds\",\"method\":\"bench_method\","
+                  "\"metrics\":{\"mae\":1.5,\"rmse\":2.25},\"i\":" +
+                  std::to_string(i) + "}";
+  p.resize(120, ' ');
+  return p;
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "bench_store: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+// ---- 1. append throughput -------------------------------------------------
+
+double AppendThroughput(size_t n, bool sync_every_append) {
+  fs::remove_all(kDir);
+  store::RecordStoreOptions opt;
+  opt.sync_every_append = sync_every_append;
+  auto rs = store::RecordStore::Open(kDir, opt, nullptr);
+  if (!rs.ok()) Die(rs.status());
+  Stopwatch watch;
+  for (size_t i = 0; i < n; ++i) {
+    auto seq = (*rs)->Append(Payload(i));
+    if (!seq.ok()) Die(seq.status());
+  }
+  auto synced = (*rs)->Sync();
+  if (!synced.ok()) Die(synced);
+  double seconds = watch.ElapsedSeconds();
+  return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+}
+
+// ---- 2. recovery time vs record count -------------------------------------
+
+double RecoveryMs(size_t n) {
+  fs::remove_all(kDir);
+  {
+    auto rs = store::RecordStore::Open(kDir, store::RecordStoreOptions{},
+                                       nullptr);
+    if (!rs.ok()) Die(rs.status());
+    for (size_t i = 0; i < n; ++i) {
+      auto seq = (*rs)->Append(Payload(i));
+      if (!seq.ok()) Die(seq.status());
+    }
+    auto synced = (*rs)->Sync();
+    if (!synced.ok()) Die(synced);
+  }
+  Stopwatch watch;
+  store::RecordStoreRecovery recovery;
+  auto rs = store::RecordStore::Open(kDir, store::RecordStoreOptions{},
+                                     &recovery);
+  if (!rs.ok()) Die(rs.status());
+  double ms = watch.ElapsedSeconds() * 1000.0;
+  if (recovery.tail.size() != n) {
+    std::fprintf(stderr, "bench_store: recovered %zu of %zu records\n",
+                 recovery.tail.size(), n);
+    std::exit(1);
+  }
+  return ms;
+}
+
+// ---- 3. compaction ratio --------------------------------------------------
+
+struct CompactionNumbers {
+  uint64_t wal_bytes_before = 0;
+  uint64_t dir_bytes_after = 0;
+  double ratio = 0.0;
+  double recovery_ms_before = 0.0;
+  double recovery_ms_after = 0.0;
+};
+
+CompactionNumbers CompactionRatio(size_t n) {
+  fs::remove_all(kDir);
+  store::RecordStoreOptions opt;
+  opt.segment_bytes = 1 << 18;  // force a real segment chain
+  opt.keep_snapshots = 1;       // retire the whole log on compaction
+  auto rs = store::RecordStore::Open(kDir, opt, nullptr);
+  if (!rs.ok()) Die(rs.status());
+  for (size_t i = 0; i < n; ++i) {
+    auto seq = (*rs)->Append(Payload(i));
+    if (!seq.ok()) Die(seq.status());
+  }
+  auto synced = (*rs)->Sync();
+  if (!synced.ok()) Die(synced);
+
+  CompactionNumbers out;
+  out.wal_bytes_before = DirBytes(kDir);
+  {
+    Stopwatch watch;
+    store::RecordStoreRecovery recovery;
+    auto reopened = store::RecordStore::Open(kDir, opt, &recovery);
+    if (!reopened.ok()) Die(reopened.status());
+    out.recovery_ms_before = watch.ElapsedSeconds() * 1000.0;
+  }
+  // A compacted state is far smaller than the log that produced it — here
+  // the current value per key, as the knowledge/checkpoint stores keep.
+  const std::string state = "{\"records\":1,\"last\":" + Payload(n - 1) + "}";
+  auto compacted = (*rs)->Compact(state);
+  if (!compacted.ok()) Die(compacted);
+  (*rs).reset();
+  out.dir_bytes_after = DirBytes(kDir);
+  out.ratio = out.dir_bytes_after > 0
+                  ? static_cast<double>(out.wal_bytes_before) /
+                        static_cast<double>(out.dir_bytes_after)
+                  : 0.0;
+  Stopwatch watch;
+  store::RecordStoreRecovery recovery;
+  auto reopened = store::RecordStore::Open(kDir, opt, &recovery);
+  if (!reopened.ok()) Die(reopened.status());
+  out.recovery_ms_after = watch.ElapsedSeconds() * 1000.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr size_t kAppendN = 20000;
+  const double buffered_rps = AppendThroughput(kAppendN, false);
+  const double synced_rps = AppendThroughput(2000, true);
+
+  Json out = Json::Object();
+  Json append_json = Json::Object();
+  append_json.Set("payload_bytes", static_cast<int64_t>(120));
+  append_json.Set("buffered_records_per_sec", buffered_rps);
+  append_json.Set("buffered_mb_per_sec", buffered_rps * 120.0 / 1e6);
+  append_json.Set("fsync_records_per_sec", synced_rps);
+  out.Set("append", std::move(append_json));
+
+  Json recovery_json = Json::Array();
+  for (size_t n : {size_t{1000}, size_t{10000}, size_t{50000}}) {
+    Json point = Json::Object();
+    point.Set("records", static_cast<int64_t>(n));
+    point.Set("recovery_ms", RecoveryMs(n));
+    recovery_json.Append(std::move(point));
+  }
+  out.Set("recovery", std::move(recovery_json));
+
+  CompactionNumbers compaction = CompactionRatio(20000);
+  Json compaction_json = Json::Object();
+  compaction_json.Set("records", static_cast<int64_t>(20000));
+  compaction_json.Set("wal_bytes_before",
+                      static_cast<int64_t>(compaction.wal_bytes_before));
+  compaction_json.Set("dir_bytes_after",
+                      static_cast<int64_t>(compaction.dir_bytes_after));
+  compaction_json.Set("ratio", compaction.ratio);
+  compaction_json.Set("recovery_ms_before", compaction.recovery_ms_before);
+  compaction_json.Set("recovery_ms_after", compaction.recovery_ms_after);
+  out.Set("compaction", std::move(compaction_json));
+
+  fs::remove_all(kDir);
+
+  std::string payload = out.Dump(2);
+  std::printf("%s\n", payload.c_str());
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(payload.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+  return 0;
+}

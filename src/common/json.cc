@@ -86,8 +86,15 @@ std::string FormatNumber(double v) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
   }
+  // Shortest representation that round-trips exactly: most values fit in 12
+  // significant digits (keeping output identical to the historical format);
+  // the rest widen until strtod gives the same bits back, so persisted
+  // metrics reload without drift (DESIGN.md §9).
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  for (int precision = 12; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   return buf;
 }
 

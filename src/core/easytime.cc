@@ -33,20 +33,42 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
   EASYTIME_LOG(Info) << "EasyTime: generated " << system->repository_.size()
                      << " benchmark datasets";
 
-  // Seed the knowledge base by running the pipeline.
-  pipeline::BenchmarkConfig config;
-  config.eval = options.seed_eval;
-  for (const auto& name : options.seed_methods) {
-    config.methods.push_back(pipeline::MethodSpec{name, Json::Object()});
+  // With persistence configured, a populated store restores the knowledge
+  // base (snapshot + WAL tail) and the seeding evaluation is skipped.
+  knowledge::KnowledgeStore::OpenInfo open_info;
+  if (!options.store_dir.empty()) {
+    knowledge::KnowledgeStore::Options store_options;
+    store_options.dir = options.store_dir;
+    store_options.compact_every = options.store_compact_every;
+    store_options.sync_every_append = options.store_sync_every_append;
+    EASYTIME_ASSIGN_OR_RETURN(
+        system->store_,
+        knowledge::KnowledgeStore::Open(store_options, &system->kb_,
+                                        &open_info));
+    system->restored_from_store_ = open_info.restored;
   }
-  pipeline::PipelineRunner runner(&system->repository_, config);
-  EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
 
-  for (const auto* ds : system->repository_.All()) {
-    system->kb_.AddDataset(*ds);
+  if (system->restored_from_store_) {
+    EASYTIME_LOG(Info) << "EasyTime: opened warm from " << options.store_dir
+                       << " (" << open_info.datasets << " datasets, "
+                       << open_info.results
+                       << " results); seeding evaluation skipped";
+  } else {
+    // Seed the knowledge base by running the pipeline.
+    pipeline::BenchmarkConfig config;
+    config.eval = options.seed_eval;
+    for (const auto& name : options.seed_methods) {
+      config.methods.push_back(pipeline::MethodSpec{name, Json::Object()});
+    }
+    pipeline::PipelineRunner runner(&system->repository_, config);
+    EASYTIME_ASSIGN_OR_RETURN(pipeline::BenchmarkReport report, runner.Run());
+
+    for (const auto* ds : system->repository_.All()) {
+      system->kb_.AddDataset(*ds);
+    }
+    system->kb_.AddAllMethods();
+    system->kb_.AddReport(report);
   }
-  system->kb_.AddAllMethods();
-  system->kb_.AddReport(report);
 
   if (options.pretrain_ensemble) {
     system->ensemble_ = ensemble::AutoEnsembleEngine(options.ensemble);
@@ -66,6 +88,11 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
         ensemble::RegisterFoundationMethod(foundation_model));
     system->kb_.AddAllMethods();  // pick up the new method's metadata
     EASYTIME_LOG(Info) << "foundation method 'ts2vec_foundation' registered";
+  }
+  if (system->store_ && !system->restored_from_store_) {
+    // Persist the freshly seeded knowledge as the store's first snapshot so
+    // the next Create opens warm.
+    EASYTIME_RETURN_IF_ERROR(system->store_->Checkpoint(system->kb_));
   }
   EASYTIME_RETURN_IF_ERROR(system->RefreshQa());
   return system;
@@ -90,6 +117,23 @@ easytime::Result<pipeline::BenchmarkReport> EasyTime::RunAndCommit(
   // swap in a rebuilt Q&A engine atomically with respect to queries.
   std::unique_lock lock(mu_);
   kb_.AddReport(report);
+  if (store_) {
+    // The KB mutation precedes the store append so a compaction triggered
+    // here snapshots state that covers every appended record.
+    std::vector<knowledge::ResultEntry> entries;
+    for (const auto* rec : report.Successful()) {
+      knowledge::ResultEntry entry;
+      entry.dataset = rec->dataset;
+      entry.method = rec->method;
+      entry.strategy = rec->strategy;
+      entry.horizon = rec->horizon;
+      entry.metrics = rec->metrics;
+      entry.fit_seconds = rec->fit_seconds;
+      entry.forecast_seconds = rec->forecast_seconds;
+      entries.push_back(std::move(entry));
+    }
+    EASYTIME_RETURN_IF_ERROR(store_->AppendResults(entries, kb_));
+  }
   EASYTIME_RETURN_IF_ERROR(RefreshQa());
   return report;
 }

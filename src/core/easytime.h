@@ -24,6 +24,7 @@
 #include "ensemble/foundation.h"
 #include "eval/evaluator.h"
 #include "knowledge/knowledge_base.h"
+#include "knowledge/knowledge_store.h"
 #include "pipeline/runner.h"
 #include "qa/qa_engine.h"
 #include "tsdata/repository.h"
@@ -54,6 +55,19 @@ class EasyTime {
     bool pretrain_foundation = false;
     ensemble::FoundationOptions foundation;
 
+    /// \brief Durable knowledge persistence (DESIGN.md §9). When set, Create
+    /// opens a storage engine in this directory: an empty store is seeded by
+    /// the pipeline run and snapshotted; a populated one restores the
+    /// knowledge base (snapshot + WAL tail) and SKIPS the seeding
+    /// evaluation, and every committed evaluation report is appended to the
+    /// WAL durably. Empty = in-memory only (the historical behavior).
+    std::string store_dir;
+    /// Compact the store (snapshot + delete covered WAL segments) after
+    /// this many appended reports; 0 disables automatic compaction.
+    size_t store_compact_every = 32;
+    /// fsync every store append (strongest durability; slower commits).
+    bool store_sync_every_append = true;
+
     Options();
   };
 
@@ -71,6 +85,14 @@ class EasyTime {
 
   /// The accumulated benchmark knowledge.
   const knowledge::KnowledgeBase& knowledge() const { return kb_; }
+
+  /// True when Create restored the knowledge base from a populated store
+  /// instead of running the seeding pipeline (the serving layer uses this
+  /// to warm its result cache at startup).
+  bool restored_from_store() const { return restored_from_store_; }
+
+  /// The durable backing store, or null when store_dir was empty.
+  knowledge::KnowledgeStore* knowledge_store() { return store_.get(); }
 
   /// \brief One-click evaluation from a configuration JSON (the paper's
   /// "edit the configuration file, then one click"). Results are appended
@@ -139,6 +161,8 @@ class EasyTime {
   mutable std::shared_mutex mu_;
   tsdata::Repository repository_;
   knowledge::KnowledgeBase kb_;
+  std::unique_ptr<knowledge::KnowledgeStore> store_;
+  bool restored_from_store_ = false;
   ensemble::AutoEnsembleEngine ensemble_;
   std::unique_ptr<qa::QaEngine> qa_;
   Options options_;

@@ -85,6 +85,24 @@ void KnowledgeBase::AddReport(const pipeline::BenchmarkReport& report) {
   if (added) ++version_;
 }
 
+void KnowledgeBase::Restore(std::vector<DatasetMeta> datasets,
+                            std::vector<MethodMeta> methods,
+                            std::vector<ResultEntry> results) {
+  std::unique_lock lock(mu_);
+  datasets_.clear();
+  methods_.clear();
+  results_.clear();
+  dataset_index_.clear();
+  for (auto& d : datasets) {
+    if (dataset_index_.count(d.name)) continue;
+    dataset_index_[d.name] = datasets_.size();
+    datasets_.push_back(std::move(d));
+  }
+  for (auto& m : methods) methods_.push_back(std::move(m));
+  for (auto& r : results) results_.push_back(std::move(r));
+  ++version_;
+}
+
 uint64_t KnowledgeBase::version() const {
   std::shared_lock lock(mu_);
   return version_;

@@ -79,6 +79,15 @@ class KnowledgeBase {
   /// Ingests a pipeline report's successful records.
   void AddReport(const pipeline::BenchmarkReport& report);
 
+  /// \brief Replaces the entire contents from recovered state (snapshot +
+  /// replayed tail), advancing version() exactly once regardless of row
+  /// count — bulk recovery must not churn serve-cache invalidation the way
+  /// N AddReport calls would. The dataset index is rebuilt; duplicate
+  /// dataset names keep the first occurrence.
+  void Restore(std::vector<DatasetMeta> datasets,
+               std::vector<MethodMeta> methods,
+               std::vector<ResultEntry> results);
+
   const std::deque<DatasetMeta>& datasets() const { return datasets_; }
   const std::deque<MethodMeta>& methods() const { return methods_; }
   const std::deque<ResultEntry>& results() const { return results_; }

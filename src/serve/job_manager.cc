@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <sstream>
+#include <system_error>
 
 #include "common/fault.h"
 #include "common/logging.h"
@@ -11,6 +13,25 @@
 #include "serve/request.h"
 
 namespace easytime::serve {
+
+namespace {
+
+/// WAL record appended when a job reaches kDone, just before its checkpoint
+/// store is removed — the persisted terminal status the startup sweep keys
+/// on when the removal itself was lost to a crash.
+constexpr char kTerminalKey[] = "__terminal__";
+
+/// Snapshot state for a checkpoint store: {"records": [RunRecord...]}.
+std::string EncodeCheckpointState(
+    const std::map<std::string, easytime::Json>& records) {
+  easytime::Json state = easytime::Json::Object();
+  easytime::Json arr = easytime::Json::Array();
+  for (const auto& [key, rec] : records) arr.Append(rec);
+  state.Set("records", std::move(arr));
+  return state.Dump();
+}
+
+}  // namespace
 
 const char* JobStateName(JobState s) {
   switch (s) {
@@ -39,6 +60,7 @@ void JobManager::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
   started_ = true;
+  if (!options_.checkpoint_dir.empty()) SweepOrphanedCheckpointsLocked();
   workers_.reserve(options_.concurrency);
   for (size_t i = 0; i < options_.concurrency; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -99,25 +121,98 @@ std::string JobManager::CheckpointPath(const std::string& job_key) const {
   return options_.checkpoint_dir + "/" + safe + ".ckpt";
 }
 
-std::map<std::string, pipeline::RunRecord> JobManager::LoadCheckpoint(
-    const std::string& path, size_t* loaded) const {
-  std::map<std::string, pipeline::RunRecord> completed;
-  if (loaded) *loaded = 0;
-  std::ifstream in(path);
-  if (!in) return completed;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto doc = easytime::Json::Parse(line);
-    if (!doc.ok()) continue;  // torn tail write from a crash — skip
-    auto rec = pipeline::RunRecord::FromJson(*doc);
-    if (!rec.ok()) continue;
+easytime::Result<std::unique_ptr<store::RecordStore>>
+JobManager::OpenCheckpoint(
+    const std::string& path,
+    std::map<std::string, pipeline::RunRecord>* completed,
+    size_t* loaded) const {
+  namespace fs = std::filesystem;
+  *loaded = 0;
+  auto absorb = [completed](const easytime::Json& doc) {
+    auto rec = pipeline::RunRecord::FromJson(doc);
+    if (!rec.ok()) return;
     // Only trust successful records; anything else re-runs on resume.
-    if (!rec->status.ok()) continue;
-    completed[pipeline::PairKey(rec->dataset, rec->method)] = std::move(*rec);
+    if (!rec->status.ok()) return;
+    (*completed)[pipeline::PairKey(rec->dataset, rec->method)] =
+        std::move(*rec);
+  };
+
+  // Pre-store checkpoints were a line-JSON file at this very path; absorb
+  // its records and clear the way for the store directory.
+  std::error_code ec;
+  bool migrated = false;
+  if (fs::is_regular_file(path, ec)) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto doc = easytime::Json::Parse(line);
+      if (!doc.ok()) continue;  // torn tail write from a crash — skip
+      absorb(*doc);
+    }
+    fs::remove(path, ec);
+    migrated = true;
   }
-  if (loaded) *loaded = completed.size();
-  return completed;
+
+  store::RecordStoreOptions store_options;
+  store::RecordStoreRecovery recovery;
+  EASYTIME_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::RecordStore> ckpt,
+      store::RecordStore::Open(path, store_options, &recovery));
+  if (recovery.has_snapshot) {
+    auto snap = easytime::Json::Parse(recovery.snapshot);
+    if (snap.ok()) {
+      for (const auto& rec : snap->Get("records").items()) absorb(rec);
+    }
+  }
+  for (const auto& [seq, payload] : recovery.tail) {
+    (void)seq;
+    auto doc = easytime::Json::Parse(payload);
+    if (doc.ok() && !doc->Has(kTerminalKey)) absorb(*doc);
+  }
+  if (migrated && !completed->empty()) {
+    // Re-persist the migrated records in the new format right away, so the
+    // legacy data survives even if this run checkpoints nothing further.
+    std::map<std::string, easytime::Json> records;
+    for (const auto& [key, rec] : *completed) records[key] = rec.ToJson();
+    EASYTIME_RETURN_IF_ERROR(ckpt->Compact(EncodeCheckpointState(records)));
+  }
+  *loaded = completed->size();
+  return ckpt;
+}
+
+void JobManager::SweepOrphanedCheckpointsLocked() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.checkpoint_dir,
+                                                  ec)) {
+    if (!entry.is_directory() || entry.path().extension() != ".ckpt") {
+      continue;
+    }
+    store::RecordStoreRecovery recovery;
+    auto ckpt = store::RecordStore::Open(entry.path().string(),
+                                         store::RecordStoreOptions{},
+                                         &recovery);
+    if (!ckpt.ok()) continue;
+    bool terminal = false;
+    for (const auto& [seq, payload] : recovery.tail) {
+      (void)seq;
+      auto doc = easytime::Json::Parse(payload);
+      if (doc.ok() && doc->Has(kTerminalKey)) {
+        terminal = true;
+        break;
+      }
+    }
+    if (!terminal) continue;
+    ckpt->reset();  // close the store's fds before deleting it
+    std::error_code rm_ec;
+    fs::remove_all(entry.path(), rm_ec);
+    if (!rm_ec) {
+      ++stats_.swept_checkpoints;
+      EASYTIME_LOG(Info) << "jobs: swept orphaned terminal checkpoint "
+                         << entry.path().string();
+    }
+  }
 }
 
 easytime::Result<uint64_t> JobManager::Submit(easytime::Json config) {
@@ -208,10 +303,22 @@ void JobManager::RunJob(Job* job,
   std::map<std::string, pipeline::RunRecord> completed;
   size_t resumed = 0;
   std::mutex ckpt_mu;
-  std::ofstream ckpt_out;
-  size_t unflushed = 0;
+  std::unique_ptr<store::RecordStore> ckpt;
+  /// All checkpointed records (resumed + this run's), keyed by pair — the
+  /// snapshot state a compaction writes. Guarded by ckpt_mu; `completed`
+  /// itself stays immutable once handed to the pipeline via hooks.
+  std::map<std::string, easytime::Json> ckpt_records;
+  size_t unsynced = 0;
   if (!ckpt_path.empty()) {
-    completed = LoadCheckpoint(ckpt_path, &resumed);
+    auto ckpt_or = OpenCheckpoint(ckpt_path, &completed, &resumed);
+    if (ckpt_or.ok()) {
+      ckpt = std::move(*ckpt_or);
+    } else {
+      EASYTIME_LOG(Warning) << "job " << job->id
+                            << ": cannot open checkpoint store " << ckpt_path
+                            << " (" << ckpt_or.status().ToString()
+                            << "); running without one";
+    }
     if (resumed > 0) {
       hooks.completed = &completed;
       EASYTIME_LOG(Info) << "job " << job->id << " resuming from " << resumed
@@ -219,27 +326,50 @@ void JobManager::RunJob(Job* job,
       std::lock_guard<std::mutex> lock(mu_);
       stats_.resumed_records += resumed;
     }
-    ckpt_out.open(ckpt_path, std::ios::app);
-    if (ckpt_out) {
-      hooks.on_record = [this, &ckpt_mu, &ckpt_out,
-                         &unflushed](const pipeline::RunRecord& rec) {
+    if (ckpt) {
+      for (const auto& [key, rec] : completed) {
+        ckpt_records[key] = rec.ToJson();
+      }
+      hooks.on_record = [this, &ckpt_mu, &ckpt, &ckpt_records,
+                         &unsynced](const pipeline::RunRecord& rec) {
         if (!rec.status.ok()) return;  // failures re-run on resume
         std::lock_guard<std::mutex> lock(ckpt_mu);
-        ckpt_out << rec.ToJson().Dump() << '\n';
-        if (++unflushed >= options_.checkpoint_every) {
-          ckpt_out.flush();
-          unflushed = 0;
+        easytime::Json doc = rec.ToJson();
+        auto seq = ckpt->Append(doc.Dump());
+        if (!seq.ok()) {
+          EASYTIME_LOG(Warning) << "checkpoint append failed: "
+                                << seq.status().ToString();
+          return;
+        }
+        ckpt_records[pipeline::PairKey(rec.dataset, rec.method)] =
+            std::move(doc);
+        if (++unsynced >= options_.checkpoint_every) {
+          (void)ckpt->Sync();
+          unsynced = 0;
+        }
+        if (options_.compact_every > 0 &&
+            ckpt->appends_since_compaction() >= options_.compact_every) {
+          auto st = ckpt->Compact(EncodeCheckpointState(ckpt_records));
+          if (!st.ok()) {
+            EASYTIME_LOG(Warning) << "checkpoint compaction failed: "
+                                  << st.ToString();
+          }
         }
       };
-    } else {
-      EASYTIME_LOG(Warning) << "job " << job->id
-                            << ": cannot open checkpoint " << ckpt_path
-                            << "; running without one";
     }
   }
 
   auto report = system_->OneClickEvaluate(job->config, hooks);
-  if (ckpt_out.is_open()) ckpt_out.close();
+  if (ckpt && report.ok()) {
+    // Persist the terminal status before removing the checkpoint: if the
+    // removal is lost to a crash, the startup sweep keys on this marker.
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    easytime::Json marker = easytime::Json::Object();
+    marker.Set(kTerminalKey, "done");
+    (void)ckpt->Append(marker.Dump());
+    (void)ckpt->Sync();
+  }
+  ckpt.reset();  // close the store's fds before any removal
 
   std::lock_guard<std::mutex> lock(mu_);
   if (report.ok()) {
@@ -256,7 +386,10 @@ void JobManager::RunJob(Job* job,
     ++stats_.completed;
     // The job is terminal and its results live in the knowledge base now;
     // the checkpoint has served its purpose.
-    if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
+    if (!ckpt_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(ckpt_path, ec);
+    }
   } else if (report.status().IsCancelled()) {
     job->state = JobState::kCancelled;
     ++stats_.cancelled;

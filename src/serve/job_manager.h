@@ -14,17 +14,24 @@
 /// evaluations split the machine instead of each spinning up a full-width
 /// pool and oversubscribing it N-fold.
 ///
-/// Crash safety: with a checkpoint directory configured, a worker appends
-/// each successfully evaluated (method, dataset) record to
-/// `<dir>/<job_key>.ckpt` as line-delimited JSON (pipeline::RunRecord).
-/// A job resubmitted with the same "job_key" — after a cancel, a crash, or
-/// on a fresh server pointed at the same directory — splices the
-/// checkpointed records into the run and only evaluates the remainder.
-/// Failed pairs are deliberately not checkpointed, so a resume retries
-/// them. The checkpoint is deleted when the job completes. Two admitted
-/// jobs with the same job_key never run concurrently (they share a
-/// checkpoint file): the second waits for the first to reach a terminal
-/// state, preserving FIFO order within the key.
+/// Crash safety: with a checkpoint directory configured, each job_key owns
+/// a crash-safe record store at `<dir>/<job_key>.ckpt/` (storage engine,
+/// DESIGN.md §9). A worker appends each successfully evaluated
+/// (method, dataset) record to its WAL and periodically compacts
+/// (snapshot + covered-segment deletion, Options::compact_every) so very
+/// large suites don't grow an unbounded log. A job resubmitted with the
+/// same "job_key" — after a cancel, a crash, or on a fresh server pointed
+/// at the same directory — recovers snapshot + WAL tail (torn tails are
+/// truncated to the valid prefix), splices the records into the run, and
+/// only evaluates the remainder. Failed pairs are deliberately not
+/// checkpointed, so a resume retries them. Pre-store line-JSON checkpoint
+/// files are migrated transparently on first open. When a job completes, a
+/// terminal marker is appended and the checkpoint removed; Start() sweeps
+/// orphaned checkpoints whose persisted status is terminal (a crash
+/// between marker and removal). Two admitted jobs with the same job_key
+/// never run concurrently (they share a checkpoint store): the second
+/// waits for the first to reach a terminal state, preserving FIFO order
+/// within the key.
 
 #include <atomic>
 #include <cstdint>
@@ -44,6 +51,7 @@
 #include "common/result.h"
 #include "core/easytime.h"
 #include "pipeline/runner.h"
+#include "store/record_store.h"
 
 namespace easytime::serve {
 
@@ -65,6 +73,9 @@ class JobManager {
     /// max(1, cores / concurrency), where "cores" honors the
     /// EASYTIME_NUM_THREADS override.
     size_t thread_budget = 0;
+    /// Compact a job's checkpoint store (snapshot + delete covered WAL
+    /// segments) after this many appended records; 0 disables compaction.
+    size_t compact_every = 64;
   };
 
   struct Stats {
@@ -75,6 +86,7 @@ class JobManager {
     uint64_t cancelled = 0;
     uint64_t resumed_records = 0;  ///< pairs spliced in from checkpoints
     uint64_t peak_running = 0;     ///< max jobs observed running at once
+    uint64_t swept_checkpoints = 0;  ///< orphaned terminal checkpoints removed
   };
 
   /// \param system the facade evaluations run against (not owned)
@@ -119,7 +131,8 @@ class JobManager {
   /// hash of the canonicalized config. Exposed for tests.
   static std::string JobKey(const easytime::Json& config);
 
-  /// The checkpoint path for \p job_key ("" when checkpointing is off).
+  /// The checkpoint store directory for \p job_key ("" when checkpointing
+  /// is off).
   std::string CheckpointPath(const std::string& job_key) const;
 
  private:
@@ -144,9 +157,19 @@ class JobManager {
   /// Next job parked behind \p key, if any (caller holds mu_).
   std::optional<uint64_t> PopWaitingLocked(const std::string& key);
 
-  /// Loads a checkpoint file into a resume map (missing file -> empty map).
-  std::map<std::string, pipeline::RunRecord> LoadCheckpoint(
-      const std::string& path, size_t* loaded) const;
+  /// \brief Opens (recovering or creating) the checkpoint store at \p path
+  /// and fills \p completed with the recovered records. A pre-store
+  /// line-JSON checkpoint file at the same path is migrated into the new
+  /// format first.
+  easytime::Result<std::unique_ptr<store::RecordStore>> OpenCheckpoint(
+      const std::string& path,
+      std::map<std::string, pipeline::RunRecord>* completed,
+      size_t* loaded) const;
+
+  /// Removes checkpoint stores whose persisted status is terminal — a
+  /// completed job crashed between its terminal marker and the checkpoint
+  /// removal (caller holds mu_).
+  void SweepOrphanedCheckpointsLocked();
 
   core::EasyTime* system_;
   Options options_;

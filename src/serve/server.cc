@@ -59,8 +59,30 @@ void ForecastServer::Start() {
         });
       });
   jobs_.Start();
+  if (options_.warm_cache && options_.cache_capacity > 0 &&
+      system_->restored_from_store()) {
+    WarmCache();
+  }
   dispatcher_ = std::thread([this]() { DispatchLoop(); });
   accepting_.store(true);
+}
+
+void ForecastServer::WarmCache() {
+  // Default-parameter recommend responses for every stored dataset; the
+  // canonical key matches what a {"dataset": name} request computes, so the
+  // first post-restart recommends are cache hits.
+  const uint64_t version = system_->knowledge().version();
+  size_t warmed = 0;
+  for (const auto& meta : system_->knowledge().datasets()) {
+    easytime::Json params = easytime::Json::Object();
+    params.Set("dataset", meta.name);
+    auto result = ExecuteRecommend(params);
+    if (!result.ok()) continue;
+    cache_.Insert(CanonicalKey("recommend", params), result->Dump(), version);
+    ++warmed;
+  }
+  EASYTIME_LOG(Info) << "serve: warmed recommend cache for " << warmed
+                     << " stored datasets";
 }
 
 void ForecastServer::Stop() {

@@ -84,6 +84,11 @@ class ForecastServer {
     /// checkpoint when resubmitted with the same "job_key" (see
     /// serve/job_manager.h).
     std::string checkpoint_dir;
+    /// When the facade opened warm from a persisted knowledge store,
+    /// Start() pre-computes recommend responses for every stored dataset
+    /// and seeds the result cache, so first requests after a restart hit
+    /// warm entries. No effect on a cold (freshly seeded) system.
+    bool warm_cache = true;
   };
 
   /// \param system a fully created facade; not owned. The repository must
@@ -157,6 +162,10 @@ class ForecastServer {
 
   void RecordStats(const std::string& endpoint, bool ok, bool rejected,
                    bool cache_hit, double seconds);
+
+  /// Pre-populates the recommend cache from the restored knowledge base
+  /// (Start()-time, before the server accepts traffic).
+  void WarmCache();
 
   static bool IsCacheable(const std::string& endpoint);
   static std::string BatchKey(const Request& req);

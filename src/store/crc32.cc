@@ -1,0 +1,60 @@
+#include "store/crc32.h"
+
+#include <array>
+
+namespace easytime::store {
+
+namespace {
+
+// 8 KiB slice-by-8 tables, generated once at first use. Table 0 is the
+// classic byte-at-a-time table; tables 1..7 extend it so the hot loop folds
+// eight input bytes per iteration.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (size_t j = 1; j < 8; ++j) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  while (n >= 8) {
+    // Fold the current CRC into the first four bytes, then index all eight
+    // tables; byte order is fixed by construction, so this is endian-safe.
+    uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                       static_cast<uint32_t>(p[1]) << 8 |
+                       static_cast<uint32_t>(p[2]) << 16 |
+                       static_cast<uint32_t>(p[3]) << 24);
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace easytime::store

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to frame
+/// every on-disk record in the storage engine (DESIGN.md §9). A checksum
+/// mismatch during recovery marks the torn/corrupt suffix of a log, which is
+/// dropped while the valid prefix is kept.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace easytime::store {
+
+/// \brief Computes the CRC-32 of \p n bytes at \p data, continuing from
+/// \p seed (pass the previous return value to checksum data incrementally;
+/// the default starts a fresh checksum). Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace easytime::store

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file record_store.h
+/// \brief Crash-safe record store = snapshot + WAL tail (DESIGN.md §9).
+/// Callers append opaque payloads (typically JSON) and periodically Compact()
+/// with a full-state image; Open() recovers the newest valid snapshot plus
+/// every surviving WAL record after it, tolerating torn/corrupt tails.
+///
+/// Compaction protocol: write snap-<last_seq>.snap durably, prune to
+/// keep_snapshots images, then delete WAL segments fully covered by the
+/// OLDEST retained snapshot — never the newest — so a snapshot that later
+/// turns out corrupt can still be rebuilt from the previous image + WAL.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "store/wal.h"
+
+namespace easytime::store {
+
+/// Tuning for one store instance.
+struct RecordStoreOptions {
+  /// Rotate WAL segments at this size.
+  size_t segment_bytes = 1 << 20;
+  /// fsync the WAL after every append (otherwise callers batch with Sync()).
+  bool sync_every_append = false;
+  /// Snapshot images retained by Compact(); must be >= 1. With the default 2,
+  /// WAL segments are only deleted once a second snapshot exists, so a
+  /// corrupt newest snapshot never loses data.
+  size_t keep_snapshots = 2;
+};
+
+/// Everything Open() recovered, for the caller to rebuild its state:
+/// apply \p snapshot (if \p has_snapshot), then each \p tail record in order.
+struct RecordStoreRecovery {
+  bool has_snapshot = false;
+  std::string snapshot;       ///< newest valid snapshot state
+  uint64_t snapshot_seq = 0;  ///< records <= this are inside the snapshot
+  /// Surviving WAL records with seq > snapshot_seq, in sequence order.
+  std::vector<std::pair<uint64_t, std::string>> tail;
+  uint64_t last_seq = 0;
+  uint64_t bytes_dropped = 0;      ///< torn/corrupt WAL suffix truncated
+  uint64_t segments_dropped = 0;   ///< WAL segments deleted past a corruption
+  uint64_t corrupt_snapshots = 0;  ///< newer snapshots skipped as invalid
+};
+
+/// \brief The durable store. Append/Sync/Compact are thread-safe with
+/// respect to each other (the underlying WAL serializes appends; Compact
+/// snapshots the state the caller passes in).
+class RecordStore {
+ public:
+  /// Opens (creating \p dir if needed) and recovers the store; stray
+  /// temporary files from an interrupted snapshot write are removed.
+  static easytime::Result<std::unique_ptr<RecordStore>> Open(
+      const std::string& dir, const RecordStoreOptions& options,
+      RecordStoreRecovery* recovery = nullptr);
+
+  /// Appends one record to the WAL, returning its sequence number.
+  easytime::Result<uint64_t> Append(std::string_view payload);
+
+  /// Durability point: fsync the active WAL segment.
+  easytime::Status Sync();
+
+  /// \brief Writes \p state as a snapshot covering everything appended so
+  /// far, prunes old snapshots, and deletes WAL segments the retained
+  /// snapshots make redundant. On success the append counter resets.
+  easytime::Status Compact(std::string_view state);
+
+  uint64_t last_seq() const { return wal_->last_seq(); }
+  uint64_t snapshot_seq() const { return snapshot_seq_; }
+  /// Appends since the last successful Compact() (or Open).
+  uint64_t appends_since_compaction() const {
+    return appends_since_compaction_;
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  RecordStore(std::string dir, RecordStoreOptions options,
+              std::unique_ptr<Wal> wal, uint64_t snapshot_seq);
+
+  const std::string dir_;
+  const RecordStoreOptions options_;
+  std::unique_ptr<Wal> wal_;
+  std::atomic<uint64_t> snapshot_seq_{0};
+  std::atomic<uint64_t> appends_since_compaction_{0};
+};
+
+}  // namespace easytime::store

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file snapshot.h
+/// \brief Point-in-time state images that let recovery skip the WAL prefix
+/// (DESIGN.md §9). A snapshot file captures the full application state after
+/// applying every record up to and including a sequence number:
+///   snap-<seq, 16 hex digits>.snap
+/// File = 8-byte magic "EZTSNAP1" | u64 seq | u32 crc32(state) | u32 state_len
+/// | state bytes (all integers little-endian). Snapshots are written to a
+/// temporary file, fsynced, renamed into place, and the directory fsynced, so
+/// a crash mid-write never damages an existing snapshot.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::store {
+
+/// One snapshot file found on disk.
+struct SnapshotInfo {
+  uint64_t seq = 0;  ///< state covers records with sequence <= seq
+  std::string path;
+};
+
+/// A successfully loaded snapshot.
+struct LoadedSnapshot {
+  uint64_t seq = 0;
+  std::string state;
+  /// Newer snapshot files that failed validation and were skipped to reach
+  /// this one (recovery falls back to the previous image, then replays more
+  /// of the WAL).
+  uint64_t corrupt_skipped = 0;
+};
+
+/// \brief Durably writes \p state as the snapshot covering sequence \p seq
+/// (tmp file + fsync + rename + directory fsync). Fault point
+/// "store.snapshot" fires before any byte is written.
+easytime::Status WriteSnapshot(const std::string& dir, uint64_t seq,
+                               std::string_view state);
+
+/// Snapshot files in \p dir, sorted by ascending seq.
+std::vector<SnapshotInfo> ListSnapshots(const std::string& dir);
+
+/// \brief Loads the newest snapshot that passes magic/CRC validation,
+/// deleting corrupt newer ones as it falls back. Returns NotFound when no
+/// valid snapshot exists.
+easytime::Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir);
+
+/// \brief Deletes all but the newest \p keep snapshot files. Returns the seq
+/// of the oldest retained snapshot (0 when fewer than \p keep exist — the
+/// caller must not delete WAL segments in that case).
+easytime::Result<uint64_t> PruneSnapshots(const std::string& dir, size_t keep);
+
+}  // namespace easytime::store

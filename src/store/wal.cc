@@ -1,0 +1,387 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "store/crc32.h"
+
+namespace easytime::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'Z', 'T', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = 16;  // magic + u64 start_seq
+constexpr size_t kFrameBytes = 16;   // u32 len + u32 crc + u64 seq
+constexpr size_t kMaxPayload = size_t{1} << 28;  // sanity bound per record
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+/// CRC of one record: the sequence number (little-endian) then the payload,
+/// so a frame whose seq was bit-flipped fails validation too.
+uint32_t RecordCrc(uint64_t seq, std::string_view payload) {
+  std::string seq_le;
+  seq_le.reserve(8);
+  PutU64(&seq_le, seq);
+  return Crc32(payload.data(), payload.size(), Crc32(seq_le.data(), 8));
+}
+
+std::string SegmentName(uint64_t start_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.log",
+                static_cast<unsigned long long>(start_seq));
+  return buf;
+}
+
+bool ParseSegmentName(const std::string& name, uint64_t* start_seq) {
+  if (name.size() != 4 + 16 + 4 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(20, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *start_seq = v;
+  return true;
+}
+
+easytime::Status WriteFully(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return easytime::Status::IOError(std::string("wal write failed: ") +
+                                       std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return easytime::Status::OK();
+}
+
+easytime::Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return easytime::Status::IOError("cannot open directory for fsync: " +
+                                     dir);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return easytime::Status::IOError("directory fsync failed: " + dir);
+  }
+  return easytime::Status::OK();
+}
+
+easytime::Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return easytime::Status::IOError("cannot read " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return easytime::Status::IOError("read failed: " + path);
+  return content;
+}
+
+}  // namespace
+
+Wal::Wal(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseActiveLocked();
+}
+
+easytime::Result<std::unique_ptr<Wal>> Wal::Open(
+    const std::string& dir, const WalOptions& options, uint64_t after_seq,
+    const ReplayFn& replay, WalRecoveryStats* stats) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return easytime::Status::IOError("cannot create WAL directory " + dir +
+                                     ": " + ec.message());
+  }
+  auto wal = std::unique_ptr<Wal>(new Wal(dir, options));
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t start = 0;
+    if (entry.is_regular_file() &&
+        ParseSegmentName(entry.path().filename().string(), &start)) {
+      wal->segments_.push_back(Segment{start, entry.path().string()});
+    }
+  }
+  if (ec) {
+    return easytime::Status::IOError("cannot list WAL directory " + dir +
+                                     ": " + ec.message());
+  }
+  std::sort(wal->segments_.begin(), wal->segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.start_seq < b.start_seq;
+            });
+  WalRecoveryStats local;
+  EASYTIME_RETURN_IF_ERROR(
+      wal->Recover(after_seq, replay, stats ? stats : &local));
+  return wal;
+}
+
+easytime::Status Wal::Recover(uint64_t after_seq, const ReplayFn& replay,
+                              WalRecoveryStats* stats) {
+  uint64_t expect = 0;    // seq the next segment must start at
+  bool anchored = false;  // expect is meaningful (some segment was scanned)
+  bool replay_started = false;
+  bool chain_broken = false;
+  std::vector<Segment> surviving;
+  std::error_code ec;
+
+  for (const Segment& seg : segments_) {
+    if (chain_broken) {
+      // Everything past a corruption is the bad suffix: drop it.
+      uint64_t sz = fs::exists(seg.path, ec) ? fs::file_size(seg.path, ec) : 0;
+      stats->bytes_dropped += sz;
+      ++stats->segments_dropped;
+      fs::remove(seg.path, ec);
+      continue;
+    }
+    ++stats->segments_scanned;
+    auto content_or = ReadWholeFile(seg.path);
+    if (!content_or.ok()) return content_or.status();
+    const std::string& content = *content_or;
+
+    bool header_ok = content.size() >= kHeaderBytes &&
+                     std::memcmp(content.data(), kMagic, 8) == 0 &&
+                     GetU64(content.data() + 8) == seg.start_seq;
+    if (header_ok && anchored && seg.start_seq != expect) {
+      // A hole in the chain (e.g. a manually deleted segment): records past
+      // it cannot be applied to any recoverable state.
+      header_ok = false;
+    }
+    if (!header_ok) {
+      stats->bytes_dropped += content.size();
+      ++stats->segments_dropped;
+      fs::remove(seg.path, ec);
+      chain_broken = true;
+      continue;
+    }
+
+    size_t off = kHeaderBytes;
+    size_t valid_end = off;
+    uint64_t rec_expect = seg.start_seq;
+    while (off + kFrameBytes <= content.size()) {
+      const char* p = content.data() + off;
+      uint32_t len = GetU32(p);
+      uint32_t crc = GetU32(p + 4);
+      uint64_t seq = GetU64(p + 8);
+      if (len > kMaxPayload || off + kFrameBytes + len > content.size()) break;
+      std::string_view payload(p + kFrameBytes, len);
+      if (RecordCrc(seq, payload) != crc) break;
+      if (seq != rec_expect) break;
+      if (seq > after_seq) {
+        if (!replay_started && seq != after_seq + 1) {
+          // The first record above the recovered snapshot does not continue
+          // it; the remainder is unreachable state.
+          break;
+        }
+        replay_started = true;
+        if (replay) replay(seq, std::string(payload));
+        ++stats->records_replayed;
+      } else {
+        ++stats->records_skipped;
+      }
+      rec_expect = seq + 1;
+      off += kFrameBytes + len;
+      valid_end = off;
+    }
+    if (valid_end < content.size()) {
+      stats->bytes_dropped += content.size() - valid_end;
+      fs::resize_file(seg.path, valid_end, ec);
+      if (ec) {
+        return easytime::Status::IOError("cannot truncate corrupt WAL tail " +
+                                         seg.path + ": " + ec.message());
+      }
+      chain_broken = true;  // later segments belong to the dropped suffix
+    }
+    expect = rec_expect;
+    anchored = true;
+    surviving.push_back(seg);
+  }
+
+  segments_ = std::move(surviving);
+  last_seq_ = (anchored && expect > 0) ? expect - 1 : 0;
+  if (last_seq_ < after_seq) {
+    // Every surviving record is already folded into the snapshot the caller
+    // recovered; restarting the chain just above it keeps seqs contiguous.
+    for (const Segment& seg : segments_) fs::remove(seg.path, ec);
+    segments_.clear();
+    last_seq_ = after_seq;
+  }
+  return easytime::Status::OK();
+}
+
+easytime::Status Wal::OpenFreshSegmentLocked() {
+  const uint64_t start = last_seq_ + 1;
+  std::string path = dir_ + "/" + SegmentName(start);
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return easytime::Status::IOError("cannot create WAL segment " + path +
+                                     ": " + std::strerror(errno));
+  }
+  std::string header(kMagic, 8);
+  PutU64(&header, start);
+  easytime::Status st = WriteFully(fd, header.data(), header.size());
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  active_bytes_ = kHeaderBytes;
+  if (!segments_.empty() && segments_.back().start_seq == start) {
+    segments_.back().path = path;  // re-created over an empty leftover
+  } else {
+    segments_.push_back(Segment{start, path});
+  }
+  return SyncDir(dir_);
+}
+
+easytime::Result<uint64_t> Wal::Append(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EASYTIME_FAULT_POINT("store.append");
+  if (payload.size() > kMaxPayload) {
+    return easytime::Status::InvalidArgument(
+        "WAL record exceeds the 256 MiB payload bound");
+  }
+  if (fd_ < 0 || active_bytes_ >= options_.segment_bytes) {
+    CloseActiveLocked();
+    EASYTIME_RETURN_IF_ERROR(OpenFreshSegmentLocked());
+  }
+  const uint64_t seq = last_seq_ + 1;
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, RecordCrc(seq, payload));
+  PutU64(&frame, seq);
+  frame.append(payload.data(), payload.size());
+  easytime::Status st = WriteFully(fd_, frame.data(), frame.size());
+  if (!st.ok()) {
+    // Never leave a half-written frame in front of future appends.
+    if (::ftruncate(fd_, static_cast<off_t>(active_bytes_)) != 0) {
+      CloseActiveLocked();  // recovery will truncate the torn tail instead
+    }
+    return st;
+  }
+  active_bytes_ += frame.size();
+  last_seq_ = seq;
+  if (options_.sync_every_append) {
+    EASYTIME_RETURN_IF_ERROR(SyncLocked());
+  }
+  return seq;
+}
+
+easytime::Status Wal::SyncLocked() {
+  EASYTIME_FAULT_POINT("store.fsync");
+  if (fd_ < 0) return easytime::Status::OK();
+  if (::fsync(fd_) != 0) {
+    return easytime::Status::IOError(std::string("wal fsync failed: ") +
+                                     std::strerror(errno));
+  }
+  return easytime::Status::OK();
+}
+
+easytime::Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+void Wal::CloseActiveLocked() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) {
+    EASYTIME_LOG(Warning) << "wal: fsync on segment close failed: "
+                          << std::strerror(errno);
+  }
+  ::close(fd_);
+  fd_ = -1;
+  active_bytes_ = 0;
+}
+
+easytime::Status Wal::RemoveSegmentsCoveredBy(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0 && last_seq_ <= seq) {
+    CloseActiveLocked();  // fully covered active segment may go too
+  }
+  size_t removed = 0;
+  while (removed < segments_.size()) {
+    const bool is_last = removed + 1 == segments_.size();
+    if (is_last && fd_ >= 0) break;  // never delete the open segment
+    uint64_t covered_end =
+        is_last ? last_seq_ : segments_[removed + 1].start_seq - 1;
+    if (covered_end > seq) break;
+    std::error_code ec;
+    fs::remove(segments_[removed].path, ec);
+    if (ec) {
+      return easytime::Status::IOError("cannot remove WAL segment " +
+                                       segments_[removed].path + ": " +
+                                       ec.message());
+    }
+    ++removed;
+  }
+  if (removed > 0) {
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<ptrdiff_t>(removed));
+    EASYTIME_RETURN_IF_ERROR(SyncDir(dir_));
+  }
+  return easytime::Status::OK();
+}
+
+uint64_t Wal::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+std::vector<std::string> Wal::SegmentPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(segments_.size());
+  for (const auto& s : segments_) out.push_back(s.path);
+  return out;
+}
+
+}  // namespace easytime::store

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file wal.h
+/// \brief Write-ahead log: an ordered chain of CRC32-framed records spread
+/// across rotating segment files (DESIGN.md §9). Appends are sequential
+/// writes to the active segment; recovery rebuilds the chain by scanning
+/// segments in order and truncates away any torn or corrupt suffix, so a
+/// crash mid-append loses at most the record being written.
+///
+/// On-disk layout inside a store directory:
+///   wal-<start_seq, 16 hex digits>.log
+/// Segment file = 16-byte header (8-byte magic "EZTWAL01" + u64 start_seq,
+/// little-endian) followed by records:
+///   u32 payload_len | u32 crc32(seq_le || payload) | u64 seq | payload
+/// Sequence numbers increase by exactly 1 across the whole chain; a gap, a
+/// checksum mismatch, or a short frame ends recovery at that point (the file
+/// is truncated to the valid prefix and later segments are deleted).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime::store {
+
+/// Tuning for one log instance.
+struct WalOptions {
+  /// Rotate to a fresh segment once the active one reaches this many bytes.
+  size_t segment_bytes = 1 << 20;
+  /// fsync after every append (strongest durability; otherwise callers batch
+  /// durability points with Sync()).
+  bool sync_every_append = false;
+};
+
+/// What recovery found and repaired while opening a log.
+struct WalRecoveryStats {
+  uint64_t records_replayed = 0;  ///< records handed to the replay callback
+  uint64_t records_skipped = 0;   ///< valid records at or below after_seq
+  uint64_t bytes_dropped = 0;     ///< torn/corrupt suffix truncated away
+  uint64_t segments_dropped = 0;  ///< segments deleted past a corruption
+  uint64_t segments_scanned = 0;
+};
+
+/// \brief The segment-rotating write-ahead log. All methods are thread-safe.
+class Wal {
+ public:
+  /// Receives each recovered record in sequence order during Open.
+  using ReplayFn = std::function<void(uint64_t seq, std::string&& payload)>;
+
+  /// \brief Opens (creating \p dir if needed) and recovers the log. Every
+  /// surviving record with seq > \p after_seq is passed to \p replay (which
+  /// may be null) in order; the torn/corrupt suffix, if any, is truncated
+  /// from disk so subsequent appends extend the valid prefix.
+  static easytime::Result<std::unique_ptr<Wal>> Open(
+      const std::string& dir, const WalOptions& options, uint64_t after_seq,
+      const ReplayFn& replay, WalRecoveryStats* stats = nullptr);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Appends one record, returning its sequence number. Fault point
+  /// "store.append"; a failed write truncates the segment back so the log
+  /// never exposes a half-written record to a later append.
+  easytime::Result<uint64_t> Append(std::string_view payload);
+
+  /// Durability point: fsync the active segment ("store.fsync" fault point).
+  easytime::Status Sync();
+
+  /// \brief Deletes the longest prefix of segments whose records all have
+  /// seq <= \p seq — the compaction path once a snapshot covers them. The
+  /// active segment is closed first if it is fully covered (appends then
+  /// start a fresh segment).
+  easytime::Status RemoveSegmentsCoveredBy(uint64_t seq);
+
+  /// Highest sequence number in the log (0 = empty).
+  uint64_t last_seq() const;
+
+  /// Segment files currently on disk, in chain order (for tests/compaction).
+  std::vector<std::string> SegmentPaths() const;
+
+ private:
+  struct Segment {
+    uint64_t start_seq = 0;
+    std::string path;
+  };
+
+  Wal(std::string dir, WalOptions options);
+
+  /// Recovers the segment chain (called once from Open, pre-concurrency).
+  easytime::Status Recover(uint64_t after_seq, const ReplayFn& replay,
+                           WalRecoveryStats* stats);
+
+  easytime::Status OpenFreshSegmentLocked();
+  easytime::Status SyncLocked();
+  void CloseActiveLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Segment> segments_;  ///< sorted by start_seq; back may be active
+  int fd_ = -1;                    ///< active segment fd; -1 = none open
+  uint64_t active_bytes_ = 0;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace easytime::store

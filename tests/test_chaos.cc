@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,7 +28,7 @@ namespace {
 
 using namespace std::chrono_literals;
 
-core::EasyTime* MakeSystem() {
+core::EasyTime::Options MakeOptions() {
   core::EasyTime::Options opt;
   opt.suite.univariate_per_domain = 1;
   opt.suite.multivariate_total = 1;
@@ -42,7 +43,11 @@ core::EasyTime* MakeSystem() {
   opt.ensemble.ts2vec.hidden_dim = 10;
   opt.ensemble.ts2vec.depth = 2;
   opt.ensemble.classifier.epochs = 80;
-  auto system = core::EasyTime::Create(opt);
+  return opt;
+}
+
+core::EasyTime* MakeSystem() {
+  auto system = core::EasyTime::Create(MakeOptions());
   EXPECT_TRUE(system.ok()) << system.status().ToString();
   return system.ok() ? system->release() : nullptr;
 }
@@ -346,6 +351,114 @@ TEST_F(ChaosTest, KilledJobResumesFromCheckpointWithoutReevaluating) {
 
     // A completed job retires its checkpoint.
     EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The persistence acceptance scenario (DESIGN.md §9): a server restarted
+// against a populated knowledge store must answer recommend/sql identically
+// to the pre-crash server — without re-running the seeding evaluation — and
+// results appended after the restart must survive the next restart via the
+// WAL tail.
+TEST_F(ChaosTest, RestartedServerAnswersIdenticallyFromThePersistedStore) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "easytime_chaos_store")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  core::EasyTime::Options opt = MakeOptions();
+  opt.store_dir = dir;
+
+  const std::string sql_query =
+      "SELECT dataset, method, value FROM results "
+      "WHERE metric = 'mae' ORDER BY dataset, method";
+  std::vector<std::string> dataset_names;
+  std::map<std::string, std::string> recommend_before;
+  std::string sql_before;
+  size_t results_before = 0;
+
+  // Life 1: cold start seeds the knowledge base and checkpoints it.
+  {
+    auto sys = core::EasyTime::Create(opt);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    ASSERT_FALSE((*sys)->restored_from_store());
+    results_before = (*sys)->knowledge().NumResults();
+    ASSERT_GT(results_before, 0u);
+    for (const auto& d : (*sys)->knowledge().datasets()) {
+      dataset_names.push_back(d.name);
+    }
+
+    ForecastServer server(sys->get());
+    server.Start();
+    for (const auto& name : dataset_names) {
+      Json params = Json::Object();
+      params.Set("dataset", name);
+      auto r = server.Call("recommend", params);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      recommend_before[name] = r->Dump();
+    }
+    Json params = Json::Object();
+    params.Set("query", sql_query);
+    auto r = server.Call("sql", params);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Compare the result rows, not the envelope: the response also carries
+    // the query's wall-clock "seconds", which legitimately differs per run.
+    sql_before = r->Get("rows").Dump() + r->GetString("answer", "");
+    server.Stop();
+  }
+
+  // Life 2: the restart. Opens warm, answers must match bit for bit, the
+  // warmed cache serves the first recommend round, and one extra evaluation
+  // lands in the WAL tail.
+  size_t results_after_extra = 0;
+  {
+    auto sys = core::EasyTime::Create(opt);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    ASSERT_TRUE((*sys)->restored_from_store())
+        << "a populated store must skip the seeding evaluation";
+    ASSERT_EQ((*sys)->knowledge().NumResults(), results_before);
+
+    ForecastServer server(sys->get());
+    server.Start();
+    for (const auto& name : dataset_names) {
+      Json params = Json::Object();
+      params.Set("dataset", name);
+      auto r = server.Call("recommend", params);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->Dump(), recommend_before[name])
+          << "restarted recommend must match for " << name;
+    }
+    const Json stats = server.StatsJson();
+    EXPECT_GE(stats.Get("endpoints").Get("recommend").GetInt("cache_hits", 0),
+              static_cast<int64_t>(dataset_names.size()))
+        << "warm start must serve the first recommend round from the cache";
+    Json params = Json::Object();
+    params.Set("query", sql_query);
+    auto r = server.Call("sql", params);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->Get("rows").Dump() + r->GetString("answer", ""), sql_before)
+        << "metric doubles must round-trip the store bit-exactly";
+    server.Stop();
+
+    auto config = Json::Parse(R"({
+      "methods": ["drift"],
+      "evaluation": {"strategy": "fixed", "horizon": 8, "metrics": ["mae"]},
+      "num_threads": 1
+    })");
+    ASSERT_TRUE(config.ok());
+    auto report = (*sys)->OneClickEvaluate(*config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    results_after_extra = (*sys)->knowledge().NumResults();
+    ASSERT_GT(results_after_extra, results_before);
+  }
+
+  // Life 3: the post-restart evaluation survived via the WAL tail.
+  {
+    auto sys = core::EasyTime::Create(opt);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    EXPECT_TRUE((*sys)->restored_from_store());
+    EXPECT_EQ((*sys)->knowledge().NumResults(), results_after_extra)
+        << "records appended after the snapshot must replay from the WAL";
   }
   std::filesystem::remove_all(dir);
 }

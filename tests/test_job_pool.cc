@@ -26,6 +26,7 @@
 #include "methods/forecaster.h"
 #include "methods/registry.h"
 #include "serve/job_manager.h"
+#include "store/record_store.h"
 
 namespace easytime::serve {
 namespace {
@@ -398,6 +399,55 @@ TEST_F(JobPoolTest, CheckpointResumeSplicesUnderConcurrentPool) {
     EXPECT_EQ(AwaitTerminal(manager, *filler), "done");
     EXPECT_FALSE(std::filesystem::exists(ckpt_path));
   }
+  std::filesystem::remove_all(dir);
+}
+
+// A job that crashed between appending its terminal marker and removing its
+// checkpoint leaves an orphan behind; Start() must sweep exactly those.
+TEST_F(JobPoolTest, StartSweepsTerminalOrphanCheckpointsOnly) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "easytime_pool_sweep")
+          .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  JobManager::Options opt;
+  opt.queue_capacity = 4;
+  opt.checkpoint_dir = dir;
+  JobManager manager(system_, opt);
+
+  // Terminal orphan: its WAL holds the "__terminal__" marker a completed
+  // job appends right before removal.
+  const std::string orphan = manager.CheckpointPath("swept-key");
+  {
+    auto ckpt =
+        store::RecordStore::Open(orphan, store::RecordStoreOptions{}, nullptr);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+    Json marker = Json::Object();
+    marker.Set("__terminal__", "done");
+    ASSERT_TRUE((*ckpt)->Append(marker.Dump()).ok());
+    ASSERT_TRUE((*ckpt)->Sync().ok());
+  }
+  // Live checkpoint: a cancelled/crashed job mid-run, records but no marker.
+  const std::string live = manager.CheckpointPath("live-key");
+  {
+    auto ckpt =
+        store::RecordStore::Open(live, store::RecordStoreOptions{}, nullptr);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+    Json rec = Json::Object();
+    rec.Set("dataset", "d");
+    rec.Set("method", "naive");
+    ASSERT_TRUE((*ckpt)->Append(rec.Dump()).ok());
+    ASSERT_TRUE((*ckpt)->Sync().ok());
+  }
+
+  manager.Start();
+  EXPECT_FALSE(std::filesystem::exists(orphan))
+      << "terminal orphans must be swept at startup";
+  EXPECT_TRUE(std::filesystem::exists(live))
+      << "resumable checkpoints must survive the sweep";
+  EXPECT_EQ(manager.stats().swept_checkpoints, 1u);
+  manager.Shutdown();
   std::filesystem::remove_all(dir);
 }
 

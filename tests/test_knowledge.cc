@@ -60,6 +60,39 @@ TEST(KnowledgeBase, DuplicateDatasetIgnored) {
   EXPECT_EQ(seeded.kb.datasets().size(), before);
 }
 
+TEST(KnowledgeBase, RestoreBumpsVersionExactlyOnceAndRebuildsTheIndex) {
+  auto seeded = MakeSeeded();
+  KnowledgeBase restored;
+  const uint64_t before = restored.version();
+  std::vector<DatasetMeta> datasets(seeded.kb.datasets().begin(),
+                                    seeded.kb.datasets().end());
+  std::vector<MethodMeta> methods(seeded.kb.methods().begin(),
+                                  seeded.kb.methods().end());
+  std::vector<ResultEntry> results(seeded.kb.results().begin(),
+                                   seeded.kb.results().end());
+  // A duplicate dataset row in the recovered stream keeps only the first.
+  datasets.push_back(datasets.front());
+  restored.Restore(std::move(datasets), std::move(methods),
+                   std::move(results));
+  EXPECT_EQ(restored.version(), before + 1)
+      << "bulk recovery must not bump version per row";
+  EXPECT_EQ(restored.NumDatasets(), seeded.kb.NumDatasets());
+  EXPECT_EQ(restored.NumResults(), seeded.kb.NumResults());
+  const std::string name = seeded.kb.datasets()[0].name;
+  auto meta = restored.GetDataset(name);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ((*meta)->name, name);
+  EXPECT_EQ(restored.MethodScores(name, "mae"),
+            seeded.kb.MethodScores(name, "mae"));
+  // Restore replaces: a second Restore with empty state clears everything
+  // and still bumps exactly once.
+  const uint64_t mid = restored.version();
+  restored.Restore({}, {}, {});
+  EXPECT_EQ(restored.version(), mid + 1);
+  EXPECT_EQ(restored.NumDatasets(), 0u);
+  EXPECT_FALSE(restored.GetDataset(name).ok());
+}
+
 TEST(KnowledgeBase, ExportToDatabaseIsQueryable) {
   auto seeded = MakeSeeded();
   sql::Database db;
