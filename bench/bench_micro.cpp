@@ -143,6 +143,38 @@ void BM_GemmLarge(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmLarge);
 
+// --- Fast-tier kernel benchmarks (PR 6, DESIGN.md §10). Same workloads as
+// the bit-exact cases above, run under MatrixMode::kFast (FMA-contracted
+// fp64) and kFastF32 (float32 multiply-accumulate), so BENCH_micro.json
+// records all numeric tiers side by side.
+
+void BM_GemmLargeFast(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFast);
+  nn::Matrix a, b, out;
+  GemmOperands(256, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
+}
+BENCHMARK(BM_GemmLargeFast);
+
+void BM_GemmLargeFastF32(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFastF32);
+  nn::Matrix a, b, out;
+  GemmOperands(256, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
+}
+BENCHMARK(BM_GemmLargeFastF32);
+
+// Registered after the tier trio on purpose: the ref-vs-fast ratio is the
+// number PR 6 tracks, so those two run back to back instead of with the
+// multi-second naive sweep between them.
 void BM_GemmLargeNaive(benchmark::State& state) {
   nn::Matrix a, b;
   GemmOperands(256, &a, &b);
@@ -152,6 +184,30 @@ void BM_GemmLargeNaive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
 }
 BENCHMARK(BM_GemmLargeNaive);
+
+void BM_GemmSmallFast(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFast);
+  nn::Matrix a, b, out;
+  GemmOperands(64, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * 64 * 64);
+}
+BENCHMARK(BM_GemmSmallFast);
+
+void BM_GemmSmallFastF32(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFastF32);
+  nn::Matrix a, b, out;
+  GemmOperands(64, &a, &b);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * 64 * 64);
+}
+BENCHMARK(BM_GemmSmallFastF32);
 
 void BM_GruStep(benchmark::State& state) {
   Rng rng(2);
@@ -167,7 +223,22 @@ void BM_GruStep(benchmark::State& state) {
 }
 BENCHMARK(BM_GruStep);
 
-void BM_Ts2VecTrainEpoch(benchmark::State& state) {
+void BM_GruStepFastF32(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFastF32);
+  Rng rng(2);
+  nn::Gru gru(1, 32, &rng);
+  nn::Matrix x = nn::Matrix::Gaussian(64, 1, 1.0, &rng);
+  nn::Matrix g = nn::Matrix::Gaussian(64, 32, 0.1, &rng);
+  nn::Matrix h, dx;
+  for (auto _ : state) {
+    gru.ForwardInto(x, &h);
+    gru.BackwardInto(g, &dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_GruStepFastF32);
+
+void RunTs2VecTrainEpoch(benchmark::State& state) {
   ensemble::Ts2VecOptions opt;
   opt.repr_dim = 16;
   opt.hidden_dim = 24;
@@ -192,7 +263,24 @@ void BM_Ts2VecTrainEpoch(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
   }
 }
+
+void BM_Ts2VecTrainEpoch(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kReference);
+  RunTs2VecTrainEpoch(state);
+}
 BENCHMARK(BM_Ts2VecTrainEpoch);
+
+void BM_Ts2VecTrainEpochFastF32(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFastF32);
+  RunTs2VecTrainEpoch(state);
+}
+BENCHMARK(BM_Ts2VecTrainEpochFastF32);
+
+void BM_Ts2VecTrainEpochFast(benchmark::State& state) {
+  nn::ScopedMatrixMode mode(nn::MatrixMode::kFast);
+  RunTs2VecTrainEpoch(state);
+}
+BENCHMARK(BM_Ts2VecTrainEpochFast);
 
 // Fault points are compiled into production paths permanently; the unarmed
 // check must stay in the ~1ns range (a single relaxed atomic load) so that

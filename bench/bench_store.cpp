@@ -2,15 +2,20 @@
 // store exists for and emits them as JSON (BENCH_store.json via
 // bench/run_store.sh):
 //
-//   1. append    — WAL append throughput, buffered vs fsync-per-append
-//   2. recovery  — reopen (replay) time as the record count grows
-//   3. compaction— on-disk bytes before vs after a snapshot retires the log
+//   1. append       — WAL append throughput, buffered vs fsync-per-append
+//   2. group_commit — durable appends/sec with N concurrent appenders sharing
+//                     one coalesced fsync per batch, vs the single-appender
+//                     fsync-per-append baseline
+//   3. recovery     — reopen (replay) time as the record count grows
+//   4. compaction   — on-disk bytes before vs after a snapshot retires the log
 //
 //   ./build/bench/bench_store [output.json]
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -66,7 +71,58 @@ double AppendThroughput(size_t n, bool sync_every_append) {
   return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
 }
 
-// ---- 2. recovery time vs record count -------------------------------------
+// ---- 2. group-commit durable append throughput -----------------------------
+
+struct GroupCommitNumbers {
+  double records_per_sec = 0.0;
+  double mean_batch_records = 0.0;
+  uint64_t batches = 0;
+};
+
+GroupCommitNumbers GroupCommitThroughput(size_t appenders,
+                                         size_t appends_per_thread) {
+  fs::remove_all(kDir);
+  store::RecordStoreOptions opt;
+  opt.sync_every_append = true;
+  opt.group_commit = true;
+  // With N synchronous appenders at most N records can ever be pending, so
+  // target exactly one full round per fsync: the committer waits (bounded)
+  // until every in-flight appender has written, then pays one fsync for all
+  // of them. The deadline only matters when appenders stall mid-round.
+  opt.group_commit_max_batch = appenders;
+  opt.group_commit_max_delay_us = 1000;
+  auto rs = store::RecordStore::Open(kDir, opt, nullptr);
+  if (!rs.ok()) Die(rs.status());
+
+  std::atomic<size_t> failures{0};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(appenders);
+  for (size_t t = 0; t < appenders; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < appends_per_thread; ++i) {
+        auto seq = (*rs)->Append(Payload(t * appends_per_thread + i));
+        if (!seq.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double seconds = watch.ElapsedSeconds();
+  if (failures.load() != 0) Die(Status::IOError("group-commit append failed"));
+
+  GroupCommitNumbers out;
+  const auto stats = (*rs)->group_commit_stats();
+  const double n = static_cast<double>(appenders * appends_per_thread);
+  out.records_per_sec = seconds > 0.0 ? n / seconds : 0.0;
+  out.batches = stats.batches;
+  out.mean_batch_records =
+      stats.batches > 0
+          ? static_cast<double>(stats.records) / static_cast<double>(stats.batches)
+          : 0.0;
+  return out;
+}
+
+// ---- 3. recovery time vs record count -------------------------------------
 
 double RecoveryMs(size_t n) {
   fs::remove_all(kDir);
@@ -95,7 +151,7 @@ double RecoveryMs(size_t n) {
   return ms;
 }
 
-// ---- 3. compaction ratio --------------------------------------------------
+// ---- 4. compaction ratio --------------------------------------------------
 
 struct CompactionNumbers {
   uint64_t wal_bytes_before = 0;
@@ -157,15 +213,34 @@ int main(int argc, char** argv) {
   Json out = Json::Object();
   Json append_json = Json::Object();
   append_json.Set("payload_bytes", static_cast<int64_t>(120));
+  append_json.Set("threads", static_cast<int64_t>(1));
   append_json.Set("buffered_records_per_sec", buffered_rps);
   append_json.Set("buffered_mb_per_sec", buffered_rps * 120.0 / 1e6);
   append_json.Set("fsync_records_per_sec", synced_rps);
   out.Set("append", std::move(append_json));
 
+  // Durable appends/sec with concurrent appenders sharing one fsync per
+  // batch; speedup is vs the fsync-per-append single-appender baseline above.
+  Json group_json = Json::Array();
+  for (size_t appenders : {size_t{8}, size_t{16}, size_t{32}}) {
+    const GroupCommitNumbers gc = GroupCommitThroughput(appenders, 250);
+    Json point = Json::Object();
+    point.Set("threads", static_cast<int64_t>(appenders));
+    point.Set("records", static_cast<int64_t>(appenders * 250));
+    point.Set("records_per_sec", gc.records_per_sec);
+    point.Set("fsync_batches", static_cast<int64_t>(gc.batches));
+    point.Set("mean_batch_records", gc.mean_batch_records);
+    point.Set("speedup_vs_fsync_per_append",
+              synced_rps > 0.0 ? gc.records_per_sec / synced_rps : 0.0);
+    group_json.Append(std::move(point));
+  }
+  out.Set("group_commit", std::move(group_json));
+
   Json recovery_json = Json::Array();
   for (size_t n : {size_t{1000}, size_t{10000}, size_t{50000}}) {
     Json point = Json::Object();
     point.Set("records", static_cast<int64_t>(n));
+    point.Set("threads", static_cast<int64_t>(1));
     point.Set("recovery_ms", RecoveryMs(n));
     recovery_json.Append(std::move(point));
   }
@@ -174,6 +249,7 @@ int main(int argc, char** argv) {
   CompactionNumbers compaction = CompactionRatio(20000);
   Json compaction_json = Json::Object();
   compaction_json.Set("records", static_cast<int64_t>(20000));
+  compaction_json.Set("threads", static_cast<int64_t>(1));
   compaction_json.Set("wal_bytes_before",
                       static_cast<int64_t>(compaction.wal_bytes_before));
   compaction_json.Set("dir_bytes_after",

@@ -15,6 +15,9 @@ if [[ ! -x "$bin" ]]; then
   exit 1
 fi
 
+# min_time well above the 0.5s default: the training-epoch benchmarks run
+# tens of ms per iteration, and on a busy 1-core CI box the default window
+# is few enough iterations that tier-vs-tier ratios wobble run to run.
 "$bin" --benchmark_format=json --benchmark_out="$repo_root/BENCH_micro.json" \
-  --benchmark_out_format=json
+  --benchmark_out_format=json --benchmark_min_time=2.0
 echo "wrote $repo_root/BENCH_micro.json"

@@ -2,7 +2,9 @@
 # Runs the serving-layer benchmark and writes BENCH_serve.json at the repo
 # root: cache-hit vs cache-miss forecast latency, batched vs unbatched
 # throughput, loopback TCP req/sec, the epoll front-end under multiple
-# clients and pipelining, and the 2-worker job pool vs sequential jobs.
+# clients and pipelining, and the multi-worker job pool (min(cores, 4)
+# workers when >1 core is available) vs sequential jobs. Every section
+# carries a "threads" field recording the configuration it ran with.
 #
 # Usage: bench/run_serve.sh [build_dir]   (default: build)
 set -euo pipefail

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the storage-engine benchmark and writes BENCH_store.json at the repo
-# root: WAL append throughput (buffered vs fsync-per-append), recovery time
-# as the record count grows, and the on-disk compaction ratio.
+# root: WAL append throughput (buffered vs fsync-per-append), group-commit
+# durable throughput with 8 and 16 concurrent appenders, recovery time as
+# the record count grows, and the on-disk compaction ratio.
 #
 # Usage: bench/run_store.sh [build_dir]   (default: build)
 set -euo pipefail

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "methods/registry.h"
+#include "tsdata/dataset_store.h"
 
 namespace easytime::core {
 
@@ -29,9 +30,31 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
   auto system = std::unique_ptr<EasyTime>(new EasyTime());
   system->options_ = options;
 
-  EASYTIME_RETURN_IF_ERROR(system->repository_.AddSuite(options.suite));
-  EASYTIME_LOG(Info) << "EasyTime: generated " << system->repository_.size()
-                     << " benchmark datasets";
+  // With persistence configured, warm starts load the generated benchmark
+  // datasets back from the store instead of regenerating them (the dominant
+  // cost of a cold Create).
+  const std::string dataset_store_dir =
+      options.store_dir.empty() ? std::string()
+                                : options.store_dir + "/datasets";
+  bool datasets_restored = false;
+  if (!dataset_store_dir.empty()) {
+    EASYTIME_ASSIGN_OR_RETURN(
+        datasets_restored,
+        tsdata::LoadRepositoryFromStore(dataset_store_dir,
+                                        &system->repository_));
+  }
+  if (datasets_restored) {
+    EASYTIME_LOG(Info) << "EasyTime: restored " << system->repository_.size()
+                       << " benchmark datasets from " << dataset_store_dir;
+  } else {
+    EASYTIME_RETURN_IF_ERROR(system->repository_.AddSuite(options.suite));
+    EASYTIME_LOG(Info) << "EasyTime: generated " << system->repository_.size()
+                       << " benchmark datasets";
+    if (!dataset_store_dir.empty()) {
+      EASYTIME_RETURN_IF_ERROR(
+          tsdata::PersistRepository(dataset_store_dir, system->repository_));
+    }
+  }
 
   // With persistence configured, a populated store restores the knowledge
   // base (snapshot + WAL tail) and the seeding evaluation is skipped.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/matrix_fast.h"
+
 namespace easytime::nn {
 
 namespace {
@@ -13,34 +15,53 @@ namespace {
 /// vectors of length D; grads are accumulated into ganchor / gcand[k].
 /// \p logits is caller-provided scratch (resized here) so the per-term
 /// buffer is allocated once per loss call, not once per term.
+/// \p fast routes the dot products, the softmax exp row, and the rank-1 grad
+/// updates through the vectorized helpers of the fast kernel TUs — still
+/// double precision, but reassociated sums and libmvec exp, so only the
+/// non-reference tiers use it (the reference tier's strictly-ordered loops
+/// are golden-pinned by test_determinism).
 double InfoNceTerm(const double* anchor,
                    const std::vector<const double*>& cand, size_t pos_index,
                    size_t dim, double* ganchor,
                    const std::vector<double*>& gcand, double weight,
-                   std::vector<double>* logits_scratch) {
+                   std::vector<double>* logits_scratch, bool fast) {
   size_t k = cand.size();
   std::vector<double>& logits = *logits_scratch;
   logits.resize(k);
   double mx = -1e300;
   for (size_t i = 0; i < k; ++i) {
-    double dot = 0.0;
-    for (size_t d = 0; d < dim; ++d) dot += anchor[d] * cand[i][d];
+    double dot;
+    if (fast) {
+      dot = kernel::DotFast(anchor, cand[i], dim);
+    } else {
+      dot = 0.0;
+      for (size_t d = 0; d < dim; ++d) dot += anchor[d] * cand[i][d];
+    }
     logits[i] = dot;
     if (dot > mx) mx = dot;
   }
   double sum = 0.0;
-  for (size_t i = 0; i < k; ++i) {
-    logits[i] = std::exp(logits[i] - mx);
-    sum += logits[i];
+  if (fast) {
+    sum = kernel::ExpSumFast(logits.data(), k, mx);
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      logits[i] = std::exp(logits[i] - mx);
+      sum += logits[i];
+    }
   }
   double loss = -std::log(std::max(logits[pos_index] / sum, 1e-300));
   for (size_t i = 0; i < k; ++i) {
     double p = logits[i] / sum;
     double coef = weight * (p - (i == pos_index ? 1.0 : 0.0));
     if (coef == 0.0) continue;
-    for (size_t d = 0; d < dim; ++d) {
-      ganchor[d] += coef * cand[i][d];
-      gcand[i][d] += coef * anchor[d];
+    if (fast) {
+      kernel::AxpyFast(dim, coef, cand[i], ganchor);
+      kernel::AxpyFast(dim, coef, anchor, gcand[i]);
+    } else {
+      for (size_t d = 0; d < dim; ++d) {
+        ganchor[d] += coef * cand[i][d];
+        gcand[i][d] += coef * anchor[d];
+      }
     }
   }
   return weight * loss;
@@ -69,6 +90,8 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
 
   double loss = 0.0;
   size_t terms = 0;
+  // One mode read per loss call; see InfoNceTerm's fast-path contract.
+  const bool fast = GetMatrixMode() != MatrixMode::kReference;
 
   // Per-term scratch, hoisted out of the loops: clear() keeps capacity so
   // only the first term of each section allocates.
@@ -104,7 +127,7 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
             gcand.push_back(ga[j].data() + t * D);
           }
           loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, alpha,
-                              &logits);
+                              &logits, fast);
           ++terms;
         }
       }
@@ -140,7 +163,7 @@ double DualContrastiveLoss(const std::vector<Matrix>& view1,
             gcand.push_back(ga[i].data() + u * D);
           }
           loss += InfoNceTerm(anchor, cand, pos, D, ganchor, gcand, beta,
-                              &logits);
+                              &logits, fast);
           ++terms;
         }
       }

@@ -23,33 +23,48 @@ Gru::Gru(size_t input_size, size_t hidden_size, Rng* rng)
       b_n_(Matrix::Zeros(1, hidden_size)),
       b_hn_(Matrix::Zeros(1, hidden_size)) {}
 
-void Gru::ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r,
-                      Matrix* pre_z, Matrix* pre_n, Matrix* hn_lin, Matrix* r,
-                      Matrix* z, Matrix* n, Matrix* h) const {
+void Gru::ForwardImpl(const Matrix& x, Matrix* out, Matrix* gates,
+                      Matrix* wi_rz, Matrix* wh, Matrix* r, Matrix* z,
+                      Matrix* n, Matrix* h) const {
   const size_t T = x.rows();
   const size_t H = hidden_size_;
+  const size_t G = 4 * H;  // gate blocks: [pre_r | pre_z | hn_lin | pre_n]
 
-  // Each gate pre-activation row accumulates bias first, then the x terms,
-  // then (per step) the h terms — the per-element order of the scalar loop.
-  auto seed_bias = [T, H](Matrix* m, const Matrix& bias) {
-    m->Resize(T, H);
-    const double* pb = bias.data();
-    for (size_t t = 0; t < T; ++t) {
-      double* row = m->row_data(t);
-      for (size_t j = 0; j < H; ++j) row[j] = pb[j];
-    }
-  };
-  seed_bias(pre_r, b_r_.value);
-  seed_bias(pre_z, b_z_.value);
-  seed_bias(pre_n, b_n_.value);
-  seed_bias(hn_lin, b_hn_.value);
+  // Pack the per-gate weights into concatenated column blocks. Column j of
+  // each gate keeps its exact weight column, so every pre-activation element
+  // sees the same values in the same ascending-k order as the unfused
+  // per-gate GEMMs — the batching below is bit-exact.
+  wi_rz->Resize(input_size_, 2 * H);
+  for (size_t i = 0; i < input_size_; ++i) {
+    double* row = wi_rz->row_data(i);
+    std::copy_n(w_ir_.value.row_data(i), H, row);
+    std::copy_n(w_iz_.value.row_data(i), H, row + H);
+  }
+  wh->Resize(H, 3 * H);
+  for (size_t i = 0; i < H; ++i) {
+    double* row = wh->row_data(i);
+    std::copy_n(w_hr_.value.row_data(i), H, row);
+    std::copy_n(w_hz_.value.row_data(i), H, row + H);
+    std::copy_n(w_hn_.value.row_data(i), H, row + 2 * H);
+  }
 
+  // Each gate pre-activation accumulates bias first, then the x terms, then
+  // (per step) the h terms — the per-element order of the scalar loop.
+  gates->Resize(T, G);
+  for (size_t t = 0; t < T; ++t) {
+    double* row = gates->row_data(t);
+    std::copy_n(b_r_.value.data(), H, row);
+    std::copy_n(b_z_.value.data(), H, row + H);
+    std::copy_n(b_hn_.value.data(), H, row + 2 * H);
+    std::copy_n(b_n_.value.data(), H, row + 3 * H);
+  }
+
+  // Whole-sequence input products: r+z in one GEMM into blocks 0-1, n into
+  // block 3 (block 2, hn_lin, takes the recurrent term instead).
+  kernel::GemmAcc(T, 2 * H, input_size_, x.data(), input_size_,
+                  wi_rz->data(), 2 * H, gates->data(), G);
   kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
-                  w_ir_.value.data(), H, pre_r->data(), H);
-  kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
-                  w_iz_.value.data(), H, pre_z->data(), H);
-  kernel::GemmAcc(T, H, input_size_, x.data(), input_size_,
-                  w_in_.value.data(), H, pre_n->data(), H);
+                  w_in_.value.data(), H, gates->data() + 3 * H, G);
 
   r->Resize(T, H);
   z->Resize(T, H);
@@ -60,16 +75,13 @@ void Gru::ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r,
   const std::vector<double> zero_state(H, 0.0);
   const double* h_prev = zero_state.data();
   for (size_t t = 0; t < T; ++t) {
-    kernel::GemmAcc(1, H, H, h_prev, H, w_hr_.value.data(), H,
-                    pre_r->row_data(t), H);
-    kernel::GemmAcc(1, H, H, h_prev, H, w_hz_.value.data(), H,
-                    pre_z->row_data(t), H);
-    kernel::GemmAcc(1, H, H, h_prev, H, w_hn_.value.data(), H,
-                    hn_lin->row_data(t), H);
-    const double* ar = pre_r->row_data(t);
-    const double* az = pre_z->row_data(t);
-    const double* an = pre_n->row_data(t);
-    const double* hn = hn_lin->row_data(t);
+    // One batched recurrent product per step over blocks 0-2 (r, z, hn).
+    kernel::GemmAcc(1, 3 * H, H, h_prev, H, wh->data(), 3 * H,
+                    gates->row_data(t), G);
+    const double* ar = gates->row_data(t);
+    const double* az = ar + H;
+    const double* hn = ar + 2 * H;
+    const double* an = ar + 3 * H;
     double* rr = r->row_data(t);
     double* zr = z->row_data(t);
     double* nr = n->row_data(t);
@@ -92,13 +104,12 @@ void Gru::ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r,
 
 void Gru::ForwardInto(const Matrix& x, Matrix* out) {
   cached_input_ = x;
-  ForwardImpl(x, out, &pre_r_, &pre_z_, &pre_n_, &hn_lin_, &r_, &z_, &n_,
-              &h_);
+  ForwardImpl(x, out, &gates_, &wi_rz_pack_, &wh_pack_, &r_, &z_, &n_, &h_);
 }
 
 void Gru::ForwardConst(const Matrix& x, Matrix* out) const {
-  Matrix pre_r, pre_z, pre_n, hn_lin, r, z, n, h;
-  ForwardImpl(x, out, &pre_r, &pre_z, &pre_n, &hn_lin, &r, &z, &n, &h);
+  Matrix gates, wi_rz, wh, r, z, n, h;
+  ForwardImpl(x, out, &gates, &wi_rz, &wh, &r, &z, &n, &h);
 }
 
 void Gru::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
@@ -130,7 +141,7 @@ void Gru::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
     const double* rrow = r_.row_data(ti);
     const double* zrow = z_.row_data(ti);
     const double* nrow = n_.row_data(ti);
-    const double* hnrow = hn_lin_.row_data(ti);
+    const double* hnrow = gates_.row_data(ti) + 2 * H;  // hn_lin block
     for (size_t j = 0; j < H; ++j) {
       double r = rrow[j], z = zrow[j], n = nrow[j];
       double dn = dh[j] * (1.0 - z);

@@ -18,12 +18,18 @@ namespace easytime::nn {
 ///   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
 /// Forward takes the whole sequence; the initial hidden state is zero.
 ///
-/// The input-to-hidden products for the whole sequence go through one GEMM
-/// per gate; the recurrent products are one GEMM row per step. Each gate
-/// pre-activation accumulates bias, then x terms, then h terms — the same
-/// per-element order as the scalar reference. The backward pass stays
-/// scalar: its input/hidden gradients interleave the three gate terms inside
-/// one summation, which separate GEMMs cannot reproduce bit-for-bit.
+/// The gate pre-activations live in one (time x 4H) matrix with column
+/// blocks [pre_r | pre_z | hn_lin | pre_n], and the per-gate weights are
+/// packed into matching concatenated blocks. That batches the gate products:
+/// the input-to-hidden work is two whole-sequence GEMMs (r+z fused, n
+/// separate because hn_lin takes the recurrent term instead), and the
+/// recurrent work is ONE (1 x 3H) GEMM per step instead of three (1 x H)
+/// calls. Each gate pre-activation element accumulates bias, then its x
+/// terms, then its h terms in ascending k order — exactly the per-element
+/// chains of the unfused per-gate GEMMs, so the fusion is bit-exact. The
+/// backward pass stays scalar: its input/hidden gradients interleave the
+/// three gate terms inside one summation, which separate GEMMs cannot
+/// reproduce bit-for-bit.
 class Gru : public Layer {
  public:
   Gru(size_t input_size, size_t hidden_size, Rng* rng);
@@ -39,9 +45,12 @@ class Gru : public Layer {
 
  private:
   /// Shared forward computation; fills the caches when they are given.
-  void ForwardImpl(const Matrix& x, Matrix* out, Matrix* pre_r, Matrix* pre_z,
-                   Matrix* pre_n, Matrix* hn_lin, Matrix* r, Matrix* z,
-                   Matrix* n, Matrix* h) const;
+  /// \p gates is the (time x 4H) pre-activation matrix described above;
+  /// \p wi_rz / \p wh are workspaces for the packed weight blocks
+  /// ([W_ir|W_iz], input x 2H and [W_hr|W_hz|W_hn], H x 3H).
+  void ForwardImpl(const Matrix& x, Matrix* out, Matrix* gates, Matrix* wi_rz,
+                   Matrix* wh, Matrix* r, Matrix* z, Matrix* n,
+                   Matrix* h) const;
 
   size_t input_size_;
   size_t hidden_size_;
@@ -53,8 +62,9 @@ class Gru : public Layer {
 
   // Per-timestep caches for BPTT (rows are timesteps); reused across calls.
   Matrix cached_input_;
-  Matrix r_, z_, n_, h_, hn_lin_;
-  Matrix pre_r_, pre_z_, pre_n_;  // gate pre-activation workspaces
+  Matrix r_, z_, n_, h_;
+  Matrix gates_;               // (time x 4H): [pre_r | pre_z | hn_lin | pre_n]
+  Matrix wi_rz_pack_, wh_pack_;  // packed weight workspaces
 
   // Backward scratch, reused across calls.
   std::vector<double> bwd_dh_, bwd_dh_prev_, bwd_dh_next_;

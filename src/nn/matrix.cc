@@ -1,11 +1,45 @@
 #include "nn/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/thread_pool.h"
+#include "nn/matrix_fast.h"
 
 namespace easytime::nn {
+
+namespace {
+
+MatrixMode ModeFromEnv() {
+  const char* env = std::getenv("EASYTIME_FAST_MATH");
+  if (env == nullptr) return MatrixMode::kReference;
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+      std::strcmp(env, "fast") == 0) {
+    return MatrixMode::kFast;
+  }
+  if (std::strcmp(env, "2") == 0 || std::strcmp(env, "f32") == 0) {
+    return MatrixMode::kFastF32;
+  }
+  return MatrixMode::kReference;
+}
+
+std::atomic<int>& ModeFlag() {
+  static std::atomic<int> mode{static_cast<int>(ModeFromEnv())};
+  return mode;
+}
+
+}  // namespace
+
+MatrixMode GetMatrixMode() {
+  return static_cast<MatrixMode>(ModeFlag().load(std::memory_order_relaxed));
+}
+
+void SetMatrixMode(MatrixMode mode) {
+  ModeFlag().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
 
 namespace kernel {
 
@@ -238,6 +272,16 @@ void GemmAccRows(size_t i_begin, size_t i_end, size_t n, size_t k,
 void GemmAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
              const double* b, size_t ldb, double* c, size_t ldc) {
   if (m == 0 || n == 0 || k == 0) return;
+  switch (GetMatrixMode()) {
+    case MatrixMode::kFast:
+      GemmAccFast(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kFastF32:
+      GemmAccFastF32(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kReference:
+      break;
+  }
   // Row ranges are independent, so splitting them across the shared pool is
   // deterministic (each C element is produced by exactly one thread with the
   // same instruction sequence as the serial path). With fewer than two
@@ -262,6 +306,17 @@ void GemmAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
 
 void GemmTransAAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
                    const double* b, size_t ldb, double* c, size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  switch (GetMatrixMode()) {
+    case MatrixMode::kFast:
+      GemmTransAAccFast(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kFastF32:
+      GemmTransAAccFastF32(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kReference:
+      break;
+  }
   // C = A^T B accumulates as k rank-1 updates: for each kk, row kk of A and
   // row kk of B are both contiguous, and C (a gradient panel, small here)
   // stays cache-resident. Per-element order is kk-ascending.
@@ -278,6 +333,17 @@ void GemmTransAAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
 
 void GemmTransBAcc(size_t m, size_t n, size_t k, const double* a, size_t lda,
                    const double* b, size_t ldb, double* c, size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  switch (GetMatrixMode()) {
+    case MatrixMode::kFast:
+      GemmTransBAccFast(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kFastF32:
+      GemmTransBAccFastF32(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case MatrixMode::kReference:
+      break;
+  }
   // C[i][j] = dot(A row i, B row j): both operands stream contiguously.
   // 2x2 register tile -> four independent accumulator chains; each chain
   // adds its k terms sequentially in ascending order.

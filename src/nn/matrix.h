@@ -19,11 +19,49 @@
 
 namespace easytime::nn {
 
+/// \brief Numeric tier of the GEMM kernels (DESIGN.md §10). The reference
+/// tier is the default: bit-exact ascending-k accumulation with FMA
+/// contraction disabled, pinned by the determinism suite. The fast tiers
+/// trade bit-exactness for speed and are covered by the relaxed-tolerance
+/// suite (tests/test_fast_math.cc) instead.
+enum class MatrixMode : int {
+  /// Bit-exact kernels; blocked == naive bit-for-bit.
+  kReference = 0,
+  /// FMA-contracted fp64 kernels compiled for the host ISA.
+  kFast = 1,
+  /// float32 multiply-accumulate inside a k-block, fp64 storage and fp64
+  /// accumulation across blocks (and at all loss/metric boundaries, which
+  /// never leave fp64). Fastest tier for the encoder stack.
+  kFastF32 = 2,
+};
+
+/// The process-wide kernel tier. Initialized once from EASYTIME_FAST_MATH
+/// ("1"/"on"/"fast" = kFast, "2"/"f32" = kFastF32, anything else =
+/// reference); reads are a single relaxed atomic load.
+MatrixMode GetMatrixMode();
+void SetMatrixMode(MatrixMode mode);
+
+/// RAII mode override for tests and benchmarks.
+class ScopedMatrixMode {
+ public:
+  explicit ScopedMatrixMode(MatrixMode mode) : previous_(GetMatrixMode()) {
+    SetMatrixMode(mode);
+  }
+  ~ScopedMatrixMode() { SetMatrixMode(previous_); }
+  ScopedMatrixMode(const ScopedMatrixMode&) = delete;
+  ScopedMatrixMode& operator=(const ScopedMatrixMode&) = delete;
+
+ private:
+  MatrixMode previous_;
+};
+
 /// \brief Raw row-major GEMM micro-kernels. All variants *accumulate* into C
-/// (callers zero or bias-seed C first) and keep per-element accumulation in
-/// ascending k order, which makes them drop-in replacements for naive loops
-/// without numerical drift. Strides (lda/ldb/ldc) are row strides, allowing
-/// shifted / sub-panel views (used by the causal convolutions).
+/// (callers zero or bias-seed C first). In MatrixMode::kReference they keep
+/// per-element accumulation in ascending k order, which makes them drop-in
+/// replacements for naive loops without numerical drift; the fast tiers
+/// dispatch to FMA/float32 kernels instead. Strides (lda/ldb/ldc) are row
+/// strides, allowing shifted / sub-panel views (used by the causal
+/// convolutions).
 namespace kernel {
 
 /// C (m x n) += A (m x k) * B (k x n).

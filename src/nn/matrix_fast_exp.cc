@@ -1,0 +1,21 @@
+#include "nn/matrix_fast.h"
+
+#include <cmath>
+
+namespace easytime::nn::kernel {
+
+// Compiled with -ffast-math (see src/nn/CMakeLists.txt): __FAST_MATH__ turns
+// on glibc's SIMD declarations for exp, so this loop vectorizes into libmvec
+// calls instead of 145k scalar exp@PLT calls per contrastive-loss step. The
+// TU is kept to this one function because -ffast-math implies
+// -ffinite-math-only; callers guarantee finite inputs (max-shifted logits).
+double ExpSumFast(double* v, size_t n, double shift) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::exp(v[i] - shift);
+    sum += v[i];
+  }
+  return sum;
+}
+
+}  // namespace easytime::nn::kernel

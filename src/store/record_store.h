@@ -30,6 +30,11 @@ struct RecordStoreOptions {
   size_t segment_bytes = 1 << 20;
   /// fsync the WAL after every append (otherwise callers batch with Sync()).
   bool sync_every_append = false;
+  /// Coalesce concurrent durable appends into one fsync per batch (see
+  /// WalOptions::group_commit); only meaningful with sync_every_append.
+  bool group_commit = false;
+  size_t group_commit_max_batch = 64;
+  uint32_t group_commit_max_delay_us = 0;
   /// Snapshot images retained by Compact(); must be >= 1. With the default 2,
   /// WAL segments are only deleted once a second snapshot exists, so a
   /// corrupt newest snapshot never loses data.
@@ -79,6 +84,11 @@ class RecordStore {
     return appends_since_compaction_;
   }
   const std::string& dir() const { return dir_; }
+
+  /// Group-commit counters of the underlying WAL (for tests/benchmarks).
+  WalGroupCommitStats group_commit_stats() const {
+    return wal_->group_commit_stats();
+  }
 
  private:
   RecordStore(std::string dir, RecordStoreOptions options,

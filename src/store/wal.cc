@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -129,6 +130,14 @@ Wal::Wal(std::string dir, WalOptions options)
     : dir_(std::move(dir)), options_(options) {}
 
 Wal::~Wal() {
+  if (committer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      committer_stop_ = true;
+    }
+    commit_cv_.notify_all();
+    committer_.join();  // drains any pending batch before exiting
+  }
   std::lock_guard<std::mutex> lock(mu_);
   CloseActiveLocked();
 }
@@ -161,6 +170,10 @@ easytime::Result<std::unique_ptr<Wal>> Wal::Open(
   WalRecoveryStats local;
   EASYTIME_RETURN_IF_ERROR(
       wal->Recover(after_seq, replay, stats ? stats : &local));
+  if (options.group_commit && options.sync_every_append) {
+    wal->durable_seq_ = wal->last_seq_;  // recovery leaves nothing pending
+    wal->committer_ = std::thread(&Wal::CommitterLoop, wal.get());
+  }
   return wal;
 }
 
@@ -283,7 +296,7 @@ easytime::Status Wal::OpenFreshSegmentLocked() {
 }
 
 easytime::Result<uint64_t> Wal::Append(std::string_view payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   EASYTIME_FAULT_POINT("store.append");
   if (payload.size() > kMaxPayload) {
     return easytime::Status::InvalidArgument(
@@ -311,9 +324,94 @@ easytime::Result<uint64_t> Wal::Append(std::string_view payload) {
   active_bytes_ += frame.size();
   last_seq_ = seq;
   if (options_.sync_every_append) {
+    if (GroupCommitActive()) {
+      // Hand durability to the committer and block until a batch fsync (or a
+      // failure) covers this record. The log mutex is dropped BEFORE parking
+      // on the ack cv, so concurrent appenders write their records in the
+      // meantime — that is the batch the next fsync acknowledges — and the
+      // post-fsync wakeup never serializes behind writers of that batch.
+      lock.unlock();
+      commit_cv_.notify_one();
+      std::unique_lock<std::mutex> ack(ack_mu_);
+      ack_cv_.wait(ack, [&] {
+        return durable_seq_.load(std::memory_order_acquire) >= seq ||
+               failed_seq_.load(std::memory_order_acquire) >= seq;
+      });
+      if (durable_seq_.load(std::memory_order_acquire) >= seq) return seq;
+      return commit_status_.ok()
+                 ? easytime::Status::IOError("wal group commit failed")
+                 : commit_status_;
+    }
     EASYTIME_RETURN_IF_ERROR(SyncLocked());
   }
   return seq;
+}
+
+void Wal::CommitterLoop() {
+  const auto acked = [&] {
+    return std::max(durable_seq_.load(std::memory_order_relaxed),
+                    failed_seq_.load(std::memory_order_relaxed));
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    commit_cv_.wait(lock, [&] {
+      return committer_stop_ || last_seq_ > acked();
+    });
+    if (last_seq_ <= acked()) {
+      if (committer_stop_) return;
+      continue;  // spurious / already covered
+    }
+    if (options_.group_commit_max_delay_us > 0 && !committer_stop_) {
+      // Size-or-deadline: give the batch a bounded chance to fill before
+      // paying the fsync (mirrors the serve micro-batcher).
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.group_commit_max_delay_us);
+      commit_cv_.wait_until(lock, deadline, [&] {
+        return committer_stop_ ||
+               last_seq_ - acked() >= options_.group_commit_max_batch;
+      });
+    }
+    const uint64_t base = acked();
+    const uint64_t target = last_seq_;
+    // fsync a dup of the active fd OUTSIDE the mutex: appenders keep writing
+    // (forming the next batch) while this batch commits. Records <= target
+    // in earlier, rotated segments were fsync'd by CloseActiveLocked.
+    const bool had_fd = fd_ >= 0;
+    const int dupfd = had_fd ? ::dup(fd_) : -1;
+    lock.unlock();
+    easytime::Status st = [&]() -> easytime::Status {
+      EASYTIME_FAULT_POINT("store.fsync");
+      if (had_fd && dupfd < 0) {
+        return easytime::Status::IOError("wal group commit: dup failed");
+      }
+      if (dupfd >= 0 && ::fsync(dupfd) != 0) {
+        return easytime::Status::IOError(std::string("wal fsync failed: ") +
+                                         std::strerror(errno));
+      }
+      return easytime::Status::OK();
+    }();
+    if (dupfd >= 0) ::close(dupfd);
+    {
+      // Publish under ack_mu_ only — the log mutex stays free for the next
+      // batch's writers while this batch's waiters drain.
+      std::lock_guard<std::mutex> ack(ack_mu_);
+      if (st.ok()) {
+        if (durable_seq_.load(std::memory_order_relaxed) < target) {
+          durable_seq_.store(target, std::memory_order_release);
+        }
+        ++gc_stats_.batches;
+        gc_stats_.records += target - base;
+      } else {
+        if (failed_seq_.load(std::memory_order_relaxed) < target) {
+          failed_seq_.store(target, std::memory_order_release);
+        }
+        commit_status_ = st;
+      }
+    }
+    ack_cv_.notify_all();
+    lock.lock();
+  }
 }
 
 easytime::Status Wal::SyncLocked() {
@@ -336,6 +434,22 @@ void Wal::CloseActiveLocked() {
   if (::fsync(fd_) != 0) {
     EASYTIME_LOG(Warning) << "wal: fsync on segment close failed: "
                           << std::strerror(errno);
+    if (GroupCommitActive()) {
+      // Waiters whose records sit in this segment must not be acked as
+      // durable by a later batch fsync of the NEXT segment. Lock order is
+      // always mu_ -> ack_mu_ (never the reverse), so taking ack_mu_ here
+      // under mu_ cannot deadlock with the committer or with waiters.
+      {
+        std::lock_guard<std::mutex> ack(ack_mu_);
+        if (failed_seq_.load(std::memory_order_relaxed) < last_seq_) {
+          failed_seq_.store(last_seq_, std::memory_order_release);
+        }
+        commit_status_ = easytime::Status::IOError(
+            std::string("wal fsync on segment close failed: ") +
+            std::strerror(errno));
+      }
+      ack_cv_.notify_all();
+    }
   }
   ::close(fd_);
   fd_ = -1;
@@ -382,6 +496,11 @@ std::vector<std::string> Wal::SegmentPaths() const {
   out.reserve(segments_.size());
   for (const auto& s : segments_) out.push_back(s.path);
   return out;
+}
+
+WalGroupCommitStats Wal::group_commit_stats() const {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  return gc_stats_;
 }
 
 }  // namespace easytime::store

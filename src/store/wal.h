@@ -16,12 +16,15 @@
 /// checksum mismatch, or a short frame ends recovery at that point (the file
 /// is truncated to the valid prefix and later segments are deleted).
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -35,6 +38,25 @@ struct WalOptions {
   /// fsync after every append (strongest durability; otherwise callers batch
   /// durability points with Sync()).
   bool sync_every_append = false;
+  /// Group commit: coalesce concurrent durable appends into one fsync. Only
+  /// meaningful with sync_every_append. Appenders write their record under
+  /// the log mutex as usual, then block until the committer thread's next
+  /// batch fsync covers their sequence number, so every Append still returns
+  /// only once its record is durable — but one fsync now acknowledges every
+  /// record written while the previous fsync was in flight.
+  bool group_commit = false;
+  /// Batch size at which the committer stops waiting for more appenders.
+  size_t group_commit_max_batch = 64;
+  /// Extra time the committer may wait for a batch to fill once at least one
+  /// record is pending (0 = commit whatever accumulated while the previous
+  /// fsync ran — natural batching, lowest latency).
+  uint32_t group_commit_max_delay_us = 0;
+};
+
+/// Observed group-commit activity (for tests and benchmarks).
+struct WalGroupCommitStats {
+  uint64_t batches = 0;  ///< fsync batches issued by the committer
+  uint64_t records = 0;  ///< records acknowledged by those batches
 };
 
 /// What recovery found and repaired while opening a log.
@@ -84,6 +106,9 @@ class Wal {
   /// Segment files currently on disk, in chain order (for tests/compaction).
   std::vector<std::string> SegmentPaths() const;
 
+  /// Group-commit counters (zeros when group commit is off).
+  WalGroupCommitStats group_commit_stats() const;
+
  private:
   struct Segment {
     uint64_t start_seq = 0;
@@ -100,6 +125,12 @@ class Wal {
   easytime::Status SyncLocked();
   void CloseActiveLocked();
 
+  /// Committer thread body (group commit): waits for pending records, then
+  /// fsyncs OUTSIDE the log mutex on a dup'd fd so the next batch forms
+  /// while the current one commits, then acks waiters through durable_seq_.
+  void CommitterLoop();
+  bool GroupCommitActive() const { return committer_.joinable(); }
+
   const std::string dir_;
   const WalOptions options_;
 
@@ -108,6 +139,22 @@ class Wal {
   int fd_ = -1;                    ///< active segment fd; -1 = none open
   uint64_t active_bytes_ = 0;
   uint64_t last_seq_ = 0;
+
+  // Group-commit state. The committer's pending-work wait runs under mu_
+  // (it reads last_seq_), but acks live on their own mutex: appenders waiting
+  // for durability park on ack_mu_/ack_cv_, so the post-fsync wakeup herd
+  // never contends with appenders writing the NEXT batch under mu_. The
+  // watermarks are atomics because the committer publishes them without mu_
+  // and both wait predicates read them.
+  std::condition_variable commit_cv_;  ///< wakes the committer (paired w/ mu_)
+  std::thread committer_;
+  bool committer_stop_ = false;  ///< guarded by mu_
+  std::atomic<uint64_t> durable_seq_{0};  ///< records <= this are fsync'd
+  std::atomic<uint64_t> failed_seq_{0};   ///< records <= this failed a commit
+  mutable std::mutex ack_mu_;
+  std::condition_variable ack_cv_;  ///< paired with ack_mu_
+  easytime::Status commit_status_ = easytime::Status::OK();  ///< ack_mu_
+  WalGroupCommitStats gc_stats_;                             ///< ack_mu_
 };
 
 }  // namespace easytime::store

@@ -1,0 +1,107 @@
+#include "tsdata/dataset_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/json.h"
+#include "store/record_store.h"
+
+namespace easytime::tsdata {
+
+namespace {
+
+Json SeriesToJson(const Series& s) {
+  Json j = Json::Object();
+  j.Set("name", s.name());
+  j.Set("domain", DomainName(s.domain()));
+  j.Set("period_hint", static_cast<int64_t>(s.period_hint()));
+  Json values = Json::Array();
+  for (double v : s.values()) values.Append(v);
+  j.Set("values", std::move(values));
+  return j;
+}
+
+easytime::Result<Series> SeriesFromJson(const Json& j) {
+  if (!j.is_object() || !j.Get("values").is_array()) {
+    return easytime::Status::ParseError("dataset store: malformed series row");
+  }
+  std::vector<double> values;
+  values.reserve(j.Get("values").size());
+  for (const Json& v : j.Get("values").items()) {
+    if (!v.is_number()) {
+      return easytime::Status::ParseError(
+          "dataset store: non-numeric series value");
+    }
+    values.push_back(v.AsDouble());
+  }
+  Series s(j.GetString("name", ""), std::move(values));
+  s.set_period_hint(static_cast<size_t>(j.GetInt("period_hint", 0)));
+  auto domain_or = ParseDomain(j.GetString("domain", "web"));
+  EASYTIME_RETURN_IF_ERROR(domain_or.status());
+  s.set_domain(*domain_or);
+  return s;
+}
+
+Json DatasetToJson(const Dataset& ds) {
+  Json j = Json::Object();
+  j.Set("name", ds.name());
+  j.Set("domain", DomainName(ds.domain()));
+  Json channels = Json::Array();
+  for (const Series& s : ds.channels()) channels.Append(SeriesToJson(s));
+  j.Set("channels", std::move(channels));
+  return j;
+}
+
+easytime::Result<Dataset> DatasetFromJson(const Json& j) {
+  if (!j.is_object() || !j.Get("channels").is_array()) {
+    return easytime::Status::ParseError("dataset store: malformed dataset row");
+  }
+  Dataset ds(j.GetString("name", ""));
+  auto domain_or = ParseDomain(j.GetString("domain", "web"));
+  EASYTIME_RETURN_IF_ERROR(domain_or.status());
+  ds.set_domain(*domain_or);
+  for (const Json& c : j.Get("channels").items()) {
+    auto series_or = SeriesFromJson(c);
+    EASYTIME_RETURN_IF_ERROR(series_or.status());
+    EASYTIME_RETURN_IF_ERROR(ds.AddChannel(std::move(*series_or)));
+  }
+  return ds;
+}
+
+}  // namespace
+
+easytime::Result<bool> LoadRepositoryFromStore(const std::string& dir,
+                                               Repository* repo) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return false;  // cold start
+
+  store::RecordStoreOptions options;
+  store::RecordStoreRecovery recovery;
+  auto store_or = store::RecordStore::Open(dir, options, &recovery);
+  EASYTIME_RETURN_IF_ERROR(store_or.status());
+  if (recovery.tail.empty()) return false;
+
+  for (const auto& [seq, payload] : recovery.tail) {
+    (void)seq;
+    auto json_or = Json::Parse(payload);
+    EASYTIME_RETURN_IF_ERROR(json_or.status());
+    auto ds_or = DatasetFromJson(*json_or);
+    EASYTIME_RETURN_IF_ERROR(ds_or.status());
+    EASYTIME_RETURN_IF_ERROR(repo->Add(std::move(*ds_or)));
+  }
+  return true;
+}
+
+easytime::Status PersistRepository(const std::string& dir,
+                                   const Repository& repo) {
+  store::RecordStoreOptions options;
+  auto store_or = store::RecordStore::Open(dir, options);
+  EASYTIME_RETURN_IF_ERROR(store_or.status());
+  store::RecordStore& store = **store_or;
+  for (const Dataset* ds : repo.All()) {
+    EASYTIME_RETURN_IF_ERROR(store.Append(DatasetToJson(*ds).Dump()).status());
+  }
+  return store.Sync();
+}
+
+}  // namespace easytime::tsdata

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file dataset_store.h
+/// \brief Durable dataset cache on top of the record store. Generating the
+/// benchmark suite is the dominant cost of a cold EasyTime::Create; when a
+/// store directory is configured, the generated datasets are persisted once
+/// (one JSON record per dataset, values in the round-trip-exact number
+/// format of common/json.cc) and warm starts rebuild the repository straight
+/// from disk, skipping generation entirely.
+
+#include <string>
+
+#include "common/result.h"
+#include "tsdata/repository.h"
+
+namespace easytime::tsdata {
+
+/// \brief Rebuilds \p repo from the dataset store at \p dir. Returns true
+/// when the store existed and held at least one dataset (the warm-start
+/// path), false when there is nothing to load (cold start; the directory is
+/// not created). Errors are real I/O or decode failures.
+easytime::Result<bool> LoadRepositoryFromStore(const std::string& dir,
+                                               Repository* repo);
+
+/// \brief Persists every dataset in \p repo to the store at \p dir
+/// (creating it), one record per dataset, and syncs once at the end.
+easytime::Status PersistRepository(const std::string& dir,
+                                   const Repository& repo);
+
+}  // namespace easytime::tsdata

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "test_util.h"
 
@@ -39,6 +40,59 @@ class EasyTimeTest : public ::testing::Test {
 };
 
 EasyTime* EasyTimeTest::system_ = nullptr;
+
+// Dataset persistence: a store-backed Create persists the generated suite,
+// and the next Create rebuilds the repository from disk — bit-identical
+// values, no regeneration.
+TEST(EasyTimeDatasetStoreTest, WarmStartLoadsDatasetsFromTheStore) {
+  const std::string dir = (std::filesystem::path(::testing::TempDir()) /
+                           "easytime_dataset_store")
+                              .string();
+  std::filesystem::remove_all(dir);
+
+  EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae"};
+  opt.seed_methods = {"naive", "drift"};
+  opt.pretrain_ensemble = false;
+  opt.store_dir = dir;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> values;
+  {
+    auto cold = EasyTime::Create(opt);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ASSERT_FALSE((*cold)->restored_from_store());
+    for (const auto* ds : (*cold)->repository()->All()) {
+      names.push_back(ds->name());
+      for (const auto& ch : ds->channels()) values.push_back(ch.values());
+    }
+    ASSERT_FALSE(names.empty());
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/datasets"))
+      << "cold start must persist the generated datasets";
+
+  auto warm = EasyTime::Create(opt);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE((*warm)->restored_from_store());
+  std::vector<std::string> warm_names;
+  std::vector<std::vector<double>> warm_values;
+  for (const auto* ds : (*warm)->repository()->All()) {
+    warm_names.push_back(ds->name());
+    for (const auto& ch : ds->channels()) warm_values.push_back(ch.values());
+  }
+  EXPECT_EQ(warm_names, names) << "same datasets in the same order";
+  ASSERT_EQ(warm_values.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(warm_values[i], values[i])
+        << "restored channel " << i << " must round-trip bit-exactly";
+  }
+  std::filesystem::remove_all(dir);
+}
 
 TEST_F(EasyTimeTest, CreateSeedsEverything) {
   EXPECT_EQ(system_->repository()->size(), 11u);  // 10 domains + 1 mv
