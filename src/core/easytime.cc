@@ -38,10 +38,18 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
                                 : options.store_dir + "/datasets";
   bool datasets_restored = false;
   if (!dataset_store_dir.empty()) {
-    EASYTIME_ASSIGN_OR_RETURN(
-        datasets_restored,
-        tsdata::LoadRepositoryFromStore(dataset_store_dir,
-                                        &system->repository_));
+    auto restored_or = tsdata::LoadRepositoryFromStore(
+        dataset_store_dir, options.suite, &system->repository_);
+    if (restored_or.ok()) {
+      datasets_restored = *restored_or;
+    } else {
+      // A damaged dataset cache must never prevent startup: regenerate, and
+      // PersistRepository below replaces the bad store wholesale.
+      EASYTIME_LOG(Warning) << "EasyTime: ignoring unusable dataset store at "
+                            << dataset_store_dir << " ("
+                            << restored_or.status().ToString()
+                            << "); regenerating the benchmark suite";
+    }
   }
   if (datasets_restored) {
     EASYTIME_LOG(Info) << "EasyTime: restored " << system->repository_.size()
@@ -51,8 +59,8 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
     EASYTIME_LOG(Info) << "EasyTime: generated " << system->repository_.size()
                        << " benchmark datasets";
     if (!dataset_store_dir.empty()) {
-      EASYTIME_RETURN_IF_ERROR(
-          tsdata::PersistRepository(dataset_store_dir, system->repository_));
+      EASYTIME_RETURN_IF_ERROR(tsdata::PersistRepository(
+          dataset_store_dir, options.suite, system->repository_));
     }
   }
 

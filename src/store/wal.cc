@@ -337,10 +337,16 @@ easytime::Result<uint64_t> Wal::Append(std::string_view payload) {
         return durable_seq_.load(std::memory_order_acquire) >= seq ||
                failed_seq_.load(std::memory_order_acquire) >= seq;
       });
-      if (durable_seq_.load(std::memory_order_acquire) >= seq) return seq;
-      return commit_status_.ok()
-                 ? easytime::Status::IOError("wal group commit failed")
-                 : commit_status_;
+      // Failure wins over durability: when a segment-close fsync failed, the
+      // committer's later fsync of the NEW segment advances durable_seq_ past
+      // records living in the FAILED one, so durable_seq_ >= seq alone must
+      // never ack a record the failure watermark also covers.
+      if (failed_seq_.load(std::memory_order_acquire) >= seq) {
+        return commit_status_.ok()
+                   ? easytime::Status::IOError("wal group commit failed")
+                   : commit_status_;
+      }
+      return seq;
     }
     EASYTIME_RETURN_IF_ERROR(SyncLocked());
   }
@@ -394,9 +400,11 @@ void Wal::CommitterLoop() {
     if (dupfd >= 0) ::close(dupfd);
     {
       // Publish under ack_mu_ only — the log mutex stays free for the next
-      // batch's writers while this batch's waiters drain.
+      // batch's writers while this batch's waiters drain. A poisoned log
+      // fails the batch even when this fsync succeeded: the chain behind
+      // these records may be torn, so recovery could drop them regardless.
       std::lock_guard<std::mutex> ack(ack_mu_);
-      if (st.ok()) {
+      if (st.ok() && !commit_poisoned_) {
         if (durable_seq_.load(std::memory_order_relaxed) < target) {
           durable_seq_.store(target, std::memory_order_release);
         }
@@ -406,7 +414,7 @@ void Wal::CommitterLoop() {
         if (failed_seq_.load(std::memory_order_relaxed) < target) {
           failed_seq_.store(target, std::memory_order_release);
         }
-        commit_status_ = st;
+        if (!st.ok()) commit_status_ = st;  // else keep the poison's cause
       }
     }
     ack_cv_.notify_all();
@@ -431,22 +439,37 @@ easytime::Status Wal::Sync() {
 
 void Wal::CloseActiveLocked() {
   if (fd_ < 0) return;
-  if (::fsync(fd_) != 0) {
+  // Fault point "store.segment_close_fsync": lets tests fail exactly the
+  // rotation-close fsync while the committer's batch fsyncs keep succeeding.
+  easytime::Status close_st = easytime::Status::OK();
+  if (::easytime::FaultRegistry::AnyArmed()) {
+    close_st = ::easytime::FaultRegistry::Global().Check(
+        "store.segment_close_fsync");
+  }
+  if (close_st.ok() && ::fsync(fd_) != 0) {
+    close_st = easytime::Status::IOError(
+        std::string("wal fsync on segment close failed: ") +
+        std::strerror(errno));
+  }
+  if (!close_st.ok()) {
     EASYTIME_LOG(Warning) << "wal: fsync on segment close failed: "
-                          << std::strerror(errno);
+                          << close_st.ToString();
     if (GroupCommitActive()) {
       // Waiters whose records sit in this segment must not be acked as
-      // durable by a later batch fsync of the NEXT segment. Lock order is
-      // always mu_ -> ack_mu_ (never the reverse), so taking ack_mu_ here
-      // under mu_ cannot deadlock with the committer or with waiters.
+      // durable by a later batch fsync of the NEXT segment — and neither may
+      // any LATER record: if this segment's tail is torn on disk, recovery
+      // truncates it and drops every subsequent segment as an unreachable
+      // suffix. Poison the committer so all batches fail until reopen.
+      // Lock order is always mu_ -> ack_mu_ (never the reverse), so taking
+      // ack_mu_ here under mu_ cannot deadlock with the committer or with
+      // waiters.
       {
         std::lock_guard<std::mutex> ack(ack_mu_);
+        commit_poisoned_ = true;
         if (failed_seq_.load(std::memory_order_relaxed) < last_seq_) {
           failed_seq_.store(last_seq_, std::memory_order_release);
         }
-        commit_status_ = easytime::Status::IOError(
-            std::string("wal fsync on segment close failed: ") +
-            std::strerror(errno));
+        commit_status_ = close_st;
       }
       ack_cv_.notify_all();
     }

@@ -155,6 +155,13 @@ class Wal {
   std::condition_variable ack_cv_;  ///< paired with ack_mu_
   easytime::Status commit_status_ = easytime::Status::OK();  ///< ack_mu_
   WalGroupCommitStats gc_stats_;                             ///< ack_mu_
+  /// Sticky fail-stop (guarded by ack_mu_): set when a segment-close fsync
+  /// fails under group commit. The closed segment's tail may be torn, and
+  /// recovery truncates a torn tail and then DROPS every later segment as an
+  /// unreachable suffix — so records appended after the failure cannot be
+  /// guaranteed durable either, no matter how their own fsync goes. Once set,
+  /// every batch is acked as failed until the log is reopened.
+  bool commit_poisoned_ = false;
 };
 
 }  // namespace easytime::store

@@ -68,9 +68,32 @@ easytime::Result<Dataset> DatasetFromJson(const Json& j) {
   return ds;
 }
 
+Json SuiteFingerprint(const SuiteSpec& suite) {
+  Json j = Json::Object();
+  j.Set("univariate_per_domain",
+        static_cast<int64_t>(suite.univariate_per_domain));
+  j.Set("multivariate_total", static_cast<int64_t>(suite.multivariate_total));
+  j.Set("min_length", static_cast<int64_t>(suite.min_length));
+  j.Set("max_length", static_cast<int64_t>(suite.max_length));
+  j.Set("multivariate_channels",
+        static_cast<int64_t>(suite.multivariate_channels));
+  j.Set("seed", static_cast<int64_t>(suite.seed));
+  return j;
+}
+
 }  // namespace
 
+std::string DatasetStoreManifest(const SuiteSpec& suite,
+                                 size_t dataset_count) {
+  Json j = Json::Object();
+  j.Set("manifest", true);
+  j.Set("datasets", static_cast<int64_t>(dataset_count));
+  j.Set("suite", SuiteFingerprint(suite));
+  return j.Dump();
+}
+
 easytime::Result<bool> LoadRepositoryFromStore(const std::string& dir,
+                                               const SuiteSpec& suite,
                                                Repository* repo) {
   std::error_code ec;
   if (!std::filesystem::exists(dir, ec)) return false;  // cold start
@@ -81,19 +104,48 @@ easytime::Result<bool> LoadRepositoryFromStore(const std::string& dir,
   EASYTIME_RETURN_IF_ERROR(store_or.status());
   if (recovery.tail.empty()) return false;
 
-  for (const auto& [seq, payload] : recovery.tail) {
-    (void)seq;
-    auto json_or = Json::Parse(payload);
+  // A complete persist ends in a manifest matching both the dataset count
+  // and the suite fingerprint. Anything else — a crash mid-persist left a
+  // manifest-less tail, or the suite was reconfigured since the cache was
+  // written — is not a warm start.
+  const std::string& last = recovery.tail.back().second;
+  auto manifest_or = Json::Parse(last);
+  if (!manifest_or.ok() || !manifest_or->is_object() ||
+      !manifest_or->GetBool("manifest", false)) {
+    return false;
+  }
+  const size_t dataset_count = recovery.tail.size() - 1;
+  if (manifest_or->GetInt("datasets", -1) !=
+      static_cast<int64_t>(dataset_count)) {
+    return false;
+  }
+  if (manifest_or->Get("suite").Dump() != SuiteFingerprint(suite).Dump()) {
+    return false;
+  }
+
+  // Decode into a scratch repository so a bad record can't leave the
+  // caller's half-populated.
+  Repository loaded;
+  for (size_t i = 0; i < dataset_count; ++i) {
+    auto json_or = Json::Parse(recovery.tail[i].second);
     EASYTIME_RETURN_IF_ERROR(json_or.status());
     auto ds_or = DatasetFromJson(*json_or);
     EASYTIME_RETURN_IF_ERROR(ds_or.status());
-    EASYTIME_RETURN_IF_ERROR(repo->Add(std::move(*ds_or)));
+    EASYTIME_RETURN_IF_ERROR(loaded.Add(std::move(*ds_or)));
   }
+  *repo = std::move(loaded);
   return true;
 }
 
 easytime::Status PersistRepository(const std::string& dir,
+                                   const SuiteSpec& suite,
                                    const Repository& repo) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (ec) {
+    return easytime::Status::IOError("cannot clear dataset store " + dir +
+                                     ": " + ec.message());
+  }
   store::RecordStoreOptions options;
   auto store_or = store::RecordStore::Open(dir, options);
   EASYTIME_RETURN_IF_ERROR(store_or.status());
@@ -101,6 +153,8 @@ easytime::Status PersistRepository(const std::string& dir,
   for (const Dataset* ds : repo.All()) {
     EASYTIME_RETURN_IF_ERROR(store.Append(DatasetToJson(*ds).Dump()).status());
   }
+  EASYTIME_RETURN_IF_ERROR(
+      store.Append(DatasetStoreManifest(suite, repo.All().size())).status());
   return store.Sync();
 }
 

@@ -7,24 +7,44 @@
 /// (one JSON record per dataset, values in the round-trip-exact number
 /// format of common/json.cc) and warm starts rebuild the repository straight
 /// from disk, skipping generation entirely.
+///
+/// The last record of a complete store is a terminal manifest carrying the
+/// dataset count and a fingerprint of the generating SuiteSpec. A store
+/// whose tail does not end in a manifest matching both (a crash mid-persist,
+/// or a suite reconfigured since the cache was written) is not a warm start:
+/// LoadRepositoryFromStore returns false and the caller regenerates.
 
+#include <cstddef>
 #include <string>
 
 #include "common/result.h"
+#include "tsdata/generator.h"
 #include "tsdata/repository.h"
 
 namespace easytime::tsdata {
 
 /// \brief Rebuilds \p repo from the dataset store at \p dir. Returns true
-/// when the store existed and held at least one dataset (the warm-start
-/// path), false when there is nothing to load (cold start; the directory is
-/// not created). Errors are real I/O or decode failures.
+/// only when the store exists AND its tail ends in a terminal manifest whose
+/// dataset count and \p suite fingerprint both match (the warm-start path);
+/// returns false for a missing, empty, partially written, or differently
+/// configured store (cold start; the directory is not created). Errors are
+/// real I/O or decode failures — \p repo is left untouched on any non-true
+/// outcome.
 easytime::Result<bool> LoadRepositoryFromStore(const std::string& dir,
+                                               const SuiteSpec& suite,
                                                Repository* repo);
 
-/// \brief Persists every dataset in \p repo to the store at \p dir
-/// (creating it), one record per dataset, and syncs once at the end.
+/// \brief Persists every dataset in \p repo to the store at \p dir, one
+/// record per dataset followed by the terminal manifest, and syncs once at
+/// the end. Any existing store at \p dir is removed first — the cache is
+/// replaced wholesale, never extended, so a partial or stale store can't mix
+/// with fresh records.
 easytime::Status PersistRepository(const std::string& dir,
+                                   const SuiteSpec& suite,
                                    const Repository& repo);
+
+/// The terminal manifest payload for \p dataset_count datasets generated
+/// from \p suite (exposed so tests can build malformed stores).
+std::string DatasetStoreManifest(const SuiteSpec& suite, size_t dataset_count);
 
 }  // namespace easytime::tsdata

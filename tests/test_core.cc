@@ -5,7 +5,9 @@
 #include <cmath>
 #include <filesystem>
 
+#include "store/record_store.h"
 #include "test_util.h"
+#include "tsdata/dataset_store.h"
 
 namespace easytime::core {
 namespace {
@@ -91,6 +93,86 @@ TEST(EasyTimeDatasetStoreTest, WarmStartLoadsDatasetsFromTheStore) {
     ASSERT_EQ(warm_values[i], values[i])
         << "restored channel " << i << " must round-trip bit-exactly";
   }
+  std::filesystem::remove_all(dir);
+}
+
+// Reconfiguring the suite must invalidate the on-disk dataset cache: the
+// persisted fingerprint no longer matches, so Create regenerates instead of
+// silently serving the stale benchmark.
+TEST(EasyTimeDatasetStoreTest, WarmStartRegeneratesWhenSuiteOptionsChange) {
+  const std::string dir = (std::filesystem::path(::testing::TempDir()) /
+                           "easytime_dataset_store_suite_change")
+                              .string();
+  std::filesystem::remove_all(dir);
+
+  EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae"};
+  opt.seed_methods = {"naive"};
+  opt.pretrain_ensemble = false;
+  opt.store_dir = dir;
+  {
+    auto cold = EasyTime::Create(opt);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ASSERT_EQ((*cold)->repository()->size(), 11u);
+  }
+
+  opt.suite.univariate_per_domain = 2;  // 10 more datasets than persisted
+  auto recreated = EasyTime::Create(opt);
+  ASSERT_TRUE(recreated.ok()) << recreated.status().ToString();
+  EXPECT_EQ((*recreated)->repository()->size(), 21u)
+      << "the stale dataset cache must not override the new suite";
+  std::filesystem::remove_all(dir);
+}
+
+// A damaged dataset cache (here: a record that fails JSON decoding, behind a
+// valid manifest) must not prevent startup — Create falls back to
+// regeneration and rewrites the store so the NEXT start opens warm again.
+TEST(EasyTimeDatasetStoreTest, DamagedDatasetStoreFallsBackToRegeneration) {
+  const std::string dir = (std::filesystem::path(::testing::TempDir()) /
+                           "easytime_dataset_store_damaged")
+                              .string();
+  std::filesystem::remove_all(dir);
+
+  EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae"};
+  opt.seed_methods = {"naive"};
+  opt.pretrain_ensemble = false;
+  opt.store_dir = dir;
+  {
+    auto cold = EasyTime::Create(opt);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  }
+
+  const std::string ds_dir = dir + "/datasets";
+  std::filesystem::remove_all(ds_dir);
+  {
+    auto rs = store::RecordStore::Open(ds_dir, store::RecordStoreOptions{});
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE((*rs)->Append("definitely not a dataset").ok());
+    ASSERT_TRUE(
+        (*rs)->Append(tsdata::DatasetStoreManifest(opt.suite, 1)).ok());
+  }
+
+  auto damaged = EasyTime::Create(opt);
+  ASSERT_TRUE(damaged.ok())
+      << "a corrupt dataset cache must not block startup: "
+      << damaged.status().ToString();
+  EXPECT_EQ((*damaged)->repository()->size(), 11u);
+
+  // The fallback replaced the bad store, so this start is warm again.
+  auto warm = EasyTime::Create(opt);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ((*warm)->repository()->size(), 11u);
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,162 @@
+#include "tsdata/dataset_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/record_store.h"
+#include "tsdata/generator.h"
+#include "tsdata/repository.h"
+
+namespace easytime::tsdata {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& leaf) {
+  std::string dir =
+      (fs::path(::testing::TempDir()) / ("easytime_ds_" + leaf)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+SuiteSpec SmallSuite() {
+  SuiteSpec spec;
+  spec.univariate_per_domain = 1;
+  spec.multivariate_total = 1;
+  spec.min_length = 120;
+  spec.max_length = 160;
+  return spec;
+}
+
+Repository MakeRepo(const SuiteSpec& spec) {
+  Repository repo;
+  EXPECT_TRUE(repo.AddSuite(spec).ok());
+  return repo;
+}
+
+std::vector<std::vector<double>> AllValues(const Repository& repo) {
+  std::vector<std::vector<double>> out;
+  for (const Dataset* ds : repo.All()) {
+    for (const Series& ch : ds->channels()) out.push_back(ch.values());
+  }
+  return out;
+}
+
+TEST(DatasetStoreTest, RoundTripRestoresTheSuiteBitExactly) {
+  const std::string dir = TestDir("roundtrip");
+  const SuiteSpec spec = SmallSuite();
+  Repository repo = MakeRepo(spec);
+  ASSERT_TRUE(PersistRepository(dir, spec, repo).ok());
+
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, spec, &loaded);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(*restored);
+  EXPECT_EQ(loaded.names(), repo.names());
+  EXPECT_EQ(AllValues(loaded), AllValues(repo));
+  fs::remove_all(dir);
+}
+
+TEST(DatasetStoreTest, MissingStoreIsAColdStart) {
+  Repository repo;
+  auto restored =
+      LoadRepositoryFromStore(TestDir("missing"), SmallSuite(), &repo);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(*restored);
+  EXPECT_EQ(repo.size(), 0u);
+}
+
+// A crash mid-persist leaves a tail without the terminal manifest (or with
+// records after it); either way the store must not count as a warm start.
+TEST(DatasetStoreTest, TailNotEndingInManifestIsNotAWarmStart) {
+  const std::string dir = TestDir("partial");
+  const SuiteSpec spec = SmallSuite();
+  Repository repo = MakeRepo(spec);
+  ASSERT_TRUE(PersistRepository(dir, spec, repo).ok());
+  {
+    auto rs = store::RecordStore::Open(dir, store::RecordStoreOptions{});
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE((*rs)->Append("{\"name\":\"straggler\"}").ok());
+  }
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, spec, &loaded);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(*restored);
+  EXPECT_EQ(loaded.size(), 0u) << "a rejected store must not touch the repo";
+  fs::remove_all(dir);
+}
+
+TEST(DatasetStoreTest, ManifestCountMismatchIsNotAWarmStart) {
+  const std::string dir = TestDir("count_mismatch");
+  const SuiteSpec spec = SmallSuite();
+  Repository repo = MakeRepo(spec);
+  ASSERT_TRUE(PersistRepository(dir, spec, repo).ok());
+  {
+    // A second manifest claiming one more dataset than the tail holds.
+    auto rs = store::RecordStore::Open(dir, store::RecordStoreOptions{});
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(
+        (*rs)->Append(DatasetStoreManifest(spec, repo.size() + 2)).ok());
+  }
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, spec, &loaded);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(*restored);
+  fs::remove_all(dir);
+}
+
+TEST(DatasetStoreTest, ChangedSuiteOptionsInvalidateTheCache) {
+  const std::string dir = TestDir("suite_changed");
+  const SuiteSpec spec = SmallSuite();
+  ASSERT_TRUE(PersistRepository(dir, spec, MakeRepo(spec)).ok());
+
+  SuiteSpec changed = spec;
+  changed.min_length = spec.min_length + 8;
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, changed, &loaded);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(*restored) << "stale datasets must not satisfy a new suite";
+  fs::remove_all(dir);
+}
+
+TEST(DatasetStoreTest, UndecodableDatasetRecordIsAnError) {
+  const std::string dir = TestDir("corrupt_record");
+  const SuiteSpec spec = SmallSuite();
+  {
+    auto rs = store::RecordStore::Open(dir, store::RecordStoreOptions{});
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE((*rs)->Append("this is not json").ok());
+    ASSERT_TRUE((*rs)->Append(DatasetStoreManifest(spec, 1)).ok());
+    ASSERT_TRUE((*rs)->Sync().ok());
+  }
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, spec, &loaded);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(loaded.size(), 0u) << "a failed load must not touch the repo";
+  fs::remove_all(dir);
+}
+
+TEST(DatasetStoreTest, PersistReplacesAnExistingStoreWholesale) {
+  const std::string dir = TestDir("replace");
+  const SuiteSpec old_spec = SmallSuite();
+  ASSERT_TRUE(PersistRepository(dir, old_spec, MakeRepo(old_spec)).ok());
+
+  SuiteSpec new_spec = old_spec;
+  new_spec.seed = old_spec.seed + 1;
+  Repository new_repo = MakeRepo(new_spec);
+  ASSERT_TRUE(PersistRepository(dir, new_spec, new_repo).ok());
+
+  Repository loaded;
+  auto restored = LoadRepositoryFromStore(dir, new_spec, &loaded);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(*restored);
+  EXPECT_EQ(AllValues(loaded), AllValues(new_repo))
+      << "old records must not leak into the rewritten store";
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easytime::tsdata

@@ -786,6 +786,48 @@ TEST_F(StoreFaultTest, GroupCommitFsyncFaultFailsTheWaitingAppend) {
   fs::remove_all(dir);
 }
 
+// The REVIEW scenario: rotation's segment-close fsync fails while the
+// committer's own batch fsyncs (of the NEW segment) keep succeeding. No
+// record written after the failure may be acked durable — the failed
+// segment's tail can be torn on disk, and recovery would then drop every
+// later segment as an unreachable suffix.
+TEST_F(StoreFaultTest, RotationCloseFsyncFailurePoisonsGroupCommitAcks) {
+  const std::string dir = TestDir("group_commit_rotate_fault");
+  RecordStoreOptions opt;
+  opt.sync_every_append = true;
+  opt.group_commit = true;
+  opt.segment_bytes = 256;  // one biggish record fills a segment
+  {
+    auto rs = RecordStore::Open(dir, opt, nullptr);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE((*rs)->Append(std::string(300, 'a')).ok());
+
+    // Only the close fsync fails; the committer's "store.fsync" stays live.
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.code = StatusCode::kIOError;
+    ASSERT_TRUE(
+        FaultRegistry::Global().Arm("store.segment_close_fsync", spec).ok());
+    auto rotated = (*rs)->Append("lives-in-the-new-segment");
+    ASSERT_FALSE(rotated.ok())
+        << "a record behind a possibly-torn segment must not be acked";
+    EXPECT_EQ(rotated.status().code(), StatusCode::kIOError);
+
+    // The failure is fail-stop for this open: even after the fault clears,
+    // the chain behind new records may still be torn on disk.
+    FaultRegistry::Global().DisarmAll();
+    EXPECT_FALSE((*rs)->Append("still-poisoned").ok());
+  }
+  // Reopen recovers the valid prefix and appends durably again.
+  RecordStoreRecovery rec;
+  auto rs = RecordStore::Open(dir, opt, &rec);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_GE(rec.tail.size(), 1u);
+  EXPECT_EQ(rec.tail[0].second, std::string(300, 'a'));
+  EXPECT_TRUE((*rs)->Append("after-reopen").ok());
+  fs::remove_all(dir);
+}
+
 TEST(StoreKillTest, KillMidGroupCommitNeverLosesAnAckedRecord) {
   const std::string dir = TestDir("kill_group_commit");
   // Shared ack table: the child flips acked[seq] only AFTER Append returned,
