@@ -1,0 +1,181 @@
+// SQL-native forecasting benchmark (DESIGN.md §11): measures the two
+// numbers the table-function subsystem exists for and emits them as JSON
+// (BENCH_sql.json via bench/run_sql.sh):
+//
+//   1. ts_forecast    — end-to-end TS_FORECAST latency (parse + analyze +
+//                       fit + intervals) per model over a 480-point series
+//   2. ts_forecast_by — TS_FORECAST_BY group throughput on the global pool
+//                       vs the same query forced onto a single thread
+//
+// The single-thread leg re-executes this binary with EASYTIME_NUM_THREADS=1
+// (the pool size is fixed at process start), so both rows come from the
+// identical code path and the speedup column is honest.
+//
+//   ./build/bench/bench_sql_forecast [output.json]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "sql/executor.h"
+#include "sql/table.h"
+
+using namespace easytime;
+
+namespace {
+
+constexpr int kGroups = 64;
+constexpr int kGroupLen = 240;
+constexpr int kSeriesLen = 480;
+
+void Die(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "bench_sql_forecast: %s: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+/// One long seasonal series plus a fleet of `kGroups` shorter ones.
+sql::Database MakeDb() {
+  sql::Database db;
+  (void)db.CreateTable("series", {{"t", sql::DataType::kInteger},
+                                  {"v", sql::DataType::kReal}});
+  sql::Table* st = db.GetTable("series").ValueOrDie();
+  for (int i = 0; i < kSeriesLen; ++i) {
+    double v = 50.0 + 0.2 * i + 10.0 * std::sin(2.0 * 3.14159265 * i / 24.0);
+    (void)st->Insert({sql::Value::Integer(i), sql::Value::Real(v)});
+  }
+  (void)db.CreateTable("fleet", {{"g", sql::DataType::kInteger},
+                                 {"t", sql::DataType::kInteger},
+                                 {"v", sql::DataType::kReal}});
+  sql::Table* ft = db.GetTable("fleet").ValueOrDie();
+  for (int g = 0; g < kGroups; ++g) {
+    double level = 100.0 + g;
+    for (int i = 0; i < kGroupLen; ++i) {
+      level += std::sin(0.7 * i + g);  // deterministic wiggle
+      (void)ft->Insert({sql::Value::Integer(g), sql::Value::Integer(i),
+                        sql::Value::Real(level)});
+    }
+  }
+  return db;
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Median end-to-end latency of one TS_FORECAST query, in milliseconds.
+double ForecastLatencyMs(sql::Database* db, const std::string& model,
+                         int iters) {
+  const std::string query =
+      "SELECT * FROM TS_FORECAST(series, t, v, model := '" + model +
+      "', horizon := 24, period := 24)";
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch watch;
+    auto rs = sql::ExecuteQuery(db, query);
+    if (!rs.ok()) Die("TS_FORECAST " + model, rs.status());
+    ms.push_back(watch.ElapsedSeconds() * 1000.0);
+  }
+  return MedianMs(std::move(ms));
+}
+
+/// Group fits per second for one TS_FORECAST_BY query over the fleet.
+double GroupThroughput(sql::Database* db, int iters) {
+  const std::string query =
+      "SELECT * FROM TS_FORECAST_BY(fleet, g, t, v, model := 'theta', "
+      "horizon := 12)";
+  // Warm-up (pool spin-up, allocator).
+  if (auto rs = sql::ExecuteQuery(db, query); !rs.ok()) {
+    Die("TS_FORECAST_BY", rs.status());
+  }
+  Stopwatch watch;
+  for (int i = 0; i < iters; ++i) {
+    auto rs = sql::ExecuteQuery(db, query);
+    if (!rs.ok()) Die("TS_FORECAST_BY", rs.status());
+  }
+  return kGroups * iters / watch.ElapsedSeconds();
+}
+
+/// Re-runs this binary single-threaded and reads its one-number output.
+double SingleThreadThroughput(const char* argv0) {
+  std::string cmd = std::string("EASYTIME_NUM_THREADS=1 '") + argv0 +
+                    "' --by-throughput-only 2>/dev/null";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (!pipe) return 0.0;
+  double value = 0.0;
+  int got = std::fscanf(pipe, "%lf", &value);
+  int rc = ::pclose(pipe);
+  return (got == 1 && rc == 0) ? value : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sql::Database db = MakeDb();
+
+  if (argc > 1 && std::string(argv[1]) == "--by-throughput-only") {
+    std::printf("%.3f\n", GroupThroughput(&db, 5));
+    return 0;
+  }
+
+  const int64_t pool_threads =
+      static_cast<int64_t>(GlobalThreadPool().size());
+  const int64_t hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+
+  Json out = Json::Object();
+  out.Set("bench", "sql_forecast");
+  out.Set("threads", pool_threads);
+  out.Set("hardware_concurrency", hw);
+
+  Json latency = Json::Array();
+  for (const char* model : {"naive", "ses", "theta", "holt", "ets_auto"}) {
+    Json row = Json::Object();
+    row.Set("model", model);
+    row.Set("horizon", static_cast<int64_t>(24));
+    row.Set("train_points", static_cast<int64_t>(kSeriesLen));
+    row.Set("median_ms", ForecastLatencyMs(&db, model, 15));
+    latency.Append(std::move(row));
+  }
+  out.Set("ts_forecast", std::move(latency));
+
+  const double par = GroupThroughput(&db, 5);
+  const double seq = SingleThreadThroughput(argv[0]);
+  Json by = Json::Object();
+  by.Set("groups", static_cast<int64_t>(kGroups));
+  by.Set("points_per_group", static_cast<int64_t>(kGroupLen));
+  Json par_row = Json::Object();
+  par_row.Set("threads", pool_threads);
+  par_row.Set("group_fits_per_sec", par);
+  Json seq_row = Json::Object();
+  seq_row.Set("threads", static_cast<int64_t>(1));
+  seq_row.Set("group_fits_per_sec", seq);
+  Json runs = Json::Array();
+  runs.Append(std::move(seq_row));
+  runs.Append(std::move(par_row));
+  by.Set("runs", std::move(runs));
+  by.Set("speedup", seq > 0.0 ? par / seq : 0.0);
+  out.Set("ts_forecast_by", std::move(by));
+
+  std::string payload = out.Dump(2);
+  std::printf("%s\n", payload.c_str());
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(payload.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+  return 0;
+}

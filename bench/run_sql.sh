@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the SQL-native forecasting benchmark and writes BENCH_sql.json at the
+# repo root: TS_FORECAST end-to-end latency per model, and TS_FORECAST_BY
+# group-fit throughput on the full thread pool vs a single thread (the
+# single-thread leg is the same binary re-run under EASYTIME_NUM_THREADS=1).
+#
+# Usage: bench/run_sql.sh [build_dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bin="$build_dir/bench/bench_sql_forecast"
+
+if [[ ! -x "$bin" ]]; then
+  echo "bench_sql_forecast not found at $bin — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bin" "$repo_root/BENCH_sql.json"
+echo "wrote $repo_root/BENCH_sql.json"

@@ -29,6 +29,12 @@ double Median(std::vector<double> v);
 /// q-th quantile via linear interpolation, q in [0,1].
 double Quantile(std::vector<double> v, double q);
 
+/// \brief Inverse CDF of the standard normal distribution (Acklam's
+/// rational approximation, |error| < 1.2e-9). p must lie in (0,1); the
+/// endpoints return -/+infinity. Backs prediction-interval z-scores:
+/// z = NormalQuantile((1 + confidence) / 2).
+double NormalQuantile(double p);
+
 /// Pearson correlation of two equal-length vectors; 0 when degenerate.
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b);

@@ -237,10 +237,11 @@ easytime::Result<qa::QaResponse> EasyTime::Ask(const std::string& question) {
   return qa_->Ask(question);
 }
 
-easytime::Result<qa::QaResponse> EasyTime::AskSql(const std::string& sql) {
+easytime::Result<qa::QaResponse> EasyTime::AskSql(
+    const std::string& sql, const easytime::Deadline& deadline) {
   std::shared_lock lock(mu_);
   if (!qa_) return Status::Internal("Q&A engine not initialized");
-  return qa_->AskSql(sql);
+  return qa_->AskSql(sql, deadline);
 }
 
 }  // namespace easytime::core

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "ensemble/auto_ensemble.h"
 #include "ensemble/foundation.h"
@@ -142,8 +143,11 @@ class EasyTime {
   /// Answers a natural-language question over the benchmark knowledge.
   easytime::Result<qa::QaResponse> Ask(const std::string& question);
 
-  /// Runs raw SQL through the verified retrieval path.
-  easytime::Result<qa::QaResponse> AskSql(const std::string& sql);
+  /// \brief Runs raw SQL through the verified retrieval path. The deadline
+  /// bounds long-running table functions (TS_FORECAST/TS_FORECAST_BY).
+  easytime::Result<qa::QaResponse> AskSql(
+      const std::string& sql,
+      const easytime::Deadline& deadline = easytime::Deadline());
 
  private:
   EasyTime() = default;

@@ -1,6 +1,7 @@
 #include "methods/baselines.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/math_util.h"
 
@@ -40,6 +41,27 @@ Result<std::vector<double>> NaiveForecaster::ForecastFrom(
   return std::vector<double>(horizon, history.back());
 }
 
+Result<IntervalForecast> NaiveForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  double ss = 0.0;
+  for (size_t t = 1; t < train.size(); ++t) {
+    double d = train[t] - train[t - 1];
+    ss += d * d;
+  }
+  double sigma1 = train.size() > 1
+                      ? std::sqrt(ss / static_cast<double>(train.size() - 1))
+                      : 0.0;
+  std::vector<double> sigma_h(ctx.horizon);
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    sigma_h[h] = sigma1 * std::sqrt(static_cast<double>(h + 1));
+  }
+  return MakeNormalIntervals(std::vector<double>(ctx.horizon, last_), sigma_h,
+                             confidence);
+}
+
 Status SeasonalNaiveForecaster::Fit(const std::vector<double>& train,
                                     const FitContext& ctx) {
   EASYTIME_RETURN_IF_ERROR(RequireNonEmpty(train));
@@ -75,6 +97,28 @@ Result<std::vector<double>> SeasonalNaiveForecaster::ForecastFrom(
   std::vector<double> out(horizon);
   for (size_t h = 0; h < horizon; ++h) out[h] = cycle[h % cycle.size()];
   return out;
+}
+
+Result<IntervalForecast> SeasonalNaiveForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  const size_t m = last_cycle_.size();  // 1 when no usable period
+  double ss = 0.0;
+  size_t count = 0;
+  for (size_t t = m; t < train.size(); ++t) {
+    double d = train[t] - train[t - m];
+    ss += d * d;
+    ++count;
+  }
+  double sigma1 = count > 0 ? std::sqrt(ss / static_cast<double>(count)) : 0.0;
+  std::vector<double> sigma_h(ctx.horizon);
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    sigma_h[h] = sigma1 * std::sqrt(static_cast<double>(h / m + 1));
+  }
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> point, Forecast(ctx.horizon));
+  return MakeNormalIntervals(std::move(point), sigma_h, confidence);
 }
 
 Status DriftForecaster::Fit(const std::vector<double>& train,

@@ -16,6 +16,10 @@ class NaiveForecaster : public Forecaster {
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
   easytime::Result<std::vector<double>> ForecastFrom(
       const std::vector<double>& history, size_t horizon) override;
+  /// Analytic random-walk intervals: sigma_h = sigma1 * sqrt(h).
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return "naive"; }
   Family family() const override { return Family::kStatistical; }
 
@@ -35,6 +39,11 @@ class SeasonalNaiveForecaster : public Forecaster {
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
   easytime::Result<std::vector<double>> ForecastFrom(
       const std::vector<double>& history, size_t horizon) override;
+  /// Analytic intervals: sigma_h = sigma1 * sqrt(floor((h-1)/m) + 1), the
+  /// number of whole seasonal cycles the step-h forecast reaches back over.
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return "seasonal_naive"; }
   Family family() const override { return Family::kStatistical; }
 

@@ -96,4 +96,15 @@ Result<std::vector<double>> EtsAutoForecaster::Forecast(size_t horizon) const {
   return best_->Forecast(horizon);
 }
 
+Result<IntervalForecast> EtsAutoForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  // The winner refits itself inside its own ForecastWithIntervals, which is
+  // cheap for the exponential family and keeps the interval math in one
+  // place per candidate class.
+  return best_->ForecastWithIntervals(train, ctx, confidence);
+}
+
 }  // namespace easytime::methods

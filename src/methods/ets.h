@@ -20,6 +20,10 @@ class EtsAutoForecaster : public Forecaster {
   easytime::Status Fit(const std::vector<double>& train,
                        const FitContext& ctx) override;
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  /// Selects the best candidate, then delegates to its analytic intervals.
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return "ets_auto"; }
   Family family() const override { return Family::kStatistical; }
 

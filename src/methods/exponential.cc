@@ -64,6 +64,22 @@ Result<std::vector<double>> SesForecaster::Forecast(size_t horizon) const {
   return std::vector<double>(horizon, level_);
 }
 
+Result<IntervalForecast> SesForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  double sigma2 =
+      sse_ / static_cast<double>(std::max<size_t>(1, train.size() - 1));
+  std::vector<double> sigma_h(ctx.horizon);
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    double var = sigma2 * (1.0 + static_cast<double>(h) * alpha_ * alpha_);
+    sigma_h[h] = std::sqrt(std::max(var, 0.0));
+  }
+  return MakeNormalIntervals(std::vector<double>(ctx.horizon, level_), sigma_h,
+                             confidence);
+}
+
 // ---------------------------------------------------------------- Holt
 
 Status HoltForecaster::Fit(const std::vector<double>& train,
@@ -133,6 +149,34 @@ Result<std::vector<double>> HoltForecaster::Forecast(size_t horizon) const {
     out[h] = level_ + damp_sum * trend_;
   }
   return out;
+}
+
+Result<IntervalForecast> HoltForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  double sigma2 =
+      sse_ / static_cast<double>(std::max<size_t>(1, train.size() - 1));
+  // Class-1 state-space variance: var_h = sigma^2 (1 + sum_{j<h} c_j^2).
+  // Our beta_ smooths level changes (beta*), so the state-space trend
+  // coefficient is alpha * beta_.
+  const double beta_ss = alpha_ * beta_;
+  std::vector<double> sigma_h(ctx.horizon);
+  double acc = 0.0;
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    if (h > 0) {
+      double j = static_cast<double>(h);
+      double trend_term =
+          phi_ < 1.0 ? beta_ss * phi_ * (1.0 - std::pow(phi_, j)) / (1.0 - phi_)
+                     : beta_ss * j;
+      double cj = alpha_ + trend_term;
+      acc += cj * cj;
+    }
+    sigma_h[h] = std::sqrt(std::max(sigma2 * (1.0 + acc), 0.0));
+  }
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> point, Forecast(ctx.horizon));
+  return MakeNormalIntervals(std::move(point), sigma_h, confidence);
 }
 
 // ---------------------------------------------------------------- HW
@@ -251,6 +295,34 @@ Result<std::vector<double>> HoltWintersForecaster::Forecast(
                                               : base * season_[si];
   }
   return out;
+}
+
+Result<IntervalForecast> HoltWintersForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  if (fallback_) {
+    return fallback_->ForecastWithIntervals(train, FitContext{}, confidence);
+  }
+  const size_t m = period_;
+  double sigma2 =
+      sse_ / static_cast<double>(std::max<size_t>(1, train.size() - m));
+  const double beta_ss = alpha_ * beta_;
+  std::vector<double> sigma_h(ctx.horizon);
+  double acc = 0.0;
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    if (h > 0) {
+      double j = static_cast<double>(h);
+      // Additive-seasonal class-1 coefficients; the multiplicative variant
+      // reuses them as an approximation.
+      double cj = alpha_ + beta_ss * j + (h % m == 0 ? gamma_ : 0.0);
+      acc += cj * cj;
+    }
+    sigma_h[h] = std::sqrt(std::max(sigma2 * (1.0 + acc), 0.0));
+  }
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> point, Forecast(ctx.horizon));
+  return MakeNormalIntervals(std::move(point), sigma_h, confidence);
 }
 
 }  // namespace easytime::methods

@@ -19,6 +19,10 @@ class SesForecaster : public Forecaster {
   easytime::Status Fit(const std::vector<double>& train,
                        const FitContext& ctx) override;
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  /// Analytic class-1 intervals: var_h = sigma1^2 * (1 + (h-1) alpha^2).
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return "ses"; }
   Family family() const override { return Family::kStatistical; }
 
@@ -45,6 +49,11 @@ class HoltForecaster : public Forecaster {
   easytime::Status Fit(const std::vector<double>& train,
                        const FitContext& ctx) override;
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  /// Analytic class-1 intervals with c_j = alpha + j beta (damped:
+  /// alpha + beta phi (1 - phi^j) / (1 - phi)).
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return damped_ ? "holt_damped" : "holt"; }
   Family family() const override { return Family::kStatistical; }
 
@@ -73,6 +82,13 @@ class HoltWintersForecaster : public Forecaster {
   easytime::Status Fit(const std::vector<double>& train,
                        const FitContext& ctx) override;
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  /// Analytic additive-seasonal intervals with c_j = alpha + j beta +
+  /// gamma 1{j mod m == 0}; the multiplicative variant reuses the same
+  /// formula as an approximation. Short series delegate to the Holt
+  /// fallback's intervals.
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override {
     return seasonal_ == Seasonal::kAdditive ? "holt_winters_add"
                                             : "holt_winters_mul";

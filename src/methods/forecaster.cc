@@ -1,8 +1,11 @@
 #include "methods/forecaster.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/fault.h"
+#include "common/math_util.h"
 
 namespace easytime::methods {
 
@@ -37,6 +40,86 @@ easytime::Result<std::vector<double>> Forecaster::ForecastFrom(
     }
   }
   return res;
+}
+
+easytime::Status ValidateIntervalRequest(const std::vector<double>& train,
+                                         const FitContext& ctx,
+                                         double confidence) {
+  if (train.empty()) {
+    return Status::InvalidArgument("interval forecast needs training data");
+  }
+  if (ctx.horizon == 0) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must lie in (0, 1)");
+  }
+  return Status::OK();
+}
+
+IntervalForecast MakeNormalIntervals(std::vector<double> point,
+                                     const std::vector<double>& sigma_h,
+                                     double confidence) {
+  const double z = NormalQuantile(0.5 * (1.0 + confidence));
+  IntervalForecast out;
+  out.lower.resize(point.size());
+  out.upper.resize(point.size());
+  for (size_t h = 0; h < point.size(); ++h) {
+    double sigma = h < sigma_h.size() ? sigma_h[h] : 0.0;
+    if (!std::isfinite(sigma) || sigma < 0.0) sigma = 0.0;
+    double half = z * sigma;
+    out.lower[h] = point[h] - half;
+    out.upper[h] = point[h] + half;
+  }
+  out.point = std::move(point);
+  return out;
+}
+
+easytime::Result<IntervalForecast> Forecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  const size_t n = train.size();
+
+  // One-step residual sigma from rolling in-sample origins. This runs
+  // before the final Fit because ForecastFrom refits statistical models on
+  // each prefix, which would otherwise clobber the state Forecast reads.
+  std::vector<double> residuals;
+  const size_t kMinPrefix = 8;
+  const size_t kMaxOrigins = 24;
+  if (n > kMinPrefix) {
+    size_t origins = std::min(kMaxOrigins, n - kMinPrefix);
+    residuals.reserve(origins);
+    for (size_t t = n - origins; t < n; ++t) {
+      std::vector<double> prefix(train.begin(),
+                                 train.begin() + static_cast<ptrdiff_t>(t));
+      auto one = ForecastFrom(prefix, 1);
+      if (!one.ok() || one->empty() || !std::isfinite((*one)[0])) {
+        residuals.clear();
+        break;
+      }
+      residuals.push_back(train[t] - (*one)[0]);
+    }
+  }
+  if (residuals.empty()) {
+    // Too short or the method cannot forecast from prefixes: fall back to
+    // first differences (the random-walk residual).
+    for (size_t t = 1; t < n; ++t) residuals.push_back(train[t] - train[t - 1]);
+  }
+  double ss = 0.0;
+  for (double r : residuals) ss += r * r;
+  double sigma1 = residuals.empty()
+                      ? 0.0
+                      : std::sqrt(ss / static_cast<double>(residuals.size()));
+  if (!std::isfinite(sigma1)) sigma1 = 0.0;
+
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> point, Forecast(ctx.horizon));
+  std::vector<double> sigma_h(point.size());
+  for (size_t h = 0; h < point.size(); ++h) {
+    sigma_h[h] = sigma1 * std::sqrt(static_cast<double>(h + 1));
+  }
+  return MakeNormalIntervals(std::move(point), sigma_h, confidence);
 }
 
 }  // namespace easytime::methods

@@ -33,6 +33,14 @@ struct FitContext {
   uint64_t seed = 42;
 };
 
+/// \brief Point forecasts plus symmetric prediction intervals, all of
+/// length horizon. Invariant: lower[h] <= point[h] <= upper[h], all finite.
+struct IntervalForecast {
+  std::vector<double> point;
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
 /// \brief A univariate forecaster. The pipeline guarantees Fit is called
 /// before Forecast; values arrive pre-normalized (the pipeline owns the
 /// scaler) and forecasts are produced in the same space.
@@ -60,6 +68,17 @@ class Forecaster {
   virtual easytime::Result<std::vector<double>> ForecastFrom(
       const std::vector<double>& history, size_t horizon);
 
+  /// \brief Fits on \p train and predicts ctx.horizon values with symmetric
+  /// prediction intervals at \p confidence (e.g. 0.95). Unlike Forecast this
+  /// performs its own Fit, replacing any prior fitted state. The default
+  /// estimates a one-step residual sigma from rolling in-sample origins
+  /// (first differences when the series is too short) and scales it by
+  /// sqrt(h); methods with cheap analytic variance formulas (naive,
+  /// seasonal naive, the exponential family, theta) override it.
+  virtual easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence);
+
   /// Unique method identifier (e.g. "holt_winters").
   virtual std::string name() const = 0;
 
@@ -69,5 +88,18 @@ class Forecaster {
 
 /// Convenience alias used throughout the pipeline.
 using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+/// Shared argument validation for ForecastWithIntervals implementations.
+easytime::Status ValidateIntervalRequest(const std::vector<double>& train,
+                                         const FitContext& ctx,
+                                         double confidence);
+
+/// \brief Wraps \p point in normal intervals point[h] +/- z * sigma_h[h]
+/// with z = NormalQuantile((1 + confidence) / 2). Non-finite or negative
+/// sigmas degrade to zero-width intervals so the IntervalForecast invariant
+/// always holds.
+IntervalForecast MakeNormalIntervals(std::vector<double> point,
+                                     const std::vector<double>& sigma_h,
+                                     double confidence);
 
 }  // namespace easytime::methods

@@ -38,11 +38,27 @@ easytime::Status MethodRegistry::Register(MethodInfo info,
   return Status::OK();
 }
 
+namespace {
+
+/// "unknown method: x; registered methods: a, b, c" — enumerating the
+/// candidates makes the SQL/QA surfaces self-documenting on typos.
+std::string UnknownMethodMessage(const std::string& name,
+                                 const std::vector<std::string>& names) {
+  std::string msg = "unknown method: " + name + "; registered methods: ";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i) msg += ", ";
+    msg += names[i];
+  }
+  return msg;
+}
+
+}  // namespace
+
 easytime::Result<ForecasterPtr> MethodRegistry::Create(
     const std::string& name, const easytime::Json& config) const {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
-    return Status::NotFound("unknown method: " + name);
+    return Status::NotFound(UnknownMethodMessage(name, order_));
   }
   return it->second.factory(config);
 }
@@ -55,7 +71,7 @@ easytime::Result<MethodInfo> MethodRegistry::Info(
     const std::string& name) const {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
-    return Status::NotFound("unknown method: " + name);
+    return Status::NotFound(UnknownMethodMessage(name, order_));
   }
   return it->second.info;
 }

@@ -1,5 +1,8 @@
 #include "methods/theta.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/math_util.h"
 #include "tsdata/characteristics.h"
 
@@ -70,6 +73,26 @@ Result<std::vector<double>> ThetaForecaster::Forecast(size_t horizon) const {
     }
   }
   return out;
+}
+
+Result<IntervalForecast> ThetaForecaster::ForecastWithIntervals(
+    const std::vector<double>& train, const FitContext& ctx,
+    double confidence) {
+  EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
+  EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
+  // The forecast is 0.5 * (ses(theta2) + trend) + seasonal, and the trend
+  // and additive seasonal terms are deterministic given the fit, so the
+  // one-step error is half the SES error on the theta-2 line.
+  double sigma1_sq =
+      0.25 * ses_.sse() / static_cast<double>(std::max<size_t>(1, n_ - 1));
+  const double alpha = ses_.alpha();
+  std::vector<double> sigma_h(ctx.horizon);
+  for (size_t h = 0; h < ctx.horizon; ++h) {
+    double var = sigma1_sq * (1.0 + static_cast<double>(h) * alpha * alpha);
+    sigma_h[h] = std::sqrt(std::max(var, 0.0));
+  }
+  EASYTIME_ASSIGN_OR_RETURN(std::vector<double> point, Forecast(ctx.horizon));
+  return MakeNormalIntervals(std::move(point), sigma_h, confidence);
 }
 
 }  // namespace easytime::methods

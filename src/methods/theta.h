@@ -19,6 +19,12 @@ class ThetaForecaster : public Forecaster {
   easytime::Status Fit(const std::vector<double>& train,
                        const FitContext& ctx) override;
   easytime::Result<std::vector<double>> Forecast(size_t horizon) const override;
+  /// Analytic intervals: the theta combination halves the SES one-step
+  /// error on the theta-2 line, so sigma1^2 = 0.25 * sse(ses) / n with
+  /// class-1 SES variance growth.
+  easytime::Result<IntervalForecast> ForecastWithIntervals(
+      const std::vector<double>& train, const FitContext& ctx,
+      double confidence) override;
   std::string name() const override { return "theta"; }
   Family family() const override { return Family::kStatistical; }
 

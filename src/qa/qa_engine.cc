@@ -191,19 +191,23 @@ easytime::Result<QaResponse> QaEngine::Ask(const std::string& question) {
   return resp;
 }
 
-easytime::Result<QaResponse> QaEngine::AskSql(const std::string& query) {
+easytime::Result<QaResponse> QaEngine::AskSql(const std::string& query,
+                                              const easytime::Deadline& deadline) {
   std::lock_guard<std::mutex> guard(mu_);
   Stopwatch watch;
-  EASYTIME_ASSIGN_OR_RETURN(sql::SelectStatement stmt,
-                            sql::ParseSelect(query));
-  EASYTIME_RETURN_IF_ERROR(sql::AnalyzeSelect(db_, stmt));
-  EASYTIME_ASSIGN_OR_RETURN(sql::ResultSet rs, sql::ExecuteSelect(db_, stmt));
+  EASYTIME_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(query));
+  // ExecuteStatement analyzes (verifies) before executing, so the
+  // verify-then-execute contract of the paper's Fig. 3 still holds.
+  EASYTIME_ASSIGN_OR_RETURN(sql::ResultSet rs,
+                            sql::ExecuteStatement(&db_, stmt, deadline));
   QaResponse resp;
   resp.question = query;
   resp.sql = query;
   resp.verified = true;
   resp.table = std::move(rs);
-  resp.answer = std::to_string(resp.table.rows.size()) + " rows.";
+  resp.answer = stmt.kind == sql::Statement::Kind::kSelect
+                    ? std::to_string(resp.table.rows.size()) + " rows."
+                    : "OK.";
   resp.chart = SelectChart(resp.table, "query result");
   resp.seconds = watch.ElapsedSeconds();
   history_.push_back({query, query, true});

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "knowledge/knowledge_base.h"
@@ -63,9 +64,15 @@ class QaEngine {
   /// history/follow-up state never interleaves (AskSql shares the lock).
   easytime::Result<QaResponse> Ask(const std::string& question);
 
-  /// Runs a raw SQL query through the same verify-then-execute path
-  /// (the power-user escape hatch shown in the demo frontend).
-  easytime::Result<QaResponse> AskSql(const std::string& sql);
+  /// \brief Runs a raw SQL statement through the same verify-then-execute
+  /// path (the power-user escape hatch shown in the demo frontend). Accepts
+  /// any statement — SELECTs (including TS_FORECAST/TS_FORECAST_BY table
+  /// functions) return rows; CREATE TABLE / INSERT mutate the engine's
+  /// database and answer "OK.". The deadline bounds long-running table
+  /// functions (expired -> DeadlineExceeded, never a hang).
+  easytime::Result<QaResponse> AskSql(
+      const std::string& sql,
+      const easytime::Deadline& deadline = easytime::Deadline());
 
   /// The benchmark metadata handed to the translator (schema description).
   std::string SchemaDescription() const { return db_.DescribeSchema(); }

@@ -332,7 +332,7 @@ void ForecastServer::ExecuteSingle(FastTask task) {
             /*from_batch=*/false, 1, watch.ElapsedSeconds());
     return;
   }
-  auto result = ExecuteFast(task.request);
+  auto result = ExecuteFast(task.request, task.deadline);
   Fulfill(task, result, /*from_batch=*/false, 1, watch.ElapsedSeconds());
 }
 
@@ -382,7 +382,8 @@ void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
   // One data-parallel dispatch for the whole batch: the global pool's
   // chunked ParallelFor spreads distinct requests across workers.
   GlobalThreadPool().ParallelFor(unique.size(), [&](size_t g) {
-    results[g] = ExecuteFast(batch[(*unique[g])[0]].request);
+    const FastTask& rep = batch[(*unique[g])[0]];
+    results[g] = ExecuteFast(rep.request, rep.deadline);
   });
 
   const double seconds = watch.ElapsedSeconds();
@@ -395,7 +396,7 @@ void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
 }
 
 easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
-    const Request& req) {
+    const Request& req, const easytime::Deadline& deadline) {
   EASYTIME_FAULT_POINT("serve.execute");
   if (req.endpoint == "forecast") return ExecuteForecast(req.params);
   if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
@@ -414,7 +415,8 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     if (query.empty()) {
       return Status::InvalidArgument("sql requires a \"query\" string");
     }
-    EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp, system_->AskSql(query));
+    EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp,
+                              system_->AskSql(query, deadline));
     return resp.ToJson();
   }
   return Status::NotFound("unknown fast endpoint: " + req.endpoint);

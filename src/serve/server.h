@@ -30,6 +30,7 @@
 #include <thread>
 
 #include "common/bounded_queue.h"
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "common/semaphore.h"
@@ -135,8 +136,13 @@ class ForecastServer {
   /// Full request lifecycle: route, admit, execute, envelope.
   easytime::Json Dispatch(Request req);
 
-  /// Runs a fast-lane endpoint to completion (worker-pool context).
-  easytime::Result<easytime::Json> ExecuteFast(const Request& req);
+  /// \brief Runs a fast-lane endpoint to completion (worker-pool context).
+  /// The request's remaining deadline is forwarded to endpoints that can
+  /// honor it mid-flight (the "sql" table functions check it between group
+  /// fits); the queue-level expiry check already happened by this point.
+  easytime::Result<easytime::Json> ExecuteFast(
+      const Request& req,
+      const easytime::Deadline& deadline = easytime::Deadline());
 
   easytime::Result<easytime::Json> ExecuteForecast(
       const easytime::Json& params) const;

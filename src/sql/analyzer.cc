@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "sql/table_function.h"
 
 namespace easytime::sql {
 
@@ -172,7 +173,16 @@ class SelectAnalyzer {
       scope_.tables.emplace_back(eff, t);
       return Status::OK();
     };
-    EASYTIME_RETURN_IF_ERROR(add_table(stmt_.from));
+    if (stmt_.from.fn) {
+      // A table-valued function in FROM: validate the call and bring a
+      // schema-only synthetic table into scope under the effective name.
+      EASYTIME_ASSIGN_OR_RETURN(std::vector<Column> cols,
+                                AnalyzeTableFunction(db_, *stmt_.from.fn));
+      fn_table_ = Table(stmt_.from.effective_name(), std::move(cols));
+      scope_.tables.emplace_back(stmt_.from.effective_name(), &fn_table_);
+    } else {
+      EASYTIME_RETURN_IF_ERROR(add_table(stmt_.from));
+    }
     for (const auto& join : stmt_.joins) {
       EASYTIME_RETURN_IF_ERROR(add_table(join.table));
     }
@@ -345,6 +355,7 @@ class SelectAnalyzer {
   const Database& db_;
   const SelectStatement& stmt_;
   Scope scope_;
+  Table fn_table_;  ///< synthetic schema when FROM is a table function
 };
 
 }  // namespace

@@ -121,6 +121,22 @@ std::string SelectItem::OutputName() const {
   return expr->ToSql();
 }
 
+std::string TableFunctionCall::ToSql() const {
+  std::string out = function + "(";
+  bool first = true;
+  for (const auto& p : positional) {
+    if (!first) out += ", ";
+    first = false;
+    out += p;
+  }
+  for (const auto& arg : named) {
+    if (!first) out += ", ";
+    first = false;
+    out += arg.name + " := " + arg.value.ToString();
+  }
+  return out + ")";
+}
+
 std::string SelectStatement::ToSql() const {
   std::string out = "SELECT ";
   if (distinct) out += "DISTINCT ";
@@ -133,7 +149,7 @@ std::string SelectStatement::ToSql() const {
       if (!items[i].alias.empty()) out += " AS " + items[i].alias;
     }
   }
-  out += " FROM " + from.table;
+  out += " FROM " + (from.fn ? from.fn->ToSql() : from.table);
   if (!from.alias.empty()) out += " AS " + from.alias;
   for (const auto& j : joins) {
     out += j.left_outer ? " LEFT JOIN " : " JOIN ";

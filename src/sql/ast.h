@@ -98,10 +98,31 @@ struct SelectItem {
   std::string OutputName() const;
 };
 
-/// FROM-clause table reference with optional alias.
+/// \brief A table-valued function call in the FROM clause, e.g.
+/// TS_FORECAST(sales, day, amount, model := 'theta', horizon := 12).
+/// Positional arguments are identifiers (table and column names); named
+/// arguments are literal-valued options. Only allowed as the base FROM
+/// reference, never in JOINs.
+struct TableFunctionCall {
+  std::string function;  ///< uppercase name, e.g. "TS_FORECAST"
+
+  struct NamedArg {
+    std::string name;  ///< lowercase option name
+    Value value;
+  };
+  std::vector<std::string> positional;
+  std::vector<NamedArg> named;
+
+  std::string ToSql() const;
+};
+
+/// FROM-clause table reference with optional alias. When `fn` is set the
+/// reference names a table-valued function result rather than a stored
+/// table, and `table` holds the function name for diagnostics.
 struct TableRef {
   std::string table;
   std::string alias;  ///< empty = table name
+  std::unique_ptr<TableFunctionCall> fn;
 
   const std::string& effective_name() const {
     return alias.empty() ? table : alias;

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
+#include "sql/table_function.h"
 
 namespace easytime::sql {
 
@@ -286,11 +287,22 @@ easytime::Result<Value> Evaluate(const Expr& e, const EvalContext& ctx) {
   return Status::Internal("unreachable expression kind");
 }
 
-/// Builds the joined row set via nested loops + ON predicates.
+/// Builds the joined row set via nested loops + ON predicates. A table
+/// function in the FROM clause is materialized here (under the deadline) and
+/// scanned like an ordinary table under its effective name.
 easytime::Result<std::pair<JoinedSchema, std::vector<Row>>> BuildJoinedRows(
-    const Database& db, const SelectStatement& stmt) {
+    const Database& db, const SelectStatement& stmt,
+    const easytime::Deadline& deadline) {
   JoinedSchema schema;
-  EASYTIME_ASSIGN_OR_RETURN(const Table* base, db.GetTable(stmt.from.table));
+  Table fn_result;
+  const Table* base = nullptr;
+  if (stmt.from.fn) {
+    EASYTIME_ASSIGN_OR_RETURN(fn_result,
+                              ExecuteTableFunction(db, *stmt.from.fn, deadline));
+    base = &fn_result;
+  } else {
+    EASYTIME_ASSIGN_OR_RETURN(base, db.GetTable(stmt.from.table));
+  }
   for (const auto& col : base->columns()) {
     schema.cols.push_back({stmt.from.effective_name(), col.name, col.type});
   }
@@ -345,13 +357,14 @@ struct GroupKey {
 }  // namespace
 
 easytime::Result<ResultSet> ExecuteSelect(const Database& db,
-                                          const SelectStatement& stmt) {
+                                          const SelectStatement& stmt,
+                                          const easytime::Deadline& deadline) {
   // Chaos hook: the knowledge query core. Both the "sql" endpoint (via
   // ExecuteQuery) and the "ask" endpoint (the QA engine executes its
   // generated SELECT directly) funnel through here, so an armed fault
   // surfaces as a failed query on either path, never a crash.
   EASYTIME_FAULT_POINT("sql.execute");
-  EASYTIME_ASSIGN_OR_RETURN(auto joined, BuildJoinedRows(db, stmt));
+  EASYTIME_ASSIGN_OR_RETURN(auto joined, BuildJoinedRows(db, stmt, deadline));
   JoinedSchema& schema = joined.first;
   std::vector<Row>& rows = joined.second;
 
@@ -547,12 +560,13 @@ easytime::Result<ResultSet> ExecuteSelect(const Database& db,
 }
 
 easytime::Result<ResultSet> ExecuteStatement(Database* db,
-                                             const Statement& stmt) {
+                                             const Statement& stmt,
+                                             const easytime::Deadline& deadline) {
   if (db == nullptr) return Status::InvalidArgument("database must not be null");
   EASYTIME_RETURN_IF_ERROR(AnalyzeStatement(*db, stmt));
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(*db, stmt.select);
+      return ExecuteSelect(*db, stmt.select, deadline);
     case Statement::Kind::kCreateTable: {
       EASYTIME_RETURN_IF_ERROR(
           db->CreateTable(stmt.create_table.table, stmt.create_table.columns));
@@ -586,9 +600,10 @@ easytime::Result<ResultSet> ExecuteStatement(Database* db,
   return Status::Internal("unreachable");
 }
 
-easytime::Result<ResultSet> ExecuteQuery(Database* db, const std::string& sql) {
+easytime::Result<ResultSet> ExecuteQuery(Database* db, const std::string& sql,
+                                         const easytime::Deadline& deadline) {
   EASYTIME_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
-  return ExecuteStatement(db, stmt);
+  return ExecuteStatement(db, stmt, deadline);
 }
 
 }  // namespace easytime::sql

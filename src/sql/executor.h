@@ -8,23 +8,30 @@
 
 #include <string>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "sql/ast.h"
 #include "sql/table.h"
 
 namespace easytime::sql {
 
-/// Executes a verified SELECT against the database.
-easytime::Result<ResultSet> ExecuteSelect(const Database& db,
-                                          const SelectStatement& stmt);
+/// \brief Executes a verified SELECT against the database. The deadline is
+/// honored by long-running table-valued functions (TS_FORECAST_BY checks it
+/// between group fits); plain row scans ignore it.
+easytime::Result<ResultSet> ExecuteSelect(
+    const Database& db, const SelectStatement& stmt,
+    const easytime::Deadline& deadline = easytime::Deadline());
 
 /// Executes any statement, mutating the database for CREATE/INSERT.
 /// SELECTs return rows; DDL/DML return an empty ResultSet.
-easytime::Result<ResultSet> ExecuteStatement(Database* db,
-                                             const Statement& stmt);
+easytime::Result<ResultSet> ExecuteStatement(
+    Database* db, const Statement& stmt,
+    const easytime::Deadline& deadline = easytime::Deadline());
 
 /// \brief Parse + analyze (verify) + execute in one call. This is the
 /// retrieval entry point the Q&A module uses.
-easytime::Result<ResultSet> ExecuteQuery(Database* db, const std::string& sql);
+easytime::Result<ResultSet> ExecuteQuery(
+    Database* db, const std::string& sql,
+    const easytime::Deadline& deadline = easytime::Deadline());
 
 }  // namespace easytime::sql

@@ -94,7 +94,9 @@ easytime::Result<std::vector<Token>> Tokenize(const std::string& sql) {
       }
       return false;
     };
-    if (two("!=") || two("<>") || two("<=") || two(">=")) continue;
+    // ":=" is the named-argument marker in table-valued function calls
+    // (TS_FORECAST(..., horizon := 12)); a bare ':' stays an error.
+    if (two("!=") || two("<>") || two("<=") || two(">=") || two(":=")) continue;
     if (std::string("=<>+-*/%(),.;").find(c) != std::string::npos) {
       out.push_back({TokenType::kOperator, std::string(1, c), start});
       ++i;

@@ -112,6 +112,9 @@ class Parser {
       }
       EASYTIME_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
       EASYTIME_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      if (join.table.fn) {
+        return Err("table functions are not supported in JOIN");
+      }
       EASYTIME_RETURN_IF_ERROR(ExpectKeyword("ON"));
       EASYTIME_ASSIGN_OR_RETURN(join.on, ParseExpr());
       s.joins.push_back(std::move(join));
@@ -161,12 +164,83 @@ class Parser {
   easytime::Result<TableRef> ParseTableRef() {
     TableRef ref;
     EASYTIME_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+    if (Peek().IsOp("(")) {
+      EASYTIME_ASSIGN_OR_RETURN(ref.fn, ParseTableFunctionCall(ref.table));
+      ref.table = ref.fn->function;
+    }
     if (ConsumeKeyword("AS")) {
       EASYTIME_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
     } else if (Peek().type == TokenType::kIdentifier) {
       ref.alias = Advance().text;
     }
     return ref;
+  }
+
+  /// Parses "(args...)" after a FROM-clause identifier: positional
+  /// identifiers first, then name := literal options. The call is validated
+  /// against the known table functions by the analyzer, not here.
+  easytime::Result<std::unique_ptr<TableFunctionCall>> ParseTableFunctionCall(
+      const std::string& name) {
+    auto call = std::make_unique<TableFunctionCall>();
+    call->function = ToUpper(name);
+    EASYTIME_RETURN_IF_ERROR(ExpectOp("("));
+    if (ConsumeOp(")")) return call;
+    while (true) {
+      if (Peek().type == TokenType::kIdentifier && Peek(1).IsOp(":=")) {
+        TableFunctionCall::NamedArg arg;
+        arg.name = ToLower(Advance().text);
+        Advance();  // ":="
+        EASYTIME_ASSIGN_OR_RETURN(arg.value, ParseLiteralValue());
+        call->named.push_back(std::move(arg));
+      } else {
+        if (!call->named.empty()) {
+          return Err("positional argument after named argument");
+        }
+        EASYTIME_ASSIGN_OR_RETURN(std::string pos, ExpectIdentifier());
+        call->positional.push_back(std::move(pos));
+      }
+      if (ConsumeOp(")")) break;
+      EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
+    }
+    return call;
+  }
+
+  /// A literal for a named table-function argument: string, number
+  /// (optionally negated), TRUE/FALSE, or NULL.
+  easytime::Result<Value> ParseLiteralValue() {
+    bool negative = ConsumeOp("-");
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger: {
+        int64_t v = std::atoll(Advance().text.c_str());
+        return Value::Integer(negative ? -v : v);
+      }
+      case TokenType::kReal: {
+        double v = std::atof(Advance().text.c_str());
+        return Value::Real(negative ? -v : v);
+      }
+      case TokenType::kString:
+        if (negative) return Err("cannot negate a string literal");
+        return Value::Text(Advance().text);
+      case TokenType::kKeyword:
+        if (!negative) {
+          if (tok.text == "NULL") {
+            Advance();
+            return Value::Null();
+          }
+          if (tok.text == "TRUE") {
+            Advance();
+            return Value::Integer(1);
+          }
+          if (tok.text == "FALSE") {
+            Advance();
+            return Value::Integer(0);
+          }
+        }
+        [[fallthrough]];
+      default:
+        return Err("named table-function arguments must be literals");
+    }
   }
 
   easytime::Result<CreateTableStatement> ParseCreateTable() {
@@ -421,6 +495,16 @@ class Parser {
             EASYTIME_RETURN_IF_ERROR(ExpectOp(","));
           }
           return ExprPtr(std::move(e));
+        }
+        // Function-style keywords without a call are plain column names
+        // (TS_FORECAST emits "lower"/"upper" bound columns, and MIN/MAX etc.
+        // are common enough as column names to deserve the same treatment).
+        if (tok.text == "COUNT" || tok.text == "SUM" || tok.text == "AVG" ||
+            tok.text == "MIN" || tok.text == "MAX" || tok.text == "ABS" ||
+            tok.text == "ROUND" || tok.text == "LOWER" ||
+            tok.text == "UPPER") {
+          Advance();
+          return MakeColumnRef("", ToLower(tok.text));
         }
         return Err("unexpected keyword '" + tok.text + "' in expression");
       }

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file table_function.h
+/// \brief Table-valued functions in the FROM clause — the SQL-native
+/// forecasting surface. TS_FORECAST(table, date_col, value_col, ...) fits a
+/// registered method on one series and returns a table of
+/// (forecast_step, forecast_timestamp, point_forecast, lower, upper,
+/// model_name, fit_time_ms); TS_FORECAST_BY(table, group_col, date_col,
+/// value_col, ...) prepends the group column and fans the per-group fits
+/// out on the global thread pool with deterministic (group, step) ordering.
+/// Named options: model := 'theta', horizon := 12, confidence := 0.95,
+/// period := 0.
+///
+/// Forecast timestamps continue the training axis by the *median* observed
+/// interval (robust to irregular spacing and the occasional gap); interval
+/// bounds come from Forecaster::ForecastWithIntervals.
+
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/table.h"
+
+namespace easytime::sql {
+
+/// True if \p upper_name names a table-valued function.
+bool IsTableFunction(const std::string& upper_name);
+
+/// \brief Validates the call against the database — table and columns
+/// exist, date/value columns numeric, options well-formed, model registered
+/// — and returns the output schema. Unknown model names come back as
+/// InvalidArgument listing every registered method.
+easytime::Result<std::vector<Column>> AnalyzeTableFunction(
+    const Database& db, const TableFunctionCall& call);
+
+/// \brief Executes the call, materializing the forecast table. Group fits
+/// run on ThreadPool::ParallelFor into pre-sized slots, so results are
+/// bit-identical across thread counts; rows are ordered by (group, step).
+/// The deadline is checked before each group fit ("sql.forecast" is the
+/// fault point): once it expires, remaining groups are skipped and the call
+/// returns DeadlineExceeded.
+easytime::Result<Table> ExecuteTableFunction(const Database& db,
+                                             const TableFunctionCall& call,
+                                             const easytime::Deadline& deadline);
+
+}  // namespace easytime::sql

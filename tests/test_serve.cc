@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "serve/request.h"
 #include "serve/tcp_server.h"
 
@@ -187,6 +188,74 @@ TEST_F(ServeTest, RecommendAndAskAndSql) {
 
   EXPECT_TRUE(server_->Call("ask", Json::Object())
                   .status().IsInvalidArgument());
+}
+
+TEST_F(ServeTest, SqlEndpointRunsForecastTableFunctions) {
+  // The sql endpoint accepts DDL/DML too, so a client can stage its own
+  // series and forecast them without leaving the wire protocol.
+  Json ddl = Json::Object();
+  ddl.Set("query", "CREATE TABLE serve_demo_ts (t INTEGER, v REAL)");
+  ASSERT_TRUE(server_->Call("sql", ddl).ok());
+  std::string insert = "INSERT INTO serve_demo_ts VALUES ";
+  for (int i = 0; i < 48; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " +
+              std::to_string(10.0 + 0.5 * i) + ")";
+  }
+  Json dml = Json::Object();
+  dml.Set("query", insert);
+  ASSERT_TRUE(server_->Call("sql", dml).ok());
+
+  Json fc = Json::Object();
+  fc.Set("query",
+         "SELECT * FROM TS_FORECAST(serve_demo_ts, t, v, model := 'drift', "
+         "horizon := 4)");
+  auto resp = server_->Call("sql", fc);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->Get("rows").size(), 4u);
+}
+
+TEST_F(ServeTest, SqlEndpointHonorsDeadlineUnderSlowFits) {
+  Json ddl = Json::Object();
+  ddl.Set("query", "CREATE TABLE serve_slow_ts (g INTEGER, t INTEGER, v REAL)");
+  ASSERT_TRUE(server_->Call("sql", ddl).ok());
+  std::string insert = "INSERT INTO serve_slow_ts VALUES ";
+  for (int g = 0; g < 20; ++g) {
+    for (int i = 0; i < 24; ++i) {
+      if (g || i) insert += ", ";
+      insert += "(" + std::to_string(g) + ", " + std::to_string(i) + ", " +
+                std::to_string(5.0 + i + g) + ")";
+    }
+  }
+  Json dml = Json::Object();
+  dml.Set("query", insert);
+  ASSERT_TRUE(server_->Call("sql", dml).ok());
+
+  // Each of the 20 group fits sleeps 20ms under the injected fault; a 40ms
+  // request deadline must surface DeadlineExceeded instead of ~400ms of
+  // forced work.
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = 20.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("sql.forecast", spec).ok());
+  Json fc = Json::Object();
+  fc.Set("query",
+         "SELECT * FROM TS_FORECAST_BY(serve_slow_ts, g, t, v, "
+         "model := 'naive', horizon := 2)");
+  fc.Set("deadline_ms", 40.0);
+  auto resp = server_->Call("sql", fc);
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status().ToString();
+
+  // With the fault disarmed and no deadline, the same query completes.
+  fc = Json::Object();
+  fc.Set("query",
+         "SELECT * FROM TS_FORECAST_BY(serve_slow_ts, g, t, v, "
+         "model := 'naive', horizon := 2)");
+  auto ok = server_->Call("sql", fc);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->Get("rows").size(), 40u);
 }
 
 // ---------------------------------------------------------------------------

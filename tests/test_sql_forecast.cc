@@ -1,0 +1,530 @@
+#include "sql/table_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/json.h"
+#include "methods/forecaster.h"
+#include "methods/registry.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace easytime::sql {
+namespace {
+
+/// Deterministic normal deviates (Box-Muller over a 64-bit LCG) so coverage
+/// statistics are reproducible across platforms and thread counts.
+class TestRng {
+ public:
+  explicit TestRng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+
+  double Uniform() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state_ >> 11) + 1) / 9007199254740994.0;
+  }
+
+  double Normal() {
+    double u1 = Uniform(), u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class SqlForecastTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One seasonal series with trend on an integer date axis.
+    Exec("CREATE TABLE sales (t INTEGER, v REAL)");
+    std::string insert = "INSERT INTO sales VALUES ";
+    for (int i = 0; i < 120; ++i) {
+      if (i) insert += ", ";
+      double v = 50.0 + 0.3 * i + 8.0 * std::sin(2.0 * 3.14159265 * i / 12.0);
+      insert += "(" + std::to_string(i) + ", " + std::to_string(v) + ")";
+    }
+    Exec(insert);
+  }
+
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  void Exec(const std::string& sql) {
+    auto r = ExecuteQuery(&db_, sql);
+    ASSERT_TRUE(r.ok()) << sql.substr(0, 80) << " -> "
+                        << r.status().ToString();
+  }
+
+  ResultSet Q(const std::string& sql,
+              const easytime::Deadline& deadline = easytime::Deadline()) {
+    auto r = ExecuteQuery(&db_, sql, deadline);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  Status Fail(const std::string& sql,
+              const easytime::Deadline& deadline = easytime::Deadline()) {
+    auto r = ExecuteQuery(&db_, sql, deadline);
+    EXPECT_FALSE(r.ok()) << sql << " unexpectedly succeeded";
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  /// Populates a grouped table: \p groups random walks of \p len points.
+  void MakeGroupedTable(const std::string& name, int groups, int len) {
+    Exec("CREATE TABLE " + name + " (region TEXT, t INTEGER, v REAL)");
+    std::string insert = "INSERT INTO " + name + " VALUES ";
+    bool first = true;
+    for (int g = 0; g < groups; ++g) {
+      TestRng rng(1000 + static_cast<uint64_t>(g));
+      double level = 100.0 + 5.0 * g;
+      char label[16];
+      std::snprintf(label, sizeof(label), "r%03d", g);
+      for (int i = 0; i < len; ++i) {
+        level += rng.Normal();
+        if (!first) insert += ", ";
+        first = false;
+        insert += std::string("('") + label + "', " + std::to_string(i) +
+                  ", " + std::to_string(level) + ")";
+      }
+    }
+    Exec(insert);
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// TS_FORECAST basics
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, ForecastReturnsSchemaAndOrderedFiniteRows) {
+  auto rs = Q("SELECT * FROM TS_FORECAST(sales, t, v, model := 'theta', "
+              "horizon := 12, confidence := 0.95)");
+  ASSERT_EQ(rs.columns.size(), 7u);
+  EXPECT_EQ(rs.columns[0], "forecast_step");
+  EXPECT_EQ(rs.columns[1], "forecast_timestamp");
+  EXPECT_EQ(rs.columns[2], "point_forecast");
+  EXPECT_EQ(rs.columns[3], "lower");
+  EXPECT_EQ(rs.columns[4], "upper");
+  EXPECT_EQ(rs.columns[5], "model_name");
+  EXPECT_EQ(rs.columns[6], "fit_time_ms");
+  ASSERT_EQ(rs.rows.size(), 12u);
+  int64_t prev_ts = -1;
+  for (size_t h = 0; h < rs.rows.size(); ++h) {
+    const Row& row = rs.rows[h];
+    EXPECT_EQ(row[0].AsInteger(), static_cast<int64_t>(h + 1));
+    // Training dates run 0..119 at unit spacing, so forecasts continue it.
+    EXPECT_EQ(row[1].AsInteger(), 120 + static_cast<int64_t>(h));
+    EXPECT_GT(row[1].AsInteger(), prev_ts);
+    prev_ts = row[1].AsInteger();
+    double point = row[2].AsReal(), lower = row[3].AsReal(),
+           upper = row[4].AsReal();
+    EXPECT_TRUE(std::isfinite(point) && std::isfinite(lower) &&
+                std::isfinite(upper));
+    EXPECT_LE(lower, point);
+    EXPECT_LE(point, upper);
+    EXPECT_EQ(row[5].AsText(), "theta");
+    EXPECT_GE(row[6].AsReal(), 0.0);
+  }
+}
+
+TEST_F(SqlForecastTest, DefaultsAreThetaHorizon12) {
+  auto rs = Q("SELECT * FROM TS_FORECAST(sales, t, v)");
+  ASSERT_EQ(rs.rows.size(), 12u);
+  EXPECT_EQ(rs.rows[0][5].AsText(), "theta");
+}
+
+TEST_F(SqlForecastTest, IntervalsWidenWithHorizon) {
+  auto rs = Q("SELECT * FROM TS_FORECAST(sales, t, v, model := 'ses', "
+              "horizon := 24)");
+  ASSERT_EQ(rs.rows.size(), 24u);
+  double w_first = rs.rows[0][4].AsReal() - rs.rows[0][3].AsReal();
+  double w_last = rs.rows[23][4].AsReal() - rs.rows[23][3].AsReal();
+  EXPECT_GT(w_first, 0.0);
+  EXPECT_GT(w_last, w_first);
+}
+
+TEST_F(SqlForecastTest, HigherConfidenceWidensIntervals) {
+  auto narrow = Q("SELECT * FROM TS_FORECAST(sales, t, v, model := 'naive', "
+                  "confidence := 0.5)");
+  auto wide = Q("SELECT * FROM TS_FORECAST(sales, t, v, model := 'naive', "
+                "confidence := 0.99)");
+  ASSERT_EQ(narrow.rows.size(), wide.rows.size());
+  for (size_t h = 0; h < narrow.rows.size(); ++h) {
+    double wn = narrow.rows[h][4].AsReal() - narrow.rows[h][3].AsReal();
+    double ww = wide.rows[h][4].AsReal() - wide.rows[h][3].AsReal();
+    EXPECT_LT(wn, ww) << "step " << h + 1;
+  }
+}
+
+TEST_F(SqlForecastTest, EveryRegisteredModelProducesValidIntervals) {
+  for (const auto& model : methods::MethodRegistry::Global().Names()) {
+    auto r = ExecuteQuery(&db_,
+                          "SELECT * FROM TS_FORECAST(sales, t, v, model := '" +
+                              model + "', horizon := 6, period := 12)");
+    ASSERT_TRUE(r.ok()) << model << " -> " << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 6u) << model;
+    for (const Row& row : r->rows) {
+      double point = row[2].AsReal(), lower = row[3].AsReal(),
+             upper = row[4].AsReal();
+      EXPECT_TRUE(std::isfinite(point)) << model;
+      EXPECT_LE(lower, point) << model;
+      EXPECT_LE(point, upper) << model;
+    }
+  }
+}
+
+TEST_F(SqlForecastTest, LowerAndUpperProjectAsColumnNames) {
+  // "lower"/"upper" double as SQL function keywords; bare references must
+  // still resolve to the interval columns.
+  auto rs = Q("SELECT lower, upper FROM TS_FORECAST(sales, t, v, "
+              "horizon := 3) WHERE upper > lower ORDER BY lower");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.columns[0], "lower");
+  EXPECT_EQ(rs.columns[1], "upper");
+  // And the call form still works as the string functions.
+  auto fn = Q("SELECT UPPER(model_name) FROM TS_FORECAST(sales, t, v, "
+              "horizon := 1)");
+  ASSERT_EQ(fn.rows.size(), 1u);
+  EXPECT_EQ(fn.rows[0][0].AsText(), "THETA");
+}
+
+TEST_F(SqlForecastTest, ComposesWithWhereOrderByAndProjection) {
+  auto rs = Q("SELECT forecast_step, point_forecast FROM "
+              "TS_FORECAST(sales, t, v, horizon := 10) "
+              "WHERE forecast_step > 7 ORDER BY forecast_step DESC");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.columns.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInteger(), 10);
+  EXPECT_EQ(rs.rows[2][0].AsInteger(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Forecast timestamps
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, MedianIntervalTimestampsOnIrregularIntegerDates) {
+  Exec("CREATE TABLE gappy (t INTEGER, v REAL)");
+  // Unit spacing with one missing observation: diffs {1, 1, 2, 1, 1, 1, 1,
+  // 1, 1} -> median 1, so forecasts continue at unit steps from t=10.
+  Exec("INSERT INTO gappy VALUES (1, 5.0), (2, 6.0), (3, 5.5), (5, 6.5), "
+       "(6, 6.0), (7, 7.0), (8, 6.5), (9, 7.5), (10, 7.0), (4, 6.2)");
+  auto rs = Q("SELECT * FROM TS_FORECAST(gappy, t, v, model := 'naive', "
+              "horizon := 3)");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][1].AsInteger(), 11);
+  EXPECT_EQ(rs.rows[1][1].AsInteger(), 12);
+  EXPECT_EQ(rs.rows[2][1].AsInteger(), 13);
+}
+
+TEST_F(SqlForecastTest, MedianIntervalIsRobustToOneLargeGap) {
+  Exec("CREATE TABLE weekly (t INTEGER, v REAL)");
+  // Weekly cadence with a 10-week outage: the median step stays 7.
+  std::string insert = "INSERT INTO weekly VALUES ";
+  int t = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(t) + ", " + std::to_string(3.0 + i) + ")";
+    t += (i == 5) ? 70 : 7;
+  }
+  Exec(insert);
+  auto rs = Q("SELECT * FROM TS_FORECAST(weekly, t, v, model := 'naive', "
+              "horizon := 2)");
+  // Last training date is 140 (11 gaps: ten 7s and one 70).
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][1].AsInteger(), 147);
+  EXPECT_EQ(rs.rows[1][1].AsInteger(), 154);
+}
+
+TEST_F(SqlForecastTest, RealDateAxisKeepsFractionalStep) {
+  Exec("CREATE TABLE halfhour (t REAL, v REAL)");
+  std::string insert = "INSERT INTO halfhour VALUES ";
+  for (int i = 0; i < 20; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(0.5 * i) + ", " +
+              std::to_string(10.0 + 0.1 * i) + ")";
+  }
+  Exec(insert);
+  auto rs = Q("SELECT * FROM TS_FORECAST(halfhour, t, v, model := 'drift', "
+              "horizon := 2)");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_NEAR(rs.rows[0][1].AsReal(), 10.0, 1e-9);
+  EXPECT_NEAR(rs.rows[1][1].AsReal(), 10.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection corpus
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, UnknownArgumentNameIsRejected) {
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, t, v, window := 3)");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("unknown argument 'window'"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("model, horizon, confidence, period"),
+            std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SqlForecastTest, UnknownModelListsRegisteredMethods) {
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, t, v, "
+                  "model := 'prophet9000')");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("unknown model 'prophet9000'"),
+            std::string::npos);
+  EXPECT_NE(s.message().find("registered methods:"), std::string::npos);
+  // The enumeration names real candidates the caller can switch to.
+  EXPECT_NE(s.message().find("naive"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("theta"), std::string::npos) << s.ToString();
+}
+
+TEST_F(SqlForecastTest, RegistryCreateErrorAlsoListsMethods) {
+  auto r = methods::MethodRegistry::Global().Create("nope",
+                                                    easytime::Json::Object());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("registered methods:"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SqlForecastTest, BadOptionValuesAreRejected) {
+  EXPECT_TRUE(Fail("SELECT * FROM TS_FORECAST(sales, t, v, horizon := 0)")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Fail("SELECT * FROM TS_FORECAST(sales, t, v, horizon := -3)")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      Fail("SELECT * FROM TS_FORECAST(sales, t, v, confidence := 1.5)")
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      Fail("SELECT * FROM TS_FORECAST(sales, t, v, confidence := 0.0)")
+          .IsInvalidArgument());
+  EXPECT_TRUE(Fail("SELECT * FROM TS_FORECAST(sales, t, v, model := 7)")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      Fail("SELECT * FROM TS_FORECAST(sales, t, v, horizon := 5, "
+           "horizon := 6)")
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlForecastTest, NonNumericColumnsAreRejected) {
+  Exec("CREATE TABLE labels (t INTEGER, v TEXT)");
+  Exec("INSERT INTO labels VALUES (1, 'a'), (2, 'b')");
+  Status s = Fail("SELECT * FROM TS_FORECAST(labels, t, v)");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("must be numeric"), std::string::npos);
+  Status s2 = Fail("SELECT * FROM TS_FORECAST(labels, v, t)");
+  EXPECT_TRUE(s2.IsInvalidArgument()) << s2.ToString();
+}
+
+TEST_F(SqlForecastTest, MissingTableAndColumnAreNotFound) {
+  EXPECT_TRUE(Fail("SELECT * FROM TS_FORECAST(ghosts, t, v)").IsNotFound());
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, nope, v)");
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.message().find("'nope'"), std::string::npos);
+}
+
+TEST_F(SqlForecastTest, WrongArityNamesTheExpectedSignature) {
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, t)");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("table, date_col, value_col"),
+            std::string::npos);
+}
+
+TEST_F(SqlForecastTest, ParserRejectsPositionalAfterNamedAndJoins) {
+  EXPECT_FALSE(
+      ParseSql("SELECT * FROM TS_FORECAST(sales, model := 'theta', t, v)")
+          .ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM sales JOIN TS_FORECAST(sales, t, v) "
+                        "ON 1 = 1")
+                   .ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT * FROM TS_FORECAST(sales, t, v, model := t)").ok());
+}
+
+TEST_F(SqlForecastTest, AllNullRowsAreRejected) {
+  Exec("CREATE TABLE hollow (t INTEGER, v REAL)");
+  Exec("INSERT INTO hollow VALUES (1, NULL), (NULL, 2.0)");
+  Status s = Fail("SELECT * FROM TS_FORECAST(hollow, t, v)");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("no usable"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Interval coverage on synthetic data
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, NinetyFivePercentCoverageOnRandomWalks) {
+  // 150 independent Gaussian random walks. The naive forecaster's interval
+  // model (sigma * sqrt(h)) is exact for this process, so empirical coverage
+  // of the 95% band over 150 * 4 = 600 future points concentrates near 0.95.
+  constexpr int kGroups = 150;
+  constexpr int kTrain = 80;
+  constexpr int kHorizon = 4;
+  Exec("CREATE TABLE walks (g INTEGER, t INTEGER, v REAL)");
+  std::vector<std::vector<double>> futures(kGroups);
+  std::string insert = "INSERT INTO walks VALUES ";
+  bool first = true;
+  for (int g = 0; g < kGroups; ++g) {
+    TestRng rng(7000 + static_cast<uint64_t>(g));
+    double level = 50.0;
+    for (int i = 0; i < kTrain + kHorizon; ++i) {
+      level += rng.Normal();
+      if (i < kTrain) {
+        if (!first) insert += ", ";
+        first = false;
+        insert += "(" + std::to_string(g) + ", " + std::to_string(i) + ", " +
+                  std::to_string(level) + ")";
+      } else {
+        futures[g].push_back(level);
+      }
+    }
+  }
+  Exec(insert);
+
+  auto rs = Q("SELECT * FROM TS_FORECAST_BY(walks, g, t, v, "
+              "model := 'naive', horizon := 4, confidence := 0.95)");
+  ASSERT_EQ(rs.rows.size(), static_cast<size_t>(kGroups * kHorizon));
+  int covered = 0, total = 0;
+  for (const Row& row : rs.rows) {
+    int g = static_cast<int>(row[0].AsInteger());
+    int h = static_cast<int>(row[1].AsInteger());
+    double actual = futures[g][static_cast<size_t>(h - 1)];
+    ++total;
+    if (actual >= row[4].AsReal() && actual <= row[5].AsReal()) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / total;
+  EXPECT_GT(coverage, 0.90) << "coverage " << coverage;
+  EXPECT_LT(coverage, 0.99) << "coverage " << coverage;
+}
+
+// ---------------------------------------------------------------------------
+// TS_FORECAST_BY: grouping, ordering, determinism
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, GroupForecastsAreOrderedAndComplete) {
+  MakeGroupedTable("regional", 24, 60);
+  auto rs = Q("SELECT * FROM TS_FORECAST_BY(regional, region, t, v, "
+              "model := 'ses', horizon := 5)");
+  ASSERT_EQ(rs.columns.size(), 8u);
+  EXPECT_EQ(rs.columns[0], "region");
+  ASSERT_EQ(rs.rows.size(), 24u * 5u);
+  std::string prev_group;
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    const std::string group = rs.rows[i][0].AsText();
+    EXPECT_GE(group, prev_group);  // groups in sorted order
+    EXPECT_EQ(rs.rows[i][1].AsInteger(),
+              static_cast<int64_t>(i % 5 + 1));  // steps 1..5 per group
+    prev_group = group;
+  }
+}
+
+TEST_F(SqlForecastTest, ParallelFanOutMatchesSequentialReference) {
+  // The acceptance bar: results are bit-identical regardless of the thread
+  // pool's size. The reference fits each group sequentially through the
+  // public Forecaster API; the SQL path fans out on ParallelFor. The CI
+  // matrix reruns this suite under EASYTIME_NUM_THREADS=4 and 1.
+  constexpr int kGroups = 24;
+  constexpr int kLen = 60;
+  MakeGroupedTable("fleet", kGroups, kLen);
+  const std::string query =
+      "SELECT * FROM TS_FORECAST_BY(fleet, region, t, v, model := 'theta', "
+      "horizon := 6, confidence := 0.9)";
+  auto run1 = Q(query);
+  auto run2 = Q(query);
+  ASSERT_EQ(run1.rows.size(), static_cast<size_t>(kGroups * 6));
+  ASSERT_EQ(run2.rows.size(), run1.rows.size());
+
+  // Two runs agree exactly on every column except the wall-clock timing.
+  for (size_t i = 0; i < run1.rows.size(); ++i) {
+    for (size_t c = 0; c + 1 < run1.columns.size(); ++c) {
+      EXPECT_EQ(run1.rows[i][c].ToString(), run2.rows[i][c].ToString())
+          << "row " << i << " col " << run1.columns[c];
+    }
+  }
+
+  // And both agree bit-for-bit with a sequential single-fit reference.
+  for (int g = 0; g < kGroups; ++g) {
+    TestRng rng(1000 + static_cast<uint64_t>(g));
+    double level = 100.0 + 5.0 * g;
+    std::vector<double> train;
+    for (int i = 0; i < kLen; ++i) {
+      level += rng.Normal();
+      // Round-trip through the SQL text the fixture inserted, so the
+      // reference trains on exactly the stored values.
+      train.push_back(std::stod(std::to_string(level)));
+    }
+    auto forecaster = methods::MethodRegistry::Global().Create(
+        "theta", easytime::Json::Object());
+    ASSERT_TRUE(forecaster.ok());
+    methods::FitContext ctx;
+    ctx.horizon = 6;
+    auto fc = (*forecaster)->ForecastWithIntervals(train, ctx, 0.9);
+    ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+    for (int h = 0; h < 6; ++h) {
+      const Row& row = run1.rows[static_cast<size_t>(g * 6 + h)];
+      EXPECT_EQ(row[3].AsReal(), fc->point[static_cast<size_t>(h)])
+          << "group " << g << " step " << h + 1;
+      EXPECT_EQ(row[4].AsReal(), fc->lower[static_cast<size_t>(h)]);
+      EXPECT_EQ(row[5].AsReal(), fc->upper[static_cast<size_t>(h)]);
+    }
+  }
+}
+
+TEST_F(SqlForecastTest, NullGroupKeysAreSkipped) {
+  Exec("CREATE TABLE sparse (g TEXT, t INTEGER, v REAL)");
+  Exec("INSERT INTO sparse VALUES "
+       "('a', 1, 1.0), ('a', 2, 2.0), ('a', 3, 3.0), "
+       "(NULL, 1, 9.0), (NULL, 2, 9.0), "
+       "('b', 1, 4.0), ('b', 2, 5.0), ('b', 3, 6.0)");
+  auto rs = Q("SELECT * FROM TS_FORECAST_BY(sparse, g, t, v, "
+              "model := 'naive', horizon := 2)");
+  ASSERT_EQ(rs.rows.size(), 4u);  // two groups, NULL rows dropped
+  EXPECT_EQ(rs.rows[0][0].AsText(), "a");
+  EXPECT_EQ(rs.rows[2][0].AsText(), "b");
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and fault injection
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlForecastTest, ExpiredDeadlineFailsBeforeAnyFit) {
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, t, v)",
+                  easytime::Deadline::AfterMillis(-1.0));
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+}
+
+TEST_F(SqlForecastTest, DeadlineInterruptsGroupFanOut) {
+  MakeGroupedTable("slowfleet", 24, 40);
+  // Every group fit sleeps 20ms under the injected fault; a 30ms deadline
+  // must cut the fan-out short rather than hang for the full ~half second.
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = 20.0;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("sql.forecast", spec).ok());
+  Status s = Fail("SELECT * FROM TS_FORECAST_BY(slowfleet, region, t, v, "
+                  "model := 'naive', horizon := 2)",
+                  easytime::Deadline::AfterMillis(30.0));
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_NE(s.message().find("group fits"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SqlForecastTest, InjectedFaultSurfacesAsQueryError) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(FaultRegistry::Global().Arm("sql.forecast", spec).ok());
+  Status s = Fail("SELECT * FROM TS_FORECAST(sales, t, v)");
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  FaultRegistry::Global().DisarmAll();
+  // Disarmed, the same query succeeds again.
+  EXPECT_EQ(Q("SELECT * FROM TS_FORECAST(sales, t, v)").rows.size(), 12u);
+}
+
+}  // namespace
+}  // namespace easytime::sql
