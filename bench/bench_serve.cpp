@@ -7,6 +7,8 @@
 //   3. loopback  — end-to-end req/sec over the TCP front-end
 //   4. epoll     — multi-client and pipelined req/sec against the event loop
 //   5. job_pool  — two concurrent evaluations vs the same two run back-to-back
+//   6. qos       — overload shedding (4x ask oversubscription vs a concurrent
+//                  forecast) and the latency of a deadline-bounded fit abort
 //
 //   ./build/bench/bench_serve [output.json]
 
@@ -334,6 +336,95 @@ double RunJobPair(core::EasyTime* system, size_t concurrency,
   return seconds;
 }
 
+// ---- 6. qos: overload shedding and deadline-bounded fits -------------------
+
+struct QosNumbers {
+  double forecast_under_overload_ms = 0.0;
+  int64_t asks_ok = 0;
+  int64_t asks_shed = 0;
+  int64_t shed_total = 0;
+  int64_t brownout_enters = 0;
+  int64_t degraded_responses = 0;
+  double deadline_abort_ms = 0.0;
+  int64_t deadline_exceeded = 0;
+};
+
+QosNumbers BenchQos(core::EasyTime* system, const std::string& dataset) {
+  serve::ForecastServer::Options opt;
+  opt.num_worker_threads = 2;
+  opt.fast_queue_capacity = 8;  // admission capacity; 32 asks = 4x overload
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;
+  serve::ForecastServer server(system, opt);
+  server.Start();
+
+  QosNumbers out;
+
+  // (a) 4x oversubscription: 32 slow asks against an admission capacity of
+  // 8. The excess sheds Unavailable; a forecast arriving mid-burst completes
+  // within its guaranteed worker share instead of waiting out the backlog.
+  {
+    constexpr int kAskClients = 32;
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> shed{0};
+    std::vector<std::thread> askers;
+    for (int i = 0; i < kAskClients; ++i) {
+      askers.emplace_back([&]() {
+        const std::string line =
+            R"({"id": 1, "endpoint": "ask", "params": {"question": )"
+            R"("What is the average mae of theta?", "sleep_ms": 100}})";
+        auto resp = Json::Parse(server.HandleLine(line));
+        if (resp.ok() && resp->GetBool("ok", false)) {
+          ok.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Stopwatch watch;
+    Expect(server.HandleLine(ForecastLine(dataset, "naive", 77, 4)));
+    out.forecast_under_overload_ms = watch.ElapsedMillis();
+    for (auto& t : askers) t.join();
+    out.asks_ok = ok.load();
+    out.asks_shed = shed.load();
+  }
+
+  // (b) Deadline-bounded fit: a gbdt configuration that takes seconds to fit
+  // in full, capped at 60ms — measures how fast the mid-fit abort returns.
+  {
+    std::string values;
+    double level = 50.0;
+    uint64_t s = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 6000; ++i) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      level += static_cast<double>((s >> 40) % 1000) / 1000.0 - 0.5;
+      if (i) values += ",";
+      values += std::to_string(level);
+    }
+    const std::string line =
+        R"({"id": 9, "endpoint": "forecast", "params": {"method": "gbdt", )"
+        R"("config": {"num_trees": 400, "max_depth": 6}, "horizon": 8, )"
+        R"("deadline_ms": 60, "values": [)" +
+        values + "]}}";
+    Stopwatch watch;
+    auto resp = Json::Parse(server.HandleLine(line));
+    out.deadline_abort_ms = watch.ElapsedMillis();
+    if (!resp.ok() || resp->GetBool("ok", false)) {
+      std::fprintf(stderr, "qos bench: deadline abort did not fire\n");
+      std::exit(1);
+    }
+  }
+
+  Json stats = server.StatsJson();
+  out.shed_total = stats.Get("admission").GetInt("shed_total", 0);
+  out.brownout_enters = stats.GetInt("brownout_enters", 0);
+  out.degraded_responses = stats.GetInt("degraded_responses", 0);
+  out.deadline_exceeded = stats.GetInt("deadline_exceeded", 0);
+  server.Stop();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -364,6 +455,8 @@ int main(int argc, char** argv) {
   double sequential_seconds = RunJobPair(system.get(), 1, nullptr);
   double concurrent_seconds = RunJobPair(system.get(), pool_workers,
                                          &pool_peak);
+
+  QosNumbers qos = BenchQos(system.get(), datasets[0]);
 
   Json out = Json::Object();
   Json cache_json = Json::Object();
@@ -410,6 +503,19 @@ int main(int argc, char** argv) {
   pool_json.Set("hardware_concurrency",
                 static_cast<int64_t>(std::thread::hardware_concurrency()));
   out.Set("job_pool", std::move(pool_json));
+
+  Json qos_json = Json::Object();
+  qos_json.Set("ask_clients", static_cast<int64_t>(32));
+  qos_json.Set("admission_capacity", static_cast<int64_t>(8));
+  qos_json.Set("forecast_under_overload_ms", qos.forecast_under_overload_ms);
+  qos_json.Set("asks_ok", qos.asks_ok);
+  qos_json.Set("asks_shed", qos.asks_shed);
+  qos_json.Set("shed_total", qos.shed_total);
+  qos_json.Set("brownout_enters", qos.brownout_enters);
+  qos_json.Set("degraded_responses", qos.degraded_responses);
+  qos_json.Set("deadline_abort_ms", qos.deadline_abort_ms);
+  qos_json.Set("deadline_exceeded", qos.deadline_exceeded);
+  out.Set("qos", std::move(qos_json));
 
   std::string payload = out.Dump(2);
   std::printf("%s\n", payload.c_str());

@@ -2,8 +2,11 @@
 # Runs the serving-layer benchmark and writes BENCH_serve.json at the repo
 # root: cache-hit vs cache-miss forecast latency, batched vs unbatched
 # throughput, loopback TCP req/sec, the epoll front-end under multiple
-# clients and pipelining, and the multi-worker job pool (min(cores, 4)
-# workers when >1 core is available) vs sequential jobs. Every section
+# clients and pipelining, the multi-worker job pool (min(cores, 4)
+# workers when >1 core is available) vs sequential jobs, and the QoS
+# section: overload shedding under 4x ask oversubscription (forecast
+# latency inside its guaranteed quota, shed/brownout/degraded counters)
+# plus the latency of a deadline-bounded mid-fit abort. Every section
 # carries a "threads" field recording the configuration it ran with.
 #
 # Usage: bench/run_serve.sh [build_dir]   (default: build)

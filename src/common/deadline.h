@@ -9,6 +9,7 @@
 /// expires), which keeps it zero-config for callers that don't care.
 
 #include <chrono>
+#include <cstdint>
 #include <limits>
 
 namespace easytime {
@@ -56,6 +57,42 @@ class Deadline {
 
  private:
   Clock::time_point tp_;
+};
+
+/// \brief Amortized deadline polling for tight fit loops. Reading the clock
+/// on every inner iteration would dominate cheap loop bodies, so the checker
+/// only touches the clock every \p stride calls (default 64 — with iteration
+/// bodies in the microsecond range this lands well under one clock read per
+/// millisecond of work). An infinite deadline short-circuits to a single
+/// branch per call, and once expired the checker stays expired, so callers
+/// can keep testing it on their unwind path for free.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const Deadline& deadline, uint32_t stride = 64)
+      : deadline_(deadline), stride_(deadline.infinite() ? 0 : stride) {}
+
+  /// True once the deadline has passed; sticky. At most one clock read per
+  /// \p stride calls (none at all for an infinite deadline).
+  bool Expired() {
+    if (stride_ == 0) return false;
+    if (expired_) return true;
+    if (++count_ < stride_) return false;
+    count_ = 0;
+    expired_ = deadline_.expired();
+    return expired_;
+  }
+
+  /// Forces a clock read on the next Expired() call (for loop boundaries
+  /// where a fresh answer matters more than amortization).
+  void ForceCheck() { count_ = stride_ == 0 ? 0 : stride_ - 1; }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  uint32_t stride_;
+  uint32_t count_ = 0;
+  bool expired_ = false;
 };
 
 }  // namespace easytime

@@ -31,7 +31,12 @@ NelderMeadResult NelderMead(
   for (size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
 
   int iter = 0;
+  bool stopped = false;
   for (; iter < options.max_iterations; ++iter) {
+    if (options.should_stop && options.should_stop()) {
+      stopped = true;
+      break;
+    }
     // Order simplex by objective.
     std::vector<size_t> order(n + 1);
     std::iota(order.begin(), order.end(), 0);
@@ -101,7 +106,8 @@ NelderMeadResult NelderMead(
   result.x = simplex[best];
   result.fx = fv[best];
   result.iterations = iter;
-  result.converged = iter < options.max_iterations;
+  result.stopped = stopped;
+  result.converged = !stopped && iter < options.max_iterations;
   return result;
 }
 

@@ -18,6 +18,11 @@ struct NelderMeadOptions {
   int max_iterations = 500;
   double tolerance = 1e-8;      ///< stop when simplex f-spread is below this
   double initial_step = 0.1;    ///< per-coordinate initial simplex offset
+  /// Cooperative cancellation: polled once per main-loop iteration; when it
+  /// returns true the search stops and the result is flagged `stopped` (the
+  /// best vertex so far is still returned). Callers wire a DeadlineChecker
+  /// here so smoothing-parameter searches abort mid-fit.
+  std::function<bool()> should_stop;
 };
 
 /// Outcome of a Nelder–Mead run.
@@ -26,6 +31,7 @@ struct NelderMeadResult {
   double fx = 0.0;        ///< objective at x
   int iterations = 0;
   bool converged = false;
+  bool stopped = false;   ///< should_stop() fired before convergence
 };
 
 /// \brief Minimizes \p f starting from \p x0 with the Nelder–Mead simplex.

@@ -1,0 +1,10 @@
+#include "common/overload.h"
+
+namespace easytime {
+
+OverloadState& GlobalOverload() {
+  static OverloadState state;
+  return state;
+}
+
+}  // namespace easytime

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file overload.h
+/// \brief Process-global brownout flag. The serving layer flips it when
+/// admission queues cross their high-water mark (with hysteresis) and layers
+/// that cannot depend on serve/ — notably the SQL table functions — consult
+/// it to trade accuracy for latency: expensive model fits downgrade to the
+/// fast smoothing family, recommend/ask answer from their degraded paths,
+/// and every shortcut response is tagged "degraded": true.
+///
+/// The flag is a relaxed atomic: readers only need an eventually-consistent
+/// hint, never an ordering guarantee.
+
+#include <atomic>
+#include <cstdint>
+
+namespace easytime {
+
+class OverloadState {
+ public:
+  /// True while the serving tier is browning out.
+  bool brownout() const { return brownout_.load(std::memory_order_relaxed); }
+
+  /// Sets/clears the brownout flag; counts enter transitions.
+  void set_brownout(bool on) {
+    bool was = brownout_.exchange(on, std::memory_order_relaxed);
+    if (on && !was) {
+      brownout_enters_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// How many times brownout has been entered (stats/tests).
+  uint64_t brownout_enters() const {
+    return brownout_enters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> brownout_{false};
+  std::atomic<uint64_t> brownout_enters_{0};
+};
+
+/// The process-wide instance. Owned by whoever serves traffic (ForecastServer
+/// clears it on Stop so one server's overload never leaks into the next
+/// test's run).
+OverloadState& GlobalOverload();
+
+}  // namespace easytime

@@ -18,6 +18,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
+    case StatusCode::kUnauthenticated: return "Unauthenticated";
   }
   return "Unknown";
 }

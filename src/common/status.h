@@ -27,11 +27,12 @@ enum class StatusCode : int {
   kUnavailable = 11,   ///< transient overload: retry later (admission control)
   kCancelled = 12,     ///< the operation was cancelled by the caller
   kDeadlineExceeded = 13,  ///< the request's deadline passed before completion
+  kUnauthenticated = 14,   ///< missing or bad credentials (token auth)
 };
 
 /// One past the largest StatusCode value (for iterating the code space).
 inline constexpr int kNumStatusCodes =
-    static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
+    static_cast<int>(StatusCode::kUnauthenticated) + 1;
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -94,6 +95,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -116,6 +120,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnauthenticated() const {
+    return code() == StatusCode::kUnauthenticated;
   }
 
   /// \brief "OK" or "<Code>: <message>".

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <string>
+
+#include "common/logging.h"
 
 namespace easytime {
 
@@ -129,9 +132,32 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
 size_t GlobalThreadPoolSizeOverride() {
   const char* env = std::getenv("EASYTIME_NUM_THREADS");
   if (env == nullptr || *env == '\0') return 0;
+  // Warn once per process, not once per pool: tests construct many pools
+  // and a misconfigured environment should not flood the log.
+  static std::once_flag warned;
   char* end = nullptr;
   long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || v <= 0) return 0;  // malformed: ignore
+  if (end == env || *end != '\0' || v <= 0) {
+    std::call_once(warned, [env] {
+      EASYTIME_LOG(Warning)
+          << "EASYTIME_NUM_THREADS=\"" << env
+          << "\" is not a positive integer; using hardware concurrency";
+    });
+    return 0;
+  }
+  // A huge value (typo, wrong unit) would spawn thousands of threads and
+  // thrash or exhaust the process; clamp to a generous multiple of the
+  // machine instead.
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t cap = std::max<size_t>(256, 4 * std::max<size_t>(1, hw));
+  if (static_cast<size_t>(v) > cap) {
+    std::call_once(warned, [env, cap] {
+      EASYTIME_LOG(Warning) << "EASYTIME_NUM_THREADS=\"" << env
+                            << "\" exceeds the sanity cap; clamping to "
+                            << cap;
+    });
+    return cap;
+  }
   return static_cast<size_t>(v);
 }
 

@@ -50,16 +50,23 @@ Result<ArFit> FitArOls(const std::vector<double>& y, size_t p) {
 // ---------------------------------------------------------------- AR
 
 Status ArForecaster::Fit(const std::vector<double>& train,
-                         const FitContext&) {
+                         const FitContext& ctx) {
   if (train.size() < 4) {
     return Status::InvalidArgument("AR needs at least 4 observations");
   }
+  // Each candidate order is a full OLS solve — already >1ms on long series,
+  // so the order-search loop checks the clock every iteration.
+  DeadlineChecker deadline(ctx.deadline, 1);
   size_t best_order = order_cfg_;
   if (best_order == 0) {
     double best_aic = 1e300;
     size_t pmax = std::min(max_order_, train.size() / 4);
     pmax = std::max<size_t>(pmax, 1);
     for (size_t p = 1; p <= pmax; ++p) {
+      if (deadline.Expired()) {
+        fitted_ = false;
+        return Status::DeadlineExceeded("ar fit aborted mid-order-search");
+      }
       auto fit = FitArOls(train, p);
       if (!fit.ok()) continue;
       size_t rows = train.size() - p;
@@ -127,7 +134,7 @@ double ArimaForecaster::Css(const std::vector<double>& w,
 }
 
 Status ArimaForecaster::Fit(const std::vector<double>& train,
-                            const FitContext&) {
+                            const FitContext& ctx) {
   if (train.size() < p_ + d_ + q_ + 8) {
     return Status::InvalidArgument("series too short for ARIMA(" +
                                    std::to_string(p_) + "," +
@@ -167,7 +174,13 @@ Status ArimaForecaster::Fit(const std::vector<double>& train,
   };
   NelderMeadOptions opts;
   opts.max_iterations = 400;
+  DeadlineChecker deadline(ctx.deadline, 4);
+  opts.should_stop = [&deadline] { return deadline.Expired(); };
   auto res = NelderMead(objective, params, opts);
+  if (res.stopped) {
+    fitted_ = false;
+    return Status::DeadlineExceeded("arima fit aborted mid-search");
+  }
 
   intercept_ = res.x[0];
   phi_.assign(res.x.begin() + 1, res.x.begin() + 1 + static_cast<long>(p_));

@@ -80,7 +80,14 @@ Status MlpForecaster::Fit(const std::vector<double>& train,
 
   nn::Adam opt(net_->Params(), options_.learning_rate);
   nn::Matrix pred, grad, grad_in;
+  // One full-batch epoch easily exceeds a millisecond, so check every epoch.
+  DeadlineChecker deadline(ctx.deadline, 1);
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (deadline.Expired()) {
+      net_.reset();
+      fitted_ = false;
+      return Status::DeadlineExceeded("mlp fit aborted mid-training");
+    }
     net_->ForwardInto(x, &pred);
     nn::MseLossInto(pred, y, &grad);
     net_->BackwardInto(grad, &grad_in);
@@ -156,9 +163,18 @@ Status GruForecaster::Fit(const std::vector<double>& train,
   nn::Matrix seq, hidden, last(1, options_.hidden), pred, target(1, horizon);
   nn::Matrix grad, dlast, dhidden, dseq;
 
+  // A GRU window (BPTT over <=64 steps) runs tens of microseconds; a stride
+  // of 8 keeps the check rate around one clock read per ~1ms of training.
+  DeadlineChecker deadline(ctx.deadline, 8);
   size_t epochs = std::max<size_t>(8, options_.epochs / 2);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t r : idx) {
+      if (deadline.Expired()) {
+        gru_.reset();
+        head_.reset();
+        fitted_ = false;
+        return Status::DeadlineExceeded("gru fit aborted mid-training");
+      }
       double off = 0.0;
       NormalizeWindowInto(wd.inputs[r], &off, &wnorm);
       seq.Resize(lookback, 1);
@@ -264,9 +280,17 @@ Status TcnForecaster::Fit(const std::vector<double>& train,
   nn::Matrix seq, feats, last(1, ch), pred, target(1, horizon);
   nn::Matrix grad, dlast, dfeats, dseq;
 
+  // Conv windows cost the same order as GRU windows; same stride.
+  DeadlineChecker deadline(ctx.deadline, 8);
   size_t epochs = std::max<size_t>(8, options_.epochs / 2);
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t r : idx) {
+      if (deadline.Expired()) {
+        encoder_.reset();
+        head_.reset();
+        fitted_ = false;
+        return Status::DeadlineExceeded("tcn fit aborted mid-training");
+      }
       double off = 0.0;
       NormalizeWindowInto(wd.inputs[r], &off, &wnorm);
       seq.Resize(lookback, 1);

@@ -33,9 +33,14 @@ Status EtsAutoForecaster::Fit(const std::vector<double>& train,
   };
   std::vector<Candidate> candidates;
 
+  // Candidate fits carry the caller's deadline; a DeadlineExceeded from any
+  // of them aborts the whole selection (other fit errors just skip the
+  // candidate as before).
   {
     auto m = std::make_unique<SesForecaster>();
-    if (m->Fit(train, ctx).ok()) {
+    Status st = m->Fit(train, ctx);
+    if (st.IsDeadlineExceeded()) return st;
+    if (st.ok()) {
       double sse = m->sse();
       int k = m->num_params();
       candidates.push_back({std::move(m), sse, k, "ses"});
@@ -43,7 +48,9 @@ Status EtsAutoForecaster::Fit(const std::vector<double>& train,
   }
   {
     auto m = std::make_unique<HoltForecaster>(/*damped=*/false);
-    if (m->Fit(train, ctx).ok()) {
+    Status st = m->Fit(train, ctx);
+    if (st.IsDeadlineExceeded()) return st;
+    if (st.ok()) {
       double sse = m->sse();
       int k = m->num_params();
       candidates.push_back({std::move(m), sse, k, "holt"});
@@ -51,7 +58,9 @@ Status EtsAutoForecaster::Fit(const std::vector<double>& train,
   }
   {
     auto m = std::make_unique<HoltForecaster>(/*damped=*/true);
-    if (m->Fit(train, ctx).ok()) {
+    Status st = m->Fit(train, ctx);
+    if (st.IsDeadlineExceeded()) return st;
+    if (st.ok()) {
       double sse = m->sse();
       int k = m->num_params();
       candidates.push_back({std::move(m), sse, k, "holt_damped"});
@@ -60,14 +69,18 @@ Status EtsAutoForecaster::Fit(const std::vector<double>& train,
   if (ctx.period_hint >= 2 && train.size() >= 2 * ctx.period_hint + 2) {
     auto add = std::make_unique<HoltWintersForecaster>(
         HoltWintersForecaster::Seasonal::kAdditive);
-    if (add->Fit(train, ctx).ok()) {
+    Status st = add->Fit(train, ctx);
+    if (st.IsDeadlineExceeded()) return st;
+    if (st.ok()) {
       double sse = add->sse();
       int k = add->num_params();
       candidates.push_back({std::move(add), sse, k, "holt_winters_add"});
     }
     auto mul = std::make_unique<HoltWintersForecaster>(
         HoltWintersForecaster::Seasonal::kMultiplicative);
-    if (mul->Fit(train, ctx).ok()) {
+    st = mul->Fit(train, ctx);
+    if (st.IsDeadlineExceeded()) return st;
+    if (st.ok()) {
       double sse = mul->sse();
       int k = mul->num_params();
       candidates.push_back({std::move(mul), sse, k, "holt_winters_mul"});

@@ -26,7 +26,7 @@ double Unsquash(double p, double lo = 0.0, double hi = 1.0) {
 // ---------------------------------------------------------------- SES
 
 Status SesForecaster::Fit(const std::vector<double>& train,
-                          const FitContext&) {
+                          const FitContext& ctx) {
   if (train.empty()) {
     return Status::InvalidArgument("training data must be non-empty");
   }
@@ -49,7 +49,16 @@ Status SesForecaster::Fit(const std::vector<double>& train,
     auto objective = [&](const std::vector<double>& x) {
       return run(Squash(x[0], 0.01, 0.99)).first;
     };
-    auto res = NelderMead(objective, {Unsquash(0.5, 0.01, 0.99)});
+    // Each iteration is one O(n) smoothing pass; stride 8 keeps the clock
+    // reads around one per ~1ms even on long series.
+    DeadlineChecker deadline(ctx.deadline, 8);
+    NelderMeadOptions opts;
+    opts.should_stop = [&deadline] { return deadline.Expired(); };
+    auto res = NelderMead(objective, {Unsquash(0.5, 0.01, 0.99)}, opts);
+    if (res.stopped) {
+      fitted_ = false;
+      return Status::DeadlineExceeded("ses fit aborted mid-search");
+    }
     alpha_ = Squash(res.x[0], 0.01, 0.99);
   }
   auto [sse, level] = run(alpha_);
@@ -83,7 +92,7 @@ Result<IntervalForecast> SesForecaster::ForecastWithIntervals(
 // ---------------------------------------------------------------- Holt
 
 Status HoltForecaster::Fit(const std::vector<double>& train,
-                           const FitContext&) {
+                           const FitContext& ctx) {
   if (train.size() < 2) {
     if (train.empty()) {
       return Status::InvalidArgument("training data must be non-empty");
@@ -126,7 +135,14 @@ Status HoltForecaster::Fit(const std::vector<double>& train,
       double p = damped_ ? Squash(x[2], 0.5, 0.999) : 1.0;
       return run(a, b, p, nullptr, nullptr);
     };
-    auto res = NelderMead(objective, x0);
+    DeadlineChecker deadline(ctx.deadline, 8);
+    NelderMeadOptions opts;
+    opts.should_stop = [&deadline] { return deadline.Expired(); };
+    auto res = NelderMead(objective, x0, opts);
+    if (res.stopped) {
+      fitted_ = false;
+      return Status::DeadlineExceeded("holt fit aborted mid-search");
+    }
     alpha_ = Squash(res.x[0], 0.01, 0.99);
     beta_ = Squash(res.x[1], 0.001, 0.99);
     phi_ = damped_ ? Squash(res.x[2], 0.5, 0.999) : 1.0;
@@ -251,7 +267,14 @@ Status HoltWintersForecaster::Fit(const std::vector<double>& train,
                 (seasonal_ == Seasonal::kAdditive || positive);
   if (!usable) {
     fallback_ = std::make_unique<HoltForecaster>();
-    EASYTIME_RETURN_IF_ERROR(fallback_->Fit(train, FitContext{}));
+    FitContext fctx;
+    fctx.deadline = ctx.deadline;
+    Status st = fallback_->Fit(train, fctx);
+    if (!st.ok()) {
+      fallback_.reset();
+      fitted_ = false;
+      return st;
+    }
     sse_ = fallback_->sse();
     fitted_ = true;
     return Status::OK();
@@ -269,7 +292,13 @@ Status HoltWintersForecaster::Fit(const std::vector<double>& train,
                             Unsquash(0.1, 0.001, 0.99)};
   NelderMeadOptions opts;
   opts.max_iterations = 200;
+  DeadlineChecker deadline(ctx.deadline, 4);
+  opts.should_stop = [&deadline] { return deadline.Expired(); };
   auto res = NelderMead(objective, x0, opts);
+  if (res.stopped) {
+    fitted_ = false;
+    return Status::DeadlineExceeded("holt_winters fit aborted mid-search");
+  }
   alpha_ = Squash(res.x[0], 0.01, 0.99);
   beta_ = Squash(res.x[1], 0.001, 0.5);
   gamma_ = Squash(res.x[2], 0.001, 0.99);
@@ -303,7 +332,10 @@ Result<IntervalForecast> HoltWintersForecaster::ForecastWithIntervals(
   EASYTIME_RETURN_IF_ERROR(ValidateIntervalRequest(train, ctx, confidence));
   EASYTIME_RETURN_IF_ERROR(Fit(train, ctx));
   if (fallback_) {
-    return fallback_->ForecastWithIntervals(train, FitContext{}, confidence);
+    FitContext fctx;
+    fctx.horizon = ctx.horizon;
+    fctx.deadline = ctx.deadline;
+    return fallback_->ForecastWithIntervals(train, fctx, confidence);
   }
   const size_t m = period_;
   double sigma2 =

@@ -91,6 +91,12 @@ easytime::Result<IntervalForecast> Forecaster::ForecastWithIntervals(
     size_t origins = std::min(kMaxOrigins, n - kMinPrefix);
     residuals.reserve(origins);
     for (size_t t = n - origins; t < n; ++t) {
+      // Each origin refits on a prefix; check between origins so a slow
+      // method cannot burn the whole deadline estimating sigma.
+      if (ctx.deadline.expired()) {
+        return Status::DeadlineExceeded(
+            "interval forecast aborted mid-origins");
+      }
       std::vector<double> prefix(train.begin(),
                                  train.begin() + static_cast<ptrdiff_t>(t));
       auto one = ForecastFrom(prefix, 1);

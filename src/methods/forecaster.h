@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/result.h"
 
@@ -25,12 +26,16 @@ const char* FamilyName(Family f);
 
 /// \brief Side information the pipeline passes to Fit: the detected seasonal
 /// period, the forecasting horizon the evaluation will request (window-based
-/// methods train direct multi-step heads for it), and a deterministic seed
-/// for stochastic methods.
+/// methods train direct multi-step heads for it), a deterministic seed
+/// for stochastic methods, and the request deadline. The deadline defaults
+/// to infinite; when set, every method checks it cooperatively inside its
+/// fit loop (amortized via DeadlineChecker) and returns
+/// Status::DeadlineExceeded mid-fit with partial state released.
 struct FitContext {
   size_t period_hint = 0;
   size_t horizon = 1;
   uint64_t seed = 42;
+  easytime::Deadline deadline;
 };
 
 /// \brief Point forecasts plus symmetric prediction intervals, all of

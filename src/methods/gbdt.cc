@@ -28,7 +28,8 @@ int RegressionTree::Build(const std::vector<std::vector<double>>& x,
   node.value = mean;
 
   bool make_leaf = depth >= options.max_depth ||
-                   idx.size() < 2 * options.min_samples_leaf;
+                   idx.size() < 2 * options.min_samples_leaf ||
+                   (options.cancel && options.cancel->Expired());
   if (!make_leaf) {
     // Greedy best split by SSE reduction.
     size_t num_features = x.empty() ? 0 : x[0].size();
@@ -39,6 +40,9 @@ int RegressionTree::Build(const std::vector<std::vector<double>>& x,
     int best_feature = -1;
     double best_threshold = 0.0;
     for (size_t f = 0; f < num_features; ++f) {
+      // One per-feature pass sorts all rows at this node — milliseconds on
+      // long series, so the cancel check sits between features too.
+      if (options.cancel && options.cancel->Expired()) break;
       std::vector<size_t> order = idx;
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return x[a][f] < x[b][f];
@@ -134,8 +138,18 @@ Status GbdtForecaster::Fit(const std::vector<double>& train,
   RegressionTree::Options topt;
   topt.max_depth = options_.max_depth;
   topt.min_samples_leaf = options_.min_samples_leaf;
+  // Split searches sort every node's rows per feature — milliseconds apiece
+  // on long series — so the checker uses a small stride and is shared with
+  // Build so an expired deadline also cuts the current tree short.
+  DeadlineChecker deadline(ctx.deadline, 4);
+  topt.cancel = &deadline;
 
   for (size_t m = 0; m < options_.num_trees; ++m) {
+    if (deadline.Expired()) {
+      trees_.clear();
+      fitted_ = false;
+      return Status::DeadlineExceeded("gbdt fit aborted mid-boosting");
+    }
     for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
     RegressionTree tree;
     tree.Fit(wd.inputs, residual, topt);

@@ -18,6 +18,11 @@ class RegressionTree {
   struct Options {
     size_t max_depth = 3;
     size_t min_samples_leaf = 4;
+    /// Optional cooperative cancellation (not owned). When it reports
+    /// expired, Build stops searching for splits and emits leaves, so a
+    /// deep recursion unwinds in microseconds instead of finishing the
+    /// per-feature sort work.
+    easytime::DeadlineChecker* cancel = nullptr;
   };
 
   /// Fits the tree to (features, residual targets).

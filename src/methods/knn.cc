@@ -7,6 +7,10 @@ namespace easytime::methods {
 
 Status KnnForecaster::Fit(const std::vector<double>& train,
                           const FitContext& ctx) {
+  if (ctx.deadline.expired()) {
+    fitted_ = false;
+    return Status::DeadlineExceeded("knn fit aborted before windowing");
+  }
   size_t horizon = std::max<size_t>(1, ctx.horizon);
   size_t lookback = lookback_cfg_ != 0
                         ? lookback_cfg_

@@ -10,12 +10,15 @@ namespace {
 
 /// Fits one ridge head per target step over shared features.
 /// features: rows x (L+1 with bias); returns per-step coefficient vectors.
+/// Each head is a full least-squares solve (>1ms on long series), so the
+/// deadline is checked before every head.
 Result<std::vector<std::vector<double>>> FitHeads(
     const std::vector<std::vector<double>>& inputs,
     const std::vector<std::vector<double>>& targets, size_t horizon,
     double l2,
     const std::function<std::vector<double>(const std::vector<double>&,
-                                            double*)>& encode) {
+                                            double*)>& encode,
+    const Deadline& deadline) {
   size_t rows = inputs.size();
   if (rows == 0) return Status::InvalidArgument("no training windows");
   double dummy = 0.0;
@@ -24,6 +27,7 @@ Result<std::vector<std::vector<double>>> FitHeads(
 
   std::vector<double> x(rows * cols);
   std::vector<double> offsets(rows, 0.0);
+  DeadlineChecker checker(deadline, 1);
   for (size_t r = 0; r < rows; ++r) {
     std::vector<double> f = encode(inputs[r], &offsets[r]);
     x[r * cols] = 1.0;
@@ -33,6 +37,9 @@ Result<std::vector<std::vector<double>>> FitHeads(
   std::vector<std::vector<double>> heads(horizon);
   std::vector<double> y(rows);
   for (size_t h = 0; h < horizon; ++h) {
+    if (checker.Expired()) {
+      return Status::DeadlineExceeded("linear fit aborted mid-heads");
+    }
     for (size_t r = 0; r < rows; ++r) y[r] = targets[r][h] - offsets[r];
     EASYTIME_ASSIGN_OR_RETURN(heads[h], LeastSquares(x, y, rows, cols, l2));
   }
@@ -75,8 +82,13 @@ Status LagLinearForecaster::Fit(const std::vector<double>& train,
   auto encode = [this](const std::vector<double>& w, double* off) {
     return EncodeWindow(w, off);
   };
-  EASYTIME_ASSIGN_OR_RETURN(
-      weights_, FitHeads(wd.inputs, wd.targets, horizon, l2_, encode));
+  auto heads =
+      FitHeads(wd.inputs, wd.targets, horizon, l2_, encode, ctx.deadline);
+  if (!heads.ok()) {
+    fitted_ = false;
+    return heads.status();
+  }
+  weights_ = std::move(heads).ValueOrDie();
   lookback_ = lookback;
   trained_horizon_ = horizon;
   train_tail_ = train;
@@ -156,13 +168,24 @@ Status DLinearForecaster::Fit(const std::vector<double>& train,
   // jointly through the standard DLinear trick: fit each head against the
   // full target and average. Simpler and equally effective at this scale:
   // fit trend head on targets, season head on residuals of the trend head.
-  EASYTIME_ASSIGN_OR_RETURN(
-      trend_weights_,
-      FitHeads(wd.inputs, wd.targets, horizon, l2_, encode_trend));
+  auto trend_heads =
+      FitHeads(wd.inputs, wd.targets, horizon, l2_, encode_trend,
+               ctx.deadline);
+  if (!trend_heads.ok()) {
+    fitted_ = false;
+    return trend_heads.status();
+  }
+  trend_weights_ = std::move(trend_heads).ValueOrDie();
 
   // Residual targets for the season head.
+  DeadlineChecker checker(ctx.deadline, 64);
   std::vector<std::vector<double>> residuals(wd.inputs.size());
   for (size_t r = 0; r < wd.inputs.size(); ++r) {
+    if (checker.Expired()) {
+      trend_weights_.clear();
+      fitted_ = false;
+      return Status::DeadlineExceeded("dlinear fit aborted mid-residuals");
+    }
     double off = 0.0;
     std::vector<double> f = encode_trend(wd.inputs[r], &off);
     std::vector<double> pred = ApplyHeads(trend_weights_, f, off);
@@ -171,9 +194,15 @@ Status DLinearForecaster::Fit(const std::vector<double>& train,
       residuals[r][h] = wd.targets[r][h] - pred[h];
     }
   }
-  EASYTIME_ASSIGN_OR_RETURN(
-      season_weights_,
-      FitHeads(wd.inputs, residuals, horizon, l2_, encode_season));
+  auto season_heads =
+      FitHeads(wd.inputs, residuals, horizon, l2_, encode_season,
+               ctx.deadline);
+  if (!season_heads.ok()) {
+    trend_weights_.clear();
+    fitted_ = false;
+    return season_heads.status();
+  }
+  season_weights_ = std::move(season_heads).ValueOrDie();
 
   lookback_ = lookback;
   trained_horizon_ = horizon;

@@ -13,6 +13,10 @@ Status ThetaForecaster::Fit(const std::vector<double>& train,
   if (train.size() < 4) {
     return Status::InvalidArgument("theta needs at least 4 observations");
   }
+  if (ctx.deadline.expired()) {
+    fitted_ = false;
+    return Status::DeadlineExceeded("theta fit aborted at entry");
+  }
   n_ = train.size();
 
   // Deseasonalize additively when a credible period is known and the
@@ -54,7 +58,13 @@ Status ThetaForecaster::Fit(const std::vector<double>& train,
     double trend_t = intercept_ + slope_ * static_cast<double>(t);
     theta2[t] = 2.0 * work[t] - trend_t;
   }
-  EASYTIME_RETURN_IF_ERROR(ses_.Fit(theta2, FitContext{}));
+  FitContext ses_ctx;
+  ses_ctx.deadline = ctx.deadline;
+  Status st = ses_.Fit(theta2, ses_ctx);
+  if (!st.ok()) {
+    fitted_ = false;
+    return st;
+  }
   fitted_ = true;
   return Status::OK();
 }

@@ -6,14 +6,22 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "serve/request.h"
 
 namespace easytime::serve {
 
-TcpClient::TcpClient(uint16_t port, RetryPolicy retry)
-    : port_(port), retry_(retry) {}
+TcpClient::TcpClient(uint16_t port, RetryPolicy retry, std::string auth_token)
+    : port_(port), retry_(retry), auth_token_(std::move(auth_token)) {
+  if (auth_token_.empty()) {
+    if (const char* env = std::getenv("EASYTIME_AUTH_TOKEN")) {
+      auth_token_ = env;
+    }
+  }
+}
 
 TcpClient::~TcpClient() { Disconnect(); }
 
@@ -44,12 +52,40 @@ easytime::Status TcpClient::Connect() {
   }
   fd_ = fd;
   read_buffer_.clear();
+
+  if (!auth_token_.empty()) {
+    // Authenticate before the caller's first request, and again after every
+    // reconnect — the handshake is per-connection server-side. A dropped
+    // socket mid-handshake is transient (Unavailable, retried by SendLine);
+    // an explicit rejection is terminal (Unauthenticated, not retried).
+    easytime::Json req = easytime::Json::Object();
+    req.Set("endpoint", "auth");
+    easytime::Json params = easytime::Json::Object();
+    params.Set("token", auth_token_);
+    req.Set("params", std::move(params));
+    auto line = WriteAndReadLine(req.Dump());
+    if (!line.ok()) {
+      Disconnect();
+      return line.status();
+    }
+    auto resp = easytime::Json::Parse(*line);
+    if (!resp.ok() || !resp->GetBool("ok", false)) {
+      Disconnect();
+      return Status::Unauthenticated(
+          "server rejected the auth token for 127.0.0.1:" +
+          std::to_string(port_));
+    }
+  }
   return Status::OK();
 }
 
 easytime::Result<std::string> TcpClient::SendOnce(const std::string& line) {
   EASYTIME_RETURN_IF_ERROR(Connect());
+  return WriteAndReadLine(line);
+}
 
+easytime::Result<std::string> TcpClient::WriteAndReadLine(
+    const std::string& line) {
   std::string payload = line + "\n";
   size_t sent = 0;
   while (sent < payload.size()) {

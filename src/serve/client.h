@@ -21,7 +21,13 @@ namespace easytime::serve {
 class TcpClient {
  public:
   /// \param port a TcpServer's bound port on 127.0.0.1
-  TcpClient(uint16_t port, RetryPolicy retry = RetryPolicy());
+  /// \param auth_token credential for token-authenticated listeners; empty
+  /// falls back to EASYTIME_AUTH_TOKEN, and if that is also unset no
+  /// handshake is sent. With a token, Connect() authenticates before the
+  /// first request — transparently across reconnects — and a rejected
+  /// token surfaces as a non-retryable Unauthenticated error.
+  TcpClient(uint16_t port, RetryPolicy retry = RetryPolicy(),
+            std::string auth_token = "");
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
@@ -46,9 +52,12 @@ class TcpClient {
   /// One attempt: write the line, read one response line. Connection-level
   /// failures come back as Unavailable (retryable).
   easytime::Result<std::string> SendOnce(const std::string& line);
+  /// Raw write-then-read-one-line on the open socket (no connect, no retry).
+  easytime::Result<std::string> WriteAndReadLine(const std::string& line);
 
   uint16_t port_;
   RetryPolicy retry_;
+  std::string auth_token_;
   int fd_ = -1;
   std::string read_buffer_;  ///< bytes past the last consumed line
 };

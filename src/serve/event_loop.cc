@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -40,6 +41,13 @@ easytime::Status EventLoopServer::Start() {
   if (running_.load()) return Status::OK();
   if (stopped_.load()) {
     return Status::Unavailable("event loop was stopped; create a new one");
+  }
+
+  auth_token_ = options_.auth_token;
+  if (auth_token_.empty()) {
+    if (const char* env = std::getenv("EASYTIME_AUTH_TOKEN")) {
+      auth_token_ = env;
+    }
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
@@ -345,9 +353,55 @@ void EventLoopServer::FrameLines(Conn& conn) {
   }
 }
 
+bool EventLoopServer::CheckAuth(Conn& conn) {
+  if (auth_token_.empty() || conn.authed) return true;
+  if (conn.lines.empty()) return false;  // handshake frame not here yet
+  std::string line = std::move(conn.lines.front());
+  conn.lines.pop_front();
+  int64_t error_id = -1;
+  auto parsed =
+      ParseRequest(line, server_->options().max_request_bytes, &error_id);
+  // Length-insensitive comparison isn't attempted here: the listener is
+  // loopback-only, so the token guards against accidental cross-process
+  // traffic, not a timing adversary.
+  const bool ok = parsed.ok() && parsed->endpoint == "auth" &&
+                  !auth_token_.empty() &&
+                  parsed->params.GetString("token", "") == auth_token_;
+  if (!ok) {
+    // One Unauthenticated error, then the connection closes — the same
+    // answer-and-hang-up shape as the oversized-line protocol violation.
+    // Pipelined lines sent ahead of a valid handshake are abandoned.
+    conn.lines.clear();
+    conn.outbuf +=
+        MakeErrorResponse(parsed.ok() ? parsed->id : error_id,
+                          Status::Unauthenticated(
+                              "this listener requires an \"auth\" first frame "
+                              "with a valid token"))
+            .Dump();
+    conn.outbuf += '\n';
+    conn.close_after_flush = true;
+    conn.reading_paused = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.auth_failures;
+    }
+    FlushWrite(conn);
+    return false;
+  }
+  conn.authed = true;
+  easytime::Json result = easytime::Json::Object();
+  result.Set("authenticated", true);
+  conn.outbuf += MakeOkResponse(parsed->id, std::move(result)).Dump();
+  conn.outbuf += '\n';
+  FlushWrite(conn);
+  return !conn.dead;  // pipelined requests behind the handshake may proceed
+}
+
 void EventLoopServer::MaybeDispatch(Conn& conn) {
   if (conn.inflight || conn.close_after_flush || conn.lines.empty()) return;
   if (stopping_.load()) return;
+  if (!CheckAuth(conn)) return;
+  if (conn.lines.empty()) return;  // the handshake was the only frame
   std::string line = std::move(conn.lines.front());
   conn.lines.pop_front();
   conn.inflight = true;

@@ -60,6 +60,13 @@ class EventLoopServer {
     /// How long Stop() waits for in-flight requests to finish and flush
     /// before force-closing the stragglers.
     double drain_timeout_ms = 5000.0;
+    /// Bearer token for connection auth. Empty falls back to the
+    /// EASYTIME_AUTH_TOKEN environment variable; if that is also unset,
+    /// auth is disabled. With a token configured, the first frame on every
+    /// connection must be {"endpoint":"auth","params":{"token":...}} —
+    /// anything else gets one Unauthenticated error response and the
+    /// connection is closed.
+    std::string auth_token;
   };
 
   /// Event-loop counters (event-thread writes, anyone reads).
@@ -68,6 +75,7 @@ class EventLoopServer {
     uint64_t closed = 0;
     uint64_t idle_closed = 0;      ///< closes from the idle timeout
     uint64_t protocol_errors = 0;  ///< unterminated-line (oversized) closes
+    uint64_t auth_failures = 0;    ///< bad/missing first-frame credentials
     uint64_t requests_dispatched = 0;
     uint64_t responses_written = 0;
   };
@@ -107,6 +115,7 @@ class EventLoopServer {
     std::deque<std::string> lines;   ///< framed, awaiting dispatch
     std::string outbuf;              ///< response bytes awaiting the socket
     bool inflight = false;           ///< a handler owns the head request
+    bool authed = false;             ///< passed the first-frame token check
     bool eof = false;                ///< peer closed its write side
     bool close_after_flush = false;  ///< protocol violation: answer, close
     bool want_write = false;         ///< EPOLLOUT wanted
@@ -128,6 +137,10 @@ class EventLoopServer {
   void HandleAccept();
   void HandleReadable(Conn& conn);
   void FrameLines(Conn& conn);
+  /// Consumes the connection's first frame as the auth handshake when a
+  /// token is configured. Returns false when the connection may not
+  /// dispatch further (handshake pending or failed).
+  bool CheckAuth(Conn& conn);
   void MaybeDispatch(Conn& conn);
   void FlushWrite(Conn& conn);
   void UpdateInterest(Conn& conn);
@@ -144,6 +157,7 @@ class EventLoopServer {
 
   ForecastServer* server_;
   Options options_;
+  std::string auth_token_;  ///< resolved (option or env) at Start()
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;

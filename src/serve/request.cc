@@ -107,6 +107,7 @@ const char* ErrorCodeToken(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnauthenticated: return "Unauthenticated";
   }
   return "Unknown";
 }

@@ -34,7 +34,11 @@ ForecastServer::ForecastServer(core::EasyTime* system, Options options)
                                         options.checkpoint_dir,
                                         /*checkpoint_every=*/1,
                                         options.evaluate_concurrency}),
-      fast_queue_(options.fast_queue_capacity) {}
+      // The admission controller owns the logical capacity; reservations
+      // can overshoot it by one class's share while borrowing, so the
+      // physical queue gets 2x headroom and TryPush failure stays a
+      // should-not-happen backstop rather than the admission path.
+      fast_queue_(2 * std::max<size_t>(1, options.fast_queue_capacity)) {}
 
 ForecastServer::ForecastServer(core::EasyTime* system)
     : ForecastServer(system, Options()) {}
@@ -45,18 +49,29 @@ void ForecastServer::Start() {
   if (running_.exchange(true)) return;
   const size_t workers = std::max<size_t>(1, options_.num_worker_threads);
   pool_ = std::make_unique<ThreadPool>(workers);
-  inflight_ = std::make_unique<Semaphore>(workers);
+  AdmissionController::Options admission_opts;
+  admission_opts.queue_capacity = options_.fast_queue_capacity;
+  admission_opts.workers = workers;
+  admission_opts.weights = options_.endpoint_weights;
+  admission_opts.brownout_enter_fraction = options_.brownout_enter_fraction;
+  admission_opts.brownout_exit_fraction = options_.brownout_exit_fraction;
+  admission_opts.overload = &easytime::GlobalOverload();
+  admission_ = std::make_unique<AdmissionController>(
+      admission_opts,
+      [this](AdmissionController::Unit unit) {
+        pool_->Submit(std::move(unit));
+      });
   batcher_ = std::make_unique<MicroBatcher>(
       MicroBatcher::Options{
           options_.batch_max,
           std::chrono::microseconds(
               static_cast<int64_t>(options_.batch_wait_ms * 1000.0))},
       [this](std::vector<FastTask> batch) {
-        inflight_->Acquire();  // backpressure: see inflight_ in server.h
-        pool_->Submit([this, batch = std::move(batch)]() mutable {
-          ExecuteBatch(std::move(batch));
-          inflight_->Release();
-        });
+        // One micro-batch = one scheduling unit in the forecast class.
+        admission_->Enqueue(
+            "forecast", [this, batch = std::move(batch)]() mutable {
+              ExecuteBatch(std::move(batch));
+            });
       });
   jobs_.Start();
   if (options_.warm_cache && options_.cache_capacity > 0 &&
@@ -89,13 +104,18 @@ void ForecastServer::Stop() {
   if (!running_.load() || stopped_.exchange(true)) return;
   accepting_.store(false);
   // Drain order matters: close the fast queue so the dispatcher hands every
-  // queued request (and every open batch bucket) to the pool and exits, then
+  // queued request (and every open batch bucket) to the admission run
+  // queues and exits, spill those run queues into the pool (DrainAll), then
   // destroy the pool — its destructor runs all remaining tasks, fulfilling
-  // every outstanding promise — and finally drain the async lane.
+  // every outstanding promise — and finally drain the async lane. The
+  // global brownout flag is cleared so one server's overload never leaks
+  // into the next server (or test) in this process.
   fast_queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (admission_) admission_->DrainAll();
   pool_.reset();
   jobs_.Shutdown();
+  easytime::GlobalOverload().set_brownout(false);
   running_.store(false);
 }
 
@@ -163,13 +183,23 @@ easytime::Json ForecastServer::Dispatch(Request req) {
 
   // Optional per-request deadline ("deadline_ms" in params). Parsed up
   // front so an already-absurd value is rejected before any queueing.
+  // Strings, booleans, NaN, and infinities are all malformed — NaN in
+  // particular would slip through a plain `<= 0` check and silently run
+  // with a nonsense deadline.
   easytime::Deadline deadline;
   if (req.params.Has("deadline_ms")) {
-    double ms = req.params.GetDouble("deadline_ms", 0.0);
-    if (ms <= 0.0) {
+    const easytime::Json& dm = req.params.Get("deadline_ms");
+    if (!dm.is_number()) {
       RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
       return MakeErrorResponse(
-          req.id, Status::InvalidArgument("\"deadline_ms\" must be > 0"));
+          req.id, Status::InvalidArgument("\"deadline_ms\" must be a number"));
+    }
+    double ms = dm.AsDouble();
+    if (!std::isfinite(ms) || ms <= 0.0) {
+      RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(
+          req.id, Status::InvalidArgument(
+                      "\"deadline_ms\" must be a positive finite number"));
     }
     deadline = easytime::Deadline::AfterMillis(ms);
   }
@@ -250,9 +280,21 @@ easytime::Json ForecastServer::Dispatch(Request req) {
     }
   }
 
+  // Per-endpoint admission: claim a weighted queue slot (released in
+  // Fulfill). A class over its reservation with no shared headroom left is
+  // shed here, so a burst on one endpoint cannot starve the others.
+  if (!admission_->TryAdmit(endpoint)) {
+    RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
+    return MakeErrorResponse(
+        req.id,
+        Status::Unavailable("endpoint \"" + endpoint +
+                            "\" is over its admission quota; retry later"));
+  }
+
   task.promise = std::make_shared<std::promise<easytime::Json>>();
   std::future<easytime::Json> future = task.promise->get_future();
   if (!fast_queue_.TryPush(std::move(task))) {
+    admission_->Finish(endpoint);
     RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
     return MakeErrorResponse(
         req.id, Status::Unavailable(
@@ -282,10 +324,11 @@ void ForecastServer::DispatchLoop() {
       if (options_.enable_batching && task->request.endpoint == "forecast") {
         batcher_->Add(BatchKey(task->request), std::move(*task));
       } else {
-        inflight_->Acquire();  // backpressure: see inflight_ in server.h
-        pool_->Submit([this, t = std::move(*task)]() mutable {
+        // Hand the unit to the per-class run queues; Enqueue never blocks,
+        // so a saturated class cannot head-of-line-block this loop.
+        const std::string cls = task->request.endpoint;
+        admission_->Enqueue(cls, [this, t = std::move(*task)]() mutable {
           ExecuteSingle(std::move(t));
-          inflight_->Release();
         });
       }
     }
@@ -302,13 +345,24 @@ void ForecastServer::Fulfill(FastTask& task,
                              const easytime::Result<easytime::Json>& result,
                              bool from_batch, size_t batch_size,
                              double seconds) {
+  // Release the admission slot claimed in Dispatch — every admitted task
+  // reaches Fulfill exactly once (shed and full-queue paths never get here).
+  admission_->Finish(task.request.endpoint);
   RecordStats(task.request.endpoint, result.ok(), false, false, seconds);
   if (!result.ok()) {
+    if (result.status().IsDeadlineExceeded()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
     task.promise->set_value(
         MakeErrorResponse(task.request.id, result.status()));
     return;
   }
-  if (!task.cache_key.empty()) {
+  const bool degraded = result.ValueOrDie().GetBool("degraded", false);
+  if (degraded) degraded_responses_.fetch_add(1, std::memory_order_relaxed);
+  // Degraded answers must not outlive the overload that produced them: a
+  // cached brownout response would keep serving the cheap fallback long
+  // after the system recovered.
+  if (!task.cache_key.empty() && !degraded) {
     cache_.Insert(task.cache_key, result.ValueOrDie().Dump(),
                   system_->knowledge().version());
   }
@@ -398,7 +452,12 @@ void ForecastServer::ExecuteBatch(std::vector<FastTask> batch) {
 easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     const Request& req, const easytime::Deadline& deadline) {
   EASYTIME_FAULT_POINT("serve.execute");
-  if (req.endpoint == "forecast") return ExecuteForecast(req.params);
+  // Sampled once per request so the response tagging and the downgrade
+  // decisions agree even if the flag flips mid-execution.
+  const bool brownout = easytime::GlobalOverload().brownout();
+  if (req.endpoint == "forecast") {
+    return ExecuteForecast(req.params, deadline);
+  }
   if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
   if (req.endpoint == "ask") {
     EASYTIME_FAULT_POINT("serve.ask");
@@ -406,8 +465,20 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     if (question.empty()) {
       return Status::InvalidArgument("ask requires a \"question\" string");
     }
+    // Test/bench aid (matches forecast's): simulate a slow QA backend to
+    // exercise overload without burning CPU. Capped per request.
+    double sleep_ms = req.params.GetDouble("sleep_ms", 0.0);
+    if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::min(sleep_ms, 1000.0)));
+    }
     EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp, system_->Ask(question));
-    return resp.ToJson();
+    easytime::Json out = resp.ToJson();
+    if (brownout) {
+      out.Set("degraded", true);
+      out.Set("degraded_reason", "brownout");
+    }
+    return out;
   }
   if (req.endpoint == "sql") {
     EASYTIME_FAULT_POINT("serve.sql");
@@ -415,9 +486,17 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     if (query.empty()) {
       return Status::InvalidArgument("sql requires a \"query\" string");
     }
+    // Under brownout the TS_FORECAST table functions downgrade expensive
+    // models themselves (they read the same global flag); the envelope is
+    // tagged here so clients see the degradation either way.
     EASYTIME_ASSIGN_OR_RETURN(qa::QaResponse resp,
                               system_->AskSql(query, deadline));
-    return resp.ToJson();
+    easytime::Json out = resp.ToJson();
+    if (brownout) {
+      out.Set("degraded", true);
+      out.Set("degraded_reason", "brownout");
+    }
+    return out;
   }
   return Status::NotFound("unknown fast endpoint: " + req.endpoint);
 }
@@ -457,7 +536,7 @@ easytime::Result<std::vector<double>> ForecastServer::ResolveSeries(
 }
 
 easytime::Result<easytime::Json> ForecastServer::ExecuteForecast(
-    const easytime::Json& params) const {
+    const easytime::Json& params, const easytime::Deadline& deadline) const {
   std::string method = params.GetString("method", "");
   if (method.empty()) {
     return Status::InvalidArgument("forecast requires a \"method\" name");
@@ -495,6 +574,10 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteForecast(
   methods::FitContext ctx;
   ctx.horizon = static_cast<size_t>(horizon);
   ctx.seed = static_cast<uint64_t>(params.GetInt("seed", 42));
+  // Forward the remaining request deadline into the fit loop — expensive
+  // methods (gbdt, deep nets, grid searches) poll it cooperatively and
+  // return DeadlineExceeded mid-fit instead of running to completion.
+  ctx.deadline = deadline;
   EASYTIME_RETURN_IF_ERROR(forecaster->Fit(values, ctx));
   EASYTIME_ASSIGN_OR_RETURN(std::vector<double> forecast,
                             forecaster->Forecast(static_cast<size_t>(horizon)));
@@ -512,6 +595,26 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteForecast(
 easytime::Result<easytime::Json> ForecastServer::ExecuteRecommend(
     const easytime::Json& params) const {
   size_t k = static_cast<size_t>(std::max<int64_t>(0, params.GetInt("k", 0)));
+  // Brownout: skip feature extraction + classification entirely and answer
+  // from the precomputed global ranking. Falls through to the full path when
+  // the fallback has nothing to rank from (empty knowledge base).
+  if (easytime::GlobalOverload().brownout()) {
+    auto cheap = GlobalAverageRanking(k);
+    if (cheap.ok()) {
+      easytime::Json items = easytime::Json::Array();
+      for (const auto& [name, score] : *cheap) {
+        easytime::Json item = easytime::Json::Object();
+        item.Set("method", name);
+        item.Set("score", score);
+        items.Append(std::move(item));
+      }
+      easytime::Json result = easytime::Json::Object();
+      result.Set("recommendations", std::move(items));
+      result.Set("degraded", true);
+      result.Set("degraded_reason", "brownout");
+      return result;
+    }
+  }
   ensemble::Recommendation rec;
   easytime::Status primary_error;
   if (params.Has("values")) {
@@ -653,6 +756,17 @@ easytime::Json ForecastServer::StatsJson() const {
   out.Set("cache", std::move(cache));
   out.Set("jobs", std::move(jobs));
   out.Set("batching", std::move(batching));
+  out.Set("admission",
+          admission_ ? admission_->StatsJson() : easytime::Json::Object());
+  out.Set("brownout", easytime::GlobalOverload().brownout());
+  out.Set("brownout_enters",
+          static_cast<int64_t>(easytime::GlobalOverload().brownout_enters()));
+  out.Set("deadline_exceeded",
+          static_cast<int64_t>(
+              deadline_exceeded_.load(std::memory_order_relaxed)));
+  out.Set("degraded_responses",
+          static_cast<int64_t>(
+              degraded_responses_.load(std::memory_order_relaxed)));
   out.Set("fast_queue_depth", static_cast<int64_t>(fast_queue_.size()));
   out.Set("kb_version",
           static_cast<int64_t>(system_->knowledge().version()));

@@ -7,10 +7,12 @@
 /// serve/tcp_server.h, from a loopback TCP listener.
 ///
 /// Architecture (DESIGN.md §6):
-///  - Fast lane: forecast / recommend / ask / sql requests enter a bounded
-///    queue (full queue => Unavailable, the admission-control contract); a
-///    dispatcher thread routes them to a worker pool, micro-batching
-///    same-method forecast requests (serve/batcher.h).
+///  - Fast lane: forecast / recommend / ask / sql requests claim a
+///    per-endpoint weighted queue slot (class over quota with no shared
+///    headroom => Unavailable, the admission-control contract; see
+///    serve/admission.h); a dispatcher thread routes them to a worker pool
+///    through per-class run queues with guaranteed worker shares,
+///    micro-batching same-method forecast requests (serve/batcher.h).
 ///  - Async lane: "evaluate" submits a OneClickEvaluate job to a bounded
 ///    job queue (serve/job_manager.h); clients poll "job_status" and may
 ///    "cancel" queued or in-flight jobs.
@@ -32,10 +34,11 @@
 #include "common/bounded_queue.h"
 #include "common/deadline.h"
 #include "common/json.h"
+#include "common/overload.h"
 #include "common/result.h"
-#include "common/semaphore.h"
 #include "common/thread_pool.h"
 #include "core/easytime.h"
+#include "serve/admission.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/job_manager.h"
@@ -90,6 +93,15 @@ class ForecastServer {
     /// and seeds the result cache, so first requests after a restart hit
     /// warm entries. No effect on a cold (freshly seeded) system.
     bool warm_cache = true;
+    /// Per-endpoint admission weights (queue-slot reservations and worker
+    /// guarantees, see serve/admission.h). Endpoints absent from the map
+    /// get weight 1.
+    std::map<std::string, double> endpoint_weights = {
+        {"forecast", 4.0}, {"recommend", 2.0}, {"ask", 2.0}, {"sql", 2.0}};
+    /// Brownout hysteresis as fractions of fast_queue_capacity: enter
+    /// degraded mode at/above the first, leave at/below the second.
+    double brownout_enter_fraction = 0.75;
+    double brownout_exit_fraction = 0.25;
   };
 
   /// \param system a fully created facade; not owned. The repository must
@@ -145,7 +157,8 @@ class ForecastServer {
       const easytime::Deadline& deadline = easytime::Deadline());
 
   easytime::Result<easytime::Json> ExecuteForecast(
-      const easytime::Json& params) const;
+      const easytime::Json& params,
+      const easytime::Deadline& deadline = easytime::Deadline()) const;
   easytime::Result<easytime::Json> ExecuteRecommend(
       const easytime::Json& params) const;
 
@@ -183,15 +196,20 @@ class ForecastServer {
   BoundedQueue<FastTask> fast_queue_;
   std::unique_ptr<MicroBatcher> batcher_;
   std::unique_ptr<ThreadPool> pool_;
-  /// In-flight permits (one per worker): the dispatcher blocks here instead
-  /// of spilling into the pool's unbounded queue, so saturation backs up
-  /// into fast_queue_ and TryPush starts rejecting — that is the
-  /// admission-control path.
-  std::unique_ptr<Semaphore> inflight_;
+  /// Per-endpoint admission quotas + weighted worker scheduling. Requests
+  /// claim a queue slot in Dispatch (shed = Unavailable) and release it in
+  /// Fulfill; the dispatcher enqueues admitted work here instead of blocking
+  /// on a pool permit, so one endpoint's burst cannot head-of-line-block the
+  /// others (serve/admission.h).
+  std::unique_ptr<AdmissionController> admission_;
   std::thread dispatcher_;
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopped_{false};  ///< Stop() is terminal
+
+  /// QoS counters surfaced by StatsJson.
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> degraded_responses_{0};
 
   mutable std::mutex stats_mu_;
   std::map<std::string, EndpointStats> endpoint_stats_;

@@ -17,6 +17,7 @@ easytime::Status TcpServer::Start() {
   opts.port = options_.port;
   opts.backlog = options_.backlog;
   opts.max_connections = options_.max_connections;
+  opts.auth_token = options_.auth_token;
   loop_ = std::make_unique<EventLoopServer>(server_, opts);
   Status st = loop_->Start();
   if (!st.ok()) loop_.reset();

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "serve/event_loop.h"
@@ -30,6 +31,9 @@ class TcpServer {
     uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
     int backlog = 16;
     size_t max_connections = 32;  ///< concurrently served connections
+    /// Bearer token for connection auth (forwarded to the event loop).
+    /// Empty falls back to EASYTIME_AUTH_TOKEN; unset disables auth.
+    std::string auth_token;
   };
 
   TcpServer(ForecastServer* server, Options options);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/overload.h"
 #include "serve/client.h"
 #include "serve/job_manager.h"
 #include "serve/request.h"
@@ -461,6 +462,122 @@ TEST_F(ChaosTest, RestartedServerAnswersIdenticallyFromThePersistedStore) {
         << "records appended after the snapshot must replay from the WAL";
   }
   std::filesystem::remove_all(dir);
+}
+
+// QoS chaos: injected faults, tight per-request deadlines, and a 4x
+// admission overload all at once. The terminal-status contract still holds
+// for every request, heavy fits under a 50ms budget never sneak through as
+// successes, and the server's QoS accounting stays coherent.
+TEST_F(ChaosTest, QosOverloadDeadlinesAndFaultsStayTerminal) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromSpec("serve.dispatch:unavailable:0.05,"
+                               "serve.execute:delay:0.1:5")
+                  .ok());
+
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 2;
+  opt.fast_queue_capacity = 8;  // 8 clients oversubscribe this heavily
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;
+  ForecastServer server(system_, opt);
+  server.Start();
+  const std::string dataset = system_->repository()->names()[0];
+
+  // A series long enough that a 400-tree gbdt fit cannot finish in 50ms.
+  Json heavy_values = Json::Array();
+  {
+    double level = 100.0;
+    for (int i = 0; i < 4000; ++i) {
+      level += ((i * 2654435761u) % 1000) / 1000.0 - 0.5;
+      heavy_values.Append(level);
+    }
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> error_responses{0};
+  std::atomic<int> heavy_ok{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int64_t id = c * 1000 + r;
+        Json req = Json::Object();
+        req.Set("id", id);
+        Json params = Json::Object();
+        const bool heavy = r % 4 == 3;
+        switch (r % 4) {
+          case 0:  // plain forecast, no deadline
+            req.Set("endpoint", "forecast");
+            params.Set("dataset", dataset);
+            params.Set("method", "naive");
+            params.Set("horizon", static_cast<int64_t>(4));
+            break;
+          case 1: {  // slow ask: drives the overload + brownout
+            req.Set("endpoint", "ask");
+            params.Set("question", "What is the average mae of theta?");
+            params.Set("sleep_ms", 40.0);
+            break;
+          }
+          case 2:  // tight queue deadline behind the ask backlog
+            req.Set("endpoint", "forecast");
+            params.Set("dataset", dataset);
+            params.Set("method", "theta");
+            params.Set("horizon", static_cast<int64_t>(4));
+            params.Set("deadline_ms", 30.0);
+            break;
+          default: {  // heavy fit under a 50ms budget: must abort mid-fit
+            req.Set("endpoint", "forecast");
+            params.Set("values", heavy_values);
+            Json cfg = Json::Object();
+            cfg.Set("num_trees", static_cast<int64_t>(400));
+            cfg.Set("max_depth", static_cast<int64_t>(6));
+            params.Set("config", std::move(cfg));
+            params.Set("method", "gbdt");
+            params.Set("horizon", static_cast<int64_t>(4));
+            params.Set("deadline_ms", 50.0);
+            break;
+          }
+        }
+        req.Set("params", std::move(params));
+
+        std::string line = server.HandleLine(req.Dump());
+        auto resp = Json::Parse(line);
+        if (!resp.ok() || resp->GetInt("id", -1) != id) {
+          wrong.fetch_add(1);
+          continue;
+        }
+        if (resp->GetBool("ok", false)) {
+          ok_responses.fetch_add(1);
+          if (heavy) heavy_ok.fetch_add(1);
+        } else if (resp->Has("error") &&
+                   !resp->Get("error").GetString("code", "").empty()) {
+          error_responses.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok_responses.load() + error_responses.load(),
+            kClients * kRequestsPerClient);
+  EXPECT_GT(ok_responses.load(), 0);
+  EXPECT_GT(error_responses.load(), 0)
+      << "deadlines and overload must produce some errors";
+  EXPECT_EQ(heavy_ok.load(), 0)
+      << "a 50ms-budget gbdt fit on 4000 points must never succeed";
+
+  Json stats = server.StatsJson();
+  EXPECT_GE(stats.GetInt("deadline_exceeded", 0), 1);
+  EXPECT_TRUE(stats.Has("admission"));
+  server.Stop();
+  EXPECT_FALSE(easytime::GlobalOverload().brownout())
+      << "Stop() must clear the global brownout flag";
 }
 
 }  // namespace

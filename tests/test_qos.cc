@@ -1,0 +1,612 @@
+// Serving QoS tests: per-endpoint admission quotas (no cross-endpoint
+// starvation under overload), cooperative mid-fit deadline aborts,
+// brownout degradation, bearer-token auth on the TCP listener, and the
+// hardened environment knobs. DESIGN.md §12 documents the contracts these
+// tests pin down.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/overload.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "methods/registry.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/event_loop.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "sql/executor.h"
+
+namespace easytime::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// DeadlineChecker: the amortized poll every fit loop relies on
+// ---------------------------------------------------------------------------
+
+TEST(QosDeadlineCheckerTest, InfiniteDeadlineNeverChecksTheClock) {
+  easytime::DeadlineChecker checker(easytime::Deadline::Infinite(), 4);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(checker.Expired());
+}
+
+TEST(QosDeadlineCheckerTest, StrideAmortizesAndExpiryIsSticky) {
+  easytime::Deadline d = easytime::Deadline::AfterMillis(0.01);
+  std::this_thread::sleep_for(5ms);  // the deadline is now in the past
+  easytime::DeadlineChecker checker(d, 4);
+  // The first stride-1 calls never touch the clock, so they report live
+  // even though the deadline has passed.
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_TRUE(checker.Expired()) << "4th call reads the clock";
+  EXPECT_TRUE(checker.Expired()) << "expiry is sticky";
+}
+
+TEST(QosDeadlineCheckerTest, ForceCheckPrimesTheNextCall) {
+  easytime::Deadline d = easytime::Deadline::AfterMillis(0.01);
+  std::this_thread::sleep_for(5ms);
+  easytime::DeadlineChecker checker(d, 1000);
+  checker.ForceCheck();
+  EXPECT_TRUE(checker.Expired()) << "ForceCheck bypasses the stride";
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController: weighted quotas, borrowing, worker fairness
+// ---------------------------------------------------------------------------
+
+TEST(QosAdmissionTest, ReservationsAdmitBorrowAndShed) {
+  AdmissionController::Options opt;
+  opt.queue_capacity = 4;
+  opt.workers = 2;
+  opt.weights = {{"a", 3.0}, {"b", 1.0}};
+  AdmissionController ac(opt, [](AdmissionController::Unit u) { u(); });
+
+  // a reserves floor(4 * 3/4) = 3 slots, b reserves 1.
+  EXPECT_TRUE(ac.TryAdmit("a"));
+  EXPECT_TRUE(ac.TryAdmit("a"));
+  EXPECT_TRUE(ac.TryAdmit("a"));   // fills a's reservation
+  EXPECT_TRUE(ac.TryAdmit("a"));   // borrows shared headroom (total 3 < 4)
+  EXPECT_FALSE(ac.TryAdmit("a"));  // at capacity with no reservation: shed
+  EXPECT_EQ(ac.shed_total(), 1u);
+
+  // b's reserved slot survives a's burst — the no-starvation property.
+  EXPECT_TRUE(ac.TryAdmit("b"));
+
+  for (int i = 0; i < 4; ++i) ac.Finish("a");
+  ac.Finish("b");
+  EXPECT_TRUE(ac.TryAdmit("a")) << "released slots are reusable";
+  ac.Finish("a");
+}
+
+TEST(QosAdmissionTest, BrownoutEntersAndExitsWithHysteresis) {
+  easytime::OverloadState overload;
+  AdmissionController::Options opt;
+  opt.queue_capacity = 4;
+  opt.workers = 1;
+  opt.weights = {{"a", 1.0}};
+  opt.brownout_enter_fraction = 0.75;  // enter at pending >= 3
+  opt.brownout_exit_fraction = 0.25;   // exit at pending <= 1
+  opt.overload = &overload;
+  AdmissionController ac(opt, [](AdmissionController::Unit u) { u(); });
+
+  EXPECT_TRUE(ac.TryAdmit("a"));
+  EXPECT_TRUE(ac.TryAdmit("a"));
+  EXPECT_FALSE(ac.brownout());
+  EXPECT_TRUE(ac.TryAdmit("a"));  // pending 3 >= 3: brownout
+  EXPECT_TRUE(ac.brownout());
+  EXPECT_TRUE(overload.brownout()) << "the global flag tracks the controller";
+
+  ac.Finish("a");  // pending 2: still browned out (hysteresis)
+  EXPECT_TRUE(ac.brownout());
+  ac.Finish("a");  // pending 1 <= 1: recovered
+  EXPECT_FALSE(ac.brownout());
+  EXPECT_FALSE(overload.brownout());
+  EXPECT_EQ(overload.brownout_enters(), 1u);
+  ac.Finish("a");
+}
+
+TEST(QosAdmissionTest, WorkerTieBreakRoundRobinsAcrossClasses) {
+  // One worker, two equal classes: after each completion the scheduler must
+  // alternate rather than draining the alphabetically-first class.
+  AdmissionController::Options opt;
+  opt.queue_capacity = 16;
+  opt.workers = 1;
+  opt.weights = {{"a", 1.0}, {"b", 1.0}};
+  std::vector<AdmissionController::Unit> launched;
+  AdmissionController ac(
+      opt, [&](AdmissionController::Unit u) { launched.push_back(std::move(u)); });
+
+  std::vector<std::string> order;
+  auto unit = [&order](const std::string& name) {
+    return [&order, name]() { order.push_back(name); };
+  };
+  ac.Enqueue("a", unit("a1"));  // launches immediately: the worker is free
+  ac.Enqueue("a", unit("a2"));
+  ac.Enqueue("a", unit("a3"));
+  ac.Enqueue("b", unit("b1"));
+
+  // Drive the fake worker: run each launched unit; completions trigger the
+  // next launch synchronously through OnUnitDone.
+  while (!launched.empty()) {
+    auto u = std::move(launched.front());
+    launched.erase(launched.begin());
+    u();
+  }
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "a1");
+  EXPECT_EQ(order[1], "b1") << "b must not wait behind all of a's backlog";
+}
+
+TEST(QosAdmissionTest, StatsJsonExposesPerClassCounters) {
+  AdmissionController::Options opt;
+  opt.queue_capacity = 4;
+  opt.workers = 2;
+  opt.weights = {{"forecast", 4.0}, {"ask", 1.0}};
+  AdmissionController ac(opt, [](AdmissionController::Unit u) { u(); });
+  ASSERT_TRUE(ac.TryAdmit("forecast"));
+  Json stats = ac.StatsJson();
+  EXPECT_TRUE(stats.Has("classes"));
+  EXPECT_TRUE(stats.Get("classes").Has("forecast"));
+  EXPECT_EQ(stats.Get("classes").Get("forecast").GetInt("pending", -1), 1);
+  EXPECT_GE(stats.Get("classes").Get("forecast").GetInt("reserved_slots", 0),
+            1);
+  EXPECT_EQ(stats.GetInt("queue_capacity", 0), 4);
+  ac.Finish("forecast");
+}
+
+// ---------------------------------------------------------------------------
+// Mid-fit deadline aborts (direct method calls, no server)
+// ---------------------------------------------------------------------------
+
+std::vector<double> LongRandomWalk(size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  double level = 100.0;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    level += static_cast<double>(static_cast<int64_t>(state >> 33) % 1000) /
+                 1000.0 -
+             0.5;
+    v.push_back(level);
+  }
+  return v;
+}
+
+TEST(QosDeadlineTest, GbdtFitAbortsMidBoostingWithinBudget) {
+  // A configuration that would take seconds to fit in full: 400 trees of
+  // depth 6 over ~6k points. A 50ms deadline must abort mid-boosting.
+  Json cfg = Json::Object();
+  cfg.Set("num_trees", static_cast<int64_t>(400));
+  cfg.Set("max_depth", static_cast<int64_t>(6));
+  auto f = methods::MethodRegistry::Global().Create("gbdt", cfg);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  methods::FitContext ctx;
+  ctx.horizon = 12;
+  ctx.deadline = easytime::Deadline::AfterMillis(50.0);
+  easytime::Stopwatch watch;
+  Status st = (*f)->Fit(LongRandomWalk(6000), ctx);
+  const double ms = watch.ElapsedSeconds() * 1000.0;
+  ASSERT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  // Generous bound (sanitizer builds are slow), but far below a full fit.
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_FALSE((*f)->Forecast(12).ok()) << "partial fit state must be gone";
+}
+
+TEST(QosDeadlineTest, GruFitAbortsMidTrainingWithinBudget) {
+  Json cfg = Json::Object();
+  cfg.Set("epochs", static_cast<int64_t>(300));
+  cfg.Set("hidden", static_cast<int64_t>(48));
+  auto f = methods::MethodRegistry::Global().Create("gru", cfg);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  methods::FitContext ctx;
+  ctx.horizon = 12;
+  ctx.deadline = easytime::Deadline::AfterMillis(50.0);
+  easytime::Stopwatch watch;
+  Status st = (*f)->Fit(LongRandomWalk(3000), ctx);
+  const double ms = watch.ElapsedSeconds() * 1000.0;
+  ASSERT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_FALSE((*f)->Forecast(12).ok()) << "partial fit state must be gone";
+}
+
+TEST(QosDeadlineTest, ExpiredDeadlineFailsFastAcrossMethods) {
+  // Every registered method must notice an already-expired deadline and
+  // refuse to fit (entry check or first loop iteration) — no method may
+  // silently run to completion on a dead request.
+  const std::vector<double> series = LongRandomWalk(512);
+  for (const std::string& name :
+       {"ses", "holt", "theta", "ar", "arima", "knn", "gbdt", "lag_linear",
+        "dlinear", "mlp", "gru", "tcn", "ets_auto"}) {
+    auto f = methods::MethodRegistry::Global().Create(name, Json::Object());
+    ASSERT_TRUE(f.ok()) << name;
+    methods::FitContext ctx;
+    ctx.horizon = 8;
+    ctx.deadline = easytime::Deadline::AfterMillis(0.0001);
+    std::this_thread::sleep_for(2ms);
+    Status st = (*f)->Fit(series, ctx);
+    EXPECT_TRUE(st.IsDeadlineExceeded())
+        << name << " returned: " << st.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server-level QoS: the acceptance scenarios
+// ---------------------------------------------------------------------------
+
+core::EasyTime::Options SmallSystemOptions() {
+  core::EasyTime::Options opt;
+  opt.suite.univariate_per_domain = 1;
+  opt.suite.multivariate_total = 1;
+  opt.suite.min_length = 180;
+  opt.suite.max_length = 220;
+  opt.seed_eval.horizon = 12;
+  opt.seed_eval.metrics = {"mae", "rmse"};
+  opt.seed_methods = {"naive", "seasonal_naive", "theta", "ses", "drift"};
+  opt.ensemble.top_k = 2;
+  opt.ensemble.ts2vec.epochs = 3;
+  opt.ensemble.ts2vec.repr_dim = 8;
+  opt.ensemble.ts2vec.hidden_dim = 10;
+  opt.ensemble.ts2vec.depth = 2;
+  opt.ensemble.classifier.epochs = 80;
+  return opt;
+}
+
+class QosServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto system = core::EasyTime::Create(SmallSystemOptions());
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = system->release();
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  void SetUp() override {
+    ASSERT_NE(system_, nullptr);
+    easytime::GlobalOverload().set_brownout(false);
+    FaultRegistry::Global().DisarmAll();
+  }
+  void TearDown() override {
+    easytime::GlobalOverload().set_brownout(false);
+    FaultRegistry::Global().DisarmAll();
+  }
+  static std::string FirstDataset() {
+    return system_->repository()->names()[0];
+  }
+  static core::EasyTime* system_;
+};
+
+core::EasyTime* QosServerTest::system_ = nullptr;
+
+TEST_F(QosServerTest, AskOverloadDoesNotStarveForecast) {
+  // The headline scenario: a 4x oversubscribed burst of slow "ask" requests
+  // while a "forecast" arrives mid-burst. The forecast must complete within
+  // its guaranteed share — not wait for the whole ask backlog — and the
+  // excess asks must shed Unavailable rather than queue without bound.
+  ForecastServer::Options opt;
+  opt.num_worker_threads = 2;
+  opt.fast_queue_capacity = 8;
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;
+  ForecastServer server(system_, opt);
+  server.Start();
+
+  constexpr int kAskClients = 32;  // 4x the admission capacity of 8
+  std::atomic<int> ask_ok{0};
+  std::atomic<int> ask_shed{0};
+  std::atomic<int> ask_other{0};
+  std::vector<std::thread> askers;
+  for (int i = 0; i < kAskClients; ++i) {
+    askers.emplace_back([&server, &ask_ok, &ask_shed, &ask_other]() {
+      Json params = Json::Object();
+      params.Set("question", "What is the average mae of theta?");
+      params.Set("sleep_ms", 120.0);
+      auto r = server.Call("ask", params);
+      if (r.ok()) {
+        ask_ok.fetch_add(1);
+      } else if (r.status().IsUnavailable()) {
+        ask_shed.fetch_add(1);
+      } else {
+        ask_other.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(40ms);  // let the burst saturate admission
+
+  Json params = Json::Object();
+  params.Set("dataset", FirstDataset());
+  params.Set("method", "naive");
+  params.Set("horizon", static_cast<int64_t>(4));
+  easytime::Stopwatch watch;
+  auto forecast = server.Call("forecast", params);
+  const double forecast_ms = watch.ElapsedSeconds() * 1000.0;
+  for (auto& t : askers) t.join();
+
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  // Quota math: forecast's guaranteed worker frees up after at most one
+  // 120ms ask finishes. Anything near the full backlog (~8 * 120ms serial)
+  // means the quota failed; 1.5s keeps sanitizer slack.
+  EXPECT_LT(forecast_ms, 1500.0) << "forecast waited behind the ask backlog";
+  EXPECT_GT(ask_shed.load(), 0) << "4x oversubscription must shed";
+  EXPECT_GT(ask_ok.load(), 0) << "admitted asks must still complete";
+  EXPECT_EQ(ask_other.load(), 0);
+  EXPECT_EQ(ask_ok.load() + ask_shed.load(), kAskClients);
+
+  Json stats = server.StatsJson();
+  EXPECT_GE(stats.Get("admission").GetInt("shed_total", 0), 1);
+  EXPECT_GE(
+      stats.Get("admission").Get("classes").Get("ask").GetInt("shed", 0), 1);
+  server.Stop();
+}
+
+TEST_F(QosServerTest, ServerForecastAbortsMidFitAndCountsIt) {
+  ForecastServer::Options opt;
+  opt.enable_batching = false;
+  opt.cache_capacity = 0;
+  ForecastServer server(system_, opt);
+  server.Start();
+
+  Json values = Json::Array();
+  for (double v : LongRandomWalk(6000)) values.Append(v);
+  Json cfg = Json::Object();
+  cfg.Set("num_trees", static_cast<int64_t>(400));
+  cfg.Set("max_depth", static_cast<int64_t>(6));
+  Json params = Json::Object();
+  params.Set("values", std::move(values));
+  params.Set("method", "gbdt");
+  params.Set("config", std::move(cfg));
+  params.Set("horizon", static_cast<int64_t>(8));
+  params.Set("deadline_ms", 80.0);
+
+  easytime::Stopwatch watch;
+  auto r = server.Call("forecast", params);
+  const double ms = watch.ElapsedSeconds() * 1000.0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  EXPECT_LT(ms, 2000.0) << "the fit ran to completion instead of aborting";
+
+  Json stats = server.StatsJson();
+  EXPECT_GE(stats.GetInt("deadline_exceeded", 0), 1);
+  server.Stop();
+}
+
+TEST_F(QosServerTest, DeadlineMsMustBeAPositiveFiniteNumber) {
+  ForecastServer server(system_);
+  server.Start();
+  Json base = Json::Object();
+  base.Set("dataset", FirstDataset());
+  base.Set("method", "naive");
+
+  {
+    Json params = base;
+    params.Set("deadline_ms", "soon");  // wrong type
+    auto r = server.Call("forecast", params);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  }
+  {
+    Json params = base;
+    params.Set("deadline_ms", true);  // booleans are not numbers
+    auto r = server.Call("forecast", params);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  }
+  {
+    Json params = base;
+    params.Set("deadline_ms", 0.0);  // zero budget is malformed, not instant
+    auto r = server.Call("forecast", params);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  }
+  server.Stop();
+}
+
+TEST_F(QosServerTest, BrownoutDegradesRecommendAskSqlAndSkipsCache) {
+  ForecastServer::Options opt;
+  opt.enable_batching = false;
+  opt.warm_cache = false;  // cache stays enabled but starts empty
+  ForecastServer server(system_, opt);
+  server.Start();
+
+  easytime::GlobalOverload().set_brownout(true);
+
+  Json rec_params = Json::Object();
+  rec_params.Set("dataset", FirstDataset());
+  auto degraded = server.Call("recommend", rec_params);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->GetBool("degraded", false));
+  EXPECT_EQ(degraded->GetString("degraded_reason", ""), "brownout");
+  EXPECT_GT(degraded->Get("recommendations").size(), 0u);
+
+  Json ask_params = Json::Object();
+  ask_params.Set("question", "What is the average mae of theta?");
+  auto ask = server.Call("ask", ask_params);
+  ASSERT_TRUE(ask.ok()) << ask.status().ToString();
+  EXPECT_TRUE(ask->GetBool("degraded", false));
+
+  Json sql_params = Json::Object();
+  sql_params.Set("query", "SELECT method FROM results LIMIT 1");
+  auto sql = server.Call("sql", sql_params);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_TRUE(sql->GetBool("degraded", false));
+
+  // Recovery: the degraded recommend must NOT have been cached, so the
+  // next call recomputes the full answer.
+  easytime::GlobalOverload().set_brownout(false);
+  auto fresh = server.Call("recommend", rec_params);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->GetBool("degraded", false))
+      << "a brownout answer leaked through the result cache";
+
+  Json stats = server.StatsJson();
+  EXPECT_GE(stats.GetInt("degraded_responses", 0), 3);
+  server.Stop();
+}
+
+TEST_F(QosServerTest, StatsJsonCarriesQosCounters) {
+  ForecastServer server(system_);
+  server.Start();
+  Json stats = server.StatsJson();
+  EXPECT_TRUE(stats.Has("admission"));
+  EXPECT_TRUE(stats.Get("admission").Has("classes"));
+  EXPECT_TRUE(stats.Has("brownout"));
+  EXPECT_TRUE(stats.Has("brownout_enters"));
+  EXPECT_TRUE(stats.Has("deadline_exceeded"));
+  EXPECT_TRUE(stats.Has("degraded_responses"));
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Token auth on the TCP listener
+// ---------------------------------------------------------------------------
+
+TEST_F(QosServerTest, AuthTokenGatesTheTcpListener) {
+  ForecastServer server(system_);
+  server.Start();
+  EventLoopServer::Options lopt;
+  lopt.auth_token = "sekrit";
+  EventLoopServer loop(&server, lopt);
+  ASSERT_TRUE(loop.Start().ok());
+
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+
+  {  // correct token: handshake inside Connect(), then normal traffic
+    TcpClient client(loop.port(), no_retry, "sekrit");
+    auto pong = client.Call("ping", Json::Object());
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_TRUE(pong->GetBool("pong", false));
+    auto again = client.Call("ping", Json::Object());
+    EXPECT_TRUE(again.ok()) << "the session stays authenticated";
+  }
+  {  // wrong token: rejected during Connect, not retried
+    TcpClient client(loop.port(), no_retry, "wrong");
+    auto r = client.Call("ping", Json::Object());
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnauthenticated()) << r.status().ToString();
+  }
+  {  // no token: the first (non-auth) frame draws Unauthenticated + close
+    TcpClient client(loop.port(), no_retry);
+    auto r = client.Call("ping", Json::Object());
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnauthenticated()) << r.status().ToString();
+  }
+
+  EXPECT_GE(loop.stats().auth_failures, 2u);
+  loop.Stop();
+  server.Stop();
+}
+
+TEST_F(QosServerTest, AuthTokenFallsBackToTheEnvironment) {
+  ::setenv("EASYTIME_AUTH_TOKEN", "env-token", 1);
+  ForecastServer server(system_);
+  server.Start();
+  EventLoopServer loop(&server, EventLoopServer::Options{});
+  ASSERT_TRUE(loop.Start().ok());
+
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  TcpClient client(loop.port(), no_retry);  // also reads the env var
+  auto pong = client.Call("ping", Json::Object());
+  EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+
+  ::unsetenv("EASYTIME_AUTH_TOKEN");
+  TcpClient bare(loop.port(), no_retry);  // constructed after the unset
+  auto rejected = bare.Call("ping", Json::Object());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnauthenticated())
+      << rejected.status().ToString();
+
+  loop.Stop();
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// SQL brownout downgrade
+// ---------------------------------------------------------------------------
+
+TEST(QosSqlTest, BrownoutDowngradesExpensiveModelsToSmoothing) {
+  sql::Database db;
+  ASSERT_TRUE(
+      sql::ExecuteQuery(&db, "CREATE TABLE sales (t INTEGER, v REAL)").ok());
+  std::string insert = "INSERT INTO sales VALUES ";
+  for (int i = 0; i < 120; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " +
+              std::to_string(50.0 + 0.3 * i +
+                             8.0 * std::sin(2.0 * 3.14159265 * i / 12.0)) +
+              ")";
+  }
+  ASSERT_TRUE(sql::ExecuteQuery(&db, insert).ok());
+
+  const std::string query =
+      "SELECT * FROM TS_FORECAST(sales, t, v, model := 'gbdt', horizon := 4)";
+  easytime::GlobalOverload().set_brownout(true);
+  auto degraded = sql::ExecuteQuery(&db, query);
+  easytime::GlobalOverload().set_brownout(false);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_FALSE(degraded->rows.empty());
+  // model_name is column 5 of the ungrouped schema; it records what ran.
+  EXPECT_EQ(degraded->rows[0][5].AsText(), "ses")
+      << "brownout must downgrade gbdt to fast smoothing";
+
+  auto normal = sql::ExecuteQuery(&db, query);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  ASSERT_FALSE(normal->rows.empty());
+  EXPECT_EQ(normal->rows[0][5].AsText(), "gbdt");
+
+  // Cheap models keep running as themselves under brownout.
+  easytime::GlobalOverload().set_brownout(true);
+  auto cheap = sql::ExecuteQuery(
+      &db,
+      "SELECT * FROM TS_FORECAST(sales, t, v, model := 'theta', horizon := 4)");
+  easytime::GlobalOverload().set_brownout(false);
+  ASSERT_TRUE(cheap.ok()) << cheap.status().ToString();
+  EXPECT_EQ(cheap->rows[0][5].AsText(), "theta");
+}
+
+// ---------------------------------------------------------------------------
+// Hardened EASYTIME_NUM_THREADS parsing
+// ---------------------------------------------------------------------------
+
+TEST(QosThreadPoolTest, NumThreadsEnvIsValidatedAndClamped) {
+  auto with_env = [](const char* value) {
+    ::setenv("EASYTIME_NUM_THREADS", value, 1);
+    size_t n = GlobalThreadPoolSizeOverride();
+    ::unsetenv("EASYTIME_NUM_THREADS");
+    return n;
+  };
+  EXPECT_EQ(with_env("garbage"), 0u) << "malformed falls back to hardware";
+  EXPECT_EQ(with_env("12abc"), 0u) << "trailing junk is malformed";
+  EXPECT_EQ(with_env("0"), 0u);
+  EXPECT_EQ(with_env("-4"), 0u);
+  EXPECT_EQ(with_env("3"), 3u) << "sane values pass through";
+
+  const size_t clamped = with_env("100000000");
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(clamped, std::max<size_t>(256, 4 * hw))
+      << "huge values clamp to the sanity cap";
+
+  ::unsetenv("EASYTIME_NUM_THREADS");
+  EXPECT_EQ(GlobalThreadPoolSizeOverride(), 0u);
+}
+
+}  // namespace
+}  // namespace easytime::serve

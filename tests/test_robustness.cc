@@ -439,6 +439,42 @@ TEST(CircuitBreakerTest, FailedProbeReTripsForAnotherCooldown) {
   EXPECT_EQ(b.state(), BreakerState::kClosed);
 }
 
+TEST(CircuitBreakerTest, HalfOpenProbeAdmitsExactlyOneUnderConcurrency) {
+  // The half-open transition is a race magnet: when the cooldown lapses,
+  // every stalled caller arrives at Allow() at once, and exactly one may
+  // carry the probe — two probes against a still-broken backend would
+  // defeat the breaker's purpose. Run under TSan this also proves the
+  // transition is data-race-free.
+  pipeline::CircuitBreaker::Options opt;
+  opt.threshold = 1;
+  opt.cooldown_ms = 100.0;
+  pipeline::CircuitBreaker b(opt);
+  b.RecordFailure(BreakerAt(0));
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+
+  constexpr int kThreads = 8;
+  const auto probe_time = BreakerAt(200.0);  // cooldown elapsed for everyone
+  std::atomic<int> ready{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kThreads; ++i) {
+    callers.emplace_back([&]() {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }  // spin barrier: maximize the collision window
+      if (b.Allow(probe_time)) admitted.fetch_add(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  EXPECT_EQ(admitted.load(), 1) << "exactly one caller may carry the probe";
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+
+  // The probe's verdict still drives the machine as usual.
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
 TEST(CircuitBreakerTest, CooldownZeroKeepsAnOpenBreakerOpen) {
   pipeline::CircuitBreaker::Options opt;
   opt.threshold = 1;

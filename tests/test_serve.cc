@@ -329,12 +329,13 @@ TEST_F(ServeTest, CacheInvalidatedByKnowledgeBaseAppend) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ServeTest, FastLaneQueueFullIsRejectedNotDropped) {
-  // A dedicated tiny server: 1 worker, queue of 1, no batching. Occupy the
-  // worker and the queue slot with slow requests, then watch the third
-  // request bounce with Unavailable.
+  // A dedicated tiny server: 1 worker, admission capacity of 2, no
+  // batching. The forecast class reserves one slot and may borrow the
+  // shared headroom for a second pending request; a third while both are
+  // still pending bounces with Unavailable instead of queueing unboundedly.
   ForecastServer::Options opt;
   opt.num_worker_threads = 1;
-  opt.fast_queue_capacity = 1;
+  opt.fast_queue_capacity = 2;
   opt.enable_batching = false;
   opt.cache_capacity = 0;  // keep every request on the slow path
   ForecastServer small(system_, opt);
@@ -346,11 +347,11 @@ TEST_F(ServeTest, FastLaneQueueFullIsRejectedNotDropped) {
   slow.Set("horizon", static_cast<int64_t>(2));
   slow.Set("sleep_ms", 600.0);
 
-  // Three staggered slow requests fill every slot: the worker, the task the
-  // dispatcher holds while waiting for a free worker, and the queue.
+  // Two staggered slow requests fill both admission slots (pending counts
+  // running and queued work alike).
   std::vector<std::thread> occupants;
   std::atomic<int> ok_count{0};
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 2; ++i) {
     occupants.emplace_back([&small, slow, &ok_count]() {
       auto r = small.Call("forecast", slow);
       if (r.ok()) ok_count.fetch_add(1);
@@ -368,7 +369,7 @@ TEST_F(ServeTest, FastLaneQueueFullIsRejectedNotDropped) {
       << rejected.status().ToString();
 
   for (auto& t : occupants) t.join();
-  EXPECT_EQ(ok_count.load(), 3);  // the admitted requests still completed
+  EXPECT_EQ(ok_count.load(), 2);  // the admitted requests still completed
   small.Stop();
 
   Json stats = small.StatsJson();
