@@ -1,7 +1,9 @@
 #include "core/easytime.h"
 
+#include <cmath>
 #include <mutex>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "methods/registry.h"
 #include "tsdata/dataset_store.h"
@@ -64,6 +66,22 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
     }
   }
 
+  // Streamed observations are user data the generator cannot reproduce:
+  // replay the append log over the (deterministic) base suite before the
+  // knowledge layers see the repository, so seeding, restore-sync, and
+  // ensemble pretraining all observe the fully-extended series.
+  tsdata::AppendLog::ReplayStats append_replay;
+  if (!options.store_dir.empty()) {
+    tsdata::AppendLogOptions log_options;
+    log_options.dir = options.store_dir + "/appends";
+    log_options.sync_every_append = options.store_sync_every_append;
+    log_options.compact_every = options.append_compact_every;
+    EASYTIME_ASSIGN_OR_RETURN(
+        system->append_log_,
+        tsdata::AppendLog::Open(log_options, &system->repository_,
+                                &append_replay));
+  }
+
   // With persistence configured, a populated store restores the knowledge
   // base (snapshot + WAL tail) and the seeding evaluation is skipped.
   knowledge::KnowledgeStore::OpenInfo open_info;
@@ -84,6 +102,17 @@ easytime::Result<std::unique_ptr<EasyTime>> EasyTime::Create(
                        << " (" << open_info.datasets << " datasets, "
                        << open_info.results
                        << " results); seeding evaluation skipped";
+    // The KB snapshot can predate the append log's newest records (series
+    // metadata is only checkpointed with evaluation commits): re-sync any
+    // dataset whose restored length lags the replayed series.
+    if (append_replay.applied > 0) {
+      for (const auto* ds : system->repository_.All()) {
+        auto meta = system->kb_.GetDataset(ds->name());
+        if (meta.ok() && (*meta)->length != ds->length()) {
+          (void)system->kb_.UpdateDatasetData(*ds);
+        }
+      }
+    }
   } else {
     // Seed the knowledge base by running the pipeline.
     pipeline::BenchmarkConfig config;
@@ -190,6 +219,106 @@ easytime::Result<pipeline::BenchmarkReport> EasyTime::EvaluateMethodEverywhere(
   config.eval = options_.seed_eval;
   config.methods.push_back(pipeline::MethodSpec{method_name, method_config});
   return RunAndCommit(std::move(config), pipeline::RunHooks{});
+}
+
+easytime::Result<EasyTime::AppendOutcome> EasyTime::AppendObservations(
+    const std::string& dataset,
+    const std::vector<std::vector<double>>& channels,
+    std::optional<size_t> expected_start) {
+  if (FaultRegistry::AnyArmed()) {
+    EASYTIME_RETURN_IF_ERROR(FaultRegistry::Global().Check("core.append"));
+  }
+  // Validate the batch shape up front: nothing below may fail after the
+  // record has been durably logged.
+  if (channels.empty() || channels[0].empty()) {
+    return Status::InvalidArgument("append must carry at least one value");
+  }
+  const size_t batch = channels[0].size();
+  for (const auto& ch : channels) {
+    if (ch.size() != batch) {
+      return Status::InvalidArgument(
+          "append channels have unequal lengths; channels must stay aligned");
+    }
+    for (double v : ch) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("appended values must be finite");
+      }
+    }
+  }
+
+  // Per-dataset serialization: WAL order equals offset order within one
+  // dataset (the append log's replay contract), while appends to different
+  // datasets still overlap and share group-commit fsyncs.
+  std::mutex* dataset_mu;
+  {
+    std::lock_guard<std::mutex> lock(append_index_mu_);
+    dataset_mu = &append_mus_[dataset];
+  }
+  std::lock_guard<std::mutex> serialize(*dataset_mu);
+
+  size_t start = 0;
+  {
+    std::shared_lock lock(mu_);
+    EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
+                              repository_.Get(dataset));
+    if (channels.size() != ds->num_channels()) {
+      return Status::InvalidArgument(
+          "append carries " + std::to_string(channels.size()) +
+          " channels; dataset '" + dataset + "' has " +
+          std::to_string(ds->num_channels()));
+    }
+    start = ds->length();
+  }
+  if (expected_start.has_value() && *expected_start != start) {
+    if (*expected_start < start) {
+      return Status::InvalidArgument(
+          "duplicate append: start " + std::to_string(*expected_start) +
+          " is already ingested (series length " + std::to_string(start) +
+          ")");
+    }
+    return Status::InvalidArgument(
+        "out-of-order append: start " + std::to_string(*expected_start) +
+        " leaves a gap (series length " + std::to_string(start) + ")");
+  }
+
+  // Durability point: the batch is on disk before anyone can observe it.
+  if (append_log_) {
+    tsdata::AppendRecord record;
+    record.dataset = dataset;
+    record.start = start;
+    record.channels = channels;
+    EASYTIME_RETURN_IF_ERROR(append_log_->Append(record));
+  }
+
+  knowledge::KnowledgeBase::DataUpdate update;
+  {
+    std::unique_lock lock(mu_);
+    EASYTIME_ASSIGN_OR_RETURN(tsdata::Dataset* ds,
+                              repository_.GetMutable(dataset));
+    EASYTIME_RETURN_IF_ERROR(ds->AppendObservations(channels));
+    update = kb_.UpdateDatasetData(*ds);
+  }
+
+  AppendOutcome out;
+  out.appended = batch;
+  out.length = start + batch;
+  out.characteristics_refreshed = update.characteristics_refreshed;
+  out.data_version = update.data_version;
+  return out;
+}
+
+easytime::Result<tsdata::Series> EasyTime::SeriesSnapshot(
+    const std::string& dataset, size_t channel) const {
+  std::shared_lock lock(mu_);
+  EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
+                            repository_.Get(dataset));
+  if (channel >= ds->num_channels()) {
+    return Status::InvalidArgument(
+        "dataset '" + dataset + "' has " +
+        std::to_string(ds->num_channels()) + " channels; no channel " +
+        std::to_string(channel));
+  }
+  return ds->channel(channel);
 }
 
 easytime::Result<ensemble::Recommendation> EasyTime::Recommend(

@@ -14,7 +14,10 @@
 ///   auto resp   = system->Ask("top-5 methods by mae on traffic datasets?");
 /// \endcode
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -28,6 +31,7 @@
 #include "knowledge/knowledge_store.h"
 #include "pipeline/runner.h"
 #include "qa/qa_engine.h"
+#include "tsdata/append_log.h"
 #include "tsdata/repository.h"
 
 namespace easytime::core {
@@ -41,7 +45,8 @@ namespace easytime::core {
 /// commit phase (knowledge-base append + Q&A rebuild) takes the facade's
 /// exclusive lock, so long evaluations do not stall concurrent reads.
 /// Mutating the repository via repository() is only safe before concurrent
-/// use begins.
+/// use begins; once serving, AppendObservations is the one sanctioned way to
+/// grow a stored series (exclusive lock + durable append log).
 class EasyTime {
  public:
   /// System bring-up options.
@@ -68,6 +73,9 @@ class EasyTime {
     size_t store_compact_every = 32;
     /// fsync every store append (strongest durability; slower commits).
     bool store_sync_every_append = true;
+    /// Compact the streaming append log after this many appended batches;
+    /// 0 disables automatic compaction.
+    size_t append_compact_every = 256;
 
     Options();
   };
@@ -111,6 +119,40 @@ class EasyTime {
   easytime::Result<pipeline::BenchmarkReport> EvaluateMethodEverywhere(
       const std::string& method_name,
       const easytime::Json& method_config = easytime::Json::Object());
+
+  // ----- streaming ingestion (DESIGN.md §13) --------------------------------
+
+  /// What an accepted append did.
+  struct AppendOutcome {
+    size_t appended = 0;  ///< observations added per channel
+    size_t length = 0;    ///< new series length
+    bool characteristics_refreshed = false;
+    uint64_t data_version = 0;  ///< KnowledgeBase::DataVersion after
+  };
+
+  /// \brief Durably appends a batch of observations to a stored dataset:
+  /// one inner vector per channel, equal non-zero lengths, finite values.
+  /// \p expected_start (when set) is the index the first appended value must
+  /// land on — a stale offset is rejected with InvalidArgument (lower =
+  /// duplicate/already-ingested, higher = out-of-order/gap), giving
+  /// at-most-once semantics to retrying producers. The batch is WAL-logged
+  /// (ack-after-durable, group-commit across datasets) before the in-memory
+  /// series and the KB's per-series metadata are updated. Same-dataset
+  /// appends serialize on a per-dataset mutex; different datasets proceed
+  /// concurrently, as do all readers (queries hold the shared lock).
+  easytime::Result<AppendOutcome> AppendObservations(
+      const std::string& dataset,
+      const std::vector<std::vector<double>>& channels,
+      std::optional<size_t> expected_start = std::nullopt);
+
+  /// \brief Copies one channel of a stored dataset under the shared lock —
+  /// the safe way to read series values that may be growing concurrently
+  /// (returns the Series copy so period hints travel with the values).
+  easytime::Result<tsdata::Series> SeriesSnapshot(const std::string& dataset,
+                                                  size_t channel = 0) const;
+
+  /// The streaming append log, or null when store_dir was empty.
+  tsdata::AppendLog* append_log() { return append_log_.get(); }
 
   // ----- module 3: automated ensemble --------------------------------------
 
@@ -166,6 +208,12 @@ class EasyTime {
   tsdata::Repository repository_;
   knowledge::KnowledgeBase kb_;
   std::unique_ptr<knowledge::KnowledgeStore> store_;
+  std::unique_ptr<tsdata::AppendLog> append_log_;
+  /// Per-dataset append serialization (keeps WAL order == offset order per
+  /// dataset; see append_log.h). Guarded by append_index_mu_; the mutexes
+  /// themselves live in a node-stable map and are never removed.
+  std::mutex append_index_mu_;
+  std::map<std::string, std::mutex> append_mus_;
   bool restored_from_store_ = false;
   ensemble::AutoEnsembleEngine ensemble_;
   std::unique_ptr<qa::QaEngine> qa_;

@@ -17,6 +17,7 @@ KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   methods_ = std::move(other.methods_);
   results_ = std::move(other.results_);
   dataset_index_ = std::move(other.dataset_index_);
+  data_versions_ = std::move(other.data_versions_);
 }
 
 KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
@@ -27,6 +28,7 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   methods_ = std::move(other.methods_);
   results_ = std::move(other.results_);
   dataset_index_ = std::move(other.dataset_index_);
+  data_versions_ = std::move(other.data_versions_);
   return *this;
 }
 
@@ -38,6 +40,7 @@ void KnowledgeBase::AddDataset(const tsdata::Dataset& ds) {
   meta.multivariate = ds.multivariate();
   meta.num_channels = ds.num_channels();
   meta.length = ds.length();
+  meta.profiled_length = ds.length();
   meta.characteristics = tsdata::ExtractCharacteristics(ds);
 
   std::unique_lock lock(mu_);
@@ -45,6 +48,45 @@ void KnowledgeBase::AddDataset(const tsdata::Dataset& ds) {
   dataset_index_[meta.name] = datasets_.size();
   datasets_.push_back(std::move(meta));
   ++version_;
+}
+
+KnowledgeBase::DataUpdate KnowledgeBase::UpdateDatasetData(
+    const tsdata::Dataset& ds) {
+  DataUpdate out;
+  size_t profiled = 0;
+  {
+    std::shared_lock lock(mu_);
+    auto it = dataset_index_.find(ds.name());
+    if (it == dataset_index_.end()) return out;
+    profiled = datasets_[it->second].profiled_length;
+  }
+  const size_t len = ds.length();
+  // Amortization: re-profiling is O(n); doing it once per max(32, 10%)
+  // appended points keeps the per-point cost constant while the cached
+  // characteristics never lag the series by more than that margin.
+  const bool reprofile = len >= profiled + std::max<size_t>(32, profiled / 10);
+  tsdata::Characteristics fresh;
+  if (reprofile) fresh = tsdata::ExtractCharacteristics(ds);  // outside lock
+
+  std::unique_lock lock(mu_);
+  auto it = dataset_index_.find(ds.name());
+  if (it == dataset_index_.end()) return out;
+  DatasetMeta& meta = datasets_[it->second];
+  meta.length = len;
+  if (reprofile) {
+    meta.characteristics = fresh;
+    meta.profiled_length = len;
+    out.characteristics_refreshed = true;
+  }
+  out.data_version = ++data_versions_[meta.name];
+  ++version_;
+  return out;
+}
+
+uint64_t KnowledgeBase::DataVersion(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = data_versions_.find(name);
+  return it == data_versions_.end() ? 0 : it->second;
 }
 
 void KnowledgeBase::AddAllMethods() {

@@ -29,6 +29,11 @@ struct DatasetMeta {
   bool multivariate = false;
   size_t num_channels = 1;
   size_t length = 0;
+  /// Series length at the last full characteristics extraction. Streaming
+  /// appends refresh the cheap fields (length) on every batch and only
+  /// re-profile once the series has grown past an amortization threshold,
+  /// so per-point append cost stays O(1) (see UpdateDatasetData).
+  size_t profiled_length = 0;
   tsdata::Characteristics characteristics;
 };
 
@@ -73,6 +78,26 @@ class KnowledgeBase {
   /// Registers dataset metadata (characteristics are computed here).
   void AddDataset(const tsdata::Dataset& ds);
 
+  /// Outcome of a streaming metadata refresh.
+  struct DataUpdate {
+    uint64_t data_version = 0;  ///< new per-dataset data version
+    bool characteristics_refreshed = false;
+  };
+
+  /// \brief Refreshes one dataset's metadata after its series grew (the
+  /// streaming-append path). Always updates the cheap fields (length) and
+  /// bumps the dataset's data version; re-extracts the six characteristic
+  /// axes only when the series has grown by max(32, 10%) points since the
+  /// last full profile, amortizing the O(n) extraction to O(1) per appended
+  /// point. No-op (returns version 0) when the dataset is not registered.
+  DataUpdate UpdateDatasetData(const tsdata::Dataset& ds);
+
+  /// \brief Monotonic per-dataset data version, bumped by UpdateDatasetData.
+  /// The serving layer's tag invalidation is eager, so this mainly serves
+  /// stats/tests as the observable "this dataset's series changed" signal.
+  /// Returns 0 for never-appended (or unknown) datasets.
+  uint64_t DataVersion(const std::string& name) const;
+
   /// Registers metadata for every method in the global registry.
   void AddAllMethods();
 
@@ -92,8 +117,12 @@ class KnowledgeBase {
   const std::deque<MethodMeta>& methods() const { return methods_; }
   const std::deque<ResultEntry>& results() const { return results_; }
 
-  /// \brief Number of times the knowledge base has been mutated. The serving
-  /// layer tags cache entries with this value so appends invalidate them.
+  /// \brief Number of times the knowledge base has been mutated. Purely
+  /// observational (stats, tests): the serving layer invalidates its result
+  /// cache per dataset via tags, not by comparing this counter, so a KB
+  /// commit no longer nukes unrelated cache entries. Non-mutating calls
+  /// (duplicate AddDataset, empty AddReport, re-run AddAllMethods) do not
+  /// bump it.
   uint64_t version() const;
 
   /// Locked row counts (safe under concurrent appends).
@@ -135,6 +164,7 @@ class KnowledgeBase {
   std::deque<MethodMeta> methods_;
   std::deque<ResultEntry> results_;
   std::map<std::string, size_t> dataset_index_;
+  std::map<std::string, uint64_t> data_versions_;  // guarded by mu_
 };
 
 /// \brief Convenience: generate a suite, run the full pipeline on it, and

@@ -59,6 +59,7 @@ easytime::Json DatasetMetaToJson(const DatasetMeta& meta) {
   j.Set("multivariate", meta.multivariate);
   j.Set("num_channels", static_cast<int64_t>(meta.num_channels));
   j.Set("length", static_cast<int64_t>(meta.length));
+  j.Set("profiled_length", static_cast<int64_t>(meta.profiled_length));
   easytime::Json c = easytime::Json::Object();
   c.Set("seasonality", meta.characteristics.seasonality);
   c.Set("trend", meta.characteristics.trend);
@@ -81,6 +82,10 @@ easytime::Result<DatasetMeta> DatasetMetaFromJson(const easytime::Json& j) {
   meta.multivariate = j.GetBool("multivariate", false);
   meta.num_channels = static_cast<size_t>(j.GetInt("num_channels", 1));
   meta.length = static_cast<size_t>(j.GetInt("length", 0));
+  // Older snapshots predate profiled_length; falling back to `length` means
+  // "profiled as of the restored length", which is exactly right for them.
+  meta.profiled_length = static_cast<size_t>(
+      j.GetInt("profiled_length", static_cast<int64_t>(meta.length)));
   const easytime::Json& c = j.Get("characteristics");
   meta.characteristics.seasonality = c.GetDouble("seasonality", 0.0);
   meta.characteristics.trend = c.GetDouble("trend", 0.0);

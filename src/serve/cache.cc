@@ -2,8 +2,18 @@
 
 namespace easytime::serve {
 
-std::optional<std::string> ResultCache::Lookup(const std::string& key,
-                                               uint64_t current_version) {
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  for (const auto& tag : it->tags) {
+    auto t = tag_index_.find(tag);
+    if (t == tag_index_.end()) continue;
+    t->second.erase(it->key);
+    if (t->second.empty()) tag_index_.erase(t);
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+std::optional<std::string> ResultCache::Lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -11,10 +21,8 @@ std::optional<std::string> ResultCache::Lookup(const std::string& key,
     return std::nullopt;
   }
   Entry& entry = *it->second;
-  const bool expired = entry.expires && Clock::now() >= entry.expires_at;
-  if (expired || entry.version != current_version) {
-    lru_.erase(it->second);
-    index_.erase(it);
+  if (entry.expires && Clock::now() >= entry.expires_at) {
+    EraseLocked(it->second);
     ++stats_.invalidations;
     ++stats_.misses;
     return std::nullopt;
@@ -26,18 +34,15 @@ std::optional<std::string> ResultCache::Lookup(const std::string& key,
 }
 
 void ResultCache::Insert(const std::string& key, std::string payload,
-                         uint64_t version) {
+                         const std::vector<std::string>& tags) {
   if (options_.capacity == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
+  if (it != index_.end()) EraseLocked(it->second);
   Entry entry;
   entry.key = key;
   entry.payload = std::move(payload);
-  entry.version = version;
+  entry.tags = tags;
   if (options_.ttl_seconds > 0.0) {
     entry.expires = true;
     entry.expires_at =
@@ -46,18 +51,39 @@ void ResultCache::Insert(const std::string& key, std::string payload,
   }
   lru_.push_front(std::move(entry));
   index_[key] = lru_.begin();
+  for (const auto& tag : tags) tag_index_[tag].insert(key);
   ++stats_.insertions;
   while (lru_.size() > options_.capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+    EraseLocked(std::prev(lru_.end()));
     ++stats_.evictions;
   }
+}
+
+size_t ResultCache::InvalidateTag(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto t = tag_index_.find(tag);
+  if (t == tag_index_.end()) return 0;
+  // EraseLocked mutates the tag's key set; drain a copy.
+  std::set<std::string> keys = std::move(t->second);
+  tag_index_.erase(t);
+  size_t dropped = 0;
+  for (const auto& key : keys) {
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;
+    EraseLocked(it->second);
+    ++dropped;
+  }
+  stats_.tag_invalidations += dropped;
+  stats_.invalidations += dropped;
+  return dropped;
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  tag_index_.clear();
+  ++stats_.flushes;
 }
 
 ResultCache::Stats ResultCache::stats() const {

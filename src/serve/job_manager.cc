@@ -31,6 +31,16 @@ std::string EncodeCheckpointState(
   return state.Dump();
 }
 
+/// Snapshot state for a backtest checkpoint: {"origins": [OriginEval...]}.
+std::string EncodeBacktestState(
+    const std::map<size_t, easytime::Json>& origins) {
+  easytime::Json state = easytime::Json::Object();
+  easytime::Json arr = easytime::Json::Array();
+  for (const auto& [index, rec] : origins) arr.Append(rec);
+  state.Set("origins", std::move(arr));
+  return state.Dump();
+}
+
 }  // namespace
 
 const char* JobStateName(JobState s) {
@@ -181,6 +191,38 @@ JobManager::OpenCheckpoint(
   return ckpt;
 }
 
+easytime::Result<std::unique_ptr<store::RecordStore>>
+JobManager::OpenBacktestCheckpoint(
+    const std::string& path, std::map<size_t, eval::OriginEval>* completed,
+    size_t* loaded) const {
+  *loaded = 0;
+  auto absorb = [completed](const easytime::Json& doc) {
+    auto rec = eval::OriginEval::FromJson(doc);
+    if (!rec.ok()) return;
+    const size_t index = rec->index;
+    (*completed)[index] = std::move(*rec);
+  };
+
+  store::RecordStoreOptions store_options;
+  store::RecordStoreRecovery recovery;
+  EASYTIME_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::RecordStore> ckpt,
+      store::RecordStore::Open(path, store_options, &recovery));
+  if (recovery.has_snapshot) {
+    auto snap = easytime::Json::Parse(recovery.snapshot);
+    if (snap.ok()) {
+      for (const auto& rec : snap->Get("origins").items()) absorb(rec);
+    }
+  }
+  for (const auto& [seq, payload] : recovery.tail) {
+    (void)seq;
+    auto doc = easytime::Json::Parse(payload);
+    if (doc.ok() && !doc->Has(kTerminalKey)) absorb(*doc);
+  }
+  *loaded = completed->size();
+  return ckpt;
+}
+
 void JobManager::SweepOrphanedCheckpointsLocked() {
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -285,6 +327,16 @@ JobManager::Stats JobManager::stats() const {
 
 void JobManager::RunJob(Job* job,
                         const std::shared_ptr<std::atomic<bool>>& cancel) {
+  const std::string type = job->config.GetString("type", "evaluate");
+  if (type == "backtest") {
+    RunBacktestJob(job, cancel);
+    return;
+  }
+  RunEvaluateJob(job, cancel);
+}
+
+void JobManager::RunEvaluateJob(
+    Job* job, const std::shared_ptr<std::atomic<bool>>& cancel) {
   pipeline::RunHooks hooks;
   hooks.cancelled = [cancel]() { return cancel->load(); };
   hooks.progress = [job](size_t done, size_t total) {
@@ -398,6 +450,139 @@ void JobManager::RunJob(Job* job,
     job->state = JobState::kFailed;
     ++stats_.failed;
     EASYTIME_LOG(Warning) << "evaluation job " << job->id
+                          << " failed: " << report.status().ToString();
+  }
+}
+
+void JobManager::RunBacktestJob(
+    Job* job, const std::shared_ptr<std::atomic<bool>>& cancel) {
+  auto finish_failed = [&](const Status& error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->error = error;
+    job->state = JobState::kFailed;
+    ++stats_.failed;
+    EASYTIME_LOG(Warning) << "backtest job " << job->id
+                          << " failed: " << error.ToString();
+  };
+
+  const std::string dataset = job->config.GetString("dataset", "");
+  if (dataset.empty()) {
+    finish_failed(
+        Status::InvalidArgument("backtest requires a \"dataset\" name"));
+    return;
+  }
+  auto config_or = eval::BacktestConfig::FromJson(job->config);
+  if (!config_or.ok()) {
+    finish_failed(config_or.status());
+    return;
+  }
+  // Snapshot under the facade's shared lock: streaming appends may be
+  // landing concurrently, and the backtest must see one consistent prefix.
+  auto series_or = system_->SeriesSnapshot(dataset);
+  if (!series_or.ok()) {
+    finish_failed(series_or.status());
+    return;
+  }
+
+  eval::BacktestHooks hooks;
+  hooks.cancelled = [cancel]() { return cancel->load(); };
+  hooks.progress = [job](size_t done, size_t total) {
+    job->done.store(done, std::memory_order_relaxed);
+    job->total.store(total, std::memory_order_relaxed);
+  };
+  hooks.max_threads = PerJobThreadBudget();
+  double deadline_ms = job->config.GetDouble("deadline_ms", 0.0);
+  if (deadline_ms > 0.0) {
+    hooks.deadline = easytime::Deadline::AfterMillis(deadline_ms);
+  }
+
+  const std::string ckpt_path = CheckpointPath(job->job_key);
+  std::map<size_t, eval::OriginEval> completed;
+  size_t resumed = 0;
+  std::mutex ckpt_mu;
+  std::unique_ptr<store::RecordStore> ckpt;
+  /// All checkpointed origins (resumed + this run's), keyed by ladder
+  /// index — the snapshot state a compaction writes. Guarded by ckpt_mu.
+  std::map<size_t, easytime::Json> ckpt_records;
+  size_t unsynced = 0;
+  if (!ckpt_path.empty()) {
+    auto ckpt_or = OpenBacktestCheckpoint(ckpt_path, &completed, &resumed);
+    if (ckpt_or.ok()) {
+      ckpt = std::move(*ckpt_or);
+    } else {
+      EASYTIME_LOG(Warning) << "job " << job->id
+                            << ": cannot open checkpoint store " << ckpt_path
+                            << " (" << ckpt_or.status().ToString()
+                            << "); running without one";
+    }
+    if (resumed > 0) {
+      hooks.completed = &completed;
+      EASYTIME_LOG(Info) << "job " << job->id << " resuming from " << resumed
+                         << " checkpointed origins (" << ckpt_path << ")";
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.resumed_records += resumed;
+    }
+    if (ckpt) {
+      for (const auto& [index, rec] : completed) {
+        ckpt_records[index] = rec.ToJson();
+      }
+      hooks.on_origin = [this, &ckpt_mu, &ckpt, &ckpt_records,
+                         &unsynced](const eval::OriginEval& rec) {
+        std::lock_guard<std::mutex> lock(ckpt_mu);
+        easytime::Json doc = rec.ToJson();
+        auto seq = ckpt->Append(doc.Dump());
+        if (!seq.ok()) {
+          EASYTIME_LOG(Warning) << "checkpoint append failed: "
+                                << seq.status().ToString();
+          return;
+        }
+        ckpt_records[rec.index] = std::move(doc);
+        if (++unsynced >= options_.checkpoint_every) {
+          (void)ckpt->Sync();
+          unsynced = 0;
+        }
+        if (options_.compact_every > 0 &&
+            ckpt->appends_since_compaction() >= options_.compact_every) {
+          auto st = ckpt->Compact(EncodeBacktestState(ckpt_records));
+          if (!st.ok()) {
+            EASYTIME_LOG(Warning) << "checkpoint compaction failed: "
+                                  << st.ToString();
+          }
+        }
+      };
+    }
+  }
+
+  auto report = eval::RunBacktest(series_or->values(),
+                                  series_or->period_hint(), *config_or, hooks);
+  if (ckpt && report.ok()) {
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    easytime::Json marker = easytime::Json::Object();
+    marker.Set(kTerminalKey, "done");
+    (void)ckpt->Append(marker.Dump());
+    (void)ckpt->Sync();
+  }
+  ckpt.reset();  // close the store's fds before any removal
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (report.ok()) {
+    easytime::Json result = report->ToJson();
+    result.Set("dataset", dataset);
+    job->result = std::move(result);
+    job->state = JobState::kDone;
+    ++stats_.completed;
+    if (!ckpt_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(ckpt_path, ec);
+    }
+  } else if (report.status().IsCancelled()) {
+    job->state = JobState::kCancelled;
+    ++stats_.cancelled;
+  } else {
+    job->error = report.status();
+    job->state = JobState::kFailed;
+    ++stats_.failed;
+    EASYTIME_LOG(Warning) << "backtest job " << job->id
                           << " failed: " << report.status().ToString();
   }
 }

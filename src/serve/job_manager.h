@@ -1,12 +1,14 @@
 #pragma once
 
 /// \file job_manager.h
-/// \brief The async lane: long-running OneClickEvaluate jobs submitted via
-/// the "evaluate" endpoint. Jobs queue into a bounded FIFO (admission
+/// \brief The async lane: long-running jobs submitted via the "evaluate"
+/// endpoint (OneClickEvaluate suites) and the "backtest" endpoint
+/// (rolling-origin backtests, eval/backtest.h) — the job config's "type"
+/// field picks the runner. Jobs queue into a bounded FIFO (admission
 /// control), run on a pool of worker threads (Options::concurrency, PR 4 —
 /// previously a single worker), report progress, and can be cancelled while
 /// queued or mid-run (the pipeline polls the cancellation flag between
-/// (method, dataset) pairs).
+/// (method, dataset) pairs; the backtest between origins).
 ///
 /// Thread budgeting: each running job caps its pipeline at
 /// Options::thread_budget concurrently evaluating threads, counting the
@@ -17,7 +19,8 @@
 /// Crash safety: with a checkpoint directory configured, each job_key owns
 /// a crash-safe record store at `<dir>/<job_key>.ckpt/` (storage engine,
 /// DESIGN.md §9). A worker appends each successfully evaluated
-/// (method, dataset) record to its WAL and periodically compacts
+/// (method, dataset) record — or, for backtest jobs, each finished
+/// forecast origin — to its WAL and periodically compacts
 /// (snapshot + covered-segment deletion, Options::compact_every) so very
 /// large suites don't grow an unbounded log. A job resubmitted with the
 /// same "job_key" — after a cancel, a crash, or on a fresh server pointed
@@ -50,6 +53,7 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "core/easytime.h"
+#include "eval/backtest.h"
 #include "pipeline/runner.h"
 #include "store/record_store.h"
 
@@ -153,6 +157,14 @@ class JobManager {
   /// Runs \p id, then any jobs parked behind it on the same job_key.
   void ProcessJob(uint64_t id);
   void RunJob(Job* job, const std::shared_ptr<std::atomic<bool>>& cancel);
+  /// The "evaluate" runner (OneClickEvaluate + RunRecord checkpoints).
+  void RunEvaluateJob(Job* job,
+                      const std::shared_ptr<std::atomic<bool>>& cancel);
+  /// The "backtest" runner: rolling-origin backtest over one stored
+  /// dataset, streaming each finished OriginEval into the checkpoint store
+  /// (keyed by ladder index) so a killed job resumes mid-ladder.
+  void RunBacktestJob(Job* job,
+                      const std::shared_ptr<std::atomic<bool>>& cancel);
   easytime::Json JobJsonLocked(const Job& job) const;
   /// Next job parked behind \p key, if any (caller holds mu_).
   std::optional<uint64_t> PopWaitingLocked(const std::string& key);
@@ -164,6 +176,12 @@ class JobManager {
   easytime::Result<std::unique_ptr<store::RecordStore>> OpenCheckpoint(
       const std::string& path,
       std::map<std::string, pipeline::RunRecord>* completed,
+      size_t* loaded) const;
+
+  /// Backtest counterpart of OpenCheckpoint: records are OriginEval JSON
+  /// keyed by ladder index; snapshots hold {"origins": [...]}.
+  easytime::Result<std::unique_ptr<store::RecordStore>> OpenBacktestCheckpoint(
+      const std::string& path, std::map<size_t, eval::OriginEval>* completed,
       size_t* loaded) const;
 
   /// Removes checkpoint stores whose persisted status is terminal — a

@@ -20,7 +20,7 @@ namespace {
 
 bool IsFastEndpoint(const std::string& endpoint) {
   return endpoint == "forecast" || endpoint == "recommend" ||
-         endpoint == "ask" || endpoint == "sql";
+         endpoint == "ask" || endpoint == "sql" || endpoint == "append";
 }
 
 }  // namespace
@@ -85,15 +85,17 @@ void ForecastServer::Start() {
 void ForecastServer::WarmCache() {
   // Default-parameter recommend responses for every stored dataset; the
   // canonical key matches what a {"dataset": name} request computes, so the
-  // first post-restart recommends are cache hits.
-  const uint64_t version = system_->knowledge().version();
+  // first post-restart recommends are cache hits. Warmed entries carry the
+  // dataset tag like organic ones — an append right after restart must drop
+  // them too.
   size_t warmed = 0;
   for (const auto& meta : system_->knowledge().datasets()) {
     easytime::Json params = easytime::Json::Object();
     params.Set("dataset", meta.name);
     auto result = ExecuteRecommend(params);
     if (!result.ok()) continue;
-    cache_.Insert(CanonicalKey("recommend", params), result->Dump(), version);
+    cache_.Insert(CanonicalKey("recommend", params), result->Dump(),
+                  {meta.name});
     ++warmed;
   }
   EASYTIME_LOG(Info) << "serve: warmed recommend cache for " << warmed
@@ -123,6 +125,16 @@ bool ForecastServer::IsCacheable(const std::string& endpoint) {
   // forecast/recommend are pure functions of (repository, request); ask is
   // not cached because follow-up questions depend on conversation history.
   return endpoint == "forecast" || endpoint == "recommend";
+}
+
+std::vector<std::string> ForecastServer::CacheTags(
+    const easytime::Json& params) {
+  // Tag cached entries with the stored dataset they were computed from so a
+  // streaming append to that dataset can invalidate exactly them. Inline
+  // "values" requests read no mutable state — untagged, TTL/LRU only.
+  std::string dataset = params.GetString("dataset", "");
+  if (dataset.empty()) return {};
+  return {std::move(dataset)};
 }
 
 std::string ForecastServer::BatchKey(const Request& req) {
@@ -216,6 +228,17 @@ easytime::Json ForecastServer::Dispatch(Request req) {
     RecordStats(endpoint, true, false, false, watch.ElapsedSeconds());
     return MakeOkResponse(req.id, std::move(result));
   }
+  if (endpoint == "flush_cache") {
+    // The drop-everything escape hatch (DESIGN.md §13): appends invalidate
+    // per-dataset tags, but an operator who distrusts the cache wholesale
+    // can still nuke it. Inline like the rest of the control plane.
+    const size_t dropped = cache_.size();
+    cache_.Clear();
+    easytime::Json result = easytime::Json::Object();
+    result.Set("flushed", static_cast<int64_t>(dropped));
+    RecordStats(endpoint, true, false, false, watch.ElapsedSeconds());
+    return MakeOkResponse(req.id, std::move(result));
+  }
   if (endpoint == "job_status" || endpoint == "cancel") {
     if (!req.params.Has("job") || !req.params.Get("job").is_number()) {
       RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
@@ -230,14 +253,27 @@ easytime::Json ForecastServer::Dispatch(Request req) {
     return MakeOkResponse(req.id, std::move(*result));
   }
 
-  // ----- async lane: evaluation jobs --------------------------------------
-  if (endpoint == "evaluate") {
+  // ----- async lane: evaluation + backtest jobs ----------------------------
+  if (endpoint == "evaluate" || endpoint == "backtest") {
     if (!accepting_.load()) {
       RecordStats(endpoint, false, true, false, watch.ElapsedSeconds());
       return MakeErrorResponse(req.id,
                                Status::Unavailable("server is not accepting"));
     }
-    auto job_id = jobs_.Submit(req.params);
+    easytime::Json job_config = req.params;
+    // The endpoint picks the job type; an explicit "type" in the params
+    // must agree (a backtest config submitted to "evaluate" is a client
+    // bug, not something to silently reinterpret).
+    if (job_config.Has("type") &&
+        job_config.GetString("type", "") != endpoint) {
+      RecordStats(endpoint, false, false, false, watch.ElapsedSeconds());
+      return MakeErrorResponse(
+          req.id, Status::InvalidArgument(
+                      "job \"type\" conflicts with the \"" + endpoint +
+                      "\" endpoint"));
+    }
+    job_config.Set("type", endpoint);
+    auto job_id = jobs_.Submit(job_config);
     const bool rejected = !job_id.ok() && job_id.status().IsUnavailable();
     RecordStats(endpoint, job_id.ok(), rejected, false,
                 watch.ElapsedSeconds());
@@ -265,7 +301,7 @@ easytime::Json ForecastServer::Dispatch(Request req) {
   task.deadline = deadline;
   if (IsCacheable(endpoint)) {
     task.cache_key = CanonicalKey(endpoint, task.request.params);
-    auto hit = cache_.Lookup(task.cache_key, system_->knowledge().version());
+    auto hit = cache_.Lookup(task.cache_key);
     if (hit) {
       auto payload = easytime::Json::Parse(*hit);
       if (payload.ok()) {
@@ -364,7 +400,7 @@ void ForecastServer::Fulfill(FastTask& task,
   // after the system recovered.
   if (!task.cache_key.empty() && !degraded) {
     cache_.Insert(task.cache_key, result.ValueOrDie().Dump(),
-                  system_->knowledge().version());
+                  CacheTags(task.request.params));
   }
   easytime::Json resp = MakeOkResponse(task.request.id, result.ValueOrDie());
   resp.Set("cached", false);
@@ -459,6 +495,7 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
     return ExecuteForecast(req.params, deadline);
   }
   if (req.endpoint == "recommend") return ExecuteRecommend(req.params);
+  if (req.endpoint == "append") return ExecuteAppend(req.params);
   if (req.endpoint == "ask") {
     EASYTIME_FAULT_POINT("serve.ask");
     std::string question = req.params.GetString("question", "");
@@ -501,6 +538,88 @@ easytime::Result<easytime::Json> ForecastServer::ExecuteFast(
   return Status::NotFound("unknown fast endpoint: " + req.endpoint);
 }
 
+easytime::Result<easytime::Json> ForecastServer::ExecuteAppend(
+    const easytime::Json& params) {
+  EASYTIME_FAULT_POINT("serve.append");
+  std::string dataset = params.GetString("dataset", "");
+  if (dataset.empty()) {
+    return Status::InvalidArgument("append requires a \"dataset\" name");
+  }
+  if (!params.Has("values") || !params.Get("values").is_array() ||
+      params.Get("values").size() == 0) {
+    return Status::InvalidArgument(
+        "append requires a non-empty \"values\" array");
+  }
+  const easytime::Json& arr = params.Get("values");
+  // Either one array of numbers (univariate shorthand) or an array of
+  // per-channel arrays; mixing the two shapes is malformed.
+  std::vector<std::vector<double>> channels;
+  const bool nested = arr.items().front().is_array();
+  if (nested) {
+    for (const auto& ch : arr.items()) {
+      if (!ch.is_array() || ch.size() == 0) {
+        return Status::InvalidArgument(
+            "append channels must be non-empty arrays of numbers");
+      }
+      std::vector<double> values;
+      values.reserve(ch.size());
+      for (const auto& v : ch.items()) {
+        if (!v.is_number()) {
+          return Status::TypeError("append values must be numbers");
+        }
+        values.push_back(v.AsDouble());
+      }
+      if (values.size() > options_.max_inline_values) {
+        return Status::InvalidArgument(
+            "append batch exceeds the " +
+            std::to_string(options_.max_inline_values) + "-point limit");
+      }
+      channels.push_back(std::move(values));
+    }
+  } else {
+    std::vector<double> values;
+    values.reserve(arr.size());
+    for (const auto& v : arr.items()) {
+      if (!v.is_number()) {
+        return Status::TypeError("append values must be numbers");
+      }
+      values.push_back(v.AsDouble());
+    }
+    if (values.size() > options_.max_inline_values) {
+      return Status::InvalidArgument(
+          "append batch exceeds the " +
+          std::to_string(options_.max_inline_values) + "-point limit");
+    }
+    channels.push_back(std::move(values));
+  }
+  std::optional<size_t> expected_start;
+  if (params.Has("start")) {
+    const easytime::Json& s = params.Get("start");
+    if (!s.is_number() || s.AsDouble() < 0.0 ||
+        s.AsDouble() != std::floor(s.AsDouble())) {
+      return Status::InvalidArgument(
+          "\"start\" must be a non-negative integer");
+    }
+    expected_start = static_cast<size_t>(s.AsInt());
+  }
+
+  EASYTIME_ASSIGN_OR_RETURN(
+      core::EasyTime::AppendOutcome outcome,
+      system_->AppendObservations(dataset, channels, expected_start));
+  // Only now — after the durable append succeeded — drop this dataset's
+  // cached responses. Other datasets' entries are untouched.
+  const size_t invalidated = cache_.InvalidateTag(dataset);
+
+  easytime::Json result = easytime::Json::Object();
+  result.Set("dataset", dataset);
+  result.Set("appended", static_cast<int64_t>(outcome.appended));
+  result.Set("length", static_cast<int64_t>(outcome.length));
+  result.Set("characteristics_refreshed", outcome.characteristics_refreshed);
+  result.Set("data_version", static_cast<int64_t>(outcome.data_version));
+  result.Set("cache_invalidated", static_cast<int64_t>(invalidated));
+  return result;
+}
+
 easytime::Result<std::vector<double>> ForecastServer::ResolveSeries(
     const easytime::Json& params, std::string* source_name) const {
   if (params.Has("values")) {
@@ -529,10 +648,12 @@ easytime::Result<std::vector<double>> ForecastServer::ResolveSeries(
     return Status::InvalidArgument(
         "request needs either \"dataset\" or \"values\"");
   }
-  EASYTIME_ASSIGN_OR_RETURN(const tsdata::Dataset* ds,
-                            system_->repository()->Get(dataset));
+  // Copy under the facade's shared lock: the series may be growing via
+  // concurrent appends, and a raw repository pointer would race with them.
+  EASYTIME_ASSIGN_OR_RETURN(tsdata::Series series,
+                            system_->SeriesSnapshot(dataset));
   if (source_name) *source_name = dataset;
-  return ds->primary().values();
+  return std::move(series.mutable_values());
 }
 
 easytime::Result<easytime::Json> ForecastServer::ExecuteForecast(
@@ -731,6 +852,8 @@ easytime::Json ForecastServer::StatsJson() const {
   cache.Set("insertions", static_cast<int64_t>(cs.insertions));
   cache.Set("evictions", static_cast<int64_t>(cs.evictions));
   cache.Set("invalidations", static_cast<int64_t>(cs.invalidations));
+  cache.Set("tag_invalidations", static_cast<int64_t>(cs.tag_invalidations));
+  cache.Set("flushes", static_cast<int64_t>(cs.flushes));
 
   JobManager::Stats js = jobs_.stats();
   easytime::Json jobs = easytime::Json::Object();

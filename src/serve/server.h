@@ -6,22 +6,25 @@
 /// request.h) from in-process clients (HandleLine/Call) and, via
 /// serve/tcp_server.h, from a loopback TCP listener.
 ///
-/// Architecture (DESIGN.md §6):
-///  - Fast lane: forecast / recommend / ask / sql requests claim a
+/// Architecture (DESIGN.md §6, §13):
+///  - Fast lane: forecast / recommend / ask / sql / append requests claim a
 ///    per-endpoint weighted queue slot (class over quota with no shared
 ///    headroom => Unavailable, the admission-control contract; see
 ///    serve/admission.h); a dispatcher thread routes them to a worker pool
 ///    through per-class run queues with guaranteed worker shares,
 ///    micro-batching same-method forecast requests (serve/batcher.h).
-///  - Async lane: "evaluate" submits a OneClickEvaluate job to a bounded
-///    job queue (serve/job_manager.h); clients poll "job_status" and may
-///    "cancel" queued or in-flight jobs.
-///  - Control plane: "stats", "job_status", "cancel" and "ping" execute
-///    inline on the calling thread — they must stay responsive even when
-///    the lanes are saturated.
+///  - Async lane: "evaluate" submits a OneClickEvaluate job, "backtest" a
+///    rolling-origin backtest job, to a bounded job queue
+///    (serve/job_manager.h); clients poll "job_status" and may "cancel"
+///    queued or in-flight jobs.
+///  - Control plane: "stats", "job_status", "cancel", "flush_cache" and
+///    "ping" execute inline on the calling thread — they must stay
+///    responsive even when the lanes are saturated.
 ///  - Result cache: forecast/recommend responses are cached (LRU + TTL)
-///    under the canonical request key and invalidated when the knowledge
-///    base version moves (serve/cache.h).
+///    under the canonical request key, tagged with the dataset they read;
+///    a streaming append drops exactly that dataset's entries
+///    (fine-grained tag invalidation, serve/cache.h) while "flush_cache"
+///    remains the drop-everything escape hatch.
 
 #include <atomic>
 #include <cstdint>
@@ -97,7 +100,8 @@ class ForecastServer {
     /// guarantees, see serve/admission.h). Endpoints absent from the map
     /// get weight 1.
     std::map<std::string, double> endpoint_weights = {
-        {"forecast", 4.0}, {"recommend", 2.0}, {"ask", 2.0}, {"sql", 2.0}};
+        {"forecast", 4.0}, {"recommend", 2.0}, {"ask", 2.0}, {"sql", 2.0},
+        {"append", 1.0}};
     /// Brownout hysteresis as fractions of fast_queue_capacity: enter
     /// degraded mode at/above the first, leave at/below the second.
     double brownout_enter_fraction = 0.75;
@@ -162,6 +166,11 @@ class ForecastServer {
   easytime::Result<easytime::Json> ExecuteRecommend(
       const easytime::Json& params) const;
 
+  /// \brief Streaming ingestion: durably appends observations to a stored
+  /// dataset via the facade, then drops exactly that dataset's cache
+  /// entries (tag invalidation) — other datasets' entries stay hot.
+  easytime::Result<easytime::Json> ExecuteAppend(const easytime::Json& params);
+
   /// Degraded recommend path: methods ranked by mean MAE over every
   /// benchmark result (dataset-agnostic), used when the classifier fails.
   easytime::Result<ensemble::Recommendation> GlobalAverageRanking(
@@ -188,6 +197,9 @@ class ForecastServer {
 
   static bool IsCacheable(const std::string& endpoint);
   static std::string BatchKey(const Request& req);
+  /// Cache tags for a request: the "dataset" it reads, when it names one
+  /// (inline-values requests are untagged — nothing ever mutates them).
+  static std::vector<std::string> CacheTags(const easytime::Json& params);
 
   core::EasyTime* system_;
   Options options_;

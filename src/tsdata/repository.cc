@@ -32,6 +32,14 @@ easytime::Result<const Dataset*> Repository::Get(
   return &it->second;
 }
 
+easytime::Result<Dataset*> Repository::GetMutable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  return &it->second;
+}
+
 bool Repository::Contains(const std::string& name) const {
   return by_name_.count(name) > 0;
 }

@@ -25,6 +25,11 @@ class Repository {
   /// Looks a dataset up by exact name.
   easytime::Result<const Dataset*> Get(const std::string& name) const;
 
+  /// \brief Mutable lookup for the streaming-ingestion path. Callers own the
+  /// concurrency story: the core facade only mutates datasets under its
+  /// exclusive lock (see EasyTime::AppendObservations).
+  easytime::Result<Dataset*> GetMutable(const std::string& name);
+
   bool Contains(const std::string& name) const;
   size_t size() const { return order_.size(); }
 

@@ -1,6 +1,7 @@
 #include "tsdata/series.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -46,6 +47,39 @@ easytime::Status Dataset::AddChannel(Series s) {
         " does not match dataset length " + std::to_string(length()));
   }
   channels_.push_back(std::move(s));
+  return Status::OK();
+}
+
+easytime::Status Dataset::AppendObservations(
+    const std::vector<std::vector<double>>& per_channel) {
+  if (channels_.empty()) {
+    return Status::InvalidArgument("dataset '" + name_ + "' has no channels");
+  }
+  if (per_channel.size() != channels_.size()) {
+    return Status::InvalidArgument(
+        "append carries " + std::to_string(per_channel.size()) +
+        " channels; dataset '" + name_ + "' has " +
+        std::to_string(channels_.size()));
+  }
+  const size_t batch = per_channel[0].size();
+  if (batch == 0) {
+    return Status::InvalidArgument("append batch must be non-empty");
+  }
+  for (const auto& ch : per_channel) {
+    if (ch.size() != batch) {
+      return Status::InvalidArgument(
+          "append channels have unequal lengths; channels must stay aligned");
+    }
+    for (double v : ch) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("appended values must be finite");
+      }
+    }
+  }
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    auto& values = channels_[c].mutable_values();
+    values.insert(values.end(), per_channel[c].begin(), per_channel[c].end());
+  }
   return Status::OK();
 }
 

@@ -103,6 +103,12 @@ class Dataset {
   /// Adds a channel; all channels must share the dataset length.
   easytime::Status AddChannel(Series s);
 
+  /// \brief Appends one batch of observations to every channel: one inner
+  /// vector per channel, all the same non-zero length, all values finite.
+  /// Channels stay aligned or the call fails without mutating anything.
+  easytime::Status AppendObservations(
+      const std::vector<std::vector<double>>& per_channel);
+
   /// The primary channel (channel 0) — the univariate view of the dataset.
   const Series& primary() const { return channels_[0]; }
 

@@ -1,0 +1,356 @@
+// Rolling-origin backtest engine (eval/backtest.h): ladder math, config
+// validation, expanding vs sliding windows, determinism across thread
+// counts, cooperative cancellation/deadlines, and the checkpoint-resume
+// splice contract the serving layer builds on.
+
+#include "eval/backtest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tsdata/generator.h"
+
+namespace easytime::eval {
+namespace {
+
+std::vector<double> SeasonalSeries(size_t n, uint64_t seed = 11) {
+  tsdata::GeneratorConfig cfg;
+  cfg.name = "bt";
+  cfg.length = n;
+  cfg.period = 12;
+  cfg.season_amp = 3.0;
+  cfg.trend_slope = 0.02;
+  cfg.noise_std = 0.4;
+  cfg.seed = seed;
+  return tsdata::GenerateSeries(cfg).values();
+}
+
+/// Zeroes the wall-clock field so reports can be compared bit-for-bit:
+/// fit_seconds is timing telemetry, everything else is deterministic.
+Json CanonicalReport(const BacktestReport& report) {
+  Json j = report.ToJson();
+  Json origins = Json::Array();
+  for (const auto& o : j.Get("origins").items()) {
+    Json c = o;
+    c.Set("fit_seconds", 0.0);
+    origins.Append(std::move(c));
+  }
+  j.Set("origins", std::move(origins));
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Origin ladder
+// ---------------------------------------------------------------------------
+
+TEST(BacktestLadderTest, OriginsAreAnchoredToTheSeriesEnd) {
+  BacktestConfig cfg;
+  cfg.origins = 4;
+  cfg.horizon = 24;
+  cfg.stride = 0;  // defaults to horizon: non-overlapping evaluation windows
+  auto origins = BacktestOrigins(200, cfg);
+  ASSERT_TRUE(origins.ok()) << origins.status().ToString();
+  EXPECT_EQ(*origins, (std::vector<size_t>{104, 128, 152, 176}));
+  // The last origin forecasts exactly the final horizon values.
+  EXPECT_EQ(origins->back() + cfg.horizon, 200u);
+}
+
+TEST(BacktestLadderTest, ExplicitStrideOverlapsWindows) {
+  BacktestConfig cfg;
+  cfg.origins = 3;
+  cfg.horizon = 24;
+  cfg.stride = 6;
+  auto origins = BacktestOrigins(100, cfg);
+  ASSERT_TRUE(origins.ok());
+  EXPECT_EQ(*origins, (std::vector<size_t>{64, 70, 76}));
+}
+
+TEST(BacktestLadderTest, TooShortSeriesIsInvalidArgument) {
+  BacktestConfig cfg;
+  cfg.origins = 8;
+  cfg.horizon = 24;
+  cfg.min_train = 32;
+  // span = 24 + 7*24 = 192; need >= 224 points.
+  EXPECT_TRUE(BacktestOrigins(223, cfg).status().IsInvalidArgument());
+  EXPECT_TRUE(BacktestOrigins(224, cfg).ok());
+}
+
+TEST(BacktestLadderTest, SlidingWindowMustFitBeforeTheFirstOrigin) {
+  BacktestConfig cfg;
+  cfg.origins = 2;
+  cfg.horizon = 10;
+  cfg.window = BacktestWindow::kSliding;
+  cfg.window_size = 90;  // first origin for n=100 is at 80 < 90
+  EXPECT_TRUE(BacktestOrigins(100, cfg).status().IsInvalidArgument());
+  cfg.window_size = 16;  // smaller than min_train (32)
+  EXPECT_TRUE(BacktestOrigins(100, cfg).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing
+// ---------------------------------------------------------------------------
+
+TEST(BacktestConfigTest, FromJsonValidatesAgainstTheRegistries) {
+  auto bad_method = Json::Parse(R"({"method": "no_such_method"})");
+  ASSERT_TRUE(bad_method.ok());
+  EXPECT_TRUE(BacktestConfig::FromJson(*bad_method).status().IsNotFound());
+
+  auto bad_metric =
+      Json::Parse(R"({"method": "theta", "metrics": ["no_such_metric"]})");
+  ASSERT_TRUE(bad_metric.ok());
+  EXPECT_TRUE(BacktestConfig::FromJson(*bad_metric).status().IsNotFound());
+
+  auto bad_conf = Json::Parse(R"({"method": "theta", "confidence": 1.5})");
+  ASSERT_TRUE(bad_conf.ok());
+  EXPECT_TRUE(
+      BacktestConfig::FromJson(*bad_conf).status().IsInvalidArgument());
+
+  auto bad_window = Json::Parse(R"({"method": "theta", "window": "rolling"})");
+  ASSERT_TRUE(bad_window.ok());
+  EXPECT_TRUE(
+      BacktestConfig::FromJson(*bad_window).status().IsInvalidArgument());
+
+  auto good = Json::Parse(R"({
+    "method": "ses", "origins": 5, "horizon": 12, "stride": 3,
+    "window": "sliding", "window_size": 64, "confidence": 0.9,
+    "metrics": ["mase", "smape"]
+  })");
+  ASSERT_TRUE(good.ok());
+  auto cfg = BacktestConfig::FromJson(*good);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_EQ(cfg->method, "ses");
+  EXPECT_EQ(cfg->origins, 5u);
+  EXPECT_EQ(cfg->window, BacktestWindow::kSliding);
+  EXPECT_EQ(cfg->window_size, 64u);
+  EXPECT_EQ(cfg->metrics, (std::vector<std::string>{"mase", "smape"}));
+}
+
+TEST(BacktestConfigTest, ConfigRoundTripsThroughJson) {
+  BacktestConfig cfg;
+  cfg.method = "holt";
+  cfg.origins = 6;
+  cfg.stride = 4;
+  cfg.window = BacktestWindow::kSliding;
+  cfg.window_size = 80;
+  cfg.confidence = 0.8;
+  auto back = BacktestConfig::FromJson(cfg.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson().Dump(), cfg.ToJson().Dump());
+}
+
+TEST(BacktestConfigTest, OriginEvalRoundTripsThroughJson) {
+  OriginEval o;
+  o.index = 3;
+  o.origin = 144;
+  o.train_size = 100;
+  o.metrics = {{"mae", 1.25}, {"mase", 0.9}};
+  o.coverage = 0.875;
+  o.interval_width = 2.5;
+  o.fit_seconds = 0.001;
+  auto back = OriginEval::FromJson(o.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson().Dump(), o.ToJson().Dump());
+}
+
+// ---------------------------------------------------------------------------
+// Engine behaviour
+// ---------------------------------------------------------------------------
+
+TEST(BacktestEngineTest, ExpandingWindowReportsEveryOrigin) {
+  std::vector<double> values = SeasonalSeries(240);
+  BacktestConfig cfg;
+  cfg.method = "theta";
+  cfg.origins = 4;
+  cfg.horizon = 12;
+  auto report = RunBacktest(values, 12, cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->origins.size(), 4u);
+  EXPECT_EQ(report->resumed, 0u);
+  size_t expected_origin = 240 - 12 - 3 * 12;
+  for (size_t i = 0; i < 4; ++i) {
+    const OriginEval& o = report->origins[i];
+    EXPECT_EQ(o.index, i);
+    EXPECT_EQ(o.origin, expected_origin + i * 12);
+    // Expanding: the train grows by one stride per origin.
+    EXPECT_EQ(o.train_size, o.origin);
+    EXPECT_GE(o.coverage, 0.0);
+    EXPECT_LE(o.coverage, 1.0);
+    EXPECT_GT(o.interval_width, 0.0);
+    for (const auto& name : cfg.metrics) {
+      ASSERT_TRUE(o.metrics.count(name)) << name;
+      EXPECT_TRUE(std::isfinite(o.metrics.at(name))) << name;
+    }
+  }
+  for (const auto& name : cfg.metrics) {
+    ASSERT_TRUE(report->aggregate.count(name));
+    EXPECT_TRUE(std::isfinite(report->aggregate.at(name)));
+  }
+}
+
+TEST(BacktestEngineTest, SlidingWindowKeepsTrainSizeConstant) {
+  std::vector<double> values = SeasonalSeries(300);
+  BacktestConfig cfg;
+  cfg.method = "ses";
+  cfg.origins = 5;
+  cfg.horizon = 10;
+  cfg.window = BacktestWindow::kSliding;
+  cfg.window_size = 96;
+  auto report = RunBacktest(values, 12, cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const auto& o : report->origins) {
+    EXPECT_EQ(o.train_size, 96u);
+  }
+  // window_size 0 pins the width to the first origin's position.
+  cfg.window_size = 0;
+  auto report0 = RunBacktest(values, 12, cfg);
+  ASSERT_TRUE(report0.ok());
+  size_t first = report0->origins.front().origin;
+  for (const auto& o : report0->origins) {
+    EXPECT_EQ(o.train_size, first);
+  }
+}
+
+TEST(BacktestEngineTest, ProgressAndOnOriginStreamEveryOrigin) {
+  std::vector<double> values = SeasonalSeries(220);
+  BacktestConfig cfg;
+  cfg.method = "naive";
+  cfg.origins = 6;
+  cfg.horizon = 8;
+  BacktestHooks hooks;
+  std::atomic<size_t> streamed{0};
+  size_t last_done = 0, last_total = 0;
+  hooks.on_origin = [&](const OriginEval& o) {
+    EXPECT_LT(o.index, 6u);
+    streamed.fetch_add(1);
+  };
+  hooks.progress = [&](size_t done, size_t total) {
+    last_done = done;  // serialized under the engine's emit lock
+    last_total = total;
+  };
+  auto report = RunBacktest(values, 0, cfg, hooks);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(streamed.load(), 6u);
+  EXPECT_EQ(last_done, 6u);
+  EXPECT_EQ(last_total, 6u);
+}
+
+TEST(BacktestEngineTest, CancellationAbortsWithCancelled) {
+  std::vector<double> values = SeasonalSeries(400);
+  BacktestConfig cfg;
+  cfg.method = "theta";
+  cfg.origins = 8;
+  cfg.horizon = 12;
+  BacktestHooks hooks;
+  std::atomic<size_t> seen{0};
+  hooks.max_threads = 1;  // deterministic: cancel lands between origins
+  hooks.cancelled = [&]() { return seen.load() >= 2; };
+  hooks.on_origin = [&](const OriginEval&) { seen.fetch_add(1); };
+  auto report = RunBacktest(values, 12, cfg, hooks);
+  EXPECT_TRUE(report.status().IsCancelled()) << report.status().ToString();
+  EXPECT_LT(seen.load(), 8u);
+}
+
+TEST(BacktestEngineTest, ExpiredDeadlineAbortsWithDeadlineExceeded) {
+  std::vector<double> values = SeasonalSeries(240);
+  BacktestConfig cfg;
+  cfg.method = "ses";
+  cfg.origins = 4;
+  cfg.horizon = 12;
+  BacktestHooks hooks;
+  hooks.deadline = easytime::Deadline::AfterMillis(0.001);
+  auto report = RunBacktest(values, 12, cfg, hooks);
+  EXPECT_TRUE(report.status().IsDeadlineExceeded())
+      << report.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: 1 thread vs N threads, bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(BacktestDeterminismTest, ReportIsBitIdenticalAcrossThreadCounts) {
+  std::vector<double> values = SeasonalSeries(360, 23);
+  for (const char* method : {"theta", "ses", "seasonal_naive"}) {
+    BacktestConfig cfg;
+    cfg.method = method;
+    cfg.origins = 6;
+    cfg.horizon = 12;
+    BacktestHooks seq;
+    seq.max_threads = 1;
+    auto sequential = RunBacktest(values, 12, cfg, seq);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+    BacktestHooks par;
+    par.max_threads = 4;
+    auto parallel = RunBacktest(values, 12, cfg, par);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+    EXPECT_EQ(CanonicalReport(*sequential).Dump(),
+              CanonicalReport(*parallel).Dump())
+        << method << ": fan-out must not change the report";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resume splice
+// ---------------------------------------------------------------------------
+
+TEST(BacktestResumeTest, CompletedOriginsAreSplicedWithoutReEvaluation) {
+  std::vector<double> values = SeasonalSeries(280, 5);
+  BacktestConfig cfg;
+  cfg.method = "holt";
+  cfg.origins = 6;
+  cfg.horizon = 10;
+  auto full = RunBacktest(values, 12, cfg);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  // Pretend the first run died after finishing origins {0, 2, 3}.
+  std::map<size_t, OriginEval> completed;
+  for (size_t i : {0u, 2u, 3u}) completed[i] = full->origins[i];
+
+  BacktestHooks hooks;
+  hooks.completed = &completed;
+  std::vector<size_t> reran;
+  hooks.on_origin = [&](const OriginEval& o) { reran.push_back(o.index); };
+  auto resumed = RunBacktest(values, 12, cfg, hooks);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  // Only the missing origins were re-evaluated...
+  std::sort(reran.begin(), reran.end());
+  EXPECT_EQ(reran, (std::vector<size_t>{1, 4, 5}));
+  EXPECT_EQ(resumed->resumed, 3u);
+  // ...and the report is unchanged (splicing is transparent).
+  Json a = CanonicalReport(*full);
+  a.Set("resumed", static_cast<int64_t>(3));
+  EXPECT_EQ(a.Dump(), CanonicalReport(*resumed).Dump());
+}
+
+TEST(BacktestResumeTest, FullyCheckpointedRunReEvaluatesNothing) {
+  std::vector<double> values = SeasonalSeries(260, 9);
+  BacktestConfig cfg;
+  cfg.method = "drift";
+  cfg.origins = 4;
+  cfg.horizon = 12;
+  auto full = RunBacktest(values, 12, cfg);
+  ASSERT_TRUE(full.ok());
+  std::map<size_t, OriginEval> completed;
+  for (const auto& o : full->origins) completed[o.index] = o;
+
+  BacktestHooks hooks;
+  hooks.completed = &completed;
+  size_t reran = 0;
+  hooks.on_origin = [&](const OriginEval&) { ++reran; };
+  auto resumed = RunBacktest(values, 12, cfg, hooks);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(reran, 0u);
+  EXPECT_EQ(resumed->resumed, 4u);
+  EXPECT_EQ(resumed->origins.size(), 4u);
+}
+
+}  // namespace
+}  // namespace easytime::eval

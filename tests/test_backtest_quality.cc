@@ -1,0 +1,168 @@
+// Forecast-quality regression harness (ISSUE 9 satellite): golden-pinned
+// rolling-origin backtest metrics for the smoothing/naive/theta family on a
+// fixed seeded series, plus distribution-level bounds (interval coverage on
+// Gaussian random walks). The family under test is scalar arithmetic only —
+// no matrix kernels — so the pinned values must reproduce bit-for-bit on
+// the reference AND fast-math kernel tiers (EASYTIME_FAST_MATH), making
+// this suite the tripwire for silent forecast-quality regressions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/backtest.h"
+#include "tsdata/generator.h"
+
+namespace easytime::eval {
+namespace {
+
+/// The fixed quality-suite series: trending + seasonal + AR noise, one
+/// canonical seed. Changing the generator is a quality-suite event and must
+/// re-pin the goldens below.
+std::vector<double> GoldenSeries() {
+  tsdata::GeneratorConfig cfg;
+  cfg.name = "quality";
+  cfg.length = 320;
+  cfg.level = 20.0;
+  cfg.period = 12;
+  cfg.season_amp = 4.0;
+  cfg.trend_slope = 0.03;
+  cfg.noise_std = 0.6;
+  cfg.ar_coef = 0.4;
+  cfg.seed = 20260808;
+  return tsdata::GenerateSeries(cfg).values();
+}
+
+BacktestConfig GoldenConfig(const std::string& method) {
+  BacktestConfig cfg;
+  cfg.method = method;
+  cfg.origins = 5;
+  cfg.horizon = 12;
+  cfg.metrics = {"mase", "smape", "mae"};
+  cfg.confidence = 0.95;
+  return cfg;
+}
+
+struct GoldenRow {
+  const char* method;
+  double mase;
+  double smape;
+  double mae;
+  double coverage;
+};
+
+// ---------------------------------------------------------------------------
+// Golden pins
+// ---------------------------------------------------------------------------
+
+TEST(BacktestQualityTest, GoldenMetricsForSmoothingNaiveThetaFamily) {
+  const std::vector<double> values = GoldenSeries();
+  // Pinned from the reference run; the tolerance absorbs libm ULP drift,
+  // nothing more. A change here is a forecast-quality change — investigate,
+  // don't re-pin blindly.
+  const GoldenRow kGolden[] = {
+      {"naive", 3.1911698336060557, 9.0122300806153657, 2.5826590100073030,
+       0.98333333333333317},
+      {"seasonal_naive", 1.0836589656549602, 3.1324201596080870,
+       0.87680243408966374, 0.94999999999999996},
+      {"drift", 3.1107200648469862, 8.7891902133523878, 2.5174835891191853,
+       1.0},
+      {"ses", 3.1923034743175149, 9.0151907709636365, 2.5835626370904827,
+       0.98333333333333317},
+      {"holt", 11.747742609175972, 45.294302130374049, 9.5347135665462339,
+       1.0},
+      {"theta", 1.0403151977739153, 2.9939965330887608, 0.84145085409854981,
+       0.94999999999999996},
+  };
+  for (const auto& row : kGolden) {
+    auto report = RunBacktest(values, 12, GoldenConfig(row.method));
+    ASSERT_TRUE(report.ok()) << row.method << ": "
+                             << report.status().ToString();
+    EXPECT_NEAR(report->aggregate.at("mase"), row.mase, 1e-6) << row.method;
+    EXPECT_NEAR(report->aggregate.at("smape"), row.smape, 1e-6) << row.method;
+    EXPECT_NEAR(report->aggregate.at("mae"), row.mae, 1e-6) << row.method;
+    EXPECT_NEAR(report->coverage, row.coverage, 1e-9) << row.method;
+  }
+}
+
+TEST(BacktestQualityTest, SeasonalAwareMethodsBeatNaiveOnSeasonalData) {
+  // Ordering assertions are robust to re-pinning: on strongly seasonal data
+  // the seasonal/theta family must beat plain naive by a clear margin.
+  const std::vector<double> values = GoldenSeries();
+  auto naive = RunBacktest(values, 12, GoldenConfig("naive"));
+  auto seasonal = RunBacktest(values, 12, GoldenConfig("seasonal_naive"));
+  auto theta = RunBacktest(values, 12, GoldenConfig("theta"));
+  ASSERT_TRUE(naive.ok() && seasonal.ok() && theta.ok());
+  EXPECT_LT(seasonal->aggregate.at("mase"), naive->aggregate.at("mase"));
+  EXPECT_LT(theta->aggregate.at("mase"), naive->aggregate.at("mase"));
+}
+
+TEST(BacktestQualityTest, GoldenReportIsStableAcrossRepeatRuns) {
+  // Two runs in the same process must agree exactly (no hidden state in the
+  // registry, the scaler, or the fan-out).
+  const std::vector<double> values = GoldenSeries();
+  auto a = RunBacktest(values, 12, GoldenConfig("theta"));
+  auto b = RunBacktest(values, 12, GoldenConfig("theta"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->aggregate.at("mase"), b->aggregate.at("mase"));
+  EXPECT_EQ(a->coverage, b->coverage);
+  EXPECT_EQ(a->mean_interval_width, b->mean_interval_width);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical bounds: interval calibration on random walks
+// ---------------------------------------------------------------------------
+
+TEST(BacktestQualityTest, NaiveIntervalsCoverRandomWalksAtRoughly95Percent) {
+  // Naive's analytic prediction intervals are exact for a Gaussian random
+  // walk, so across many independent walks the 95% intervals must cover
+  // roughly 95% of future values. 60 walks x 3 origins x 8 steps = 1440
+  // Bernoulli(0.95ish) draws; [0.90, 0.99] is a ~6-sigma acceptance band —
+  // a miscalibrated interval formula lands far outside it.
+  double total_coverage = 0.0;
+  size_t runs = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    tsdata::GeneratorConfig cfg;
+    cfg.name = "walk";
+    cfg.length = 200;
+    cfg.level = 50.0;
+    cfg.noise_std = 1.0;
+    cfg.random_walk = true;
+    cfg.seed = seed;
+    std::vector<double> values = tsdata::GenerateSeries(cfg).values();
+
+    BacktestConfig bt;
+    bt.method = "naive";
+    bt.origins = 3;
+    bt.horizon = 8;
+    bt.confidence = 0.95;
+    bt.scaler = "none";
+    bt.metrics = {"mae"};
+    auto report = RunBacktest(values, 0, bt);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    total_coverage += report->coverage;
+    ++runs;
+  }
+  const double mean_coverage = total_coverage / static_cast<double>(runs);
+  EXPECT_GE(mean_coverage, 0.90) << "intervals are too narrow";
+  EXPECT_LE(mean_coverage, 0.99) << "intervals are too wide";
+}
+
+TEST(BacktestQualityTest, HigherConfidenceWidensIntervalsAndCoverage) {
+  const std::vector<double> values = GoldenSeries();
+  BacktestConfig narrow = GoldenConfig("ses");
+  narrow.confidence = 0.5;
+  BacktestConfig wide = GoldenConfig("ses");
+  wide.confidence = 0.99;
+  auto n = RunBacktest(values, 12, narrow);
+  auto w = RunBacktest(values, 12, wide);
+  ASSERT_TRUE(n.ok() && w.ok());
+  EXPECT_LT(n->mean_interval_width, w->mean_interval_width);
+  EXPECT_LE(n->coverage, w->coverage);
+}
+
+}  // namespace
+}  // namespace easytime::eval

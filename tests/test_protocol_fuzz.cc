@@ -66,7 +66,7 @@ class FrameGen {
   explicit FrameGen(uint64_t seed) : rng_(seed) {}
 
   Frame Next() {
-    switch (Pick(10)) {
+    switch (Pick(11)) {
       case 0: return AsciiGarbage();
       case 1: return BinaryNoise();
       case 2: return TruncatedJson();
@@ -76,6 +76,7 @@ class FrameGen {
       case 6: return DeepNesting();
       case 7: return HugeTerminatedLine();
       case 8: return Oversized();
+      case 9: return MalformedAppend();
       default: return ValidPing();
     }
   }
@@ -159,6 +160,27 @@ class FrameGen {
     // Past the event loop's line cap with no newline: one error response,
     // then close.
     return {std::string(5000, 'z'), true, true};
+  }
+
+  Frame MalformedAppend() {
+    // Well-formed envelopes carrying broken append params: unknown dataset,
+    // type-confused/empty/ragged values, negative or gap-leaving starts.
+    // Every one must come back as a well-formed error envelope and leave
+    // stored series untouched.
+    static const char* kShapes[] = {
+        R"({"id": 7, "endpoint": "append", "params": {}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [1.0]}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": 42, "values": [1.0]}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds"}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": []}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": "nope"}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [[1.0], []]}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [1.0, "x"]}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [1.0], "start": -3}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [1.0], "start": 1.5}})",
+        R"({"id": 7, "endpoint": "append", "params": {"dataset": "no_such_ds", "values": [1.0], "start": 999999}})",
+    };
+    return {std::string(kShapes[Pick(11)]) + "\n", true, false};
   }
 
   Frame ValidPing() {

@@ -298,7 +298,7 @@ TEST_F(ServeTest, CacheHitOnRepeatAndKeyOrderInsensitive) {
   EXPECT_TRUE(hit2.GetBool("cached", false));
 }
 
-TEST_F(ServeTest, CacheInvalidatedByKnowledgeBaseAppend) {
+TEST_F(ServeTest, CacheSurvivesEvaluationAndIsInvalidatedByAppend) {
   Json first = MustParse(
       server_->HandleLine(ForecastLine(FirstDataset(), "holt", 200)));
   ASSERT_TRUE(first.GetBool("ok", false));
@@ -306,8 +306,10 @@ TEST_F(ServeTest, CacheInvalidatedByKnowledgeBaseAppend) {
       server_->HandleLine(ForecastLine(FirstDataset(), "holt", 201)));
   EXPECT_TRUE(warm.GetBool("cached", false));
 
-  // An evaluation appends to the knowledge base and bumps its version —
-  // every cached result is now stale.
+  // An evaluation appends results to the knowledge base (its version moves)
+  // but changes no series data — under tag-based invalidation the cached
+  // forecast stays valid. This is exactly the over-invalidation the old
+  // version-counter scheme suffered from.
   uint64_t before = system_->knowledge().version();
   auto cfg = Json::Parse(R"({
     "methods": ["window_average"],
@@ -318,8 +320,24 @@ TEST_F(ServeTest, CacheInvalidatedByKnowledgeBaseAppend) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(system_->knowledge().version(), before);
 
-  Json cold = MustParse(
+  Json still_warm = MustParse(
       server_->HandleLine(ForecastLine(FirstDataset(), "holt", 202)));
+  ASSERT_TRUE(still_warm.GetBool("ok", false));
+  EXPECT_TRUE(still_warm.GetBool("cached", false));
+
+  // A streaming append to the dataset the entry was computed from DOES
+  // invalidate it.
+  Json append = Json::Object();
+  append.Set("dataset", FirstDataset());
+  Json values = Json::Array();
+  for (int i = 0; i < 4; ++i) values.Append(1.0 + 0.1 * i);
+  append.Set("values", std::move(values));
+  auto appended = server_->Call("append", append);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_GE(appended->GetInt("cache_invalidated", 0), 1);
+
+  Json cold = MustParse(
+      server_->HandleLine(ForecastLine(FirstDataset(), "holt", 203)));
   ASSERT_TRUE(cold.GetBool("ok", false));
   EXPECT_FALSE(cold.GetBool("cached", true));
 }
@@ -380,7 +398,7 @@ TEST_F(ServeTest, FastLaneQueueFullIsRejectedNotDropped) {
 // Async evaluation lane
 // ---------------------------------------------------------------------------
 
-TEST_F(ServeTest, EvaluateJobRunsToCompletionAndInvalidatesCache) {
+TEST_F(ServeTest, EvaluateJobRunsToCompletionAndLeavesCacheWarm) {
   Json warmup = MustParse(
       server_->HandleLine(ForecastLine(FirstDataset(), "theta", 300)));
   ASSERT_TRUE(warmup.GetBool("ok", false));
@@ -410,11 +428,12 @@ TEST_F(ServeTest, EvaluateJobRunsToCompletionAndInvalidatesCache) {
   ASSERT_TRUE(final_status.ok());
   EXPECT_GT(final_status->Get("result").GetInt("records", 0), 0);
 
-  // The job committed results, so the pre-job cache entry is stale.
+  // The job committed benchmark results but touched no series data, so the
+  // pre-job forecast entry is still valid under tag-based invalidation.
   Json after = MustParse(
       server_->HandleLine(ForecastLine(FirstDataset(), "theta", 301)));
   ASSERT_TRUE(after.GetBool("ok", false));
-  EXPECT_FALSE(after.GetBool("cached", true));
+  EXPECT_TRUE(after.GetBool("cached", false));
 }
 
 TEST_F(ServeTest, QueuedJobCanBeCancelledAndJobQueueIsBounded) {
