@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the sharded serving tier benchmark and writes BENCH_cluster.json at
+# the repo root: pipelined req/sec through the cluster router's TCP
+# front-end at 1/2/4 shards against a single-process baseline (same
+# "small" preset, same request mix), SIGKILL failover latency (time to the
+# first degraded replica read and to the first post-promotion first-class
+# response, with the acked append offset chain verified intact), and
+# segment-ship lag after a synchronous replication pass. Spawns real
+# easytime_shard_worker processes.
+#
+# Usage: bench/run_cluster.sh [build_dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bin="$build_dir/bench/bench_cluster"
+worker="$build_dir/src/cluster/easytime_shard_worker"
+
+if [[ ! -x "$bin" || ! -x "$worker" ]]; then
+  echo "bench_cluster or easytime_shard_worker not found under $build_dir — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bin" "$repo_root/BENCH_cluster.json"
+echo "wrote $repo_root/BENCH_cluster.json"

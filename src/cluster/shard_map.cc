@@ -1,0 +1,79 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easytime::cluster {
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t RingHash(std::string_view s) {
+  uint64_t h = Fnv1a64(s);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void ShardMap::AddShard(const std::string& id) {
+  if (!shards_.insert(id).second) return;
+  for (size_t v = 0; v < options_.vnodes_per_shard; ++v) {
+    ring_.emplace(RingHash(id + "#" + std::to_string(v)), id);
+  }
+}
+
+void ShardMap::RemoveShard(const std::string& id) {
+  if (shards_.erase(id) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == id ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<std::string> ShardMap::ShardIds() const {
+  return std::vector<std::string>(shards_.begin(), shards_.end());
+}
+
+easytime::Result<std::string> ShardMap::Owner(std::string_view key) const {
+  if (ring_.empty()) return Status::Unavailable("shard map is empty");
+  auto it = ring_.lower_bound(RingHash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+easytime::Result<std::string> ShardMap::Pick(
+    std::string_view key, const std::map<std::string, size_t>& load) const {
+  if (ring_.empty()) return Status::Unavailable("shard map is empty");
+  size_t total = 0;
+  for (const auto& [id, l] : load) {
+    if (shards_.count(id)) total += l;
+  }
+  // The +1 counts the request being placed, so the ceiling is never zero
+  // and an idle ring always accepts at the owner.
+  const size_t ceiling = static_cast<size_t>(std::ceil(
+      options_.load_factor * static_cast<double>(total + 1) /
+      static_cast<double>(shards_.size())));
+  auto it = ring_.lower_bound(RingHash(key));
+  // Walk at most one full lap of distinct shards.
+  std::set<std::string> seen;
+  for (size_t steps = 0; steps < ring_.size() && seen.size() < shards_.size();
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::string& id = it->second;
+    if (!seen.insert(id).second) continue;
+    auto found = load.find(id);
+    const size_t current = found == load.end() ? 0 : found->second;
+    if (current < ceiling) return id;
+  }
+  return Owner(key);  // every shard saturated: keep placement stable
+}
+
+}  // namespace easytime::cluster

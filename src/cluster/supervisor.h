@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file supervisor.h
+/// \brief Worker-process supervision for the cluster tier (DESIGN.md §14):
+/// spawn a worker binary, wait for it to publish its bound port through a
+/// port file, poll liveness, and restart crashed workers under exponential
+/// backoff. The supervisor owns the processes but not the policy — the
+/// router decides WHEN to restart or promote; the supervisor only refuses
+/// restarts that arrive before the current backoff window has elapsed.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/subprocess.h"
+
+namespace easytime::cluster {
+
+/// Everything needed to (re)spawn one worker.
+struct WorkerSpec {
+  std::string name;                ///< unique supervisor-level handle
+  std::vector<std::string> argv;   ///< binary + flags (incl. --port-file)
+  std::vector<std::string> env;    ///< extra "KEY=VALUE" entries
+  std::string port_file;           ///< where the worker publishes its port
+  std::string log_path;            ///< stdout/stderr redirect ("" = inherit)
+};
+
+class Supervisor {
+ public:
+  struct Options {
+    /// How long Spawn waits for the port file (worker bring-up includes a
+    /// seeding evaluation on a cold store, so this is generous).
+    double spawn_timeout_ms = 120000.0;
+    double restart_backoff_ms = 200.0;      ///< base, doubles per restart
+    double restart_backoff_max_ms = 5000.0;
+  };
+
+  explicit Supervisor(Options options) : options_(options) {}
+  /// Terminates (TERM, then KILL) every still-running worker.
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// \brief Spawns \p spec and blocks until the worker publishes its port
+  /// (or dies, or the timeout expires). Returns the bound port.
+  easytime::Result<uint16_t> Spawn(const WorkerSpec& spec);
+
+  /// True while the worker process is running (reaps zombies as a side
+  /// effect, like the job pool).
+  bool Alive(const std::string& name);
+
+  /// Sends \p sig to the worker (ESRCH is not an error).
+  easytime::Status Kill(const std::string& name, int sig);
+
+  /// Graceful stop: TERM, grace period, then KILL.
+  void Terminate(const std::string& name, double grace_ms = 2000.0);
+
+  /// \brief Respawns a dead worker from its recorded spec. Refuses with
+  /// Unavailable while the exponential backoff window is still open (the
+  /// caller's health loop simply tries again next tick). Each restart
+  /// doubles the next window up to the cap.
+  easytime::Result<uint16_t> Restart(const std::string& name);
+
+  /// Forgets a worker entirely (after Terminate) so its name can be reused.
+  void Forget(const std::string& name);
+
+  /// Last known port ("0" = never published).
+  uint16_t PortOf(const std::string& name) const;
+
+  /// Restarts performed for this worker so far.
+  size_t Restarts(const std::string& name) const;
+
+  /// Non-const: liveness polling reaps exited children.
+  easytime::Json StatsJson();
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    std::unique_ptr<Subprocess> proc;
+    uint16_t port = 0;
+    size_t restarts = 0;
+    std::chrono::steady_clock::time_point last_spawn{};
+  };
+
+  easytime::Result<uint16_t> SpawnLocked(Worker& w);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Worker> workers_;
+};
+
+}  // namespace easytime::cluster

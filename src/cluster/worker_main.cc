@@ -1,0 +1,97 @@
+/// \file worker_main.cc
+/// \brief The easytime_shard_worker binary: one shard worker process.
+/// Spawned and supervised by the cluster router; publishes its bound port
+/// through --port-file once it is serving.
+///
+///   easytime_shard_worker --port-file P --store-dir D
+///       [--role primary|replica] [--preset small|default]
+///       [--port N] [--auth-token T]
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "cluster/worker.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "easytime_shard_worker: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  easytime::cluster::WorkerConfig config;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port-file") {
+      if (const char* v = value()) port_file = v;
+    } else if (arg == "--store-dir") {
+      if (const char* v = value()) config.store_dir = v;
+    } else if (arg == "--role") {
+      if (const char* v = value()) config.role = v;
+    } else if (arg == "--preset") {
+      if (const char* v = value()) config.preset = v;
+    } else if (arg == "--auth-token") {
+      if (const char* v = value()) config.auth_token = v;
+    } else if (arg == "--port") {
+      if (const char* v = value()) {
+        auto port = easytime::ParseInt(v);
+        if (!port.ok() || *port < 0 || *port > 65535) {
+          return Fail("bad --port " + std::string(v));
+        }
+        config.port = static_cast<uint16_t>(*port);
+      }
+    } else {
+      return Fail("unknown flag " + arg);
+    }
+  }
+  if (port_file.empty()) return Fail("--port-file is required");
+  if (config.store_dir.empty()) return Fail("--store-dir is required");
+
+  ::signal(SIGTERM, HandleSignal);
+  ::signal(SIGINT, HandleSignal);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto worker = easytime::cluster::ShardWorker::Start(std::move(config));
+  if (!worker.ok()) return Fail(worker.status().ToString());
+
+  // Publish the port atomically: the supervisor polls this file and must
+  // never read a partial write.
+  {
+    const std::string tmp = port_file + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << (*worker)->port() << "\n";
+    out.flush();
+    if (!out) return Fail("cannot write " + tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, port_file, ec);
+    if (ec) return Fail("cannot publish " + port_file);
+  }
+  EASYTIME_LOG(Info) << "shard worker serving on port " << (*worker)->port()
+                     << " as " << (*worker)->role();
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*worker)->Stop();
+  return 0;
+}

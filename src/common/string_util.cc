@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -156,6 +157,92 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
   }
   while (pi < p.size() && p[pi] == '%') ++pi;
   return pi == p.size();
+}
+
+}  // namespace easytime
+
+namespace easytime {
+
+namespace {
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                 (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                 static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back(kB64Alphabet[v & 63]);
+    i += 3;
+  }
+  const size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                 (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length must be a multiple of 4");
+  }
+  static const auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding only in the last quantum's final two slots.
+        if (!last || j < 2) {
+          return Status::InvalidArgument("base64 padding misplaced");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return Status::InvalidArgument("base64 data after padding");
+      }
+      int d = value_of(c);
+      if (d < 0) {
+        return Status::InvalidArgument("invalid base64 character");
+      }
+      v = (v << 6) | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xff));
+  }
+  return out;
 }
 
 }  // namespace easytime

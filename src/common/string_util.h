@@ -54,4 +54,12 @@ std::string FormatTable(const std::vector<std::string>& header,
 /// SQL LIKE pattern match ('%' any run, '_' one char), case-insensitive.
 bool LikeMatch(std::string_view text, std::string_view pattern);
 
+/// Standard (RFC 4648) base64 with padding — binary payloads (WAL segment
+/// bytes) travel inside line-JSON strings on the replication protocol.
+std::string Base64Encode(std::string_view bytes);
+
+/// Strict decode: rejects non-alphabet characters, bad padding, and
+/// trailing garbage.
+Result<std::string> Base64Decode(std::string_view text);
+
 }  // namespace easytime

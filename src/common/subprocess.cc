@@ -1,0 +1,120 @@
+#include "common/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+extern char** environ;
+
+namespace easytime {
+
+easytime::Result<Subprocess> Subprocess::Spawn(
+    const std::vector<std::string>& argv, const Options& options) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("Subprocess::Spawn needs an argv[0]");
+  }
+  // Build the exec vectors before forking — only async-signal-safe calls may
+  // run between fork and exec in a multithreaded parent.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  std::vector<char*> cenv;
+  if (!options.env.empty()) {
+    for (char** e = environ; *e != nullptr; ++e) cenv.push_back(*e);
+    for (const auto& kv : options.env) {
+      cenv.push_back(const_cast<char*>(kv.c_str()));
+    }
+    cenv.push_back(nullptr);
+  }
+
+  int log_fd = -1;
+  if (!options.log_path.empty()) {
+    log_fd = ::open(options.log_path.c_str(),
+                    O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (log_fd < 0) {
+      return Status::IOError("cannot open subprocess log " +
+                             options.log_path + ": " + std::strerror(errno));
+    }
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    return Status::IOError(std::string("fork failed: ") +
+                           std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Async-signal-safe territory until exec.
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    if (cenv.empty()) {
+      ::execv(cargv[0], cargv.data());
+    } else {
+      ::execve(cargv[0], cargv.data(), cenv.data());
+    }
+    _exit(127);  // exec failed
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+bool Subprocess::Alive() {
+  if (pid_ <= 0 || reaped_) return false;
+  int status = 0;
+  pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) return true;
+  if (r == pid_) {
+    reaped_ = true;
+    exit_status_ = status;
+    return false;
+  }
+  // ECHILD etc.: treat as gone, nothing to reap.
+  reaped_ = true;
+  return false;
+}
+
+easytime::Status Subprocess::Kill(int sig) {
+  if (pid_ <= 0 || reaped_) return Status::OK();
+  if (::kill(pid_, sig) != 0 && errno != ESRCH) {
+    return Status::Internal(std::string("kill failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool Subprocess::WaitExit(double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    if (!Alive()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void Subprocess::Terminate(double grace_ms) {
+  if (pid_ <= 0 || reaped_) return;
+  (void)Kill(SIGTERM);
+  if (WaitExit(grace_ms)) return;
+  (void)Kill(SIGKILL);
+  WaitExit(10000.0);
+}
+
+bool Subprocess::signaled() const {
+  return reaped_ && WIFSIGNALED(exit_status_);
+}
+
+}  // namespace easytime

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file subprocess.h
+/// \brief Child-process spawn/supervise utility for the cluster tier
+/// (DESIGN.md §14). The supervisor fork+execs worker binaries, polls their
+/// liveness without blocking, and tears them down with an escalating
+/// TERM-then-KILL. Nothing here is cluster-specific: it is the common
+/// layer's "job pool for processes".
+///
+/// fork() in a multithreaded parent is safe here because the child calls
+/// only async-signal-safe functions (dup2/open/execv/_exit) between fork
+/// and exec.
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easytime {
+
+/// \brief One spawned child process. Move-only; the destructor does NOT
+/// kill the child (supervision policy belongs to the owner — call
+/// Terminate() for that).
+class Subprocess {
+ public:
+  struct Options {
+    /// Extra environment entries ("KEY=VALUE") appended to the parent's
+    /// environment for the child.
+    std::vector<std::string> env;
+    /// Redirect the child's stdout/stderr to this file (append mode);
+    /// empty inherits the parent's streams.
+    std::string log_path;
+  };
+
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+  Subprocess& operator=(Subprocess&& other) noexcept {
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    exit_status_ = other.exit_status_;
+    other.pid_ = -1;
+    return *this;
+  }
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// \brief Spawns \p argv[0] with arguments \p argv (argv[0] is the binary
+  /// path). Returns InvalidArgument for an empty argv and IOError when the
+  /// fork fails; an exec failure surfaces as the child exiting 127 (the
+  /// shell convention), observable via Poll().
+  static easytime::Result<Subprocess> Spawn(
+      const std::vector<std::string>& argv, const Options& options = {});
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  /// \brief Non-blocking liveness check: true while the child has not been
+  /// reaped. A child that exited is reaped here (no zombies) and false is
+  /// returned from then on.
+  bool Alive();
+
+  /// Sends \p sig (default SIGKILL). No-op once reaped.
+  easytime::Status Kill(int sig);
+
+  /// \brief Blocks until the child exits (reaping it) or \p timeout_ms
+  /// elapses; returns true when the child is gone. 0 polls once.
+  bool WaitExit(double timeout_ms);
+
+  /// \brief Graceful stop: SIGTERM, wait up to \p grace_ms, then SIGKILL
+  /// and reap. Safe to call on an already-dead child.
+  void Terminate(double grace_ms = 2000.0);
+
+  /// Raw wait status from the reap (valid once Alive() turned false).
+  int exit_status() const { return exit_status_; }
+
+  /// True when the child was terminated by a signal.
+  bool signaled() const;
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int exit_status_ = 0;
+};
+
+}  // namespace easytime

@@ -163,6 +163,25 @@ easytime::Status EasyTime::RefreshQa() {
   return Status::OK();
 }
 
+easytime::Result<size_t> EasyTime::IngestReplicatedResults(
+    std::vector<knowledge::ResultEntry> entries) {
+  if (entries.empty()) return static_cast<size_t>(0);
+  std::unique_lock lock(mu_);
+  // Rebuild-through-Restore keeps the whole batch at one version bump (the
+  // recovery contract) instead of N AddReport-style bumps.
+  std::vector<knowledge::DatasetMeta> datasets(kb_.datasets().begin(),
+                                               kb_.datasets().end());
+  std::vector<knowledge::MethodMeta> methods(kb_.methods().begin(),
+                                             kb_.methods().end());
+  std::vector<knowledge::ResultEntry> results(kb_.results().begin(),
+                                              kb_.results().end());
+  const size_t added = entries.size();
+  for (auto& e : entries) results.push_back(std::move(e));
+  kb_.Restore(std::move(datasets), std::move(methods), std::move(results));
+  EASYTIME_RETURN_IF_ERROR(RefreshQa());
+  return added;
+}
+
 easytime::Result<pipeline::BenchmarkReport> EasyTime::RunAndCommit(
     pipeline::BenchmarkConfig config, const pipeline::RunHooks& hooks) {
   // Run phase under a shared lock: the pipeline only reads the repository,

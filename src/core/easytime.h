@@ -191,6 +191,20 @@ class EasyTime {
       const std::string& sql,
       const easytime::Deadline& deadline = easytime::Deadline());
 
+  // ----- replication (DESIGN.md §14) ----------------------------------------
+
+  /// \brief Applies result rows decoded from a shipped WAL segment to a live
+  /// follower: merges them into the knowledge base through a single
+  /// KnowledgeBase::Restore (one version bump per batch) and rebuilds the
+  /// Q&A engine, all under the exclusive facade lock. Deliberately does NOT
+  /// touch this process's own store — the shipped segment bytes are already
+  /// imported durably by the replication plane; writing them again through
+  /// the store would fork the sequence space. Deduplication is the caller's
+  /// job (the follower tracks its applied-sequence watermark). Returns the
+  /// number of rows merged.
+  easytime::Result<size_t> IngestReplicatedResults(
+      std::vector<knowledge::ResultEntry> entries);
+
  private:
   EasyTime() = default;
 

@@ -126,6 +126,16 @@ easytime::Result<std::string> TcpClient::SendLine(const std::string& line) {
   return RetryCall(retry_, [&]() { return SendOnce(line); });
 }
 
+easytime::Result<std::string> TcpClient::SendLineOnce(const std::string& line,
+                                                      bool* request_sent) {
+  *request_sent = false;
+  EASYTIME_RETURN_IF_ERROR(Connect());
+  // From the first payload byte on, a failure no longer proves the server
+  // did not execute the request.
+  *request_sent = true;
+  return WriteAndReadLine(line);
+}
+
 easytime::Result<easytime::Json> TcpClient::Call(const std::string& endpoint,
                                                  const easytime::Json& params) {
   easytime::Json req = easytime::Json::Object();

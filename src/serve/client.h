@@ -37,6 +37,16 @@ class TcpClient {
   /// response line. Reconnects and retries on connection failures.
   easytime::Result<std::string> SendLine(const std::string& line);
 
+  /// \brief One unretried attempt, with transmission accounting for
+  /// at-most-once forwarding (the cluster router's append path). On return,
+  /// *\p request_sent tells whether any request byte may have reached the
+  /// server: false = the failure happened while connecting/authenticating,
+  /// so the request was certainly not executed and a retry is safe; true =
+  /// the outcome is ambiguous (the server may have executed the request
+  /// even though the reply was lost) and the caller must not blindly retry.
+  easytime::Result<std::string> SendLineOnce(const std::string& line,
+                                             bool* request_sent);
+
   /// \brief Typed call: builds the request envelope, sends it, and unwraps
   /// the response into the "result" payload or the error status.
   easytime::Result<easytime::Json> Call(const std::string& endpoint,

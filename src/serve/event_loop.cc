@@ -28,13 +28,23 @@ constexpr uint64_t kWakeId = 1;
 }  // namespace
 
 EventLoopServer::EventLoopServer(ForecastServer* server, Options options)
-    : server_(server), options_(options) {}
+    : handler_([server](const std::string& line) {
+        return server->HandleLine(line);
+      }),
+      max_request_bytes_(server->options().max_request_bytes),
+      options_(options) {}
+
+EventLoopServer::EventLoopServer(LineHandler handler, size_t max_request_bytes,
+                                 Options options)
+    : handler_(std::move(handler)),
+      max_request_bytes_(max_request_bytes),
+      options_(options) {}
 
 EventLoopServer::~EventLoopServer() { Stop(); }
 
 size_t EventLoopServer::LineByteCap() const {
   if (options_.max_line_bytes > 0) return options_.max_line_bytes;
-  return server_->options().max_request_bytes * 2 + 1024;
+  return max_request_bytes_ * 2 + 1024;
 }
 
 easytime::Status EventLoopServer::Start() {
@@ -359,8 +369,7 @@ bool EventLoopServer::CheckAuth(Conn& conn) {
   std::string line = std::move(conn.lines.front());
   conn.lines.pop_front();
   int64_t error_id = -1;
-  auto parsed =
-      ParseRequest(line, server_->options().max_request_bytes, &error_id);
+  auto parsed = ParseRequest(line, max_request_bytes_, &error_id);
   // Length-insensitive comparison isn't attempted here: the listener is
   // loopback-only, so the token guards against accidental cross-process
   // traffic, not a timing adversary.
@@ -420,7 +429,7 @@ void EventLoopServer::MaybeDispatch(Conn& conn) {
         !FaultRegistry::Global().Check("serve.tcp.read").ok()) {
       done.drop = true;
     } else {
-      done.response = server_->HandleLine(line);
+      done.response = handler_(line);
       done.response += '\n';
       if (FaultRegistry::AnyArmed() &&
           !FaultRegistry::Global().Check("serve.tcp.write").ok()) {

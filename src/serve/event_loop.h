@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -80,7 +81,21 @@ class EventLoopServer {
     uint64_t responses_written = 0;
   };
 
+  /// Executes one framed request line and returns the response line
+  /// (without the trailing newline). Runs on the handler pool.
+  using LineHandler = std::function<std::string(const std::string&)>;
+
+  /// The classic front-end: requests go to \p server->HandleLine.
   EventLoopServer(ForecastServer* server, Options options);
+
+  /// \brief Generalized front-end over any line handler — the cluster
+  /// router (DESIGN.md §14) reuses the epoll loop, framing, backpressure,
+  /// and auth handshake without owning a ForecastServer.
+  /// \p max_request_bytes bounds auth-frame parsing and derives the line
+  /// cap when Options::max_line_bytes is 0.
+  EventLoopServer(LineHandler handler, size_t max_request_bytes,
+                  Options options);
+
   ~EventLoopServer();
 
   EventLoopServer(const EventLoopServer&) = delete;
@@ -155,7 +170,8 @@ class EventLoopServer {
   void ResumeAccept();
   size_t LineByteCap() const;
 
-  ForecastServer* server_;
+  LineHandler handler_;
+  size_t max_request_bytes_ = 0;
   Options options_;
   std::string auth_token_;  ///< resolved (option or env) at Start()
   int listen_fd_ = -1;

@@ -145,6 +145,11 @@ std::string ForecastServer::BatchKey(const Request& req) {
   return CanonicalKey("batch", key);
 }
 
+void ForecastServer::RegisterControlEndpoint(const std::string& name,
+                                             ControlFn fn) {
+  control_endpoints_[name] = std::move(fn);
+}
+
 std::string ForecastServer::HandleLine(const std::string& line) {
   int64_t error_id = -1;
   auto parsed = ParseRequest(line, options_.max_request_bytes, &error_id);
@@ -248,6 +253,15 @@ easytime::Json ForecastServer::Dispatch(Request req) {
     uint64_t job_id = static_cast<uint64_t>(req.params.Get("job").AsInt());
     auto result = endpoint == "cancel" ? jobs_.Cancel(job_id)
                                        : jobs_.StatusJson(job_id);
+    RecordStats(endpoint, result.ok(), false, false, watch.ElapsedSeconds());
+    if (!result.ok()) return MakeErrorResponse(req.id, result.status());
+    return MakeOkResponse(req.id, std::move(*result));
+  }
+  if (auto it = control_endpoints_.find(endpoint);
+      it != control_endpoints_.end()) {
+    // Registered extensions (the shard worker's replication plane) ride the
+    // inline control path: they must answer even when the fast lanes shed.
+    auto result = it->second(req.params);
     RecordStats(endpoint, result.ok(), false, false, watch.ElapsedSeconds());
     if (!result.ok()) return MakeErrorResponse(req.id, result.status());
     return MakeOkResponse(req.id, std::move(*result));
@@ -875,6 +889,9 @@ easytime::Json ForecastServer::StatsJson() const {
   batching.Set("max_batch_size", static_cast<int64_t>(bs.max_batch_size));
 
   easytime::Json out = easytime::Json::Object();
+  // Where these counters were measured: "process" = one server; the cluster
+  // router re-tags its merged view as "cluster" (DESIGN.md §14).
+  out.Set("scope", "process");
   out.Set("endpoints", std::move(endpoints));
   out.Set("cache", std::move(cache));
   out.Set("jobs", std::move(jobs));

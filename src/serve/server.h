@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -145,6 +146,17 @@ class ForecastServer {
   /// The stats payload (same shape the "stats" endpoint returns).
   easytime::Json StatsJson() const;
 
+  /// A registered control-plane extension: params in, result payload out.
+  using ControlFn = std::function<easytime::Result<easytime::Json>(
+      const easytime::Json& params)>;
+
+  /// \brief Registers \p name as an inline control-plane endpoint (served
+  /// like ping/stats: immediately, never queued or shed — the cluster
+  /// worker's replication plane hangs off this). Must be called before
+  /// Start(); built-in endpoint names cannot be overridden because the
+  /// built-ins are checked first.
+  void RegisterControlEndpoint(const std::string& name, ControlFn fn);
+
   core::EasyTime* system() { return system_; }
   const Options& options() const { return options_; }
 
@@ -203,6 +215,9 @@ class ForecastServer {
 
   core::EasyTime* system_;
   Options options_;
+  /// Control-plane extensions (RegisterControlEndpoint). Written only
+  /// before Start(), read by Dispatch — no lock by contract.
+  std::map<std::string, ControlFn> control_endpoints_;
   ResultCache cache_;
   JobManager jobs_;
   BoundedQueue<FastTask> fast_queue_;

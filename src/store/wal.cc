@@ -126,6 +126,146 @@ easytime::Result<std::string> ReadWholeFile(const std::string& path) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Segment export/import (replication shipping, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+easytime::Result<WalSegmentInfo> ValidateWalSegmentImage(
+    std::string_view bytes, const std::string& file,
+    const WalRecordFn& on_record) {
+  uint64_t expect_start = 0;
+  if (!ParseSegmentName(file, &expect_start)) {
+    return easytime::Status::InvalidArgument(
+        "not a WAL segment file name: " + file);
+  }
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    return easytime::Status::IOError("bad WAL segment magic in " + file);
+  }
+  if (GetU64(bytes.data() + 8) != expect_start) {
+    return easytime::Status::IOError(
+        "WAL segment header seq disagrees with file name " + file);
+  }
+  WalSegmentInfo info;
+  info.file = file;
+  info.start_seq = expect_start;
+  info.file_bytes = bytes.size();
+  size_t off = kHeaderBytes;
+  size_t valid_end = off;
+  uint64_t rec_expect = expect_start;
+  while (off + kFrameBytes <= bytes.size()) {
+    const char* p = bytes.data() + off;
+    uint32_t len = GetU32(p);
+    uint32_t crc = GetU32(p + 4);
+    uint64_t seq = GetU64(p + 8);
+    if (len > kMaxPayload || off + kFrameBytes + len > bytes.size()) break;
+    std::string_view payload(p + kFrameBytes, len);
+    if (RecordCrc(seq, payload) != crc) break;
+    if (seq != rec_expect) break;
+    if (on_record) on_record(seq, payload);
+    ++info.records;
+    rec_expect = seq + 1;
+    off += kFrameBytes + len;
+    valid_end = off;
+  }
+  info.last_seq = rec_expect > expect_start ? rec_expect - 1
+                                            : expect_start - 1;
+  info.valid_bytes = valid_end;
+  info.torn = valid_end < bytes.size();
+  return info;
+}
+
+easytime::Result<std::vector<WalSegmentInfo>> ListWalSegments(
+    const std::string& dir) {
+  std::vector<WalSegmentInfo> out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return out;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t start = 0;
+    if (!entry.is_regular_file() ||
+        !ParseSegmentName(entry.path().filename().string(), &start)) {
+      continue;
+    }
+    EASYTIME_ASSIGN_OR_RETURN(std::string content,
+                              ReadWholeFile(entry.path().string()));
+    auto info_or = ValidateWalSegmentImage(
+        content, entry.path().filename().string());
+    if (!info_or.ok()) return info_or.status();
+    info_or->path = entry.path().string();
+    out.push_back(std::move(*info_or));
+  }
+  if (ec) {
+    return easytime::Status::IOError("cannot list WAL directory " + dir +
+                                     ": " + ec.message());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.start_seq < b.start_seq;
+            });
+  return out;
+}
+
+easytime::Result<std::string> ExportWalSegment(const std::string& path,
+                                               const std::string& file) {
+  EASYTIME_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  EASYTIME_ASSIGN_OR_RETURN(WalSegmentInfo info,
+                            ValidateWalSegmentImage(content, file));
+  content.resize(info.valid_bytes);  // a torn tail never ships
+  return content;
+}
+
+easytime::Result<WalSegmentInfo> ImportWalSegment(const std::string& dir,
+                                                  const std::string& file,
+                                                  std::string_view bytes) {
+  EASYTIME_ASSIGN_OR_RETURN(WalSegmentInfo info,
+                            ValidateWalSegmentImage(bytes, file));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return easytime::Status::IOError("cannot create import directory " + dir +
+                                     ": " + ec.message());
+  }
+  const std::string dest = dir + "/" + file;
+  if (fs::exists(dest, ec)) {
+    // Idempotent re-ship, but never backwards: a shorter image than what is
+    // already durable would roll acknowledged records back on replay.
+    EASYTIME_ASSIGN_OR_RETURN(std::string existing, ReadWholeFile(dest));
+    auto have = ValidateWalSegmentImage(existing, file);
+    if (have.ok() && have->valid_bytes > info.valid_bytes) {
+      return easytime::Status::InvalidArgument(
+          "stale segment re-ship for " + file + ": import has " +
+          std::to_string(info.valid_bytes) + " valid bytes, follower has " +
+          std::to_string(have->valid_bytes));
+    }
+  }
+  const std::string tmp = dest + ".ship.tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return easytime::Status::IOError("cannot create " + tmp + ": " +
+                                     std::strerror(errno));
+  }
+  easytime::Status st =
+      WriteFully(fd, bytes.data(), static_cast<size_t>(info.valid_bytes));
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = easytime::Status::IOError("fsync failed for " + tmp);
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    fs::remove(tmp, ec);
+    return st;
+  }
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    return easytime::Status::IOError("cannot rename " + tmp + ": " +
+                                     ec.message());
+  }
+  EASYTIME_RETURN_IF_ERROR(SyncDir(dir));
+  info.path = dest;
+  info.file_bytes = info.valid_bytes;
+  info.torn = false;
+  return info;
+}
+
 Wal::Wal(std::string dir, WalOptions options)
     : dir_(std::move(dir)), options_(options) {}
 

@@ -68,6 +68,55 @@ struct WalRecoveryStats {
   uint64_t segments_scanned = 0;
 };
 
+/// \brief One validated WAL segment file — the unit of replication shipping
+/// (DESIGN.md §14). `valid_bytes` is the longest prefix whose CRC-framed
+/// record chain checks out; anything past it is a torn tail from a crash
+/// mid-append and must never ship.
+struct WalSegmentInfo {
+  std::string file;          ///< basename, wal-<start_seq>.log
+  std::string path;          ///< full path (empty for in-memory images)
+  uint64_t start_seq = 0;    ///< first record's sequence number
+  uint64_t last_seq = 0;     ///< last valid record (start_seq - 1 if none)
+  uint64_t valid_bytes = 0;  ///< header + valid record prefix
+  uint64_t file_bytes = 0;   ///< on-disk size (>= valid_bytes)
+  size_t records = 0;        ///< valid records in the prefix
+  bool torn = false;         ///< file_bytes > valid_bytes
+};
+
+/// Receives each valid record when scanning a segment image.
+using WalRecordFn =
+    std::function<void(uint64_t seq, std::string_view payload)>;
+
+/// \brief Validates one segment image named \p file (the basename carries
+/// the expected start_seq): magic, header seq, and the CRC-framed record
+/// chain. Returns the valid-prefix geometry; \p on_record (optional) gets
+/// every record inside the valid prefix in order. Fails only on a malformed
+/// name/header — a torn record tail is reported, not an error.
+easytime::Result<WalSegmentInfo> ValidateWalSegmentImage(
+    std::string_view bytes, const std::string& file,
+    const WalRecordFn& on_record = nullptr);
+
+/// \brief Lists and validates every WAL segment file in \p dir, sorted by
+/// start_seq — the export side of segment shipping. Unreadable files fail;
+/// an empty or missing directory returns an empty list.
+easytime::Result<std::vector<WalSegmentInfo>> ListWalSegments(
+    const std::string& dir);
+
+/// \brief Reads and validates one segment, returning exactly its valid
+/// prefix (torn tails are cut before the bytes travel).
+easytime::Result<std::string> ExportWalSegment(const std::string& path,
+                                               const std::string& file);
+
+/// \brief Follower-side import: validates \p bytes (torn-tail guard —
+/// only the valid prefix is kept), then writes the segment durably into
+/// \p dir under its canonical name via tmp + fsync + rename. Re-importing
+/// a segment overwrites it (shipping is idempotent); an import whose valid
+/// prefix is SHORTER than the existing file is rejected so a stale re-ship
+/// can never roll durable records back.
+easytime::Result<WalSegmentInfo> ImportWalSegment(const std::string& dir,
+                                                  const std::string& file,
+                                                  std::string_view bytes);
+
 /// \brief The segment-rotating write-ahead log. All methods are thread-safe.
 class Wal {
  public:

@@ -1,0 +1,558 @@
+// Sharded serving tier tests (DESIGN.md §14): consistent-hash placement
+// (stable owners, bounded-load overflow), frozen-store catch-up with the
+// torn-tail guard, worker supervision, and the full router integration —
+// routing, fan-out merges, at-most-once appends, and the SIGKILL failover
+// that promotes a replica without losing an acked append.
+//
+// The integration tests spawn real easytime_shard_worker processes (path
+// baked in via EASYTIME_WORKER_BIN); worker bring-up seeds a small suite,
+// so those tests are seconds-not-milliseconds and assert a lot per cluster.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/replicator.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "cluster/supervisor.h"
+#include "common/json.h"
+#include "serve/client.h"
+#include "store/wal.h"
+
+namespace easytime::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+using easytime::Json;
+
+std::string TestDir(const std::string& leaf) {
+  std::string dir =
+      (fs::path(::testing::TempDir()) / ("easytime_cluster_" + leaf)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ----- shard map ------------------------------------------------------------
+
+TEST(Fnv1a64Test, MatchesReferenceVectorsAndIsStable) {
+  // Published FNV-1a 64-bit vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(Fnv1a64("traffic_u0"), Fnv1a64(std::string("traffic_u0")));
+}
+
+TEST(ShardMapTest, OwnerIsStableAndIndependentOfInsertionOrder) {
+  ShardMap a;
+  ShardMap b;
+  a.AddShard("shard-0");
+  a.AddShard("shard-1");
+  a.AddShard("shard-2");
+  b.AddShard("shard-2");
+  b.AddShard("shard-0");
+  b.AddShard("shard-1");
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "dataset_" + std::to_string(i);
+    auto oa = a.Owner(key);
+    auto ob = b.Owner(key);
+    ASSERT_TRUE(oa.ok());
+    ASSERT_TRUE(ob.ok());
+    EXPECT_EQ(*oa, *ob) << key;
+  }
+}
+
+TEST(ShardMapTest, OwnerFailsOnEmptyRingAndDistributesOtherwise) {
+  ShardMap map;
+  EXPECT_FALSE(map.Owner("anything").ok());
+  map.AddShard("shard-0");
+  map.AddShard("shard-1");
+  map.AddShard("shard-2");
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 600; ++i) {
+    auto owner = map.Owner("key_" + std::to_string(i));
+    ASSERT_TRUE(owner.ok());
+    counts[*owner]++;
+  }
+  // With 64 vnodes each, every shard owns a meaningful slice.
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [id, n] : counts) EXPECT_GT(n, 60) << id;
+}
+
+TEST(ShardMapTest, RemoveShardOnlyMovesTheRemovedShardsKeys) {
+  ShardMap map;
+  map.AddShard("shard-0");
+  map.AddShard("shard-1");
+  map.AddShard("shard-2");
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "key_" + std::to_string(i);
+    before[key] = *map.Owner(key);
+  }
+  map.RemoveShard("shard-1");
+  for (const auto& [key, owner] : before) {
+    auto now = map.Owner(key);
+    ASSERT_TRUE(now.ok());
+    if (owner != "shard-1") {
+      EXPECT_EQ(*now, owner) << key;  // consistent hashing: others stay put
+    } else {
+      EXPECT_NE(*now, "shard-1") << key;
+    }
+  }
+}
+
+TEST(ShardMapTest, BoundedLoadPickRoutesAroundSaturatedShards) {
+  ShardMap map;
+  map.AddShard("shard-0");
+  map.AddShard("shard-1");
+  map.AddShard("shard-2");
+
+  // Zero load everywhere: Pick agrees with Owner (affinity preserved).
+  std::map<std::string, size_t> idle = {
+      {"shard-0", 0}, {"shard-1", 0}, {"shard-2", 0}};
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(*map.Pick(key, idle), *map.Owner(key)) << key;
+  }
+
+  // One shard saturated: none of its keys stay; other shards keep theirs.
+  // total = 90, ceiling = ceil(1.25 * 91 / 3) = 38.
+  std::map<std::string, size_t> hot = {
+      {"shard-0", 90}, {"shard-1", 0}, {"shard-2", 0}};
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    auto picked = map.Pick(key, hot);
+    ASSERT_TRUE(picked.ok());
+    EXPECT_NE(*picked, "shard-0") << key;
+    if (*map.Owner(key) != "shard-0") {
+      EXPECT_EQ(*picked, *map.Owner(key)) << key;
+    }
+  }
+
+  // Everyone saturated: somebody must do the work — fall back to the owner.
+  std::map<std::string, size_t> slammed = {
+      {"shard-0", 500}, {"shard-1", 500}, {"shard-2", 500}};
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(*map.Pick(key, slammed), *map.Owner(key)) << key;
+  }
+}
+
+// ----- frozen-store catch-up ------------------------------------------------
+
+TEST(SyncFrozenStoreDirTest, CopiesValidRecordsAndCutsTornTail) {
+  const std::string src = TestDir("sync_src");
+  const std::string dst = TestDir("sync_dst");
+  {
+    store::WalOptions wopt;
+    wopt.segment_bytes = 256;  // force several sealed segments
+    auto wal = store::Wal::Open(src, wopt, 0, nullptr);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (int i = 0; i < 40; ++i) {
+      auto seq = (*wal)->Append("record-" + std::to_string(i));
+      ASSERT_TRUE(seq.ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Simulate death mid-append: garbage on the active segment's tail.
+  {
+    auto segments = store::ListWalSegments(src);
+    ASSERT_TRUE(segments.ok());
+    ASSERT_GT(segments->size(), 1u);
+    std::ofstream out(segments->back().path,
+                      std::ios::binary | std::ios::app);
+    out << "\x13\x37garbage torn tail";
+  }
+
+  auto report = SyncFrozenStoreDir(src, dst);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->last_seq, 40u);
+  EXPECT_GT(report->segments_copied, 1u);
+
+  // The copy recovers to exactly the 40 acked records, torn tail gone.
+  std::vector<uint64_t> seqs;
+  auto wal = store::Wal::Open(
+      dst, store::WalOptions(), 0,
+      [&](uint64_t seq, std::string&&) { seqs.push_back(seq); });
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(seqs.size(), 40u);
+  EXPECT_EQ(seqs.front(), 1u);
+  EXPECT_EQ(seqs.back(), 40u);
+}
+
+TEST(SyncFrozenStoreDirTest, MissingSourceIsEmptyNotError) {
+  const std::string dst = TestDir("sync_nosrc_dst");
+  auto report = SyncFrozenStoreDir(TestDir("sync_nosrc_src"), dst);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->segments_copied, 0u);
+  EXPECT_EQ(report->last_seq, 0u);
+}
+
+TEST(WalSegmentImportTest, StaleReshipCannotRollBackDurableRecords) {
+  const std::string src = TestDir("reship_src");
+  const std::string dst = TestDir("reship_dst");
+  std::string file;
+  {
+    store::WalOptions wopt;
+    wopt.segment_bytes = 1 << 20;
+    auto wal = store::Wal::Open(src, wopt, 0, nullptr);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE((*wal)->Append("r").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    auto segments = store::ListWalSegments(src);
+    ASSERT_TRUE(segments.ok());
+    ASSERT_EQ(segments->size(), 1u);
+    file = segments->front().file;
+  }
+  auto full = store::ExportWalSegment(src + "/" + file, file);
+  ASSERT_TRUE(full.ok());
+  auto imported = store::ImportWalSegment(dst, file, *full);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported->records, 10u);
+
+  // A stale re-ship carrying fewer valid records must be rejected.
+  const std::string stale = full->substr(0, full->size() - 10);
+  auto rejected = store::ImportWalSegment(dst, file, stale);
+  EXPECT_FALSE(rejected.ok());
+  auto still = store::ExportWalSegment(dst + "/" + file, file);
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->size(), full->size());
+}
+
+// ----- supervisor -----------------------------------------------------------
+
+TEST(SupervisorTest, SpawnFailsCleanlyOnMissingBinaryOrSilentWorker) {
+  const std::string dir = TestDir("supervisor_bad");
+  fs::create_directories(dir);
+  Supervisor::Options opt;
+  opt.spawn_timeout_ms = 1500.0;
+  Supervisor supervisor(opt);
+
+  WorkerSpec missing;
+  missing.name = "missing";
+  missing.argv = {dir + "/does-not-exist"};
+  missing.port_file = dir + "/missing.port";
+  EXPECT_FALSE(supervisor.Spawn(missing).ok());
+
+  // A worker that runs but never publishes its port times out.
+  WorkerSpec silent;
+  silent.name = "silent";
+  silent.argv = {"/bin/sleep", "30"};
+  silent.port_file = dir + "/silent.port";
+  auto spawned = supervisor.Spawn(silent);
+  EXPECT_FALSE(spawned.ok());
+}
+
+TEST(SupervisorTest, SpawnReadsPortFileAndRestartBacksOff) {
+  const std::string dir = TestDir("supervisor_ok");
+  fs::create_directories(dir);
+  // A stand-in worker: publish a port atomically, then sleep.
+  const std::string script = dir + "/worker.sh";
+  {
+    std::ofstream out(script);
+    // exec: the shell BECOMES the sleep, so Supervisor::Kill's signal hits
+    // it — a forked sleep would survive and hold the test's output pipe.
+    out << "#!/bin/sh\nprintf '4242\\n' > \"$1.tmp\"\nmv \"$1.tmp\" \"$1\"\n"
+           "exec sleep 60\n";
+  }
+  fs::permissions(script, fs::perms::owner_all);
+
+  Supervisor::Options opt;
+  opt.spawn_timeout_ms = 5000.0;
+  opt.restart_backoff_ms = 5000.0;  // wide window so the test never races it
+  Supervisor supervisor(opt);
+  WorkerSpec spec;
+  spec.name = "w";
+  spec.argv = {"/bin/sh", script, dir + "/w.port"};
+  spec.port_file = dir + "/w.port";
+  auto port = supervisor.Spawn(spec);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  EXPECT_EQ(*port, 4242);
+  EXPECT_TRUE(supervisor.Alive("w"));
+  EXPECT_EQ(supervisor.PortOf("w"), 4242);
+
+  auto wait_dead = [&] {
+    for (int i = 0; i < 200 && supervisor.Alive("w"); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_FALSE(supervisor.Alive("w"));
+  };
+
+  // Restarting a live worker is refused.
+  auto live = supervisor.Restart("w");
+  EXPECT_FALSE(live.ok());
+
+  // The first restart after a crash is immediate (a long-lived worker dying
+  // once is not a crash loop)…
+  ASSERT_TRUE(supervisor.Kill("w", SIGKILL).ok());
+  wait_dead();
+  auto restarted = supervisor.Restart("w");
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  EXPECT_EQ(*restarted, 4242);
+  EXPECT_EQ(supervisor.Restarts("w"), 1u);
+
+  // …but a second crash inside the backoff window is refused until it
+  // elapses (Unavailable — the health loop just retries next tick).
+  ASSERT_TRUE(supervisor.Kill("w", SIGKILL).ok());
+  wait_dead();
+  auto backing_off = supervisor.Restart("w");
+  EXPECT_FALSE(backing_off.ok());
+  EXPECT_TRUE(backing_off.status().IsUnavailable())
+      << backing_off.status().ToString();
+  EXPECT_EQ(supervisor.Restarts("w"), 1u);
+  supervisor.Terminate("w", 100.0);
+}
+
+// ----- router integration ---------------------------------------------------
+
+Json ParseLine(const std::string& line) {
+  auto parsed = Json::Parse(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? std::move(*parsed) : Json::Object();
+}
+
+Json Call(ClusterRouter& router, int64_t id, const std::string& endpoint,
+          Json params) {
+  Json req = Json::Object();
+  req.Set("id", id);
+  req.Set("endpoint", endpoint);
+  req.Set("params", std::move(params));
+  return ParseLine(router.HandleLine(req.Dump()));
+}
+
+Json AppendParams(const std::string& dataset,
+                  const std::vector<double>& values) {
+  Json params = Json::Object();
+  params.Set("dataset", dataset);
+  Json arr = Json::Array();
+  for (double v : values) arr.Append(v);
+  params.Set("values", std::move(arr));
+  return params;
+}
+
+ClusterRouter::Options BaseOptions(const std::string& work_dir) {
+  ClusterRouter::Options opt;
+  opt.worker_binary = EASYTIME_WORKER_BIN;
+  opt.work_dir = work_dir;
+  opt.preset = "small";
+  opt.health_interval_ms = 0.0;  // tests drive HealthCheckNow deterministically
+  opt.ship_interval_ms = 0.0;    // and ShipOnce likewise
+  opt.retry.max_attempts = 2;
+  opt.retry.base_delay_ms = 2.0;
+  return opt;
+}
+
+TEST(ClusterRouterTest, RoutesAppendsAndMergesFanOuts) {
+  ClusterRouter::Options opt = BaseOptions(TestDir("router_route"));
+  opt.shards = 2;
+  opt.replicate = false;
+  ClusterRouter router(opt);
+  auto started = router.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  // ping answers at the router, not a shard.
+  Json pong = Call(router, 1, "ping", Json::Object());
+  ASSERT_TRUE(pong.GetBool("ok", false)) << pong.Dump();
+  EXPECT_EQ(pong.Get("result").GetString("scope", ""), "cluster");
+
+  const std::string dataset = "traffic_u0";
+  auto owner = router.OwnerShard(dataset);
+  ASSERT_TRUE(owner.ok());
+  const std::string other =
+      *owner == "shard-0" ? "shard-1" : "shard-0";
+
+  // Appends land on the owner, and only on the owner.
+  Json appended =
+      Call(router, 2, "append", AppendParams(dataset, {1.0, 2.0, 3.0}));
+  ASSERT_TRUE(appended.GetBool("ok", false)) << appended.Dump();
+  EXPECT_EQ(appended.Get("result").GetInt("appended", 0), 3);
+  const int64_t length = appended.Get("result").GetInt("length", 0);
+  EXPECT_GT(length, 3);
+
+  // A dataset read routes to the same owner and sees the append.
+  Json forecast_params = Json::Object();
+  forecast_params.Set("dataset", dataset);
+  forecast_params.Set("method", "ses");
+  forecast_params.Set("horizon", int64_t{4});
+  Json forecast = Call(router, 3, "forecast", forecast_params);
+  ASSERT_TRUE(forecast.GetBool("ok", false)) << forecast.Dump();
+  EXPECT_FALSE(forecast.Get("result").GetBool("degraded", false));
+
+  // Cluster stats: merged scope, per-shard sections, router counters; the
+  // owner (and only the owner) saw the append.
+  Json stats = Call(router, 4, "stats", Json::Object());
+  ASSERT_TRUE(stats.GetBool("ok", false)) << stats.Dump();
+  const Json& result = stats.Get("result");
+  EXPECT_EQ(result.GetString("scope", ""), "cluster");
+  EXPECT_EQ(result.GetInt("shards_responding", 0), 2);
+  EXPECT_GT(result.Get("totals").GetInt("requests", 0), 0);
+  EXPECT_GT(result.Get("router").GetInt("requests_routed", 0), 0);
+  const Json& per_shard = result.Get("shards");
+  ASSERT_TRUE(per_shard.Get(*owner).is_object());
+  ASSERT_TRUE(per_shard.Get(other).is_object());
+  EXPECT_EQ(per_shard.Get(*owner).GetString("scope", ""), "process");
+  EXPECT_EQ(per_shard.Get(*owner)
+                .Get("endpoints")
+                .Get("append")
+                .GetInt("requests", 0),
+            1);
+  EXPECT_FALSE(per_shard.Get(other).Get("endpoints").Has("append"));
+
+  // recommend merges every shard's ranking.
+  Json rec_params = Json::Object();
+  rec_params.Set("dataset", dataset);
+  Json rec = Call(router, 5, "recommend", rec_params);
+  ASSERT_TRUE(rec.GetBool("ok", false)) << rec.Dump();
+  EXPECT_EQ(rec.Get("result").GetInt("shards_merged", 0), 2);
+  ASSERT_GT(rec.Get("result").Get("recommendations").size(), 0u);
+  EXPECT_NE(rec.Get("result")
+                .Get("recommendations")
+                .items()
+                .front()
+                .GetString("method", ""),
+            "");
+
+  // Unknown dataset: a clean NotFound from the owner, not degraded noise.
+  Json missing_params = Json::Object();
+  missing_params.Set("dataset", "no_such_dataset");
+  missing_params.Set("method", "ses");
+  missing_params.Set("horizon", int64_t{4});
+  Json missing = Call(router, 6, "forecast", missing_params);
+  ASSERT_FALSE(missing.GetBool("ok", true));
+  EXPECT_EQ(missing.Get("error").GetString("code", ""), "NotFound");
+
+  // An async job is stamped with its shard, and job_status finds it both
+  // pinned and via the fan-out.
+  auto eval_parsed = Json::Parse(R"({
+    "datasets": ["traffic_u0"],
+    "methods": ["naive"],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  ASSERT_TRUE(eval_parsed.ok());
+  Json eval_params = std::move(*eval_parsed);
+  Json submitted = Call(router, 7, "evaluate", eval_params);
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  const std::string job_shard =
+      submitted.Get("result").GetString("shard", "");
+  const int64_t job = submitted.Get("result").GetInt("job", -1);
+  EXPECT_TRUE(job_shard == "shard-0" || job_shard == "shard-1");
+  ASSERT_GE(job, 0);
+  Json status_params = Json::Object();
+  status_params.Set("job", job);
+  Json fanned = Call(router, 8, "job_status", status_params);
+  EXPECT_TRUE(fanned.GetBool("ok", false)) << fanned.Dump();
+  status_params.Set("shard", job_shard);
+  Json pinned = Call(router, 9, "job_status", status_params);
+  EXPECT_TRUE(pinned.GetBool("ok", false)) << pinned.Dump();
+
+  // The TCP front-end speaks the same protocol.
+  ASSERT_NE(router.port(), 0);
+  serve::TcpClient client(router.port());
+  auto net = client.Call("ping", Json::Object());
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_TRUE(net->GetBool("pong", false));
+
+  router.Stop();
+}
+
+TEST(ClusterRouterTest, SigkillFailoverPromotesReplicaWithoutLosingAcks) {
+  ClusterRouter::Options opt = BaseOptions(TestDir("router_failover"));
+  opt.shards = 1;
+  opt.replicate = true;
+  ClusterRouter router(opt);
+  auto started = router.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  const std::string dataset = "traffic_u0";
+
+  // Acked appends: these are durable the moment the ack arrives.
+  Json first =
+      Call(router, 1, "append", AppendParams(dataset, {1.0, 2.0, 3.0, 4.0}));
+  ASSERT_TRUE(first.GetBool("ok", false)) << first.Dump();
+  Json second =
+      Call(router, 2, "append", AppendParams(dataset, {5.0, 6.0, 7.0}));
+  ASSERT_TRUE(second.GetBool("ok", false)) << second.Dump();
+  const int64_t acked_length = second.Get("result").GetInt("length", 0);
+  ASSERT_GT(acked_length, 0);
+
+  // Exercise the live shipping pass (sealed segments only — with a small
+  // write volume there may be nothing sealed yet; lag metrics must appear
+  // either way).
+  router.replicator()->ShipOnce();
+  Json ship = router.replicator()->StatsJson();
+  ASSERT_TRUE(ship.Get("shard-0").is_object()) << ship.Dump();
+  EXPECT_GE(ship.Get("shard-0").GetInt("primary_last_seq", -1), 0);
+
+  // Kill -9 the primary mid-flight.
+  ASSERT_TRUE(router.KillShardPrimary("shard-0", SIGKILL).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // While the shard is down: reads degrade to the replica (stale, tagged,
+  // never wrong), appends refuse with Unavailable instead of lying.
+  Json forecast_params = Json::Object();
+  forecast_params.Set("dataset", dataset);
+  forecast_params.Set("method", "ses");
+  forecast_params.Set("horizon", int64_t{4});
+  Json degraded = Call(router, 3, "forecast", forecast_params);
+  ASSERT_TRUE(degraded.GetBool("ok", false)) << degraded.Dump();
+  EXPECT_TRUE(degraded.Get("result").GetBool("degraded", false));
+
+  Json refused = Call(router, 4, "append", AppendParams(dataset, {9.9}));
+  ASSERT_FALSE(refused.GetBool("ok", true)) << refused.Dump();
+  EXPECT_EQ(refused.Get("error").GetString("code", ""), "Unavailable");
+
+  // Drive failover: detect death, promote, finish. Promotion replays the
+  // dead primary's frozen store, so give it real time.
+  router.HealthCheckNow();  // detects the corpse, asks the replica to promote
+  bool promoted = false;
+  for (int i = 0; i < 1200 && !promoted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    router.HealthCheckNow();
+    Json status = router.ClusterStatusJson();
+    const Json& shard = status.Get("shards").Get("shard-0");
+    promoted = shard.GetInt("failovers", 0) > 0 &&
+               !shard.GetBool("promoting", true) &&
+               !shard.GetBool("down", true);
+  }
+  ASSERT_TRUE(promoted) << router.ClusterStatusJson().Dump();
+
+  // No acked append lost: the promoted store continues the exact offset
+  // chain. An explicit "start" at the acked length must fit…
+  Json resume_params = AppendParams(dataset, {8.0, 9.0});
+  resume_params.Set("start", acked_length);
+  Json resumed = Call(router, 5, "append", resume_params);
+  ASSERT_TRUE(resumed.GetBool("ok", false)) << resumed.Dump();
+  EXPECT_EQ(resumed.Get("result").GetInt("length", 0), acked_length + 2);
+  // …and a stale offset (as if an acked batch had vanished) must not.
+  Json stale_params = AppendParams(dataset, {1.5});
+  stale_params.Set("start", acked_length - 3);
+  Json stale = Call(router, 6, "append", stale_params);
+  EXPECT_FALSE(stale.GetBool("ok", true)) << stale.Dump();
+
+  // Reads are first-class again (no degraded tag), and the failover left a
+  // fresh replica behind for the next crash.
+  Json healthy = Call(router, 7, "forecast", forecast_params);
+  ASSERT_TRUE(healthy.GetBool("ok", false)) << healthy.Dump();
+  EXPECT_FALSE(healthy.Get("result").GetBool("degraded", false));
+
+  Json status = router.ClusterStatusJson();
+  const Json& shard = status.Get("shards").Get("shard-0");
+  EXPECT_EQ(shard.GetString("primary", ""), "shard-0-r0");
+  EXPECT_EQ(shard.GetString("replica", ""), "shard-0-r1");
+  EXPECT_NE(shard.GetInt("replica_port", 0), 0);
+
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace easytime::cluster

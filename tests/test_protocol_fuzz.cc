@@ -14,13 +14,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <signal.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "cluster/router.h"
 #include "serve/event_loop.h"
 #include "serve/server.h"
 #include "socket_test_util.h"
@@ -416,6 +420,110 @@ TEST_F(ProtocolFuzzTest, InterleavedFragmentsAcrossConnectionsStayIsolated) {
   EXPECT_EQ(bad_lines, 0u);
   loop.Stop();
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Router-directed edges: the cluster front-end must uphold the same
+// well-formed-envelope contract while fanning out, forwarding, and failing
+// over — malformed frames, unknown datasets, a shard primary SIGKILLed
+// mid-pipeline, and the multi-kilobyte merged fan-out reply.
+// ---------------------------------------------------------------------------
+
+TEST(RouterProtocolFuzz, RouterEdgesAlwaysAnswerWellFormedEnvelopes) {
+  const std::string work_dir =
+      (std::filesystem::path(::testing::TempDir()) / "easytime_router_fuzz")
+          .string();
+  std::filesystem::remove_all(work_dir);
+  cluster::ClusterRouter::Options opt;
+  opt.worker_binary = EASYTIME_WORKER_BIN;
+  opt.work_dir = work_dir;
+  opt.shards = 1;
+  opt.replicate = true;           // shard death degrades instead of erroring
+  opt.health_interval_ms = 0.0;   // failover driven explicitly below
+  opt.ship_interval_ms = 0.0;
+  opt.retry.max_attempts = 2;
+  opt.retry.base_delay_ms = 2.0;
+  cluster::ClusterRouter router(opt);
+  ASSERT_TRUE(router.Start().ok());
+
+  int fd = ConnectLoopback(router.port());
+  ASSERT_GE(fd, 0);
+  LineReader reader;
+  reader.fd = fd;
+
+  auto expect_envelope = [&](const std::string& frame) -> Json {
+    EXPECT_TRUE(SendAll(fd, frame));
+    auto line = reader.Next(10000);
+    EXPECT_TRUE(line.has_value()) << "no response for: " << frame;
+    if (!line.has_value()) return Json::Object();
+    auto resp = Json::Parse(*line);
+    EXPECT_TRUE(resp.ok()) << "unparseable response: " << *line;
+    EXPECT_TRUE(resp.ok() && resp->Has("ok")) << *line;
+    return resp.ok() ? std::move(*resp) : Json::Object();
+  };
+
+  // Malformed frames: garbage, truncated JSON, type-confused envelopes.
+  for (const char* frame :
+       {"@@@@ not json @@@@\n", "{\"id\": 3, \"endpoint\": \"forec\n",
+        "{\"id\": \"x\", \"endpoint\": 17, \"params\": []}\n",
+        "{\"endpoint\": \"append\", \"params\": {\"dataset\": 42}}\n"}) {
+    Json resp = expect_envelope(frame);
+    EXPECT_FALSE(resp.GetBool("ok", true)) << frame;
+    EXPECT_NE(resp.Get("error").GetString("code", ""), "") << frame;
+  }
+
+  // Unknown dataset routes to its owner and surfaces the owner's NotFound.
+  Json missing = expect_envelope(
+      R"({"id": 5, "endpoint": "forecast", "params": )"
+      R"({"dataset": "phantom_ds", "method": "ses", "horizon": 4}})"
+      "\n");
+  EXPECT_FALSE(missing.GetBool("ok", true));
+  EXPECT_EQ(missing.Get("error").GetString("code", ""), "NotFound");
+
+  // The merged stats fan-out is the largest reply the router builds; it
+  // must come back as one well-formed line.
+  Json stats = expect_envelope(R"({"id": 6, "endpoint": "stats"})" "\n");
+  EXPECT_TRUE(stats.GetBool("ok", false));
+  EXPECT_EQ(stats.Get("result").GetString("scope", ""), "cluster");
+
+  // Mid-pipeline shard death: queue several dataset reads, SIGKILL the
+  // primary under them, and require every response to still be a valid
+  // envelope — ok (possibly degraded via the replica) or a clean error,
+  // never silence or garbage.
+  std::string burst;
+  for (int i = 0; i < 8; ++i) {
+    burst += R"({"id": )" + std::to_string(100 + i) +
+             R"(, "endpoint": "forecast", "params": )"
+             R"({"dataset": "traffic_u0", "method": "ses", "horizon": 4}})"
+             "\n";
+  }
+  ASSERT_TRUE(SendAll(fd, burst.substr(0, burst.size() / 2)));
+  ASSERT_TRUE(router.KillShardPrimary("shard-0", SIGKILL).ok());
+  ASSERT_TRUE(SendAll(fd, burst.substr(burst.size() / 2)));
+  size_t degraded = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto line = reader.Next(15000);
+    ASSERT_TRUE(line.has_value()) << "response " << i << " never arrived";
+    auto resp = Json::Parse(*line);
+    ASSERT_TRUE(resp.ok()) << *line;
+    ASSERT_TRUE(resp->Has("ok")) << *line;
+    if (resp->GetBool("ok", false) &&
+        resp->Get("result").GetBool("degraded", false)) {
+      ++degraded;
+    }
+    if (!resp->GetBool("ok", false)) {
+      EXPECT_EQ(resp->Get("error").GetString("code", ""), "Unavailable")
+          << *line;
+    }
+  }
+  EXPECT_GT(degraded, 0u) << "replica never served a degraded read";
+
+  // The router itself is still fully alive.
+  Json pong = expect_envelope(R"({"id": 7, "endpoint": "ping"})" "\n");
+  EXPECT_TRUE(pong.GetBool("ok", false));
+
+  ::close(fd);
+  router.Stop();
 }
 
 }  // namespace

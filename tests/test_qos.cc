@@ -538,6 +538,62 @@ TEST_F(QosServerTest, AuthTokenFallsBackToTheEnvironment) {
   server.Stop();
 }
 
+// Regression: a client that loses its connection mid-session must re-send
+// the auth handshake when its retry path reconnects — otherwise the first
+// retried frame lands unauthenticated and draws a terminal rejection even
+// though the token is correct.
+TEST_F(QosServerTest, AuthHandshakeIsResentAcrossMidRetryReconnects) {
+  ForecastServer server(system_);
+  server.Start();
+  EventLoopServer::Options lopt;
+  lopt.auth_token = "sekrit";
+  auto first_loop = std::make_unique<EventLoopServer>(&server, lopt);
+  ASSERT_TRUE(first_loop->Start().ok());
+  const uint16_t port = first_loop->port();
+
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_delay_ms = 20.0;
+  TcpClient client(port, retry, "sekrit");
+  auto pong = client.Call("ping", Json::Object());
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+
+  // Tear the listener down and bring a fresh one up on the same port: the
+  // client's established (and authenticated) connection is now dead.
+  first_loop->Stop();
+  first_loop.reset();
+  lopt.port = port;
+  EventLoopServer second_loop(&server, lopt);
+  ASSERT_TRUE(second_loop.Start().ok());
+
+  // The retried call reconnects — and must authenticate again before the
+  // request frame, or the new listener rejects the session.
+  auto again = client.Call("ping", Json::Object());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->GetBool("pong", false));
+  EXPECT_EQ(second_loop.stats().auth_failures, 0u);
+
+  // The at-most-once probe reports transmission accounting: against a live
+  // server the request goes out; against a closed port the failure happens
+  // before any request byte, so a retry would be safe.
+  bool request_sent = false;
+  Json req = Json::Object();
+  req.Set("id", int64_t{1});
+  req.Set("endpoint", "ping");
+  req.Set("params", Json::Object());
+  auto once = client.SendLineOnce(req.Dump(), &request_sent);
+  EXPECT_TRUE(once.ok()) << once.status().ToString();
+  EXPECT_TRUE(request_sent);
+
+  second_loop.Stop();
+  TcpClient cold(port, retry, "sekrit");
+  auto refused = cold.SendLineOnce(req.Dump(), &request_sent);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_FALSE(request_sent) << "connect-level failures must stay retryable";
+
+  server.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // SQL brownout downgrade
 // ---------------------------------------------------------------------------
