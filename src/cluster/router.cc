@@ -125,8 +125,14 @@ void ClusterRouter::Stop() {
   replicator_.Stop();
   if (frontend_) frontend_->Stop();
   for (auto& shard : shards_) {
-    if (!shard->primary_name.empty()) supervisor_.Terminate(shard->primary_name);
-    if (!shard->replica_name.empty()) supervisor_.Terminate(shard->replica_name);
+    std::string primary, replica;
+    {
+      std::lock_guard<std::mutex> lock(shard->meta_mu);
+      primary = shard->primary_name;
+      replica = shard->replica_name;
+    }
+    if (!primary.empty()) supervisor_.Terminate(primary);
+    if (!replica.empty()) supervisor_.Terminate(replica);
   }
 }
 
@@ -166,7 +172,12 @@ easytime::Status ClusterRouter::KillShardPrimary(const std::string& shard_id,
                                                  int sig) {
   Shard* shard = FindShard(shard_id);
   if (shard == nullptr) return Status::NotFound("no shard '" + shard_id + "'");
-  return supervisor_.Kill(shard->primary_name, sig);
+  std::string primary;
+  {
+    std::lock_guard<std::mutex> lock(shard->meta_mu);
+    primary = shard->primary_name;
+  }
+  return supervisor_.Kill(primary, sig);
 }
 
 // ----- connection pooling ---------------------------------------------------
@@ -256,7 +267,9 @@ std::string ClusterRouter::HandleLine(const std::string& line) {
     if (!shard.ok()) {
       return serve::MakeErrorResponse(req.id, shard.status()).Dump();
     }
-    return ForwardAppend(**shard, req, line);
+    return ForwardAtMostOnce(
+        **shard, req, line,
+        "re-send with an explicit \"start\" offset to make the retry safe");
   }
 
   // Reads: datasets pin to their owner; everything else is fungible and
@@ -277,8 +290,18 @@ std::string ClusterRouter::HandleLine(const std::string& line) {
   if (!shard.ok()) {
     return serve::MakeErrorResponse(req.id, shard.status()).Dump();
   }
-  std::string response = ForwardRead(**shard, req, line);
-  if (req.endpoint == "evaluate" || req.endpoint == "backtest") {
+  const bool is_job_submit =
+      req.endpoint == "evaluate" || req.endpoint == "backtest";
+  // A job submit is as non-idempotent as an append (a blind retry after an
+  // ambiguous drop would start a second job under a new id), so it takes
+  // the at-most-once path instead of the retrying read path.
+  std::string response =
+      is_job_submit
+          ? ForwardAtMostOnce(**shard, req, line,
+                              "check job_status before re-submitting (a "
+                              "duplicate submit would start a second job)")
+          : ForwardRead(**shard, req, line);
+  if (is_job_submit) {
     // Jobs live on the shard that accepted them: stamp the submit ack so
     // job_status/cancel can pin with {"shard": ...} instead of fanning out.
     auto parsed = easytime::Json::Parse(response);
@@ -342,15 +365,16 @@ std::string ClusterRouter::ForwardRead(Shard& shard, const serve::Request& req,
       .Dump();
 }
 
-std::string ClusterRouter::ForwardAppend(Shard& shard,
-                                         const serve::Request& req,
-                                         const std::string& line) {
+std::string ClusterRouter::ForwardAtMostOnce(Shard& shard,
+                                             const serve::Request& req,
+                                             const std::string& line,
+                                             const std::string& retry_hint) {
   // At-most-once: only failures that PROVE the worker never saw the request
   // (connect-level failures, the worker's own clean Unavailable rejection)
   // are retried. An ambiguous transport drop after bytes were sent is
-  // surfaced as Unavailable — a blind retry could ingest the batch twice.
+  // surfaced as Unavailable — a blind retry could apply the request twice.
   serve::RetryPolicy policy = options_.retry;
-  easytime::Status last = Status::Unavailable("append not attempted");
+  easytime::Status last = Status::Unavailable("request not attempted");
   for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
        ++attempt) {
     if (attempt > 0) {
@@ -360,7 +384,7 @@ std::string ClusterRouter::ForwardAppend(Shard& shard,
     if (shard.down.load() || shard.promoting.load()) {
       last = Status::Unavailable("shard " + shard.id +
                                  " has no primary (failover in progress); "
-                                 "append cannot be durably acknowledged");
+                                 "the request cannot be durably accepted");
       continue;
     }
     const uint16_t port = shard.primary_port.load();
@@ -368,7 +392,13 @@ std::string ClusterRouter::ForwardAppend(Shard& shard,
       last = Status::Unavailable("shard " + shard.id + " has no primary");
       continue;
     }
-    auto client = AcquireClient(shard, port);
+    // Always dial fresh instead of reusing a pooled idle socket: a worker
+    // restart between health ticks leaves pool entries half-dead, where the
+    // first write "succeeds" into the local buffer and a provably-unexecuted
+    // request would be misreported as ambiguous. A fresh connect that fails
+    // proves the worker never saw the request, keeping the retry safe.
+    auto client = std::make_unique<serve::TcpClient>(port, OneShot(),
+                                                     options_.auth_token);
     bool request_sent = false;
     auto resp = client->SendLineOnce(line, &request_sent);
     if (resp.ok()) {
@@ -392,9 +422,9 @@ std::string ClusterRouter::ForwardAppend(Shard& shard,
       return serve::MakeErrorResponse(
                  req.id,
                  Status::Unavailable(
-                     "append outcome unknown (connection lost after the "
-                     "request was sent); not retried — re-send with an "
-                     "explicit \"start\" offset to make the retry safe"))
+                     "outcome unknown (connection lost after the request "
+                     "was sent); not retried — " +
+                     retry_hint))
           .Dump();
     }
     last = resp.status();  // nothing was sent: retry is safe
@@ -588,16 +618,32 @@ std::string ClusterRouter::FanOutJobLookup(const serve::Request& req,
     }
     return ForwardRead(*shard, req, line);
   }
+  bool unreachable = false;
   for (auto& shard : shards_) {
     auto resp =
         SendToWorker(*shard, shard->primary_port.load(), line, OneShot());
-    if (!resp.ok()) continue;
+    if (!resp.ok()) {
+      unreachable = true;  // this shard might own the job
+      continue;
+    }
     auto parsed = easytime::Json::Parse(*resp);
     if (parsed.ok() && !parsed->GetBool("ok", true) &&
         parsed->Get("error").GetString("code", "") == "NotFound") {
       continue;
     }
     return *resp;
+  }
+  // An unreachable shard (dead or failing-over primary) may own the job:
+  // claiming NotFound would make a fanned cancel silently drop it and a
+  // status poll report a live job as gone. Tell the client to retry.
+  if (unreachable) {
+    unavailable_responses_.fetch_add(1, std::memory_order_relaxed);
+    return serve::MakeErrorResponse(
+               req.id,
+               Status::Unavailable(
+                   "no responding shard knows this job, but at least one "
+                   "shard did not answer and may own it; retry shortly"))
+        .Dump();
   }
   return serve::MakeErrorResponse(
              req.id, Status::NotFound("no shard knows this job"))
@@ -675,9 +721,7 @@ void ClusterRouter::StartFailover(Shard& shard) {
     EASYTIME_LOG(Warning) << "router: restarted " << shard.primary_name
                        << " on port " << *port;
     shard.primary_port.store(*port);
-    shard.breaker = std::make_unique<pipeline::CircuitBreaker>(
-        pipeline::CircuitBreaker::Options{options_.breaker_threshold,
-                                          options_.breaker_cooldown_ms});
+    shard.breaker->Reset();
     shard.down.store(false);
     failovers_.fetch_add(1, std::memory_order_relaxed);
     shard.failovers.fetch_add(1, std::memory_order_relaxed);
@@ -707,15 +751,16 @@ void ClusterRouter::FinishFailoverIfPromoted(Shard& shard) {
   // The follower is now the shard primary, serving on its (unchanged) port
   // from the caught-up store.
   const std::string old_primary = shard.primary_name;
-  shard.primary_name = shard.replica_name;
-  shard.primary_store = shard.replica_store;
   shard.primary_port.store(shard.replica_port.load());
-  shard.replica_name.clear();
-  shard.replica_store.clear();
   shard.replica_port.store(0);
-  shard.breaker = std::make_unique<pipeline::CircuitBreaker>(
-      pipeline::CircuitBreaker::Options{options_.breaker_threshold,
-                                        options_.breaker_cooldown_ms});
+  {
+    std::lock_guard<std::mutex> lock(shard.meta_mu);
+    shard.primary_name = shard.replica_name;
+    shard.primary_store = shard.replica_store;
+    shard.replica_name.clear();
+    shard.replica_store.clear();
+  }
+  shard.breaker->Reset();
   {
     std::lock_guard<std::mutex> lock(shard.pool_mu);
     shard.pool.clear();
@@ -745,8 +790,11 @@ void ClusterRouter::SpawnReplacementReplica(Shard& shard) {
                         << shard.id << ": " << port.status().ToString();
     return;
   }
-  shard.replica_name = name;
-  shard.replica_store = store;
+  {
+    std::lock_guard<std::mutex> lock(shard.meta_mu);
+    shard.replica_name = name;
+    shard.replica_store = store;
+  }
   shard.replica_port.store(*port);
   replicator_.SetLink(shard.id, shard.primary_store, *port);
   EASYTIME_LOG(Info) << "router: " << shard.id << " replacement replica '"
@@ -759,9 +807,15 @@ easytime::Json ClusterRouter::ClusterStatusJson() {
   easytime::Json shards = easytime::Json::Object();
   for (auto& shard : shards_) {
     easytime::Json j = easytime::Json::Object();
-    j.Set("primary", shard->primary_name);
+    std::string primary, replica;
+    {
+      std::lock_guard<std::mutex> lock(shard->meta_mu);
+      primary = shard->primary_name;
+      replica = shard->replica_name;
+    }
+    j.Set("primary", primary);
     j.Set("primary_port", static_cast<int64_t>(shard->primary_port.load()));
-    j.Set("replica", shard->replica_name);
+    j.Set("replica", replica);
     j.Set("replica_port", static_cast<int64_t>(shard->replica_port.load()));
     j.Set("down", shard->down.load());
     j.Set("promoting", shard->promoting.load());

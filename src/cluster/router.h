@@ -13,11 +13,12 @@
 ///    jobs) uses bounded-load consistent hashing over a request key, so a
 ///    hot shard sheds overflow to its ring successors.
 ///  - recommend / stats / flush_cache fan out to every shard and merge.
-///  - append is forwarded AT MOST ONCE: connect-level failures (no request
-///    byte sent) and the worker's own clean Unavailable rejections retry
-///    under the backoff policy, but once bytes are in flight a failure is
-///    ambiguous and surfaces as Unavailable instead of risking a duplicate
-///    ingest (producers disambiguate with an explicit "start" offset).
+///  - append and evaluate/backtest job submits are forwarded AT MOST ONCE:
+///    connect-level failures (no request byte sent) and the worker's own
+///    clean Unavailable rejections retry under the backoff policy, but once
+///    bytes are in flight a failure is ambiguous and surfaces as
+///    Unavailable instead of risking a duplicate ingest or a second job
+///    (producers disambiguate appends with an explicit "start" offset).
 ///  - When a shard's primary is down (process death or open breaker), reads
 ///    fall back to its replica with `"degraded": true` in the result —
 ///    stale but never wrong answers; appends return Unavailable until the
@@ -118,6 +119,9 @@ class ClusterRouter {
     std::string replica_store;
     std::atomic<uint16_t> primary_port{0};
     std::atomic<uint16_t> replica_port{0};
+    /// Never reassigned after construction — handler threads call through
+    /// the raw pointer without a lock, so failover calls Reset() on the
+    /// stable object instead of swapping it.
     std::unique_ptr<pipeline::CircuitBreaker> breaker;
     std::atomic<size_t> outstanding{0};  ///< bounded-load reading
     std::atomic<bool> down{false};
@@ -125,6 +129,11 @@ class ClusterRouter {
     std::atomic<uint64_t> failovers{0};
     size_t replica_generation = 0;  ///< fresh staging dir per replica
     std::mutex mu;                  ///< failover transitions
+    /// Guards the four name/store strings above. The health thread (their
+    /// sole writer) holds it while rewriting them; handler threads hold it
+    /// to copy them out. Held only for the copy — never across I/O — so
+    /// status reads cannot stall behind a health ping or promotion.
+    std::mutex meta_mu;
     std::mutex pool_mu;
     std::vector<IdleClient> pool;
   };
@@ -144,8 +153,12 @@ class ClusterRouter {
 
   std::string ForwardRead(Shard& shard, const serve::Request& req,
                           const std::string& line);
-  std::string ForwardAppend(Shard& shard, const serve::Request& req,
-                            const std::string& line);
+  /// Forward for non-idempotent requests (append, evaluate/backtest job
+  /// submits): only provably-unexecuted failures retry; an ambiguous drop
+  /// surfaces as Unavailable carrying \p retry_hint.
+  std::string ForwardAtMostOnce(Shard& shard, const serve::Request& req,
+                                const std::string& line,
+                                const std::string& retry_hint);
   std::string FanOutStats(const serve::Request& req);
   std::string FanOutRecommend(const serve::Request& req);
   std::string FanOutFlushCache(const serve::Request& req);

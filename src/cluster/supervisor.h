@@ -86,10 +86,18 @@ class Supervisor {
     std::unique_ptr<Subprocess> proc;
     uint16_t port = 0;
     size_t restarts = 0;
+    bool spawning = false;  ///< a bring-up wait (AwaitPort) is in flight
     std::chrono::steady_clock::time_point last_spawn{};
   };
 
-  easytime::Result<uint16_t> SpawnLocked(Worker& w);
+  /// Launches \p w's process and marks it spawning; the caller completes
+  /// bring-up with AwaitPort after releasing mu_.
+  easytime::Status LaunchLocked(Worker& w);
+  /// Polls until the named worker publishes its port, dies, or times out,
+  /// re-taking mu_ per tick — a multi-second bring-up (cold-store seeding
+  /// evaluation) must not stall Alive/StatsJson/PortOf for other workers.
+  /// Clears the spawning flag on every exit path.
+  easytime::Result<uint16_t> AwaitPort(const std::string& name);
 
   const Options options_;
   mutable std::mutex mu_;

@@ -87,6 +87,17 @@ class CircuitBreaker {
     return state_;
   }
 
+  /// \brief Returns the breaker to its initial closed state, e.g. after the
+  /// guarded endpoint was replaced by a fresh process. Lets long-lived
+  /// holders of the breaker pointer keep using it across such swaps instead
+  /// of the owner reassigning the object under them.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kClosed;
+    consecutive_ = 0;
+    trip_logged_ = false;
+  }
+
   /// True exactly once per trip: the transition into kOpen from kClosed
   /// (used by the runner to log the trip once).
   bool ConsumeTripEvent() {

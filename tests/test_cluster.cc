@@ -313,6 +313,50 @@ TEST(SupervisorTest, SpawnReadsPortFileAndRestartBacksOff) {
   supervisor.Terminate("w", 100.0);
 }
 
+TEST(SupervisorTest, BringUpWaitDoesNotBlockOtherSupervisorCalls) {
+  const std::string dir = TestDir("supervisor_nonblock");
+  fs::create_directories(dir);
+  // A stand-in worker that takes ~1 s to publish its port, like a shard
+  // worker running its cold-store seeding evaluation.
+  const std::string script = dir + "/slow.sh";
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\nsleep 1\nprintf '4243\\n' > \"$1.tmp\"\n"
+           "mv \"$1.tmp\" \"$1\"\nexec sleep 60\n";
+  }
+  fs::permissions(script, fs::perms::owner_all);
+
+  Supervisor::Options opt;
+  opt.spawn_timeout_ms = 15000.0;
+  Supervisor supervisor(opt);
+  WorkerSpec spec;
+  spec.name = "slow";
+  spec.argv = {"/bin/sh", script, dir + "/slow.port"};
+  spec.port_file = dir + "/slow.port";
+
+  std::thread spawner([&] {
+    auto port = supervisor.Spawn(spec);
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+  });
+  // Let the spawner enter the bring-up wait, then hit the supervisor from
+  // another thread: health-check-shaped calls must return promptly instead
+  // of stalling behind the whole bring-up (the old single-lock behavior).
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(supervisor.Alive("slow"));
+  EXPECT_EQ(supervisor.PortOf("slow"), 0) << "port not published yet";
+  EXPECT_TRUE(supervisor.StatsJson().Get("slow").is_object());
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 500.0);
+  // A concurrent Spawn of the same name is refused, not doubled.
+  EXPECT_FALSE(supervisor.Spawn(spec).ok());
+  spawner.join();
+  EXPECT_EQ(supervisor.PortOf("slow"), 4243);
+  supervisor.Terminate("slow", 100.0);
+}
+
 // ----- router integration ---------------------------------------------------
 
 Json ParseLine(const std::string& line) {
@@ -510,6 +554,27 @@ TEST(ClusterRouterTest, SigkillFailoverPromotesReplicaWithoutLosingAcks) {
   Json refused = Call(router, 4, "append", AppendParams(dataset, {9.9}));
   ASSERT_FALSE(refused.GetBool("ok", true)) << refused.Dump();
   EXPECT_EQ(refused.Get("error").GetString("code", ""), "Unavailable");
+
+  // Job submits are at-most-once like appends: with the only primary dead
+  // they refuse with Unavailable rather than blind-retrying the submit.
+  auto submit_parsed = Json::Parse(R"({
+    "datasets": ["traffic_u0"],
+    "methods": ["naive"],
+    "evaluation": {"strategy": "fixed", "horizon": 6, "metrics": ["mae"]}
+  })");
+  ASSERT_TRUE(submit_parsed.ok());
+  Json submit = Call(router, 8, "evaluate", std::move(*submit_parsed));
+  ASSERT_FALSE(submit.GetBool("ok", true)) << submit.Dump();
+  EXPECT_EQ(submit.Get("error").GetString("code", ""), "Unavailable");
+
+  // An un-pinned job lookup cannot claim NotFound while the shard that may
+  // own the job is unreachable — that would make a fanned cancel a silent
+  // no-op and report live jobs as gone.
+  Json lookup_params = Json::Object();
+  lookup_params.Set("job", int64_t{12345});
+  Json lookup = Call(router, 9, "job_status", lookup_params);
+  ASSERT_FALSE(lookup.GetBool("ok", true)) << lookup.Dump();
+  EXPECT_EQ(lookup.Get("error").GetString("code", ""), "Unavailable");
 
   // Drive failover: detect death, promote, finish. Promotion replays the
   // dead primary's frozen store, so give it real time.

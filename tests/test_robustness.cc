@@ -417,6 +417,31 @@ TEST(CircuitBreakerTest, OpensThenHalfOpensThenClosesOnProbeSuccess) {
   EXPECT_TRUE(b.Allow(BreakerAt(106)));
 }
 
+TEST(CircuitBreakerTest, ResetClosesAndClearsTheFailureStreak) {
+  pipeline::CircuitBreaker::Options opt;
+  opt.threshold = 2;
+  opt.cooldown_ms = 0.0;  // open means open forever — only Reset recovers
+  pipeline::CircuitBreaker b(opt);
+
+  b.RecordFailure(BreakerAt(0));
+  b.RecordFailure(BreakerAt(1));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allow(BreakerAt(10)));
+  EXPECT_TRUE(b.ConsumeTripEvent());
+
+  // The guarded endpoint was replaced (e.g. a promoted shard worker):
+  // Reset restores the pristine closed state on the SAME object.
+  b.Reset();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allow(BreakerAt(11)));
+  b.RecordFailure(BreakerAt(12));
+  EXPECT_EQ(b.state(), BreakerState::kClosed)
+      << "the pre-Reset failure streak must not carry over";
+  b.RecordFailure(BreakerAt(13));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_TRUE(b.ConsumeTripEvent()) << "a fresh trip logs again after Reset";
+}
+
 TEST(CircuitBreakerTest, FailedProbeReTripsForAnotherCooldown) {
   pipeline::CircuitBreaker::Options opt;
   opt.threshold = 1;
